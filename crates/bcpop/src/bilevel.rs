@@ -1,0 +1,112 @@
+//! Bi-level pairing: evaluate an upper-level pricing against a
+//! lower-level reaction (Program 2's two objectives plus Eq. 1's gap).
+
+use crate::instance::BcpopInstance;
+use crate::relaxation::gap_percent;
+
+/// Upper-level revenue `F = Σ_{j≤L} c_j x_j`: the CSP earns the price of
+/// each of its own bundles the customer buys.
+pub fn ul_revenue(inst: &BcpopInstance, prices: &[f64], chosen: &[bool]) -> f64 {
+    debug_assert_eq!(prices.len(), inst.num_own());
+    debug_assert_eq!(chosen.len(), inst.num_bundles());
+    prices
+        .iter()
+        .zip(chosen.iter())
+        .filter(|(_, &sel)| sel)
+        .map(|(&p, _)| p)
+        .sum()
+}
+
+/// Lower-level total cost `f = Σ_j c_j x_j` over the whole market.
+pub fn ll_cost(costs: &[f64], chosen: &[bool]) -> f64 {
+    costs.iter().zip(chosen).filter(|(_, &sel)| sel).map(|(&c, _)| c).sum()
+}
+
+/// A fully scored bilevel pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BilevelEval {
+    /// CSP revenue `F(x, y)`.
+    pub ul_value: f64,
+    /// Customer cost `f(x, y)` (`A(x)` of Eq. 1).
+    pub ll_value: f64,
+    /// `%-gap` of the lower-level reaction against `LB(x)`.
+    pub gap: f64,
+    /// Whether `y` covers every requirement.
+    pub feasible: bool,
+}
+
+/// Evaluate the pair `(prices, chosen)` given the relaxation bound
+/// `lower_bound = LB(x)`.
+///
+/// Infeasible reactions score `ul_value = 0` (no sale happens if the
+/// customer's needs are not met) and an infinite gap, so they lose every
+/// comparison.
+pub fn evaluate_pair(
+    inst: &BcpopInstance,
+    prices: &[f64],
+    chosen: &[bool],
+    lower_bound: f64,
+) -> BilevelEval {
+    let feasible = inst.is_covering(chosen);
+    let costs = inst.costs_for(prices);
+    let ll_value = ll_cost(&costs, chosen);
+    if !feasible {
+        return BilevelEval { ul_value: 0.0, ll_value, gap: f64::INFINITY, feasible };
+    }
+    BilevelEval {
+        ul_value: ul_revenue(inst, prices, chosen),
+        ll_value,
+        gap: gap_percent(ll_value, lower_bound),
+        feasible,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::test_fixtures::tiny;
+
+    #[test]
+    fn revenue_counts_only_own_sold_bundles() {
+        let inst = tiny();
+        let prices = [2.0, 3.0];
+        assert_eq!(ul_revenue(&inst, &prices, &[true, false, true, false]), 2.0);
+        assert_eq!(ul_revenue(&inst, &prices, &[true, true, false, false]), 5.0);
+        assert_eq!(ul_revenue(&inst, &prices, &[false, false, true, true]), 0.0);
+    }
+
+    #[test]
+    fn ll_cost_spans_whole_market() {
+        let inst = tiny();
+        let costs = inst.costs_for(&[2.0, 3.0]);
+        assert_eq!(ll_cost(&costs, &[true, false, false, true]), 5.0);
+    }
+
+    #[test]
+    fn evaluate_feasible_pair() {
+        let inst = tiny();
+        let e = evaluate_pair(&inst, &[2.0, 3.0], &[true, true, false, false], 5.0);
+        assert!(e.feasible);
+        assert_eq!(e.ul_value, 5.0);
+        assert_eq!(e.ll_value, 5.0);
+        assert_eq!(e.gap, 0.0);
+    }
+
+    #[test]
+    fn evaluate_infeasible_pair_is_worthless() {
+        let inst = tiny();
+        let e = evaluate_pair(&inst, &[2.0, 3.0], &[true, false, false, false], 2.0);
+        assert!(!e.feasible);
+        assert_eq!(e.ul_value, 0.0);
+        assert!(e.gap.is_infinite());
+    }
+
+    #[test]
+    fn gap_reflects_overpayment() {
+        let inst = tiny();
+        // Customer buys everything: cost 2+3+4+3 = 12 vs LB 5.
+        let e = evaluate_pair(&inst, &[2.0, 3.0], &[true, true, true, true], 5.0);
+        assert!(e.feasible);
+        assert!((e.gap - 140.0).abs() < 1e-9);
+    }
+}

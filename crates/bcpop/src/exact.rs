@@ -1,0 +1,162 @@
+//! Exact lower-level solver for *small* instances — a branch-and-bound
+//! test oracle.
+//!
+//! Used to validate that greedy costs are ≥ the true optimum, that the
+//! LP bound is ≤ the true optimum, and (in the CARBON integration tests)
+//! to measure true gaps on toy instances. Exponential in the number of
+//! bundles; guarded by an explicit size limit.
+
+use crate::instance::BcpopInstance;
+
+/// Maximum bundle count accepted by [`exact_ll_optimum`].
+pub const EXACT_LIMIT: usize = 24;
+
+/// Exhaustively solve the lower-level covering problem
+/// `min Σ c_j x_j  s.t.  Σ q_j^k x_j ≥ b^k` by DFS with cost pruning.
+///
+/// Returns `(optimal_cost, chosen)`, or `None` when no covering exists
+/// (impossible on a validated instance).
+///
+/// # Panics
+/// Panics if the instance has more than [`EXACT_LIMIT`] bundles.
+#[allow(clippy::needless_range_loop)] // residual/suffix arrays share indices
+pub fn exact_ll_optimum(inst: &BcpopInstance, costs: &[f64]) -> Option<(f64, Vec<bool>)> {
+    let m = inst.num_bundles();
+    assert!(
+        m <= EXACT_LIMIT,
+        "exact solver limited to {EXACT_LIMIT} bundles (got {m})"
+    );
+    let n = inst.num_services();
+    let mut best_cost = f64::INFINITY;
+    let mut best_sel: Option<Vec<bool>> = None;
+    let mut chosen = vec![false; m];
+    let mut residual: Vec<i64> = inst.requirements().iter().map(|&v| v as i64).collect();
+
+    // Suffix coverage per service: what bundles j.. can still add.
+    let mut suffix = vec![0i64; (m + 1) * n];
+    for j in (0..m).rev() {
+        for k in 0..n {
+            suffix[j * n + k] = suffix[(j + 1) * n + k] + inst.coverage(j, k) as i64;
+        }
+    }
+
+    #[allow(clippy::needless_range_loop)]
+    #[allow(clippy::too_many_arguments)] // explicit DFS state beats a struct here
+    fn dfs(
+        inst: &BcpopInstance,
+        costs: &[f64],
+        suffix: &[i64],
+        j: usize,
+        cost: f64,
+        chosen: &mut Vec<bool>,
+        residual: &mut Vec<i64>,
+        best_cost: &mut f64,
+        best_sel: &mut Option<Vec<bool>>,
+    ) {
+        let n = inst.num_services();
+        if residual.iter().all(|&r| r <= 0) {
+            if cost < *best_cost {
+                *best_cost = cost;
+                *best_sel = Some(chosen.clone());
+            }
+            return;
+        }
+        if j >= inst.num_bundles() || cost >= *best_cost {
+            return;
+        }
+        // Infeasibility prune: remaining bundles cannot cover residuals.
+        for k in 0..n {
+            if residual[k] > suffix[j * n + k] {
+                return;
+            }
+        }
+        // Branch 1: take bundle j.
+        chosen[j] = true;
+        for k in 0..n {
+            residual[k] -= inst.coverage(j, k) as i64;
+        }
+        dfs(inst, costs, suffix, j + 1, cost + costs[j], chosen, residual, best_cost, best_sel);
+        chosen[j] = false;
+        for k in 0..n {
+            residual[k] += inst.coverage(j, k) as i64;
+        }
+        // Branch 2: skip bundle j.
+        dfs(inst, costs, suffix, j + 1, cost, chosen, residual, best_cost, best_sel);
+    }
+
+    dfs(
+        inst,
+        costs,
+        &suffix,
+        0,
+        0.0,
+        &mut chosen,
+        &mut residual,
+        &mut best_cost,
+        &mut best_sel,
+    );
+    best_sel.map(|sel| (best_cost, sel))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::test_fixtures::tiny;
+    use crate::scoring::CostPerCoverageScorer;
+    use crate::{generate, greedy_cover, GeneratorConfig, RelaxationSolver};
+
+    #[test]
+    fn tiny_exact_optimum() {
+        let inst = tiny();
+        // Own prices 1.5/2.5: best covering = both own bundles at 4.0.
+        let costs = inst.costs_for(&[1.5, 2.5]);
+        let (cost, sel) = exact_ll_optimum(&inst, &costs).unwrap();
+        assert!((cost - 4.0).abs() < 1e-12);
+        assert!(inst.is_covering(&sel));
+    }
+
+    #[test]
+    fn exact_switches_to_competitors_when_own_is_expensive() {
+        let inst = tiny();
+        let costs = inst.costs_for(&[9.0, 9.0]);
+        let (cost, sel) = exact_ll_optimum(&inst, &costs).unwrap();
+        // Competitors: bundles 2 (4.0) + 3 (3.0) cover (2,2) at 7.0.
+        assert!((cost - 7.0).abs() < 1e-12);
+        assert!(!sel[0] && !sel[1]);
+    }
+
+    #[test]
+    fn sandwich_lp_le_exact_le_greedy() {
+        let cfg = GeneratorConfig {
+            num_bundles: 14,
+            num_services: 4,
+            ..Default::default()
+        };
+        for seed in 0..8 {
+            let inst = generate(&cfg, seed);
+            let prices = vec![20.0; inst.num_own()];
+            let costs = inst.costs_for(&prices);
+            let relax = RelaxationSolver::new(&inst).solve(&costs).unwrap();
+            let (opt, _) = exact_ll_optimum(&inst, &costs).unwrap();
+            let greedy = greedy_cover(&inst, &costs, &mut CostPerCoverageScorer, Some(&relax));
+            assert!(
+                relax.lower_bound <= opt + 1e-6,
+                "LP bound {} above optimum {opt} (seed {seed})",
+                relax.lower_bound
+            );
+            assert!(
+                opt <= greedy.cost + 1e-6,
+                "optimum {opt} above greedy {} (seed {seed})",
+                greedy.cost
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "limited")]
+    fn size_guard() {
+        let inst = generate(&GeneratorConfig::paper_class(100, 5), 0);
+        let costs = inst.costs_for(&vec![1.0; inst.num_own()]);
+        let _ = exact_ll_optimum(&inst, &costs);
+    }
+}

@@ -1,0 +1,200 @@
+//! Seeded synthetic instance generator.
+//!
+//! The paper modifies OR-library Multi-dimensional Knapsack instances
+//! (`≤` rows turned into `≥` rows) because no covering instances with
+//! non-binary coefficients exist publicly. We reproduce that *structure*
+//! synthetically (Chu–Beasley-style coefficients, tightness-controlled
+//! requirements, cost/coverage correlation) so that every experiment is
+//! runnable without the original files; `orlib` parses the real files
+//! for anyone who has them. The substitution is documented in DESIGN.md.
+
+use crate::instance::BcpopInstance;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of the synthetic generator.
+#[derive(Debug, Clone)]
+pub struct GeneratorConfig {
+    /// Number of bundles `M` (decision variables; the paper uses
+    /// 100/250/500).
+    pub num_bundles: usize,
+    /// Number of services `N` (constraints; the paper uses 5/10/30).
+    pub num_services: usize,
+    /// Fraction of bundles owned by the CSP (upper-level block `L`).
+    pub own_fraction: f64,
+    /// Requirement tightness `α`: `b^k = α · Σ_j q_j^k`.
+    /// Chu–Beasley's knapsack instances use 0.25/0.5/0.75.
+    pub tightness: f64,
+    /// Probability a bundle carries a given service at all (matrix
+    /// density).
+    pub density: f64,
+    /// Maximum units of one service in one bundle (OR-library weights
+    /// are uniform on [0, 1000]; we keep coefficients smaller but of the
+    /// same non-binary character).
+    pub max_units: u32,
+    /// Relative magnitude of the uncorrelated cost noise (Chu–Beasley
+    /// uses profits correlated with weights plus uniform noise).
+    pub cost_noise: f64,
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> Self {
+        GeneratorConfig {
+            num_bundles: 100,
+            num_services: 5,
+            own_fraction: 0.1,
+            tightness: 0.25,
+            density: 0.75,
+            max_units: 100,
+            cost_noise: 0.25,
+        }
+    }
+}
+
+impl GeneratorConfig {
+    /// One of the paper's 9 instance classes
+    /// (`n ∈ {100, 250, 500} × m ∈ {5, 10, 30}`).
+    pub fn paper_class(num_bundles: usize, num_services: usize) -> Self {
+        GeneratorConfig { num_bundles, num_services, ..Default::default() }
+    }
+}
+
+/// Generate a validated instance from a seed. The same `(config, seed)`
+/// pair always yields the same instance.
+pub fn generate(cfg: &GeneratorConfig, seed: u64) -> BcpopInstance {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let m = cfg.num_bundles;
+    let n = cfg.num_services;
+    let own = ((m as f64 * cfg.own_fraction).round() as usize).clamp(1, m);
+
+    // Coverage matrix: density-masked uniform integers in [1, max_units].
+    let mut q = vec![0u32; m * n];
+    for j in 0..m {
+        let row = &mut q[j * n..(j + 1) * n];
+        for v in row.iter_mut() {
+            if rng.random::<f64>() < cfg.density {
+                *v = rng.random_range(1..=cfg.max_units);
+            }
+        }
+        // Every bundle must cover something, or it is a dead column.
+        if row.iter().all(|&v| v == 0) {
+            let k = rng.random_range(0..n);
+            row[k] = rng.random_range(1..=cfg.max_units);
+        }
+    }
+    // Dually, every service must be covered by some bundle, or the
+    // requirement below (clamped to ≥ 1) would be uncoverable.
+    for k in 0..n {
+        if (0..m).all(|j| q[j * n + k] == 0) {
+            let j = rng.random_range(0..m);
+            q[j * n + k] = rng.random_range(1..=cfg.max_units);
+        }
+    }
+
+    // Tightness-scaled requirements (guaranteed coverable: α ≤ 1).
+    let alpha = cfg.tightness.clamp(0.01, 1.0);
+    let b: Vec<u32> = (0..n)
+        .map(|k| {
+            let col_sum: u64 = (0..m).map(|j| q[j * n + k] as u64).sum();
+            ((col_sum as f64 * alpha).floor() as u32).max(1)
+        })
+        .collect();
+
+    // Costs correlated with total coverage plus noise — the classic
+    // "correlated" MKP profit scheme, reused as bundle cost.
+    let mean_cov: f64 =
+        (0..m).map(|j| q[j * n..(j + 1) * n].iter().map(|&v| v as f64).sum::<f64>()).sum::<f64>()
+            / m as f64;
+    let mut costs = vec![0.0f64; m];
+    for (j, c) in costs.iter_mut().enumerate() {
+        let cov: f64 = q[j * n..(j + 1) * n].iter().map(|&v| v as f64).sum();
+        let noise = 1.0 + cfg.cost_noise * (rng.random::<f64>() * 2.0 - 1.0);
+        *c = (cov / mean_cov * 100.0 * noise).max(1.0);
+    }
+
+    // The CSP may price up to twice the most expensive competitor bundle:
+    // generous enough to price itself out of the market (the interesting
+    // upper edge of the decision space).
+    let price_cap = costs[own..]
+        .iter()
+        .fold(0.0f64, |a, &c| a.max(c))
+        .max(1.0)
+        * 2.0;
+
+    BcpopInstance::new(n, m, own, q, b, costs, price_cap)
+        .expect("generator must produce valid instances")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_instances_validate() {
+        for (&nb, &ns) in [100usize, 250, 500].iter().zip([5usize, 10, 30].iter()) {
+            let cfg = GeneratorConfig::paper_class(nb, ns);
+            let inst = generate(&cfg, 42);
+            assert_eq!(inst.num_bundles(), nb);
+            assert_eq!(inst.num_services(), ns);
+            inst.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = GeneratorConfig::paper_class(100, 10);
+        assert_eq!(generate(&cfg, 7), generate(&cfg, 7));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let cfg = GeneratorConfig::paper_class(100, 10);
+        assert_ne!(generate(&cfg, 1), generate(&cfg, 2));
+    }
+
+    #[test]
+    fn all_nine_paper_classes_produce_valid_instances() {
+        for &nb in &[100usize, 250, 500] {
+            for &ns in &[5usize, 10, 30] {
+                let inst = generate(&GeneratorConfig::paper_class(nb, ns), 123);
+                inst.validate().unwrap();
+                assert!(inst.num_own() >= 1);
+                assert!(inst.price_cap() > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn requirements_scale_with_tightness() {
+        let mut cfg = GeneratorConfig::paper_class(100, 5);
+        cfg.tightness = 0.25;
+        let loose = generate(&cfg, 9);
+        cfg.tightness = 0.75;
+        let tight = generate(&cfg, 9);
+        // Same seed → same matrix, so requirements must be ~3x larger.
+        let ratio = tight.requirement(0) as f64 / loose.requirement(0) as f64;
+        assert!((ratio - 3.0).abs() < 0.1, "tightness scaling off: {ratio}");
+    }
+
+    #[test]
+    fn no_dead_bundles() {
+        let inst = generate(&GeneratorConfig { density: 0.05, ..Default::default() }, 11);
+        for j in 0..inst.num_bundles() {
+            assert!(inst.total_coverage(j) > 0, "bundle {j} covers nothing");
+        }
+    }
+
+    #[test]
+    fn full_ones_is_always_feasible() {
+        let inst = generate(&GeneratorConfig::paper_class(250, 30), 5);
+        let all = vec![true; inst.num_bundles()];
+        assert!(inst.is_covering(&all));
+    }
+
+    #[test]
+    fn own_block_size_follows_fraction() {
+        let cfg = GeneratorConfig { own_fraction: 0.2, ..GeneratorConfig::paper_class(100, 5) };
+        let inst = generate(&cfg, 3);
+        assert_eq!(inst.num_own(), 20);
+    }
+}

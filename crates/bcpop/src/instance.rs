@@ -1,0 +1,409 @@
+//! The BCPOP instance model (Program 2 of the paper).
+
+use std::fmt;
+
+/// Errors raised by [`BcpopInstance::validate`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum InstanceError {
+    /// Dimension mismatch between fields.
+    Shape(String),
+    /// `n_own` exceeds the number of bundles.
+    OwnBlockTooLarge {
+        /// Requested own-block size.
+        own: usize,
+        /// Total bundle count.
+        bundles: usize,
+    },
+    /// Some service cannot be covered even by buying every bundle.
+    Uncoverable {
+        /// The uncoverable service index.
+        service: usize,
+        /// Units available across the whole market.
+        available: u64,
+        /// Units required.
+        required: u64,
+    },
+    /// A competitor bundle has a negative cost.
+    NegativeCost {
+        /// Offending bundle index.
+        bundle: usize,
+        /// Its cost.
+        cost: f64,
+    },
+    /// The price cap for the CSP's bundles is not positive.
+    BadPriceCap(f64),
+}
+
+impl fmt::Display for InstanceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InstanceError::Shape(msg) => write!(f, "shape error: {msg}"),
+            InstanceError::OwnBlockTooLarge { own, bundles } => {
+                write!(f, "own block {own} exceeds bundle count {bundles}")
+            }
+            InstanceError::Uncoverable { service, available, required } => write!(
+                f,
+                "service {service} requires {required} but the whole market offers {available}"
+            ),
+            InstanceError::NegativeCost { bundle, cost } => {
+                write!(f, "bundle {bundle} has negative cost {cost}")
+            }
+            InstanceError::BadPriceCap(v) => write!(f, "price cap {v} must be positive"),
+        }
+    }
+}
+
+impl std::error::Error for InstanceError {}
+
+/// A Bi-level Cloud Pricing instance.
+///
+/// The market sells `M = num_bundles` bundles over `N = num_services`
+/// services. The first `num_own` bundles belong to the CSP: their prices
+/// are the upper-level decision variables (in `[0, price_cap]` each);
+/// the remaining bundles carry fixed competitor costs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BcpopInstance {
+    num_services: usize,
+    num_bundles: usize,
+    num_own: usize,
+    /// Bundle-major coverage matrix: `q[j * N + k]` = units of service `k`
+    /// in bundle `j`.
+    q: Vec<u32>,
+    /// Service requirements `b^k`, length `N`.
+    b: Vec<u32>,
+    /// Fixed costs of competitor bundles (`j ≥ num_own`); the first
+    /// `num_own` entries are ignored.
+    competitor_costs: Vec<f64>,
+    /// Upper bound on each CSP bundle price.
+    price_cap: f64,
+    /// Cached per-bundle total coverage `Σ_k q_j^k`.
+    total_coverage: Vec<u64>,
+}
+
+impl BcpopInstance {
+    /// Assemble an instance from raw parts and validate it.
+    pub fn new(
+        num_services: usize,
+        num_bundles: usize,
+        num_own: usize,
+        q: Vec<u32>,
+        b: Vec<u32>,
+        mut competitor_costs: Vec<f64>,
+        price_cap: f64,
+    ) -> Result<Self, InstanceError> {
+        // The first `num_own` cost entries are semantically meaningless
+        // (those bundles are priced by the upper level); normalize them
+        // to zero so instance equality and serialization are canonical.
+        let normalize_upto = num_own.min(competitor_costs.len());
+        for c in competitor_costs.iter_mut().take(normalize_upto) {
+            *c = 0.0;
+        }
+        if q.len() != num_bundles * num_services {
+            return Err(InstanceError::Shape(format!(
+                "q has {} entries, expected {}",
+                q.len(),
+                num_bundles * num_services
+            )));
+        }
+        let total_coverage = (0..num_bundles)
+            .map(|j| {
+                q[j * num_services..(j + 1) * num_services]
+                    .iter()
+                    .map(|&v| v as u64)
+                    .sum()
+            })
+            .collect();
+        let inst = BcpopInstance {
+            num_services,
+            num_bundles,
+            num_own,
+            q,
+            b,
+            competitor_costs,
+            price_cap,
+            total_coverage,
+        };
+        inst.validate()?;
+        Ok(inst)
+    }
+
+    /// Check the structural invariants (shape, coverability, costs).
+    pub fn validate(&self) -> Result<(), InstanceError> {
+        if self.q.len() != self.num_bundles * self.num_services {
+            return Err(InstanceError::Shape(format!(
+                "q has {} entries, expected {}",
+                self.q.len(),
+                self.num_bundles * self.num_services
+            )));
+        }
+        if self.b.len() != self.num_services {
+            return Err(InstanceError::Shape(format!(
+                "b has {} entries, expected {}",
+                self.b.len(),
+                self.num_services
+            )));
+        }
+        if self.competitor_costs.len() != self.num_bundles {
+            return Err(InstanceError::Shape(format!(
+                "costs has {} entries, expected {}",
+                self.competitor_costs.len(),
+                self.num_bundles
+            )));
+        }
+        if self.num_own > self.num_bundles {
+            return Err(InstanceError::OwnBlockTooLarge {
+                own: self.num_own,
+                bundles: self.num_bundles,
+            });
+        }
+        if self.price_cap.is_nan() || self.price_cap <= 0.0 {
+            return Err(InstanceError::BadPriceCap(self.price_cap));
+        }
+        // Non-empty lower-level search space: buying everything must cover
+        // every requirement (the paper "ensured each modified instance has
+        // non-empty search space").
+        for k in 0..self.num_services {
+            let available: u64 =
+                (0..self.num_bundles).map(|j| self.coverage(j, k) as u64).sum();
+            if available < self.b[k] as u64 {
+                return Err(InstanceError::Uncoverable {
+                    service: k,
+                    available,
+                    required: self.b[k] as u64,
+                });
+            }
+        }
+        for j in self.num_own..self.num_bundles {
+            let c = self.competitor_costs[j];
+            if c < 0.0 || c.is_nan() {
+                return Err(InstanceError::NegativeCost { bundle: j, cost: c });
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of services `N` (covering constraints).
+    pub fn num_services(&self) -> usize {
+        self.num_services
+    }
+
+    /// Number of bundles `M` (columns).
+    pub fn num_bundles(&self) -> usize {
+        self.num_bundles
+    }
+
+    /// Number of CSP-owned bundles `L` (priced by the upper level).
+    pub fn num_own(&self) -> usize {
+        self.num_own
+    }
+
+    /// Units of service `k` in bundle `j` (`q_j^k`).
+    #[inline]
+    pub fn coverage(&self, bundle: usize, service: usize) -> u32 {
+        self.q[bundle * self.num_services + service]
+    }
+
+    /// The coverage row of bundle `j` (all services).
+    #[inline]
+    pub fn bundle_coverage(&self, bundle: usize) -> &[u32] {
+        &self.q[bundle * self.num_services..(bundle + 1) * self.num_services]
+    }
+
+    /// Total coverage `Σ_k q_j^k` of bundle `j` (cached).
+    #[inline]
+    pub fn total_coverage(&self, bundle: usize) -> u64 {
+        self.total_coverage[bundle]
+    }
+
+    /// Requirement `b^k` of service `k`.
+    #[inline]
+    pub fn requirement(&self, service: usize) -> u32 {
+        self.b[service]
+    }
+
+    /// All requirements.
+    pub fn requirements(&self) -> &[u32] {
+        &self.b
+    }
+
+    /// Per-bundle price cap for the CSP's bundles.
+    pub fn price_cap(&self) -> f64 {
+        self.price_cap
+    }
+
+    /// Fixed competitor cost of bundle `j ≥ num_own`.
+    ///
+    /// # Panics
+    /// Panics when `j < num_own` — the CSP's bundles have no fixed cost.
+    pub fn competitor_cost(&self, bundle: usize) -> f64 {
+        assert!(
+            bundle >= self.num_own,
+            "bundle {bundle} belongs to the CSP; its price is a decision variable"
+        );
+        self.competitor_costs[bundle]
+    }
+
+    /// Assemble the full lower-level cost vector for a given pricing of
+    /// the CSP's bundles: `costs[j] = prices[j]` for `j < L`, competitor
+    /// cost otherwise.
+    ///
+    /// # Panics
+    /// Panics if `prices.len() != num_own`.
+    pub fn costs_for(&self, prices: &[f64]) -> Vec<f64> {
+        assert_eq!(prices.len(), self.num_own, "pricing vector length mismatch");
+        let mut costs = self.competitor_costs.clone();
+        costs[..self.num_own].copy_from_slice(prices);
+        costs
+    }
+
+    /// Lower/upper bound vectors for the upper-level pricing box
+    /// `[0, price_cap]^L` — the GA operators need them.
+    pub fn price_bounds(&self) -> (Vec<f64>, Vec<f64>) {
+        (vec![0.0; self.num_own], vec![self.price_cap; self.num_own])
+    }
+
+    /// `true` if `chosen` covers every service requirement.
+    pub fn is_covering(&self, chosen: &[bool]) -> bool {
+        debug_assert_eq!(chosen.len(), self.num_bundles);
+        let mut remaining: Vec<i64> = self.b.iter().map(|&v| v as i64).collect();
+        for (j, &sel) in chosen.iter().enumerate() {
+            if sel {
+                for (k, rem) in remaining.iter_mut().enumerate() {
+                    *rem -= self.coverage(j, k) as i64;
+                }
+            }
+        }
+        remaining.iter().all(|&r| r <= 0)
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_fixtures {
+    use super::*;
+
+    /// A tiny hand-checkable instance: 2 services, 4 bundles, first 2 owned.
+    ///
+    /// ```text
+    /// bundle:      0 (own)  1 (own)  2 (comp, cost 4)  3 (comp, cost 3)
+    /// service 0:   2        0        1                 1
+    /// service 1:   0        2        1                 1
+    /// b = [2, 2]
+    /// ```
+    pub fn tiny() -> BcpopInstance {
+        BcpopInstance::new(
+            2,
+            4,
+            2,
+            vec![2, 0, 0, 2, 1, 1, 1, 1],
+            vec![2, 2],
+            vec![0.0, 0.0, 4.0, 3.0],
+            10.0,
+        )
+        .unwrap()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::test_fixtures::tiny;
+    use super::*;
+
+    #[test]
+    fn accessors_match_layout() {
+        let inst = tiny();
+        assert_eq!(inst.num_services(), 2);
+        assert_eq!(inst.num_bundles(), 4);
+        assert_eq!(inst.num_own(), 2);
+        assert_eq!(inst.coverage(0, 0), 2);
+        assert_eq!(inst.coverage(0, 1), 0);
+        assert_eq!(inst.coverage(2, 1), 1);
+        assert_eq!(inst.bundle_coverage(3), &[1, 1]);
+        assert_eq!(inst.total_coverage(0), 2);
+        assert_eq!(inst.total_coverage(2), 2);
+        assert_eq!(inst.requirement(1), 2);
+    }
+
+    #[test]
+    fn costs_for_merges_prices_and_competitors() {
+        let inst = tiny();
+        let costs = inst.costs_for(&[1.5, 2.5]);
+        assert_eq!(costs, vec![1.5, 2.5, 4.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn costs_for_wrong_len_panics() {
+        tiny().costs_for(&[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "belongs to the CSP")]
+    fn competitor_cost_of_own_bundle_panics() {
+        tiny().competitor_cost(0);
+    }
+
+    #[test]
+    fn is_covering_checks_all_services() {
+        let inst = tiny();
+        assert!(inst.is_covering(&[true, true, false, false]));
+        assert!(!inst.is_covering(&[true, false, false, false]));
+        assert!(inst.is_covering(&[false, false, true, true]));
+        assert!(!inst.is_covering(&[false, false, true, false]));
+        assert!(inst.is_covering(&[true, true, true, true]));
+    }
+
+    #[test]
+    fn rejects_uncoverable_service() {
+        let err = BcpopInstance::new(
+            1,
+            2,
+            1,
+            vec![1, 1],
+            vec![5],
+            vec![0.0, 1.0],
+            10.0,
+        )
+        .unwrap_err();
+        assert!(matches!(err, InstanceError::Uncoverable { service: 0, available: 2, required: 5 }));
+    }
+
+    #[test]
+    fn rejects_shape_mismatches() {
+        assert!(matches!(
+            BcpopInstance::new(2, 2, 1, vec![1, 1, 1], vec![1, 1], vec![0.0, 1.0], 10.0),
+            Err(InstanceError::Shape(_))
+        ));
+        assert!(matches!(
+            BcpopInstance::new(2, 2, 1, vec![1, 1, 1, 1], vec![1], vec![0.0, 1.0], 10.0),
+            Err(InstanceError::Shape(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_negative_competitor_cost() {
+        let err =
+            BcpopInstance::new(1, 2, 1, vec![2, 2], vec![1], vec![0.0, -3.0], 10.0).unwrap_err();
+        assert!(matches!(err, InstanceError::NegativeCost { bundle: 1, .. }));
+    }
+
+    #[test]
+    fn rejects_bad_price_cap() {
+        let err =
+            BcpopInstance::new(1, 2, 1, vec![2, 2], vec![1], vec![0.0, 3.0], 0.0).unwrap_err();
+        assert!(matches!(err, InstanceError::BadPriceCap(_)));
+    }
+
+    #[test]
+    fn rejects_own_block_too_large() {
+        let err =
+            BcpopInstance::new(1, 2, 3, vec![2, 2], vec![1], vec![0.0, 3.0], 1.0).unwrap_err();
+        assert!(matches!(err, InstanceError::OwnBlockTooLarge { own: 3, bundles: 2 }));
+    }
+
+    #[test]
+    fn price_bounds_are_box() {
+        let (lo, hi) = tiny().price_bounds();
+        assert_eq!(lo, vec![0.0, 0.0]);
+        assert_eq!(hi, vec![10.0, 10.0]);
+    }
+}

@@ -1,0 +1,211 @@
+//! Plain-text instance serialization.
+//!
+//! A deliberately simple line-oriented format so instances used in a
+//! paper run can be archived and re-loaded bit-exactly (costs are
+//! printed with round-trip `f64` precision):
+//!
+//! ```text
+//! bcpop 1                 # magic + format version
+//! services  <N>
+//! bundles   <M>
+//! own       <L>
+//! price_cap <float>
+//! b    <N ints>
+//! cost <M floats>         # first L entries are placeholders (0)
+//! q    <M rows of N ints> # bundle-major
+//! ```
+
+use crate::instance::{BcpopInstance, InstanceError};
+use std::fmt;
+
+/// Errors from [`read_instance`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum IoError {
+    /// Bad magic line / unsupported version.
+    BadHeader(String),
+    /// A field line is missing or malformed.
+    BadField {
+        /// 1-based line number (0 when the line is missing entirely).
+        line: usize,
+        /// Human-readable description.
+        detail: String,
+    },
+    /// The decoded parts do not form a valid instance.
+    Invalid(InstanceError),
+}
+
+impl fmt::Display for IoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IoError::BadHeader(h) => write!(f, "bad header {h:?} (expected \"bcpop 1\")"),
+            IoError::BadField { line, detail } => write!(f, "line {line}: {detail}"),
+            IoError::Invalid(e) => write!(f, "decoded instance invalid: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+/// Serialize an instance to the text format.
+pub fn write_instance(inst: &BcpopInstance) -> String {
+    let n = inst.num_services();
+    let m = inst.num_bundles();
+    let mut out = String::new();
+    out.push_str("bcpop 1\n");
+    out.push_str(&format!("services {n}\n"));
+    out.push_str(&format!("bundles {m}\n"));
+    out.push_str(&format!("own {}\n", inst.num_own()));
+    out.push_str(&format!("price_cap {:?}\n", inst.price_cap()));
+    out.push('b');
+    for k in 0..n {
+        out.push_str(&format!(" {}", inst.requirement(k)));
+    }
+    out.push_str("\ncost");
+    for j in 0..m {
+        if j < inst.num_own() {
+            out.push_str(" 0");
+        } else {
+            out.push_str(&format!(" {:?}", inst.competitor_cost(j)));
+        }
+    }
+    out.push('\n');
+    for j in 0..m {
+        out.push('q');
+        for &v in inst.bundle_coverage(j) {
+            out.push_str(&format!(" {v}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Parse the text format back into a validated instance.
+pub fn read_instance(text: &str) -> Result<BcpopInstance, IoError> {
+    let mut lines = text.lines().enumerate().filter(|(_, l)| !l.trim().is_empty());
+    let (_, header) = lines
+        .next()
+        .ok_or_else(|| IoError::BadHeader("<empty>".into()))?;
+    if header.trim() != "bcpop 1" {
+        return Err(IoError::BadHeader(header.trim().to_string()));
+    }
+
+    fn field<'a>(
+        item: Option<(usize, &'a str)>,
+        key: &str,
+    ) -> Result<(usize, Vec<&'a str>), IoError> {
+        let (lineno, line) = item.ok_or(IoError::BadField {
+            line: 0,
+            detail: format!("missing field {key:?}"),
+        })?;
+        let mut parts = line.split_whitespace();
+        let got = parts.next().unwrap_or("");
+        if got != key {
+            return Err(IoError::BadField {
+                line: lineno + 1,
+                detail: format!("expected field {key:?}, found {got:?}"),
+            });
+        }
+        Ok((lineno + 1, parts.collect()))
+    }
+
+    fn one<T: std::str::FromStr>(line: usize, vals: &[&str]) -> Result<T, IoError> {
+        vals.first()
+            .and_then(|v| v.parse::<T>().ok())
+            .ok_or(IoError::BadField { line, detail: "expected one value".into() })
+    }
+
+    let (l, v) = field(lines.next(), "services")?;
+    let n: usize = one(l, &v)?;
+    let (l, v) = field(lines.next(), "bundles")?;
+    let m: usize = one(l, &v)?;
+    let (l, v) = field(lines.next(), "own")?;
+    let own: usize = one(l, &v)?;
+    let (l, v) = field(lines.next(), "price_cap")?;
+    let price_cap: f64 = one(l, &v)?;
+
+    let (l, v) = field(lines.next(), "b")?;
+    if v.len() != n {
+        return Err(IoError::BadField { line: l, detail: format!("expected {n} requirements") });
+    }
+    let b: Vec<u32> = v
+        .iter()
+        .map(|s| s.parse::<u32>())
+        .collect::<Result<_, _>>()
+        .map_err(|e| IoError::BadField { line: l, detail: e.to_string() })?;
+
+    let (l, v) = field(lines.next(), "cost")?;
+    if v.len() != m {
+        return Err(IoError::BadField { line: l, detail: format!("expected {m} costs") });
+    }
+    let costs: Vec<f64> = v
+        .iter()
+        .map(|s| s.parse::<f64>())
+        .collect::<Result<_, _>>()
+        .map_err(|e| IoError::BadField { line: l, detail: e.to_string() })?;
+
+    let mut q = Vec::with_capacity(m * n);
+    for _ in 0..m {
+        let (l, v) = field(lines.next(), "q")?;
+        if v.len() != n {
+            return Err(IoError::BadField { line: l, detail: format!("expected {n} coverages") });
+        }
+        for s in v {
+            q.push(
+                s.parse::<u32>()
+                    .map_err(|e| IoError::BadField { line: l, detail: e.to_string() })?,
+            );
+        }
+    }
+
+    BcpopInstance::new(n, m, own, q, b, costs, price_cap).map_err(IoError::Invalid)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generate, GeneratorConfig};
+
+    #[test]
+    fn roundtrip_generated_instance() {
+        let inst = generate(&GeneratorConfig::paper_class(100, 10), 42);
+        let text = write_instance(&inst);
+        let back = read_instance(&text).unwrap();
+        assert_eq!(back, inst);
+    }
+
+    #[test]
+    fn roundtrip_preserves_float_costs_exactly() {
+        let inst = generate(&GeneratorConfig { cost_noise: 0.777, ..Default::default() }, 7);
+        let back = read_instance(&write_instance(&inst)).unwrap();
+        for j in inst.num_own()..inst.num_bundles() {
+            assert_eq!(back.competitor_cost(j).to_bits(), inst.competitor_cost(j).to_bits());
+        }
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        assert!(matches!(read_instance("bcpop 2\n"), Err(IoError::BadHeader(_))));
+        assert!(matches!(read_instance(""), Err(IoError::BadHeader(_))));
+    }
+
+    #[test]
+    fn rejects_wrong_field_order() {
+        let err = read_instance("bcpop 1\nbundles 2\n").unwrap_err();
+        assert!(matches!(err, IoError::BadField { .. }));
+    }
+
+    #[test]
+    fn rejects_truncated_matrix() {
+        let inst = generate(&GeneratorConfig { num_bundles: 4, num_services: 2, ..Default::default() }, 1);
+        let text = write_instance(&inst);
+        let truncated: String = text.lines().take(8).collect::<Vec<_>>().join("\n");
+        assert!(read_instance(&truncated).is_err());
+    }
+
+    #[test]
+    fn rejects_invalid_decoded_instance() {
+        // Valid syntax, but service 0 cannot be covered.
+        let text = "bcpop 1\nservices 1\nbundles 1\nown 1\nprice_cap 5.0\nb 10\ncost 0\nq 1\n";
+        assert!(matches!(read_instance(text), Err(IoError::Invalid(_))));
+    }
+}

@@ -1,0 +1,57 @@
+#![warn(missing_docs)]
+
+//! # bico-bcpop — the Bi-level Cloud Pricing Optimization Problem
+//!
+//! The application case of the CARBON paper (§IV.B, Program 2):
+//!
+//! * a Cloud Service Provider (CSP, the **upper level**) prices its `L`
+//!   bundles to maximize revenue `F = Σ_{j≤L} c_j x_j`;
+//! * a rational Cloud Service Customer (CSC, the **lower level**) buys a
+//!   set of bundles from the whole market of `M` bundles that covers its
+//!   service requirements `Σ_j q_j^k x_j ≥ b^k` at minimum total cost
+//!   `f = Σ_j c_j x_j`.
+//!
+//! The lower level is an NP-hard covering problem with non-binary
+//! coefficients; the paper solves it heuristically with an evolved greedy
+//! scoring function and measures quality by the %-gap to the LP
+//! relaxation bound (Eq. 1).
+//!
+//! This crate provides:
+//!
+//! * [`BcpopInstance`] — the instance model (services × bundles matrix,
+//!   requirements, competitor costs, the CSP's own bundle block);
+//! * [`generate`](generator::generate) — a seeded synthetic generator
+//!   reproducing the structure of the paper's modified OR-library MKP
+//!   instances (9 classes: `n ∈ {100,250,500} × m ∈ {5,10,30}`);
+//! * [`orlib`] — a parser for the OR-library `mknap` format plus the
+//!   paper's `≤ → ≥` conversion, for anyone with the original files;
+//! * [`RelaxationSolver`] — the lower-level LP relaxation (via
+//!   `bico-lp`) yielding `LB(x)`, duals `d_k` and relaxed primal `x̄_j`;
+//! * [`greedy_cover`] — the greedy covering heuristic parameterized by a
+//!   [`Scorer`] (the GP phenotype), with redundancy elimination;
+//! * [`scoring`] — the Table I terminal binding ([`GpScorer`]) and
+//!   handcrafted baseline scorers;
+//! * [`gap_percent`] — Eq. 1, plus exact enumeration for small instances
+//!   (test oracle).
+
+pub mod bilevel;
+pub mod exact;
+pub mod generator;
+pub mod greedy;
+pub mod instance;
+pub mod io;
+pub mod orlib;
+pub mod relaxation;
+pub mod scoring;
+
+pub use bilevel::{evaluate_pair, ll_cost, ul_revenue, BilevelEval};
+pub use exact::exact_ll_optimum;
+pub use generator::{generate, GeneratorConfig};
+pub use greedy::{greedy_cover, CoverOutcome};
+pub use instance::{BcpopInstance, InstanceError};
+pub use io::{read_instance, write_instance};
+pub use relaxation::{gap_percent, Relaxation, RelaxationSolver};
+pub use scoring::{
+    bcpop_primitives, BundleFeatures, CostPerCoverageScorer, CostScorer, DualAdjustedScorer,
+    GpScorer, Scorer, WeightScorer, NUM_TERMINALS,
+};

@@ -1,0 +1,280 @@
+//! OR-library `mknap` parser and the paper's `≤ → ≥` conversion.
+//!
+//! §V.A: *"we turned our attention to the OR-library … The closest
+//! problem with such non-binary matrix coefficients and binary decision
+//! variables is the Multi-dimensional Knapsack Problem (MKP). We
+//! therefore modified the MKP instances found at the OR-library such
+//! that all ≤-constraints become ≥-constraints. We also ensure that each
+//! modified instance has non-empty search space."*
+//!
+//! The `mknap1`/`mknap2` file format is a whitespace-separated number
+//! stream:
+//!
+//! ```text
+//! K                      number of problems in the file
+//! n m opt                per problem: columns, rows, known optimum (0 if unknown)
+//! p_1 … p_n              profits
+//! r_11 … r_1n            m rows of weights
+//! …
+//! b_1 … b_m              capacities
+//! ```
+
+use crate::instance::{BcpopInstance, InstanceError};
+use std::fmt;
+
+/// One parsed MKP instance (the original ≤ form).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MkpInstance {
+    /// Number of items (columns).
+    pub n: usize,
+    /// Number of knapsack constraints (rows).
+    pub m: usize,
+    /// Known optimal value recorded in the file (0 when unknown).
+    pub known_optimum: f64,
+    /// Item profits.
+    pub profits: Vec<f64>,
+    /// Row-major weights: `weights[i * n + j]`.
+    pub weights: Vec<f64>,
+    /// Row capacities.
+    pub capacities: Vec<f64>,
+}
+
+/// Parse errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParseError {
+    /// A token could not be read as a number.
+    BadToken {
+        /// 1-based token index in the stream.
+        index: usize,
+        /// The offending token.
+        token: String,
+    },
+    /// The stream ended before the declared data was complete.
+    UnexpectedEof {
+        /// What was being read when the stream ended.
+        expected: &'static str,
+    },
+    /// A declared dimension is zero or absurd.
+    BadDimension {
+        /// Which dimension.
+        what: &'static str,
+        /// The declared value.
+        value: i64,
+    },
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::BadToken { index, token } => {
+                write!(f, "token #{index} ({token:?}) is not a number")
+            }
+            ParseError::UnexpectedEof { expected } => {
+                write!(f, "file ended while reading {expected}")
+            }
+            ParseError::BadDimension { what, value } => {
+                write!(f, "bad {what}: {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct Tokens<'a> {
+    iter: std::str::SplitWhitespace<'a>,
+    index: usize,
+}
+
+impl<'a> Tokens<'a> {
+    fn new(text: &'a str) -> Self {
+        Tokens { iter: text.split_whitespace(), index: 0 }
+    }
+
+    fn next_f64(&mut self, expected: &'static str) -> Result<f64, ParseError> {
+        let tok = self.iter.next().ok_or(ParseError::UnexpectedEof { expected })?;
+        self.index += 1;
+        tok.parse::<f64>()
+            .map_err(|_| ParseError::BadToken { index: self.index, token: tok.to_string() })
+    }
+
+    fn next_usize(&mut self, expected: &'static str) -> Result<usize, ParseError> {
+        let v = self.next_f64(expected)?;
+        let i = v as i64;
+        if i < 0 || v.fract() != 0.0 {
+            return Err(ParseError::BadDimension { what: expected, value: i });
+        }
+        Ok(i as usize)
+    }
+}
+
+/// Parse every problem in an OR-library `mknap` file.
+pub fn parse_mknap(text: &str) -> Result<Vec<MkpInstance>, ParseError> {
+    let mut t = Tokens::new(text);
+    let count = t.next_usize("problem count")?;
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        let n = t.next_usize("n (columns)")?;
+        let m = t.next_usize("m (rows)")?;
+        if n == 0 {
+            return Err(ParseError::BadDimension { what: "n (columns)", value: 0 });
+        }
+        if m == 0 {
+            return Err(ParseError::BadDimension { what: "m (rows)", value: 0 });
+        }
+        let known_optimum = t.next_f64("optimum")?;
+        let mut profits = Vec::with_capacity(n);
+        for _ in 0..n {
+            profits.push(t.next_f64("profit")?);
+        }
+        let mut weights = Vec::with_capacity(m * n);
+        for _ in 0..m * n {
+            weights.push(t.next_f64("weight")?);
+        }
+        let mut capacities = Vec::with_capacity(m);
+        for _ in 0..m {
+            capacities.push(t.next_f64("capacity")?);
+        }
+        out.push(MkpInstance { n, m, known_optimum, profits, weights, capacities });
+    }
+    Ok(out)
+}
+
+impl MkpInstance {
+    /// Apply the paper's conversion: each knapsack row
+    /// `Σ r_ij x_j ≤ b_i` becomes a covering row `Σ r_ij x_j ≥ b_i'`
+    /// with `b_i' = min(b_i, Σ_j r_ij)` so the search space is non-empty;
+    /// item profits become bundle costs, and the first
+    /// `ceil(own_fraction·n)` bundles are handed to the CSP.
+    pub fn into_covering(self, own_fraction: f64) -> Result<BcpopInstance, InstanceError> {
+        let n = self.n; // bundles
+        let m = self.m; // services
+        let own = ((n as f64 * own_fraction).ceil() as usize).clamp(1, n);
+        // Transpose row-major weights[i*n + j] into bundle-major q[j*m + i].
+        let mut q = vec![0u32; n * m];
+        for i in 0..m {
+            for j in 0..n {
+                q[j * m + i] = self.weights[i * n + j].max(0.0).round() as u32;
+            }
+        }
+        let b: Vec<u32> = (0..m)
+            .map(|i| {
+                let row_sum: f64 = (0..n).map(|j| self.weights[i * n + j].max(0.0)).sum();
+                (self.capacities[i].min(row_sum).max(1.0)).round() as u32
+            })
+            .collect();
+        let costs: Vec<f64> = self.profits.iter().map(|&p| p.max(0.0)).collect();
+        let price_cap =
+            costs[own.min(costs.len())..].iter().fold(0.0f64, |a, &c| a.max(c)).max(1.0) * 2.0;
+        BcpopInstance::new(m, n, own, q, b, costs, price_cap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A two-problem mknap file, hand-written.
+    const SAMPLE: &str = "
+        2
+        3 2 19
+        10 6 4
+        2 3 1
+        4 1 2
+        5 6
+        2 1 0
+        7 3
+        1 2
+        2
+    ";
+
+    #[test]
+    fn parses_multiple_problems() {
+        let v = parse_mknap(SAMPLE).unwrap();
+        assert_eq!(v.len(), 2);
+        assert_eq!(v[0].n, 3);
+        assert_eq!(v[0].m, 2);
+        assert_eq!(v[0].known_optimum, 19.0);
+        assert_eq!(v[0].profits, vec![10.0, 6.0, 4.0]);
+        assert_eq!(v[0].weights, vec![2.0, 3.0, 1.0, 4.0, 1.0, 2.0]);
+        assert_eq!(v[0].capacities, vec![5.0, 6.0]);
+        assert_eq!(v[1].n, 2);
+        assert_eq!(v[1].profits, vec![7.0, 3.0]);
+    }
+
+    #[test]
+    fn eof_mid_problem_is_reported() {
+        let err = parse_mknap("1\n3 2 0\n1 2").unwrap_err();
+        assert!(matches!(err, ParseError::UnexpectedEof { .. }));
+    }
+
+    #[test]
+    fn bad_token_is_reported_with_position() {
+        let err = parse_mknap("1\n3 2 0\n1 x 3").unwrap_err();
+        assert_eq!(err, ParseError::BadToken { index: 6, token: "x".into() });
+    }
+
+    #[test]
+    fn zero_dimension_rejected() {
+        let err = parse_mknap("1\n0 2 0").unwrap_err();
+        assert!(matches!(err, ParseError::BadDimension { what: "n (columns)", .. }));
+    }
+
+    #[test]
+    fn conversion_transposes_and_clamps() {
+        let mkp = parse_mknap(SAMPLE).unwrap().swap_remove(0);
+        let inst = mkp.into_covering(0.34).unwrap();
+        assert_eq!(inst.num_bundles(), 3);
+        assert_eq!(inst.num_services(), 2);
+        assert_eq!(inst.num_own(), 2); // ceil(0.34 * 3)
+        // weights row 0 = [2,3,1] → coverage of service 0 per bundle
+        assert_eq!(inst.coverage(0, 0), 2);
+        assert_eq!(inst.coverage(1, 0), 3);
+        assert_eq!(inst.coverage(2, 0), 1);
+        // b' = min(capacity, row sum): min(5, 6)=5, min(6, 7)=6
+        assert_eq!(inst.requirement(0), 5);
+        assert_eq!(inst.requirement(1), 6);
+        // All-ones must be feasible (non-empty search space guarantee).
+        assert!(inst.is_covering(&vec![true; 3]));
+    }
+
+    #[test]
+    fn conversion_clamps_oversized_capacity() {
+        // Capacity 100 exceeds the row sum 6 → requirement clamps to 6.
+        let mkp = MkpInstance {
+            n: 2,
+            m: 1,
+            known_optimum: 0.0,
+            profits: vec![1.0, 2.0],
+            weights: vec![2.0, 4.0],
+            capacities: vec![100.0],
+        };
+        let inst = mkp.into_covering(0.5).unwrap();
+        assert_eq!(inst.requirement(0), 6);
+        assert!(inst.is_covering(&vec![true; 2]));
+    }
+
+    #[test]
+    fn roundtrip_through_display_format() {
+        // Serialize an instance back to the mknap format and re-parse.
+        let orig = parse_mknap(SAMPLE).unwrap();
+        let mut text = format!("{}\n", orig.len());
+        for p in &orig {
+            text.push_str(&format!("{} {} {}\n", p.n, p.m, p.known_optimum));
+            for v in &p.profits {
+                text.push_str(&format!("{v} "));
+            }
+            text.push('\n');
+            for v in &p.weights {
+                text.push_str(&format!("{v} "));
+            }
+            text.push('\n');
+            for v in &p.capacities {
+                text.push_str(&format!("{v} "));
+            }
+            text.push('\n');
+        }
+        let reparsed = parse_mknap(&text).unwrap();
+        assert_eq!(orig, reparsed);
+    }
+}

@@ -1,0 +1,174 @@
+//! Lower-level LP relaxation: `LB(x)`, duals and relaxed primal.
+//!
+//! The paper's Eq. 1 measures heuristic quality as
+//! `%-gap(x) = 100 · (A(x) − LB(x)) / LB(x)` where `LB(x)` is the
+//! continuous-relaxation bound of the lower-level covering problem under
+//! pricing `x`. The duals `d_k` and relaxed primal `x̄_j` additionally
+//! feed the GP terminal set (Table I) — the paper notes the relaxation
+//! "will be in any case computed since we require it to compute the
+//! lower-level gap".
+
+use crate::instance::BcpopInstance;
+use bico_lp::{LpProblem, LpStatus, Relation};
+
+/// The relaxation artifacts for one pricing.
+#[derive(Debug, Clone)]
+pub struct Relaxation {
+    /// Relaxation optimum `LB(x)` — the gap denominator.
+    pub lower_bound: f64,
+    /// Covering-constraint duals `d_k` (one per service, ≥ 0).
+    pub duals: Vec<f64>,
+    /// Relaxed primal `x̄_j ∈ [0, 1]` (one per bundle).
+    pub xbar: Vec<f64>,
+}
+
+/// Reusable relaxation solver: the constraint structure of an instance
+/// is fixed; only the objective (prices of the CSP block) changes per
+/// upper-level decision, so rows are assembled once.
+///
+/// ```
+/// use bico_bcpop::{generate, GeneratorConfig, RelaxationSolver};
+///
+/// let inst = generate(&GeneratorConfig::paper_class(100, 5), 1);
+/// let solver = RelaxationSolver::new(&inst);
+/// let relax = solver.solve(&inst.costs_for(&vec![10.0; inst.num_own()])).unwrap();
+/// assert!(relax.lower_bound > 0.0);
+/// assert_eq!(relax.duals.len(), inst.num_services());
+/// assert_eq!(relax.xbar.len(), inst.num_bundles());
+/// ```
+#[derive(Debug, Clone)]
+pub struct RelaxationSolver {
+    template: LpProblem,
+}
+
+impl RelaxationSolver {
+    /// Pre-assemble the covering rows of `inst`.
+    pub fn new(inst: &BcpopInstance) -> Self {
+        let m = inst.num_bundles();
+        let n = inst.num_services();
+        let mut p = LpProblem::minimize(m);
+        for j in 0..m {
+            p.set_bounds(j, 0.0, 1.0);
+        }
+        for k in 0..n {
+            let row: Vec<(usize, f64)> = (0..m)
+                .filter_map(|j| {
+                    let v = inst.coverage(j, k);
+                    (v > 0).then_some((j, v as f64))
+                })
+                .collect();
+            p.add_constraint(&row, Relation::Ge, inst.requirement(k) as f64);
+        }
+        RelaxationSolver { template: p }
+    }
+
+    /// Solve the relaxation for a full cost vector (see
+    /// [`BcpopInstance::costs_for`]).
+    ///
+    /// Returns `None` only if the LP solver fails, which for a validated
+    /// instance (coverable requirements, finite costs) cannot happen.
+    pub fn solve(&self, costs: &[f64]) -> Option<Relaxation> {
+        let mut p = self.template.clone();
+        p.set_objective(costs);
+        let sol = p.solve().ok()?;
+        if sol.status != LpStatus::Optimal {
+            return None;
+        }
+        Some(Relaxation { lower_bound: sol.objective, duals: sol.duals, xbar: sol.x })
+    }
+}
+
+/// Eq. 1 of the paper: `%-gap = 100 · (value − lb) / lb`.
+///
+/// Degenerate denominators (|lb| ≈ 0, possible when all prices are zero)
+/// fall back to the absolute difference so the measure stays finite and
+/// monotone.
+pub fn gap_percent(value: f64, lb: f64) -> f64 {
+    const EPS: f64 = 1e-9;
+    if lb.abs() < EPS {
+        100.0 * (value - lb).max(0.0)
+    } else {
+        100.0 * (value - lb) / lb
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::test_fixtures::tiny;
+    use crate::{generate, GeneratorConfig};
+
+    #[test]
+    fn tiny_relaxation_is_exact_here() {
+        // With prices (1.5, 2.5): own bundles cover each service fully at
+        // unit costs 0.75/1.25 per unit of requirement — LP picks them.
+        let inst = tiny();
+        let solver = RelaxationSolver::new(&inst);
+        let relax = solver.solve(&inst.costs_for(&[1.5, 2.5])).unwrap();
+        assert!((relax.lower_bound - 4.0).abs() < 1e-8);
+        assert_eq!(relax.xbar.len(), 4);
+        assert_eq!(relax.duals.len(), 2);
+        assert!((relax.xbar[0] - 1.0).abs() < 1e-8);
+        assert!((relax.xbar[1] - 1.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn expensive_own_bundles_are_fractionally_ignored() {
+        let inst = tiny();
+        let solver = RelaxationSolver::new(&inst);
+        // Own bundles cost 9 each; competitors (cost 4 and 3, covering
+        // (1,1) each) are cheaper per unit.
+        let relax = solver.solve(&inst.costs_for(&[9.0, 9.0])).unwrap();
+        assert!(relax.lower_bound < 9.0);
+        assert!(relax.xbar[0] < 0.5);
+    }
+
+    #[test]
+    fn duals_are_nonnegative_on_generated_instances() {
+        let inst = generate(&GeneratorConfig::paper_class(100, 10), 3);
+        let solver = RelaxationSolver::new(&inst);
+        let prices = vec![50.0; inst.num_own()];
+        let relax = solver.solve(&inst.costs_for(&prices)).unwrap();
+        assert!(relax.lower_bound > 0.0);
+        for &d in &relax.duals {
+            assert!(d >= -1e-9, "negative covering dual {d}");
+        }
+        for &x in &relax.xbar {
+            assert!((-1e-9..=1.0 + 1e-9).contains(&x));
+        }
+    }
+
+    #[test]
+    fn lower_prices_lower_the_bound() {
+        let inst = generate(&GeneratorConfig::paper_class(100, 5), 4);
+        let solver = RelaxationSolver::new(&inst);
+        let cheap = solver.solve(&inst.costs_for(&vec![1.0; inst.num_own()])).unwrap();
+        let dear = solver.solve(&inst.costs_for(&vec![150.0; inst.num_own()])).unwrap();
+        assert!(cheap.lower_bound <= dear.lower_bound + 1e-9);
+    }
+
+    #[test]
+    fn gap_percent_basic() {
+        assert!((gap_percent(110.0, 100.0) - 10.0).abs() < 1e-12);
+        assert_eq!(gap_percent(100.0, 100.0), 0.0);
+    }
+
+    #[test]
+    fn gap_percent_degenerate_lb() {
+        let g = gap_percent(3.0, 0.0);
+        assert!(g.is_finite());
+        assert!(g > 0.0);
+        assert_eq!(gap_percent(0.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn relaxation_solver_is_reusable() {
+        let inst = tiny();
+        let solver = RelaxationSolver::new(&inst);
+        let a = solver.solve(&inst.costs_for(&[1.0, 1.0])).unwrap();
+        let b = solver.solve(&inst.costs_for(&[1.0, 1.0])).unwrap();
+        assert_eq!(a.lower_bound, b.lower_bound);
+        let c = solver.solve(&inst.costs_for(&[8.0, 8.0])).unwrap();
+        assert!(c.lower_bound > a.lower_bound);
+    }
+}

@@ -1,0 +1,306 @@
+//! Bundle scoring: the GP terminal binding (Table I) and handcrafted
+//! baseline scorers.
+//!
+//! A scoring function maps a candidate bundle, in the current greedy
+//! state, to a scalar score; the greedy buys the lowest-scored candidate
+//! each step. Table I's terminals are `k`-indexed quantities
+//! (`q_j^k`, `b^k`, `d_k`); a scalar scoring tree necessarily reduces
+//! over `k`, so we expose the canonical reductions (documented in
+//! DESIGN.md §2) as six scalar features per bundle.
+
+use crate::instance::BcpopInstance;
+use crate::relaxation::Relaxation;
+use bico_gp::{Evaluator, Expr, PrimitiveSet};
+
+/// Number of GP terminals bound by [`bcpop_primitives`].
+pub const NUM_TERMINALS: usize = 6;
+
+/// The per-bundle features visible to a scoring function.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BundleFeatures {
+    /// `c_j`: cost/price of the bundle under the current pricing.
+    pub cost: f64,
+    /// `Σ_k q_j^k`: total coverage of the bundle.
+    pub total_coverage: f64,
+    /// `Σ_k min(q_j^k, b̂^k)`: useful coverage against the *residual*
+    /// requirements `b̂` of the current greedy state.
+    pub residual_coverage: f64,
+    /// `Σ_k b̂^k`: total remaining requirement.
+    pub residual_demand: f64,
+    /// `Σ_k d_k q_j^k`: LP-dual-weighted coverage (Table I's `d_k`).
+    pub dual_coverage: f64,
+    /// `x̄_j`: the bundle's value in the relaxed LP optimum.
+    pub xbar: f64,
+}
+
+impl BundleFeatures {
+    /// Order matches the terminal registration in [`bcpop_primitives`].
+    #[inline]
+    pub fn as_array(&self) -> [f64; NUM_TERMINALS] {
+        [
+            self.cost,
+            self.total_coverage,
+            self.residual_coverage,
+            self.residual_demand,
+            self.dual_coverage,
+            self.xbar,
+        ]
+    }
+}
+
+/// Build the BCPOP primitive set: Table I operators
+/// (`+ - * % mod`) and the six feature terminals, with small ephemeral
+/// constants enabled.
+///
+/// Terminal order (= feature order): `c_j`, `q_j`, `q_res`, `b_res`,
+/// `d_q_j`, `x_bar_j`.
+pub fn bcpop_primitives() -> PrimitiveSet {
+    let mut ps = PrimitiveSet::arithmetic();
+    ps.add_terminal("c_j");
+    ps.add_terminal("q_j");
+    ps.add_terminal("q_res");
+    ps.add_terminal("b_res");
+    ps.add_terminal("d_q_j");
+    ps.add_terminal("x_bar_j");
+    ps.set_const_range(-1.0, 1.0);
+    ps
+}
+
+/// A bundle-scoring strategy (the phenotype slot of CARBON's predator
+/// population). Lower scores are bought first.
+pub trait Scorer {
+    /// Score one candidate bundle.
+    fn score(&mut self, features: &BundleFeatures) -> f64;
+}
+
+impl<S: Scorer + ?Sized> Scorer for &mut S {
+    fn score(&mut self, features: &BundleFeatures) -> f64 {
+        (**self).score(features)
+    }
+}
+
+/// Evolved scorer: a GP expression over the Table I terminals.
+pub struct GpScorer<'a> {
+    expr: &'a Expr,
+    ps: &'a PrimitiveSet,
+    evaluator: Evaluator,
+}
+
+impl<'a> GpScorer<'a> {
+    /// Bind a GP expression (over [`bcpop_primitives`]) as a scorer.
+    pub fn new(expr: &'a Expr, ps: &'a PrimitiveSet) -> Self {
+        GpScorer { expr, ps, evaluator: Evaluator::new() }
+    }
+}
+
+impl Scorer for GpScorer<'_> {
+    fn score(&mut self, features: &BundleFeatures) -> f64 {
+        self.evaluator.eval(self.expr, self.ps, &features.as_array())
+    }
+}
+
+/// Baseline: buy the cheapest bundle first.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CostScorer;
+
+impl Scorer for CostScorer {
+    fn score(&mut self, f: &BundleFeatures) -> f64 {
+        f.cost
+    }
+}
+
+/// Baseline: classic covering greedy — cost per unit of *useful*
+/// coverage.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CostPerCoverageScorer;
+
+impl Scorer for CostPerCoverageScorer {
+    fn score(&mut self, f: &BundleFeatures) -> f64 {
+        if f.residual_coverage <= 0.0 {
+            f64::INFINITY
+        } else {
+            f.cost / f.residual_coverage
+        }
+    }
+}
+
+/// Baseline: LP-guided greedy — reduced-cost-like score
+/// `c_j − Σ_k d_k q_j^k` (negative values indicate LP-attractive
+/// bundles).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DualAdjustedScorer;
+
+impl Scorer for DualAdjustedScorer {
+    fn score(&mut self, f: &BundleFeatures) -> f64 {
+        f.cost - f.dual_coverage
+    }
+}
+
+/// Linear scorer: `score = w · features` over the six Table I features.
+/// The alternative predator representation for the representation
+/// ablation — a flat weight vector evolvable with SBX instead of a GP
+/// tree (strictly less expressive: no ratios, no conditionals).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightScorer {
+    /// One weight per feature, in [`BundleFeatures::as_array`] order.
+    pub weights: [f64; NUM_TERMINALS],
+}
+
+impl WeightScorer {
+    /// Wrap a weight vector.
+    pub fn new(weights: [f64; NUM_TERMINALS]) -> Self {
+        WeightScorer { weights }
+    }
+}
+
+impl Scorer for WeightScorer {
+    fn score(&mut self, f: &BundleFeatures) -> f64 {
+        self.weights
+            .iter()
+            .zip(f.as_array())
+            .map(|(w, v)| w * v)
+            .sum()
+    }
+}
+
+/// Compute the features of bundle `j` for the current residual
+/// requirements `residual` (length = services). `relax` supplies the LP
+/// terminals when available (zeroes otherwise).
+pub fn bundle_features(
+    inst: &BcpopInstance,
+    costs: &[f64],
+    residual: &[i64],
+    relax: Option<&Relaxation>,
+    j: usize,
+) -> BundleFeatures {
+    let row = inst.bundle_coverage(j);
+    let mut resid_cov = 0.0f64;
+    let mut resid_dem = 0.0f64;
+    let mut dual_cov = 0.0f64;
+    for (k, (&qjk, &rem)) in row.iter().zip(residual.iter()).enumerate() {
+        let rem = rem.max(0) as f64;
+        resid_dem += rem;
+        resid_cov += (qjk as f64).min(rem);
+        if let Some(r) = relax {
+            dual_cov += r.duals[k] * qjk as f64;
+        }
+    }
+    BundleFeatures {
+        cost: costs[j],
+        total_coverage: inst.total_coverage(j) as f64,
+        residual_coverage: resid_cov,
+        residual_demand: resid_dem,
+        dual_coverage: dual_cov,
+        xbar: relax.map_or(0.0, |r| r.xbar[j]),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::test_fixtures::tiny;
+    use bico_gp::Node;
+
+    #[test]
+    fn primitive_set_has_expected_shape() {
+        let ps = bcpop_primitives();
+        assert_eq!(ps.num_ops(), 5);
+        assert_eq!(ps.num_terminals(), NUM_TERMINALS);
+        assert_eq!(
+            ps.terminals(),
+            &["c_j", "q_j", "q_res", "b_res", "d_q_j", "x_bar_j"]
+        );
+        assert!(ps.const_range().is_some());
+    }
+
+    #[test]
+    fn features_for_tiny_instance() {
+        let inst = tiny();
+        let costs = inst.costs_for(&[1.5, 2.5]);
+        let residual: Vec<i64> = vec![2, 2];
+        let f = bundle_features(&inst, &costs, &residual, None, 0);
+        assert_eq!(f.cost, 1.5);
+        assert_eq!(f.total_coverage, 2.0);
+        assert_eq!(f.residual_coverage, 2.0); // min(2,2) + min(0,2)
+        assert_eq!(f.residual_demand, 4.0);
+        assert_eq!(f.dual_coverage, 0.0);
+        assert_eq!(f.xbar, 0.0);
+    }
+
+    #[test]
+    fn residual_clamps_satisfied_services() {
+        let inst = tiny();
+        let costs = inst.costs_for(&[1.0, 1.0]);
+        // Service 0 already satisfied (residual -1 → clamped to 0).
+        let residual: Vec<i64> = vec![-1, 2];
+        let f = bundle_features(&inst, &costs, &residual, None, 2);
+        assert_eq!(f.residual_coverage, 1.0); // only service 1 counts
+        assert_eq!(f.residual_demand, 2.0);
+    }
+
+    #[test]
+    fn relaxation_terminals_are_wired() {
+        let inst = tiny();
+        let costs = inst.costs_for(&[1.0, 1.0]);
+        let relax = Relaxation {
+            lower_bound: 2.0,
+            duals: vec![0.5, 1.0],
+            xbar: vec![1.0, 1.0, 0.0, 0.25],
+        };
+        let residual: Vec<i64> = vec![2, 2];
+        let f = bundle_features(&inst, &costs, &residual, Some(&relax), 3);
+        // bundle 3 covers (1,1): dual coverage = 0.5*1 + 1.0*1
+        assert_eq!(f.dual_coverage, 1.5);
+        assert_eq!(f.xbar, 0.25);
+    }
+
+    #[test]
+    fn gp_scorer_evaluates_expression_on_features() {
+        let ps = bcpop_primitives();
+        // c_j / q_res  (protected)
+        let expr = Expr::from_nodes(vec![Node::Op(3), Node::Term(0), Node::Term(2)]);
+        let mut scorer = GpScorer::new(&expr, &ps);
+        let f = BundleFeatures {
+            cost: 6.0,
+            total_coverage: 9.0,
+            residual_coverage: 3.0,
+            residual_demand: 4.0,
+            dual_coverage: 0.0,
+            xbar: 0.0,
+        };
+        assert_eq!(scorer.score(&f), 2.0);
+    }
+
+    #[test]
+    fn weight_scorer_is_linear() {
+        let f = BundleFeatures {
+            cost: 10.0,
+            total_coverage: 5.0,
+            residual_coverage: 4.0,
+            residual_demand: 8.0,
+            dual_coverage: 3.0,
+            xbar: 0.5,
+        };
+        let mut s = WeightScorer::new([1.0, 0.0, -1.0, 0.0, 0.0, 2.0]);
+        assert_eq!(s.score(&f), 10.0 - 4.0 + 1.0);
+        let mut zero = WeightScorer::new([0.0; NUM_TERMINALS]);
+        assert_eq!(zero.score(&f), 0.0);
+    }
+
+    #[test]
+    fn baseline_scorers() {
+        let f = BundleFeatures {
+            cost: 10.0,
+            total_coverage: 5.0,
+            residual_coverage: 4.0,
+            residual_demand: 8.0,
+            dual_coverage: 3.0,
+            xbar: 0.5,
+        };
+        assert_eq!(CostScorer.score(&f), 10.0);
+        assert_eq!(CostPerCoverageScorer.score(&f), 2.5);
+        assert_eq!(DualAdjustedScorer.score(&f), 7.0);
+        let exhausted = BundleFeatures { residual_coverage: 0.0, ..f };
+        assert_eq!(CostPerCoverageScorer.score(&exhausted), f64::INFINITY);
+    }
+}

@@ -1,0 +1,193 @@
+//! Property tests for the BCPOP domain: generator invariants, greedy
+//! feasibility and cost sandwiches, scoring totality, OR-library
+//! round-trips.
+
+use bico_bcpop::{
+    bcpop_primitives, evaluate_pair, exact_ll_optimum, generate, greedy_cover,
+    orlib::parse_mknap, CostPerCoverageScorer, CostScorer, GeneratorConfig, GpScorer,
+    RelaxationSolver, Scorer,
+};
+use bico_gp::grow;
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn small_config(bundles: usize, services: usize, tightness: f64, density: f64) -> GeneratorConfig {
+    GeneratorConfig {
+        num_bundles: bundles,
+        num_services: services,
+        tightness,
+        density,
+        ..Default::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn generator_always_produces_valid_instances(
+        seed: u64,
+        bundles in 5usize..80,
+        services in 1usize..12,
+        tightness in 0.05f64..0.95,
+        density in 0.05f64..1.0,
+    ) {
+        let inst = generate(&small_config(bundles, services, tightness, density), seed);
+        prop_assert!(inst.validate().is_ok());
+        prop_assert_eq!(inst.num_bundles(), bundles);
+        prop_assert_eq!(inst.num_services(), services);
+        // Buying everything always covers.
+        prop_assert!(inst.is_covering(&vec![true; bundles]));
+        // No dead bundles.
+        for j in 0..bundles {
+            prop_assert!(inst.total_coverage(j) > 0);
+        }
+    }
+
+    #[test]
+    fn greedy_is_feasible_and_sandwiched(
+        seed: u64,
+        bundles in 8usize..60,
+        services in 1usize..8,
+        price_frac in 0.0f64..1.0,
+    ) {
+        let inst = generate(&small_config(bundles, services, 0.3, 0.6), seed);
+        let prices = vec![inst.price_cap() * price_frac; inst.num_own()];
+        let costs = inst.costs_for(&prices);
+        let relax = RelaxationSolver::new(&inst).solve(&costs).unwrap();
+        let out = greedy_cover(&inst, &costs, &mut CostPerCoverageScorer, Some(&relax));
+        prop_assert!(out.feasible);
+        prop_assert!(inst.is_covering(&out.chosen));
+        // LP bound <= greedy cost (integral covering is a relaxation point).
+        prop_assert!(out.cost >= relax.lower_bound - 1e-6,
+            "greedy {} below LP {}", out.cost, relax.lower_bound);
+        // Gap is nonnegative and finite.
+        let ev = evaluate_pair(&inst, &prices, &out.chosen, relax.lower_bound);
+        prop_assert!(ev.gap.is_finite());
+        prop_assert!(ev.gap >= -1e-9);
+        // Revenue never exceeds the sum of own prices.
+        prop_assert!(ev.ul_value <= prices.iter().sum::<f64>() + 1e-9);
+    }
+
+    #[test]
+    fn gp_scored_greedy_never_beats_exact(
+        seed: u64,
+        expr_seed: u64,
+        bundles in 6usize..16,
+        services in 1usize..5,
+    ) {
+        let inst = generate(&small_config(bundles, services, 0.35, 0.7), seed);
+        let prices = vec![inst.price_cap() * 0.4; inst.num_own()];
+        let costs = inst.costs_for(&prices);
+        let relax = RelaxationSolver::new(&inst).solve(&costs).unwrap();
+        let ps = bcpop_primitives();
+        let expr = grow(&ps, 0, 4, &mut SmallRng::seed_from_u64(expr_seed)).unwrap();
+        let mut scorer = GpScorer::new(&expr, &ps);
+        let out = greedy_cover(&inst, &costs, &mut scorer, Some(&relax));
+        prop_assert!(out.feasible, "greedy must cover on validated instances");
+        let (opt, _) = exact_ll_optimum(&inst, &costs).unwrap();
+        prop_assert!(out.cost >= opt - 1e-6,
+            "random-heuristic greedy {} beat the exact optimum {}", out.cost, opt);
+        prop_assert!(opt >= relax.lower_bound - 1e-6);
+    }
+
+    #[test]
+    fn redundancy_elimination_never_hurts(
+        seed: u64,
+        bundles in 8usize..40,
+        services in 1usize..6,
+    ) {
+        // The cheapest-first scorer over-buys; the final cost must still
+        // be a covering and cannot exceed the sum of selected costs
+        // before elimination (elimination only removes).
+        let inst = generate(&small_config(bundles, services, 0.4, 0.6), seed);
+        let prices = vec![inst.price_cap() * 0.2; inst.num_own()];
+        let costs = inst.costs_for(&prices);
+        let out = greedy_cover(&inst, &costs, &mut CostScorer, None);
+        prop_assert!(out.feasible);
+        prop_assert!(inst.is_covering(&out.chosen));
+        // steps counts greedy purchases; after elimination the basket can
+        // only be smaller or equal.
+        let kept = out.chosen.iter().filter(|&&b| b).count();
+        prop_assert!(kept <= out.steps);
+    }
+
+    #[test]
+    fn scorer_features_are_finite(
+        seed: u64,
+        bundles in 5usize..30,
+        services in 1usize..6,
+    ) {
+        use bico_bcpop::scoring::bundle_features;
+        let inst = generate(&small_config(bundles, services, 0.3, 0.5), seed);
+        let costs = inst.costs_for(&vec![10.0; inst.num_own()]);
+        let relax = RelaxationSolver::new(&inst).solve(&costs).unwrap();
+        let residual: Vec<i64> = inst.requirements().iter().map(|&v| v as i64).collect();
+        for j in 0..bundles {
+            let f = bundle_features(&inst, &costs, &residual, Some(&relax), j);
+            for v in f.as_array() {
+                prop_assert!(v.is_finite(), "feature not finite: {v}");
+            }
+            prop_assert!(f.residual_coverage <= f.total_coverage + 1e-9);
+        }
+    }
+
+    #[test]
+    fn orlib_roundtrip(
+        n in 1usize..8,
+        m in 1usize..5,
+        profits in proptest::collection::vec(0u16..5000, 8),
+        weights in proptest::collection::vec(0u16..100, 40),
+        caps in proptest::collection::vec(1u16..5000, 5),
+    ) {
+        // Serialize a synthetic MKP in the mknap format and re-parse.
+        let mut text = String::from("1\n");
+        text.push_str(&format!("{n} {m} 0\n"));
+        for j in 0..n {
+            text.push_str(&format!("{} ", profits[j]));
+        }
+        text.push('\n');
+        for i in 0..m {
+            for j in 0..n {
+                text.push_str(&format!("{} ", weights[(i * n + j) % weights.len()]));
+            }
+            text.push('\n');
+        }
+        for i in 0..m {
+            text.push_str(&format!("{} ", caps[i]));
+        }
+        let parsed = parse_mknap(&text).unwrap();
+        prop_assert_eq!(parsed.len(), 1);
+        let p = &parsed[0];
+        prop_assert_eq!(p.n, n);
+        prop_assert_eq!(p.m, m);
+        for j in 0..n {
+            prop_assert_eq!(p.profits[j], profits[j] as f64);
+        }
+        // Conversion produces a valid covering instance whenever every
+        // row has some weight.
+        let has_empty_row = (0..m).any(|i| {
+            (0..n).all(|j| weights[(i * n + j) % weights.len()] == 0)
+        });
+        if !has_empty_row {
+            let inst = parsed[0].clone().into_covering(0.5);
+            prop_assert!(inst.is_ok(), "conversion failed: {:?}", inst.err());
+        }
+    }
+
+    #[test]
+    fn infeasible_reactions_always_lose(
+        seed: u64,
+        bundles in 6usize..25,
+        services in 1usize..5,
+    ) {
+        let inst = generate(&small_config(bundles, services, 0.5, 0.6), seed);
+        let prices = vec![1.0; inst.num_own()];
+        let empty = vec![false; bundles];
+        let ev = evaluate_pair(&inst, &prices, &empty, 10.0);
+        prop_assert!(!ev.feasible);
+        prop_assert_eq!(ev.ul_value, 0.0);
+        prop_assert!(ev.gap.is_infinite());
+    }
+}

@@ -1,0 +1,45 @@
+//! End-to-end generation throughput of CARBON and COBRA at a small
+//! budget — the macro-benchmark behind the experiment wall-clock.
+
+use bico_bcpop::{generate, GeneratorConfig};
+use bico_cobra::{Cobra, CobraConfig};
+use bico_core::{Carbon, CarbonConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_step(c: &mut Criterion) {
+    let inst = generate(&GeneratorConfig::paper_class(100, 5), 42);
+    let mut group = c.benchmark_group("coevolution");
+    group.sample_size(10);
+
+    let carbon_cfg = CarbonConfig {
+        ul_pop_size: 16,
+        ll_pop_size: 16,
+        ul_archive_size: 16,
+        ll_archive_size: 16,
+        ul_evaluations: 160, // 10 generations
+        ll_evaluations: 160,
+        ..Default::default()
+    };
+    group.bench_function("carbon_10_generations_100x5", |b| {
+        b.iter(|| black_box(Carbon::new(&inst, carbon_cfg.clone()).run(1).generations))
+    });
+
+    let cobra_cfg = CobraConfig {
+        ul_pop_size: 16,
+        ll_pop_size: 16,
+        ul_archive_size: 16,
+        ll_archive_size: 16,
+        ul_evaluations: 160,
+        ll_evaluations: 160,
+        improvement_gens: 5,
+        ..Default::default()
+    };
+    group.bench_function("cobra_2_cycles_100x5", |b| {
+        b.iter(|| black_box(Cobra::new(&inst, cobra_cfg.clone()).run(1).cycles))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_step);
+criterion_main!(benches);

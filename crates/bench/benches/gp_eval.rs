@@ -1,0 +1,27 @@
+//! GP tree evaluation throughput — the innermost loop of the greedy
+//! (one evaluation per candidate bundle per greedy step).
+
+use bico_bcpop::bcpop_primitives;
+use bico_gp::{grow, Evaluator};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_eval(c: &mut Criterion) {
+    let ps = bcpop_primitives();
+    let mut rng = SmallRng::seed_from_u64(3);
+    let mut group = c.benchmark_group("gp_eval");
+    for depth in [2usize, 5, 8] {
+        let expr = grow(&ps, depth, depth, &mut rng).unwrap();
+        let vals = [3.0, 120.0, 40.0, 800.0, 6.5, 0.4];
+        group.bench_function(format!("depth_{depth}_{}_nodes", expr.len()), |b| {
+            let mut ev = Evaluator::new();
+            b.iter(|| black_box(ev.eval(&expr, &ps, black_box(&vals))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_eval);
+criterion_main!(benches);

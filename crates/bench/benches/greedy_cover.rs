@@ -1,0 +1,43 @@
+//! Greedy covering pass latency — one lower-level evaluation
+//! (per heuristic, per training pricing) in CARBON.
+
+use bico_bcpop::{
+    bcpop_primitives, generate, greedy_cover, CostPerCoverageScorer, GeneratorConfig, GpScorer,
+    RelaxationSolver,
+};
+use bico_gp::grow;
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_greedy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("greedy_cover");
+    group.sample_size(20);
+    for &(n, m) in &[(100usize, 5usize), (500, 30)] {
+        let inst = generate(&GeneratorConfig::paper_class(n, m), 42);
+        let costs = inst.costs_for(&vec![50.0; inst.num_own()]);
+        let relax = RelaxationSolver::new(&inst).solve(&costs).unwrap();
+
+        group.bench_function(format!("handcrafted_{n}x{m}"), |b| {
+            b.iter(|| {
+                black_box(
+                    greedy_cover(&inst, &costs, &mut CostPerCoverageScorer, Some(&relax)).cost,
+                )
+            })
+        });
+
+        let ps = bcpop_primitives();
+        let expr = grow(&ps, 2, 5, &mut SmallRng::seed_from_u64(7)).unwrap();
+        group.bench_function(format!("gp_tree_{n}x{m}"), |b| {
+            b.iter(|| {
+                let mut scorer = GpScorer::new(&expr, &ps);
+                black_box(greedy_cover(&inst, &costs, &mut scorer, Some(&relax)).cost)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_greedy);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! LP relaxation latency — the dominant kernel of every CARBON
+//! generation (one solve per upper-level individual).
+
+use bico_bcpop::{generate, GeneratorConfig, RelaxationSolver};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_lp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lp_relaxation");
+    group.sample_size(20);
+    for &(n, m) in &[(100usize, 5usize), (250, 10), (500, 30)] {
+        let inst = generate(&GeneratorConfig::paper_class(n, m), 42);
+        let solver = RelaxationSolver::new(&inst);
+        let costs = inst.costs_for(&vec![50.0; inst.num_own()]);
+        group.bench_function(format!("{n}x{m}"), |b| {
+            b.iter(|| black_box(solver.solve(black_box(&costs)).unwrap().lower_bound))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lp);
+criterion_main!(benches);

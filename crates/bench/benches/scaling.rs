@@ -1,0 +1,46 @@
+//! Rayon scaling of the population-evaluation kernel: the same batch of
+//! lower-level evaluations on thread pools of different sizes.
+
+use bico_bcpop::{
+    generate, greedy_cover, CostPerCoverageScorer, GeneratorConfig, RelaxationSolver,
+};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rayon::prelude::*;
+use std::hint::black_box;
+
+fn bench_scaling(c: &mut Criterion) {
+    let inst = generate(&GeneratorConfig::paper_class(250, 10), 42);
+    let pricings: Vec<Vec<f64>> = (0..32)
+        .map(|i| vec![10.0 + i as f64 * 3.0; inst.num_own()])
+        .collect();
+    let solver = RelaxationSolver::new(&inst);
+
+    let mut group = c.benchmark_group("rayon_scaling");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4] {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("thread pool");
+        group.bench_function(format!("eval32_threads_{threads}"), |b| {
+            b.iter(|| {
+                pool.install(|| {
+                    let total: f64 = pricings
+                        .par_iter()
+                        .map(|prices| {
+                            let costs = inst.costs_for(prices);
+                            let relax = solver.solve(&costs).unwrap();
+                            greedy_cover(&inst, &costs, &mut CostPerCoverageScorer, Some(&relax))
+                                .cost
+                        })
+                        .sum();
+                    black_box(total)
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

@@ -1,0 +1,145 @@
+//! Ablation studies for the design choices DESIGN.md calls out.
+//!
+//! ```text
+//! cargo run -p bico-bench --release --bin ablation -- <which> [--full|--smoke] [--runs N]
+//! ```
+//!
+//! * `fitness`   — gap-fitness (CARBON) vs raw lower-level-cost fitness
+//!   for the heuristic population (COBRA's criterion grafted onto
+//!   CARBON);
+//! * `terminals` — full Table I terminal set vs no LP terminals
+//!   (`d_k`, `x̄_j` dropped);
+//! * `archive`   — elite archives on vs off at both levels;
+//! * `representation` — GP-tree predators (CARBON) vs linear
+//!   weight-vector predators (CARBON-W): how much of the edge is the
+//!   hyper-heuristic representation itself.
+
+use bico_bench::{class_instance, markdown_table, BudgetTier, ExperimentOpts};
+use bico_core::{Carbon, CarbonConfig, CarbonWeights};
+use bico_ea::rng::seed_stream;
+use bico_ea::stats::Summary;
+use rayon::prelude::*;
+
+fn run_variant(
+    label: &str,
+    cfg: CarbonConfig,
+    opts: &ExperimentOpts,
+    class: (usize, usize),
+) -> (String, Summary, Summary) {
+    let inst = class_instance(class, opts.seed);
+    let runs = opts.runs();
+    let outcomes: Vec<(f64, f64)> = (0..runs)
+        .into_par_iter()
+        .map(|run| {
+            let r = Carbon::new(&inst, cfg.clone()).run(seed_stream(opts.seed, 0x2000 + run as u64));
+            (r.best_gap, r.best_ul_value)
+        })
+        .collect();
+    let mut gaps = Summary::new();
+    let mut uls = Summary::new();
+    for (g, u) in outcomes {
+        gaps.push(g);
+        uls.push(u);
+    }
+    (label.to_string(), gaps, uls)
+}
+
+fn run_weights_variant(
+    label: &str,
+    cfg: CarbonConfig,
+    opts: &ExperimentOpts,
+    class: (usize, usize),
+) -> (String, Summary, Summary) {
+    let inst = class_instance(class, opts.seed);
+    let runs = opts.runs();
+    let outcomes: Vec<(f64, f64)> = (0..runs)
+        .into_par_iter()
+        .map(|run| {
+            let r = CarbonWeights::new(&inst, cfg.clone())
+                .run(seed_stream(opts.seed, 0x2000 + run as u64));
+            (r.best_gap, r.best_ul_value)
+        })
+        .collect();
+    let mut gaps = Summary::new();
+    let mut uls = Summary::new();
+    for (g, u) in outcomes {
+        gaps.push(g);
+        uls.push(u);
+    }
+    (label.to_string(), gaps, uls)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let which = args.first().map(|s| s.as_str()).unwrap_or("fitness");
+    let opts = ExperimentOpts::from_args(&args);
+    let class = (100, 10);
+    let base = match opts.tier {
+        BudgetTier::Full => BudgetTier::Full.carbon_config(),
+        t => t.carbon_config(),
+    };
+
+    let variants: Vec<(String, Summary, Summary)> = match which {
+        "fitness" => vec![
+            run_variant("gap fitness (CARBON)", base.clone(), &opts, class),
+            run_variant(
+                "LL-cost fitness (COBRA criterion)",
+                CarbonConfig { gap_fitness: false, ..base },
+                &opts,
+                class,
+            ),
+        ],
+        "terminals" => vec![
+            run_variant("full Table I terminals", base.clone(), &opts, class),
+            run_variant(
+                "no LP terminals (d_k, x̄_j dropped)",
+                CarbonConfig { lp_terminals: false, ..base },
+                &opts,
+                class,
+            ),
+        ],
+        "archive" => vec![
+            run_variant("archives on", base.clone(), &opts, class),
+            run_variant(
+                "archives off",
+                CarbonConfig { use_archives: false, ..base },
+                &opts,
+                class,
+            ),
+        ],
+        "representation" => vec![
+            run_variant("GP trees (CARBON)", base.clone(), &opts, class),
+            run_weights_variant("linear weights (CARBON-W)", base, &opts, class),
+        ],
+        other => {
+            eprintln!(
+                "unknown ablation {other:?}; use fitness|terminals|archive|representation"
+            );
+            std::process::exit(2);
+        }
+    };
+
+    eprintln!(
+        "Ablation `{which}` on class {}x{} — tier {:?}, {} runs/variant",
+        class.0,
+        class.1,
+        opts.tier,
+        opts.runs()
+    );
+    let rows: Vec<Vec<String>> = variants
+        .iter()
+        .map(|(label, gaps, uls)| {
+            vec![
+                label.clone(),
+                format!("{:.2}", gaps.mean()),
+                format!("{:.2}", gaps.min()),
+                format!("{:.2}", uls.mean()),
+                format!("{:.2}", uls.max()),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        markdown_table(&["variant", "mean %-gap", "best %-gap", "mean UL", "best UL"], &rows)
+    );
+}

@@ -1,0 +1,134 @@
+//! Extension table: all five algorithms head-to-head on one class —
+//! CARBON, CARBON-W (linear predators), COBRA, CODBA, nested-sequential.
+//!
+//! The paper compares CARBON against COBRA only; this binary widens the
+//! panel with the other strategies its related-work section discusses,
+//! at the same evaluation budgets, reporting the mean/best %-gap, the
+//! mean/best revenue, and the LL/UL evaluation ratio (how "nested" each
+//! scheme really is — the paper's critique of CODBA made measurable).
+//!
+//! ```text
+//! cargo run -p bico-bench --release --bin baselines [--class-arg handled via --classes? no: fixed 100x10] [--runs N] [--seed S] [--full|--smoke]
+//! ```
+
+use bico_bench::{class_instance, markdown_table, ExperimentOpts};
+use bico_cobra::{Cobra, CobraConfig, Codba, CodbaConfig, NestedConfig, NestedSequential};
+use bico_core::{Carbon, CarbonConfig, CarbonWeights};
+use bico_ea::rng::seed_stream;
+use bico_ea::stats::Summary;
+
+struct Row {
+    name: &'static str,
+    gaps: Summary,
+    uls: Summary,
+    ll_per_ul: f64,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = ExperimentOpts::from_args(&args);
+    let class = (100, 10);
+    let inst = class_instance(class, opts.seed);
+    let (pop, evals) = opts.tier.scale();
+    let runs = opts.runs();
+    eprintln!(
+        "baseline panel on {}x{}: {} runs, budget {evals}+{evals}, pop {pop}",
+        class.0, class.1, runs
+    );
+
+    let mut rows: Vec<Row> = Vec::new();
+
+    let mut collect = |name: &'static str, f: &dyn Fn(u64) -> (f64, f64, u64, u64)| {
+        let mut gaps = Summary::new();
+        let mut uls = Summary::new();
+        let mut ll = 0u64;
+        let mut ul = 0u64;
+        for run in 0..runs as u64 {
+            let (gap, rev, ll_e, ul_e) = f(seed_stream(opts.seed, 0x3000 + run));
+            gaps.push(gap);
+            uls.push(rev);
+            ll += ll_e;
+            ul += ul_e;
+        }
+        rows.push(Row { name, gaps, uls, ll_per_ul: ll as f64 / ul.max(1) as f64 });
+        eprintln!("  {name} done");
+    };
+
+    let carbon_cfg = CarbonConfig {
+        ul_pop_size: pop,
+        ll_pop_size: pop,
+        ul_archive_size: pop,
+        ll_archive_size: pop,
+        ul_evaluations: evals,
+        ll_evaluations: evals,
+        ..Default::default()
+    };
+    collect("CARBON (GP)", &|seed| {
+        let r = Carbon::new(&inst, carbon_cfg.clone()).run(seed);
+        (r.best_gap, r.best_ul_value, r.ll_evals_used, r.ul_evals_used)
+    });
+    collect("CARBON-W (linear)", &|seed| {
+        let r = CarbonWeights::new(&inst, carbon_cfg.clone()).run(seed);
+        (r.best_gap, r.best_ul_value, r.ll_evals_used, r.ul_evals_used)
+    });
+
+    let cobra_cfg = CobraConfig {
+        ul_pop_size: pop,
+        ll_pop_size: pop,
+        ul_archive_size: pop,
+        ll_archive_size: pop,
+        ul_evaluations: evals,
+        ll_evaluations: evals,
+        ..Default::default()
+    };
+    collect("COBRA", &|seed| {
+        let r = Cobra::new(&inst, cobra_cfg.clone()).run(seed);
+        (r.best_gap, r.best_ul_value, r.ll_evals_used, r.ul_evals_used)
+    });
+
+    let codba_cfg = CodbaConfig {
+        ul_pop_size: pop.min(20),
+        ul_evaluations: evals / 8,
+        sub_pop_size: 10,
+        ll_evaluations: evals,
+        ..Default::default()
+    };
+    collect("CODBA", &|seed| {
+        let r = Codba::new(&inst, codba_cfg.clone()).run(seed);
+        (r.best_gap, r.best_ul_value, r.ll_evals_used, r.ul_evals_used)
+    });
+
+    let nested_cfg = NestedConfig {
+        ul_pop_size: pop.min(16),
+        ul_evaluations: evals / 40,
+        ll_pop_size: pop.min(16),
+        ll_gens_per_eval: 6,
+        ll_evaluations: evals,
+        ..Default::default()
+    };
+    collect("nested (CST)", &|seed| {
+        let r = NestedSequential::new(&inst, nested_cfg.clone()).run(seed);
+        (r.best_gap, r.best_ul_value, r.ll_evals_used, r.ul_evals_used)
+    });
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.name.to_string(),
+                format!("{:.2}", r.gaps.mean()),
+                format!("{:.2}", r.gaps.min()),
+                format!("{:.2}", r.uls.mean()),
+                format!("{:.2}", r.uls.max()),
+                format!("{:.1}", r.ll_per_ul),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        markdown_table(
+            &["algorithm", "mean %-gap", "best %-gap", "mean UL", "best UL", "LL evals / UL eval"],
+            &table
+        )
+    );
+}

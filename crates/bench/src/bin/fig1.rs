@@ -1,0 +1,49 @@
+//! Reproduce **Fig. 1 / Program 3** — the Mersha–Dempe linear bi-level
+//! example with a *discontinuous inducible region*: the upper-level
+//! constraints exclude the rational reactions for 3 < x < 8, and a
+//! leader who trusts a non-rational lower-level answer (y = 8 at x = 6)
+//! overestimates his payoff and lands outside the feasible set.
+//!
+//! ```text
+//! cargo run -p bico-bench --release --bin fig1
+//! ```
+
+use bico_core::{program3, TieBreak};
+
+fn main() {
+    let p = program3();
+    println!("x, rational_y, ul_feasible, F(x, rational_y)");
+    let steps = 40;
+    for i in 0..=steps {
+        let x = 10.0 * i as f64 / steps as f64;
+        match p.rational_reaction(&[x], TieBreak::Optimistic) {
+            Some(r) => {
+                let feasible = p.ul_feasible(&[x], &r.y, 1e-7);
+                println!(
+                    "{x:.2}, {:.3}, {}, {:.3}",
+                    r.y[0],
+                    feasible,
+                    p.ul_objective(&[x], &r.y)
+                );
+            }
+            None => println!("{x:.2}, LL-infeasible, -, -"),
+        }
+    }
+    println!();
+
+    let r6 = p.rational_reaction(&[6.0], TieBreak::Optimistic).unwrap();
+    println!(
+        "At x = 6 the rational reaction is y = {:.2} (paper: 12), UL-feasible: {}",
+        r6.y[0],
+        p.ul_feasible(&[6.0], &r6.y, 1e-7)
+    );
+    println!(
+        "A naive lower-level answer y = 8 at x = 6 WOULD be UL-feasible ({}), \
+         promising F = {:.1} — but it is not rational, so the leader never gets it.",
+        p.ul_feasible(&[6.0], &[8.0], 1e-7),
+        p.ul_objective(&[6.0], &[8.0])
+    );
+    let (x, y, f) = p.solve_grid(0.0, 10.0, 2000, TieBreak::Optimistic).unwrap();
+    println!("Bi-level optimum over the inducible region: x = {x:.3}, y = {:.3}, F = {f:.3}", y[0]);
+    println!("(analytic optimum: x = 8, y = 6, F = -20)");
+}

@@ -1,0 +1,332 @@
+//! Experiment orchestration: instance classes, budget tiers, 30-run
+//! protocol, per-class summaries.
+
+use bico_bcpop::{generate, BcpopInstance, GeneratorConfig};
+use bico_cobra::{Cobra, CobraConfig};
+use bico_core::{Carbon, CarbonConfig};
+use bico_ea::rng::seed_stream;
+use bico_ea::stats::{Summary, Trace};
+use rayon::prelude::*;
+
+/// The paper's 9 instance classes: `(#variables, #constraints)` =
+/// `(bundles, services)` ∈ {100, 250, 500} × {5, 10, 30}.
+pub const PAPER_CLASSES: [(usize, usize); 9] = [
+    (100, 5),
+    (100, 10),
+    (100, 30),
+    (250, 5),
+    (250, 10),
+    (250, 30),
+    (500, 5),
+    (500, 10),
+    (500, 30),
+];
+
+/// Which algorithm to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlgoKind {
+    /// CARBON (the paper's contribution).
+    Carbon,
+    /// COBRA (the co-evolutionary baseline).
+    Cobra,
+}
+
+/// Budget tier: the paper's full protocol or a reduced one that keeps
+/// the qualitative shape at laptop scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BudgetTier {
+    /// 30 runs × (50 000 + 50 000) evaluations, populations of 100 —
+    /// Table II verbatim.
+    Full,
+    /// 5 runs × (4 000 + 4 000) evaluations, populations of 24.
+    Reduced,
+    /// 3 runs × (800 + 800) evaluations, populations of 16 — smoke
+    /// scale for CI.
+    Smoke,
+}
+
+impl BudgetTier {
+    /// Independent runs per (class, algorithm).
+    pub fn runs(&self) -> usize {
+        match self {
+            BudgetTier::Full => 30,
+            BudgetTier::Reduced => 5,
+            BudgetTier::Smoke => 3,
+        }
+    }
+
+    /// `(population, evaluations)` per level.
+    pub fn scale(&self) -> (usize, u64) {
+        match self {
+            BudgetTier::Full => (100, 50_000),
+            BudgetTier::Reduced => (24, 4_000),
+            BudgetTier::Smoke => (16, 800),
+        }
+    }
+
+    /// CARBON configuration at this tier.
+    pub fn carbon_config(&self) -> CarbonConfig {
+        let (pop, evals) = self.scale();
+        CarbonConfig {
+            ul_pop_size: pop,
+            ul_archive_size: pop,
+            ul_evaluations: evals,
+            ll_pop_size: pop,
+            ll_archive_size: pop,
+            ll_evaluations: evals,
+            ..Default::default()
+        }
+    }
+
+    /// COBRA configuration at this tier.
+    pub fn cobra_config(&self) -> CobraConfig {
+        let (pop, evals) = self.scale();
+        CobraConfig {
+            ul_pop_size: pop,
+            ul_archive_size: pop,
+            ul_evaluations: evals,
+            ll_pop_size: pop,
+            ll_archive_size: pop,
+            ll_evaluations: evals,
+            ..Default::default()
+        }
+    }
+}
+
+/// Options shared by the experiment binaries.
+#[derive(Debug, Clone)]
+pub struct ExperimentOpts {
+    /// Budget tier.
+    pub tier: BudgetTier,
+    /// Master seed (runs derive per-run seeds from it).
+    pub seed: u64,
+    /// Override the tier's run count, if set.
+    pub runs_override: Option<usize>,
+    /// Restrict to the first `k` classes (for quick sanity passes).
+    pub max_classes: Option<usize>,
+}
+
+impl Default for ExperimentOpts {
+    fn default() -> Self {
+        ExperimentOpts { tier: BudgetTier::Reduced, seed: 20180521, runs_override: None, max_classes: None }
+    }
+}
+
+impl ExperimentOpts {
+    /// Parse CLI arguments of the experiment binaries
+    /// (`--full | --smoke`, `--runs N`, `--seed S`, `--classes K`).
+    pub fn from_args(args: &[String]) -> Self {
+        let mut opts = ExperimentOpts::default();
+        let mut it = args.iter().peekable();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--full" => opts.tier = BudgetTier::Full,
+                "--smoke" => opts.tier = BudgetTier::Smoke,
+                "--runs" => {
+                    opts.runs_override =
+                        it.next().and_then(|v| v.parse().ok());
+                }
+                "--seed" => {
+                    if let Some(v) = it.next().and_then(|v| v.parse().ok()) {
+                        opts.seed = v;
+                    }
+                }
+                "--classes" => {
+                    opts.max_classes = it.next().and_then(|v| v.parse().ok());
+                }
+                _ => {}
+            }
+        }
+        opts
+    }
+
+    /// Effective run count.
+    pub fn runs(&self) -> usize {
+        self.runs_override.unwrap_or_else(|| self.tier.runs())
+    }
+
+    /// The classes to run.
+    pub fn classes(&self) -> Vec<(usize, usize)> {
+        let k = self.max_classes.unwrap_or(PAPER_CLASSES.len());
+        PAPER_CLASSES.iter().copied().take(k).collect()
+    }
+}
+
+/// Aggregated outcome of `runs` independent runs of one algorithm on one
+/// class.
+#[derive(Debug, Clone)]
+pub struct ClassResult {
+    /// `(bundles, services)` of the class.
+    pub class: (usize, usize),
+    /// Which algorithm produced this.
+    pub algo: AlgoKind,
+    /// Best (minimum) %-gap across runs — the Table III statistic.
+    pub best_gap: f64,
+    /// Best (maximum) UL objective across runs — the Table IV statistic.
+    pub best_ul: f64,
+    /// Distribution of per-run gaps.
+    pub gap_stats: Summary,
+    /// Distribution of per-run UL objectives.
+    pub ul_stats: Summary,
+    /// Raw per-run best gaps (for rank-sum tests between algorithms).
+    pub gaps: Vec<f64>,
+    /// Raw per-run best UL objectives.
+    pub uls: Vec<f64>,
+    /// Per-run best lower-level objective values (for the Eq. 3
+    /// relaxation-ordering check).
+    pub ll_values: Vec<f64>,
+    /// Averaged convergence trace across runs.
+    pub trace: Trace,
+}
+
+/// Generate the canonical instance of a class for a master seed
+/// (both algorithms must see the *same* instance).
+pub fn class_instance(class: (usize, usize), master_seed: u64) -> BcpopInstance {
+    let cfg = GeneratorConfig::paper_class(class.0, class.1);
+    generate(&cfg, seed_stream(master_seed, (class.0 * 1000 + class.1) as u64))
+}
+
+/// Run `runs` independent seeded runs of `algo` on `class`, in parallel.
+pub fn run_class(
+    algo: AlgoKind,
+    class: (usize, usize),
+    opts: &ExperimentOpts,
+) -> ClassResult {
+    let inst = class_instance(class, opts.seed);
+    let runs = opts.runs();
+    let outcomes: Vec<(f64, f64, f64, Trace)> = (0..runs)
+        .into_par_iter()
+        .map(|run| {
+            let run_seed = seed_stream(opts.seed, 0x1000 + run as u64);
+            match algo {
+                AlgoKind::Carbon => {
+                    let r = Carbon::new(&inst, opts.tier.carbon_config()).run(run_seed);
+                    let ll = ll_value_of(&inst, &r.best_pricing, r.best_gap);
+                    (r.best_gap, r.best_ul_value, ll, r.trace)
+                }
+                AlgoKind::Cobra => {
+                    let r = Cobra::new(&inst, opts.tier.cobra_config()).run(run_seed);
+                    (r.best_gap, r.best_ul_value, r.best_ll_value, r.trace)
+                }
+            }
+        })
+        .collect();
+
+    let mut gap_stats = Summary::new();
+    let mut ul_stats = Summary::new();
+    let mut best_gap = f64::INFINITY;
+    let mut best_ul = f64::NEG_INFINITY;
+    let mut ll_values = Vec::with_capacity(runs);
+    let mut gaps = Vec::with_capacity(runs);
+    let mut uls = Vec::with_capacity(runs);
+    let traces: Vec<Trace> = outcomes
+        .iter()
+        .map(|(gap, ul, ll, trace)| {
+            gap_stats.push(*gap);
+            ul_stats.push(*ul);
+            best_gap = best_gap.min(*gap);
+            best_ul = best_ul.max(*ul);
+            gaps.push(*gap);
+            uls.push(*ul);
+            ll_values.push(*ll);
+            trace.clone()
+        })
+        .collect();
+
+    ClassResult {
+        class,
+        algo,
+        best_gap,
+        best_ul,
+        gap_stats,
+        ul_stats,
+        gaps,
+        uls,
+        ll_values,
+        trace: Trace::average(&traces),
+    }
+}
+
+/// Reconstruct the lower-level objective value behind a (pricing, gap)
+/// pair: `A(x) = LB(x) · (1 + gap/100)` (Eq. 1 inverted).
+fn ll_value_of(inst: &BcpopInstance, pricing: &[f64], gap: f64) -> f64 {
+    use bico_bcpop::RelaxationSolver;
+    if !gap.is_finite() {
+        return f64::INFINITY;
+    }
+    RelaxationSolver::new(inst)
+        .solve(&inst.costs_for(pricing))
+        .map(|r| r.lower_bound * (1.0 + gap / 100.0))
+        .unwrap_or(f64::INFINITY)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nine_classes_match_the_paper() {
+        assert_eq!(PAPER_CLASSES.len(), 9);
+        assert_eq!(PAPER_CLASSES[0], (100, 5));
+        assert_eq!(PAPER_CLASSES[8], (500, 30));
+    }
+
+    #[test]
+    fn full_tier_is_table_2() {
+        let t = BudgetTier::Full;
+        assert_eq!(t.runs(), 30);
+        assert_eq!(t.scale(), (100, 50_000));
+        let c = t.carbon_config();
+        assert_eq!(c.ul_pop_size, 100);
+        assert_eq!(c.ul_evaluations, 50_000);
+        let c = t.cobra_config();
+        assert_eq!(c.ll_evaluations, 50_000);
+    }
+
+    #[test]
+    fn args_parse() {
+        let args: Vec<String> =
+            ["--full", "--runs", "7", "--seed", "99", "--classes", "2"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
+        let o = ExperimentOpts::from_args(&args);
+        assert_eq!(o.tier, BudgetTier::Full);
+        assert_eq!(o.runs(), 7);
+        assert_eq!(o.seed, 99);
+        assert_eq!(o.classes().len(), 2);
+    }
+
+    #[test]
+    fn args_default() {
+        let o = ExperimentOpts::from_args(&[]);
+        assert_eq!(o.tier, BudgetTier::Reduced);
+        assert_eq!(o.runs(), 5);
+        assert_eq!(o.classes().len(), 9);
+    }
+
+    #[test]
+    fn smoke_run_class_produces_sane_statistics() {
+        let opts = ExperimentOpts {
+            tier: BudgetTier::Smoke,
+            seed: 1,
+            runs_override: Some(2),
+            max_classes: None,
+        };
+        let r = run_class(AlgoKind::Carbon, (100, 5), &opts);
+        assert_eq!(r.gap_stats.count(), 2);
+        assert!(r.best_gap.is_finite());
+        assert!(r.best_gap >= -1e-9);
+        assert!(r.best_ul >= 0.0);
+        assert!(!r.trace.points().is_empty());
+    }
+
+    #[test]
+    fn same_class_same_instance_for_both_algorithms() {
+        let a = class_instance((100, 5), 3);
+        let b = class_instance((100, 5), 3);
+        assert_eq!(a, b);
+        let c = class_instance((100, 10), 3);
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,28 @@
+#![warn(missing_docs)]
+
+//! # bico-bench — the experiment harness
+//!
+//! Reproduces every table and figure of the paper's evaluation (§V):
+//!
+//! | target | paper artifact | binary |
+//! |---|---|---|
+//! | Table III | best %-gap per class, CARBON vs COBRA | `table3` |
+//! | Table IV | best UL objective per class | `table4` |
+//! | Fig. 4 | CARBON convergence (n=500, m=30) | `fig4` |
+//! | Fig. 5 | COBRA convergence (see-saw) | `fig5` |
+//! | Fig. 1 / Program 3 | discontinuous inducible region | `fig1` |
+//! | ablations | fitness / terminals / archive knobs | `ablation` |
+//!
+//! All binaries accept `--full` (the paper's exact budget: 30 runs,
+//! 50 000 + 50 000 evaluations, populations of 100) and default to a
+//! reduced budget that preserves the qualitative shape in minutes on a
+//! laptop. Runs are parallelized with rayon *across independent runs*
+//! and are deterministic per `--seed`.
+
+pub mod experiment;
+pub mod report;
+
+pub use experiment::{
+    class_instance, run_class, AlgoKind, BudgetTier, ClassResult, ExperimentOpts, PAPER_CLASSES,
+};
+pub use report::{format_row, markdown_table, write_csv};

@@ -1,0 +1,73 @@
+//! Plain-text/markdown table formatting and CSV output.
+
+use bico_ea::stats::Trace;
+use std::io::Write;
+
+/// Format one numeric row with a fixed precision.
+pub fn format_row(cells: &[String]) -> String {
+    cells.join(" | ")
+}
+
+/// Render a markdown table.
+pub fn markdown_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    out.push_str("| ");
+    out.push_str(&header.join(" | "));
+    out.push_str(" |\n|");
+    for _ in header {
+        out.push_str("---|");
+    }
+    out.push('\n');
+    for row in rows {
+        out.push_str("| ");
+        out.push_str(&row.join(" | "));
+        out.push_str(" |\n");
+    }
+    out
+}
+
+/// Write a convergence trace as CSV (`generation,evaluations,ul_best,gap_best`).
+pub fn write_csv<W: Write>(w: &mut W, trace: &Trace) -> std::io::Result<()> {
+    writeln!(w, "generation,evaluations,ul_best,gap_best")?;
+    for p in trace.points() {
+        writeln!(w, "{},{},{:.6},{:.6}", p.generation, p.evaluations, p.ul_best, p.gap_best)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_shape() {
+        let t = markdown_table(
+            &["a", "b"],
+            &[vec!["1".into(), "2".into()], vec!["3".into(), "4".into()]],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("a | b"));
+        assert!(lines[1].starts_with("|---|"));
+        assert!(lines[3].contains("3 | 4"));
+    }
+
+    #[test]
+    fn csv_roundtrip_shape() {
+        let mut trace = Trace::new();
+        trace.record(0, 10, 1.5, 2.5);
+        trace.record(1, 20, 2.0, 1.0);
+        let mut buf = Vec::new();
+        write_csv(&mut buf, &trace).unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], "generation,evaluations,ul_best,gap_best");
+        assert!(lines[1].starts_with("0,10,1.5"));
+    }
+
+    #[test]
+    fn format_row_joins() {
+        assert_eq!(format_row(&["x".into(), "y".into()]), "x | y");
+    }
+}

@@ -1,0 +1,554 @@
+//! COBRA (Legillon, Liefooghe & Talbi 2012) on the BCPOP.
+//!
+//! Algorithm 1 of the paper:
+//!
+//! ```text
+//! pop        ← create_initial_pop()
+//! pop_upper  ← copy_upper(pop);  pop_lower ← copy_lower(pop)
+//! while stopping criterion is not met:
+//!     upper_improvement(pop_upper)  and  lower_improvement(pop_lower)
+//!     upper_archiving(pop_upper)    and  lower_archiving(pop_lower)
+//!     selection(pop_upper)          and  selection(pop_lower)
+//!     coevolution(pop_upper, pop_lower)
+//!     adding from upper archive     and  from lower archive
+//! return lower archive
+//! ```
+//!
+//! The two populations are index-paired: upper individual `i` is always
+//! evaluated against lower individual `i` (its current partner).
+//! Improvement phases evolve one population for `improvement_gens`
+//! generations *while the other is frozen* — the source of the see-saw
+//! convergence the paper shows in Fig. 5: pushing prices up degrades the
+//! (frozen, no-longer-rational) reactions' quality, and re-optimizing
+//! the reactions deflates the revenue.
+//!
+//! COBRA scores its lower level by the raw lower-level objective value
+//! (not the %-gap) — the design decision §V.B blames for its larger
+//! gaps; the `gap` metric is computed at archiving/extraction time only,
+//! to report Tables III/IV.
+
+use bico_bcpop::{evaluate_pair, BcpopInstance, RelaxationSolver};
+use bico_ea::{
+    archive::Archive,
+    binary::{random_bits, shuffle_mutation, two_point_crossover},
+    real::{polynomial_mutation, sbx_crossover, RealOpsConfig},
+    rng::seed_stream,
+    select::{tournament, Direction},
+    stats::Trace,
+};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+
+/// COBRA parameters; `Default` is the COBRA column of Table II.
+#[derive(Debug, Clone)]
+pub struct CobraConfig {
+    /// Upper-level population size.
+    pub ul_pop_size: usize,
+    /// Upper-level archive capacity.
+    pub ul_archive_size: usize,
+    /// Upper-level fitness-evaluation budget.
+    pub ul_evaluations: u64,
+    /// SBX probability.
+    pub ul_crossover_prob: f64,
+    /// Polynomial-mutation probability per gene.
+    pub ul_mutation_prob: f64,
+    /// Real-operator distribution indices.
+    pub ul_real_ops: RealOpsConfig,
+    /// Lower-level population size.
+    pub ll_pop_size: usize,
+    /// Lower-level archive capacity.
+    pub ll_archive_size: usize,
+    /// Lower-level fitness-evaluation budget.
+    pub ll_evaluations: u64,
+    /// Two-point crossover probability.
+    pub ll_crossover_prob: f64,
+    /// GA generations per improvement phase (the paper highlights that
+    /// tuning this is COBRA's Achilles heel).
+    pub improvement_gens: usize,
+    /// Repair uncovered reactions after initialization and variation
+    /// (COBRA needs *some* feasibility handling on a covering LL; the
+    /// repair adds random useful bundles until covering).
+    pub repair: bool,
+}
+
+impl Default for CobraConfig {
+    fn default() -> Self {
+        CobraConfig {
+            ul_pop_size: 100,
+            ul_archive_size: 100,
+            ul_evaluations: 50_000,
+            ul_crossover_prob: 0.85,
+            ul_mutation_prob: 0.01,
+            ul_real_ops: RealOpsConfig::default(),
+            ll_pop_size: 100,
+            ll_archive_size: 100,
+            ll_evaluations: 50_000,
+            ll_crossover_prob: 0.85,
+            improvement_gens: 5,
+            repair: true,
+        }
+    }
+}
+
+impl CobraConfig {
+    /// Reduced-budget configuration for tests and demos.
+    pub fn quick() -> Self {
+        CobraConfig {
+            ul_pop_size: 20,
+            ul_archive_size: 20,
+            ul_evaluations: 1_000,
+            ll_pop_size: 20,
+            ll_archive_size: 20,
+            ll_evaluations: 1_000,
+            ..Default::default()
+        }
+    }
+}
+
+/// Result of a COBRA run (extraction from the lower archive, §V.B).
+#[derive(Debug, Clone)]
+pub struct CobraResult {
+    /// Pricing of the best-gap archived pair.
+    pub best_pricing: Vec<f64>,
+    /// Its lower-level reaction.
+    pub best_reaction: Vec<bool>,
+    /// Best upper-level revenue over the archive (Table IV's metric).
+    pub best_ul_value: f64,
+    /// Best %-gap over the archive (Table III's metric).
+    pub best_gap: f64,
+    /// Lower-level cost of the best-gap pair.
+    pub best_ll_value: f64,
+    /// Convergence series (Fig. 5's data), one point per improvement
+    /// generation.
+    pub trace: Trace,
+    /// Upper-level evaluations consumed.
+    pub ul_evals_used: u64,
+    /// Lower-level evaluations consumed.
+    pub ll_evals_used: u64,
+    /// Full co-evolution cycles completed.
+    pub cycles: usize,
+}
+
+/// The COBRA solver bound to one instance.
+///
+/// ```
+/// use bico_bcpop::{generate, GeneratorConfig};
+/// use bico_cobra::{Cobra, CobraConfig};
+///
+/// let inst = generate(
+///     &GeneratorConfig { num_bundles: 30, num_services: 4, ..Default::default() },
+///     42,
+/// );
+/// let mut cfg = CobraConfig::quick();
+/// cfg.ul_pop_size = 10;
+/// cfg.ll_pop_size = 10;
+/// cfg.ul_evaluations = 200;
+/// cfg.ll_evaluations = 200;
+/// let result = Cobra::new(&inst, cfg).run(1);
+/// assert!(inst.is_covering(&result.best_reaction));
+/// ```
+pub struct Cobra<'a> {
+    inst: &'a BcpopInstance,
+    cfg: CobraConfig,
+    relaxer: RelaxationSolver,
+}
+
+/// An archived bilevel pair.
+#[derive(Debug, Clone, PartialEq)]
+struct Pair {
+    prices: Vec<f64>,
+    reaction: Vec<bool>,
+}
+
+impl<'a> Cobra<'a> {
+    /// Bind COBRA to an instance.
+    pub fn new(inst: &'a BcpopInstance, cfg: CobraConfig) -> Self {
+        Cobra { relaxer: RelaxationSolver::new(inst), inst, cfg }
+    }
+
+    /// Run to budget exhaustion; deterministic per seed.
+    pub fn run(&self, seed: u64) -> CobraResult {
+        let cfg = &self.cfg;
+        let inst = self.inst;
+        let (lo, hi) = inst.price_bounds();
+        let nl = inst.num_own();
+        let m = inst.num_bundles();
+        let mut rng = SmallRng::seed_from_u64(seed_stream(seed, 1));
+        let pop_size = cfg.ul_pop_size.min(cfg.ll_pop_size);
+
+        // --- create_initial_pop + split ---
+        let mut uppers: Vec<Vec<f64>> = (0..pop_size)
+            .map(|_| (0..nl).map(|j| rng.random_range(lo[j]..=hi[j])).collect())
+            .collect();
+        let mut lowers: Vec<Vec<bool>> = (0..pop_size)
+            .map(|_| {
+                let mut y = random_bits(m, 0.5, &mut rng);
+                if cfg.repair {
+                    repair(inst, &mut y, &mut rng);
+                }
+                y
+            })
+            .collect();
+
+        let mut ul_archive: Archive<Vec<f64>> =
+            Archive::new(cfg.ul_archive_size, Direction::Maximize);
+        // Lower archive ranks pairs by the LL objective value — COBRA's
+        // own criterion (the gap is only computed for reporting).
+        let mut ll_archive: Archive<Pair> = Archive::new(cfg.ll_archive_size, Direction::Minimize);
+
+        let mut trace = Trace::new();
+        let mut ul_evals: u64 = 0;
+        let mut ll_evals: u64 = 0;
+        let mut cycles = 0usize;
+        let mut gen_counter = 0usize;
+
+        let phase_cost = (pop_size * cfg.improvement_gens) as u64;
+        while ul_evals + phase_cost <= cfg.ul_evaluations
+            && ll_evals + phase_cost <= cfg.ll_evaluations
+        {
+            // ---- upper improvement: evolve prices against frozen reactions ----
+            for _ in 0..cfg.improvement_gens {
+                let fit: Vec<f64> = uppers
+                    .par_iter()
+                    .zip(lowers.par_iter())
+                    .map(|(x, y)| ul_fitness(inst, x, y))
+                    .collect();
+                ul_evals += pop_size as u64;
+                self.record(&mut trace, gen_counter, ul_evals + ll_evals, &uppers, &lowers);
+                gen_counter += 1;
+
+                let mut next = Vec::with_capacity(pop_size);
+                while next.len() < pop_size {
+                    let i = tournament(&fit, 2, Direction::Maximize, &mut rng);
+                    let j = tournament(&fit, 2, Direction::Maximize, &mut rng);
+                    let (mut c1, mut c2) = if rng.random::<f64>() < cfg.ul_crossover_prob {
+                        sbx_crossover(&uppers[i], &uppers[j], &lo, &hi, &cfg.ul_real_ops, &mut rng)
+                    } else {
+                        (uppers[i].clone(), uppers[j].clone())
+                    };
+                    polynomial_mutation(&mut c1, &lo, &hi, cfg.ul_mutation_prob, &cfg.ul_real_ops, &mut rng);
+                    polynomial_mutation(&mut c2, &lo, &hi, cfg.ul_mutation_prob, &cfg.ul_real_ops, &mut rng);
+                    next.push(c1);
+                    if next.len() < pop_size {
+                        next.push(c2);
+                    }
+                }
+                uppers = next;
+            }
+
+            // ---- lower improvement: evolve reactions against frozen prices ----
+            for _ in 0..cfg.improvement_gens {
+                let fit: Vec<f64> = lowers
+                    .par_iter()
+                    .zip(uppers.par_iter())
+                    .map(|(y, x)| ll_fitness(inst, x, y))
+                    .collect();
+                ll_evals += pop_size as u64;
+                self.record(&mut trace, gen_counter, ul_evals + ll_evals, &uppers, &lowers);
+                gen_counter += 1;
+
+                let mut next = Vec::with_capacity(pop_size);
+                while next.len() < pop_size {
+                    let i = tournament(&fit, 2, Direction::Minimize, &mut rng);
+                    let j = tournament(&fit, 2, Direction::Minimize, &mut rng);
+                    let (mut c1, mut c2) = if rng.random::<f64>() < cfg.ll_crossover_prob {
+                        two_point_crossover(&lowers[i], &lowers[j], &mut rng)
+                    } else {
+                        (lowers[i].clone(), lowers[j].clone())
+                    };
+                    // Table II: "(GA) swap" with probability 1/#variables.
+                    shuffle_mutation(&mut c1, 1.0 / m as f64, &mut rng);
+                    shuffle_mutation(&mut c2, 1.0 / m as f64, &mut rng);
+                    if cfg.repair {
+                        repair(inst, &mut c1, &mut rng);
+                        repair(inst, &mut c2, &mut rng);
+                    }
+                    next.push(c1);
+                    if next.len() < pop_size {
+                        next.push(c2);
+                    }
+                }
+                lowers = next;
+            }
+
+            // ---- archiving (both levels) ----
+            for (x, y) in uppers.iter().zip(&lowers) {
+                let f = ul_fitness(inst, x, y);
+                ul_archive.push(x.clone(), f);
+                let cost = ll_fitness(inst, x, y);
+                ll_archive.push(Pair { prices: x.clone(), reaction: y.clone() }, cost);
+            }
+
+            // ---- coevolution: random re-pairing of the two populations ----
+            shuffle(&mut lowers, &mut rng);
+
+            // ---- adding from archives: re-inject elites over the worst ----
+            if let Some((g, _)) = ul_archive.best() {
+                uppers[0] = g.clone();
+            }
+            if let Some((p, _)) = ll_archive.best() {
+                lowers[0] = p.reaction.clone();
+            }
+
+            cycles += 1;
+        }
+
+        self.extract(ll_archive, trace, ul_evals, ll_evals, cycles)
+    }
+
+    /// One trace point: the *current* populations' best pair, by revenue,
+    /// and its gap — the quantities Fig. 5 plots. Recording the current
+    /// (not best-so-far) pair is what exposes the see-saw: each upper
+    /// improvement phase inflates revenue against frozen reactions, and
+    /// each lower phase deflates it while repairing the gap.
+    fn record(
+        &self,
+        trace: &mut Trace,
+        generation: usize,
+        evals: u64,
+        uppers: &[Vec<f64>],
+        lowers: &[Vec<bool>],
+    ) {
+        // Gap of the current best pair by revenue.
+        let mut best_pair = 0usize;
+        let mut best_rev = f64::NEG_INFINITY;
+        for (i, (x, y)) in uppers.iter().zip(lowers).enumerate() {
+            let f = ul_fitness(self.inst, x, y);
+            if f > best_rev {
+                best_rev = f;
+                best_pair = i;
+            }
+        }
+        let x = &uppers[best_pair];
+        let y = &lowers[best_pair];
+        let gap = self
+            .relaxer
+            .solve(&self.inst.costs_for(x))
+            .map(|r| evaluate_pair(self.inst, x, y, r.lower_bound).gap)
+            .unwrap_or(f64::INFINITY);
+        trace.record(generation, evals, best_rev, gap);
+    }
+
+    fn extract(
+        &self,
+        ll_archive: Archive<Pair>,
+        trace: Trace,
+        ul_evals: u64,
+        ll_evals: u64,
+        cycles: usize,
+    ) -> CobraResult {
+        let inst = self.inst;
+        let mut best_gap = f64::INFINITY;
+        let mut best_ul = 0.0f64;
+        let mut best: Option<(Pair, f64)> = None;
+        for (pair, ll_value) in ll_archive.iter() {
+            let Some(relax) = self.relaxer.solve(&inst.costs_for(&pair.prices)) else {
+                continue;
+            };
+            let ev = evaluate_pair(inst, &pair.prices, &pair.reaction, relax.lower_bound);
+            if !ev.feasible {
+                continue;
+            }
+            best_ul = best_ul.max(ev.ul_value);
+            if ev.gap < best_gap {
+                best_gap = ev.gap;
+                best = Some((pair.clone(), ll_value));
+            }
+        }
+        match best {
+            Some((pair, ll_value)) => CobraResult {
+                best_pricing: pair.prices,
+                best_reaction: pair.reaction,
+                best_ul_value: best_ul,
+                best_gap,
+                best_ll_value: ll_value,
+                trace,
+                ul_evals_used: ul_evals,
+                ll_evals_used: ll_evals,
+                cycles,
+            },
+            None => CobraResult {
+                best_pricing: vec![0.0; inst.num_own()],
+                best_reaction: vec![false; inst.num_bundles()],
+                best_ul_value: 0.0,
+                best_gap: f64::INFINITY,
+                best_ll_value: f64::INFINITY,
+                trace,
+                ul_evals_used: ul_evals,
+                ll_evals_used: ll_evals,
+                cycles,
+            },
+        }
+    }
+}
+
+/// Upper-level fitness: revenue if the partner reaction covers,
+/// zero otherwise (no sale on unmet needs).
+fn ul_fitness(inst: &BcpopInstance, prices: &[f64], reaction: &[bool]) -> f64 {
+    if !inst.is_covering(reaction) {
+        return 0.0;
+    }
+    bico_bcpop::ul_revenue(inst, prices, reaction)
+}
+
+/// Lower-level fitness: cost plus a proportional penalty per unit of
+/// uncovered requirement (COBRA handles the LL as a penalized
+/// single-level problem).
+fn ll_fitness(inst: &BcpopInstance, prices: &[f64], reaction: &[bool]) -> f64 {
+    let costs = inst.costs_for(prices);
+    let cost = bico_bcpop::ll_cost(&costs, reaction);
+    let mut violation = 0.0f64;
+    for k in 0..inst.num_services() {
+        let covered: i64 = (0..inst.num_bundles())
+            .filter(|&j| reaction[j])
+            .map(|j| inst.coverage(j, k) as i64)
+            .sum();
+        violation += (inst.requirement(k) as i64 - covered).max(0) as f64;
+    }
+    let max_cost: f64 = costs.iter().sum();
+    cost + violation * (1.0 + max_cost)
+}
+
+/// Add random useful bundles until the reaction covers all requirements.
+#[allow(clippy::needless_range_loop)]
+pub(crate) fn repair<R: Rng + ?Sized>(inst: &BcpopInstance, y: &mut [bool], rng: &mut R) {
+    let n = inst.num_services();
+    let mut residual: Vec<i64> = (0..n)
+        .map(|k| {
+            inst.requirement(k) as i64
+                - (0..inst.num_bundles())
+                    .filter(|&j| y[j])
+                    .map(|j| inst.coverage(j, k) as i64)
+                    .sum::<i64>()
+        })
+        .collect();
+    while residual.iter().any(|&r| r > 0) {
+        // Pick a random unselected bundle that reduces some residual.
+        let candidates: Vec<usize> = (0..inst.num_bundles())
+            .filter(|&j| {
+                !y[j] && (0..n).any(|k| residual[k] > 0 && inst.coverage(j, k) > 0)
+            })
+            .collect();
+        let Some(&j) = candidates.get(rng.random_range(0..candidates.len().max(1))) else {
+            return; // cannot repair (impossible on validated instances)
+        };
+        y[j] = true;
+        for k in 0..n {
+            residual[k] -= inst.coverage(j, k) as i64;
+        }
+    }
+}
+
+/// Fisher–Yates shuffle (the co-evolution re-pairing operator).
+fn shuffle<T, R: Rng + ?Sized>(items: &mut [T], rng: &mut R) {
+    for i in (1..items.len()).rev() {
+        let j = rng.random_range(0..=i);
+        items.swap(i, j);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bico_bcpop::{generate, GeneratorConfig};
+
+    fn small_instance() -> BcpopInstance {
+        generate(
+            &GeneratorConfig { num_bundles: 30, num_services: 4, ..Default::default() },
+            7,
+        )
+    }
+
+    #[test]
+    fn defaults_match_table_2() {
+        let c = CobraConfig::default();
+        assert_eq!(c.ul_pop_size, 100);
+        assert_eq!(c.ul_archive_size, 100);
+        assert_eq!(c.ul_evaluations, 50_000);
+        assert_eq!(c.ul_crossover_prob, 0.85);
+        assert_eq!(c.ul_mutation_prob, 0.01);
+        assert_eq!(c.ll_evaluations, 50_000);
+        assert_eq!(c.ll_crossover_prob, 0.85);
+    }
+
+    #[test]
+    fn quick_run_extracts_feasible_pair() {
+        let inst = small_instance();
+        let mut cfg = CobraConfig::quick();
+        cfg.ul_pop_size = 10;
+        cfg.ll_pop_size = 10;
+        cfg.ul_evaluations = 400;
+        cfg.ll_evaluations = 400;
+        cfg.improvement_gens = 2;
+        let r = Cobra::new(&inst, cfg).run(42);
+        assert!(r.cycles > 0);
+        assert!(inst.is_covering(&r.best_reaction));
+        assert!(r.best_gap.is_finite());
+        assert!(r.best_gap >= -1e-6);
+        assert!(r.best_ll_value.is_finite());
+        assert!(!r.trace.points().is_empty());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let inst = small_instance();
+        let mut cfg = CobraConfig::quick();
+        cfg.ul_pop_size = 8;
+        cfg.ll_pop_size = 8;
+        cfg.ul_evaluations = 160;
+        cfg.ll_evaluations = 160;
+        cfg.improvement_gens = 2;
+        let a = Cobra::new(&inst, cfg.clone()).run(5);
+        let b = Cobra::new(&inst, cfg).run(5);
+        assert_eq!(a.best_pricing, b.best_pricing);
+        assert_eq!(a.best_gap, b.best_gap);
+        assert_eq!(a.trace.points(), b.trace.points());
+    }
+
+    #[test]
+    fn budget_respected() {
+        let inst = small_instance();
+        let mut cfg = CobraConfig::quick();
+        cfg.ul_pop_size = 10;
+        cfg.ll_pop_size = 10;
+        cfg.improvement_gens = 3;
+        cfg.ul_evaluations = 100; // 3 cycles of 30 fits, 4th would bust
+        cfg.ll_evaluations = 100;
+        let r = Cobra::new(&inst, cfg).run(3);
+        assert!(r.ul_evals_used <= 100);
+        assert!(r.ll_evals_used <= 100);
+        assert_eq!(r.cycles, 3);
+    }
+
+    #[test]
+    fn repair_produces_covering_reactions() {
+        let inst = small_instance();
+        let mut rng = SmallRng::seed_from_u64(9);
+        for _ in 0..20 {
+            let mut y = random_bits(inst.num_bundles(), 0.05, &mut rng);
+            repair(&inst, &mut y, &mut rng);
+            assert!(inst.is_covering(&y));
+        }
+    }
+
+    #[test]
+    fn ll_fitness_penalizes_uncovered() {
+        let inst = small_instance();
+        let prices = vec![10.0; inst.num_own()];
+        let nothing = vec![false; inst.num_bundles()];
+        let everything = vec![true; inst.num_bundles()];
+        assert!(
+            ll_fitness(&inst, &prices, &nothing) > ll_fitness(&inst, &prices, &everything),
+            "an empty basket must be worse than buying everything"
+        );
+    }
+
+    #[test]
+    fn ul_fitness_zero_when_reaction_uncovered() {
+        let inst = small_instance();
+        let prices = vec![10.0; inst.num_own()];
+        let nothing = vec![false; inst.num_bundles()];
+        assert_eq!(ul_fitness(&inst, &prices, &nothing), 0.0);
+    }
+}

@@ -1,0 +1,349 @@
+//! CODBA-style co-evolutionary decomposition baseline.
+//!
+//! The paper's related work (§III, Chaabani, Bechikh & Ben Said 2015)
+//! describes CODBA as "generating from the upper-level solutions many
+//! LL populations … evaluate in parallel each sub-population. Each
+//! individual of these LL populations mate using crossover with the
+//! best archived LL solutions until no more improvement occurs at LL" —
+//! and the paper pointedly remarks that this workflow "reduces to a
+//! simple nested optimization algorithm". This implementation lets that
+//! claim be tested: CODBA's lower-level budget consumption sits between
+//! COBRA's and the fully nested baseline's.
+//!
+//! Per upper-level generation:
+//!
+//! 1. every pricing `x` spawns a lower-level sub-population seeded from
+//!    the shared reaction archive plus random covers;
+//! 2. each sub-population evolves by mating its members with the best
+//!    archived reactions (two-point crossover + swap mutation + repair)
+//!    until `stall_limit` generations pass without improvement;
+//! 3. the best reaction found scores `x`, and enters the shared archive.
+
+use bico_bcpop::{evaluate_pair, BcpopInstance, RelaxationSolver};
+use bico_ea::{
+    archive::Archive,
+    binary::{random_bits, shuffle_mutation, two_point_crossover},
+    real::{polynomial_mutation, sbx_crossover, RealOpsConfig},
+    rng::seed_stream,
+    select::{tournament, Direction},
+    stats::Trace,
+};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// CODBA parameters.
+#[derive(Debug, Clone)]
+pub struct CodbaConfig {
+    /// Upper-level population size.
+    pub ul_pop_size: usize,
+    /// Upper-level evaluation budget.
+    pub ul_evaluations: u64,
+    /// SBX probability.
+    pub ul_crossover_prob: f64,
+    /// Polynomial-mutation probability per gene.
+    pub ul_mutation_prob: f64,
+    /// Real-operator configuration.
+    pub ul_real_ops: RealOpsConfig,
+    /// Size of each lower-level sub-population.
+    pub sub_pop_size: usize,
+    /// Sub-population generations without improvement before it stops.
+    pub stall_limit: usize,
+    /// Hard cap on generations per sub-population (safety).
+    pub sub_max_gens: usize,
+    /// Shared reaction-archive capacity.
+    pub archive_size: usize,
+    /// Total lower-level evaluation budget.
+    pub ll_evaluations: u64,
+}
+
+impl Default for CodbaConfig {
+    fn default() -> Self {
+        CodbaConfig {
+            ul_pop_size: 20,
+            ul_evaluations: 2_000,
+            ul_crossover_prob: 0.85,
+            ul_mutation_prob: 0.01,
+            ul_real_ops: RealOpsConfig::default(),
+            sub_pop_size: 10,
+            stall_limit: 3,
+            sub_max_gens: 25,
+            archive_size: 50,
+            ll_evaluations: 200_000,
+        }
+    }
+}
+
+/// Result of a CODBA run.
+#[derive(Debug, Clone)]
+pub struct CodbaResult {
+    /// Best pricing found.
+    pub best_pricing: Vec<f64>,
+    /// Its best reaction.
+    pub best_reaction: Vec<bool>,
+    /// Upper-level revenue of the best pair.
+    pub best_ul_value: f64,
+    /// %-gap of the best pair.
+    pub best_gap: f64,
+    /// Convergence trace (one point per upper generation).
+    pub trace: Trace,
+    /// Upper-level evaluations consumed.
+    pub ul_evals_used: u64,
+    /// Lower-level evaluations consumed.
+    pub ll_evals_used: u64,
+}
+
+/// The CODBA solver bound to one instance.
+pub struct Codba<'a> {
+    inst: &'a BcpopInstance,
+    cfg: CodbaConfig,
+    relaxer: RelaxationSolver,
+}
+
+impl<'a> Codba<'a> {
+    /// Bind to an instance.
+    pub fn new(inst: &'a BcpopInstance, cfg: CodbaConfig) -> Self {
+        Codba { relaxer: RelaxationSolver::new(inst), inst, cfg }
+    }
+
+    /// Run to budget exhaustion; deterministic per seed.
+    pub fn run(&self, seed: u64) -> CodbaResult {
+        let cfg = &self.cfg;
+        let inst = self.inst;
+        let (lo, hi) = inst.price_bounds();
+        let nl = inst.num_own();
+        let m = inst.num_bundles();
+        let mut rng = SmallRng::seed_from_u64(seed_stream(seed, 3));
+
+        let mut pop: Vec<Vec<f64>> = (0..cfg.ul_pop_size)
+            .map(|_| (0..nl).map(|j| rng.random_range(lo[j]..=hi[j])).collect())
+            .collect();
+        // Shared archive of good reactions, ranked by raw cost under the
+        // pricing they were found for (a heuristic reuse pool).
+        let mut reaction_archive: Archive<Vec<bool>> =
+            Archive::new(cfg.archive_size, Direction::Minimize);
+
+        let mut ul_evals = 0u64;
+        let mut ll_evals = 0u64;
+        let mut trace = Trace::new();
+        let mut best: Option<(Vec<f64>, Vec<bool>, f64, f64)> = None;
+        let mut generation = 0usize;
+
+        'outer: loop {
+            let mut fits = Vec::with_capacity(pop.len());
+            for prices in &pop {
+                if ul_evals + 1 > cfg.ul_evaluations
+                    || ll_evals + (cfg.sub_pop_size * 2) as u64 > cfg.ll_evaluations
+                {
+                    break 'outer;
+                }
+                let costs = inst.costs_for(prices);
+                let (reaction, used) =
+                    self.evolve_subpopulation(&costs, &reaction_archive, &mut rng);
+                ll_evals += used;
+                ul_evals += 1;
+                let cost: f64 = bico_bcpop::ll_cost(&costs, &reaction);
+                reaction_archive.push(reaction.clone(), cost);
+
+                let relax = self.relaxer.solve(&costs);
+                let (f, gap) = match relax {
+                    Some(r) => {
+                        let ev = evaluate_pair(inst, prices, &reaction, r.lower_bound);
+                        (ev.ul_value, ev.gap)
+                    }
+                    None => (0.0, f64::INFINITY),
+                };
+                fits.push(f);
+                let better = best.as_ref().is_none_or(|(_, _, bf, _)| f > *bf);
+                if better && gap.is_finite() {
+                    best = Some((prices.clone(), reaction, f, gap));
+                }
+            }
+            if fits.len() < pop.len() {
+                break;
+            }
+            let (bf, bg) = best
+                .as_ref()
+                .map_or((f64::NEG_INFINITY, f64::INFINITY), |(_, _, f, g)| (*f, *g));
+            trace.record(generation, ul_evals + ll_evals, bf, bg);
+            generation += 1;
+
+            let mut next = Vec::with_capacity(pop.len());
+            while next.len() < pop.len() {
+                let i = tournament(&fits, 2, Direction::Maximize, &mut rng);
+                let j = tournament(&fits, 2, Direction::Maximize, &mut rng);
+                let (mut c1, mut c2) = if rng.random::<f64>() < cfg.ul_crossover_prob {
+                    sbx_crossover(&pop[i], &pop[j], &lo, &hi, &cfg.ul_real_ops, &mut rng)
+                } else {
+                    (pop[i].clone(), pop[j].clone())
+                };
+                polynomial_mutation(&mut c1, &lo, &hi, cfg.ul_mutation_prob, &cfg.ul_real_ops, &mut rng);
+                polynomial_mutation(&mut c2, &lo, &hi, cfg.ul_mutation_prob, &cfg.ul_real_ops, &mut rng);
+                next.push(c1);
+                if next.len() < pop.len() {
+                    next.push(c2);
+                }
+            }
+            pop = next;
+        }
+
+        match best {
+            Some((prices, reaction, f, gap)) => CodbaResult {
+                best_pricing: prices,
+                best_reaction: reaction,
+                best_ul_value: f,
+                best_gap: gap,
+                trace,
+                ul_evals_used: ul_evals,
+                ll_evals_used: ll_evals,
+            },
+            None => CodbaResult {
+                best_pricing: vec![0.0; nl],
+                best_reaction: vec![false; m],
+                best_ul_value: 0.0,
+                best_gap: f64::INFINITY,
+                trace,
+                ul_evals_used: ul_evals,
+                ll_evals_used: ll_evals,
+            },
+        }
+    }
+
+    /// Evolve one lower-level sub-population for a fixed cost vector:
+    /// seed from the shared archive + random covers, mate with the best
+    /// archived reactions, stop after `stall_limit` non-improving
+    /// generations. Returns the best covering reaction and the number of
+    /// evaluations consumed.
+    fn evolve_subpopulation<R: Rng + ?Sized>(
+        &self,
+        costs: &[f64],
+        archive: &Archive<Vec<bool>>,
+        rng: &mut R,
+    ) -> (Vec<bool>, u64) {
+        let inst = self.inst;
+        let cfg = &self.cfg;
+        let m = inst.num_bundles();
+        let cost_of = |y: &[bool]| -> f64 {
+            if inst.is_covering(y) {
+                bico_bcpop::ll_cost(costs, y)
+            } else {
+                f64::INFINITY
+            }
+        };
+
+        // Seed: archived elites first, random repaired covers after.
+        let mut pop: Vec<Vec<bool>> = archive.top(cfg.sub_pop_size / 2);
+        while pop.len() < cfg.sub_pop_size {
+            let mut y = random_bits(m, 0.4, rng);
+            crate::cobra::repair(inst, &mut y, rng);
+            pop.push(y);
+        }
+
+        let mut evals = 0u64;
+        let mut best: (Vec<bool>, f64) = (pop[0].clone(), f64::INFINITY);
+        let mut stall = 0usize;
+        for _ in 0..cfg.sub_max_gens {
+            let fits: Vec<f64> = pop.iter().map(|y| cost_of(y)).collect();
+            evals += pop.len() as u64;
+            let mut improved = false;
+            for (y, &f) in pop.iter().zip(&fits) {
+                if f < best.1 {
+                    best = (y.clone(), f);
+                    improved = true;
+                }
+            }
+            if improved {
+                stall = 0;
+            } else {
+                stall += 1;
+                if stall >= cfg.stall_limit {
+                    break;
+                }
+            }
+            // CODBA's signature move: mate members with the best archived
+            // (or best-so-far) reaction.
+            let mate = archive.best().map(|(y, _)| y.clone()).unwrap_or_else(|| best.0.clone());
+            let mut next = Vec::with_capacity(pop.len());
+            next.push(best.0.clone()); // elitism
+            while next.len() < pop.len() {
+                let i = tournament(&fits, 2, Direction::Minimize, rng);
+                let (mut c1, _) = two_point_crossover(&pop[i], &mate, rng);
+                shuffle_mutation(&mut c1, 1.0 / m as f64, rng);
+                crate::cobra::repair(inst, &mut c1, rng);
+                next.push(c1);
+            }
+            pop = next;
+        }
+        (best.0, evals)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bico_bcpop::{generate, GeneratorConfig};
+
+    fn instance(seed: u64) -> BcpopInstance {
+        generate(
+            &GeneratorConfig { num_bundles: 30, num_services: 4, ..Default::default() },
+            seed,
+        )
+    }
+
+    fn cfg() -> CodbaConfig {
+        CodbaConfig {
+            ul_pop_size: 6,
+            ul_evaluations: 30,
+            sub_pop_size: 8,
+            stall_limit: 2,
+            sub_max_gens: 10,
+            archive_size: 20,
+            ll_evaluations: 20_000,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn codba_runs_and_extracts_feasible_pair() {
+        let inst = instance(41);
+        let r = Codba::new(&inst, cfg()).run(1);
+        assert!(r.best_gap.is_finite());
+        assert!(inst.is_covering(&r.best_reaction));
+        assert!(r.ul_evals_used <= 30);
+        assert!(!r.trace.points().is_empty());
+    }
+
+    #[test]
+    fn codba_is_deterministic() {
+        let inst = instance(42);
+        let a = Codba::new(&inst, cfg()).run(7);
+        let b = Codba::new(&inst, cfg()).run(7);
+        assert_eq!(a.best_pricing, b.best_pricing);
+        assert_eq!(a.best_gap, b.best_gap);
+        assert_eq!(a.ll_evals_used, b.ll_evals_used);
+    }
+
+    #[test]
+    fn codba_ll_consumption_is_nested_like() {
+        // The paper's critique: CODBA is effectively nested — it burns
+        // many LL evaluations per UL evaluation.
+        let inst = instance(43);
+        let r = Codba::new(&inst, cfg()).run(2);
+        let ratio = r.ll_evals_used as f64 / r.ul_evals_used.max(1) as f64;
+        assert!(ratio >= 8.0, "LL/UL ratio {ratio} too small for a nested-style scheme");
+    }
+
+    #[test]
+    fn stall_limit_stops_subpopulations_early() {
+        let inst = instance(44);
+        let eager = CodbaConfig { stall_limit: 1, sub_max_gens: 50, ..cfg() };
+        let patient = CodbaConfig { stall_limit: 10, sub_max_gens: 50, ..cfg() };
+        let r_eager = Codba::new(&inst, eager).run(3);
+        let r_patient = Codba::new(&inst, patient).run(3);
+        assert!(
+            r_eager.ll_evals_used < r_patient.ll_evals_used,
+            "{} !< {}",
+            r_eager.ll_evals_used,
+            r_patient.ll_evals_used
+        );
+    }
+}

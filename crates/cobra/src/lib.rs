@@ -1,0 +1,30 @@
+#![warn(missing_docs)]
+
+//! # bico-cobra — baselines for bi-level co-evolution
+//!
+//! * [`cobra`] — a faithful implementation of **COBRA** (Legillon,
+//!   Liefooghe & Talbi, CEC 2012), the co-evolutionary baseline the
+//!   paper compares CARBON against (Algorithm 1 + the COBRA column of
+//!   Table II): two index-paired populations, alternating upper/lower
+//!   *improvement phases*, elite archives at both levels, a random
+//!   re-pairing co-evolution operator, and archive re-injection.
+//! * [`codba`] — a CODBA-style decomposition baseline (Chaabani,
+//!   Bechikh & Ben Said 2015): per-pricing lower-level sub-populations
+//!   mating with archived reactions — the related-work algorithm the
+//!   paper argues "reduces to a simple nested optimization algorithm".
+//! * [`nested`] — a nested-sequential (CST) baseline from the paper's
+//!   taxonomy (Fig. 2): a plain GA whose fitness function runs a full
+//!   inner GA on the lower level — the "very time consuming" legacy
+//!   scheme both co-evolutionary algorithms try to escape.
+//!
+//! Both report the same metrics as CARBON (upper-level revenue and the
+//! Eq. 1 %-gap) so Tables III/IV compare like for like; COBRA data are
+//! extracted from its lower-level archive exactly as §V.B describes.
+
+pub mod cobra;
+pub mod codba;
+pub mod nested;
+
+pub use cobra::{Cobra, CobraConfig, CobraResult};
+pub use codba::{Codba, CodbaConfig, CodbaResult};
+pub use nested::{NestedConfig, NestedResult, NestedSequential};

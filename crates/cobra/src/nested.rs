@@ -1,0 +1,282 @@
+//! Nested-sequential (CST) baseline.
+//!
+//! The legacy scheme from the paper's taxonomy (§III, category NSQ/CST):
+//! a plain upper-level GA whose fitness function *solves the lower level
+//! from scratch* with an inner GA for every single upper-level
+//! candidate. This is the "very time consuming" nested structure both
+//! co-evolutionary algorithms try to break; it is included as an extra
+//! comparator for the ablation benches (its reactions are near-rational,
+//! so its gaps are small, but it burns the lower-level budget orders of
+//! magnitude faster than CARBON).
+
+use bico_bcpop::{evaluate_pair, BcpopInstance, RelaxationSolver};
+use bico_ea::{
+    binary::{random_bits, shuffle_mutation, two_point_crossover},
+    real::{polynomial_mutation, sbx_crossover, RealOpsConfig},
+    rng::seed_stream,
+    select::{tournament, Direction},
+    stats::Trace,
+};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Nested-sequential parameters.
+#[derive(Debug, Clone)]
+pub struct NestedConfig {
+    /// Upper-level population size.
+    pub ul_pop_size: usize,
+    /// Upper-level evaluation budget.
+    pub ul_evaluations: u64,
+    /// SBX probability.
+    pub ul_crossover_prob: f64,
+    /// Polynomial-mutation probability per gene.
+    pub ul_mutation_prob: f64,
+    /// Real-operator configuration.
+    pub ul_real_ops: RealOpsConfig,
+    /// Inner (lower-level) GA population size.
+    pub ll_pop_size: usize,
+    /// Inner GA generations per upper-level evaluation.
+    pub ll_gens_per_eval: usize,
+    /// Total lower-level evaluation budget (inner GA evaluations).
+    pub ll_evaluations: u64,
+}
+
+impl Default for NestedConfig {
+    fn default() -> Self {
+        NestedConfig {
+            ul_pop_size: 20,
+            ul_evaluations: 2_000,
+            ul_crossover_prob: 0.85,
+            ul_mutation_prob: 0.01,
+            ul_real_ops: RealOpsConfig::default(),
+            ll_pop_size: 20,
+            ll_gens_per_eval: 10,
+            ll_evaluations: 400_000,
+        }
+    }
+}
+
+/// Result of a nested-sequential run.
+#[derive(Debug, Clone)]
+pub struct NestedResult {
+    /// Best pricing found.
+    pub best_pricing: Vec<f64>,
+    /// Its lower-level reaction (from the inner GA).
+    pub best_reaction: Vec<bool>,
+    /// Upper-level revenue of the best pair.
+    pub best_ul_value: f64,
+    /// %-gap of the best pair.
+    pub best_gap: f64,
+    /// Convergence trace.
+    pub trace: Trace,
+    /// Upper-level evaluations consumed.
+    pub ul_evals_used: u64,
+    /// Lower-level evaluations consumed (note how fast this explodes).
+    pub ll_evals_used: u64,
+}
+
+/// The nested-sequential solver.
+pub struct NestedSequential<'a> {
+    inst: &'a BcpopInstance,
+    cfg: NestedConfig,
+    relaxer: RelaxationSolver,
+}
+
+impl<'a> NestedSequential<'a> {
+    /// Bind to an instance.
+    pub fn new(inst: &'a BcpopInstance, cfg: NestedConfig) -> Self {
+        NestedSequential { relaxer: RelaxationSolver::new(inst), inst, cfg }
+    }
+
+    /// Run to budget exhaustion; deterministic per seed.
+    pub fn run(&self, seed: u64) -> NestedResult {
+        let cfg = &self.cfg;
+        let inst = self.inst;
+        let (lo, hi) = inst.price_bounds();
+        let nl = inst.num_own();
+        let mut rng = SmallRng::seed_from_u64(seed_stream(seed, 2));
+
+        let mut pop: Vec<Vec<f64>> = (0..cfg.ul_pop_size)
+            .map(|_| (0..nl).map(|j| rng.random_range(lo[j]..=hi[j])).collect())
+            .collect();
+        let mut ul_evals = 0u64;
+        let mut ll_evals = 0u64;
+        let mut trace = Trace::new();
+        let mut best: Option<(Vec<f64>, Vec<bool>, f64, f64)> = None;
+        let mut generation = 0usize;
+
+        let inner_cost = (cfg.ll_pop_size * cfg.ll_gens_per_eval) as u64;
+        'outer: loop {
+            let mut fits = Vec::with_capacity(pop.len());
+            for prices in &pop {
+                if ul_evals + 1 > cfg.ul_evaluations || ll_evals + inner_cost > cfg.ll_evaluations
+                {
+                    break 'outer;
+                }
+                let (reaction, inner_evals) = self.solve_lower(prices, &mut rng);
+                ll_evals += inner_evals;
+                ul_evals += 1;
+                let relax = self.relaxer.solve(&inst.costs_for(prices));
+                let (f, gap) = match relax {
+                    Some(r) => {
+                        let ev = evaluate_pair(inst, prices, &reaction, r.lower_bound);
+                        (ev.ul_value, ev.gap)
+                    }
+                    None => (0.0, f64::INFINITY),
+                };
+                fits.push(f);
+                let better = best.as_ref().is_none_or(|(_, _, bf, _)| f > *bf);
+                if better && gap.is_finite() {
+                    best = Some((prices.clone(), reaction, f, gap));
+                }
+            }
+            if fits.len() < pop.len() {
+                break;
+            }
+            let (bf, bg) = best
+                .as_ref()
+                .map_or((f64::NEG_INFINITY, f64::INFINITY), |(_, _, f, g)| (*f, *g));
+            trace.record(generation, ul_evals + ll_evals, bf, bg);
+            generation += 1;
+
+            // Breed the upper level.
+            let mut next = Vec::with_capacity(pop.len());
+            while next.len() < pop.len() {
+                let i = tournament(&fits, 2, Direction::Maximize, &mut rng);
+                let j = tournament(&fits, 2, Direction::Maximize, &mut rng);
+                let (mut c1, mut c2) = if rng.random::<f64>() < cfg.ul_crossover_prob {
+                    sbx_crossover(&pop[i], &pop[j], &lo, &hi, &cfg.ul_real_ops, &mut rng)
+                } else {
+                    (pop[i].clone(), pop[j].clone())
+                };
+                polynomial_mutation(&mut c1, &lo, &hi, cfg.ul_mutation_prob, &cfg.ul_real_ops, &mut rng);
+                polynomial_mutation(&mut c2, &lo, &hi, cfg.ul_mutation_prob, &cfg.ul_real_ops, &mut rng);
+                next.push(c1);
+                if next.len() < pop.len() {
+                    next.push(c2);
+                }
+            }
+            pop = next;
+        }
+
+        match best {
+            Some((prices, reaction, f, gap)) => NestedResult {
+                best_pricing: prices,
+                best_reaction: reaction,
+                best_ul_value: f,
+                best_gap: gap,
+                trace,
+                ul_evals_used: ul_evals,
+                ll_evals_used: ll_evals,
+            },
+            None => NestedResult {
+                best_pricing: vec![0.0; nl],
+                best_reaction: vec![false; inst.num_bundles()],
+                best_ul_value: 0.0,
+                best_gap: f64::INFINITY,
+                trace,
+                ul_evals_used: ul_evals,
+                ll_evals_used: ll_evals,
+            },
+        }
+    }
+
+    /// Inner GA: minimize the customer's cost for fixed prices. Returns
+    /// the best covering reaction and the evaluations consumed.
+    fn solve_lower<R: Rng + ?Sized>(&self, prices: &[f64], rng: &mut R) -> (Vec<bool>, u64) {
+        let inst = self.inst;
+        let cfg = &self.cfg;
+        let m = inst.num_bundles();
+        let costs = inst.costs_for(prices);
+        let cost_of = |y: &[bool]| -> f64 {
+            if inst.is_covering(y) {
+                bico_bcpop::ll_cost(&costs, y)
+            } else {
+                f64::INFINITY
+            }
+        };
+        let mut pop: Vec<Vec<bool>> = (0..cfg.ll_pop_size)
+            .map(|_| {
+                let mut y = random_bits(m, 0.5, rng);
+                crate::cobra::repair(inst, &mut y, rng);
+                y
+            })
+            .collect();
+        let mut evals = 0u64;
+        let mut best: (Vec<bool>, f64) = (pop[0].clone(), f64::INFINITY);
+        for _ in 0..cfg.ll_gens_per_eval {
+            let fits: Vec<f64> = pop.iter().map(|y| cost_of(y)).collect();
+            evals += pop.len() as u64;
+            for (y, &f) in pop.iter().zip(&fits) {
+                if f < best.1 {
+                    best = (y.clone(), f);
+                }
+            }
+            let mut next = Vec::with_capacity(pop.len());
+            next.push(best.0.clone()); // elitism
+            while next.len() < pop.len() {
+                let i = tournament(&fits, 2, Direction::Minimize, rng);
+                let j = tournament(&fits, 2, Direction::Minimize, rng);
+                let (mut c1, mut c2) = two_point_crossover(&pop[i], &pop[j], rng);
+                shuffle_mutation(&mut c1, 1.0 / m as f64, rng);
+                shuffle_mutation(&mut c2, 1.0 / m as f64, rng);
+                crate::cobra::repair(inst, &mut c1, rng);
+                crate::cobra::repair(inst, &mut c2, rng);
+                next.push(c1);
+                if next.len() < pop.len() {
+                    next.push(c2);
+                }
+            }
+            pop = next;
+        }
+        (best.0, evals)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bico_bcpop::{generate, GeneratorConfig};
+
+    #[test]
+    fn nested_run_finds_feasible_pair() {
+        let inst = generate(
+            &GeneratorConfig { num_bundles: 25, num_services: 3, ..Default::default() },
+            13,
+        );
+        let cfg = NestedConfig {
+            ul_pop_size: 6,
+            ul_evaluations: 30,
+            ll_pop_size: 8,
+            ll_gens_per_eval: 4,
+            ll_evaluations: 10_000,
+            ..Default::default()
+        };
+        let r = NestedSequential::new(&inst, cfg).run(1);
+        assert!(r.best_gap.is_finite());
+        assert!(inst.is_covering(&r.best_reaction));
+        assert!(r.ul_evals_used <= 30);
+        // The nested scheme burns LL budget fast: ~32 LL evals per UL eval.
+        assert!(r.ll_evals_used >= 20 * r.ul_evals_used);
+    }
+
+    #[test]
+    fn nested_is_deterministic() {
+        let inst = generate(
+            &GeneratorConfig { num_bundles: 20, num_services: 3, ..Default::default() },
+            14,
+        );
+        let cfg = NestedConfig {
+            ul_pop_size: 4,
+            ul_evaluations: 12,
+            ll_pop_size: 6,
+            ll_gens_per_eval: 3,
+            ll_evaluations: 10_000,
+            ..Default::default()
+        };
+        let a = NestedSequential::new(&inst, cfg.clone()).run(2);
+        let b = NestedSequential::new(&inst, cfg).run(2);
+        assert_eq!(a.best_pricing, b.best_pricing);
+        assert_eq!(a.best_gap, b.best_gap);
+    }
+}

@@ -1,0 +1,112 @@
+//! Behavioral tests for the COBRA baseline: see-saw trace signature,
+//! improvement-phase accounting, archive extraction consistency.
+
+use bico_bcpop::{generate, GeneratorConfig};
+use bico_cobra::{Cobra, CobraConfig, NestedConfig, NestedSequential};
+
+fn instance(seed: u64) -> bico_bcpop::BcpopInstance {
+    generate(
+        &GeneratorConfig { num_bundles: 60, num_services: 6, ..Default::default() },
+        seed,
+    )
+}
+
+fn cfg(pop: usize, evals: u64, gens: usize) -> CobraConfig {
+    CobraConfig {
+        ul_pop_size: pop,
+        ll_pop_size: pop,
+        ul_archive_size: pop,
+        ll_archive_size: pop,
+        ul_evaluations: evals,
+        ll_evaluations: evals,
+        improvement_gens: gens,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn trace_has_one_point_per_improvement_generation() {
+    let inst = instance(31);
+    let r = Cobra::new(&inst, cfg(10, 300, 3)).run(1);
+    // Each cycle records improvement_gens upper + improvement_gens lower
+    // points.
+    assert_eq!(r.trace.points().len(), r.cycles * 6);
+}
+
+#[test]
+fn see_saw_signature_has_reversals() {
+    // COBRA's alternating phases must produce direction reversals in the
+    // gap series — the Fig. 5 signature CARBON lacks.
+    let inst = instance(32);
+    let r = Cobra::new(&inst, cfg(16, 1_600, 5)).run(2);
+    let pts = r.trace.points();
+    assert!(pts.len() >= 20);
+    let mut reversals = 0;
+    for w in pts.windows(3) {
+        let d1 = w[1].gap_best - w[0].gap_best;
+        let d2 = w[2].gap_best - w[1].gap_best;
+        if d1 * d2 < 0.0 {
+            reversals += 1;
+        }
+    }
+    assert!(
+        reversals >= 3,
+        "expected see-saw reversals in COBRA's gap trace, got {reversals}"
+    );
+}
+
+#[test]
+fn improvement_gens_knob_changes_cycle_count() {
+    let inst = instance(33);
+    let short = Cobra::new(&inst, cfg(10, 600, 2)).run(3);
+    let long = Cobra::new(&inst, cfg(10, 600, 6)).run(3);
+    assert!(short.cycles > long.cycles, "{} vs {}", short.cycles, long.cycles);
+}
+
+#[test]
+fn extraction_pair_is_consistent() {
+    let inst = instance(34);
+    let r = Cobra::new(&inst, cfg(12, 600, 3)).run(4);
+    // The extracted reaction must cover and its cost must match
+    // best_ll_value under the extracted pricing.
+    assert!(inst.is_covering(&r.best_reaction));
+    let costs = inst.costs_for(&r.best_pricing);
+    let cost = bico_bcpop::ll_cost(&costs, &r.best_reaction);
+    assert!((cost - r.best_ll_value).abs() < 1e-9);
+}
+
+#[test]
+fn repair_disabled_still_terminates() {
+    let inst = instance(35);
+    let mut c = cfg(10, 400, 2);
+    c.repair = false;
+    let r = Cobra::new(&inst, c).run(5);
+    assert!(r.cycles > 0);
+    // Without repair the archive may be sparse, but the run must not
+    // panic and budgets must be respected.
+    assert!(r.ul_evals_used <= 400);
+}
+
+#[test]
+fn nested_baseline_burns_ll_budget_much_faster_than_cobra() {
+    let inst = instance(36);
+    let cobra = Cobra::new(&inst, cfg(10, 500, 2)).run(6);
+    let nested = NestedSequential::new(
+        &inst,
+        NestedConfig {
+            ul_pop_size: 5,
+            ul_evaluations: 500,
+            ll_pop_size: 10,
+            ll_gens_per_eval: 5,
+            ll_evaluations: 500,
+            ..Default::default()
+        },
+    )
+    .run(6);
+    let cobra_ratio = cobra.ll_evals_used as f64 / cobra.ul_evals_used.max(1) as f64;
+    let nested_ratio = nested.ll_evals_used as f64 / nested.ul_evals_used.max(1) as f64;
+    assert!(
+        nested_ratio > cobra_ratio * 5.0,
+        "nested LL/UL ratio {nested_ratio} should dwarf COBRA's {cobra_ratio}"
+    );
+}

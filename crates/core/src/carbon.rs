@@ -1,0 +1,620 @@
+//! CARBON: Competitive co-evolution of upper-level pricings (prey) and
+//! lower-level GP heuristics (predators).
+//!
+//! The workflow follows Fig. 3 of the paper, with the coupling choices
+//! documented in DESIGN.md §6.1:
+//!
+//! 1. per generation, the lower-level relaxation LP is solved once per
+//!    upper-level individual (it is needed for the %-gap anyway and its
+//!    duals / relaxed primal feed the Table I terminals);
+//! 2. each GP heuristic is scored by its mean %-gap over a rotating
+//!    training subset of the current pricings — gap, *not* lower-level
+//!    cost, so heuristics are comparable across upper-level decisions
+//!    (the paper's central argument in §IV.A);
+//! 3. each pricing is scored by the revenue it achieves against the
+//!    *champion* heuristic's reaction — the best forecast available of
+//!    the customer's rational behaviour;
+//! 4. both populations then evolve with their Table II operators, and
+//!    elite archives are maintained at both levels.
+
+use bico_bcpop::{
+    bcpop_primitives, evaluate_pair, greedy_cover, BcpopInstance, GpScorer, Relaxation,
+    RelaxationSolver,
+};
+use bico_ea::{
+    archive::Archive,
+    real::{polynomial_mutation, sbx_crossover, RealOpsConfig},
+    rng::seed_stream,
+    select::{tournament, Direction},
+    stats::Trace,
+};
+use bico_gp::{
+    mutate_uniform, ramped_half_and_half, subtree_crossover, to_infix, Expr, PrimitiveSet,
+    VariationConfig,
+};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+
+/// CARBON parameters. `Default` is the paper's Table II column
+/// (50 000 + 50 000 evaluations, population/archive 100, SBX 0.85,
+/// polynomial mutation 0.01, GP crossover 0.85, uniform mutation 0.1,
+/// reproduction 0.05).
+#[derive(Debug, Clone)]
+pub struct CarbonConfig {
+    /// Upper-level population size.
+    pub ul_pop_size: usize,
+    /// Upper-level archive capacity.
+    pub ul_archive_size: usize,
+    /// Upper-level fitness-evaluation budget.
+    pub ul_evaluations: u64,
+    /// SBX probability per couple.
+    pub ul_crossover_prob: f64,
+    /// Polynomial-mutation probability per gene.
+    pub ul_mutation_prob: f64,
+    /// SBX / polynomial-mutation distribution indices.
+    pub ul_real_ops: RealOpsConfig,
+    /// Lower-level (heuristic) population size.
+    pub ll_pop_size: usize,
+    /// Lower-level archive capacity.
+    pub ll_archive_size: usize,
+    /// Lower-level fitness-evaluation budget (one evaluation = one
+    /// greedy pass of one heuristic on one pricing).
+    pub ll_evaluations: u64,
+    /// GP tournament size ("Tournament" in Table II, vs binary at UL).
+    pub ll_tournament: usize,
+    /// GP subtree-crossover probability.
+    pub ll_crossover_prob: f64,
+    /// GP uniform-mutation probability per individual.
+    pub ll_mutation_prob: f64,
+    /// GP reproduction (verbatim cloning) probability.
+    pub ll_reproduction_prob: f64,
+    /// GP depth limits.
+    pub gp_variation: VariationConfig,
+    /// Ramped half-and-half initialization depth window.
+    pub gp_init_depth: (usize, usize),
+    /// Number of pricings each heuristic is scored on per generation.
+    pub training_samples: usize,
+    /// Keep elite archives (ablation knob; the paper keeps them on).
+    pub use_archives: bool,
+    /// Score heuristics by %-gap (CARBON) or raw lower-level cost
+    /// (the `ablation_fitness` variant mimicking COBRA's criterion).
+    pub gap_fitness: bool,
+    /// Provide the LP terminals (`d_k`, `x̄_j`) to the heuristics
+    /// (`false` = the `ablation_terminals` variant).
+    pub lp_terminals: bool,
+}
+
+impl Default for CarbonConfig {
+    fn default() -> Self {
+        CarbonConfig {
+            ul_pop_size: 100,
+            ul_archive_size: 100,
+            ul_evaluations: 50_000,
+            ul_crossover_prob: 0.85,
+            ul_mutation_prob: 0.01,
+            ul_real_ops: RealOpsConfig::default(),
+            ll_pop_size: 100,
+            ll_archive_size: 100,
+            ll_evaluations: 50_000,
+            ll_tournament: 3,
+            ll_crossover_prob: 0.85,
+            ll_mutation_prob: 0.1,
+            ll_reproduction_prob: 0.05,
+            gp_variation: VariationConfig { max_depth: 8, mutation_grow_depth: 2 },
+            gp_init_depth: (1, 4),
+            training_samples: 1,
+            use_archives: true,
+            gap_fitness: true,
+            lp_terminals: true,
+        }
+    }
+}
+
+impl CarbonConfig {
+    /// A reduced-budget configuration for tests and quick demos.
+    pub fn quick() -> Self {
+        CarbonConfig {
+            ul_pop_size: 20,
+            ul_archive_size: 20,
+            ul_evaluations: 1_000,
+            ll_pop_size: 20,
+            ll_archive_size: 20,
+            ll_evaluations: 1_000,
+            ..Default::default()
+        }
+    }
+}
+
+/// Result of a CARBON run.
+#[derive(Debug, Clone)]
+pub struct CarbonResult {
+    /// Best pricing found (extraction per §V.B: best archived solution).
+    pub best_pricing: Vec<f64>,
+    /// Upper-level revenue of the best pricing under the champion
+    /// heuristic's reaction.
+    pub best_ul_value: f64,
+    /// %-gap of that reaction (Table III's reported metric).
+    pub best_gap: f64,
+    /// The champion heuristic.
+    pub best_heuristic: Expr,
+    /// The champion rendered as an infix formula.
+    pub best_heuristic_infix: String,
+    /// Per-generation convergence series (Fig. 4's data).
+    pub trace: Trace,
+    /// Upper-level evaluations actually consumed.
+    pub ul_evals_used: u64,
+    /// Lower-level evaluations actually consumed.
+    pub ll_evals_used: u64,
+    /// Generations completed.
+    pub generations: usize,
+}
+
+/// The CARBON solver, bound to one BCPOP instance.
+///
+/// ```
+/// use bico_bcpop::{generate, GeneratorConfig};
+/// use bico_core::{Carbon, CarbonConfig};
+///
+/// let instance = generate(
+///     &GeneratorConfig { num_bundles: 30, num_services: 4, ..Default::default() },
+///     42,
+/// );
+/// let mut cfg = CarbonConfig::quick();
+/// cfg.ul_pop_size = 10;
+/// cfg.ll_pop_size = 10;
+/// cfg.ul_evaluations = 100;
+/// cfg.ll_evaluations = 100;
+/// let result = Carbon::new(&instance, cfg).run(7);
+/// assert!(result.best_gap.is_finite());
+/// assert_eq!(result.best_pricing.len(), instance.num_own());
+/// println!("evolved: {}", result.best_heuristic_infix);
+/// ```
+pub struct Carbon<'a> {
+    inst: &'a BcpopInstance,
+    cfg: CarbonConfig,
+    primitives: PrimitiveSet,
+    relaxer: RelaxationSolver,
+}
+
+impl<'a> Carbon<'a> {
+    /// Bind CARBON to an instance.
+    pub fn new(inst: &'a BcpopInstance, cfg: CarbonConfig) -> Self {
+        Carbon {
+            primitives: bcpop_primitives(),
+            relaxer: RelaxationSolver::new(inst),
+            inst,
+            cfg,
+        }
+    }
+
+    /// The GP primitive set used for the heuristics.
+    pub fn primitives(&self) -> &PrimitiveSet {
+        &self.primitives
+    }
+
+    /// Run to budget exhaustion. Deterministic for a fixed seed,
+    /// independent of the rayon thread count.
+    pub fn run(&self, seed: u64) -> CarbonResult {
+        let cfg = &self.cfg;
+        let inst = self.inst;
+        let (lo, hi) = inst.price_bounds();
+        let nl = inst.num_own();
+        let mut rng = SmallRng::seed_from_u64(seed_stream(seed, 0));
+
+        // --- initial populations ---
+        let mut ul_pop: Vec<Vec<f64>> = (0..cfg.ul_pop_size)
+            .map(|_| (0..nl).map(|j| rng.random_range(lo[j]..=hi[j])).collect())
+            .collect();
+        let mut ll_pop: Vec<Expr> = ramped_half_and_half(
+            &self.primitives,
+            cfg.ll_pop_size,
+            cfg.gp_init_depth.0,
+            cfg.gp_init_depth.1,
+            &mut rng,
+        )
+        .expect("BCPOP primitive set supports generation");
+
+        let mut ul_archive: Archive<Vec<f64>> =
+            Archive::new(cfg.ul_archive_size, Direction::Maximize);
+        let mut ll_archive: Archive<Expr> =
+            Archive::new(cfg.ll_archive_size, Direction::Minimize);
+
+        let mut trace = Trace::new();
+        let mut ul_evals: u64 = 0;
+        let mut ll_evals: u64 = 0;
+        let mut generation = 0usize;
+        let mut champion: Expr = ll_pop[0].clone();
+        let mut best: Option<(Vec<f64>, f64, f64)> = None; // (pricing, F, gap of that pairing)
+        let mut best_gap_overall = f64::INFINITY; // Table III extraction: best gap of any evaluated pair
+
+        loop {
+            let gen_ul_cost = cfg.ul_pop_size as u64;
+            let gen_ll_cost = (cfg.ll_pop_size * cfg.training_samples) as u64;
+            if ul_evals + gen_ul_cost > cfg.ul_evaluations
+                || ll_evals + gen_ll_cost > cfg.ll_evaluations
+            {
+                break;
+            }
+
+            // --- 1. relaxations for every pricing (parallel LP solves) ---
+            let relaxations: Vec<Relaxation> = ul_pop
+                .par_iter()
+                .map(|prices| {
+                    self.relaxer
+                        .solve(&inst.costs_for(prices))
+                        .expect("validated instances always relax")
+                })
+                .collect();
+
+            // --- 2. heuristic fitness over a training subset: the elite
+            // pricing (slot 0 after archive re-injection) plus rotating
+            // samples — predators always train against the current best
+            // prey, so the arms race cannot stall on stale targets.
+            let training: Vec<usize> = (0..cfg.training_samples)
+                .map(|s| {
+                    if s == 0 {
+                        0
+                    } else {
+                        (generation * cfg.training_samples + s * 37) % ul_pop.len()
+                    }
+                })
+                .collect();
+            let ll_fitness: Vec<f64> = ll_pop
+                .par_iter()
+                .map(|expr| {
+                    let mut total = 0.0;
+                    for &ti in &training {
+                        let prices = &ul_pop[ti];
+                        let costs = inst.costs_for(prices);
+                        let relax = &relaxations[ti];
+                        let mut scorer = GpScorer::new(expr, &self.primitives);
+                        let out = greedy_cover(
+                            inst,
+                            &costs,
+                            &mut scorer,
+                            cfg.lp_terminals.then_some(relax),
+                        );
+                        let ev = evaluate_pair(inst, prices, &out.chosen, relax.lower_bound);
+                        total += if cfg.gap_fitness {
+                            if ev.gap.is_finite() {
+                                ev.gap
+                            } else {
+                                1e9
+                            }
+                        } else {
+                            ev.ll_value
+                        };
+                    }
+                    total / training.len() as f64
+                })
+                .collect();
+            ll_evals += gen_ll_cost;
+
+            // --- 3. champion selection + archive update. The champion is
+            // the *current* generation's best heuristic: archive fitness
+            // goes stale as the prey evolve (it was measured against old
+            // pricings), and a stale frozen champion lets pricings drift
+            // toward exploits it cannot answer — the gap would creep up.
+            // The archive still feeds elites back into breeding.
+            let mut best_ll = 0;
+            for i in 1..ll_pop.len() {
+                if ll_fitness[i] < ll_fitness[best_ll] {
+                    best_ll = i;
+                }
+            }
+            champion = ll_pop[best_ll].clone();
+            if cfg.use_archives {
+                for (expr, &fit) in ll_pop.iter().zip(&ll_fitness) {
+                    ll_archive.push(expr.clone(), fit);
+                }
+            }
+
+            // --- 4. upper-level fitness against the champion ---
+            let ul_scored: Vec<(f64, f64)> = ul_pop
+                .par_iter()
+                .zip(relaxations.par_iter())
+                .map(|(prices, relax)| {
+                    let costs = inst.costs_for(prices);
+                    let mut scorer = GpScorer::new(&champion, &self.primitives);
+                    let out = greedy_cover(
+                        inst,
+                        &costs,
+                        &mut scorer,
+                        cfg.lp_terminals.then_some(relax),
+                    );
+                    let ev = evaluate_pair(inst, prices, &out.chosen, relax.lower_bound);
+                    (ev.ul_value, ev.gap)
+                })
+                .collect();
+            ul_evals += gen_ul_cost;
+
+            let mut gen_best_f = f64::NEG_INFINITY;
+            let mut gen_best_gap = f64::INFINITY;
+            for (prices, &(f, gap)) in ul_pop.iter().zip(&ul_scored) {
+                if cfg.use_archives {
+                    ul_archive.push(prices.clone(), f);
+                }
+                gen_best_f = gen_best_f.max(f);
+                if gap.is_finite() {
+                    gen_best_gap = gen_best_gap.min(gap);
+                    best_gap_overall = best_gap_overall.min(gap);
+                }
+                let better = match &best {
+                    None => true,
+                    Some((_, bf, _)) => f > *bf,
+                };
+                if better && gap.is_finite() {
+                    best = Some((prices.clone(), f, gap));
+                }
+            }
+
+            // --- 5. trace: the *current* generation's best revenue and
+            // best pair gap — the quantities Fig. 4 plots (the paper's
+            // steady curves are a property of CARBON, not of best-so-far
+            // bookkeeping, so we deliberately do not make them monotone).
+            trace.record(generation, ul_evals + ll_evals, gen_best_f, gen_best_gap);
+
+            // --- 6. breed the upper level (GA, Table II left column) ---
+            let ul_fit: Vec<f64> = ul_scored.iter().map(|&(f, _)| f).collect();
+            ul_pop = breed_ul(
+                &ul_pop,
+                &ul_fit,
+                &ul_archive,
+                &lo,
+                &hi,
+                cfg,
+                &mut rng,
+            );
+
+            // --- 7. breed the lower level (GP, Table II right column) ---
+            ll_pop = breed_ll(
+                &ll_pop,
+                &ll_fitness,
+                &ll_archive,
+                &self.primitives,
+                cfg,
+                &mut rng,
+            );
+
+            generation += 1;
+        }
+
+        // --- extraction (same protocol as COBRA, §V.B): Table IV's
+        // metric is the best revenue, Table III's the best gap of any
+        // evaluated pair — they need not come from the same solution.
+        let (best_pricing, best_ul_value) = match best {
+            Some((p, f, _)) => (p, f),
+            None => (vec![0.0; nl], 0.0),
+        };
+        let best_gap = best_gap_overall;
+        let best_heuristic_infix = to_infix(&champion, &self.primitives);
+        CarbonResult {
+            best_pricing,
+            best_ul_value,
+            best_gap,
+            best_heuristic: champion,
+            best_heuristic_infix,
+            trace,
+            ul_evals_used: ul_evals,
+            ll_evals_used: ll_evals,
+            generations: generation,
+        }
+    }
+}
+
+fn breed_ul<R: Rng + ?Sized>(
+    pop: &[Vec<f64>],
+    fitness: &[f64],
+    archive: &Archive<Vec<f64>>,
+    lo: &[f64],
+    hi: &[f64],
+    cfg: &CarbonConfig,
+    rng: &mut R,
+) -> Vec<Vec<f64>> {
+    let mut next = Vec::with_capacity(pop.len());
+    // Elitism: re-inject the archive best (the paper re-adds archive
+    // members each cycle).
+    if cfg.use_archives {
+        if let Some((g, _)) = archive.best() {
+            next.push(g.clone());
+        }
+    }
+    while next.len() < pop.len() {
+        let i = tournament(fitness, 2, Direction::Maximize, rng);
+        let j = tournament(fitness, 2, Direction::Maximize, rng);
+        let (mut c1, mut c2) = if rng.random::<f64>() < cfg.ul_crossover_prob {
+            sbx_crossover(&pop[i], &pop[j], lo, hi, &cfg.ul_real_ops, rng)
+        } else {
+            (pop[i].clone(), pop[j].clone())
+        };
+        polynomial_mutation(&mut c1, lo, hi, cfg.ul_mutation_prob, &cfg.ul_real_ops, rng);
+        polynomial_mutation(&mut c2, lo, hi, cfg.ul_mutation_prob, &cfg.ul_real_ops, rng);
+        next.push(c1);
+        if next.len() < pop.len() {
+            next.push(c2);
+        }
+    }
+    next
+}
+
+fn breed_ll<R: Rng + ?Sized>(
+    pop: &[Expr],
+    fitness: &[f64],
+    archive: &Archive<Expr>,
+    ps: &PrimitiveSet,
+    cfg: &CarbonConfig,
+    rng: &mut R,
+) -> Vec<Expr> {
+    let mut next = Vec::with_capacity(pop.len());
+    if cfg.use_archives {
+        if let Some((g, _)) = archive.best() {
+            next.push(g.clone());
+        }
+    }
+    while next.len() < pop.len() {
+        // Reproduction: clone a tournament winner verbatim (Table II's
+        // "LL Reproduction probability").
+        if rng.random::<f64>() < cfg.ll_reproduction_prob {
+            let i = tournament(fitness, cfg.ll_tournament, Direction::Minimize, rng);
+            next.push(pop[i].clone());
+            continue;
+        }
+        let i = tournament(fitness, cfg.ll_tournament, Direction::Minimize, rng);
+        let j = tournament(fitness, cfg.ll_tournament, Direction::Minimize, rng);
+        let (mut c1, mut c2) = if rng.random::<f64>() < cfg.ll_crossover_prob {
+            subtree_crossover(&pop[i], &pop[j], ps, &cfg.gp_variation, rng)
+        } else {
+            (pop[i].clone(), pop[j].clone())
+        };
+        if rng.random::<f64>() < cfg.ll_mutation_prob {
+            c1 = mutate_uniform(&c1, ps, &cfg.gp_variation, rng);
+        }
+        if rng.random::<f64>() < cfg.ll_mutation_prob {
+            c2 = mutate_uniform(&c2, ps, &cfg.gp_variation, rng);
+        }
+        next.push(c1);
+        if next.len() < pop.len() {
+            next.push(c2);
+        }
+    }
+    next
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bico_bcpop::{generate, GeneratorConfig};
+
+    #[test]
+    fn defaults_match_table_2() {
+        let c = CarbonConfig::default();
+        assert_eq!(c.ul_pop_size, 100);
+        assert_eq!(c.ul_archive_size, 100);
+        assert_eq!(c.ul_evaluations, 50_000);
+        assert_eq!(c.ul_crossover_prob, 0.85);
+        assert_eq!(c.ul_mutation_prob, 0.01);
+        assert_eq!(c.ll_archive_size, 100);
+        assert_eq!(c.ll_evaluations, 50_000);
+        assert_eq!(c.ll_crossover_prob, 0.85);
+        assert_eq!(c.ll_mutation_prob, 0.1);
+        assert_eq!(c.ll_reproduction_prob, 0.05);
+        assert!(c.gap_fitness);
+        assert!(c.use_archives);
+    }
+
+    fn small_instance() -> BcpopInstance {
+        generate(
+            &GeneratorConfig { num_bundles: 30, num_services: 4, ..Default::default() },
+            7,
+        )
+    }
+
+    #[test]
+    fn quick_run_produces_feasible_result() {
+        let inst = small_instance();
+        let mut cfg = CarbonConfig::quick();
+        cfg.ul_pop_size = 10;
+        cfg.ll_pop_size = 10;
+        cfg.ul_evaluations = 200;
+        cfg.ll_evaluations = 200;
+        let result = Carbon::new(&inst, cfg).run(42);
+        assert!(result.generations > 0);
+        assert_eq!(result.best_pricing.len(), inst.num_own());
+        assert!(result.best_gap.is_finite());
+        assert!(result.best_gap >= -1e-6, "gap {} negative", result.best_gap);
+        assert!(result.best_ul_value >= 0.0);
+        assert!(!result.trace.points().is_empty());
+        assert!(result.ul_evals_used <= 200);
+        assert!(result.ll_evals_used <= 200);
+        assert!(!result.best_heuristic_infix.is_empty());
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let inst = small_instance();
+        let mut cfg = CarbonConfig::quick();
+        cfg.ul_pop_size = 8;
+        cfg.ll_pop_size = 8;
+        cfg.ul_evaluations = 64;
+        cfg.ll_evaluations = 64;
+        let a = Carbon::new(&inst, cfg.clone()).run(5);
+        let b = Carbon::new(&inst, cfg).run(5);
+        assert_eq!(a.best_pricing, b.best_pricing);
+        assert_eq!(a.best_ul_value, b.best_ul_value);
+        assert_eq!(a.best_gap, b.best_gap);
+        assert_eq!(a.trace.points(), b.trace.points());
+    }
+
+    #[test]
+    fn different_seeds_explore_differently() {
+        let inst = small_instance();
+        let mut cfg = CarbonConfig::quick();
+        cfg.ul_pop_size = 8;
+        cfg.ll_pop_size = 8;
+        cfg.ul_evaluations = 64;
+        cfg.ll_evaluations = 64;
+        let a = Carbon::new(&inst, cfg.clone()).run(1);
+        let b = Carbon::new(&inst, cfg).run(2);
+        assert_ne!(a.best_pricing, b.best_pricing);
+    }
+
+    #[test]
+    fn budget_is_respected_exactly() {
+        let inst = small_instance();
+        let mut cfg = CarbonConfig::quick();
+        cfg.ul_pop_size = 10;
+        cfg.ll_pop_size = 10;
+        cfg.training_samples = 2;
+        cfg.ul_evaluations = 105; // 10 generations of 10, 11th would bust
+        cfg.ll_evaluations = 1_000;
+        let r = Carbon::new(&inst, cfg).run(3);
+        assert_eq!(r.generations, 10);
+        assert_eq!(r.ul_evals_used, 100);
+        assert_eq!(r.ll_evals_used, 200);
+    }
+
+    #[test]
+    fn gap_improves_over_a_longer_run() {
+        let inst = generate(
+            &GeneratorConfig { num_bundles: 40, num_services: 5, ..Default::default() },
+            11,
+        );
+        let mut cfg = CarbonConfig::quick();
+        cfg.ul_pop_size = 16;
+        cfg.ll_pop_size = 16;
+        cfg.ul_evaluations = 1600;
+        cfg.ll_evaluations = 1600;
+        let r = Carbon::new(&inst, cfg).run(9);
+        let pts = r.trace.points();
+        assert!(pts.len() >= 10);
+        let first = pts[0].gap_best;
+        assert!(
+            r.best_gap <= first + 1e-9,
+            "best gap {} should improve on the first generation's {first}",
+            r.best_gap
+        );
+        // The second half of the run should on average beat the first half.
+        let half = pts.len() / 2;
+        let mean = |s: &[bico_ea::stats::TracePoint]| {
+            s.iter().map(|p| p.gap_best).sum::<f64>() / s.len() as f64
+        };
+        assert!(
+            mean(&pts[half..]) <= mean(&pts[..half]) + 1e-9,
+            "gap did not trend downward"
+        );
+    }
+
+    #[test]
+    fn archives_can_be_disabled() {
+        let inst = small_instance();
+        let mut cfg = CarbonConfig::quick();
+        cfg.ul_pop_size = 8;
+        cfg.ll_pop_size = 8;
+        cfg.ul_evaluations = 80;
+        cfg.ll_evaluations = 80;
+        cfg.use_archives = false;
+        let r = Carbon::new(&inst, cfg).run(4);
+        assert!(r.generations > 0);
+    }
+}

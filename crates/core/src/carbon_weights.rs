@@ -1,0 +1,301 @@
+//! CARBON-W: the representation ablation of CARBON.
+//!
+//! Identical competitive workflow (prey = pricings, predators = scoring
+//! heuristics scored by %-gap), but the predators are *linear weight
+//! vectors* over the six Table I features instead of GP trees, evolved
+//! with SBX + polynomial mutation. Linear scorers cannot express ratios
+//! (`c_j / coverage`) or conditionals, so this variant quantifies how
+//! much of CARBON's edge comes from the GP hyper-heuristic
+//! representation itself rather than from the gap-driven competitive
+//! coupling.
+
+use crate::carbon::CarbonConfig;
+use bico_bcpop::{
+    evaluate_pair, greedy_cover, BcpopInstance, Relaxation, RelaxationSolver, WeightScorer,
+    NUM_TERMINALS,
+};
+use bico_ea::{
+    archive::Archive,
+    real::{polynomial_mutation, sbx_crossover},
+    rng::seed_stream,
+    select::{tournament, Direction},
+    stats::Trace,
+};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+
+/// Result of a CARBON-W run.
+#[derive(Debug, Clone)]
+pub struct CarbonWeightsResult {
+    /// Best pricing found (by revenue).
+    pub best_pricing: Vec<f64>,
+    /// Revenue of the best pricing.
+    pub best_ul_value: f64,
+    /// Best %-gap of any evaluated pair.
+    pub best_gap: f64,
+    /// The champion weight vector.
+    pub best_weights: [f64; NUM_TERMINALS],
+    /// Convergence trace.
+    pub trace: Trace,
+    /// Upper-level evaluations consumed.
+    pub ul_evals_used: u64,
+    /// Lower-level evaluations consumed.
+    pub ll_evals_used: u64,
+    /// Generations completed.
+    pub generations: usize,
+}
+
+/// The linear-representation CARBON variant.
+pub struct CarbonWeights<'a> {
+    inst: &'a BcpopInstance,
+    cfg: CarbonConfig,
+    relaxer: RelaxationSolver,
+    /// Weights live in `[-weight_bound, weight_bound]`.
+    weight_bound: f64,
+}
+
+impl<'a> CarbonWeights<'a> {
+    /// Bind to an instance; weights are boxed in `[-1, 1]` by default
+    /// (scores are scale-invariant under the greedy's argmin).
+    pub fn new(inst: &'a BcpopInstance, cfg: CarbonConfig) -> Self {
+        CarbonWeights { relaxer: RelaxationSolver::new(inst), inst, cfg, weight_bound: 1.0 }
+    }
+
+    /// Run to budget exhaustion; deterministic per seed.
+    pub fn run(&self, seed: u64) -> CarbonWeightsResult {
+        let cfg = &self.cfg;
+        let inst = self.inst;
+        let (lo, hi) = inst.price_bounds();
+        let nl = inst.num_own();
+        let wb = self.weight_bound;
+        let wlo = vec![-wb; NUM_TERMINALS];
+        let whi = vec![wb; NUM_TERMINALS];
+        let mut rng = SmallRng::seed_from_u64(seed_stream(seed, 5));
+
+        let mut ul_pop: Vec<Vec<f64>> = (0..cfg.ul_pop_size)
+            .map(|_| (0..nl).map(|j| rng.random_range(lo[j]..=hi[j])).collect())
+            .collect();
+        let mut ll_pop: Vec<Vec<f64>> = (0..cfg.ll_pop_size)
+            .map(|_| (0..NUM_TERMINALS).map(|_| rng.random_range(-wb..=wb)).collect())
+            .collect();
+
+        let mut ul_archive: Archive<Vec<f64>> =
+            Archive::new(cfg.ul_archive_size, Direction::Maximize);
+        let mut ll_archive: Archive<Vec<f64>> =
+            Archive::new(cfg.ll_archive_size, Direction::Minimize);
+
+        let mut trace = Trace::new();
+        let mut ul_evals = 0u64;
+        let mut ll_evals = 0u64;
+        let mut generation = 0usize;
+        let mut champion: [f64; NUM_TERMINALS] = ll_pop[0].clone().try_into().unwrap();
+        let mut best: Option<(Vec<f64>, f64)> = None;
+        let mut best_gap_overall = f64::INFINITY;
+
+        loop {
+            let gen_ul = cfg.ul_pop_size as u64;
+            let gen_ll = (cfg.ll_pop_size * cfg.training_samples) as u64;
+            if ul_evals + gen_ul > cfg.ul_evaluations || ll_evals + gen_ll > cfg.ll_evaluations {
+                break;
+            }
+
+            let relaxations: Vec<Relaxation> = ul_pop
+                .par_iter()
+                .map(|p| self.relaxer.solve(&inst.costs_for(p)).expect("relaxable"))
+                .collect();
+
+            let training: Vec<usize> = (0..cfg.training_samples)
+                .map(|s| if s == 0 { 0 } else { (generation + s * 37) % ul_pop.len() })
+                .collect();
+            let ll_fitness: Vec<f64> = ll_pop
+                .par_iter()
+                .map(|w| {
+                    let weights: [f64; NUM_TERMINALS] = w.clone().try_into().unwrap();
+                    let mut total = 0.0;
+                    for &ti in &training {
+                        let prices = &ul_pop[ti];
+                        let costs = inst.costs_for(prices);
+                        let mut scorer = WeightScorer::new(weights);
+                        let out =
+                            greedy_cover(inst, &costs, &mut scorer, Some(&relaxations[ti]));
+                        let ev =
+                            evaluate_pair(inst, prices, &out.chosen, relaxations[ti].lower_bound);
+                        total += if ev.gap.is_finite() { ev.gap } else { 1e9 };
+                    }
+                    total / training.len() as f64
+                })
+                .collect();
+            ll_evals += gen_ll;
+
+            let mut best_ll = 0;
+            for i in 1..ll_pop.len() {
+                if ll_fitness[i] < ll_fitness[best_ll] {
+                    best_ll = i;
+                }
+            }
+            champion = ll_pop[best_ll].clone().try_into().unwrap();
+            if cfg.use_archives {
+                for (w, &f) in ll_pop.iter().zip(&ll_fitness) {
+                    ll_archive.push(w.clone(), f);
+                }
+            }
+
+            let ul_scored: Vec<(f64, f64)> = ul_pop
+                .par_iter()
+                .zip(relaxations.par_iter())
+                .map(|(prices, relax)| {
+                    let costs = inst.costs_for(prices);
+                    let mut scorer = WeightScorer::new(champion);
+                    let out = greedy_cover(inst, &costs, &mut scorer, Some(relax));
+                    let ev = evaluate_pair(inst, prices, &out.chosen, relax.lower_bound);
+                    (ev.ul_value, ev.gap)
+                })
+                .collect();
+            ul_evals += gen_ul;
+
+            let mut gen_best_f = f64::NEG_INFINITY;
+            let mut gen_best_gap = f64::INFINITY;
+            for (prices, &(f, gap)) in ul_pop.iter().zip(&ul_scored) {
+                if cfg.use_archives {
+                    ul_archive.push(prices.clone(), f);
+                }
+                gen_best_f = gen_best_f.max(f);
+                if gap.is_finite() {
+                    gen_best_gap = gen_best_gap.min(gap);
+                    best_gap_overall = best_gap_overall.min(gap);
+                }
+                if best.as_ref().is_none_or(|(_, bf)| f > *bf) && gap.is_finite() {
+                    best = Some((prices.clone(), f));
+                }
+            }
+            trace.record(generation, ul_evals + ll_evals, gen_best_f, gen_best_gap);
+
+            // Breed UL exactly as CARBON does.
+            let ul_fit: Vec<f64> = ul_scored.iter().map(|&(f, _)| f).collect();
+            ul_pop = breed_real(
+                &ul_pop, &ul_fit, &ul_archive, &lo, &hi, cfg, Direction::Maximize, &mut rng,
+            );
+            // Breed LL with the *same real-coded operators* on weights.
+            ll_pop = breed_real(
+                &ll_pop, &ll_fitness, &ll_archive, &wlo, &whi, cfg, Direction::Minimize, &mut rng,
+            );
+            generation += 1;
+        }
+
+        let (best_pricing, best_ul_value) = match best {
+            Some((p, f)) => (p, f),
+            None => (vec![0.0; nl], 0.0),
+        };
+        CarbonWeightsResult {
+            best_pricing,
+            best_ul_value,
+            best_gap: best_gap_overall,
+            best_weights: champion,
+            trace,
+            ul_evals_used: ul_evals,
+            ll_evals_used: ll_evals,
+            generations: generation,
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn breed_real<R: Rng + ?Sized>(
+    pop: &[Vec<f64>],
+    fitness: &[f64],
+    archive: &Archive<Vec<f64>>,
+    lo: &[f64],
+    hi: &[f64],
+    cfg: &CarbonConfig,
+    dir: Direction,
+    rng: &mut R,
+) -> Vec<Vec<f64>> {
+    let mut next = Vec::with_capacity(pop.len());
+    if cfg.use_archives {
+        if let Some((g, _)) = archive.best() {
+            next.push(g.clone());
+        }
+    }
+    while next.len() < pop.len() {
+        let i = tournament(fitness, 2, dir, rng);
+        let j = tournament(fitness, 2, dir, rng);
+        let (mut c1, mut c2) = if rng.random::<f64>() < cfg.ul_crossover_prob {
+            sbx_crossover(&pop[i], &pop[j], lo, hi, &cfg.ul_real_ops, rng)
+        } else {
+            (pop[i].clone(), pop[j].clone())
+        };
+        polynomial_mutation(&mut c1, lo, hi, cfg.ul_mutation_prob.max(0.1), &cfg.ul_real_ops, rng);
+        polynomial_mutation(&mut c2, lo, hi, cfg.ul_mutation_prob.max(0.1), &cfg.ul_real_ops, rng);
+        next.push(c1);
+        if next.len() < pop.len() {
+            next.push(c2);
+        }
+    }
+    next
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bico_bcpop::{generate, GeneratorConfig};
+
+    fn instance() -> BcpopInstance {
+        generate(
+            &GeneratorConfig { num_bundles: 40, num_services: 5, ..Default::default() },
+            51,
+        )
+    }
+
+    fn cfg(pop: usize, evals: u64) -> CarbonConfig {
+        CarbonConfig {
+            ul_pop_size: pop,
+            ll_pop_size: pop,
+            ul_archive_size: pop,
+            ll_archive_size: pop,
+            ul_evaluations: evals,
+            ll_evaluations: evals,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn runs_and_produces_finite_gap() {
+        let inst = instance();
+        let r = CarbonWeights::new(&inst, cfg(12, 600)).run(1);
+        assert!(r.generations > 0);
+        assert!(r.best_gap.is_finite());
+        assert!(r.best_gap >= -1e-9);
+        assert_eq!(r.best_pricing.len(), inst.num_own());
+        assert!(r.best_weights.iter().all(|w| w.abs() <= 1.0 + 1e-12));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let inst = instance();
+        let a = CarbonWeights::new(&inst, cfg(10, 400)).run(9);
+        let b = CarbonWeights::new(&inst, cfg(10, 400)).run(9);
+        assert_eq!(a.best_pricing, b.best_pricing);
+        assert_eq!(a.best_gap, b.best_gap);
+        assert_eq!(a.best_weights, b.best_weights);
+    }
+
+    #[test]
+    fn gp_representation_is_at_least_competitive() {
+        // The GP variant should match or beat the linear variant on gap
+        // (it strictly subsumes linear scoring up to evolution noise).
+        // Compared on mean over two seeds to damp variance.
+        use crate::carbon::Carbon;
+        let inst = instance();
+        let mut gp_sum = 0.0;
+        let mut lin_sum = 0.0;
+        for seed in [3u64, 4] {
+            gp_sum += Carbon::new(&inst, cfg(16, 1_200)).run(seed).best_gap;
+            lin_sum += CarbonWeights::new(&inst, cfg(16, 1_200)).run(seed).best_gap;
+        }
+        assert!(
+            gp_sum <= lin_sum * 1.5 + 1.0,
+            "GP variant ({gp_sum}) unexpectedly crushed by linear ({lin_sum})"
+        );
+    }
+}

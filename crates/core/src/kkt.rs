@@ -1,0 +1,245 @@
+//! Exact linear bi-level solver via the KKT single-level transformation
+//! — the STA category of the paper's taxonomy (§III, Fig. 2).
+//!
+//! For a lower level that is a linear program, the KKT conditions are
+//! necessary *and sufficient*, so replacing the inner `min` with
+//!
+//! * primal feasibility `A_x x + A_y y ≤ a, y ≥ 0`,
+//! * dual feasibility `λ ≥ 0, c + A_yᵀ λ ≥ 0`,
+//! * complementary slackness `λ_i·slack_i = 0` and `y_j·μ_j = 0`
+//!   (with `μ = c + A_yᵀ λ`),
+//!
+//! yields an equivalent single-level program. The complementarity
+//! products are the only non-linearity; this solver enumerates the
+//! `2^(rows + ny)` on/off patterns and solves one LP (via `bico-lp`)
+//! per pattern — exact and global for the optimistic case, exponential
+//! in the *lower-level* dimensions only (fine for the small analytic
+//! instances this is meant for; CARBON handles the large ones).
+
+use crate::linear::LinearBilevel;
+use bico_lp::{LpProblem, LpStatus, Relation};
+
+/// Result of a KKT enumeration solve.
+#[derive(Debug, Clone)]
+pub struct KktSolution {
+    /// Optimal upper-level decision.
+    pub x: Vec<f64>,
+    /// Optimal (optimistic) lower-level reaction.
+    pub y: Vec<f64>,
+    /// Optimal upper-level objective `F(x, y)`.
+    pub objective: f64,
+    /// Number of complementarity patterns whose LP was solved.
+    pub patterns_solved: usize,
+    /// Number of patterns that were feasible.
+    pub patterns_feasible: usize,
+}
+
+/// Hard cap on `rows + ny` to keep `2^k` enumeration honest.
+pub const KKT_LIMIT: usize = 20;
+
+/// Solve the optimistic linear bi-level problem exactly.
+///
+/// Returns `None` when no complementarity pattern admits a feasible
+/// point (the inducible region is empty) or every feasible pattern is
+/// unbounded in `F`.
+///
+/// # Panics
+/// Panics if `ll_rows + ny > KKT_LIMIT`.
+pub fn solve_kkt(p: &LinearBilevel) -> Option<KktSolution> {
+    let nx = p.nx();
+    let ny = p.ny();
+    let m_ll = p.a.len();
+    let m_ul = p.g.len();
+    assert!(
+        m_ll + ny <= KKT_LIMIT,
+        "KKT enumeration limited to {KKT_LIMIT} complementarity pairs (got {})",
+        m_ll + ny
+    );
+
+    // Variable layout: [x (nx) | y (ny) | λ (m_ll)], all ≥ 0.
+    let nvars = nx + ny + m_ll;
+    let lam0 = nx + ny;
+
+    let mut best: Option<KktSolution> = None;
+    let mut solved = 0usize;
+    let mut feasible = 0usize;
+
+    for pattern in 0u64..(1u64 << (m_ll + ny)) {
+        let mut lp = LpProblem::minimize(nvars);
+        let mut obj = vec![0.0; nvars];
+        obj[..nx].copy_from_slice(&p.fx);
+        obj[nx..nx + ny].copy_from_slice(&p.fy);
+        lp.set_objective(&obj);
+
+        // Upper-level constraints.
+        for r in 0..m_ul {
+            let mut row: Vec<(usize, f64)> = Vec::new();
+            push_dense(&mut row, 0, &p.gx[r]);
+            push_dense(&mut row, nx, &p.gy[r]);
+            lp.add_constraint(&row, Relation::Le, p.g[r]);
+        }
+        // Lower-level primal feasibility (or activity, per pattern).
+        for r in 0..m_ll {
+            let mut row: Vec<(usize, f64)> = Vec::new();
+            push_dense(&mut row, 0, &p.ax[r]);
+            push_dense(&mut row, nx, &p.ay[r]);
+            let active = pattern & (1 << r) != 0;
+            if active {
+                // Constraint binds; λ_r free (≥ 0).
+                lp.add_constraint(&row, Relation::Eq, p.a[r]);
+            } else {
+                // Slack allowed; complementarity forces λ_r = 0.
+                lp.add_constraint(&row, Relation::Le, p.a[r]);
+                lp.set_bounds(lam0 + r, 0.0, 0.0);
+            }
+        }
+        // Dual feasibility / stationarity: μ_j = c_j + Σ_r λ_r Ay[r][j] ≥ 0,
+        // with μ_j = 0 forced when y_j may be positive.
+        for j in 0..ny {
+            let mut row: Vec<(usize, f64)> = Vec::new();
+            for r in 0..m_ll {
+                let coef = p.ay[r][j];
+                if coef != 0.0 {
+                    row.push((lam0 + r, coef));
+                }
+            }
+            let y_zero = pattern & (1 << (m_ll + j)) != 0;
+            if y_zero {
+                // y_j pinned to 0; μ_j only needs to be ≥ 0.
+                lp.set_bounds(nx + j, 0.0, 0.0);
+                lp.add_constraint(&row, Relation::Ge, -p.c[j]);
+            } else {
+                // y_j free to move ⇒ μ_j = 0.
+                lp.add_constraint(&row, Relation::Eq, -p.c[j]);
+            }
+        }
+
+        solved += 1;
+        let Ok(sol) = lp.solve() else { continue };
+        if sol.status != LpStatus::Optimal {
+            continue;
+        }
+        feasible += 1;
+        let x = sol.x[..nx].to_vec();
+        let y = sol.x[nx..nx + ny].to_vec();
+        let f = p.ul_objective(&x, &y);
+        if best.as_ref().is_none_or(|b| f < b.objective) {
+            best = Some(KktSolution {
+                x,
+                y,
+                objective: f,
+                patterns_solved: 0,
+                patterns_feasible: 0,
+            });
+        }
+    }
+
+    best.map(|mut b| {
+        b.patterns_solved = solved;
+        b.patterns_feasible = feasible;
+        b
+    })
+}
+
+fn push_dense(row: &mut Vec<(usize, f64)>, offset: usize, coeffs: &[f64]) {
+    for (j, &c) in coeffs.iter().enumerate() {
+        if c != 0.0 {
+            row.push((offset + j, c));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linear::{program3, TieBreak};
+
+    #[test]
+    fn kkt_solves_program3_exactly() {
+        let p = program3();
+        let sol = solve_kkt(&p).unwrap();
+        assert!((sol.objective + 20.0).abs() < 1e-6, "F = {}", sol.objective);
+        assert!((sol.x[0] - 8.0).abs() < 1e-6, "x = {}", sol.x[0]);
+        assert!((sol.y[0] - 6.0).abs() < 1e-6, "y = {}", sol.y[0]);
+        assert_eq!(sol.patterns_solved, 8); // 2^(2 rows + 1 y)
+        assert!(sol.patterns_feasible >= 1);
+    }
+
+    #[test]
+    fn kkt_solution_is_bilevel_feasible() {
+        // The returned y must be the actual rational reaction at x.
+        let p = program3();
+        let sol = solve_kkt(&p).unwrap();
+        let reaction = p.rational_reaction(&sol.x, TieBreak::Optimistic).unwrap();
+        assert!((reaction.y[0] - sol.y[0]).abs() < 1e-6);
+        assert!(p.ul_feasible(&sol.x, &sol.y, 1e-7));
+        assert!(p.ll_feasible(&sol.x, &sol.y, 1e-7));
+    }
+
+    #[test]
+    fn kkt_matches_fine_grid_scan() {
+        let p = program3();
+        let kkt = solve_kkt(&p).unwrap();
+        let (gx, gy, gf) = p.solve_grid(0.0, 10.0, 20_000, TieBreak::Optimistic).unwrap();
+        assert!((kkt.objective - gf).abs() < 1e-2, "kkt {} vs grid {gf}", kkt.objective);
+        assert!((kkt.x[0] - gx).abs() < 1e-2);
+        assert!((kkt.y[0] - gy[0]).abs() < 1e-1);
+        // The grid can only be worse (coarser) than the exact solve.
+        assert!(kkt.objective <= gf + 1e-6);
+    }
+
+    #[test]
+    fn kkt_detects_empty_inducible_region() {
+        // UL constraint y <= -1 is impossible with y >= 0.
+        let p = LinearBilevel {
+            fx: vec![1.0],
+            fy: vec![1.0],
+            gx: vec![vec![0.0]],
+            gy: vec![vec![1.0]],
+            g: vec![-1.0],
+            c: vec![-1.0],
+            ax: vec![vec![0.0]],
+            ay: vec![vec![1.0]],
+            a: vec![5.0],
+        };
+        assert!(solve_kkt(&p).is_none());
+    }
+
+    #[test]
+    fn kkt_on_trivial_decoupled_problem() {
+        // LL: min -y s.t. y <= 3  -> y = 3 regardless of x.
+        // UL: min x + y, x >= 0   -> x = 0, F = 3.
+        let p = LinearBilevel {
+            fx: vec![1.0],
+            fy: vec![1.0],
+            gx: vec![],
+            gy: vec![],
+            g: vec![],
+            c: vec![-1.0],
+            ax: vec![vec![0.0]],
+            ay: vec![vec![1.0]],
+            a: vec![3.0],
+        };
+        let sol = solve_kkt(&p).unwrap();
+        assert!((sol.objective - 3.0).abs() < 1e-8);
+        assert!((sol.y[0] - 3.0).abs() < 1e-8);
+        assert!(sol.x[0].abs() < 1e-8);
+    }
+
+    #[test]
+    #[should_panic(expected = "limited")]
+    fn kkt_size_guard() {
+        let p = LinearBilevel {
+            fx: vec![0.0],
+            fy: vec![0.0; 25],
+            gx: vec![],
+            gy: vec![],
+            g: vec![],
+            c: vec![0.0; 25],
+            ax: vec![vec![0.0]],
+            ay: vec![vec![0.0; 25]],
+            a: vec![1.0],
+        };
+        let _ = solve_kkt(&p);
+    }
+}

@@ -1,0 +1,42 @@
+#![warn(missing_docs)]
+
+//! # bico-core — bi-level optimization framework and CARBON
+//!
+//! The paper's primary contribution: **CARBON**, a hybrid competitive
+//! co-evolutionary algorithm for bi-level optimization problems that
+//! breaks the nested structure by evolving, instead of lower-level
+//! *solutions*, the lower-level *heuristics* that produce them.
+//!
+//! Two populations obey a predator/prey model (§IV.A, Fig. 3):
+//!
+//! * the **prey** are upper-level decision vectors (CSP pricings for the
+//!   BCPOP), evolved with GA operators (SBX + polynomial mutation,
+//!   binary tournament — Table II);
+//! * the **predators** are greedy scoring heuristics encoded as GP
+//!   syntax trees over the Table I primitives, evolved with GP operators
+//!   (subtree crossover, uniform mutation, reproduction) and scored by
+//!   the lower-level %-gap (Eq. 1) — *not* the lower-level objective
+//!   value, which is what allows comparisons across different
+//!   upper-level decisions.
+//!
+//! The crate also contains:
+//!
+//! * [`linear`] — general linear bi-level problems and the paper's toy
+//!   example (Program 3 / Fig. 1, the Mersha–Dempe instance with a
+//!   discontinuous inducible region), with exact optimistic/pessimistic
+//!   rational reactions computed through `bico-lp`;
+//! * [`carbon::CarbonConfig`] — Table II's parameter column as
+//!   defaults;
+//! * convergence traces feeding the Fig. 4 reproduction.
+
+pub mod carbon;
+pub mod carbon_weights;
+pub mod kkt;
+pub mod linear;
+pub mod multilevel;
+
+pub use carbon::{Carbon, CarbonConfig, CarbonResult};
+pub use carbon_weights::{CarbonWeights, CarbonWeightsResult};
+pub use kkt::{solve_kkt, KktSolution};
+pub use linear::{program3, LinearBilevel, Reaction, TieBreak};
+pub use multilevel::{trilevel_example, TriObjective, TriRow, TriSolution, TrilevelLinear};

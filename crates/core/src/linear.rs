@@ -1,0 +1,339 @@
+//! General linear bi-level problems with exact rational reactions.
+//!
+//! §II of the paper builds its intuition on a linear toy (Program 3,
+//! originally from Mersha & Dempe): upper-level constraints can make the
+//! inducible region *discontinuous*, and an upper-level decision maker
+//! who mis-forecasts the lower-level rational reaction may end up with
+//! an infeasible "solution". This module reproduces that machinery
+//! exactly:
+//!
+//! * the lower-level rational reaction `P(x)` is computed by LP;
+//! * ties inside `P(x)` are broken optimistically or pessimistically
+//!   (§II's two cases) with a second, lexicographic LP;
+//! * scalar-`x` problems can be solved to bi-level optimality by a grid
+//!   scan over the upper-level interval (the inducible region of a
+//!   linear bi-level program is piecewise linear in `x`).
+
+use bico_lp::{LpProblem, LpStatus, Relation};
+
+/// Tie-breaking rule inside the lower-level rational set `P(x)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TieBreak {
+    /// Choose `ŷ = argmin { F(x, y) : y ∈ P(x) }` (the paper's working
+    /// assumption).
+    Optimistic,
+    /// Choose `ŷ = argmax { F(x, y) : y ∈ P(x) }`.
+    Pessimistic,
+}
+
+/// A lower-level rational reaction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Reaction {
+    /// The chosen lower-level decision.
+    pub y: Vec<f64>,
+    /// The lower-level optimal value `w(x)`.
+    pub ll_value: f64,
+}
+
+/// A linear bi-level problem
+///
+/// ```text
+/// min_x  F(x, y) = fx·x + fy·y
+/// s.t.   Gx·x + Gy·y ≤ g          (upper-level constraints)
+///        y solves:  min_y  c·y
+///                   s.t.   Ax·x + Ay·y ≤ a,   y ≥ 0
+/// x ≥ 0
+/// ```
+///
+/// All rows are stored dense.
+///
+/// ```
+/// use bico_core::{program3, TieBreak};
+///
+/// let p = program3(); // the paper's Mersha–Dempe toy
+/// let r = p.rational_reaction(&[6.0], TieBreak::Optimistic).unwrap();
+/// assert_eq!(r.y[0], 12.0);                      // §II's rational reaction
+/// assert!(!p.ul_feasible(&[6.0], &r.y, 1e-7));   // …which the leader cannot keep
+/// ```
+#[derive(Debug, Clone)]
+pub struct LinearBilevel {
+    /// Upper-level objective coefficients on `x`.
+    pub fx: Vec<f64>,
+    /// Upper-level objective coefficients on `y`.
+    pub fy: Vec<f64>,
+    /// Upper-level constraint coefficients on `x` (row-major).
+    pub gx: Vec<Vec<f64>>,
+    /// Upper-level constraint coefficients on `y` (row-major).
+    pub gy: Vec<Vec<f64>>,
+    /// Upper-level right-hand sides.
+    pub g: Vec<f64>,
+    /// Lower-level objective coefficients on `y`.
+    pub c: Vec<f64>,
+    /// Lower-level constraint coefficients on `x`.
+    pub ax: Vec<Vec<f64>>,
+    /// Lower-level constraint coefficients on `y`.
+    pub ay: Vec<Vec<f64>>,
+    /// Lower-level right-hand sides.
+    pub a: Vec<f64>,
+}
+
+impl LinearBilevel {
+    /// Dimension of `x`.
+    pub fn nx(&self) -> usize {
+        self.fx.len()
+    }
+
+    /// Dimension of `y`.
+    pub fn ny(&self) -> usize {
+        self.fy.len()
+    }
+
+    /// Upper-level objective `F(x, y)`.
+    pub fn ul_objective(&self, x: &[f64], y: &[f64]) -> f64 {
+        dot(&self.fx, x) + dot(&self.fy, y)
+    }
+
+    /// Lower-level objective `f(x, y) = c·y`.
+    pub fn ll_objective(&self, y: &[f64]) -> f64 {
+        dot(&self.c, y)
+    }
+
+    /// `true` iff `(x, y)` satisfies the *upper-level* constraints.
+    pub fn ul_feasible(&self, x: &[f64], y: &[f64], tol: f64) -> bool {
+        self.gx
+            .iter()
+            .zip(&self.gy)
+            .zip(&self.g)
+            .all(|((rx, ry), &rhs)| dot(rx, x) + dot(ry, y) <= rhs + tol)
+    }
+
+    /// `true` iff `(x, y)` satisfies the *lower-level* constraints.
+    pub fn ll_feasible(&self, x: &[f64], y: &[f64], tol: f64) -> bool {
+        y.iter().all(|&v| v >= -tol)
+            && self
+                .ax
+                .iter()
+                .zip(&self.ay)
+                .zip(&self.a)
+                .all(|((rx, ry), &rhs)| dot(rx, x) + dot(ry, y) <= rhs + tol)
+    }
+
+    /// Compute the lower-level rational reaction for a fixed `x`:
+    /// the LP `min c·y  s.t.  Ay·y ≤ a − Ax·x, y ≥ 0`, with ties inside
+    /// `P(x)` broken per `tie` by a second lexicographic LP
+    /// (`opt f_y·y  s.t.  LL constraints ∧ c·y ≤ w(x)`).
+    ///
+    /// Returns `None` when the lower level is infeasible or unbounded at
+    /// this `x`.
+    pub fn rational_reaction(&self, x: &[f64], tie: TieBreak) -> Option<Reaction> {
+        let ny = self.ny();
+        // Stage 1: lower-level optimum w(x).
+        let mut lp = LpProblem::minimize(ny);
+        lp.set_objective(&self.c);
+        for ((rx, ry), &rhs) in self.ax.iter().zip(&self.ay).zip(&self.a) {
+            lp.add_constraint_dense(ry, Relation::Le, rhs - dot(rx, x));
+        }
+        let sol = lp.solve().ok()?;
+        if sol.status != LpStatus::Optimal {
+            return None;
+        }
+        let w = sol.objective;
+
+        // Stage 2: tie-break over P(x) = { y : feasible ∧ c·y ≤ w }.
+        let mut lp2 = match tie {
+            TieBreak::Optimistic => LpProblem::minimize(ny),
+            TieBreak::Pessimistic => LpProblem::maximize(ny),
+        };
+        lp2.set_objective(&self.fy);
+        for ((rx, ry), &rhs) in self.ax.iter().zip(&self.ay).zip(&self.a) {
+            lp2.add_constraint_dense(ry, Relation::Le, rhs - dot(rx, x));
+        }
+        lp2.add_constraint_dense(&self.c, Relation::Le, w + 1e-7);
+        let sol2 = lp2.solve().ok()?;
+        if sol2.status != LpStatus::Optimal {
+            // Unbounded tie-break can happen in the pessimistic case when
+            // P(x) is unbounded in the F direction; fall back to stage 1.
+            return Some(Reaction { y: sol.x, ll_value: w });
+        }
+        let ll_value = self.ll_objective(&sol2.x);
+        Some(Reaction { y: sol2.x, ll_value })
+    }
+
+    /// Grid-scan bi-level solve for problems with scalar `x`: evaluate
+    /// the rational reaction on `steps + 1` evenly spaced points of
+    /// `[x_lo, x_hi]` and return the best *bi-level feasible* triple
+    /// `(x, y, F)`.
+    ///
+    /// # Panics
+    /// Panics if `nx() != 1`.
+    pub fn solve_grid(
+        &self,
+        x_lo: f64,
+        x_hi: f64,
+        steps: usize,
+        tie: TieBreak,
+    ) -> Option<(f64, Vec<f64>, f64)> {
+        assert_eq!(self.nx(), 1, "grid solve supports scalar x only");
+        let mut best: Option<(f64, Vec<f64>, f64)> = None;
+        for i in 0..=steps {
+            let x = x_lo + (x_hi - x_lo) * i as f64 / steps as f64;
+            let xs = [x];
+            let Some(r) = self.rational_reaction(&xs, tie) else {
+                continue;
+            };
+            if !self.ul_feasible(&xs, &r.y, 1e-7) {
+                continue; // rational reaction violates UL constraints
+            }
+            let f = self.ul_objective(&xs, &r.y);
+            if best.as_ref().is_none_or(|(_, _, bf)| f < *bf) {
+                best = Some((x, r.y, f));
+            }
+        }
+        best
+    }
+}
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// The paper's Program 3 (the Mersha–Dempe example of §II / Fig. 1):
+///
+/// ```text
+/// min F(x,y) = −x − 2y
+/// s.t. 2x − 3y ≥ −12        (UL)
+///      x + y ≤ 14           (UL)
+///      min f(y) = −y
+///      s.t. −3x + y ≤ −3    (LL)
+///            3x + y ≤ 30    (LL)
+/// x, y ≥ 0
+/// ```
+pub fn program3() -> LinearBilevel {
+    LinearBilevel {
+        fx: vec![-1.0],
+        fy: vec![-2.0],
+        // 2x − 3y ≥ −12  ⇔  −2x + 3y ≤ 12
+        gx: vec![vec![-2.0], vec![1.0]],
+        gy: vec![vec![3.0], vec![1.0]],
+        g: vec![12.0, 14.0],
+        c: vec![-1.0],
+        ax: vec![vec![-3.0], vec![3.0]],
+        ay: vec![vec![1.0], vec![1.0]],
+        a: vec![-3.0, 30.0],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reaction_y(p: &LinearBilevel, x: f64) -> f64 {
+        p.rational_reaction(&[x], TieBreak::Optimistic).unwrap().y[0]
+    }
+
+    #[test]
+    fn paper_reaction_at_x2_is_3() {
+        // §V.B: "If we set x=2 … optimal ŷ = 3".
+        let p = program3();
+        assert!((reaction_y(&p, 2.0) - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn paper_reaction_at_x6_is_12() {
+        // §II: "an upper-level decision maker selecting x = 6 will
+        // observe a lower-level rational reaction y = 12".
+        let p = program3();
+        assert!((reaction_y(&p, 6.0) - 12.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn x6_rational_reaction_is_ul_infeasible() {
+        // The crux of Fig. 1: (6, 12) violates 2x − 3y ≥ −12.
+        let p = program3();
+        let r = p.rational_reaction(&[6.0], TieBreak::Optimistic).unwrap();
+        assert!(!p.ul_feasible(&[6.0], &r.y, 1e-7));
+    }
+
+    #[test]
+    fn naive_y8_at_x6_is_ul_feasible_but_not_rational() {
+        // §IV.A: a heuristic answering y = 8 at x = 6 makes the leader
+        // believe x = 6 is great — but 8 is not the rational reaction.
+        let p = program3();
+        assert!(p.ul_feasible(&[6.0], &[8.0], 1e-7));
+        assert!(p.ll_feasible(&[6.0], &[8.0], 1e-7));
+        let rational = reaction_y(&p, 6.0);
+        assert!((rational - 8.0).abs() > 1.0, "y=8 must not be rational");
+        // And the naive pairing overestimates the leader's payoff:
+        let naive_f = p.ul_objective(&[6.0], &[8.0]);
+        assert!(naive_f < -20.0, "overestimate expected, got {naive_f}");
+    }
+
+    #[test]
+    fn grid_solve_finds_the_bilevel_optimum() {
+        // Analytic optimum of Program 3: x = 8, y = 6, F = −20
+        // (IR branches x ∈ [1,3] with F = 6−7x and x ∈ [8,10] with 5x−60).
+        let p = program3();
+        let (x, y, f) = p.solve_grid(0.0, 10.0, 1000, TieBreak::Optimistic).unwrap();
+        assert!((x - 8.0).abs() < 0.02, "x = {x}");
+        assert!((y[0] - 6.0).abs() < 0.05, "y = {}", y[0]);
+        assert!((f + 20.0).abs() < 0.05, "F = {f}");
+    }
+
+    #[test]
+    fn inducible_region_is_discontinuous() {
+        // Between the two IR branches (3 < x < 8) the rational reaction
+        // must violate the UL constraints.
+        let p = program3();
+        for &x in &[4.0, 5.0, 6.0, 7.0] {
+            let r = p.rational_reaction(&[x], TieBreak::Optimistic).unwrap();
+            assert!(
+                !p.ul_feasible(&[x], &r.y, 1e-7),
+                "x = {x} unexpectedly inside the inducible region"
+            );
+        }
+        // And both branches are inside.
+        for &x in &[1.0, 2.0, 3.0, 8.0, 9.0, 10.0] {
+            let r = p.rational_reaction(&[x], TieBreak::Optimistic).unwrap();
+            assert!(
+                p.ul_feasible(&[x], &r.y, 1e-6),
+                "x = {x} unexpectedly outside the inducible region"
+            );
+        }
+    }
+
+    #[test]
+    fn lower_level_infeasible_x_reports_none() {
+        // x = 0: y ≤ 3·0 − 3 = −3 contradicts y ≥ 0.
+        let p = program3();
+        assert!(p.rational_reaction(&[0.0], TieBreak::Optimistic).is_none());
+    }
+
+    #[test]
+    fn optimistic_vs_pessimistic_tie_break() {
+        // A degenerate LL where every y in [0, 5] is optimal (c = 0):
+        // optimistic picks the y minimizing F (fy = −1 → y = 5),
+        // pessimistic the one maximizing F (y = 0).
+        let p = LinearBilevel {
+            fx: vec![0.0],
+            fy: vec![-1.0],
+            gx: vec![],
+            gy: vec![],
+            g: vec![],
+            c: vec![0.0],
+            ax: vec![vec![0.0]],
+            ay: vec![vec![1.0]],
+            a: vec![5.0],
+        };
+        let opt = p.rational_reaction(&[0.0], TieBreak::Optimistic).unwrap();
+        let pes = p.rational_reaction(&[0.0], TieBreak::Pessimistic).unwrap();
+        assert!((opt.y[0] - 5.0).abs() < 1e-7);
+        assert!(pes.y[0].abs() < 1e-7);
+    }
+
+    #[test]
+    fn objectives_evaluate_linearly() {
+        let p = program3();
+        assert_eq!(p.ul_objective(&[2.0], &[3.0]), -8.0);
+        assert_eq!(p.ll_objective(&[3.0]), -3.0);
+    }
+}

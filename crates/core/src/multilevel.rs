@@ -1,0 +1,290 @@
+//! Tri-level linear optimization — the paper's future-work direction
+//! ("multiple-level problems with deeper nested structure").
+//!
+//! Three sequential decision makers each control one scalar:
+//! the top level picks `x`, the middle `y`, the bottom `z`; each level
+//! minimizes its own linear objective over shared linear constraints,
+//! anticipating the *rational reactions* of every level below. As in
+//! the bi-level case, feasibility cascades: the middle level's
+//! constraints bind `y` only, but its payoff depends on the bottom
+//! reaction `z(x, y)`, and the top level's constraints may exclude the
+//! reactions of both.
+//!
+//! Solution scheme (mirrors the bi-level toy machinery of [`crate::linear`]):
+//! the bottom level — one scalar, linear — is solved *exactly* by
+//! interval reduction with a lexicographic optimistic tie-break
+//! (bottom objective, then middle, then top); the middle and top levels
+//! are scanned on grids, which for piecewise-linear reaction maps is
+//! exact up to the grid resolution.
+
+/// One linear constraint `ax·x + ay·y + az·z ≤ rhs`, attributed to one
+/// level (the level whose decision it constrains).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TriRow {
+    /// Coefficient of the top-level decision.
+    pub ax: f64,
+    /// Coefficient of the middle-level decision.
+    pub ay: f64,
+    /// Coefficient of the bottom-level decision.
+    pub az: f64,
+    /// Right-hand side.
+    pub rhs: f64,
+}
+
+impl TriRow {
+    /// Constraint activity at `(x, y, z)`.
+    pub fn activity(&self, x: f64, y: f64, z: f64) -> f64 {
+        self.ax * x + self.ay * y + self.az * z
+    }
+}
+
+/// A linear objective `cx·x + cy·y + cz·z` (minimized).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TriObjective {
+    /// Coefficient on `x`.
+    pub cx: f64,
+    /// Coefficient on `y`.
+    pub cy: f64,
+    /// Coefficient on `z`.
+    pub cz: f64,
+}
+
+impl TriObjective {
+    /// Evaluate at `(x, y, z)`.
+    pub fn eval(&self, x: f64, y: f64, z: f64) -> f64 {
+        self.cx * x + self.cy * y + self.cz * z
+    }
+}
+
+/// A tri-level linear problem over scalar decisions.
+#[derive(Debug, Clone)]
+pub struct TrilevelLinear {
+    /// Objectives of the top, middle and bottom levels.
+    pub objectives: [TriObjective; 3],
+    /// Constraints owned by each level.
+    pub constraints: [Vec<TriRow>; 3],
+    /// Box of the top decision.
+    pub x_range: (f64, f64),
+    /// Box of the middle decision.
+    pub y_range: (f64, f64),
+    /// Box of the bottom decision.
+    pub z_range: (f64, f64),
+}
+
+/// A fully resolved tri-level point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TriSolution {
+    /// Top decision.
+    pub x: f64,
+    /// Middle rational reaction.
+    pub y: f64,
+    /// Bottom rational reaction.
+    pub z: f64,
+    /// Top-level objective value.
+    pub objective: f64,
+}
+
+const TOL: f64 = 1e-9;
+
+impl TrilevelLinear {
+    /// Exact bottom-level rational reaction for fixed `(x, y)`:
+    /// minimize the bottom objective over the feasible `z` interval,
+    /// breaking ties lexicographically (middle objective, then top) —
+    /// the optimistic cascade.
+    ///
+    /// Returns `None` when the bottom level is infeasible at `(x, y)`.
+    pub fn bottom_reaction(&self, x: f64, y: f64) -> Option<f64> {
+        let (mut lo, mut hi) = self.z_range;
+        for row in &self.constraints[2] {
+            let residual = row.rhs - row.ax * x - row.ay * y;
+            if row.az > TOL {
+                hi = hi.min(residual / row.az);
+            } else if row.az < -TOL {
+                lo = lo.max(residual / row.az);
+            } else if residual < -TOL {
+                return None; // constraint independent of z, violated
+            }
+        }
+        if lo > hi + TOL {
+            return None;
+        }
+        let hi = hi.max(lo);
+        // Lexicographic linear minimization over [lo, hi].
+        for obj in [self.objectives[2], self.objectives[1], self.objectives[0]] {
+            if obj.cz > TOL {
+                return Some(lo);
+            }
+            if obj.cz < -TOL {
+                return Some(hi);
+            }
+        }
+        Some(lo) // fully indifferent: any point; pick lo deterministically
+    }
+
+    /// Middle-level rational reaction for fixed `x`: scan `y` on a grid,
+    /// resolve the bottom reaction, keep `y` values whose *own*
+    /// constraints hold, minimize the middle objective (ties broken
+    /// optimistically toward the top objective).
+    pub fn middle_reaction(&self, x: f64, steps: usize) -> Option<(f64, f64)> {
+        let (lo, hi) = self.y_range;
+        let mut best: Option<(f64, f64, f64, f64)> = None; // (y, z, f2, f1)
+        for i in 0..=steps {
+            let y = lo + (hi - lo) * i as f64 / steps as f64;
+            let Some(z) = self.bottom_reaction(x, y) else { continue };
+            let ok = self.constraints[1]
+                .iter()
+                .all(|row| row.activity(x, y, z) <= row.rhs + 1e-7);
+            if !ok {
+                continue;
+            }
+            let f2 = self.objectives[1].eval(x, y, z);
+            let f1 = self.objectives[0].eval(x, y, z);
+            let better = match best {
+                None => true,
+                Some((_, _, bf2, bf1)) => {
+                    f2 < bf2 - TOL || (f2 < bf2 + TOL && f1 < bf1 - TOL)
+                }
+            };
+            if better {
+                best = Some((y, z, f2, f1));
+            }
+        }
+        best.map(|(y, z, _, _)| (y, z))
+    }
+
+    /// Solve the tri-level problem by scanning the top decision on a
+    /// grid and keeping the best point whose full reaction chain
+    /// satisfies the top-level constraints.
+    pub fn solve(&self, steps: usize) -> Option<TriSolution> {
+        let (lo, hi) = self.x_range;
+        let mut best: Option<TriSolution> = None;
+        for i in 0..=steps {
+            let x = lo + (hi - lo) * i as f64 / steps as f64;
+            let Some((y, z)) = self.middle_reaction(x, steps) else {
+                continue;
+            };
+            let ok = self.constraints[0]
+                .iter()
+                .all(|row| row.activity(x, y, z) <= row.rhs + 1e-7);
+            if !ok {
+                continue;
+            }
+            let f1 = self.objectives[0].eval(x, y, z);
+            if best.as_ref().is_none_or(|b| f1 < b.objective) {
+                best = Some(TriSolution { x, y, z, objective: f1 });
+            }
+        }
+        best
+    }
+}
+
+/// A worked tri-level example with a hand-checkable optimum:
+///
+/// * bottom: `min −z  s.t. z ≤ y, z ≤ 10 − 2y` → `z* = min(y, 10 − 2y)`;
+/// * middle: `min −z  s.t. y ≤ x` → pushes `y` toward `10/3` (the peak
+///   of `z*`), but can reach it only when `x ≥ 10/3`;
+/// * top: `min −z + 0.01·x` → wants the same peak at minimal `x`,
+///   optimum `x = y = 10/3`, `z = 10/3`, `F₁ = −10/3 + 0.01·10/3`.
+pub fn trilevel_example() -> TrilevelLinear {
+    TrilevelLinear {
+        objectives: [
+            TriObjective { cx: 0.01, cy: 0.0, cz: -1.0 },
+            TriObjective { cx: 0.0, cy: 0.0, cz: -1.0 },
+            TriObjective { cx: 0.0, cy: 0.0, cz: -1.0 },
+        ],
+        constraints: [
+            vec![],
+            vec![TriRow { ax: -1.0, ay: 1.0, az: 0.0, rhs: 0.0 }], // y ≤ x
+            vec![
+                TriRow { ax: 0.0, ay: -1.0, az: 1.0, rhs: 0.0 }, // z ≤ y
+                TriRow { ax: 0.0, ay: 2.0, az: 1.0, rhs: 10.0 }, // z ≤ 10 − 2y
+            ],
+        ],
+        x_range: (0.0, 6.0),
+        y_range: (0.0, 6.0),
+        z_range: (0.0, 10.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bottom_reaction_is_piecewise_min() {
+        let p = trilevel_example();
+        // z*(y) = min(y, 10 − 2y) for any x.
+        assert!((p.bottom_reaction(0.0, 2.0).unwrap() - 2.0).abs() < 1e-9);
+        assert!((p.bottom_reaction(0.0, 4.0).unwrap() - 2.0).abs() < 1e-9);
+        let peak = 10.0 / 3.0;
+        assert!((p.bottom_reaction(0.0, peak).unwrap() - peak).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bottom_reaction_detects_infeasibility() {
+        let p = TrilevelLinear {
+            constraints: [
+                vec![],
+                vec![],
+                vec![
+                    TriRow { ax: 0.0, ay: 0.0, az: 1.0, rhs: 1.0 },  // z ≤ 1
+                    TriRow { ax: 0.0, ay: 0.0, az: -1.0, rhs: -2.0 }, // z ≥ 2
+                ],
+            ],
+            ..trilevel_example()
+        };
+        assert!(p.bottom_reaction(0.0, 0.0).is_none());
+    }
+
+    #[test]
+    fn bottom_tie_breaks_toward_upper_levels() {
+        // Bottom indifferent (cz = 0); middle wants z large.
+        let p = TrilevelLinear {
+            objectives: [
+                TriObjective { cx: 0.0, cy: 0.0, cz: 0.0 },
+                TriObjective { cx: 0.0, cy: 0.0, cz: -1.0 },
+                TriObjective { cx: 0.0, cy: 0.0, cz: 0.0 },
+            ],
+            constraints: [vec![], vec![], vec![TriRow { ax: 0.0, ay: 0.0, az: 1.0, rhs: 4.0 }]],
+            ..trilevel_example()
+        };
+        assert!((p.bottom_reaction(0.0, 0.0).unwrap() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn middle_reaction_climbs_to_the_peak_when_allowed() {
+        let p = trilevel_example();
+        // x = 6 ≥ 10/3: middle can reach the peak.
+        let (y, z) = p.middle_reaction(6.0, 3000).unwrap();
+        assert!((y - 10.0 / 3.0).abs() < 0.01, "y = {y}");
+        assert!((z - 10.0 / 3.0).abs() < 0.01, "z = {z}");
+        // x = 2 < 10/3: capped at y = x.
+        let (y, z) = p.middle_reaction(2.0, 3000).unwrap();
+        assert!((y - 2.0).abs() < 0.01);
+        assert!((z - 2.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn full_solve_matches_analytic_optimum() {
+        let p = trilevel_example();
+        let sol = p.solve(1500).unwrap();
+        let peak = 10.0 / 3.0;
+        assert!((sol.x - peak).abs() < 0.02, "x = {}", sol.x);
+        assert!((sol.y - peak).abs() < 0.02, "y = {}", sol.y);
+        assert!((sol.z - peak).abs() < 0.02, "z = {}", sol.z);
+        assert!((sol.objective - (-peak + 0.01 * peak)).abs() < 0.02);
+    }
+
+    #[test]
+    fn top_constraints_can_exclude_reactions() {
+        // Forbid the peak region at the top: x + y + z ≤ 6 ⇒ the top must
+        // retreat to a smaller x even though deeper levels would love 10/3.
+        let mut p = trilevel_example();
+        p.constraints[0].push(TriRow { ax: 1.0, ay: 1.0, az: 1.0, rhs: 6.0 });
+        let sol = p.solve(1500).unwrap();
+        assert!(sol.x + sol.y + sol.z <= 6.0 + 1e-6);
+        assert!(sol.z < 10.0 / 3.0);
+        // x ≈ y ≈ z ≈ 2 maximizes z under the cap.
+        assert!((sol.z - 2.0).abs() < 0.02, "z = {}", sol.z);
+    }
+}

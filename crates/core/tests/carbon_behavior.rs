@@ -1,0 +1,118 @@
+//! Behavioral tests for CARBON beyond smoke level: arms-race dynamics,
+//! heuristic quality against handcrafted baselines, config knobs.
+
+use bico_bcpop::{
+    generate, greedy_cover, CostPerCoverageScorer, GeneratorConfig, GpScorer, RelaxationSolver,
+};
+use bico_core::{Carbon, CarbonConfig};
+
+fn instance(seed: u64) -> bico_bcpop::BcpopInstance {
+    generate(
+        &GeneratorConfig { num_bundles: 60, num_services: 6, ..Default::default() },
+        seed,
+    )
+}
+
+fn cfg(pop: usize, evals: u64) -> CarbonConfig {
+    CarbonConfig {
+        ul_pop_size: pop,
+        ll_pop_size: pop,
+        ul_archive_size: pop,
+        ll_archive_size: pop,
+        ul_evaluations: evals,
+        ll_evaluations: evals,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn evolved_champion_is_competitive_with_handcrafted_greedy() {
+    // After a moderate run, the champion heuristic should be at worst
+    // slightly behind the classic cost-per-coverage rule on the final
+    // pricing (it usually wins; allow slack for the 2k-eval budget).
+    let inst = instance(21);
+    let r = Carbon::new(&inst, cfg(20, 2_000)).run(3);
+    let costs = inst.costs_for(&r.best_pricing);
+    let relax = RelaxationSolver::new(&inst).solve(&costs).unwrap();
+    let ps = bico_bcpop::bcpop_primitives();
+    let mut champ = GpScorer::new(&r.best_heuristic, &ps);
+    let evolved = greedy_cover(&inst, &costs, &mut champ, Some(&relax));
+    let handcrafted = greedy_cover(&inst, &costs, &mut CostPerCoverageScorer, Some(&relax));
+    assert!(evolved.feasible && handcrafted.feasible);
+    assert!(
+        evolved.cost <= handcrafted.cost * 1.25,
+        "champion ({}) much worse than handcrafted ({})",
+        evolved.cost,
+        handcrafted.cost
+    );
+}
+
+#[test]
+fn longer_budget_never_hurts_much() {
+    // More evaluations should give a final gap at least as good, up to
+    // stochastic noise (paired seeds, factor tolerance).
+    let inst = instance(22);
+    let short = Carbon::new(&inst, cfg(16, 480)).run(7);
+    let long = Carbon::new(&inst, cfg(16, 3_200)).run(7);
+    assert!(
+        long.best_gap <= short.best_gap * 1.05 + 0.5,
+        "long run gap {} much worse than short run gap {}",
+        long.best_gap,
+        short.best_gap
+    );
+}
+
+#[test]
+fn training_samples_knob_scales_ll_budget_use() {
+    let inst = instance(23);
+    let mut c = cfg(10, 400);
+    c.training_samples = 4;
+    let r = Carbon::new(&inst, c).run(1);
+    // Each generation consumes pop * samples LL evals and pop UL evals:
+    // with equal budgets the LL budget binds 4x earlier.
+    assert_eq!(r.ll_evals_used, r.generations as u64 * 40);
+    assert_eq!(r.ul_evals_used, r.generations as u64 * 10);
+}
+
+#[test]
+fn gap_fitness_off_still_runs_but_tracks_cost() {
+    let inst = instance(24);
+    let mut c = cfg(12, 600);
+    c.gap_fitness = false; // ablation: COBRA's criterion inside CARBON
+    let r = Carbon::new(&inst, c).run(5);
+    assert!(r.generations > 0);
+    assert!(r.best_gap.is_finite());
+}
+
+#[test]
+fn lp_terminals_off_still_produces_feasible_heuristics() {
+    let inst = instance(25);
+    let mut c = cfg(12, 600);
+    c.lp_terminals = false; // ablation: no d_k / x̄_j terminals
+    let r = Carbon::new(&inst, c).run(5);
+    assert!(r.best_gap.is_finite());
+    assert!(r.best_gap >= -1e-9);
+}
+
+#[test]
+fn result_heuristic_roundtrips_through_sexpr() {
+    let inst = instance(26);
+    let solver = Carbon::new(&inst, cfg(10, 300));
+    let r = solver.run(2);
+    let text = bico_gp::to_sexpr(&r.best_heuristic, solver.primitives());
+    let back = bico_gp::parse_sexpr(&text, solver.primitives()).unwrap();
+    assert_eq!(back, r.best_heuristic);
+}
+
+#[test]
+fn trace_evaluation_counters_are_monotone() {
+    let inst = instance(27);
+    let r = Carbon::new(&inst, cfg(10, 500)).run(4);
+    let pts = r.trace.points();
+    assert!(!pts.is_empty());
+    for w in pts.windows(2) {
+        assert!(w[1].evaluations > w[0].evaluations);
+        assert_eq!(w[1].generation, w[0].generation + 1);
+    }
+    assert_eq!(pts.last().unwrap().evaluations, r.ul_evals_used + r.ll_evals_used);
+}

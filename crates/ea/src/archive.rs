@@ -1,0 +1,188 @@
+//! Bounded elite archives.
+//!
+//! COBRA "implements archives at both levels to keep track of the best
+//! results", and CARBON adopts the same strategy (paper §V.A, Table II:
+//! archive size 100 at both levels). The archive keeps the `capacity`
+//! best entries seen so far, deduplicating identical genomes.
+
+use crate::select::Direction;
+
+/// A bounded best-so-far archive over genomes of type `G`.
+///
+/// ```
+/// use bico_ea::{Archive, Direction};
+///
+/// let mut archive = Archive::new(2, Direction::Minimize);
+/// archive.push("slow", 9.0);
+/// archive.push("fast", 1.0);
+/// archive.push("medium", 5.0); // evicts "slow"
+/// assert_eq!(archive.best(), Some((&"fast", 1.0)));
+/// assert_eq!(archive.top(2), vec!["fast", "medium"]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Archive<G> {
+    capacity: usize,
+    dir: Direction,
+    /// Sorted best-first.
+    entries: Vec<(G, f64)>,
+}
+
+impl<G: Clone + PartialEq> Archive<G> {
+    /// Create an archive holding at most `capacity` entries, ranked in
+    /// direction `dir`.
+    pub fn new(capacity: usize, dir: Direction) -> Self {
+        assert!(capacity > 0, "archive capacity must be positive");
+        Archive { capacity, dir, entries: Vec::with_capacity(capacity + 1) }
+    }
+
+    /// Number of archived entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when no entry has been archived yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The ranking direction.
+    pub fn direction(&self) -> Direction {
+        self.dir
+    }
+
+    /// Insert a genome with its fitness. Returns `true` if the entry was
+    /// kept (better than the current worst, or capacity not reached) and
+    /// was not a duplicate.
+    pub fn push(&mut self, genome: G, fitness: f64) -> bool {
+        if fitness.is_nan() {
+            return false;
+        }
+        // Reject exact duplicates (same genome); keep the better fitness.
+        if let Some(existing) = self.entries.iter_mut().find(|(g, _)| *g == genome) {
+            if self.dir.better(fitness, existing.1) {
+                existing.1 = fitness;
+                self.resort();
+                return true;
+            }
+            return false;
+        }
+        if self.entries.len() >= self.capacity {
+            let worst = self.entries.last().map(|e| e.1).unwrap_or(self.dir.worst());
+            if !self.dir.better(fitness, worst) {
+                return false;
+            }
+        }
+        // Binary search for the insertion point (best-first ordering).
+        let pos = self
+            .entries
+            .partition_point(|(_, f)| !self.dir.better(fitness, *f));
+        self.entries.insert(pos, (genome, fitness));
+        self.entries.truncate(self.capacity);
+        true
+    }
+
+    fn resort(&mut self) {
+        let dir = self.dir;
+        self.entries.sort_by(|a, b| {
+            if dir.better(a.1, b.1) {
+                std::cmp::Ordering::Less
+            } else if dir.better(b.1, a.1) {
+                std::cmp::Ordering::Greater
+            } else {
+                std::cmp::Ordering::Equal
+            }
+        });
+    }
+
+    /// The best entry, if any.
+    pub fn best(&self) -> Option<(&G, f64)> {
+        self.entries.first().map(|(g, f)| (g, *f))
+    }
+
+    /// Iterate entries best-first.
+    pub fn iter(&self) -> impl Iterator<Item = (&G, f64)> {
+        self.entries.iter().map(|(g, f)| (g, *f))
+    }
+
+    /// Clone out the `k` best genomes (fewer if the archive is smaller).
+    pub fn top(&self, k: usize) -> Vec<G> {
+        self.entries.iter().take(k).map(|(g, _)| g.clone()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_best_under_capacity_pressure() {
+        let mut a = Archive::new(3, Direction::Maximize);
+        for (i, f) in [1.0, 5.0, 3.0, 4.0, 2.0].iter().enumerate() {
+            a.push(i, *f);
+        }
+        let fits: Vec<f64> = a.iter().map(|(_, f)| f).collect();
+        assert_eq!(fits, vec![5.0, 4.0, 3.0]);
+        assert_eq!(a.best(), Some((&1usize, 5.0)));
+    }
+
+    #[test]
+    fn minimize_direction() {
+        let mut a = Archive::new(2, Direction::Minimize);
+        a.push("x", 9.0);
+        a.push("y", 1.0);
+        a.push("z", 5.0);
+        let fits: Vec<f64> = a.iter().map(|(_, f)| f).collect();
+        assert_eq!(fits, vec![1.0, 5.0]);
+    }
+
+    #[test]
+    fn rejects_worse_when_full() {
+        let mut a = Archive::new(2, Direction::Maximize);
+        assert!(a.push(1, 10.0));
+        assert!(a.push(2, 20.0));
+        assert!(!a.push(3, 5.0));
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn duplicate_genome_keeps_best_fitness() {
+        let mut a = Archive::new(4, Direction::Maximize);
+        assert!(a.push(7, 1.0));
+        assert!(a.push(7, 3.0)); // improved duplicate
+        assert!(!a.push(7, 2.0)); // worse duplicate
+        assert_eq!(a.len(), 1);
+        assert_eq!(a.best(), Some((&7, 3.0)));
+    }
+
+    #[test]
+    fn nan_fitness_rejected() {
+        let mut a = Archive::new(2, Direction::Maximize);
+        assert!(!a.push(1, f64::NAN));
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn top_k_clones_best() {
+        let mut a = Archive::new(5, Direction::Minimize);
+        for (g, f) in [(1, 4.0), (2, 2.0), (3, 3.0)] {
+            a.push(g, f);
+        }
+        assert_eq!(a.top(2), vec![2, 3]);
+        assert_eq!(a.top(10), vec![2, 3, 1]);
+    }
+
+    #[test]
+    fn ties_are_kept_in_insertion_order() {
+        let mut a = Archive::new(3, Direction::Maximize);
+        a.push("first", 1.0);
+        a.push("second", 1.0);
+        let genomes: Vec<&&str> = a.iter().map(|(g, _)| g).collect();
+        assert_eq!(genomes, vec![&"first", &"second"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_panics() {
+        let _: Archive<u8> = Archive::new(0, Direction::Maximize);
+    }
+}

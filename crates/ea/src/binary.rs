@@ -1,0 +1,196 @@
+//! Binary-vector genetic operators.
+//!
+//! COBRA's lower-level population encodes covering solutions as binary
+//! vectors evolved with "(GA) Two-points" crossover and "(GA) swap"
+//! mutation (Table II). Bit-flip mutation and uniform initialization are
+//! provided as well (the swap/bit-flip choice is exercised by the
+//! ablation benches).
+
+use rand::Rng;
+
+/// A binary genome is a plain `Vec<bool>`.
+pub type BitVec = Vec<bool>;
+
+/// Sample a uniform random bit vector of length `n` with per-bit
+/// probability `p_one` of being set.
+pub fn random_bits<R: Rng + ?Sized>(n: usize, p_one: f64, rng: &mut R) -> BitVec {
+    (0..n).map(|_| rng.random::<f64>() < p_one).collect()
+}
+
+/// Two-point crossover: exchange the segment `[i, j)` between parents.
+///
+/// # Panics
+/// Panics if parents differ in length or are empty.
+pub fn two_point_crossover<R: Rng + ?Sized>(
+    p1: &[bool],
+    p2: &[bool],
+    rng: &mut R,
+) -> (BitVec, BitVec) {
+    assert_eq!(p1.len(), p2.len(), "parents must have equal length");
+    assert!(!p1.is_empty(), "parents must be non-empty");
+    let n = p1.len();
+    let a = rng.random_range(0..n);
+    let b = rng.random_range(0..n);
+    let (i, j) = (a.min(b), a.max(b) + 1);
+    let mut c1 = p1.to_vec();
+    let mut c2 = p2.to_vec();
+    c1[i..j].copy_from_slice(&p2[i..j]);
+    c2[i..j].copy_from_slice(&p1[i..j]);
+    (c1, c2)
+}
+
+/// Swap mutation: exchange the values at two random positions.
+pub fn swap_mutation<R: Rng + ?Sized>(x: &mut [bool], rng: &mut R) {
+    if x.len() < 2 {
+        return;
+    }
+    let i = rng.random_range(0..x.len());
+    let j = rng.random_range(0..x.len());
+    x.swap(i, j);
+}
+
+/// Shuffle-indexes mutation (DEAP's `mutShuffleIndexes`): each position
+/// independently, with probability `indpb`, swaps its value with another
+/// uniformly chosen position. Table II's COBRA row —
+/// "(GA) swap" with probability `1/#variables` — is this operator with
+/// `indpb = 1/n`.
+pub fn shuffle_mutation<R: Rng + ?Sized>(x: &mut [bool], indpb: f64, rng: &mut R) {
+    let n = x.len();
+    if n < 2 {
+        return;
+    }
+    for i in 0..n {
+        if rng.random::<f64>() < indpb {
+            let j = rng.random_range(0..n);
+            x.swap(i, j);
+        }
+    }
+}
+
+/// Independent bit-flip mutation with per-bit probability `p`.
+pub fn bitflip_mutation<R: Rng + ?Sized>(x: &mut [bool], p: f64, rng: &mut R) {
+    for bit in x.iter_mut() {
+        if rng.random::<f64>() < p {
+            *bit = !*bit;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn two_point_preserves_multiset() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let p1 = random_bits(32, 0.3, &mut rng);
+        let p2 = random_bits(32, 0.7, &mut rng);
+        for _ in 0..100 {
+            let (c1, c2) = two_point_crossover(&p1, &p2, &mut rng);
+            for k in 0..32 {
+                // Column-wise the two children are a permutation of parents.
+                let parents = [p1[k], p2[k]];
+                let children = [c1[k], c2[k]];
+                let mut a = parents.to_vec();
+                let mut b = children.to_vec();
+                a.sort();
+                b.sort();
+                assert_eq!(a, b, "column {k} not preserved");
+            }
+        }
+    }
+
+    #[test]
+    fn two_point_exchanges_contiguous_segment() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let p1 = vec![false; 16];
+        let p2 = vec![true; 16];
+        let (c1, _) = two_point_crossover(&p1, &p2, &mut rng);
+        // c1 = all false except one contiguous true segment.
+        let trues: Vec<usize> =
+            c1.iter().enumerate().filter(|(_, &b)| b).map(|(i, _)| i).collect();
+        if trues.len() >= 2 {
+            assert_eq!(trues.last().unwrap() - trues[0] + 1, trues.len(), "not contiguous");
+        }
+    }
+
+    #[test]
+    fn swap_mutation_preserves_popcount() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..100 {
+            let mut x = random_bits(20, 0.4, &mut rng);
+            let before = x.iter().filter(|&&b| b).count();
+            swap_mutation(&mut x, &mut rng);
+            let after = x.iter().filter(|&&b| b).count();
+            assert_eq!(before, after, "swap changed popcount");
+        }
+    }
+
+    #[test]
+    fn swap_mutation_on_short_vectors_is_noop() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut x = vec![true];
+        swap_mutation(&mut x, &mut rng);
+        assert_eq!(x, vec![true]);
+        let mut empty: BitVec = vec![];
+        swap_mutation(&mut empty, &mut rng);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn shuffle_mutation_preserves_popcount() {
+        let mut rng = SmallRng::seed_from_u64(31);
+        for _ in 0..100 {
+            let mut x = random_bits(24, 0.4, &mut rng);
+            let before = x.iter().filter(|&&b| b).count();
+            shuffle_mutation(&mut x, 1.0 / 24.0, &mut rng);
+            assert_eq!(x.iter().filter(|&&b| b).count(), before);
+        }
+    }
+
+    #[test]
+    fn shuffle_mutation_zero_prob_is_identity() {
+        let mut rng = SmallRng::seed_from_u64(32);
+        let mut x = random_bits(24, 0.4, &mut rng);
+        let orig = x.clone();
+        shuffle_mutation(&mut x, 0.0, &mut rng);
+        assert_eq!(x, orig);
+    }
+
+    #[test]
+    fn bitflip_zero_prob_is_identity() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut x = random_bits(16, 0.5, &mut rng);
+        let orig = x.clone();
+        bitflip_mutation(&mut x, 0.0, &mut rng);
+        assert_eq!(x, orig);
+    }
+
+    #[test]
+    fn bitflip_one_prob_inverts() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        let mut x = random_bits(16, 0.5, &mut rng);
+        let orig = x.clone();
+        bitflip_mutation(&mut x, 1.0, &mut rng);
+        for (a, b) in x.iter().zip(&orig) {
+            assert_eq!(*a, !*b);
+        }
+    }
+
+    #[test]
+    fn random_bits_density_tracks_probability() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let x = random_bits(10_000, 0.25, &mut rng);
+        let ones = x.iter().filter(|&&b| b).count() as f64 / 10_000.0;
+        assert!((ones - 0.25).abs() < 0.03, "density {ones} far from 0.25");
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn crossover_length_mismatch_panics() {
+        let mut rng = SmallRng::seed_from_u64(8);
+        let _ = two_point_crossover(&[true], &[true, false], &mut rng);
+    }
+}

@@ -1,0 +1,179 @@
+//! Non-parametric hypothesis testing for run-set comparisons.
+//!
+//! The paper reports statistics over 30 independent runs per algorithm;
+//! a principled comparison of "CARBON's gaps vs COBRA's gaps" is the
+//! Mann–Whitney U (Wilcoxon rank-sum) test — no normality assumption,
+//! robust to the heavy-tailed fitness distributions EAs produce. The
+//! experiment binaries report its p-value next to the raw means.
+
+/// Result of a two-sided Mann–Whitney U test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MannWhitney {
+    /// The smaller of U_a and U_b.
+    pub u: f64,
+    /// Normal-approximation z-score (tie-corrected, continuity-corrected).
+    pub z: f64,
+    /// Two-sided p-value from the normal approximation.
+    pub p_two_sided: f64,
+    /// Effect direction: negative when `a` tends to be smaller than `b`.
+    pub a_shift: f64,
+}
+
+/// Two-sided Mann–Whitney U test between samples `a` and `b`, using the
+/// tie-corrected normal approximation (adequate for n ≥ ~8 per side;
+/// the paper's 30-run protocol is comfortably inside).
+///
+/// Returns `None` when either sample is empty or the variance collapses
+/// (all observations identical).
+///
+/// ```
+/// use bico_ea::mann_whitney_u;
+///
+/// let carbon_gaps = [1.1, 0.9, 1.3, 1.0, 1.2, 0.8, 1.1, 1.0];
+/// let cobra_gaps = [24.0, 21.5, 26.1, 23.3, 25.0, 22.8, 24.4, 23.9];
+/// let t = mann_whitney_u(&carbon_gaps, &cobra_gaps).unwrap();
+/// assert!(t.p_two_sided < 0.001);
+/// assert!(t.a_shift < 0.0); // CARBON's gaps are smaller
+/// ```
+pub fn mann_whitney_u(a: &[f64], b: &[f64]) -> Option<MannWhitney> {
+    let na = a.len();
+    let nb = b.len();
+    if na == 0 || nb == 0 {
+        return None;
+    }
+    let n = na + nb;
+
+    // Rank the pooled sample with average ranks on ties.
+    let mut pooled: Vec<(f64, bool)> = a
+        .iter()
+        .map(|&v| (v, true))
+        .chain(b.iter().map(|&v| (v, false)))
+        .collect();
+    pooled.sort_by(|x, y| x.0.total_cmp(&y.0));
+
+    let mut rank_sum_a = 0.0f64;
+    let mut tie_term = 0.0f64;
+    let mut i = 0usize;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && pooled[j + 1].0 == pooled[i].0 {
+            j += 1;
+        }
+        let count = (j - i + 1) as f64;
+        // Average rank of the tie group (ranks are 1-based).
+        let avg_rank = (i + 1 + j + 1) as f64 / 2.0;
+        for item in &pooled[i..=j] {
+            if item.1 {
+                rank_sum_a += avg_rank;
+            }
+        }
+        tie_term += count * count * count - count;
+        i = j + 1;
+    }
+
+    let na_f = na as f64;
+    let nb_f = nb as f64;
+    let u_a = rank_sum_a - na_f * (na_f + 1.0) / 2.0;
+    let u_b = na_f * nb_f - u_a;
+    let u = u_a.min(u_b);
+
+    let mean = na_f * nb_f / 2.0;
+    let n_f = n as f64;
+    let var = na_f * nb_f / 12.0 * ((n_f + 1.0) - tie_term / (n_f * (n_f - 1.0)));
+    if var <= 0.0 {
+        return None;
+    }
+    // Continuity correction toward the mean.
+    let z = (u - mean + 0.5) / var.sqrt();
+    let p = (2.0 * normal_cdf(-z.abs())).min(1.0);
+    Some(MannWhitney { u, z, p_two_sided: p, a_shift: u_a - mean })
+}
+
+/// Standard normal CDF via the Abramowitz–Stegun erf approximation
+/// (absolute error < 1.5e-7 — plenty for reporting p-values).
+pub fn normal_cdf(x: f64) -> f64 {
+    0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
+}
+
+fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let poly = t
+        * (0.254_829_592
+            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+    sign * (1.0 - poly * (-x * x).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erf_reference_points() {
+        assert!((erf(0.0)).abs() < 1.5e-7); // A&S 7.1.26 error bound
+        assert!((erf(1.0) - 0.842_700_79).abs() < 1e-6);
+        assert!((erf(-1.0) + 0.842_700_79).abs() < 1e-6);
+        assert!((erf(2.0) - 0.995_322_26).abs() < 1e-6);
+    }
+
+    #[test]
+    fn normal_cdf_reference_points() {
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1.5e-7);
+        assert!((normal_cdf(1.96) - 0.975).abs() < 1e-3);
+        assert!((normal_cdf(-1.96) - 0.025).abs() < 1e-3);
+    }
+
+    #[test]
+    fn separated_samples_give_small_p() {
+        // scipy.stats.mannwhitneyu([1,2,3],[4,5,6], use_continuity=True,
+        // alternative='two-sided', method='asymptotic') -> U=0, p≈0.0809
+        let r = mann_whitney_u(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]).unwrap();
+        assert_eq!(r.u, 0.0);
+        assert!((r.p_two_sided - 0.0809).abs() < 0.002, "p = {}", r.p_two_sided);
+        assert!(r.a_shift < 0.0, "a is smaller, shift must be negative");
+    }
+
+    #[test]
+    fn identical_distributions_give_large_p() {
+        let a = [1.0, 3.0, 5.0, 7.0, 9.0, 11.0];
+        let b = [2.0, 4.0, 6.0, 8.0, 10.0, 12.0];
+        let r = mann_whitney_u(&a, &b).unwrap();
+        assert!(r.p_two_sided > 0.3, "p = {}", r.p_two_sided);
+    }
+
+    #[test]
+    fn strongly_separated_large_samples() {
+        let a: Vec<f64> = (0..30).map(|i| i as f64).collect();
+        let b: Vec<f64> = (0..30).map(|i| 100.0 + i as f64).collect();
+        let r = mann_whitney_u(&a, &b).unwrap();
+        assert!(r.p_two_sided < 1e-9, "p = {}", r.p_two_sided);
+    }
+
+    #[test]
+    fn ties_are_handled() {
+        let a = [1.0, 1.0, 1.0, 2.0];
+        let b = [1.0, 2.0, 2.0, 2.0];
+        let r = mann_whitney_u(&a, &b).unwrap();
+        assert!(r.p_two_sided > 0.05 && r.p_two_sided <= 1.0);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(mann_whitney_u(&[], &[1.0]).is_none());
+        assert!(mann_whitney_u(&[1.0], &[]).is_none());
+        // All identical: zero variance.
+        assert!(mann_whitney_u(&[2.0, 2.0], &[2.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn symmetry_in_arguments() {
+        let a = [1.0, 5.0, 3.0, 8.0];
+        let b = [2.0, 9.0, 4.0, 7.0];
+        let r1 = mann_whitney_u(&a, &b).unwrap();
+        let r2 = mann_whitney_u(&b, &a).unwrap();
+        assert_eq!(r1.u, r2.u);
+        assert!((r1.p_two_sided - r2.p_two_sided).abs() < 1e-12);
+        assert!((r1.a_shift + r2.a_shift).abs() < 1e-9);
+    }
+}

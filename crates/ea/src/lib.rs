@@ -1,0 +1,36 @@
+#![warn(missing_docs)]
+
+//! # bico-ea — evolutionary-algorithm toolkit
+//!
+//! The GA machinery shared by CARBON's upper-level population and both
+//! COBRA populations (Table II of the paper):
+//!
+//! * [`real`] — real-coded operators: simulated binary crossover (SBX)
+//!   and polynomial mutation, both bound-preserving (Deb & Agrawal);
+//! * [`binary`] — binary-vector operators: two-point crossover and swap
+//!   mutation (COBRA's lower level);
+//! * [`select`] — k-ary and binary tournament selection;
+//! * [`archive`] — the bounded elite archives both algorithms keep at
+//!   each level;
+//! * [`population`] — individuals and a rayon-parallel evaluation driver;
+//! * [`rng`] — splitmix64 seed streams so parallel runs stay
+//!   deterministic regardless of thread count;
+//! * [`stats`] — running statistics and convergence traces (the data
+//!   behind the paper's Fig. 4 and Fig. 5).
+
+pub mod archive;
+pub mod binary;
+pub mod hypothesis;
+pub mod population;
+pub mod real;
+pub mod rng;
+pub mod select;
+pub mod stats;
+
+pub use archive::Archive;
+pub use hypothesis::{mann_whitney_u, MannWhitney};
+pub use population::{evaluate_parallel, Individual};
+pub use real::{polynomial_mutation, sbx_crossover, RealOpsConfig};
+pub use rng::seed_stream;
+pub use select::{tournament, Direction};
+pub use stats::{Summary, Trace, TracePoint};

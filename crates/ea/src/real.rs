@@ -1,0 +1,276 @@
+//! Real-coded genetic operators: simulated binary crossover (SBX) and
+//! polynomial mutation, in the bound-respecting forms of Deb & Agrawal —
+//! exactly the "Simulated binary" / "Polynomial" rows of the paper's
+//! Table II. CARBON and COBRA both encode upper-level pricings as
+//! continuous vectors evolved with these operators.
+
+use rand::Rng;
+
+/// Distribution indices and per-gene rates for the real-coded operators.
+#[derive(Debug, Clone, Copy)]
+pub struct RealOpsConfig {
+    /// SBX distribution index `η_c` (larger → children closer to parents).
+    pub eta_crossover: f64,
+    /// Polynomial-mutation distribution index `η_m`.
+    pub eta_mutation: f64,
+    /// Per-gene probability that SBX recombines the gene (the remainder
+    /// is copied verbatim).
+    pub gene_swap_prob: f64,
+}
+
+impl Default for RealOpsConfig {
+    fn default() -> Self {
+        // NSGA-II's classic settings, which DEAP also defaults to.
+        RealOpsConfig { eta_crossover: 20.0, eta_mutation: 20.0, gene_swap_prob: 0.5 }
+    }
+}
+
+const EPS: f64 = 1e-14;
+
+/// Simulated binary crossover of two parents within `[lower, upper]`
+/// boxes. Returns two children; parents are untouched.
+///
+/// # Panics
+/// Panics if the four slices disagree in length.
+pub fn sbx_crossover<R: Rng + ?Sized>(
+    p1: &[f64],
+    p2: &[f64],
+    lower: &[f64],
+    upper: &[f64],
+    cfg: &RealOpsConfig,
+    rng: &mut R,
+) -> (Vec<f64>, Vec<f64>) {
+    assert_eq!(p1.len(), p2.len());
+    assert_eq!(p1.len(), lower.len());
+    assert_eq!(p1.len(), upper.len());
+    let n = p1.len();
+    let mut c1 = p1.to_vec();
+    let mut c2 = p2.to_vec();
+    for i in 0..n {
+        if rng.random::<f64>() > cfg.gene_swap_prob {
+            continue;
+        }
+        let (x1, x2) = (p1[i].min(p2[i]), p1[i].max(p2[i]));
+        if (x2 - x1).abs() < EPS {
+            continue;
+        }
+        let (lo, hi) = (lower[i], upper[i]);
+        let u: f64 = rng.random();
+
+        // Child 1 — spread factor contracted toward the lower bound.
+        let beta = 1.0 + 2.0 * (x1 - lo) / (x2 - x1);
+        let alpha = 2.0 - beta.powf(-(cfg.eta_crossover + 1.0));
+        let betaq = spread_factor(u, alpha, cfg.eta_crossover);
+        let v1 = 0.5 * ((x1 + x2) - betaq * (x2 - x1));
+
+        // Child 2 — spread factor contracted toward the upper bound.
+        let beta = 1.0 + 2.0 * (hi - x2) / (x2 - x1);
+        let alpha = 2.0 - beta.powf(-(cfg.eta_crossover + 1.0));
+        let betaq = spread_factor(u, alpha, cfg.eta_crossover);
+        let v2 = 0.5 * ((x1 + x2) + betaq * (x2 - x1));
+
+        let (v1, v2) = (v1.clamp(lo, hi), v2.clamp(lo, hi));
+        // Random assignment of the two children to the two slots.
+        if rng.random::<f64>() < 0.5 {
+            c1[i] = v2;
+            c2[i] = v1;
+        } else {
+            c1[i] = v1;
+            c2[i] = v2;
+        }
+    }
+    (c1, c2)
+}
+
+#[inline]
+fn spread_factor(u: f64, alpha: f64, eta: f64) -> f64 {
+    if u <= 1.0 / alpha {
+        (u * alpha).powf(1.0 / (eta + 1.0))
+    } else {
+        (1.0 / (2.0 - u * alpha)).powf(1.0 / (eta + 1.0))
+    }
+}
+
+/// Bounded polynomial mutation: each gene mutates independently with
+/// probability `per_gene_prob`.
+pub fn polynomial_mutation<R: Rng + ?Sized>(
+    x: &mut [f64],
+    lower: &[f64],
+    upper: &[f64],
+    per_gene_prob: f64,
+    cfg: &RealOpsConfig,
+    rng: &mut R,
+) {
+    assert_eq!(x.len(), lower.len());
+    assert_eq!(x.len(), upper.len());
+    let eta = cfg.eta_mutation;
+    for i in 0..x.len() {
+        if rng.random::<f64>() >= per_gene_prob {
+            continue;
+        }
+        let (lo, hi) = (lower[i], upper[i]);
+        let span = hi - lo;
+        if span <= 0.0 {
+            continue;
+        }
+        let y = x[i];
+        let delta1 = (y - lo) / span;
+        let delta2 = (hi - y) / span;
+        let u: f64 = rng.random();
+        let mut_pow = 1.0 / (eta + 1.0);
+        let deltaq = if u < 0.5 {
+            let xy = 1.0 - delta1;
+            let val = 2.0 * u + (1.0 - 2.0 * u) * xy.powf(eta + 1.0);
+            val.powf(mut_pow) - 1.0
+        } else {
+            let xy = 1.0 - delta2;
+            let val = 2.0 * (1.0 - u) + 2.0 * (u - 0.5) * xy.powf(eta + 1.0);
+            1.0 - val.powf(mut_pow)
+        };
+        x[i] = (y + deltaq * span).clamp(lo, hi);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn bounds(n: usize) -> (Vec<f64>, Vec<f64>) {
+        (vec![0.0; n], vec![10.0; n])
+    }
+
+    #[test]
+    fn sbx_children_stay_in_bounds() {
+        let (lo, hi) = bounds(6);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let p1 = vec![0.0, 1.0, 5.0, 9.9, 0.1, 10.0];
+        let p2 = vec![10.0, 2.0, 5.0, 0.0, 0.2, 10.0];
+        for _ in 0..500 {
+            let (c1, c2) = sbx_crossover(&p1, &p2, &lo, &hi, &RealOpsConfig::default(), &mut rng);
+            for v in c1.iter().chain(c2.iter()) {
+                assert!((0.0..=10.0).contains(v), "child gene {v} out of bounds");
+            }
+        }
+    }
+
+    #[test]
+    fn sbx_preserves_gene_mean_when_bounds_are_distant() {
+        // Far from the box, the bounded SBX degenerates to the classic
+        // unbounded form, which is exactly mean-preserving per gene:
+        // child1 + child2 = parent1 + parent2.
+        let lo = vec![-1e9; 4];
+        let hi = vec![1e9; 4];
+        let mut rng = SmallRng::seed_from_u64(2);
+        let p1 = vec![2.0, 3.0, 7.0, 1.0];
+        let p2 = vec![8.0, 4.0, 2.0, 9.0];
+        for _ in 0..100 {
+            let (c1, c2) = sbx_crossover(&p1, &p2, &lo, &hi, &RealOpsConfig::default(), &mut rng);
+            for i in 0..4 {
+                let sum_parents = p1[i] + p2[i];
+                let sum_children = c1[i] + c2[i];
+                assert!(
+                    (sum_parents - sum_children).abs() < 1e-9,
+                    "SBX not mean preserving: {sum_parents} vs {sum_children}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sbx_near_bounds_contracts_into_box() {
+        // Near an asymmetric box the children are biased inward but must
+        // never leave it — this is the behaviour that keeps pricings valid.
+        let lo = vec![0.0];
+        let hi = vec![1.0];
+        let mut rng = SmallRng::seed_from_u64(21);
+        let cfg = RealOpsConfig { gene_swap_prob: 1.0, ..Default::default() };
+        for _ in 0..300 {
+            let (c1, c2) = sbx_crossover(&[0.01], &[0.99], &lo, &hi, &cfg, &mut rng);
+            assert!((0.0..=1.0).contains(&c1[0]));
+            assert!((0.0..=1.0).contains(&c2[0]));
+        }
+    }
+
+    #[test]
+    fn sbx_identical_parents_clone() {
+        let (lo, hi) = bounds(3);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let p = vec![4.0, 5.0, 6.0];
+        let (c1, c2) = sbx_crossover(&p, &p, &lo, &hi, &RealOpsConfig::default(), &mut rng);
+        assert_eq!(c1, p);
+        assert_eq!(c2, p);
+    }
+
+    #[test]
+    fn high_eta_keeps_children_near_parents() {
+        let (lo, hi) = bounds(1);
+        let mut rng = SmallRng::seed_from_u64(4);
+        let cfg = RealOpsConfig { eta_crossover: 1000.0, gene_swap_prob: 1.0, ..Default::default() };
+        let mut max_dev = 0.0f64;
+        for _ in 0..200 {
+            let (c1, c2) = sbx_crossover(&[4.0], &[6.0], &lo, &hi, &cfg, &mut rng);
+            let d = (c1[0] - 4.0).abs().min((c1[0] - 6.0).abs());
+            max_dev = max_dev.max(d).max((c2[0] - 4.0).abs().min((c2[0] - 6.0).abs()));
+        }
+        assert!(max_dev < 0.1, "children strayed {max_dev} with eta=1000");
+    }
+
+    #[test]
+    fn mutation_stays_in_bounds() {
+        let (lo, hi) = bounds(8);
+        let mut rng = SmallRng::seed_from_u64(5);
+        let cfg = RealOpsConfig::default();
+        for _ in 0..300 {
+            let mut x = vec![0.0, 10.0, 5.0, 0.1, 9.9, 3.3, 7.7, 5.0];
+            polynomial_mutation(&mut x, &lo, &hi, 1.0, &cfg, &mut rng);
+            for v in &x {
+                assert!((0.0..=10.0).contains(v));
+            }
+        }
+    }
+
+    #[test]
+    fn mutation_prob_zero_is_identity() {
+        let (lo, hi) = bounds(4);
+        let mut rng = SmallRng::seed_from_u64(6);
+        let mut x = vec![1.0, 2.0, 3.0, 4.0];
+        let orig = x.clone();
+        polynomial_mutation(&mut x, &lo, &hi, 0.0, &RealOpsConfig::default(), &mut rng);
+        assert_eq!(x, orig);
+    }
+
+    #[test]
+    fn mutation_actually_perturbs() {
+        let (lo, hi) = bounds(16);
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut x = vec![5.0; 16];
+        polynomial_mutation(&mut x, &lo, &hi, 1.0, &RealOpsConfig::default(), &mut rng);
+        assert!(x.iter().any(|&v| (v - 5.0).abs() > 1e-12), "no gene moved");
+    }
+
+    #[test]
+    fn fixed_gene_degenerate_bounds_untouched() {
+        let lo = vec![3.0];
+        let hi = vec![3.0];
+        let mut rng = SmallRng::seed_from_u64(8);
+        let mut x = vec![3.0];
+        polynomial_mutation(&mut x, &lo, &hi, 1.0, &RealOpsConfig::default(), &mut rng);
+        assert_eq!(x[0], 3.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn length_mismatch_panics() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let _ = sbx_crossover(
+            &[1.0, 2.0],
+            &[1.0],
+            &[0.0],
+            &[1.0],
+            &RealOpsConfig::default(),
+            &mut rng,
+        );
+    }
+}

@@ -1,0 +1,55 @@
+//! Deterministic seed streams.
+//!
+//! Every stochastic component in the workspace receives an explicit seed.
+//! Parallel loops (independent runs, per-individual evaluation) derive a
+//! child seed per work item with [`seed_stream`], so results are
+//! bit-identical regardless of the rayon thread count — the determinism
+//! contract asserted by `tests/determinism.rs` at the workspace root.
+
+/// splitmix64 finalizer — a high-quality 64-bit mixer.
+#[inline]
+pub fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Derive the seed of sub-stream `stream` from a master seed.
+///
+/// Distinct `(master, stream)` pairs map to statistically independent
+/// seeds; the same pair always maps to the same seed.
+#[inline]
+pub fn seed_stream(master: u64, stream: u64) -> u64 {
+    splitmix64(master ^ splitmix64(stream.wrapping_add(0xA5A5_A5A5_A5A5_A5A5)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(seed_stream(42, 7), seed_stream(42, 7));
+    }
+
+    #[test]
+    fn streams_differ() {
+        let s: std::collections::HashSet<u64> = (0..1000).map(|i| seed_stream(42, i)).collect();
+        assert_eq!(s.len(), 1000, "collisions in the first 1000 streams");
+    }
+
+    #[test]
+    fn masters_differ() {
+        assert_ne!(seed_stream(1, 0), seed_stream(2, 0));
+    }
+
+    #[test]
+    fn splitmix_avalanche_smoke() {
+        // Flipping one input bit should flip roughly half the output bits.
+        let a = splitmix64(0x1234_5678);
+        let b = splitmix64(0x1234_5679);
+        let flipped = (a ^ b).count_ones();
+        assert!((16..=48).contains(&flipped), "poor avalanche: {flipped} bits");
+    }
+}

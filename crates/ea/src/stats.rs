@@ -1,0 +1,194 @@
+//! Running statistics and convergence traces.
+//!
+//! The paper's Fig. 4 and Fig. 5 plot, per generation, the average (over
+//! 30 runs) best upper-level fitness and best %-gap. [`Trace`] records
+//! one run's series; [`Summary`] aggregates values with Welford's online
+//! algorithm (numerically stable single pass).
+
+/// Online mean/variance/min/max accumulator (Welford).
+#[derive(Debug, Clone, Default)]
+pub struct Summary {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// Empty summary.
+    pub fn new() -> Self {
+        Summary { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Build a summary from a slice.
+    pub fn of(values: &[f64]) -> Self {
+        let mut s = Self::new();
+        for &v in values {
+            s.push(v);
+        }
+        s
+    }
+
+    /// Accumulate one value (NaN values are ignored).
+    pub fn push(&mut self, v: f64) {
+        if v.is_nan() {
+            return;
+        }
+        self.n += 1;
+        let delta = v - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (v - self.mean);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Count of accumulated values.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Arithmetic mean (NaN when empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.mean
+        }
+    }
+
+    /// Sample standard deviation (NaN when n < 2).
+    pub fn std_dev(&self) -> f64 {
+        if self.n < 2 {
+            f64::NAN
+        } else {
+            (self.m2 / (self.n - 1) as f64).sqrt()
+        }
+    }
+
+    /// Minimum (∞ when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Maximum (−∞ when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+}
+
+/// One sampled point of a convergence trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TracePoint {
+    /// Generation index.
+    pub generation: usize,
+    /// Cumulative fitness evaluations consumed when sampled.
+    pub evaluations: u64,
+    /// Best upper-level objective so far.
+    pub ul_best: f64,
+    /// Best lower-level %-gap so far.
+    pub gap_best: f64,
+}
+
+/// A per-run convergence series.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    points: Vec<TracePoint>,
+}
+
+impl Trace {
+    /// Empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a sample.
+    pub fn record(&mut self, generation: usize, evaluations: u64, ul_best: f64, gap_best: f64) {
+        self.points.push(TracePoint { generation, evaluations, ul_best, gap_best });
+    }
+
+    /// The recorded points, in order.
+    pub fn points(&self) -> &[TracePoint] {
+        &self.points
+    }
+
+    /// Average several traces point-wise (series are truncated to the
+    /// shortest — the paper averages aligned generations over 30 runs).
+    pub fn average(traces: &[Trace]) -> Trace {
+        let Some(min_len) = traces.iter().map(|t| t.points.len()).min() else {
+            return Trace::new();
+        };
+        let mut out = Trace::new();
+        for i in 0..min_len {
+            let n = traces.len() as f64;
+            let gen = traces[0].points[i].generation;
+            let evals =
+                (traces.iter().map(|t| t.points[i].evaluations).sum::<u64>() as f64 / n) as u64;
+            let ul = traces.iter().map(|t| t.points[i].ul_best).sum::<f64>() / n;
+            let gap = traces.iter().map(|t| t.points[i].gap_best).sum::<f64>() / n;
+            out.record(gen, evals, ul, gap);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_basic_moments() {
+        let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.std_dev() - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn summary_empty_and_singleton() {
+        let s = Summary::new();
+        assert!(s.mean().is_nan());
+        let s = Summary::of(&[3.0]);
+        assert_eq!(s.mean(), 3.0);
+        assert!(s.std_dev().is_nan());
+    }
+
+    #[test]
+    fn summary_ignores_nan() {
+        let s = Summary::of(&[1.0, f64::NAN, 3.0]);
+        assert_eq!(s.count(), 2);
+        assert!((s.mean() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn welford_matches_naive_on_large_offset() {
+        // Stability check: values with a large common offset.
+        let values: Vec<f64> = (0..1000).map(|i| 1e9 + (i % 7) as f64).collect();
+        let s = Summary::of(&values);
+        let naive_mean = values.iter().sum::<f64>() / values.len() as f64;
+        assert!((s.mean() - naive_mean).abs() < 1e-3);
+    }
+
+    #[test]
+    fn trace_average_is_pointwise() {
+        let mut t1 = Trace::new();
+        t1.record(0, 100, 10.0, 5.0);
+        t1.record(1, 200, 20.0, 3.0);
+        let mut t2 = Trace::new();
+        t2.record(0, 100, 30.0, 1.0);
+        t2.record(1, 200, 40.0, 1.0);
+        t2.record(2, 300, 50.0, 0.5); // extra point is truncated
+        let avg = Trace::average(&[t1, t2]);
+        assert_eq!(avg.points().len(), 2);
+        assert_eq!(avg.points()[0].ul_best, 20.0);
+        assert_eq!(avg.points()[1].gap_best, 2.0);
+    }
+
+    #[test]
+    fn trace_average_of_empty_set() {
+        let avg = Trace::average(&[]);
+        assert!(avg.points().is_empty());
+    }
+}

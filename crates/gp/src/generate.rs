@@ -1,0 +1,255 @@
+//! Tree generation: `full`, `grow`, and ramped half-and-half — the
+//! standard GP initialization trio (Koza). CARBON's lower-level
+//! population is seeded with ramped half-and-half over Table I primitives.
+
+use crate::primitives::PrimitiveSet;
+use crate::tree::{Expr, Node};
+use rand::Rng;
+use std::fmt;
+
+/// Errors from tree generation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GenError {
+    /// The primitive set has no terminals and no constant range: leaves
+    /// cannot be produced.
+    NoLeaves,
+    /// A positive depth was requested but the set has no operators.
+    NoOperators,
+}
+
+impl fmt::Display for GenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GenError::NoLeaves => write!(f, "primitive set has no terminals or constants"),
+            GenError::NoOperators => write!(f, "positive depth requested but no operators"),
+        }
+    }
+}
+
+impl std::error::Error for GenError {}
+
+fn random_leaf<R: Rng + ?Sized>(ps: &PrimitiveSet, rng: &mut R) -> Node {
+    let n_term = ps.num_terminals();
+    match ps.const_range() {
+        Some((lo, hi)) => {
+            // Constants compete with named terminals as one extra "slot".
+            if n_term == 0 || rng.random_range(0..=n_term) == n_term {
+                Node::Const(rng.random_range(lo..=hi))
+            } else {
+                Node::Term(rng.random_range(0..n_term) as u16)
+            }
+        }
+        None => Node::Term(rng.random_range(0..n_term) as u16),
+    }
+}
+
+fn check(ps: &PrimitiveSet, max_depth: usize) -> Result<(), GenError> {
+    if ps.num_terminals() == 0 && ps.const_range().is_none() {
+        return Err(GenError::NoLeaves);
+    }
+    if max_depth > 0 && ps.num_ops() == 0 {
+        return Err(GenError::NoOperators);
+    }
+    Ok(())
+}
+
+/// Generate a tree where every leaf sits at exactly `depth`.
+pub fn full<R: Rng + ?Sized>(
+    ps: &PrimitiveSet,
+    depth: usize,
+    rng: &mut R,
+) -> Result<Expr, GenError> {
+    check(ps, depth)?;
+    let mut nodes = Vec::new();
+    build_full(ps, depth, rng, &mut nodes);
+    Ok(Expr::from_nodes(nodes))
+}
+
+fn build_full<R: Rng + ?Sized>(
+    ps: &PrimitiveSet,
+    depth: usize,
+    rng: &mut R,
+    out: &mut Vec<Node>,
+) {
+    if depth == 0 {
+        out.push(random_leaf(ps, rng));
+        return;
+    }
+    let op = rng.random_range(0..ps.num_ops());
+    out.push(Node::Op(op as u16));
+    for _ in 0..ps.arity(op) {
+        build_full(ps, depth - 1, rng, out);
+    }
+}
+
+/// Generate a tree whose depth lies in `[min_depth, max_depth]`, choosing
+/// operators vs leaves probabilistically below `min_depth` (Koza's grow
+/// method).
+pub fn grow<R: Rng + ?Sized>(
+    ps: &PrimitiveSet,
+    min_depth: usize,
+    max_depth: usize,
+    rng: &mut R,
+) -> Result<Expr, GenError> {
+    assert!(min_depth <= max_depth, "min_depth must be <= max_depth");
+    check(ps, min_depth)?;
+    let mut nodes = Vec::new();
+    build_grow(ps, min_depth, max_depth, 0, rng, &mut nodes);
+    Ok(Expr::from_nodes(nodes))
+}
+
+fn build_grow<R: Rng + ?Sized>(
+    ps: &PrimitiveSet,
+    min_depth: usize,
+    max_depth: usize,
+    depth: usize,
+    rng: &mut R,
+    out: &mut Vec<Node>,
+) {
+    let must_leaf = depth >= max_depth || ps.num_ops() == 0;
+    let must_op = depth < min_depth;
+    let leaf = if must_leaf {
+        true
+    } else if must_op {
+        false
+    } else {
+        // Probability proportional to the leaf share of the primitive set.
+        let n_leaves = ps.num_terminals() + usize::from(ps.const_range().is_some());
+        let total = n_leaves + ps.num_ops();
+        rng.random_range(0..total) < n_leaves
+    };
+    if leaf {
+        out.push(random_leaf(ps, rng));
+    } else {
+        let op = rng.random_range(0..ps.num_ops());
+        out.push(Node::Op(op as u16));
+        for _ in 0..ps.arity(op) {
+            build_grow(ps, min_depth, max_depth, depth + 1, rng, out);
+        }
+    }
+}
+
+/// Ramped half-and-half: alternate `full` and `grow` while ramping the
+/// depth over `[min_depth, max_depth]` — the classic diverse initializer.
+pub fn ramped_half_and_half<R: Rng + ?Sized>(
+    ps: &PrimitiveSet,
+    count: usize,
+    min_depth: usize,
+    max_depth: usize,
+    rng: &mut R,
+) -> Result<Vec<Expr>, GenError> {
+    assert!(min_depth <= max_depth);
+    check(ps, max_depth)?;
+    let mut pop = Vec::with_capacity(count);
+    let span = max_depth - min_depth + 1;
+    for i in 0..count {
+        let depth = min_depth + i % span;
+        let e = if i % 2 == 0 {
+            full(ps, depth, rng)?
+        } else {
+            grow(ps, min_depth.min(depth), depth, rng)?
+        };
+        pop.push(e);
+    }
+    Ok(pop)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn ps() -> PrimitiveSet {
+        let mut ps = PrimitiveSet::arithmetic();
+        ps.add_terminal("a");
+        ps.add_terminal("b");
+        ps.add_terminal("c");
+        ps
+    }
+
+    #[test]
+    fn full_trees_have_exact_depth() {
+        let ps = ps();
+        let mut rng = SmallRng::seed_from_u64(1);
+        for depth in 0..6 {
+            let e = full(&ps, depth, &mut rng).unwrap();
+            e.validate(&ps).unwrap();
+            assert_eq!(e.depth(&ps), depth, "full tree depth mismatch");
+        }
+    }
+
+    #[test]
+    fn grow_trees_respect_depth_window() {
+        let ps = ps();
+        let mut rng = SmallRng::seed_from_u64(2);
+        for _ in 0..200 {
+            let e = grow(&ps, 1, 4, &mut rng).unwrap();
+            e.validate(&ps).unwrap();
+            let d = e.depth(&ps);
+            assert!((1..=4).contains(&d), "grow depth {d} outside [1,4]");
+        }
+    }
+
+    #[test]
+    fn grow_zero_depth_is_leaf() {
+        let ps = ps();
+        let mut rng = SmallRng::seed_from_u64(3);
+        let e = grow(&ps, 0, 0, &mut rng).unwrap();
+        assert_eq!(e.len(), 1);
+    }
+
+    #[test]
+    fn ramped_population_is_valid_and_diverse() {
+        let ps = ps();
+        let mut rng = SmallRng::seed_from_u64(4);
+        let pop = ramped_half_and_half(&ps, 64, 1, 4, &mut rng).unwrap();
+        assert_eq!(pop.len(), 64);
+        let mut depths = std::collections::HashSet::new();
+        for e in &pop {
+            e.validate(&ps).unwrap();
+            let d = e.depth(&ps);
+            assert!(d <= 4);
+            depths.insert(d);
+        }
+        assert!(depths.len() >= 3, "expected ramped depths, got {depths:?}");
+    }
+
+    #[test]
+    fn constants_appear_when_range_set() {
+        let mut ps = ps();
+        ps.set_const_range(-1.0, 1.0);
+        let mut rng = SmallRng::seed_from_u64(5);
+        let pop = ramped_half_and_half(&ps, 200, 1, 3, &mut rng).unwrap();
+        let has_const = pop
+            .iter()
+            .any(|e| e.nodes().iter().any(|n| matches!(n, Node::Const(_))));
+        assert!(has_const, "no ephemeral constants generated in 200 trees");
+        for e in &pop {
+            for n in e.nodes() {
+                if let Node::Const(v) = n {
+                    assert!((-1.0..=1.0).contains(v));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn errors_on_empty_primitive_set() {
+        let empty = PrimitiveSet::new();
+        let mut rng = SmallRng::seed_from_u64(6);
+        assert_eq!(full(&empty, 0, &mut rng), Err(GenError::NoLeaves));
+        let mut leaves_only = PrimitiveSet::new();
+        leaves_only.add_terminal("t");
+        assert_eq!(full(&leaves_only, 2, &mut rng), Err(GenError::NoOperators));
+        assert!(full(&leaves_only, 0, &mut rng).is_ok());
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let ps = ps();
+        let a = ramped_half_and_half(&ps, 20, 1, 4, &mut SmallRng::seed_from_u64(7)).unwrap();
+        let b = ramped_half_and_half(&ps, 20, 1, 4, &mut SmallRng::seed_from_u64(7)).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,62 @@
+#![warn(missing_docs)]
+
+//! # bico-gp — genetic programming engine
+//!
+//! The lower-level population of CARBON does not evolve lower-level
+//! *solutions* but lower-level *heuristics*: scoring functions encoded as
+//! GP syntax trees (the paper's "GP hyper-heuristics", §IV.A, Table I).
+//! This crate is the engine behind that population:
+//!
+//! * [`PrimitiveSet`] — the operator set (Table I: `+ − * %-protected
+//!   mod-protected`) and named terminals, plus optional ephemeral
+//!   constants;
+//! * [`Expr`] — a syntax tree stored as a flat prefix-order buffer
+//!   (cache-friendly, allocation-free evaluation with a reusable stack);
+//! * [`generate`](crate::full) — full / grow / ramped half-and-half initialization;
+//! * [`subtree_crossover`] and the `mutate_*` family — GP variation
+//!   ("one-point" crossover, uniform mutation and reproduction in
+//!   Table II's GP rows), all with static depth limits;
+//! * [`simplify`] — constant folding and algebraic identity pruning so
+//!   evolved heuristics stay human-readable.
+//!
+//! The engine is problem-agnostic: terminals are indices resolved against
+//! a caller-provided value slice at evaluation time. `bico-bcpop` binds
+//! them to the bundle features of the cloud-pricing covering problem.
+//!
+//! ## Example
+//!
+//! ```
+//! use bico_gp::{Evaluator, Expr, Node, PrimitiveSet};
+//!
+//! let mut ps = PrimitiveSet::arithmetic(); // + - * % mod (Table I)
+//! let c = ps.add_terminal("c");
+//! let q = ps.add_terminal("q");
+//! // score = c / q  (protected division)
+//! let expr = Expr::from_nodes(vec![
+//!     Node::Op(3), // '%' is the 4th arithmetic operator
+//!     Node::Term(c as u16),
+//!     Node::Term(q as u16),
+//! ]);
+//! expr.validate(&ps).unwrap();
+//! let mut ev = Evaluator::new();
+//! assert_eq!(ev.eval(&expr, &ps, &[6.0, 3.0]), 2.0);
+//! assert_eq!(ev.eval(&expr, &ps, &[6.0, 0.0]), 1.0); // protected
+//! ```
+
+mod generate;
+mod ops;
+mod pretty;
+mod primitives;
+mod sexpr;
+mod simplify;
+mod tree;
+
+pub use generate::{full, grow, ramped_half_and_half, GenError};
+pub use ops::{
+    mutate_hoist, mutate_point, mutate_shrink, mutate_uniform, subtree_crossover, VariationConfig,
+};
+pub use pretty::to_infix;
+pub use primitives::{OpFn, Operator, PrimitiveSet};
+pub use sexpr::{parse_sexpr, to_sexpr, SexprError};
+pub use simplify::simplify;
+pub use tree::{Evaluator, Expr, Node, TreeError};

@@ -1,0 +1,262 @@
+//! GP variation operators.
+//!
+//! Table II of the paper configures the lower-level population with
+//! "(GP) One-point" crossover (subtree exchange), "(GP) uniform" mutation
+//! (random-subtree replacement, DEAP's `mutUniform`) and a reproduction
+//! operator (cloning — handled by the algorithm loop). Point and shrink
+//! mutation are provided as extensions used by the ablation studies.
+//!
+//! All operators enforce a static depth limit: a child exceeding
+//! [`VariationConfig::max_depth`] is replaced by a clone of its first
+//! parent, mirroring DEAP's `staticLimit` decorator that the original
+//! implementation relied on.
+
+use crate::generate::grow;
+use crate::primitives::PrimitiveSet;
+use crate::tree::{Expr, Node};
+use rand::Rng;
+
+/// Depth limits for variation.
+#[derive(Debug, Clone, Copy)]
+pub struct VariationConfig {
+    /// Maximum tree depth a child may have (Koza's classic limit is 17).
+    pub max_depth: usize,
+    /// Depth window `[0, mutation_grow_depth]` of subtrees grown by
+    /// uniform mutation.
+    pub mutation_grow_depth: usize,
+}
+
+impl Default for VariationConfig {
+    fn default() -> Self {
+        VariationConfig { max_depth: 17, mutation_grow_depth: 2 }
+    }
+}
+
+/// Exchange a random subtree of `a` with a random subtree of `b`.
+///
+/// Children violating the depth limit are replaced by a clone of the
+/// respective parent.
+pub fn subtree_crossover<R: Rng + ?Sized>(
+    a: &Expr,
+    b: &Expr,
+    ps: &PrimitiveSet,
+    cfg: &VariationConfig,
+    rng: &mut R,
+) -> (Expr, Expr) {
+    let pa = rng.random_range(0..a.len());
+    let pb = rng.random_range(0..b.len());
+    let ra = a.subtree(pa, ps);
+    let rb = b.subtree(pb, ps);
+
+    let mut child_a = a.clone();
+    child_a.replace_subtree(pa, &b.nodes()[rb.clone()], ps);
+    let mut child_b = b.clone();
+    child_b.replace_subtree(pb, &a.nodes()[ra], ps);
+
+    let child_a = if child_a.depth(ps) > cfg.max_depth { a.clone() } else { child_a };
+    let child_b = if child_b.depth(ps) > cfg.max_depth { b.clone() } else { child_b };
+    (child_a, child_b)
+}
+
+/// Uniform mutation: replace a random subtree with a freshly grown one
+/// (depth ≤ [`VariationConfig::mutation_grow_depth`]).
+pub fn mutate_uniform<R: Rng + ?Sized>(
+    e: &Expr,
+    ps: &PrimitiveSet,
+    cfg: &VariationConfig,
+    rng: &mut R,
+) -> Expr {
+    let point = rng.random_range(0..e.len());
+    let sub = grow(ps, 0, cfg.mutation_grow_depth, rng)
+        .expect("primitive set must support generation");
+    let mut child = e.clone();
+    child.replace_subtree(point, sub.nodes(), ps);
+    if child.depth(ps) > cfg.max_depth {
+        e.clone()
+    } else {
+        child
+    }
+}
+
+/// Point mutation: replace one node with a random node of identical arity
+/// (operators swap with same-arity operators; leaves swap with leaves).
+pub fn mutate_point<R: Rng + ?Sized>(e: &Expr, ps: &PrimitiveSet, rng: &mut R) -> Expr {
+    let point = rng.random_range(0..e.len());
+    let mut nodes = e.nodes().to_vec();
+    match nodes[point] {
+        Node::Op(id) => {
+            let arity = ps.arity(id as usize);
+            let same_arity: Vec<u16> = (0..ps.num_ops())
+                .filter(|&j| ps.arity(j) == arity)
+                .map(|j| j as u16)
+                .collect();
+            nodes[point] = Node::Op(same_arity[rng.random_range(0..same_arity.len())]);
+        }
+        Node::Term(_) | Node::Const(_) => {
+            let n_term = ps.num_terminals();
+            nodes[point] = match ps.const_range() {
+                Some((lo, hi)) if n_term == 0 || rng.random_range(0..=n_term) == n_term => {
+                    Node::Const(rng.random_range(lo..=hi))
+                }
+                _ => Node::Term(rng.random_range(0..n_term) as u16),
+            };
+        }
+    }
+    Expr::from_nodes(nodes)
+}
+
+/// Hoist mutation: replace the whole tree with one of its proper
+/// subtrees — the classic anti-bloat operator (Kinnear). Returns a
+/// clone when the tree is a single leaf.
+pub fn mutate_hoist<R: Rng + ?Sized>(e: &Expr, ps: &PrimitiveSet, rng: &mut R) -> Expr {
+    if e.len() <= 1 {
+        return e.clone();
+    }
+    // Any position except the root yields a proper subtree.
+    let point = rng.random_range(1..e.len());
+    let range = e.subtree(point, ps);
+    Expr::from_nodes(e.nodes()[range].to_vec())
+}
+
+/// Shrink mutation: replace a random operator subtree with one of the
+/// leaves it contains, shortening the tree.
+pub fn mutate_shrink<R: Rng + ?Sized>(e: &Expr, ps: &PrimitiveSet, rng: &mut R) -> Expr {
+    let op_positions: Vec<usize> = e
+        .nodes()
+        .iter()
+        .enumerate()
+        .filter(|(_, n)| matches!(n, Node::Op(_)))
+        .map(|(i, _)| i)
+        .collect();
+    if op_positions.is_empty() {
+        return e.clone();
+    }
+    let point = op_positions[rng.random_range(0..op_positions.len())];
+    let range = e.subtree(point, ps);
+    let leaves: Vec<Node> = e.nodes()[range.clone()]
+        .iter()
+        .filter(|n| !matches!(n, Node::Op(_)))
+        .copied()
+        .collect();
+    let leaf = leaves[rng.random_range(0..leaves.len())];
+    let mut child = e.clone();
+    child.replace_subtree(point, &[leaf], ps);
+    child
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::ramped_half_and_half;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn ps() -> PrimitiveSet {
+        let mut ps = PrimitiveSet::arithmetic();
+        ps.add_terminal("a");
+        ps.add_terminal("b");
+        ps
+    }
+
+    #[test]
+    fn crossover_children_are_wellformed() {
+        let ps = ps();
+        let cfg = VariationConfig::default();
+        let mut rng = SmallRng::seed_from_u64(11);
+        let pop = ramped_half_and_half(&ps, 40, 1, 5, &mut rng).unwrap();
+        for pair in pop.chunks(2) {
+            let (c1, c2) = subtree_crossover(&pair[0], &pair[1], &ps, &cfg, &mut rng);
+            c1.validate(&ps).unwrap();
+            c2.validate(&ps).unwrap();
+        }
+    }
+
+    #[test]
+    fn crossover_respects_depth_limit() {
+        let ps = ps();
+        let cfg = VariationConfig { max_depth: 4, mutation_grow_depth: 2 };
+        let mut rng = SmallRng::seed_from_u64(12);
+        let pop = ramped_half_and_half(&ps, 60, 2, 4, &mut rng).unwrap();
+        for pair in pop.chunks(2) {
+            let (c1, c2) = subtree_crossover(&pair[0], &pair[1], &ps, &cfg, &mut rng);
+            assert!(c1.depth(&ps) <= 4);
+            assert!(c2.depth(&ps) <= 4);
+        }
+    }
+
+    #[test]
+    fn uniform_mutation_is_wellformed_and_bounded() {
+        let ps = ps();
+        let cfg = VariationConfig { max_depth: 6, mutation_grow_depth: 2 };
+        let mut rng = SmallRng::seed_from_u64(13);
+        let pop = ramped_half_and_half(&ps, 50, 1, 6, &mut rng).unwrap();
+        for e in &pop {
+            let m = mutate_uniform(e, &ps, &cfg, &mut rng);
+            m.validate(&ps).unwrap();
+            assert!(m.depth(&ps) <= 6);
+        }
+    }
+
+    #[test]
+    fn point_mutation_preserves_shape() {
+        let ps = ps();
+        let mut rng = SmallRng::seed_from_u64(14);
+        let pop = ramped_half_and_half(&ps, 50, 1, 5, &mut rng).unwrap();
+        for e in &pop {
+            let m = mutate_point(e, &ps, &mut rng);
+            m.validate(&ps).unwrap();
+            assert_eq!(m.len(), e.len(), "point mutation must not change size");
+            assert_eq!(m.depth(&ps), e.depth(&ps));
+        }
+    }
+
+    #[test]
+    fn hoist_strictly_shrinks_composite_trees() {
+        let ps = ps();
+        let mut rng = SmallRng::seed_from_u64(21);
+        let pop = ramped_half_and_half(&ps, 50, 1, 5, &mut rng).unwrap();
+        for e in &pop {
+            let m = mutate_hoist(e, &ps, &mut rng);
+            m.validate(&ps).unwrap();
+            if e.len() > 1 {
+                assert!(m.len() < e.len(), "hoist must strictly shrink");
+            } else {
+                assert_eq!(&m, e);
+            }
+        }
+    }
+
+    #[test]
+    fn shrink_mutation_never_grows() {
+        let ps = ps();
+        let mut rng = SmallRng::seed_from_u64(15);
+        let pop = ramped_half_and_half(&ps, 50, 1, 5, &mut rng).unwrap();
+        for e in &pop {
+            let m = mutate_shrink(e, &ps, &mut rng);
+            m.validate(&ps).unwrap();
+            assert!(m.len() <= e.len());
+        }
+    }
+
+    #[test]
+    fn shrink_on_leaf_is_identity() {
+        let ps = ps();
+        let mut rng = SmallRng::seed_from_u64(16);
+        let e = Expr::terminal(0);
+        assert_eq!(mutate_shrink(&e, &ps, &mut rng), e);
+    }
+
+    #[test]
+    fn operators_are_deterministic_per_seed() {
+        let ps = ps();
+        let cfg = VariationConfig::default();
+        let pop =
+            ramped_half_and_half(&ps, 10, 1, 4, &mut SmallRng::seed_from_u64(17)).unwrap();
+        let mut r1 = SmallRng::seed_from_u64(99);
+        let mut r2 = SmallRng::seed_from_u64(99);
+        let (a1, b1) = subtree_crossover(&pop[0], &pop[1], &ps, &cfg, &mut r1);
+        let (a2, b2) = subtree_crossover(&pop[0], &pop[1], &ps, &cfg, &mut r2);
+        assert_eq!(a1, a2);
+        assert_eq!(b1, b2);
+    }
+}

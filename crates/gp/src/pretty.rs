@@ -1,0 +1,85 @@
+//! Infix pretty-printing of syntax trees, so evolved heuristics can be
+//! inspected, logged and pasted into papers.
+
+use crate::primitives::{OpFn, PrimitiveSet};
+use crate::tree::{Expr, Node};
+
+/// Render `expr` as a parenthesized infix string, e.g.
+/// `((c - (d_q % x_bar)) * resid)`.
+pub fn to_infix(expr: &Expr, ps: &PrimitiveSet) -> String {
+    let (s, consumed) = render(expr.nodes(), 0, ps);
+    debug_assert_eq!(consumed, expr.len(), "malformed expression");
+    s
+}
+
+fn render(nodes: &[Node], at: usize, ps: &PrimitiveSet) -> (String, usize) {
+    match nodes[at] {
+        Node::Term(id) => (ps.terminals()[id as usize].clone(), at + 1),
+        Node::Const(v) => {
+            // Trim trailing zeros but keep at least one decimal for clarity.
+            if v == v.trunc() && v.abs() < 1e15 {
+                (format!("{v:.1}"), at + 1)
+            } else {
+                (format!("{v}"), at + 1)
+            }
+        }
+        Node::Op(id) => {
+            let op = &ps.ops()[id as usize];
+            match op.func {
+                OpFn::Unary(_) => {
+                    let (arg, next) = render(nodes, at + 1, ps);
+                    (format!("{}({arg})", op.name), next)
+                }
+                OpFn::Binary(_) => {
+                    let (lhs, mid) = render(nodes, at + 1, ps);
+                    let (rhs, next) = render(nodes, mid, ps);
+                    (format!("({lhs} {} {rhs})", op.name), next)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ps() -> PrimitiveSet {
+        let mut ps = PrimitiveSet::arithmetic();
+        ps.add_terminal("c");
+        ps.add_terminal("q");
+        ps
+    }
+
+    #[test]
+    fn terminal_renders_name() {
+        assert_eq!(to_infix(&Expr::terminal(1), &ps()), "q");
+    }
+
+    #[test]
+    fn constant_renders_compactly() {
+        assert_eq!(to_infix(&Expr::constant(2.0), &ps()), "2.0");
+        assert_eq!(to_infix(&Expr::constant(0.25), &ps()), "0.25");
+    }
+
+    #[test]
+    fn nested_infix() {
+        // (c + q) * c
+        let e = Expr::from_nodes(vec![
+            Node::Op(2),
+            Node::Op(0),
+            Node::Term(0),
+            Node::Term(1),
+            Node::Term(0),
+        ]);
+        assert_eq!(to_infix(&e, &ps()), "((c + q) * c)");
+    }
+
+    #[test]
+    fn unary_renders_as_call() {
+        let mut ps = ps();
+        let neg = ps.add_unary("neg", |a| -a) as u16;
+        let e = Expr::from_nodes(vec![Node::Op(neg), Node::Term(0)]);
+        assert_eq!(to_infix(&e, &ps), "neg(c)");
+    }
+}

@@ -1,0 +1,229 @@
+//! Operator and terminal registries (the paper's Table I "Operator set"
+//! and "Terminal set").
+
+/// The implementation of an operator: unary or binary `f64` function.
+#[derive(Clone, Copy)]
+pub enum OpFn {
+    /// One-argument operator.
+    Unary(fn(f64) -> f64),
+    /// Two-argument operator.
+    Binary(fn(f64, f64) -> f64),
+}
+
+impl OpFn {
+    /// Number of arguments the operator consumes.
+    pub fn arity(&self) -> usize {
+        match self {
+            OpFn::Unary(_) => 1,
+            OpFn::Binary(_) => 2,
+        }
+    }
+}
+
+impl std::fmt::Debug for OpFn {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OpFn::Unary(_) => write!(f, "Unary(..)"),
+            OpFn::Binary(_) => write!(f, "Binary(..)"),
+        }
+    }
+}
+
+/// A named operator.
+#[derive(Debug, Clone)]
+pub struct Operator {
+    /// Display name (used by the infix pretty-printer).
+    pub name: String,
+    /// Implementation.
+    pub func: OpFn,
+}
+
+/// Threshold below which protected division / modulo treat the
+/// denominator as zero (DEAP-style protection).
+pub const PROTECT_EPS: f64 = 1e-9;
+
+/// Protected division: returns `1.0` when the denominator is ~0
+/// (the paper's `%` operator, Table I).
+pub fn protected_div(a: f64, b: f64) -> f64 {
+    if b.abs() < PROTECT_EPS {
+        1.0
+    } else {
+        a / b
+    }
+}
+
+/// Protected modulo: returns `1.0` when the modulus is ~0
+/// (the paper's `mod` operator, Table I). Uses the Euclidean remainder so
+/// the result sign follows the modulus-free convention `a − b·⌊a/b⌋`.
+pub fn protected_mod(a: f64, b: f64) -> f64 {
+    if b.abs() < PROTECT_EPS {
+        1.0
+    } else {
+        let r = a - b * (a / b).floor();
+        if r.is_finite() {
+            r
+        } else {
+            1.0
+        }
+    }
+}
+
+/// A registry of operators, named terminals, and (optionally) an
+/// ephemeral-constant range for tree generation.
+#[derive(Debug, Clone, Default)]
+pub struct PrimitiveSet {
+    ops: Vec<Operator>,
+    terminals: Vec<String>,
+    const_range: Option<(f64, f64)>,
+}
+
+impl PrimitiveSet {
+    /// Empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The paper's Table I operator set: `+`, `-`, `*`, protected `%`,
+    /// protected `mod`. Terminals are added by the caller.
+    pub fn arithmetic() -> Self {
+        let mut ps = Self::new();
+        ps.add_binary("+", |a, b| a + b);
+        ps.add_binary("-", |a, b| a - b);
+        ps.add_binary("*", |a, b| a * b);
+        ps.add_binary("%", protected_div);
+        ps.add_binary("mod", protected_mod);
+        ps
+    }
+
+    /// Register a binary operator; returns its id.
+    pub fn add_binary(&mut self, name: &str, f: fn(f64, f64) -> f64) -> usize {
+        self.ops.push(Operator { name: name.to_string(), func: OpFn::Binary(f) });
+        self.ops.len() - 1
+    }
+
+    /// Register a unary operator; returns its id.
+    pub fn add_unary(&mut self, name: &str, f: fn(f64) -> f64) -> usize {
+        self.ops.push(Operator { name: name.to_string(), func: OpFn::Unary(f) });
+        self.ops.len() - 1
+    }
+
+    /// Register a named terminal; returns its id (the index into the
+    /// terminal-value slice passed to [`crate::Evaluator::eval`]).
+    pub fn add_terminal(&mut self, name: &str) -> usize {
+        self.terminals.push(name.to_string());
+        self.terminals.len() - 1
+    }
+
+    /// Enable ephemeral random constants drawn uniformly from `[lo, hi]`
+    /// during tree generation.
+    pub fn set_const_range(&mut self, lo: f64, hi: f64) {
+        assert!(lo <= hi, "constant range must be ordered");
+        self.const_range = Some((lo, hi));
+    }
+
+    /// Disable ephemeral constants.
+    pub fn clear_const_range(&mut self) {
+        self.const_range = None;
+    }
+
+    /// The configured ephemeral-constant range, if any.
+    pub fn const_range(&self) -> Option<(f64, f64)> {
+        self.const_range
+    }
+
+    /// Registered operators.
+    pub fn ops(&self) -> &[Operator] {
+        &self.ops
+    }
+
+    /// Registered terminal names.
+    pub fn terminals(&self) -> &[String] {
+        &self.terminals
+    }
+
+    /// Number of operators.
+    pub fn num_ops(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Number of terminals.
+    pub fn num_terminals(&self) -> usize {
+        self.terminals.len()
+    }
+
+    /// Arity of operator `id`.
+    pub fn arity(&self, id: usize) -> usize {
+        self.ops[id].func.arity()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_set_matches_table_1() {
+        let ps = PrimitiveSet::arithmetic();
+        let names: Vec<&str> = ps.ops().iter().map(|o| o.name.as_str()).collect();
+        assert_eq!(names, vec!["+", "-", "*", "%", "mod"]);
+        assert!(ps.ops().iter().all(|o| o.func.arity() == 2));
+    }
+
+    #[test]
+    fn protected_div_guards_zero() {
+        assert_eq!(protected_div(5.0, 0.0), 1.0);
+        assert_eq!(protected_div(5.0, 1e-12), 1.0);
+        assert_eq!(protected_div(6.0, 3.0), 2.0);
+        assert_eq!(protected_div(-6.0, 3.0), -2.0);
+    }
+
+    #[test]
+    fn protected_mod_guards_zero_and_matches_floor_convention() {
+        assert_eq!(protected_mod(5.0, 0.0), 1.0);
+        assert_eq!(protected_mod(7.0, 3.0), 1.0);
+        assert_eq!(protected_mod(-7.0, 3.0), 2.0); // floor convention
+        assert_eq!(protected_mod(7.5, 2.0), 1.5);
+    }
+
+    #[test]
+    fn protected_mod_never_returns_non_finite() {
+        let vals = [0.0, 1.0, -1.0, 1e308, -1e308, 1e-300, f64::MAX];
+        for &a in &vals {
+            for &b in &vals {
+                assert!(protected_mod(a, b).is_finite(), "mod({a}, {b}) not finite");
+            }
+        }
+    }
+
+    #[test]
+    fn terminal_registration_order_is_index() {
+        let mut ps = PrimitiveSet::new();
+        assert_eq!(ps.add_terminal("a"), 0);
+        assert_eq!(ps.add_terminal("b"), 1);
+        assert_eq!(ps.terminals(), &["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn const_range_roundtrip() {
+        let mut ps = PrimitiveSet::new();
+        assert_eq!(ps.const_range(), None);
+        ps.set_const_range(-2.0, 3.0);
+        assert_eq!(ps.const_range(), Some((-2.0, 3.0)));
+        ps.clear_const_range();
+        assert_eq!(ps.const_range(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "ordered")]
+    fn const_range_must_be_ordered() {
+        let mut ps = PrimitiveSet::new();
+        ps.set_const_range(3.0, -2.0);
+    }
+
+    #[test]
+    fn unary_ops_supported() {
+        let mut ps = PrimitiveSet::arithmetic();
+        let id = ps.add_unary("neg", |a| -a);
+        assert_eq!(ps.arity(id), 1);
+    }
+}

@@ -1,0 +1,285 @@
+//! S-expression serialization of syntax trees.
+//!
+//! Evolved heuristics are assets: a champion scoring function found in a
+//! long run should be storable and reloadable. The format is the classic
+//! Lisp-style prefix form, resolved against a [`PrimitiveSet`]:
+//!
+//! ```text
+//! (+ c_j (mod q_j 1.5))
+//! ```
+//!
+//! Round-trip is exact for terminals/operators and for constants
+//! (printed with enough digits to reconstruct the same `f64`).
+
+use crate::primitives::PrimitiveSet;
+use crate::tree::{Expr, Node};
+use std::fmt;
+
+/// Errors from [`parse_sexpr`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum SexprError {
+    /// Unbalanced parentheses or trailing tokens.
+    Syntax(String),
+    /// An atom is neither a number, a terminal name, nor an operator name.
+    UnknownAtom(String),
+    /// An operator got the wrong number of arguments.
+    Arity {
+        /// The operator name.
+        op: String,
+        /// Its declared arity.
+        expected: usize,
+        /// Number of arguments found.
+        got: usize,
+    },
+    /// Operator name used in terminal position or vice versa.
+    Misplaced(String),
+}
+
+impl fmt::Display for SexprError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SexprError::Syntax(msg) => write!(f, "syntax error: {msg}"),
+            SexprError::UnknownAtom(a) => write!(f, "unknown atom {a:?}"),
+            SexprError::Arity { op, expected, got } => {
+                write!(f, "operator {op:?} expects {expected} arguments, got {got}")
+            }
+            SexprError::Misplaced(a) => write!(f, "misplaced atom {a:?}"),
+        }
+    }
+}
+
+impl std::error::Error for SexprError {}
+
+/// Render `expr` as an s-expression.
+pub fn to_sexpr(expr: &Expr, ps: &PrimitiveSet) -> String {
+    let (s, consumed) = render(expr.nodes(), 0, ps);
+    debug_assert_eq!(consumed, expr.len());
+    s
+}
+
+fn render(nodes: &[Node], at: usize, ps: &PrimitiveSet) -> (String, usize) {
+    match nodes[at] {
+        Node::Term(id) => (ps.terminals()[id as usize].clone(), at + 1),
+        // `{v:?}` prints f64 with round-trip precision.
+        Node::Const(v) => (format!("{v:?}"), at + 1),
+        Node::Op(id) => {
+            let op = &ps.ops()[id as usize];
+            let arity = ps.arity(id as usize);
+            let mut out = format!("({}", op.name);
+            let mut next = at + 1;
+            for _ in 0..arity {
+                let (child, n) = render(nodes, next, ps);
+                out.push(' ');
+                out.push_str(&child);
+                next = n;
+            }
+            out.push(')');
+            (out, next)
+        }
+    }
+}
+
+/// Parse an s-expression into a validated [`Expr`].
+pub fn parse_sexpr(text: &str, ps: &PrimitiveSet) -> Result<Expr, SexprError> {
+    let tokens = tokenize(text);
+    let mut pos = 0usize;
+    let mut nodes = Vec::new();
+    parse_into(&tokens, &mut pos, ps, &mut nodes)?;
+    if pos != tokens.len() {
+        return Err(SexprError::Syntax(format!(
+            "trailing tokens starting at {:?}",
+            tokens[pos]
+        )));
+    }
+    let expr = Expr::from_nodes(nodes);
+    expr.validate(ps)
+        .map_err(|e| SexprError::Syntax(e.to_string()))?;
+    Ok(expr)
+}
+
+fn tokenize(text: &str) -> Vec<String> {
+    let mut tokens = Vec::new();
+    let mut cur = String::new();
+    for ch in text.chars() {
+        match ch {
+            '(' | ')' => {
+                if !cur.is_empty() {
+                    tokens.push(std::mem::take(&mut cur));
+                }
+                tokens.push(ch.to_string());
+            }
+            c if c.is_whitespace() => {
+                if !cur.is_empty() {
+                    tokens.push(std::mem::take(&mut cur));
+                }
+            }
+            c => cur.push(c),
+        }
+    }
+    if !cur.is_empty() {
+        tokens.push(cur);
+    }
+    tokens
+}
+
+fn parse_into(
+    tokens: &[String],
+    pos: &mut usize,
+    ps: &PrimitiveSet,
+    out: &mut Vec<Node>,
+) -> Result<(), SexprError> {
+    let Some(tok) = tokens.get(*pos) else {
+        return Err(SexprError::Syntax("unexpected end of input".into()));
+    };
+    if tok == "(" {
+        *pos += 1;
+        let Some(op_name) = tokens.get(*pos) else {
+            return Err(SexprError::Syntax("missing operator after '('".into()));
+        };
+        let Some(op_id) = ps.ops().iter().position(|o| &o.name == op_name) else {
+            return if ps.terminals().contains(op_name) {
+                Err(SexprError::Misplaced(op_name.clone()))
+            } else {
+                Err(SexprError::UnknownAtom(op_name.clone()))
+            };
+        };
+        *pos += 1;
+        out.push(Node::Op(op_id as u16));
+        let arity = ps.arity(op_id);
+        let mut got = 0usize;
+        while tokens.get(*pos).map(|t| t != ")").unwrap_or(false) {
+            parse_into(tokens, pos, ps, out)?;
+            got += 1;
+        }
+        if tokens.get(*pos).is_none() {
+            return Err(SexprError::Syntax("missing ')'".into()));
+        }
+        *pos += 1; // consume ')'
+        if got != arity {
+            return Err(SexprError::Arity { op: op_name.clone(), expected: arity, got });
+        }
+        Ok(())
+    } else if tok == ")" {
+        Err(SexprError::Syntax("unexpected ')'".into()))
+    } else {
+        // Atom: terminal name first, then numeric constant.
+        if let Some(tid) = ps.terminals().iter().position(|t| t == tok) {
+            out.push(Node::Term(tid as u16));
+        } else if let Ok(v) = tok.parse::<f64>() {
+            out.push(Node::Const(v));
+        } else if ps.ops().iter().any(|o| &o.name == tok) {
+            return Err(SexprError::Misplaced(tok.clone()));
+        } else {
+            return Err(SexprError::UnknownAtom(tok.clone()));
+        }
+        *pos += 1;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ps() -> PrimitiveSet {
+        let mut ps = PrimitiveSet::arithmetic();
+        ps.add_terminal("c_j");
+        ps.add_terminal("q_j");
+        ps
+    }
+
+    #[test]
+    fn renders_nested() {
+        let ps = ps();
+        let e = Expr::from_nodes(vec![
+            Node::Op(0),
+            Node::Term(0),
+            Node::Op(4),
+            Node::Term(1),
+            Node::Const(1.5),
+        ]);
+        assert_eq!(to_sexpr(&e, &ps), "(+ c_j (mod q_j 1.5))");
+    }
+
+    #[test]
+    fn parses_what_it_prints() {
+        let ps = ps();
+        let e = Expr::from_nodes(vec![
+            Node::Op(2),
+            Node::Op(3),
+            Node::Term(0),
+            Node::Term(1),
+            Node::Const(-0.25),
+        ]);
+        let text = to_sexpr(&e, &ps);
+        let back = parse_sexpr(&text, &ps).unwrap();
+        assert_eq!(back, e);
+    }
+
+    #[test]
+    fn parses_single_terminal_and_constant() {
+        let ps = ps();
+        assert_eq!(parse_sexpr("q_j", &ps).unwrap(), Expr::terminal(1));
+        assert_eq!(parse_sexpr("  3.25 ", &ps).unwrap(), Expr::constant(3.25));
+    }
+
+    #[test]
+    fn rejects_unknown_atom() {
+        let ps = ps();
+        assert_eq!(
+            parse_sexpr("(+ c_j bogus)", &ps).unwrap_err(),
+            SexprError::UnknownAtom("bogus".into())
+        );
+    }
+
+    #[test]
+    fn rejects_arity_mismatch() {
+        let ps = ps();
+        assert_eq!(
+            parse_sexpr("(+ c_j)", &ps).unwrap_err(),
+            SexprError::Arity { op: "+".into(), expected: 2, got: 1 }
+        );
+        assert!(matches!(
+            parse_sexpr("(+ c_j q_j c_j)", &ps).unwrap_err(),
+            SexprError::Arity { got: 3, .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_unbalanced() {
+        let ps = ps();
+        assert!(matches!(parse_sexpr("(+ c_j q_j", &ps), Err(SexprError::Syntax(_))));
+        assert!(matches!(parse_sexpr(")", &ps), Err(SexprError::Syntax(_))));
+        assert!(matches!(parse_sexpr("c_j q_j", &ps), Err(SexprError::Syntax(_))));
+    }
+
+    #[test]
+    fn rejects_misplaced_operator() {
+        let ps = ps();
+        assert_eq!(
+            parse_sexpr("(+ c_j mod)", &ps).unwrap_err(),
+            SexprError::Misplaced("mod".into())
+        );
+        assert_eq!(
+            parse_sexpr("(c_j q_j q_j)", &ps).unwrap_err(),
+            SexprError::Misplaced("c_j".into())
+        );
+    }
+
+    #[test]
+    fn whitespace_is_flexible() {
+        let ps = ps();
+        let e = parse_sexpr("(  +\n  c_j\t( *  q_j   2.0 ) )", &ps).unwrap();
+        assert_eq!(to_sexpr(&e, &ps), "(+ c_j (* q_j 2.0))");
+    }
+
+    #[test]
+    fn constants_roundtrip_bit_exactly() {
+        let ps = ps();
+        for v in [0.1, -1e-9, 1234567.890123, f64::MIN_POSITIVE, 1e30] {
+            let text = to_sexpr(&Expr::constant(v), &ps);
+            let back = parse_sexpr(&text, &ps).unwrap();
+            assert_eq!(back, Expr::constant(v), "constant {v} did not roundtrip via {text}");
+        }
+    }
+}

@@ -1,0 +1,249 @@
+//! Algebraic simplification of evolved trees.
+//!
+//! GP notoriously bloats: `(c - 0·(q mod q)) + 0` should be reported to a
+//! user as `c`. This module performs bottom-up constant folding plus a set
+//! of *exact* identity rewrites — exact in the sense that they preserve
+//! evaluation semantics bit-for-bit under the evaluator's sanitization
+//! rules (see the property test in `tests/proptests.rs`):
+//!
+//! * `x + 0 → x`, `0 + x → x`, `x − 0 → x`, `x − x → 0`
+//! * `x * 1 → x`, `1 * x → x`, `x * 0 → 0`, `0 * x → 0`
+//! * `x % 1 → x` (protected division), `x % x → 1`
+//!   (protected division returns 1 both when `|x| < ε` and when `x/x = 1`)
+//!
+//! Simplification only applies the named-operator rewrites when the
+//! operator resolves to the arithmetic preset's semantics; custom
+//! primitive sets still benefit from constant folding.
+
+use crate::primitives::{OpFn, PrimitiveSet};
+use crate::tree::{sanitize, Expr, Node};
+
+/// Simplify `expr` until a fixpoint (bounded number of passes).
+pub fn simplify(expr: &Expr, ps: &PrimitiveSet) -> Expr {
+    let mut current = expr.clone();
+    for _ in 0..8 {
+        let next = simplify_once(&current, ps);
+        if next == current {
+            break;
+        }
+        current = next;
+    }
+    current
+}
+
+fn simplify_once(expr: &Expr, ps: &PrimitiveSet) -> Expr {
+    let (nodes, consumed) = simp(expr.nodes(), 0, ps);
+    debug_assert_eq!(consumed, expr.len());
+    Expr::from_nodes(nodes)
+}
+
+/// Returns the simplified subtree rooted at `at` and the index just past
+/// that subtree in the original buffer.
+fn simp(nodes: &[Node], at: usize, ps: &PrimitiveSet) -> (Vec<Node>, usize) {
+    match nodes[at] {
+        Node::Term(_) | Node::Const(_) => (vec![nodes[at]], at + 1),
+        Node::Op(id) => {
+            let op = &ps.ops()[id as usize];
+            match op.func {
+                OpFn::Unary(f) => {
+                    let (arg, next) = simp(nodes, at + 1, ps);
+                    if let [Node::Const(v)] = arg.as_slice() {
+                        return (vec![Node::Const(sanitize(f(*v)))], next);
+                    }
+                    let mut out = vec![Node::Op(id)];
+                    out.extend(arg);
+                    (out, next)
+                }
+                OpFn::Binary(f) => {
+                    let (lhs, mid) = simp(nodes, at + 1, ps);
+                    let (rhs, next) = simp(nodes, mid, ps);
+                    // Constant folding.
+                    if let ([Node::Const(a)], [Node::Const(b)]) =
+                        (lhs.as_slice(), rhs.as_slice())
+                    {
+                        return (
+                            vec![Node::Const(sanitize(f(sanitize(*a), sanitize(*b))))],
+                            next,
+                        );
+                    }
+                    // Identity rewrites keyed on the arithmetic preset names.
+                    if let Some(rewritten) = rewrite(&op.name, &lhs, &rhs) {
+                        return (rewritten, next);
+                    }
+                    let mut out = vec![Node::Op(id)];
+                    out.extend(lhs);
+                    out.extend(rhs);
+                    (out, next)
+                }
+            }
+        }
+    }
+}
+
+fn is_const(nodes: &[Node], v: f64) -> bool {
+    matches!(nodes, [Node::Const(c)] if *c == v)
+}
+
+fn rewrite(op: &str, lhs: &[Node], rhs: &[Node]) -> Option<Vec<Node>> {
+    match op {
+        "+" => {
+            if is_const(rhs, 0.0) {
+                return Some(lhs.to_vec());
+            }
+            if is_const(lhs, 0.0) {
+                return Some(rhs.to_vec());
+            }
+            None
+        }
+        "-" => {
+            if is_const(rhs, 0.0) {
+                return Some(lhs.to_vec());
+            }
+            if lhs == rhs {
+                return Some(vec![Node::Const(0.0)]);
+            }
+            None
+        }
+        "*" => {
+            if is_const(rhs, 1.0) {
+                return Some(lhs.to_vec());
+            }
+            if is_const(lhs, 1.0) {
+                return Some(rhs.to_vec());
+            }
+            if is_const(rhs, 0.0) || is_const(lhs, 0.0) {
+                return Some(vec![Node::Const(0.0)]);
+            }
+            None
+        }
+        "%" => {
+            if is_const(rhs, 1.0) {
+                return Some(lhs.to_vec());
+            }
+            if lhs == rhs {
+                // x/x = 1 for finite x, and the protected branch also
+                // returns 1 when |x| < ε: exact.
+                return Some(vec![Node::Const(1.0)]);
+            }
+            None
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::Evaluator;
+
+    fn ps() -> PrimitiveSet {
+        let mut ps = PrimitiveSet::arithmetic();
+        ps.add_terminal("a");
+        ps.add_terminal("b");
+        ps
+    }
+
+    fn t(id: u16) -> Node {
+        Node::Term(id)
+    }
+
+    #[test]
+    fn folds_constants() {
+        let ps = ps();
+        // (2 + 3) * 4 → 20
+        let e = Expr::from_nodes(vec![
+            Node::Op(2),
+            Node::Op(0),
+            Node::Const(2.0),
+            Node::Const(3.0),
+            Node::Const(4.0),
+        ]);
+        assert_eq!(simplify(&e, &ps), Expr::constant(20.0));
+    }
+
+    #[test]
+    fn add_zero_elided() {
+        let ps = ps();
+        let e = Expr::from_nodes(vec![Node::Op(0), t(0), Node::Const(0.0)]);
+        assert_eq!(simplify(&e, &ps), Expr::terminal(0));
+        let e = Expr::from_nodes(vec![Node::Op(0), Node::Const(0.0), t(1)]);
+        assert_eq!(simplify(&e, &ps), Expr::terminal(1));
+    }
+
+    #[test]
+    fn sub_self_is_zero() {
+        let ps = ps();
+        // (a + b) - (a + b) → 0
+        let sum = vec![Node::Op(0), t(0), t(1)];
+        let mut nodes = vec![Node::Op(1)];
+        nodes.extend(sum.clone());
+        nodes.extend(sum);
+        let e = Expr::from_nodes(nodes);
+        assert_eq!(simplify(&e, &ps), Expr::constant(0.0));
+    }
+
+    #[test]
+    fn mul_zero_collapses() {
+        let ps = ps();
+        let e = Expr::from_nodes(vec![Node::Op(2), t(0), Node::Const(0.0)]);
+        assert_eq!(simplify(&e, &ps), Expr::constant(0.0));
+    }
+
+    #[test]
+    fn div_self_is_one() {
+        let ps = ps();
+        let e = Expr::from_nodes(vec![Node::Op(3), t(0), t(0)]);
+        assert_eq!(simplify(&e, &ps), Expr::constant(1.0));
+    }
+
+    #[test]
+    fn protected_div_by_zero_folds_to_one() {
+        let ps = ps();
+        let e = Expr::from_nodes(vec![Node::Op(3), Node::Const(5.0), Node::Const(0.0)]);
+        assert_eq!(simplify(&e, &ps), Expr::constant(1.0));
+    }
+
+    #[test]
+    fn nested_simplification_reaches_fixpoint() {
+        let ps = ps();
+        // ((a - a) * b) + a  →  a
+        let e = Expr::from_nodes(vec![
+            Node::Op(0),
+            Node::Op(2),
+            Node::Op(1),
+            t(0),
+            t(0),
+            t(1),
+            t(0),
+        ]);
+        assert_eq!(simplify(&e, &ps), Expr::terminal(0));
+    }
+
+    #[test]
+    fn simplified_semantics_match_on_samples() {
+        let ps = ps();
+        let e = Expr::from_nodes(vec![
+            Node::Op(0),
+            Node::Op(2),
+            Node::Op(1),
+            t(0),
+            t(0),
+            t(1),
+            Node::Op(4), // mod
+            t(0),
+            t(1),
+        ]);
+        let s = simplify(&e, &ps);
+        let mut ev = Evaluator::new();
+        for &(a, b) in &[(0.0, 0.0), (1.5, -3.0), (7.0, 2.0), (-4.0, 0.5)] {
+            assert_eq!(ev.eval(&e, &ps, &[a, b]), ev.eval(&s, &ps, &[a, b]));
+        }
+    }
+
+    #[test]
+    fn untouched_tree_is_returned_as_is() {
+        let ps = ps();
+        let e = Expr::from_nodes(vec![Node::Op(0), t(0), t(1)]);
+        assert_eq!(simplify(&e, &ps), e);
+    }
+}

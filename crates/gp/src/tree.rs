@@ -1,0 +1,411 @@
+//! Flat prefix-order syntax trees and their stack evaluator.
+//!
+//! A tree is a `Vec<Node>` in prefix (depth-first, parent-before-children)
+//! order. This layout makes subtree extraction a contiguous slice copy,
+//! keeps evaluation allocation-free, and is friendly to the CPU cache —
+//! the evaluator is the innermost loop of every lower-level fitness
+//! evaluation in CARBON (one call per candidate bundle per greedy step).
+
+use crate::primitives::{OpFn, PrimitiveSet};
+use std::fmt;
+
+/// Values whose magnitude exceeds this are clamped during evaluation so a
+/// single overflow cannot poison downstream comparisons with infinities.
+pub(crate) const CLAMP: f64 = 1e30;
+
+/// One node of a syntax tree.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Node {
+    /// Operator node: index into [`PrimitiveSet::ops`].
+    Op(u16),
+    /// Terminal node: index into the terminal-value slice.
+    Term(u16),
+    /// Ephemeral constant.
+    Const(f64),
+}
+
+/// Structural errors reported by [`Expr::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TreeError {
+    /// The node buffer is empty.
+    Empty,
+    /// An operator id exceeds the primitive set.
+    UnknownOp(u16),
+    /// A terminal id exceeds the primitive set.
+    UnknownTerminal(u16),
+    /// The prefix sequence does not encode exactly one tree.
+    Malformed,
+}
+
+impl fmt::Display for TreeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TreeError::Empty => write!(f, "empty expression"),
+            TreeError::UnknownOp(id) => write!(f, "unknown operator id {id}"),
+            TreeError::UnknownTerminal(id) => write!(f, "unknown terminal id {id}"),
+            TreeError::Malformed => write!(f, "prefix sequence does not encode one tree"),
+        }
+    }
+}
+
+impl std::error::Error for TreeError {}
+
+/// A syntax tree in flat prefix order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Expr {
+    nodes: Vec<Node>,
+}
+
+impl Expr {
+    /// Wrap a prefix-order node buffer. Use [`Expr::validate`] to check
+    /// well-formedness against a primitive set.
+    pub fn from_nodes(nodes: Vec<Node>) -> Self {
+        Expr { nodes }
+    }
+
+    /// A single-terminal tree.
+    pub fn terminal(id: u16) -> Self {
+        Expr { nodes: vec![Node::Term(id)] }
+    }
+
+    /// A single-constant tree.
+    pub fn constant(v: f64) -> Self {
+        Expr { nodes: vec![Node::Const(v)] }
+    }
+
+    /// The underlying prefix-order nodes.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if the buffer is empty (an invalid tree).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Check structural well-formedness: ids in range and the prefix
+    /// sequence encoding exactly one tree.
+    pub fn validate(&self, ps: &PrimitiveSet) -> Result<(), TreeError> {
+        if self.nodes.is_empty() {
+            return Err(TreeError::Empty);
+        }
+        // `needed` counts how many subtrees remain to be read.
+        let mut needed: usize = 1;
+        for node in &self.nodes {
+            if needed == 0 {
+                return Err(TreeError::Malformed); // trailing nodes
+            }
+            match *node {
+                Node::Op(id) => {
+                    if id as usize >= ps.num_ops() {
+                        return Err(TreeError::UnknownOp(id));
+                    }
+                    needed = needed - 1 + ps.arity(id as usize);
+                }
+                Node::Term(id) => {
+                    if id as usize >= ps.num_terminals() {
+                        return Err(TreeError::UnknownTerminal(id));
+                    }
+                    needed -= 1;
+                }
+                Node::Const(_) => needed -= 1,
+            }
+        }
+        if needed == 0 {
+            Ok(())
+        } else {
+            Err(TreeError::Malformed)
+        }
+    }
+
+    /// Depth of the tree (a lone terminal has depth 0).
+    pub fn depth(&self, ps: &PrimitiveSet) -> usize {
+        let mut max_depth = 0usize;
+        // Stack of remaining-children counts along the current path.
+        let mut pending: Vec<usize> = Vec::with_capacity(16);
+        for node in &self.nodes {
+            let depth = pending.len();
+            max_depth = max_depth.max(depth);
+            let arity = match *node {
+                Node::Op(id) => ps.arity(id as usize),
+                _ => 0,
+            };
+            if arity > 0 {
+                pending.push(arity);
+            } else {
+                // Leaf: unwind completed subtrees.
+                while let Some(last) = pending.last_mut() {
+                    *last -= 1;
+                    if *last == 0 {
+                        pending.pop();
+                    } else {
+                        break;
+                    }
+                }
+            }
+        }
+        max_depth
+    }
+
+    /// Half-open index range `[start, end)` of the subtree rooted at
+    /// `start`.
+    pub fn subtree(&self, start: usize, ps: &PrimitiveSet) -> std::ops::Range<usize> {
+        let mut needed: usize = 1;
+        let mut i = start;
+        while needed > 0 {
+            match self.nodes[i] {
+                Node::Op(id) => needed = needed - 1 + ps.arity(id as usize),
+                _ => needed -= 1,
+            }
+            i += 1;
+        }
+        start..i
+    }
+
+    /// Replace the subtree rooted at `start` with `replacement`
+    /// (a prefix-order node slice).
+    pub fn replace_subtree(&mut self, start: usize, replacement: &[Node], ps: &PrimitiveSet) {
+        let range = self.subtree(start, ps);
+        self.nodes.splice(range, replacement.iter().copied());
+    }
+}
+
+/// Reusable-stack evaluator. Keep one per thread / per worker and call
+/// [`Evaluator::eval`] repeatedly; the value stack is reused across calls
+/// so steady-state evaluation performs no allocation.
+#[derive(Debug, Default)]
+pub struct Evaluator {
+    stack: Vec<f64>,
+}
+
+impl Evaluator {
+    /// New evaluator with a small pre-allocated stack.
+    pub fn new() -> Self {
+        Evaluator { stack: Vec::with_capacity(64) }
+    }
+
+    /// Evaluate `expr` against `terminal_values` (indexed by terminal id).
+    ///
+    /// Non-finite intermediate results are clamped (NaN → 0, ±∞ → ±1e30)
+    /// so that score comparisons downstream stay total.
+    ///
+    /// The expression must be well-formed for `ps` (see
+    /// [`Expr::validate`]); malformed input may panic in debug builds.
+    pub fn eval(&mut self, expr: &Expr, ps: &PrimitiveSet, terminal_values: &[f64]) -> f64 {
+        self.stack.clear();
+        // Scan prefix order from the right: operands are on the stack in
+        // left-to-right order by the time their operator is visited.
+        for node in expr.nodes().iter().rev() {
+            let v = match *node {
+                Node::Term(id) => terminal_values[id as usize],
+                Node::Const(c) => c,
+                Node::Op(id) => {
+                    let out = match ps.ops()[id as usize].func {
+                        OpFn::Unary(f) => {
+                            let a = self.stack.pop().expect("malformed expr: missing operand");
+                            f(a)
+                        }
+                        OpFn::Binary(f) => {
+                            let a = self.stack.pop().expect("malformed expr: missing operand");
+                            let b = self.stack.pop().expect("malformed expr: missing operand");
+                            f(a, b)
+                        }
+                    };
+                    sanitize(out)
+                }
+            };
+            self.stack.push(sanitize(v));
+        }
+        debug_assert_eq!(self.stack.len(), 1, "malformed expr: leftover operands");
+        self.stack.pop().unwrap_or(0.0)
+    }
+}
+
+#[inline]
+pub(crate) fn sanitize(v: f64) -> f64 {
+    if v.is_nan() {
+        0.0
+    } else {
+        v.clamp(-CLAMP, CLAMP)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::primitives::PrimitiveSet;
+
+    fn ps2() -> PrimitiveSet {
+        let mut ps = PrimitiveSet::arithmetic();
+        ps.add_terminal("a");
+        ps.add_terminal("b");
+        ps
+    }
+
+    #[test]
+    fn eval_single_terminal() {
+        let ps = ps2();
+        let e = Expr::terminal(1);
+        assert_eq!(Evaluator::new().eval(&e, &ps, &[3.0, 7.0]), 7.0);
+    }
+
+    #[test]
+    fn eval_respects_operand_order() {
+        let ps = ps2();
+        // a - b, prefix: [-, a, b]
+        let e = Expr::from_nodes(vec![Node::Op(1), Node::Term(0), Node::Term(1)]);
+        assert_eq!(Evaluator::new().eval(&e, &ps, &[10.0, 4.0]), 6.0);
+    }
+
+    #[test]
+    fn eval_nested() {
+        let ps = ps2();
+        // (a + b) * (a - b), prefix: [*, +, a, b, -, a, b]
+        let e = Expr::from_nodes(vec![
+            Node::Op(2),
+            Node::Op(0),
+            Node::Term(0),
+            Node::Term(1),
+            Node::Op(1),
+            Node::Term(0),
+            Node::Term(1),
+        ]);
+        assert_eq!(Evaluator::new().eval(&e, &ps, &[5.0, 3.0]), 16.0);
+    }
+
+    #[test]
+    fn eval_clamps_overflow() {
+        let ps = ps2();
+        // a * a with a = 1e200 would overflow past the clamp.
+        let e = Expr::from_nodes(vec![Node::Op(2), Node::Term(0), Node::Term(0)]);
+        let v = Evaluator::new().eval(&e, &ps, &[1e200, 0.0]);
+        assert!(v.is_finite());
+        assert_eq!(v, CLAMP);
+    }
+
+    #[test]
+    fn eval_unary_operator() {
+        let mut ps = PrimitiveSet::arithmetic();
+        let neg = ps.add_unary("neg", |a| -a) as u16;
+        ps.add_terminal("a");
+        let e = Expr::from_nodes(vec![Node::Op(neg), Node::Term(0)]);
+        assert_eq!(Evaluator::new().eval(&e, &ps, &[4.0]), -4.0);
+    }
+
+    #[test]
+    fn validate_accepts_wellformed() {
+        let ps = ps2();
+        let e = Expr::from_nodes(vec![Node::Op(0), Node::Term(0), Node::Const(1.5)]);
+        assert!(e.validate(&ps).is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_empty() {
+        let ps = ps2();
+        assert_eq!(Expr::from_nodes(vec![]).validate(&ps), Err(TreeError::Empty));
+    }
+
+    #[test]
+    fn validate_rejects_truncated() {
+        let ps = ps2();
+        let e = Expr::from_nodes(vec![Node::Op(0), Node::Term(0)]);
+        assert_eq!(e.validate(&ps), Err(TreeError::Malformed));
+    }
+
+    #[test]
+    fn validate_rejects_trailing() {
+        let ps = ps2();
+        let e = Expr::from_nodes(vec![Node::Term(0), Node::Term(1)]);
+        assert_eq!(e.validate(&ps), Err(TreeError::Malformed));
+    }
+
+    #[test]
+    fn validate_rejects_bad_ids() {
+        let ps = ps2();
+        assert_eq!(
+            Expr::from_nodes(vec![Node::Term(9)]).validate(&ps),
+            Err(TreeError::UnknownTerminal(9))
+        );
+        assert_eq!(
+            Expr::from_nodes(vec![Node::Op(9), Node::Term(0), Node::Term(0)]).validate(&ps),
+            Err(TreeError::UnknownOp(9))
+        );
+    }
+
+    #[test]
+    fn depth_of_leaf_is_zero() {
+        let ps = ps2();
+        assert_eq!(Expr::terminal(0).depth(&ps), 0);
+    }
+
+    #[test]
+    fn depth_of_nested() {
+        let ps = ps2();
+        // (a + b) * a → depth 2
+        let e = Expr::from_nodes(vec![
+            Node::Op(2),
+            Node::Op(0),
+            Node::Term(0),
+            Node::Term(1),
+            Node::Term(0),
+        ]);
+        assert_eq!(e.depth(&ps), 2);
+        // left-deep chain: ((a+b)+b)+b → depth 3
+        let chain = Expr::from_nodes(vec![
+            Node::Op(0),
+            Node::Op(0),
+            Node::Op(0),
+            Node::Term(0),
+            Node::Term(1),
+            Node::Term(1),
+            Node::Term(1),
+        ]);
+        assert_eq!(chain.depth(&ps), 3);
+    }
+
+    #[test]
+    fn subtree_ranges() {
+        let ps = ps2();
+        // [*, +, a, b, a]
+        let e = Expr::from_nodes(vec![
+            Node::Op(2),
+            Node::Op(0),
+            Node::Term(0),
+            Node::Term(1),
+            Node::Term(0),
+        ]);
+        assert_eq!(e.subtree(0, &ps), 0..5);
+        assert_eq!(e.subtree(1, &ps), 1..4);
+        assert_eq!(e.subtree(2, &ps), 2..3);
+        assert_eq!(e.subtree(4, &ps), 4..5);
+    }
+
+    #[test]
+    fn replace_subtree_keeps_wellformed() {
+        let ps = ps2();
+        let mut e = Expr::from_nodes(vec![
+            Node::Op(2),
+            Node::Op(0),
+            Node::Term(0),
+            Node::Term(1),
+            Node::Term(0),
+        ]);
+        e.replace_subtree(1, &[Node::Const(2.0)], &ps);
+        assert_eq!(e.nodes(), &[Node::Op(2), Node::Const(2.0), Node::Term(0)]);
+        assert!(e.validate(&ps).is_ok());
+        assert_eq!(Evaluator::new().eval(&e, &ps, &[5.0, 0.0]), 10.0);
+    }
+
+    #[test]
+    fn sanitize_handles_nan_and_inf() {
+        assert_eq!(sanitize(f64::NAN), 0.0);
+        assert_eq!(sanitize(f64::INFINITY), CLAMP);
+        assert_eq!(sanitize(f64::NEG_INFINITY), -CLAMP);
+        assert_eq!(sanitize(1.5), 1.5);
+    }
+}

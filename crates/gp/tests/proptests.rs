@@ -1,0 +1,100 @@
+//! Property tests for the GP engine: structural invariants survive any
+//! sequence of variation operators, evaluation is total and finite, and
+//! simplification is semantics-preserving.
+
+use bico_gp::{
+    full, grow, mutate_point, mutate_shrink, mutate_uniform, parse_sexpr, ramped_half_and_half,
+    simplify, subtree_crossover, to_sexpr, Evaluator, Expr, PrimitiveSet, VariationConfig,
+};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn table1_like_ps() -> PrimitiveSet {
+    let mut ps = PrimitiveSet::arithmetic();
+    for name in ["cj", "qj", "bk", "dk", "xbar"] {
+        ps.add_terminal(name);
+    }
+    ps.set_const_range(-2.0, 2.0);
+    ps
+}
+
+fn random_tree(seed: u64, max_depth: usize) -> (PrimitiveSet, Expr) {
+    let ps = table1_like_ps();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let e = grow(&ps, 0, max_depth, &mut rng).unwrap();
+    (ps, e)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn generated_trees_are_valid_and_bounded(seed: u64, depth in 0usize..7) {
+        let (ps, e) = random_tree(seed, depth);
+        prop_assert!(e.validate(&ps).is_ok());
+        prop_assert!(e.depth(&ps) <= depth);
+    }
+
+    #[test]
+    fn evaluation_is_always_finite(seed: u64, vals in proptest::collection::vec(-1e12f64..1e12, 5)) {
+        let (ps, e) = random_tree(seed, 6);
+        let v = Evaluator::new().eval(&e, &ps, &vals);
+        prop_assert!(v.is_finite(), "eval produced {v}");
+    }
+
+    #[test]
+    fn variation_chain_preserves_invariants(seed: u64, steps in 1usize..12) {
+        let ps = table1_like_ps();
+        let cfg = VariationConfig { max_depth: 8, mutation_grow_depth: 2 };
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut pop = ramped_half_and_half(&ps, 8, 1, 4, &mut rng).unwrap();
+        for step in 0..steps {
+            let a = pop[step % pop.len()].clone();
+            let b = pop[(step + 1) % pop.len()].clone();
+            let (c1, c2) = subtree_crossover(&a, &b, &ps, &cfg, &mut rng);
+            let m1 = mutate_uniform(&c1, &ps, &cfg, &mut rng);
+            let m2 = mutate_point(&c2, &ps, &mut rng);
+            let m3 = mutate_shrink(&m1, &ps, &mut rng);
+            for e in [&c1, &c2, &m1, &m2, &m3] {
+                prop_assert!(e.validate(&ps).is_ok(), "invalid tree after variation");
+                prop_assert!(e.depth(&ps) <= 8, "depth limit violated");
+            }
+            let idx = step % pop.len();
+            pop[idx] = m3;
+        }
+    }
+
+    #[test]
+    fn simplify_preserves_semantics(
+        seed: u64,
+        vals in proptest::collection::vec(-1e6f64..1e6, 5),
+    ) {
+        let (ps, e) = random_tree(seed, 6);
+        let s = simplify(&e, &ps);
+        prop_assert!(s.validate(&ps).is_ok());
+        prop_assert!(s.len() <= e.len(), "simplify must never grow a tree");
+        let mut ev = Evaluator::new();
+        let v0 = ev.eval(&e, &ps, &vals);
+        let v1 = ev.eval(&s, &ps, &vals);
+        prop_assert_eq!(v0, v1, "simplify changed semantics: {} vs {}", v0, v1);
+    }
+
+    #[test]
+    fn sexpr_roundtrip_is_exact(seed: u64, depth in 0usize..7) {
+        let (ps, e) = random_tree(seed, depth);
+        let text = to_sexpr(&e, &ps);
+        let back = parse_sexpr(&text, &ps).unwrap();
+        prop_assert_eq!(&back, &e, "roundtrip changed the tree: {}", text);
+    }
+
+    #[test]
+    fn full_trees_are_perfect(seed: u64, depth in 0usize..6) {
+        let ps = table1_like_ps();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let e = full(&ps, depth, &mut rng).unwrap();
+        prop_assert_eq!(e.depth(&ps), depth);
+        // A full binary tree over binary ops has exactly 2^(d+1)-1 nodes.
+        prop_assert_eq!(e.len(), (1usize << (depth + 1)) - 1);
+    }
+}

@@ -1,0 +1,190 @@
+//! Independent optimality certificate: verifies the KKT conditions of a
+//! returned solution against the original problem data.
+//!
+//! For linear programs, primal feasibility + dual sign feasibility +
+//! complementary slackness is a *complete* proof of optimality, so this
+//! check is used pervasively in tests (including property tests over
+//! random covering LPs) to validate the simplex implementation without a
+//! reference solver.
+
+use crate::problem::{LpProblem, Relation, Sense};
+use crate::solution::{LpSolution, LpStatus};
+
+/// Verify the KKT conditions of `sol` for `p` within tolerance `tol`.
+///
+/// Checks performed (in the minimization convention; maximization models
+/// are sign-flipped first):
+///
+/// 1. primal feasibility: bounds and rows hold within `tol` (scaled),
+/// 2. dual sign feasibility: `y_i ≥ −tol` on `≥` rows, `y_i ≤ tol` on `≤` rows,
+/// 3. reduced-cost consistency: `d_j = c_j − Σ_i y_i a_ij`,
+/// 4. variable complementarity: interior variables have `|d_j| ≤ tol`,
+///    `d_j > 0` forces `x_j` to its lower bound, `d_j < 0` to its upper,
+/// 5. row complementarity: `|y_i (a_i·x − b_i)| ≤ tol` (scaled).
+///
+/// Returns `Err(description)` on the first violated condition.
+#[allow(clippy::needless_range_loop)] // x, bounds and rows share the index
+pub fn check_certificate(p: &LpProblem, sol: &LpSolution, tol: f64) -> Result<(), String> {
+    if sol.status != LpStatus::Optimal {
+        return Err(format!("solution status is {:?}, not Optimal", sol.status));
+    }
+    if sol.x.len() != p.n {
+        return Err(format!("x has length {}, expected {}", sol.x.len(), p.n));
+    }
+    if sol.duals.len() != p.rows.len() {
+        return Err(format!("duals have length {}, expected {}", sol.duals.len(), p.rows.len()));
+    }
+
+    let sense_sign = match p.sense {
+        Sense::Min => 1.0,
+        Sense::Max => -1.0,
+    };
+    // Internal minimization view.
+    let c: Vec<f64> = p.obj.iter().map(|v| v * sense_sign).collect();
+    let y: Vec<f64> = sol.duals.iter().map(|v| v * sense_sign).collect();
+
+    let scale = 1.0
+        + p.rhs.iter().fold(0.0f64, |a, b| a.max(b.abs()))
+        + sol.x.iter().fold(0.0f64, |a, b| a.max(b.abs()));
+
+    // 1. primal feasibility
+    for j in 0..p.n {
+        let xj = sol.x[j];
+        if xj < p.lower[j] - tol * scale || xj > p.upper[j] + tol * scale {
+            return Err(format!(
+                "x[{j}] = {xj} violates bounds [{}, {}]",
+                p.lower[j], p.upper[j]
+            ));
+        }
+    }
+    let mut activity = vec![0.0f64; p.rows.len()];
+    for (i, row) in p.rows.iter().enumerate() {
+        activity[i] = row.iter().map(|&(j, a)| a * sol.x[j]).sum();
+        let b = p.rhs[i];
+        let ok = match p.relations[i] {
+            Relation::Le => activity[i] <= b + tol * scale,
+            Relation::Ge => activity[i] >= b - tol * scale,
+            Relation::Eq => (activity[i] - b).abs() <= tol * scale,
+        };
+        if !ok {
+            return Err(format!(
+                "row {i} infeasible: activity {} {:?} rhs {b}",
+                activity[i], p.relations[i]
+            ));
+        }
+    }
+
+    // 2. dual sign feasibility (min convention)
+    for (i, &yi) in y.iter().enumerate() {
+        let ok = match p.relations[i] {
+            Relation::Ge => yi >= -tol * scale,
+            Relation::Le => yi <= tol * scale,
+            Relation::Eq => true,
+        };
+        if !ok {
+            return Err(format!(
+                "dual {i} = {yi} has wrong sign for {:?} row (min convention)",
+                p.relations[i]
+            ));
+        }
+    }
+
+    // 3. reduced-cost consistency
+    let mut d = c.clone();
+    for (i, row) in p.rows.iter().enumerate() {
+        for &(j, a) in row {
+            d[j] -= y[i] * a;
+        }
+    }
+    if sol.reduced_costs.len() == p.n {
+        for j in 0..p.n {
+            let reported = sol.reduced_costs[j] * sense_sign;
+            if (d[j] - reported).abs() > tol * scale * 10.0 {
+                return Err(format!(
+                    "reduced cost mismatch at {j}: recomputed {} vs reported {reported}",
+                    d[j]
+                ));
+            }
+        }
+    }
+
+    // 4. variable complementarity
+    for j in 0..p.n {
+        let xj = sol.x[j];
+        let interior =
+            xj > p.lower[j] + tol * scale && xj < p.upper[j] - tol * scale;
+        if interior && d[j].abs() > tol * scale * 10.0 {
+            return Err(format!("interior variable {j} has nonzero reduced cost {}", d[j]));
+        }
+        if d[j] > tol * scale * 10.0 && (xj - p.lower[j]).abs() > tol * scale * 10.0 {
+            return Err(format!(
+                "variable {j} has d = {} > 0 but sits at {xj}, not lower bound {}",
+                d[j], p.lower[j]
+            ));
+        }
+        if d[j] < -tol * scale * 10.0 && (xj - p.upper[j]).abs() > tol * scale * 10.0 {
+            return Err(format!(
+                "variable {j} has d = {} < 0 but sits at {xj}, not upper bound {}",
+                d[j], p.upper[j]
+            ));
+        }
+    }
+
+    // 5. row complementarity
+    for i in 0..p.rows.len() {
+        let slack = activity[i] - p.rhs[i];
+        if (y[i] * slack).abs() > tol * scale * scale {
+            return Err(format!(
+                "row {i}: dual {} times slack {slack} is not ~0",
+                y[i]
+            ));
+        }
+    }
+
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{LpProblem, Relation};
+
+    #[test]
+    fn rejects_non_optimal_status() {
+        let p = LpProblem::minimize(1);
+        let sol = LpSolution::non_optimal(LpStatus::Infeasible, 0);
+        assert!(check_certificate(&p, &sol, 1e-6).is_err());
+    }
+
+    #[test]
+    fn rejects_corrupted_primal() {
+        let mut p = LpProblem::minimize(2);
+        p.set_objective(&[2.0, 3.0]);
+        p.add_constraint_dense(&[1.0, 1.0], Relation::Ge, 4.0);
+        let mut sol = p.solve().unwrap();
+        sol.x[0] = -100.0; // out of bounds
+        assert!(check_certificate(&p, &sol, 1e-6).is_err());
+    }
+
+    #[test]
+    fn rejects_suboptimal_feasible_point() {
+        // x = (4, 0) is feasible for x+y >= 4 but not optimal for min 2x+3y;
+        // the KKT complementarity check must flag it.
+        let mut p = LpProblem::minimize(2);
+        p.set_objective(&[2.0, 3.0]);
+        p.add_constraint_dense(&[1.0, 1.0], Relation::Ge, 4.0);
+        p.add_constraint_dense(&[1.0, 2.0], Relation::Ge, 6.0);
+        let mut sol = p.solve().unwrap();
+        sol.x = vec![6.0, 0.0];
+        assert!(check_certificate(&p, &sol, 1e-6).is_err());
+    }
+
+    #[test]
+    fn accepts_genuine_optimum() {
+        let mut p = LpProblem::minimize(2);
+        p.set_objective(&[2.0, 3.0]);
+        p.add_constraint_dense(&[1.0, 1.0], Relation::Ge, 4.0);
+        let sol = p.solve().unwrap();
+        check_certificate(&p, &sol, 1e-6).unwrap();
+    }
+}

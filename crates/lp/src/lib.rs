@@ -1,0 +1,58 @@
+#![warn(missing_docs)]
+
+//! # bico-lp — a bounded-variable two-phase simplex LP solver
+//!
+//! This crate provides the linear-programming substrate required by the
+//! CARBON reproduction: the lower-level continuous relaxation of the
+//! Bi-level Cloud Pricing Optimization Problem must be solved once per
+//! upper-level decision to obtain
+//!
+//! * the relaxation optimum `LB(x)` used as the denominator of the
+//!   %-gap measure (Eq. 1 of the paper),
+//! * the dual values `d_k` of the covering constraints, and
+//! * the relaxed primal solution `x̄_j`,
+//!
+//! the last two being terminals of the GP hyper-heuristic (Table I).
+//!
+//! The solver is a dense tableau simplex with
+//!
+//! * general variable bounds `l ≤ x ≤ u` handled implicitly (bound flips,
+//!   nonbasic-at-upper),
+//! * a two-phase start with per-row artificial variables,
+//! * Dantzig pricing with an automatic switch to Bland's rule when the
+//!   objective stalls (anti-cycling),
+//! * exact dual recovery from the artificial columns.
+//!
+//! Problem sizes in this project are tiny by LP standards (≤ 30 rows,
+//! ≤ 500 bounded columns) but the solver is called tens of thousands of
+//! times per experiment, so the implementation avoids allocation in the
+//! pivot loop and keeps the tableau in a single contiguous buffer.
+//!
+//! ## Example
+//!
+//! ```
+//! use bico_lp::{LpProblem, Relation, LpStatus};
+//!
+//! // min x0 + 2 x1   s.t.  x0 + x1 >= 4,  x0 <= 3,  0 <= x <= 10
+//! let mut p = LpProblem::minimize(2);
+//! p.set_objective(&[1.0, 2.0]);
+//! p.set_bounds(0, 0.0, 10.0);
+//! p.set_bounds(1, 0.0, 10.0);
+//! p.add_constraint_dense(&[1.0, 1.0], Relation::Ge, 4.0);
+//! p.add_constraint_dense(&[1.0, 0.0], Relation::Le, 3.0);
+//! let sol = p.solve().unwrap();
+//! assert_eq!(sol.status, LpStatus::Optimal);
+//! assert!((sol.objective - 5.0).abs() < 1e-8); // x = (3, 1)
+//! ```
+
+mod certificate;
+mod problem;
+mod simplex;
+mod solution;
+mod write;
+
+pub use certificate::check_certificate;
+pub use problem::{LpError, LpProblem, Relation, Sense};
+pub use simplex::SimplexOptions;
+pub use solution::{LpSolution, LpStatus};
+pub use write::to_lp_format;

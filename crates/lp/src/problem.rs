@@ -1,0 +1,323 @@
+//! Problem construction API: variables, bounds, objective, constraints.
+
+use crate::simplex::{self, SimplexOptions};
+use crate::solution::LpSolution;
+use std::fmt;
+
+/// Optimization direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sense {
+    /// Minimize the objective.
+    Min,
+    /// Maximize the objective.
+    Max,
+}
+
+/// Relation of a linear constraint row to its right-hand side.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Relation {
+    /// `a·x ≤ b`
+    Le,
+    /// `a·x ≥ b`
+    Ge,
+    /// `a·x = b`
+    Eq,
+}
+
+/// Errors raised for malformed problems (never for infeasible/unbounded
+/// models — those are reported through [`crate::LpStatus`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum LpError {
+    /// A coefficient, bound or right-hand side was NaN.
+    NotANumber(&'static str),
+    /// A variable index in a sparse row was out of range.
+    IndexOutOfRange {
+        /// Offending variable index.
+        var: usize,
+        /// Number of variables in the problem.
+        n: usize,
+    },
+    /// A variable has `lower > upper`.
+    InvertedBounds {
+        /// Offending variable index.
+        var: usize,
+        /// Its lower bound.
+        lower: f64,
+        /// Its upper bound.
+        upper: f64,
+    },
+    /// A variable is free in both directions; the solver requires at least
+    /// one finite bound per variable.
+    FreeVariable {
+        /// Offending variable index.
+        var: usize,
+    },
+    /// Objective vector length does not match the variable count.
+    ObjectiveLength {
+        /// Provided length.
+        got: usize,
+        /// Expected length (the variable count).
+        expected: usize,
+    },
+    /// Dense row length does not match the variable count.
+    RowLength {
+        /// Provided length.
+        got: usize,
+        /// Expected length (the variable count).
+        expected: usize,
+    },
+}
+
+impl fmt::Display for LpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LpError::NotANumber(what) => write!(f, "{what} is NaN"),
+            LpError::IndexOutOfRange { var, n } => {
+                write!(f, "variable index {var} out of range (n = {n})")
+            }
+            LpError::InvertedBounds { var, lower, upper } => {
+                write!(f, "variable {var} has inverted bounds [{lower}, {upper}]")
+            }
+            LpError::FreeVariable { var } => {
+                write!(f, "variable {var} is free in both directions (unsupported)")
+            }
+            LpError::ObjectiveLength { got, expected } => {
+                write!(f, "objective has length {got}, expected {expected}")
+            }
+            LpError::RowLength { got, expected } => {
+                write!(f, "dense row has length {got}, expected {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LpError {}
+
+/// A linear program `opt c·x  s.t.  A x {≤,≥,=} b,  l ≤ x ≤ u`.
+///
+/// Rows are stored sparsely; the solver densifies internally. Variables
+/// default to bounds `[0, +∞)` and objective coefficient `0`.
+#[derive(Debug, Clone)]
+pub struct LpProblem {
+    pub(crate) sense: Sense,
+    pub(crate) n: usize,
+    pub(crate) obj: Vec<f64>,
+    pub(crate) lower: Vec<f64>,
+    pub(crate) upper: Vec<f64>,
+    pub(crate) rows: Vec<Vec<(usize, f64)>>,
+    pub(crate) relations: Vec<Relation>,
+    pub(crate) rhs: Vec<f64>,
+}
+
+impl LpProblem {
+    /// Create a minimization problem over `n` variables with default
+    /// bounds `[0, +∞)`.
+    pub fn minimize(n: usize) -> Self {
+        Self::new(Sense::Min, n)
+    }
+
+    /// Create a maximization problem over `n` variables with default
+    /// bounds `[0, +∞)`.
+    pub fn maximize(n: usize) -> Self {
+        Self::new(Sense::Max, n)
+    }
+
+    /// Create a problem with an explicit sense.
+    pub fn new(sense: Sense, n: usize) -> Self {
+        LpProblem {
+            sense,
+            n,
+            obj: vec![0.0; n],
+            lower: vec![0.0; n],
+            upper: vec![f64::INFINITY; n],
+            rows: Vec::new(),
+            relations: Vec::new(),
+            rhs: Vec::new(),
+        }
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.n
+    }
+
+    /// Number of constraint rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Optimization sense.
+    pub fn sense(&self) -> Sense {
+        self.sense
+    }
+
+    /// The objective coefficient vector.
+    pub fn objective(&self) -> &[f64] {
+        &self.obj
+    }
+
+    /// Bounds `(lower, upper)` of variable `var`.
+    pub fn bounds(&self, var: usize) -> (f64, f64) {
+        (self.lower[var], self.upper[var])
+    }
+
+    /// Set the full objective vector.
+    ///
+    /// # Panics
+    /// Panics if `c.len() != n`; use [`LpProblem::try_set_objective`] for a
+    /// fallible variant.
+    pub fn set_objective(&mut self, c: &[f64]) {
+        self.try_set_objective(c).expect("objective length mismatch");
+    }
+
+    /// Fallible variant of [`LpProblem::set_objective`].
+    pub fn try_set_objective(&mut self, c: &[f64]) -> Result<(), LpError> {
+        if c.len() != self.n {
+            return Err(LpError::ObjectiveLength { got: c.len(), expected: self.n });
+        }
+        self.obj.copy_from_slice(c);
+        Ok(())
+    }
+
+    /// Set a single objective coefficient.
+    pub fn set_objective_coeff(&mut self, var: usize, c: f64) {
+        self.obj[var] = c;
+    }
+
+    /// Set bounds `lower ≤ x_var ≤ upper` (either side may be infinite,
+    /// but not both — validated at solve time).
+    pub fn set_bounds(&mut self, var: usize, lower: f64, upper: f64) {
+        self.lower[var] = lower;
+        self.upper[var] = upper;
+    }
+
+    /// Add a sparse constraint row given as `(variable, coefficient)` pairs.
+    pub fn add_constraint(&mut self, coeffs: &[(usize, f64)], rel: Relation, rhs: f64) {
+        self.rows.push(coeffs.to_vec());
+        self.relations.push(rel);
+        self.rhs.push(rhs);
+    }
+
+    /// Add a dense constraint row; `coeffs.len()` must equal the variable
+    /// count.
+    ///
+    /// # Panics
+    /// Panics on length mismatch.
+    pub fn add_constraint_dense(&mut self, coeffs: &[f64], rel: Relation, rhs: f64) {
+        assert_eq!(coeffs.len(), self.n, "dense row length mismatch");
+        let sparse: Vec<(usize, f64)> =
+            coeffs.iter().enumerate().filter(|(_, &c)| c != 0.0).map(|(j, &c)| (j, c)).collect();
+        self.rows.push(sparse);
+        self.relations.push(rel);
+        self.rhs.push(rhs);
+    }
+
+    /// Validate the model: finite-ness, index ranges, bound ordering.
+    pub fn validate(&self) -> Result<(), LpError> {
+        for (j, &c) in self.obj.iter().enumerate() {
+            if c.is_nan() {
+                return Err(LpError::NotANumber("objective coefficient"));
+            }
+            let (l, u) = (self.lower[j], self.upper[j]);
+            if l.is_nan() || u.is_nan() {
+                return Err(LpError::NotANumber("bound"));
+            }
+            if l > u {
+                return Err(LpError::InvertedBounds { var: j, lower: l, upper: u });
+            }
+            if l == f64::NEG_INFINITY && u == f64::INFINITY {
+                return Err(LpError::FreeVariable { var: j });
+            }
+        }
+        for row in &self.rows {
+            for &(j, a) in row {
+                if j >= self.n {
+                    return Err(LpError::IndexOutOfRange { var: j, n: self.n });
+                }
+                if a.is_nan() {
+                    return Err(LpError::NotANumber("constraint coefficient"));
+                }
+            }
+        }
+        if self.rhs.iter().any(|b| b.is_nan()) {
+            return Err(LpError::NotANumber("right-hand side"));
+        }
+        Ok(())
+    }
+
+    /// Solve with default [`SimplexOptions`].
+    pub fn solve(&self) -> Result<LpSolution, LpError> {
+        self.solve_with(&SimplexOptions::default())
+    }
+
+    /// Solve with explicit options.
+    pub fn solve_with(&self, opts: &SimplexOptions) -> Result<LpSolution, LpError> {
+        self.validate()?;
+        Ok(simplex::solve(self, opts))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults() {
+        let p = LpProblem::minimize(3);
+        assert_eq!(p.num_vars(), 3);
+        assert_eq!(p.num_rows(), 0);
+        assert_eq!(p.sense(), Sense::Min);
+        assert_eq!(p.lower, vec![0.0; 3]);
+        assert!(p.upper.iter().all(|u| u.is_infinite()));
+    }
+
+    #[test]
+    fn dense_row_drops_zeros() {
+        let mut p = LpProblem::minimize(3);
+        p.add_constraint_dense(&[1.0, 0.0, 2.0], Relation::Le, 5.0);
+        assert_eq!(p.rows[0], vec![(0, 1.0), (2, 2.0)]);
+    }
+
+    #[test]
+    fn validate_rejects_nan_objective() {
+        let mut p = LpProblem::minimize(1);
+        p.set_objective_coeff(0, f64::NAN);
+        assert_eq!(p.validate(), Err(LpError::NotANumber("objective coefficient")));
+    }
+
+    #[test]
+    fn validate_rejects_inverted_bounds() {
+        let mut p = LpProblem::minimize(1);
+        p.set_bounds(0, 2.0, 1.0);
+        assert!(matches!(p.validate(), Err(LpError::InvertedBounds { var: 0, .. })));
+    }
+
+    #[test]
+    fn validate_rejects_free_variable() {
+        let mut p = LpProblem::minimize(1);
+        p.set_bounds(0, f64::NEG_INFINITY, f64::INFINITY);
+        assert_eq!(p.validate(), Err(LpError::FreeVariable { var: 0 }));
+    }
+
+    #[test]
+    fn validate_rejects_bad_index() {
+        let mut p = LpProblem::minimize(2);
+        p.add_constraint(&[(5, 1.0)], Relation::Ge, 0.0);
+        assert!(matches!(p.validate(), Err(LpError::IndexOutOfRange { var: 5, n: 2 })));
+    }
+
+    #[test]
+    fn try_set_objective_length() {
+        let mut p = LpProblem::minimize(2);
+        assert!(matches!(
+            p.try_set_objective(&[1.0]),
+            Err(LpError::ObjectiveLength { got: 1, expected: 2 })
+        ));
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = LpError::InvertedBounds { var: 3, lower: 2.0, upper: 1.0 };
+        assert!(e.to_string().contains("variable 3"));
+    }
+}

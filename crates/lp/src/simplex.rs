@@ -1,0 +1,739 @@
+//! Bounded-variable two-phase dense tableau simplex.
+//!
+//! Internal column layout: `[0, n)` structural variables, `[n, n+m)` slack
+//! variables (coefficient `+1`, bounds encode the row relation), and
+//! `[n+m, n+2m)` artificial variables (coefficient `±1` so the initial
+//! basic values are non-negative).
+//!
+//! Phase 1 minimizes the artificial sum from the all-artificial basis;
+//! phase 2 minimizes the (sign-adjusted) user objective. Nonbasic
+//! variables rest at one of their finite bounds; the ratio test handles
+//! bound flips of the entering variable as a third leaving case.
+
+use crate::problem::{LpProblem, Relation, Sense};
+use crate::solution::{LpSolution, LpStatus};
+
+/// Tuning knobs for the simplex loop.
+#[derive(Debug, Clone)]
+pub struct SimplexOptions {
+    /// Hard cap on total pivots across both phases.
+    pub max_iterations: usize,
+    /// Reduced-cost tolerance for entering-variable selection.
+    pub opt_tol: f64,
+    /// Pivot-magnitude tolerance in the ratio test.
+    pub pivot_tol: f64,
+    /// Phase-1 residual (scaled) above which the model is declared
+    /// infeasible.
+    pub feas_tol: f64,
+    /// Number of consecutive non-improving pivots before switching to
+    /// Bland's rule (anti-cycling).
+    pub bland_after: usize,
+}
+
+impl Default for SimplexOptions {
+    fn default() -> Self {
+        SimplexOptions {
+            max_iterations: 50_000,
+            opt_tol: 1e-9,
+            pivot_tol: 1e-9,
+            feas_tol: 1e-7,
+            bland_after: 64,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Stat {
+    Basic,
+    AtLower,
+    AtUpper,
+}
+
+enum PhaseOutcome {
+    Optimal,
+    Unbounded,
+    IterationLimit,
+}
+
+struct Tableau {
+    m: usize,
+    n_struct: usize,
+    n_total: usize,
+    /// `m × n_total`, row-major.
+    t: Vec<f64>,
+    basis: Vec<usize>,
+    stat: Vec<Stat>,
+    xval: Vec<f64>,
+    lower: Vec<f64>,
+    upper: Vec<f64>,
+    /// Reduced-cost row for the current phase objective.
+    d: Vec<f64>,
+    /// Current phase cost vector.
+    cost: Vec<f64>,
+    iterations: usize,
+    opts: SimplexOptions,
+}
+
+impl Tableau {
+    #[inline]
+    fn at(&self, i: usize, j: usize) -> f64 {
+        self.t[i * self.n_total + j]
+    }
+
+    fn compute_reduced_costs(&mut self) {
+        self.d.copy_from_slice(&self.cost);
+        for i in 0..self.m {
+            let cb = self.cost[self.basis[i]];
+            if cb != 0.0 {
+                let row = &self.t[i * self.n_total..(i + 1) * self.n_total];
+                for (dj, &tij) in self.d.iter_mut().zip(row) {
+                    *dj -= cb * tij;
+                }
+            }
+        }
+    }
+
+    fn phase_objective(&self) -> f64 {
+        self.cost.iter().zip(&self.xval).map(|(c, x)| c * x).sum()
+    }
+
+    /// Gaussian pivot at `(r, q)`: row-reduce the tableau and the
+    /// reduced-cost row so column `q` becomes the `r`-th unit vector.
+    fn pivot(&mut self, r: usize, q: usize) {
+        let n = self.n_total;
+        let piv = self.t[r * n + q];
+        debug_assert!(piv.abs() > 1e-12, "pivot too small: {piv}");
+        let inv = 1.0 / piv;
+        for v in &mut self.t[r * n..(r + 1) * n] {
+            *v *= inv;
+        }
+        self.t[r * n + q] = 1.0;
+        // Split the buffer so we can read the pivot row while mutating others.
+        let (head, rest) = self.t.split_at_mut(r * n);
+        let (prow, tail) = rest.split_at_mut(n);
+        for chunk in head.chunks_exact_mut(n) {
+            let f = chunk[q];
+            if f != 0.0 {
+                for (v, &p) in chunk.iter_mut().zip(prow.iter()) {
+                    *v -= f * p;
+                }
+                chunk[q] = 0.0;
+            }
+        }
+        for chunk in tail.chunks_exact_mut(n) {
+            let f = chunk[q];
+            if f != 0.0 {
+                for (v, &p) in chunk.iter_mut().zip(prow.iter()) {
+                    *v -= f * p;
+                }
+                chunk[q] = 0.0;
+            }
+        }
+        let f = self.d[q];
+        if f != 0.0 {
+            for (v, &p) in self.d.iter_mut().zip(prow.iter()) {
+                *v -= f * p;
+            }
+            self.d[q] = 0.0;
+        }
+    }
+
+    /// `allow_artificial`: whether artificial columns may enter (phase 1).
+    fn run_phase(&mut self, allow_artificial: bool) -> PhaseOutcome {
+        let tol = self.opts.opt_tol;
+        let art_start = self.n_struct + self.m;
+        let mut last_obj = self.phase_objective();
+        let mut stall = 0usize;
+        let mut bland = false;
+
+        loop {
+            if self.iterations >= self.opts.max_iterations {
+                return PhaseOutcome::IterationLimit;
+            }
+            // --- entering variable ---
+            let mut entering: Option<(usize, f64)> = None;
+            for j in 0..self.n_total {
+                if self.stat[j] == Stat::Basic {
+                    continue;
+                }
+                if !allow_artificial && j >= art_start {
+                    continue;
+                }
+                if self.lower[j] == self.upper[j] {
+                    continue; // fixed variable can never improve
+                }
+                let dj = self.d[j];
+                let viol = match self.stat[j] {
+                    Stat::AtLower => -dj,
+                    Stat::AtUpper => dj,
+                    Stat::Basic => unreachable!(),
+                };
+                if viol > tol {
+                    if bland {
+                        entering = Some((j, viol));
+                        break;
+                    }
+                    match entering {
+                        Some((_, best)) if best >= viol => {}
+                        _ => entering = Some((j, viol)),
+                    }
+                }
+            }
+            let Some((q, _)) = entering else {
+                return PhaseOutcome::Optimal;
+            };
+            let dir: f64 = if self.stat[q] == Stat::AtLower { 1.0 } else { -1.0 };
+
+            // --- ratio test ---
+            // Leaving cases: a basic variable hits one of its bounds, or the
+            // entering variable flips to its opposite bound.
+            let mut theta = self.upper[q] - self.lower[q]; // bound-flip limit
+            let mut leave: Option<(usize, bool)> = None; // (row, hits_upper)
+            let mut leave_pivot = 0.0f64;
+            for i in 0..self.m {
+                let a = self.at(i, q);
+                if a.abs() <= self.opts.pivot_tol {
+                    continue;
+                }
+                let bi = self.basis[i];
+                let change = -dir * a; // d x_bi / d theta
+                let (lim, hits_upper) = if change < 0.0 {
+                    ((self.xval[bi] - self.lower[bi]) / -change, false)
+                } else {
+                    ((self.upper[bi] - self.xval[bi]) / change, true)
+                };
+                if !lim.is_finite() {
+                    continue;
+                }
+                let lim = lim.max(0.0);
+                let take = match leave {
+                    None => lim < theta,
+                    Some((r_prev, _)) => {
+                        if lim < theta - 1e-10 {
+                            true
+                        } else if lim < theta + 1e-10 {
+                            if bland {
+                                // Bland: smallest basis index among ties.
+                                self.basis[i] < self.basis[r_prev]
+                            } else {
+                                // Stability: largest pivot magnitude among ties.
+                                a.abs() > leave_pivot
+                            }
+                        } else {
+                            false
+                        }
+                    }
+                };
+                if take {
+                    theta = lim.min(theta);
+                    leave = Some((i, hits_upper));
+                    leave_pivot = a.abs();
+                }
+            }
+            if !theta.is_finite() {
+                return PhaseOutcome::Unbounded;
+            }
+            let theta = theta.max(0.0);
+
+            // --- update primal values ---
+            self.xval[q] += dir * theta;
+            if theta != 0.0 {
+                for i in 0..self.m {
+                    let a = self.at(i, q);
+                    if a != 0.0 {
+                        self.xval[self.basis[i]] -= dir * theta * a;
+                    }
+                }
+            }
+
+            match leave {
+                None => {
+                    // Bound flip: entering variable traversed to its other bound.
+                    self.stat[q] = match self.stat[q] {
+                        Stat::AtLower => {
+                            self.xval[q] = self.upper[q];
+                            Stat::AtUpper
+                        }
+                        Stat::AtUpper => {
+                            self.xval[q] = self.lower[q];
+                            Stat::AtLower
+                        }
+                        Stat::Basic => unreachable!(),
+                    };
+                }
+                Some((r, hits_upper)) => {
+                    let leaving = self.basis[r];
+                    if hits_upper {
+                        self.stat[leaving] = Stat::AtUpper;
+                        self.xval[leaving] = self.upper[leaving];
+                    } else {
+                        self.stat[leaving] = Stat::AtLower;
+                        self.xval[leaving] = self.lower[leaving];
+                    }
+                    self.pivot(r, q);
+                    self.basis[r] = q;
+                    self.stat[q] = Stat::Basic;
+                }
+            }
+
+            self.iterations += 1;
+
+            // --- anti-cycling bookkeeping ---
+            let obj = self.phase_objective();
+            if obj < last_obj - 1e-10 {
+                stall = 0;
+            } else {
+                stall += 1;
+                if stall > self.opts.bland_after {
+                    bland = true;
+                }
+            }
+            last_obj = obj;
+        }
+    }
+}
+
+#[allow(clippy::needless_range_loop)] // tableau assembly indexes parallel arrays
+pub(crate) fn solve(p: &LpProblem, opts: &SimplexOptions) -> LpSolution {
+    let n = p.n;
+    let m = p.rows.len();
+    let n_total = n + 2 * m;
+
+    // --- assemble bounds and initial nonbasic placement ---
+    let mut lower = Vec::with_capacity(n_total);
+    let mut upper = Vec::with_capacity(n_total);
+    lower.extend_from_slice(&p.lower);
+    upper.extend_from_slice(&p.upper);
+    for rel in &p.relations {
+        match rel {
+            Relation::Le => {
+                lower.push(0.0);
+                upper.push(f64::INFINITY);
+            }
+            Relation::Ge => {
+                lower.push(f64::NEG_INFINITY);
+                upper.push(0.0);
+            }
+            Relation::Eq => {
+                lower.push(0.0);
+                upper.push(0.0);
+            }
+        }
+    }
+    // Artificial bounds start at [0, ∞); tightened to [0, 0] for phase 2.
+    for _ in 0..m {
+        lower.push(0.0);
+        upper.push(f64::INFINITY);
+    }
+
+    let mut stat = Vec::with_capacity(n_total);
+    let mut xval = Vec::with_capacity(n_total);
+    for j in 0..n + m {
+        if lower[j].is_finite() {
+            stat.push(Stat::AtLower);
+            xval.push(lower[j]);
+        } else {
+            stat.push(Stat::AtUpper);
+            xval.push(upper[j]);
+        }
+    }
+    for _ in 0..m {
+        stat.push(Stat::Basic); // artificials form the initial basis
+        xval.push(0.0); // filled below
+    }
+
+    // --- residuals and sign-adjusted artificial columns ---
+    let mut resid = p.rhs.clone();
+    for (i, row) in p.rows.iter().enumerate() {
+        for &(j, a) in row {
+            resid[i] -= a * xval[j];
+        }
+        // slack j = n + i currently has value 0, nothing to subtract
+    }
+
+    let mut t = vec![0.0f64; m * n_total];
+    for (i, row) in p.rows.iter().enumerate() {
+        let sign = if resid[i] >= 0.0 { 1.0 } else { -1.0 };
+        let trow = &mut t[i * n_total..(i + 1) * n_total];
+        for &(j, a) in row {
+            trow[j] += sign * a;
+        }
+        trow[n + i] += sign; // slack coefficient +1, sign-adjusted
+        trow[n + m + i] = 1.0; // artificial: sign * (sign * e_i) = e_i
+        xval[n + m + i] = resid[i].abs();
+    }
+
+    let mut basis = Vec::with_capacity(m);
+    for i in 0..m {
+        basis.push(n + m + i);
+    }
+
+    let mut tab = Tableau {
+        m,
+        n_struct: n,
+        n_total,
+        t,
+        basis,
+        stat,
+        xval,
+        lower,
+        upper,
+        d: vec![0.0; n_total],
+        cost: vec![0.0; n_total],
+        iterations: 0,
+        opts: opts.clone(),
+    };
+
+    // --- phase 1 ---
+    for j in n + m..n_total {
+        tab.cost[j] = 1.0;
+    }
+    tab.compute_reduced_costs();
+    let scale = 1.0 + p.rhs.iter().fold(0.0f64, |a, b| a.max(b.abs()));
+    match tab.run_phase(true) {
+        PhaseOutcome::Optimal => {}
+        PhaseOutcome::Unbounded => {
+            // Phase 1 objective is bounded below by 0; cannot happen.
+            unreachable!("phase 1 cannot be unbounded");
+        }
+        PhaseOutcome::IterationLimit => {
+            return LpSolution::non_optimal(LpStatus::IterationLimit, tab.iterations);
+        }
+    }
+    if tab.phase_objective() > opts.feas_tol * scale {
+        return LpSolution::non_optimal(LpStatus::Infeasible, tab.iterations);
+    }
+
+    // --- pin artificials to zero and drive basic ones out where possible ---
+    for j in n + m..n_total {
+        tab.lower[j] = 0.0;
+        tab.upper[j] = 0.0;
+    }
+    for r in 0..m {
+        if tab.basis[r] < n + m {
+            continue;
+        }
+        let mut pivot_col = None;
+        for j in 0..n + m {
+            if tab.stat[j] != Stat::Basic && tab.at(r, j).abs() > 1e-7 {
+                pivot_col = Some(j);
+                break;
+            }
+        }
+        if let Some(q) = pivot_col {
+            // Degenerate pivot: the artificial is at value 0, so no primal
+            // values change.
+            let leaving = tab.basis[r];
+            tab.stat[leaving] = Stat::AtLower;
+            tab.xval[leaving] = 0.0;
+            tab.pivot(r, q);
+            tab.basis[r] = q;
+            tab.stat[q] = Stat::Basic;
+        }
+        // Otherwise the row is redundant; the artificial stays basic at 0
+        // with bounds [0, 0], which is harmless.
+    }
+
+    // --- phase 2 ---
+    let obj_sign = match p.sense {
+        Sense::Min => 1.0,
+        Sense::Max => -1.0,
+    };
+    tab.cost.iter_mut().for_each(|c| *c = 0.0);
+    for j in 0..n {
+        tab.cost[j] = obj_sign * p.obj[j];
+    }
+    tab.compute_reduced_costs();
+    match tab.run_phase(false) {
+        PhaseOutcome::Optimal => {}
+        PhaseOutcome::Unbounded => {
+            return LpSolution::non_optimal(LpStatus::Unbounded, tab.iterations);
+        }
+        PhaseOutcome::IterationLimit => {
+            return LpSolution::non_optimal(LpStatus::IterationLimit, tab.iterations);
+        }
+    }
+
+    // --- extraction ---
+    let mut x = tab.xval[..n].to_vec();
+    // Snap tiny bound violations introduced by floating-point drift.
+    for (j, v) in x.iter_mut().enumerate() {
+        if *v < p.lower[j] {
+            *v = p.lower[j];
+        }
+        if *v > p.upper[j] {
+            *v = p.upper[j];
+        }
+    }
+    let objective: f64 = p.obj.iter().zip(&x).map(|(c, v)| c * v).sum();
+
+    // Duals from the artificial columns: B^{-1} e_i = sign_i · T[:, art_i],
+    // hence y_i = −sign_i · d[art_i] under the internal (min) costs.
+    let mut duals = Vec::with_capacity(m);
+    for i in 0..m {
+        let sign = if resid[i] >= 0.0 { 1.0 } else { -1.0 };
+        duals.push(obj_sign * (-sign * tab.d[n + m + i]));
+    }
+    let reduced_costs: Vec<f64> = (0..n).map(|j| obj_sign * tab.d[j]).collect();
+
+    LpSolution {
+        status: LpStatus::Optimal,
+        objective,
+        x,
+        duals,
+        reduced_costs,
+        iterations: tab.iterations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{check_certificate, LpProblem, LpStatus, Relation, SimplexOptions};
+
+    fn assert_opt(p: &LpProblem, want_obj: f64, want_x: Option<&[f64]>) {
+        let sol = p.solve().unwrap();
+        assert_eq!(sol.status, LpStatus::Optimal, "expected optimal, got {:?}", sol.status);
+        assert!(
+            (sol.objective - want_obj).abs() < 1e-6,
+            "objective {} != expected {want_obj}",
+            sol.objective
+        );
+        if let Some(xs) = want_x {
+            for (j, (&got, &want)) in sol.x.iter().zip(xs).enumerate() {
+                assert!((got - want).abs() < 1e-6, "x[{j}] = {got}, expected {want}");
+            }
+        }
+        check_certificate(p, &sol, 1e-6).unwrap();
+    }
+
+    #[test]
+    fn trivial_unconstrained_min_at_lower_bounds() {
+        let mut p = LpProblem::minimize(2);
+        p.set_objective(&[1.0, 1.0]);
+        assert_opt(&p, 0.0, Some(&[0.0, 0.0]));
+    }
+
+    #[test]
+    fn textbook_max_le() {
+        // max 3x + 5y  s.t. x <= 4, 2y <= 12, 3x + 2y <= 18 (Hillier-Lieberman)
+        let mut p = LpProblem::maximize(2);
+        p.set_objective(&[3.0, 5.0]);
+        p.add_constraint_dense(&[1.0, 0.0], Relation::Le, 4.0);
+        p.add_constraint_dense(&[0.0, 2.0], Relation::Le, 12.0);
+        p.add_constraint_dense(&[3.0, 2.0], Relation::Le, 18.0);
+        assert_opt(&p, 36.0, Some(&[2.0, 6.0]));
+    }
+
+    #[test]
+    fn min_with_ge_rows_needs_phase1() {
+        // min 2x + 3y  s.t. x + y >= 4, x + 2y >= 6, x,y >= 0 -> (2, 2), obj 10
+        let mut p = LpProblem::minimize(2);
+        p.set_objective(&[2.0, 3.0]);
+        p.add_constraint_dense(&[1.0, 1.0], Relation::Ge, 4.0);
+        p.add_constraint_dense(&[1.0, 2.0], Relation::Ge, 6.0);
+        assert_opt(&p, 10.0, Some(&[2.0, 2.0]));
+    }
+
+    #[test]
+    fn equality_constraint() {
+        // min x + y s.t. x + y = 5, x <= 2 -> obj 5 with x in [0,2]
+        let mut p = LpProblem::minimize(2);
+        p.set_objective(&[1.0, 1.0]);
+        p.add_constraint_dense(&[1.0, 1.0], Relation::Eq, 5.0);
+        p.add_constraint_dense(&[1.0, 0.0], Relation::Le, 2.0);
+        let sol = p.solve().unwrap();
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert!((sol.objective - 5.0).abs() < 1e-8);
+        assert!((sol.x[0] + sol.x[1] - 5.0).abs() < 1e-8);
+        check_certificate(&p, &sol, 1e-6).unwrap();
+    }
+
+    #[test]
+    fn upper_bound_binds() {
+        // min -x, 0 <= x <= 7 (no rows): x -> 7
+        let mut p = LpProblem::minimize(1);
+        p.set_objective(&[-1.0]);
+        p.set_bounds(0, 0.0, 7.0);
+        assert_opt(&p, -7.0, Some(&[7.0]));
+    }
+
+    #[test]
+    fn bound_flip_path() {
+        // max x + y, x + y <= 1.5, 0<=x<=1, 0<=y<=1: needs mixing basis/bounds
+        let mut p = LpProblem::maximize(2);
+        p.set_objective(&[1.0, 1.0]);
+        p.set_bounds(0, 0.0, 1.0);
+        p.set_bounds(1, 0.0, 1.0);
+        p.add_constraint_dense(&[1.0, 1.0], Relation::Le, 1.5);
+        let sol = p.solve().unwrap();
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert!((sol.objective - 1.5).abs() < 1e-8);
+        check_certificate(&p, &sol, 1e-6).unwrap();
+    }
+
+    #[test]
+    fn detects_infeasible() {
+        // x >= 5 and x <= 2
+        let mut p = LpProblem::minimize(1);
+        p.add_constraint_dense(&[1.0], Relation::Ge, 5.0);
+        p.add_constraint_dense(&[1.0], Relation::Le, 2.0);
+        let sol = p.solve().unwrap();
+        assert_eq!(sol.status, LpStatus::Infeasible);
+    }
+
+    #[test]
+    fn detects_unbounded() {
+        // min -x, x >= 0 unbounded above
+        let mut p = LpProblem::minimize(1);
+        p.set_objective(&[-1.0]);
+        p.add_constraint_dense(&[1.0], Relation::Ge, 1.0);
+        let sol = p.solve().unwrap();
+        assert_eq!(sol.status, LpStatus::Unbounded);
+    }
+
+    #[test]
+    fn negative_rhs_handled_by_sign_adjustment() {
+        // min x  s.t. -x <= -3  (i.e. x >= 3)
+        let mut p = LpProblem::minimize(1);
+        p.set_objective(&[1.0]);
+        p.add_constraint_dense(&[-1.0], Relation::Le, -3.0);
+        assert_opt(&p, 3.0, Some(&[3.0]));
+    }
+
+    #[test]
+    fn negative_lower_bounds() {
+        // min x + y, x >= -5, y in [-2, 2], x + y >= -4 -> x=-2? :
+        // minimize sum with row x+y >= -4: optimum x+y = -4, obj -4
+        let mut p = LpProblem::minimize(2);
+        p.set_objective(&[1.0, 1.0]);
+        p.set_bounds(0, -5.0, f64::INFINITY);
+        p.set_bounds(1, -2.0, 2.0);
+        p.add_constraint_dense(&[1.0, 1.0], Relation::Ge, -4.0);
+        let sol = p.solve().unwrap();
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert!((sol.objective + 4.0).abs() < 1e-8);
+        check_certificate(&p, &sol, 1e-6).unwrap();
+    }
+
+    #[test]
+    fn duals_on_min_ge_are_nonnegative() {
+        let mut p = LpProblem::minimize(2);
+        p.set_objective(&[2.0, 3.0]);
+        p.add_constraint_dense(&[1.0, 1.0], Relation::Ge, 4.0);
+        p.add_constraint_dense(&[1.0, 2.0], Relation::Ge, 6.0);
+        let sol = p.solve().unwrap();
+        for (i, &y) in sol.duals.iter().enumerate() {
+            assert!(y >= -1e-9, "dual {i} = {y} should be >= 0 for min/>= rows");
+        }
+        // Both rows bind at (2,2); duals solve y1 + y2 = 2, y1 + 2 y2 = 3.
+        assert!((sol.duals[0] - 1.0).abs() < 1e-6);
+        assert!((sol.duals[1] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn dual_is_shadow_price() {
+        // Perturb a binding rhs and compare with the dual prediction.
+        let build = |rhs: f64| {
+            let mut p = LpProblem::minimize(2);
+            p.set_objective(&[2.0, 3.0]);
+            p.add_constraint_dense(&[1.0, 1.0], Relation::Ge, rhs);
+            p.add_constraint_dense(&[1.0, 2.0], Relation::Ge, 6.0);
+            p
+        };
+        let base = build(4.0).solve().unwrap();
+        let bumped = build(4.01).solve().unwrap();
+        let predicted = base.objective + 0.01 * base.duals[0];
+        assert!((bumped.objective - predicted).abs() < 1e-6);
+    }
+
+    #[test]
+    fn degenerate_lp_terminates() {
+        // Classic degenerate construction (Beale-like): many ties at 0.
+        let mut p = LpProblem::minimize(4);
+        p.set_objective(&[-0.75, 150.0, -0.02, 6.0]);
+        p.add_constraint_dense(&[0.25, -60.0, -0.04, 9.0], Relation::Le, 0.0);
+        p.add_constraint_dense(&[0.5, -90.0, -0.02, 3.0], Relation::Le, 0.0);
+        p.add_constraint_dense(&[0.0, 0.0, 1.0, 0.0], Relation::Le, 1.0);
+        let sol = p.solve().unwrap();
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert!((sol.objective + 0.05).abs() < 1e-6);
+        check_certificate(&p, &sol, 1e-6).unwrap();
+    }
+
+    #[test]
+    fn redundant_row_leaves_artificial_basic() {
+        // Duplicate equality rows create a redundant row after phase 1.
+        let mut p = LpProblem::minimize(2);
+        p.set_objective(&[1.0, 2.0]);
+        p.add_constraint_dense(&[1.0, 1.0], Relation::Eq, 3.0);
+        p.add_constraint_dense(&[2.0, 2.0], Relation::Eq, 6.0);
+        let sol = p.solve().unwrap();
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert!((sol.objective - 3.0).abs() < 1e-8);
+        assert!((sol.x[0] - 3.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn fixed_variable_is_respected() {
+        let mut p = LpProblem::minimize(2);
+        p.set_objective(&[1.0, 1.0]);
+        p.set_bounds(0, 2.0, 2.0);
+        p.add_constraint_dense(&[1.0, 1.0], Relation::Ge, 5.0);
+        let sol = p.solve().unwrap();
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert!((sol.x[0] - 2.0).abs() < 1e-9);
+        assert!((sol.objective - 5.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn iteration_limit_is_reported() {
+        let mut p = LpProblem::minimize(2);
+        p.set_objective(&[2.0, 3.0]);
+        p.add_constraint_dense(&[1.0, 1.0], Relation::Ge, 4.0);
+        let opts = SimplexOptions { max_iterations: 0, ..Default::default() };
+        let sol = p.solve_with(&opts).unwrap();
+        assert_eq!(sol.status, LpStatus::IterationLimit);
+    }
+
+    #[test]
+    fn zero_rows_zero_vars() {
+        let p = LpProblem::minimize(0);
+        let sol = p.solve().unwrap();
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert_eq!(sol.objective, 0.0);
+        assert!(sol.x.is_empty());
+    }
+
+    #[test]
+    fn covering_relaxation_shape() {
+        // A small covering LP: min c x, Qx >= b, 0 <= x <= 1.
+        let mut p = LpProblem::minimize(4);
+        p.set_objective(&[3.0, 2.0, 4.0, 1.0]);
+        for j in 0..4 {
+            p.set_bounds(j, 0.0, 1.0);
+        }
+        p.add_constraint_dense(&[2.0, 1.0, 0.0, 1.0], Relation::Ge, 2.0);
+        p.add_constraint_dense(&[0.0, 2.0, 3.0, 1.0], Relation::Ge, 3.0);
+        let sol = p.solve().unwrap();
+        assert_eq!(sol.status, LpStatus::Optimal);
+        for &v in &sol.x {
+            assert!((-1e-9..=1.0 + 1e-9).contains(&v));
+        }
+        check_certificate(&p, &sol, 1e-6).unwrap();
+    }
+
+    #[test]
+    fn maximization_duals_sign() {
+        // max 3x+5y with <= rows: duals should be >= 0 in max sense.
+        let mut p = LpProblem::maximize(2);
+        p.set_objective(&[3.0, 5.0]);
+        p.add_constraint_dense(&[1.0, 0.0], Relation::Le, 4.0);
+        p.add_constraint_dense(&[0.0, 2.0], Relation::Le, 12.0);
+        p.add_constraint_dense(&[3.0, 2.0], Relation::Le, 18.0);
+        let sol = p.solve().unwrap();
+        check_certificate(&p, &sol, 1e-6).unwrap();
+        for &y in &sol.duals {
+            assert!(y >= -1e-9, "max/<= duals must be nonnegative, got {y}");
+        }
+    }
+}

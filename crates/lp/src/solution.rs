@@ -1,0 +1,71 @@
+//! Solver output types.
+
+/// Termination status of a simplex solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LpStatus {
+    /// An optimal basic solution was found.
+    Optimal,
+    /// The constraint system has no feasible point.
+    Infeasible,
+    /// The objective is unbounded over the feasible region.
+    Unbounded,
+    /// The iteration limit was exhausted before convergence.
+    IterationLimit,
+}
+
+/// Result of an LP solve.
+///
+/// `x`, `duals` and `reduced_costs` are only meaningful when
+/// `status == LpStatus::Optimal`; they are returned empty otherwise.
+///
+/// Dual sign convention: `duals[i]` is the sensitivity `∂objective/∂rhs_i`
+/// *in the original optimization sense*. For a minimization problem a
+/// binding `≥` row therefore has `duals[i] ≥ 0` and a binding `≤` row has
+/// `duals[i] ≤ 0`.
+#[derive(Debug, Clone)]
+pub struct LpSolution {
+    /// Termination status.
+    pub status: LpStatus,
+    /// Objective value in the original sense (meaningful only if optimal).
+    pub objective: f64,
+    /// Primal values of the structural variables.
+    pub x: Vec<f64>,
+    /// One dual multiplier per constraint row.
+    pub duals: Vec<f64>,
+    /// Reduced cost of each structural variable (original sense).
+    pub reduced_costs: Vec<f64>,
+    /// Total simplex pivots across both phases.
+    pub iterations: usize,
+}
+
+impl LpSolution {
+    /// `true` iff the solve proved optimality.
+    pub fn is_optimal(&self) -> bool {
+        self.status == LpStatus::Optimal
+    }
+
+    pub(crate) fn non_optimal(status: LpStatus, iterations: usize) -> Self {
+        LpSolution {
+            status,
+            objective: f64::NAN,
+            x: Vec::new(),
+            duals: Vec::new(),
+            reduced_costs: Vec::new(),
+            iterations,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn non_optimal_is_empty() {
+        let s = LpSolution::non_optimal(LpStatus::Infeasible, 7);
+        assert!(!s.is_optimal());
+        assert!(s.objective.is_nan());
+        assert!(s.x.is_empty());
+        assert_eq!(s.iterations, 7);
+    }
+}

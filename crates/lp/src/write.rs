@@ -1,0 +1,141 @@
+//! CPLEX-LP-format export.
+//!
+//! Dumping a model to the ubiquitous `.lp` text format makes any
+//! relaxation this workspace builds inspectable and cross-checkable with
+//! an external solver — handy when debugging instances or validating the
+//! simplex on someone else's data.
+
+use crate::problem::{LpProblem, Relation, Sense};
+use std::fmt::Write as _;
+
+/// Render the problem in CPLEX LP format.
+///
+/// Variables are named `x0, x1, …`; rows `c0, c1, …`. Infinite bounds
+/// are rendered per the format's conventions (`-inf`, omitted upper).
+pub fn to_lp_format(p: &LpProblem) -> String {
+    let mut out = String::new();
+    match p.sense() {
+        Sense::Min => out.push_str("Minimize\n obj:"),
+        Sense::Max => out.push_str("Maximize\n obj:"),
+    }
+    write_linear(&mut out, p.objective().iter().enumerate().map(|(j, &c)| (j, c)));
+    out.push_str("\nSubject To\n");
+    for (i, row) in p.rows.iter().enumerate() {
+        let _ = write!(out, " c{i}:");
+        write_linear(&mut out, row.iter().copied());
+        let rel = match p.relations[i] {
+            Relation::Le => "<=",
+            Relation::Ge => ">=",
+            Relation::Eq => "=",
+        };
+        let _ = writeln!(out, " {rel} {}", fmt_num(p.rhs[i]));
+    }
+    out.push_str("Bounds\n");
+    for j in 0..p.num_vars() {
+        let (lo, hi) = p.bounds(j);
+        match (lo.is_finite(), hi.is_finite()) {
+            (true, true) if lo == hi => {
+                let _ = writeln!(out, " x{j} = {}", fmt_num(lo));
+            }
+            (true, true) => {
+                let _ = writeln!(out, " {} <= x{j} <= {}", fmt_num(lo), fmt_num(hi));
+            }
+            (true, false) => {
+                if lo != 0.0 {
+                    let _ = writeln!(out, " x{j} >= {}", fmt_num(lo));
+                }
+                // default bound 0 <= x < inf needs no line
+            }
+            (false, true) => {
+                let _ = writeln!(out, " -inf <= x{j} <= {}", fmt_num(hi));
+            }
+            (false, false) => {
+                let _ = writeln!(out, " x{j} free");
+            }
+        }
+    }
+    out.push_str("End\n");
+    out
+}
+
+fn write_linear(out: &mut String, terms: impl Iterator<Item = (usize, f64)>) {
+    let mut any = false;
+    for (j, c) in terms {
+        if c == 0.0 {
+            continue;
+        }
+        any = true;
+        if c < 0.0 {
+            let _ = write!(out, " - {} x{j}", fmt_num(-c));
+        } else {
+            let _ = write!(out, " + {} x{j}", fmt_num(c));
+        }
+    }
+    if !any {
+        out.push_str(" 0 x0");
+    }
+}
+
+fn fmt_num(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{LpProblem, Relation};
+
+    #[test]
+    fn renders_canonical_model() {
+        let mut p = LpProblem::maximize(2);
+        p.set_objective(&[3.0, 5.0]);
+        p.set_bounds(0, 0.0, 4.0);
+        p.add_constraint_dense(&[3.0, 2.0], Relation::Le, 18.0);
+        p.add_constraint_dense(&[1.0, -1.0], Relation::Ge, -2.5);
+        let text = to_lp_format(&p);
+        assert!(text.starts_with("Maximize\n obj: + 3 x0 + 5 x1\n"));
+        assert!(text.contains("c0: + 3 x0 + 2 x1 <= 18"));
+        assert!(text.contains("c1: + 1 x0 - 1 x1 >= -2.5"));
+        assert!(text.contains("0 <= x0 <= 4"));
+        assert!(text.ends_with("End\n"));
+    }
+
+    #[test]
+    fn equality_and_fixed_bounds() {
+        let mut p = LpProblem::minimize(1);
+        p.set_objective(&[1.0]);
+        p.set_bounds(0, 2.0, 2.0);
+        p.add_constraint_dense(&[1.0], Relation::Eq, 2.0);
+        let text = to_lp_format(&p);
+        assert!(text.contains("c0: + 1 x0 = 2"));
+        assert!(text.contains("x0 = 2"));
+    }
+
+    #[test]
+    fn default_bounds_are_omitted() {
+        let p = LpProblem::minimize(2);
+        let text = to_lp_format(&p);
+        // Default [0, inf) variables need no Bounds lines.
+        assert!(!text.contains("x0 >="));
+        assert!(!text.contains("x0 <="));
+    }
+
+    #[test]
+    fn negative_lower_bound_rendered() {
+        let mut p = LpProblem::minimize(1);
+        p.set_bounds(0, -3.5, f64::INFINITY);
+        let text = to_lp_format(&p);
+        assert!(text.contains("x0 >= -3.5"));
+    }
+
+    #[test]
+    fn empty_objective_renders_placeholder() {
+        let p = LpProblem::minimize(1);
+        let text = to_lp_format(&p);
+        assert!(text.contains("obj: 0 x0"));
+    }
+}

@@ -1,0 +1,123 @@
+//! Property-based tests for the simplex solver.
+//!
+//! Strategy: generate random covering-style LPs (the exact family CARBON
+//! solves tens of thousands of times) plus random general LPs, solve them,
+//! and validate the full KKT certificate. Because the certificate is a
+//! complete optimality proof for linear programs, these tests do not need
+//! a reference solver.
+
+use bico_lp::{check_certificate, LpProblem, LpStatus, Relation};
+use proptest::prelude::*;
+
+/// Random covering LP: min c·x, Qx ≥ b, 0 ≤ x ≤ 1 with Q ≥ 0 and
+/// b scaled so the all-ones point is feasible (guarantees feasibility).
+fn covering_lp(n: usize, m: usize, seed_data: &[u8]) -> LpProblem {
+    let mut p = LpProblem::minimize(n);
+    let mut it = seed_data.iter().cycle();
+    let mut next = || *it.next().unwrap() as f64;
+    let costs: Vec<f64> = (0..n).map(|_| 1.0 + next()).collect();
+    p.set_objective(&costs);
+    for j in 0..n {
+        p.set_bounds(j, 0.0, 1.0);
+    }
+    for _ in 0..m {
+        let row: Vec<f64> = (0..n).map(|_| (next() % 16.0).floor()).collect();
+        let total: f64 = row.iter().sum();
+        // b <= total ensures x = 1 is feasible.
+        let b = (total * (0.2 + (next() % 60.0) / 100.0)).floor();
+        p.add_constraint_dense(&row, Relation::Ge, b);
+    }
+    p
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn covering_lps_solve_to_certified_optimum(
+        n in 2usize..40,
+        m in 1usize..12,
+        data in proptest::collection::vec(any::<u8>(), 64..256),
+    ) {
+        let p = covering_lp(n, m, &data);
+        let sol = p.solve().unwrap();
+        prop_assert_eq!(sol.status, LpStatus::Optimal);
+        prop_assert!(check_certificate(&p, &sol, 1e-6).is_ok(),
+            "certificate failed: {:?}", check_certificate(&p, &sol, 1e-6));
+        // Covering duals must be nonnegative (min sense, >= rows).
+        for &y in &sol.duals {
+            prop_assert!(y >= -1e-7);
+        }
+        // LP bound is at most the all-ones cost (x = 1 is feasible).
+        let ones_cost: f64 = p.objective().iter().sum();
+        prop_assert!(sol.objective <= ones_cost + 1e-6);
+    }
+
+    #[test]
+    fn general_lps_never_violate_certificate(
+        n in 1usize..10,
+        rows in proptest::collection::vec(
+            (proptest::collection::vec(-5i8..=5, 10), 0usize..3, -20i8..=20),
+            0..6
+        ),
+        costs in proptest::collection::vec(-9i8..=9, 10),
+        uppers in proptest::collection::vec(1u8..=30, 10),
+    ) {
+        let mut p = LpProblem::minimize(n);
+        for j in 0..n {
+            p.set_objective_coeff(j, costs[j] as f64);
+            p.set_bounds(j, 0.0, uppers[j] as f64);
+        }
+        for (coeffs, rel, rhs) in &rows {
+            let rel = match rel % 3 {
+                0 => Relation::Le,
+                1 => Relation::Ge,
+                _ => Relation::Eq,
+            };
+            let dense: Vec<f64> = coeffs.iter().take(n).map(|&c| c as f64).collect();
+            p.add_constraint_dense(&dense, rel, *rhs as f64);
+        }
+        let sol = p.solve().unwrap();
+        match sol.status {
+            LpStatus::Optimal => {
+                prop_assert!(check_certificate(&p, &sol, 1e-6).is_ok(),
+                    "certificate failed: {:?}", check_certificate(&p, &sol, 1e-6));
+            }
+            LpStatus::Infeasible | LpStatus::Unbounded => {}
+            LpStatus::IterationLimit => prop_assert!(false, "iteration limit on tiny LP"),
+        }
+    }
+
+    #[test]
+    fn bounded_boxes_are_never_unbounded(
+        n in 1usize..8,
+        costs in proptest::collection::vec(-9i8..=9, 8),
+    ) {
+        // All variables boxed => never unbounded regardless of objective.
+        let mut p = LpProblem::minimize(n);
+        for j in 0..n {
+            p.set_objective_coeff(j, costs[j] as f64);
+            p.set_bounds(j, -3.0, 11.0);
+        }
+        let sol = p.solve().unwrap();
+        prop_assert_eq!(sol.status, LpStatus::Optimal);
+        // Optimum of a separable box LP is attained at the per-variable bound.
+        let expected: f64 = (0..n)
+            .map(|j| {
+                let c = costs[j] as f64;
+                if c >= 0.0 { c * -3.0 } else { c * 11.0 }
+            })
+            .sum();
+        prop_assert!((sol.objective - expected).abs() < 1e-8);
+    }
+
+    #[test]
+    fn infeasible_window_is_detected(lo in 5u8..50, gap in 1u8..20) {
+        // x >= lo+gap and x <= lo is always infeasible.
+        let mut p = LpProblem::minimize(1);
+        p.add_constraint_dense(&[1.0], Relation::Ge, (lo + gap) as f64);
+        p.add_constraint_dense(&[1.0], Relation::Le, lo as f64);
+        let sol = p.solve().unwrap();
+        prop_assert_eq!(sol.status, LpStatus::Infeasible);
+    }
+}

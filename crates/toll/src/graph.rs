@@ -1,0 +1,330 @@
+//! Directed-graph substrate: CSR adjacency, Dijkstra with shortest-path
+//! DAG extraction, and a max-reward path search *within* that DAG (the
+//! optimistic tie-break over equally cheap follower paths).
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A directed graph with `f64` arc costs, stored in compressed sparse
+/// row form for cache-friendly traversal.
+#[derive(Debug, Clone)]
+pub struct Graph {
+    offsets: Vec<usize>,
+    targets: Vec<usize>,
+    /// Arc ids in insertion order, parallel to `targets`.
+    arc_ids: Vec<usize>,
+    num_arcs: usize,
+}
+
+impl Graph {
+    /// Build from an arc list `(from, to)`; arc ids are assigned in
+    /// order of insertion.
+    ///
+    /// # Panics
+    /// Panics if any endpoint is `>= num_nodes`.
+    pub fn new(num_nodes: usize, arcs: &[(usize, usize)]) -> Self {
+        for &(u, v) in arcs {
+            assert!(u < num_nodes && v < num_nodes, "arc ({u},{v}) out of range");
+        }
+        let mut offsets = vec![0usize; num_nodes + 1];
+        for &(u, _) in arcs {
+            offsets[u + 1] += 1;
+        }
+        for i in 0..num_nodes {
+            offsets[i + 1] += offsets[i];
+        }
+        let mut targets = vec![0usize; arcs.len()];
+        let mut arc_ids = vec![0usize; arcs.len()];
+        let mut cursor = offsets.clone();
+        for (id, &(u, v)) in arcs.iter().enumerate() {
+            targets[cursor[u]] = v;
+            arc_ids[cursor[u]] = id;
+            cursor[u] += 1;
+        }
+        Graph { offsets, targets, arc_ids, num_arcs: arcs.len() }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of arcs.
+    pub fn num_arcs(&self) -> usize {
+        self.num_arcs
+    }
+
+    /// Outgoing `(target, arc_id)` pairs of `node`.
+    pub fn out(&self, node: usize) -> impl Iterator<Item = (usize, usize)> + '_ {
+        let range = self.offsets[node]..self.offsets[node + 1];
+        range.map(move |i| (self.targets[i], self.arc_ids[i]))
+    }
+
+    /// Dijkstra from `source` under `costs` (indexed by arc id; must be
+    /// non-negative).
+    ///
+    /// # Panics
+    /// Panics if `costs.len() != num_arcs` or any cost is negative/NaN.
+    pub fn dijkstra(&self, source: usize, costs: &[f64]) -> ShortestPaths {
+        assert_eq!(costs.len(), self.num_arcs, "cost vector length mismatch");
+        assert!(
+            costs.iter().all(|c| *c >= 0.0),
+            "Dijkstra requires non-negative costs"
+        );
+        let n = self.num_nodes();
+        let mut dist = vec![f64::INFINITY; n];
+        let mut heap: BinaryHeap<HeapItem> = BinaryHeap::new();
+        dist[source] = 0.0;
+        heap.push(HeapItem { dist: 0.0, node: source });
+        while let Some(HeapItem { dist: d, node }) = heap.pop() {
+            if d > dist[node] {
+                continue;
+            }
+            for (next, arc) in self.out(node) {
+                let nd = d + costs[arc];
+                if nd < dist[next] {
+                    dist[next] = nd;
+                    heap.push(HeapItem { dist: nd, node: next });
+                }
+            }
+        }
+        ShortestPaths { source, dist }
+    }
+}
+
+/// Result of a Dijkstra run.
+#[derive(Debug, Clone)]
+pub struct ShortestPaths {
+    /// The source node.
+    pub source: usize,
+    /// Distance per node (∞ when unreachable).
+    pub dist: Vec<f64>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct HeapItem {
+    dist: f64,
+    node: usize,
+}
+
+impl Eq for HeapItem {}
+
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap on distance (BinaryHeap is a max-heap).
+        other.dist.total_cmp(&self.dist).then(other.node.cmp(&self.node))
+    }
+}
+
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Within-tolerance shortest-path DAG membership: arc `(u, v)` belongs
+/// iff `dist_s[u] + cost + dist_to_t_from[v] == dist_s[t]`.
+///
+/// `max_reward_shortest_path` finds, among all cheapest `s → t` paths,
+/// the one maximizing a per-arc `reward` (the leader's tolls) — the
+/// optimistic follower. Returns `None` when `t` is unreachable.
+pub fn max_reward_shortest_path(
+    graph: &Graph,
+    costs: &[f64],
+    reward: &[f64],
+    source: usize,
+    target: usize,
+    tol: f64,
+) -> Option<(Vec<usize>, f64)> {
+    let fwd = graph.dijkstra(source, costs);
+    if !fwd.dist[target].is_finite() {
+        return None;
+    }
+    let total = fwd.dist[target];
+
+    // DP over nodes ordered by forward distance: best collectible reward
+    // from s to each node along shortest-path-DAG arcs.
+    let n = graph.num_nodes();
+    let mut order: Vec<usize> = (0..n).filter(|&v| fwd.dist[v].is_finite()).collect();
+    order.sort_by(|&a, &b| fwd.dist[a].total_cmp(&fwd.dist[b]).then(a.cmp(&b)));
+
+    let mut best_reward = vec![f64::NEG_INFINITY; n];
+    let mut pred_arc: Vec<Option<(usize, usize)>> = vec![None; n]; // (pred node, arc id)
+    best_reward[source] = 0.0;
+    for &u in &order {
+        if best_reward[u] == f64::NEG_INFINITY {
+            continue;
+        }
+        for (v, arc) in graph.out(u) {
+            // Arc lies on some shortest path iff distances are consistent.
+            if (fwd.dist[u] + costs[arc] - fwd.dist[v]).abs() <= tol
+                && fwd.dist[v] <= total + tol
+            {
+                let r = best_reward[u] + reward[arc];
+                if r > best_reward[v] + 1e-15 {
+                    best_reward[v] = r;
+                    pred_arc[v] = Some((u, arc));
+                }
+            }
+        }
+    }
+    if best_reward[target] == f64::NEG_INFINITY {
+        return None;
+    }
+    // Reconstruct the arc sequence.
+    let mut arcs = Vec::new();
+    let mut v = target;
+    while v != source {
+        let (u, arc) = pred_arc[v].expect("reachable target must have predecessors");
+        arcs.push(arc);
+        v = u;
+    }
+    arcs.reverse();
+    Some((arcs, best_reward[target]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference all-pairs shortest paths (Floyd–Warshall) to cross-check
+    /// Dijkstra.
+    fn floyd(n: usize, arcs: &[(usize, usize)], costs: &[f64]) -> Vec<Vec<f64>> {
+        let mut d = vec![vec![f64::INFINITY; n]; n];
+        for (i, row) in d.iter_mut().enumerate() {
+            row[i] = 0.0;
+        }
+        for (id, &(u, v)) in arcs.iter().enumerate() {
+            d[u][v] = d[u][v].min(costs[id]);
+        }
+        for k in 0..n {
+            for i in 0..n {
+                for j in 0..n {
+                    let via = d[i][k] + d[k][j];
+                    if via < d[i][j] {
+                        d[i][j] = via;
+                    }
+                }
+            }
+        }
+        d
+    }
+
+    fn diamond() -> (Graph, Vec<(usize, usize)>) {
+        // 0 -> 1 -> 3 and 0 -> 2 -> 3, plus 0 -> 3 direct
+        let arcs = vec![(0, 1), (1, 3), (0, 2), (2, 3), (0, 3)];
+        (Graph::new(4, &arcs), arcs)
+    }
+
+    #[test]
+    fn dijkstra_matches_floyd_on_diamond() {
+        let (g, arcs) = diamond();
+        let costs = vec![1.0, 1.0, 2.0, 2.0, 5.0];
+        let sp = g.dijkstra(0, &costs);
+        let fw = floyd(4, &arcs, &costs);
+        for v in 0..4 {
+            assert!((sp.dist[v] - fw[0][v]).abs() < 1e-12, "node {v}");
+        }
+        assert_eq!(sp.dist[3], 2.0);
+    }
+
+    #[test]
+    fn dijkstra_unreachable_is_infinite() {
+        let g = Graph::new(3, &[(0, 1)]);
+        let sp = g.dijkstra(0, &[1.0]);
+        assert!(sp.dist[2].is_infinite());
+    }
+
+    #[test]
+    fn csr_out_edges() {
+        let (g, _) = diamond();
+        let out0: Vec<(usize, usize)> = g.out(0).collect();
+        assert_eq!(out0.len(), 3);
+        assert!(out0.contains(&(1, 0)));
+        assert!(out0.contains(&(2, 2)));
+        assert!(out0.contains(&(3, 4)));
+        assert_eq!(g.out(3).count(), 0);
+    }
+
+    #[test]
+    fn max_reward_prefers_rewarding_tie() {
+        let (g, _) = diamond();
+        // Both 0-1-3 and 0-2-3 cost 2; only arc (0,2) carries reward.
+        let costs = vec![1.0, 1.0, 1.0, 1.0, 9.0];
+        let reward = vec![0.0, 0.0, 3.0, 0.0, 0.0];
+        let (arcs, r) = max_reward_shortest_path(&g, &costs, &reward, 0, 3, 1e-9).unwrap();
+        assert_eq!(r, 3.0);
+        assert_eq!(arcs, vec![2, 3]); // 0 -> 2 -> 3
+    }
+
+    #[test]
+    fn max_reward_never_leaves_shortest_dag() {
+        let (g, _) = diamond();
+        // Reward on the *longer* path must be ignored.
+        let costs = vec![1.0, 1.0, 5.0, 5.0, 9.0];
+        let reward = vec![0.0, 0.0, 100.0, 100.0, 0.0];
+        let (arcs, r) = max_reward_shortest_path(&g, &costs, &reward, 0, 3, 1e-9).unwrap();
+        assert_eq!(r, 0.0);
+        assert_eq!(arcs, vec![0, 1]); // cheapest path, no reward
+    }
+
+    #[test]
+    fn max_reward_unreachable_is_none() {
+        let g = Graph::new(3, &[(0, 1)]);
+        assert!(max_reward_shortest_path(&g, &[1.0], &[0.0], 0, 2, 1e-9).is_none());
+    }
+
+    #[test]
+    fn path_reconstruction_costs_add_up() {
+        let (g, _) = diamond();
+        let costs = vec![1.5, 0.5, 1.0, 1.0, 3.0];
+        let reward = vec![1.0, 1.0, 0.0, 0.0, 0.0];
+        let (arcs, _) = max_reward_shortest_path(&g, &costs, &reward, 0, 3, 1e-9).unwrap();
+        let total: f64 = arcs.iter().map(|&a| costs[a]).sum();
+        let sp = g.dijkstra(0, &costs);
+        assert!((total - sp.dist[3]).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_costs_rejected() {
+        let g = Graph::new(2, &[(0, 1)]);
+        let _ = g.dijkstra(0, &[-1.0]);
+    }
+
+    #[test]
+    fn random_graph_dijkstra_vs_floyd() {
+        // Deterministic pseudo-random graph, cross-checked exhaustively.
+        let n = 12;
+        let mut arcs = Vec::new();
+        let mut costs = Vec::new();
+        let mut state = 88172645463325252u64;
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for u in 0..n {
+            for _ in 0..3 {
+                let v = (next() % n as u64) as usize;
+                if v != u {
+                    arcs.push((u, v));
+                    costs.push((next() % 100) as f64 / 10.0);
+                }
+            }
+        }
+        let g = Graph::new(n, &arcs);
+        let fw = floyd(n, &arcs, &costs);
+        for s in 0..n {
+            let sp = g.dijkstra(s, &costs);
+            for v in 0..n {
+                let (a, b) = (sp.dist[v], fw[s][v]);
+                assert!(
+                    (a.is_infinite() && b.is_infinite()) || (a - b).abs() < 1e-9,
+                    "mismatch s={s} v={v}: {a} vs {b}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,32 @@
+#![warn(missing_docs)]
+
+//! # bico-toll — the bi-level toll-setting problem
+//!
+//! The paper's related-work section singles out toll setting as the
+//! classic bi-level application ("famous problems like the *Toll
+//! setting problems* have been intensively studied" — Brotcorne et al.,
+//! Kalashnikov et al.). This crate implements it as a second application
+//! domain for the workspace's bi-level machinery, and as a counterpoint
+//! to the BCPOP: here the **lower level is polynomial** (a shortest-path
+//! problem solved exactly by Dijkstra), so a nested scheme is perfectly
+//! viable — whereas CARBON's heuristic co-evolution earns its keep when
+//! the lower level is NP-hard.
+//!
+//! Model (single- or multi-commodity, optimistic):
+//!
+//! * a road network with fixed travel costs; a subset of arcs is owned
+//!   by the leader, who sets a toll `t_e ∈ [0, cap_e]` on each;
+//! * each commodity (origin, destination, demand) routes along a
+//!   cheapest path w.r.t. `cost_e + toll_e`;
+//! * the leader collects `demand · Σ tolls` along the chosen path and
+//!   maximizes total revenue; among equally cheap follower paths the
+//!   one with the highest revenue is taken (optimistic tie-break,
+//!   computed exactly over the shortest-path DAG).
+
+pub mod graph;
+pub mod problem;
+pub mod solvers;
+
+pub use graph::{Graph, ShortestPaths};
+pub use problem::{Commodity, TollProblem};
+pub use solvers::{solve_ea, solve_grid, TollEaConfig, TollSolution};

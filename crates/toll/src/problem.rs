@@ -1,0 +1,197 @@
+//! The bi-level toll-setting model.
+
+use crate::graph::{max_reward_shortest_path, Graph};
+
+/// One follower: `demand` units of traffic from `origin` to
+/// `destination`, routed along a cheapest tolled path.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Commodity {
+    /// Origin node.
+    pub origin: usize,
+    /// Destination node.
+    pub destination: usize,
+    /// Traffic volume (multiplies the collected toll).
+    pub demand: f64,
+}
+
+/// A toll-setting instance: network, base costs, the leader's tollable
+/// arcs with per-arc caps, and the commodities.
+///
+/// ```
+/// use bico_toll::problem::highway_example;
+///
+/// let p = highway_example(); // tolled highway vs free 6-cost back road
+/// assert_eq!(p.revenue(&[4.0]).unwrap(), 4.0); // indifference margin
+/// assert_eq!(p.revenue(&[4.5]).unwrap(), 0.0); // follower defects
+/// ```
+#[derive(Debug, Clone)]
+pub struct TollProblem {
+    /// The road network.
+    pub graph: Graph,
+    /// Fixed travel cost per arc.
+    pub base_costs: Vec<f64>,
+    /// Arc ids the leader may toll.
+    pub toll_arcs: Vec<usize>,
+    /// Toll cap per tollable arc (parallel to `toll_arcs`).
+    pub caps: Vec<f64>,
+    /// The follower commodities.
+    pub commodities: Vec<Commodity>,
+}
+
+impl TollProblem {
+    /// Validate shapes and ranges.
+    ///
+    /// # Panics
+    /// Panics on inconsistent input (library misuse, not data error).
+    pub fn validate(&self) {
+        assert_eq!(self.base_costs.len(), self.graph.num_arcs(), "cost per arc");
+        assert_eq!(self.toll_arcs.len(), self.caps.len(), "cap per toll arc");
+        for &a in &self.toll_arcs {
+            assert!(a < self.graph.num_arcs(), "toll arc {a} out of range");
+        }
+        for c in &self.commodities {
+            assert!(c.origin < self.graph.num_nodes());
+            assert!(c.destination < self.graph.num_nodes());
+            assert!(c.demand >= 0.0);
+        }
+    }
+
+    /// Number of leader decision variables.
+    pub fn num_tolls(&self) -> usize {
+        self.toll_arcs.len()
+    }
+
+    /// Expand a toll vector (over `toll_arcs`) into per-arc cost and
+    /// reward vectors.
+    fn expand(&self, tolls: &[f64]) -> (Vec<f64>, Vec<f64>) {
+        assert_eq!(tolls.len(), self.toll_arcs.len(), "toll vector length");
+        let mut costs = self.base_costs.clone();
+        let mut reward = vec![0.0; self.graph.num_arcs()];
+        for (slot, &arc) in self.toll_arcs.iter().enumerate() {
+            costs[arc] += tolls[slot];
+            reward[arc] = tolls[slot];
+        }
+        (costs, reward)
+    }
+
+    /// Leader revenue for a toll vector: every commodity routes along a
+    /// cheapest tolled path (optimistic tie-break toward revenue);
+    /// returns total `demand · collected tolls`.
+    ///
+    /// Returns `None` if some commodity cannot reach its destination
+    /// (malformed network).
+    pub fn revenue(&self, tolls: &[f64]) -> Option<f64> {
+        let (costs, reward) = self.expand(tolls);
+        let mut total = 0.0;
+        for c in &self.commodities {
+            let (_, r) = max_reward_shortest_path(
+                &self.graph,
+                &costs,
+                &reward,
+                c.origin,
+                c.destination,
+                1e-9,
+            )?;
+            total += c.demand * r;
+        }
+        Some(total)
+    }
+
+    /// Total follower cost (all commodities) under a toll vector.
+    pub fn follower_cost(&self, tolls: &[f64]) -> Option<f64> {
+        let (costs, _) = self.expand(tolls);
+        let mut total = 0.0;
+        for c in &self.commodities {
+            let sp = self.graph.dijkstra(c.origin, &costs);
+            let d = sp.dist[c.destination];
+            if !d.is_finite() {
+                return None;
+            }
+            total += c.demand * d;
+        }
+        Some(total)
+    }
+}
+
+/// The textbook single-toll-arc example: a tolled highway
+/// (`0 → 1`, base cost 2, cap 10) in parallel with a free back road
+/// (`0 → 2 → 1`, cost 3 + 3 = 6). The leader's optimal toll is the
+/// follower's indifference margin: `6 − 2 = 4`, collecting 4 per unit
+/// of demand.
+pub fn highway_example() -> TollProblem {
+    let arcs = vec![(0usize, 1usize), (0, 2), (2, 1)];
+    TollProblem {
+        graph: Graph::new(3, &arcs),
+        base_costs: vec![2.0, 3.0, 3.0],
+        toll_arcs: vec![0],
+        caps: vec![10.0],
+        commodities: vec![Commodity { origin: 0, destination: 1, demand: 1.0 }],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn highway_revenue_curve() {
+        let p = highway_example();
+        p.validate();
+        // Toll below the margin: follower stays on the highway.
+        assert_eq!(p.revenue(&[1.0]).unwrap(), 1.0);
+        assert_eq!(p.revenue(&[3.9]).unwrap(), 3.9);
+        // Exactly at the margin: optimistic follower still pays.
+        assert_eq!(p.revenue(&[4.0]).unwrap(), 4.0);
+        // Above: diverted to the back road, revenue collapses.
+        assert_eq!(p.revenue(&[4.1]).unwrap(), 0.0);
+        assert_eq!(p.revenue(&[10.0]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn follower_cost_is_monotone_in_tolls() {
+        let p = highway_example();
+        let mut last = 0.0;
+        for t in [0.0, 1.0, 2.0, 4.0, 5.0, 9.0] {
+            let c = p.follower_cost(&[t]).unwrap();
+            assert!(c >= last - 1e-12, "follower cost decreased at toll {t}");
+            last = c;
+        }
+        // Once diverted, the cost plateaus at the free-path cost.
+        assert_eq!(p.follower_cost(&[9.0]).unwrap(), 6.0);
+    }
+
+    #[test]
+    fn demand_scales_revenue() {
+        let mut p = highway_example();
+        p.commodities[0].demand = 7.0;
+        assert_eq!(p.revenue(&[4.0]).unwrap(), 28.0);
+    }
+
+    #[test]
+    fn multi_commodity_adds_up() {
+        // Two commodities on the same highway.
+        let mut p = highway_example();
+        p.commodities.push(Commodity { origin: 0, destination: 1, demand: 2.0 });
+        assert_eq!(p.revenue(&[3.0]).unwrap(), 9.0);
+    }
+
+    #[test]
+    fn unreachable_commodity_is_none() {
+        let arcs = vec![(0usize, 1usize)];
+        let p = TollProblem {
+            graph: Graph::new(3, &arcs),
+            base_costs: vec![1.0],
+            toll_arcs: vec![0],
+            caps: vec![5.0],
+            commodities: vec![Commodity { origin: 0, destination: 2, demand: 1.0 }],
+        };
+        assert!(p.revenue(&[0.0]).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "toll vector length")]
+    fn wrong_toll_length_panics() {
+        let p = highway_example();
+        let _ = p.revenue(&[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,220 @@
+//! Leaders for the toll-setting problem: exhaustive grid (exact up to
+//! resolution, for small toll counts) and a real-coded EA built from
+//! `bico-ea` — a nested scheme that is perfectly adequate here because
+//! the follower is polynomial (one Dijkstra per evaluation).
+
+use crate::problem::TollProblem;
+use bico_ea::{
+    real::{polynomial_mutation, sbx_crossover, RealOpsConfig},
+    rng::seed_stream,
+    select::{tournament, Direction},
+};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A toll vector with its revenue.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TollSolution {
+    /// Toll per tollable arc.
+    pub tolls: Vec<f64>,
+    /// Leader revenue.
+    pub revenue: f64,
+}
+
+/// Exhaustive grid search over the toll box, `steps + 1` points per
+/// dimension. Exponential in `num_tolls`; guarded at 6 dimensions.
+///
+/// # Panics
+/// Panics if the instance has more than 6 tollable arcs.
+pub fn solve_grid(p: &TollProblem, steps: usize) -> Option<TollSolution> {
+    p.validate();
+    let k = p.num_tolls();
+    assert!(k <= 6, "grid search limited to 6 toll arcs (got {k})");
+    let mut best: Option<TollSolution> = None;
+    let mut idx = vec![0usize; k];
+    loop {
+        let tolls: Vec<f64> = idx
+            .iter()
+            .zip(&p.caps)
+            .map(|(&i, &cap)| cap * i as f64 / steps as f64)
+            .collect();
+        if let Some(rev) = p.revenue(&tolls) {
+            if best.as_ref().is_none_or(|b| rev > b.revenue) {
+                best = Some(TollSolution { tolls, revenue: rev });
+            }
+        }
+        // Odometer increment.
+        let mut d = 0usize;
+        loop {
+            if d == k {
+                return best;
+            }
+            idx[d] += 1;
+            if idx[d] <= steps {
+                break;
+            }
+            idx[d] = 0;
+            d += 1;
+        }
+    }
+}
+
+/// EA leader configuration.
+#[derive(Debug, Clone)]
+pub struct TollEaConfig {
+    /// Population size.
+    pub pop_size: usize,
+    /// Generations.
+    pub generations: usize,
+    /// SBX probability.
+    pub crossover_prob: f64,
+    /// Per-gene polynomial-mutation probability.
+    pub mutation_prob: f64,
+    /// Distribution indices.
+    pub real_ops: RealOpsConfig,
+}
+
+impl Default for TollEaConfig {
+    fn default() -> Self {
+        TollEaConfig {
+            pop_size: 40,
+            generations: 60,
+            crossover_prob: 0.85,
+            mutation_prob: 0.15,
+            real_ops: RealOpsConfig::default(),
+        }
+    }
+}
+
+/// Real-coded EA over the toll box. Deterministic per seed.
+pub fn solve_ea(p: &TollProblem, cfg: &TollEaConfig, seed: u64) -> TollSolution {
+    p.validate();
+    let k = p.num_tolls();
+    let lo = vec![0.0; k];
+    let hi = p.caps.clone();
+    let mut rng = SmallRng::seed_from_u64(seed_stream(seed, 4));
+
+    let mut pop: Vec<Vec<f64>> = (0..cfg.pop_size)
+        .map(|_| (0..k).map(|j| rng.random_range(0.0..=hi[j])).collect())
+        .collect();
+    let mut best = TollSolution { tolls: vec![0.0; k], revenue: f64::NEG_INFINITY };
+
+    for _ in 0..cfg.generations {
+        let fits: Vec<f64> = pop
+            .iter()
+            .map(|t| p.revenue(t).unwrap_or(f64::NEG_INFINITY))
+            .collect();
+        for (t, &f) in pop.iter().zip(&fits) {
+            if f > best.revenue {
+                best = TollSolution { tolls: t.clone(), revenue: f };
+            }
+        }
+        let mut next = Vec::with_capacity(pop.len());
+        next.push(best.tolls.clone()); // elitism
+        while next.len() < pop.len() {
+            let i = tournament(&fits, 2, Direction::Maximize, &mut rng);
+            let j = tournament(&fits, 2, Direction::Maximize, &mut rng);
+            let (mut c1, mut c2) = if rng.random::<f64>() < cfg.crossover_prob {
+                sbx_crossover(&pop[i], &pop[j], &lo, &hi, &cfg.real_ops, &mut rng)
+            } else {
+                (pop[i].clone(), pop[j].clone())
+            };
+            polynomial_mutation(&mut c1, &lo, &hi, cfg.mutation_prob, &cfg.real_ops, &mut rng);
+            polynomial_mutation(&mut c2, &lo, &hi, cfg.mutation_prob, &cfg.real_ops, &mut rng);
+            next.push(c1);
+            if next.len() < pop.len() {
+                next.push(c2);
+            }
+        }
+        pop = next;
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+    use crate::problem::{highway_example, Commodity};
+
+    #[test]
+    fn grid_finds_the_indifference_toll() {
+        let p = highway_example();
+        let sol = solve_grid(&p, 1000).unwrap();
+        assert!((sol.revenue - 4.0).abs() < 0.02, "revenue {}", sol.revenue);
+        assert!((sol.tolls[0] - 4.0).abs() < 0.02);
+    }
+
+    #[test]
+    fn ea_matches_grid_on_highway() {
+        let p = highway_example();
+        let grid = solve_grid(&p, 1000).unwrap();
+        let ea = solve_ea(&p, &TollEaConfig::default(), 3);
+        assert!(
+            ea.revenue >= grid.revenue - 0.1,
+            "EA {} far below grid {}",
+            ea.revenue,
+            grid.revenue
+        );
+    }
+
+    #[test]
+    fn ea_is_deterministic() {
+        let p = highway_example();
+        let a = solve_ea(&p, &TollEaConfig::default(), 9);
+        let b = solve_ea(&p, &TollEaConfig::default(), 9);
+        assert_eq!(a, b);
+    }
+
+    /// Two tolled arcs in series followed by a free alternative: the
+    /// leader may split the margin across both tolls arbitrarily; total
+    /// collected must equal the margin.
+    fn two_toll_series() -> TollProblem {
+        // 0 -> 1 -> 2 (both tolled, base 1 each); free path 0 -> 3 -> 2 cost 8.
+        let arcs = vec![(0usize, 1usize), (1, 2), (0, 3), (3, 2)];
+        TollProblem {
+            graph: Graph::new(4, &arcs),
+            base_costs: vec![1.0, 1.0, 4.0, 4.0],
+            toll_arcs: vec![0, 1],
+            caps: vec![10.0, 10.0],
+            commodities: vec![Commodity { origin: 0, destination: 2, demand: 1.0 }],
+        }
+    }
+
+    #[test]
+    fn series_tolls_capture_the_full_margin() {
+        let p = two_toll_series();
+        // Margin = 8 - 2 = 6, split across two arcs.
+        let grid = solve_grid(&p, 60).unwrap();
+        assert!((grid.revenue - 6.0).abs() < 0.01, "revenue {}", grid.revenue);
+        let ea = solve_ea(&p, &TollEaConfig::default(), 5);
+        assert!(ea.revenue >= 5.8, "EA revenue {}", ea.revenue);
+    }
+
+    #[test]
+    fn revenue_never_exceeds_margin_bound() {
+        // Weak-duality-like sanity: revenue ≤ free-route cost − tolled
+        // base cost for the single-commodity case.
+        let p = two_toll_series();
+        for t0 in [0.0, 2.0, 3.0, 6.0] {
+            for t1 in [0.0, 2.0, 3.0, 6.0] {
+                let rev = p.revenue(&[t0, t1]).unwrap();
+                assert!(rev <= 6.0 + 1e-9, "revenue {rev} beats the margin");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "limited")]
+    fn grid_guard() {
+        let arcs: Vec<(usize, usize)> = vec![(0, 1); 7];
+        let p = TollProblem {
+            graph: Graph::new(2, &arcs),
+            base_costs: vec![1.0; 7],
+            toll_arcs: (0..7).collect(),
+            caps: vec![1.0; 7],
+            commodities: vec![],
+        };
+        let _ = solve_grid(&p, 2);
+    }
+}

@@ -1,0 +1,105 @@
+//! Property tests for the toll domain: revenue and follower-cost
+//! invariants on randomized networks.
+
+use bico_toll::{Commodity, Graph, TollProblem};
+use proptest::prelude::*;
+
+/// Build a layered random network that always connects node 0 to the
+/// last node: a chain 0 → 1 → … → n−1 plus random shortcuts.
+fn layered(
+    n: usize,
+    shortcut_seeds: &[(u8, u8, u8)],
+    toll_on_chain: bool,
+) -> TollProblem {
+    let mut arcs: Vec<(usize, usize)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+    let mut costs: Vec<f64> = (0..n - 1).map(|i| 1.0 + (i % 3) as f64).collect();
+    for &(a, b, c) in shortcut_seeds {
+        let u = a as usize % n;
+        let v = b as usize % n;
+        if u != v {
+            arcs.push((u, v));
+            costs.push(1.0 + (c % 10) as f64);
+        }
+    }
+    let toll_arcs: Vec<usize> = if toll_on_chain { vec![0, 1] } else { vec![arcs.len() - 1] };
+    let caps = vec![8.0; toll_arcs.len()];
+    TollProblem {
+        graph: Graph::new(n, &arcs),
+        base_costs: costs,
+        toll_arcs,
+        caps,
+        commodities: vec![Commodity { origin: 0, destination: n - 1, demand: 1.0 }],
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn revenue_is_bounded_by_collected_caps(
+        n in 3usize..12,
+        shortcuts in proptest::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 0..8),
+        t0 in 0.0f64..8.0,
+        t1 in 0.0f64..8.0,
+    ) {
+        let p = layered(n, &shortcuts, true);
+        let rev = p.revenue(&[t0, t1]).unwrap();
+        prop_assert!(rev >= 0.0);
+        prop_assert!(rev <= t0 + t1 + 1e-9, "collected {rev} exceeds set tolls {t0}+{t1}");
+    }
+
+    #[test]
+    fn zero_tolls_zero_revenue(
+        n in 3usize..12,
+        shortcuts in proptest::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 0..8),
+    ) {
+        let p = layered(n, &shortcuts, true);
+        prop_assert_eq!(p.revenue(&[0.0, 0.0]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn follower_cost_is_monotone_in_each_toll(
+        n in 3usize..12,
+        shortcuts in proptest::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 0..8),
+        lo in 0.0f64..4.0,
+        delta in 0.0f64..4.0,
+    ) {
+        let p = layered(n, &shortcuts, true);
+        let c_lo = p.follower_cost(&[lo, 1.0]).unwrap();
+        let c_hi = p.follower_cost(&[lo + delta, 1.0]).unwrap();
+        prop_assert!(c_hi >= c_lo - 1e-9, "raising a toll lowered follower cost");
+    }
+
+    #[test]
+    fn follower_cost_increase_is_at_most_the_toll_increase(
+        n in 3usize..12,
+        shortcuts in proptest::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 0..8),
+        delta in 0.0f64..6.0,
+    ) {
+        // 1-Lipschitz in each toll: the follower can always keep its old
+        // path, paying at most `delta` more.
+        let p = layered(n, &shortcuts, true);
+        let c0 = p.follower_cost(&[0.0, 0.0]).unwrap();
+        let c1 = p.follower_cost(&[delta, 0.0]).unwrap();
+        prop_assert!(c1 <= c0 + delta + 1e-9);
+    }
+
+    #[test]
+    fn optimistic_revenue_is_consistent_with_follower_cost(
+        n in 3usize..10,
+        shortcuts in proptest::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 0..6),
+        t0 in 0.0f64..8.0,
+        t1 in 0.0f64..8.0,
+    ) {
+        // The revenue path is one of the cheapest paths: collected tolls
+        // cannot exceed follower cost minus the cheapest possible base
+        // cost (which is ≥ the free-flow shortest path).
+        let p = layered(n, &shortcuts, true);
+        let tolls = [t0, t1];
+        let rev = p.revenue(&tolls).unwrap();
+        let tolled_cost = p.follower_cost(&tolls).unwrap();
+        let free_cost = p.follower_cost(&[0.0, 0.0]).unwrap();
+        prop_assert!(rev <= tolled_cost - free_cost + t0 + t1 + 1e-6);
+        prop_assert!(tolled_cost >= free_cost - 1e-9);
+    }
+}

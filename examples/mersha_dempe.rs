@@ -1,0 +1,60 @@
+//! The Mersha–Dempe linear toy (Program 3 / Fig. 1 of the paper):
+//! why an accurate lower-level forecast is everything in bi-level
+//! optimization.
+//!
+//! ```text
+//! cargo run --release --example mersha_dempe
+//! ```
+
+use bico::core::{program3, TieBreak};
+
+fn main() {
+    let p = program3();
+
+    println!("Program 3:  min F = -x - 2y   s.t. 2x-3y >= -12, x+y <= 14");
+    println!("            LL: min f = -y    s.t. -3x+y <= -3, 3x+y <= 30\n");
+
+    // 1. The rational reaction map.
+    println!("rational reactions (optimistic):");
+    for &x in &[1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 10.0] {
+        match p.rational_reaction(&[x], TieBreak::Optimistic) {
+            Some(r) => {
+                let ok = p.ul_feasible(&[x], &r.y, 1e-7);
+                println!(
+                    "  x = {x:>4.1} -> y = {:>5.2}   UL-feasible: {}   F = {:>7.2}",
+                    r.y[0],
+                    if ok { "yes" } else { "NO " },
+                    p.ul_objective(&[x], &r.y)
+                );
+            }
+            None => println!("  x = {x:>4.1} -> lower level infeasible"),
+        }
+    }
+
+    // 2. The trap the paper describes.
+    println!("\nThe trap at x = 6:");
+    println!(
+        "  a sloppy lower-level solver might answer y = 8 (feasible for the LL, \
+         and UL-feasible: {})",
+        p.ul_feasible(&[6.0], &[8.0], 1e-7)
+    );
+    println!(
+        "  promising the leader F = {:.1} ...",
+        p.ul_objective(&[6.0], &[8.0])
+    );
+    let r = p.rational_reaction(&[6.0], TieBreak::Optimistic).unwrap();
+    println!(
+        "  but the RATIONAL follower plays y = {:.1}, which violates the UL \
+         constraint 2x - 3y >= -12:",
+        r.y[0]
+    );
+    println!("  the leader ends up with no feasible solution at all.");
+
+    // 3. The discontinuous inducible region and the true optimum.
+    let (x, y, f) = p.solve_grid(0.0, 10.0, 4000, TieBreak::Optimistic).unwrap();
+    println!(
+        "\nInducible region: x in [1,3] u [8,10] (discontinuous!), optimum at \
+         x = {x:.2}, y = {:.2}, F = {f:.2}",
+        y[0]
+    );
+}

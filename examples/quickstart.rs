@@ -1,0 +1,60 @@
+//! Quickstart: price your cloud bundles against a rational customer.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Generates a small Bi-level Cloud Pricing instance, runs CARBON for a
+//! few thousand evaluations, and prints the best pricing found, the
+//! revenue it earns, the quality (%-gap) of the predicted customer
+//! reaction, and the evolved scoring heuristic as a formula.
+
+use bico::bcpop::{generate, GeneratorConfig};
+use bico::core::{Carbon, CarbonConfig};
+
+fn main() {
+    // A market of 60 bundles over 8 services; the CSP owns 10%.
+    let cfg = GeneratorConfig {
+        num_bundles: 60,
+        num_services: 8,
+        own_fraction: 0.1,
+        ..Default::default()
+    };
+    let instance = generate(&cfg, 2024);
+    println!(
+        "instance: {} bundles x {} services, CSP owns {} bundles, price cap {:.1}",
+        instance.num_bundles(),
+        instance.num_services(),
+        instance.num_own(),
+        instance.price_cap()
+    );
+
+    let carbon_cfg = CarbonConfig {
+        ul_pop_size: 30,
+        ll_pop_size: 30,
+        ul_archive_size: 30,
+        ll_archive_size: 30,
+        ul_evaluations: 3_000,
+        ll_evaluations: 3_000,
+        ..Default::default()
+    };
+    let result = Carbon::new(&instance, carbon_cfg).run(7);
+
+    println!("\nCARBON finished after {} generations", result.generations);
+    println!("  best revenue (UL objective): {:.2}", result.best_ul_value);
+    println!("  reaction quality (%-gap):    {:.2}%", result.best_gap);
+    println!(
+        "  best pricing: [{}]",
+        result
+            .best_pricing
+            .iter()
+            .map(|p| format!("{p:.1}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    println!("  evolved scoring heuristic:   {}", result.best_heuristic_infix);
+    println!(
+        "  budget used: {} UL evals, {} LL evals",
+        result.ul_evals_used, result.ll_evals_used
+    );
+}

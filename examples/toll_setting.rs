@@ -1,0 +1,71 @@
+//! Toll setting — the classic bi-level application the paper's related
+//! work opens with, on a small road network.
+//!
+//! ```text
+//! cargo run --release --example toll_setting
+//! ```
+//!
+//! Shows the leader's revenue curve (the follower's indifference cliff),
+//! then solves a two-toll network with both the exhaustive grid and the
+//! EA leader. Contrast with the BCPOP: here the lower level is a
+//! shortest-path problem, solved *exactly* per evaluation — the nested
+//! scheme CARBON escapes is perfectly fine when the follower is
+//! polynomial.
+
+use bico::toll::{
+    problem::highway_example, solve_ea, solve_grid, Commodity, Graph, TollEaConfig, TollProblem,
+};
+
+fn main() {
+    // 1. The one-toll highway: revenue climbs linearly with the toll
+    // until the follower defects to the free back road.
+    let p = highway_example();
+    println!("highway example: tolled arc (cost 2) vs free path (cost 6)");
+    println!("toll -> revenue:");
+    for i in 0..=10 {
+        let t = 6.0 * i as f64 / 10.0;
+        println!("  toll {t:>4.1} -> revenue {:>4.1}", p.revenue(&[t]).unwrap());
+    }
+    let sol = solve_grid(&p, 600).unwrap();
+    println!(
+        "optimal toll: {:.2} (revenue {:.2}) — the follower's indifference margin 6-2=4\n",
+        sol.tolls[0], sol.revenue
+    );
+
+    // 2. A two-toll corridor with two commodities.
+    let arcs = vec![
+        (0usize, 1usize), // tolled bridge A
+        (1, 4),           // tolled bridge B
+        (0, 2),
+        (2, 4), // free detour for commodity 1
+        (1, 3),
+        (3, 4), // free detour for the second half
+        (0, 4), // long free direct road
+    ];
+    let corridor = TollProblem {
+        graph: Graph::new(5, &arcs),
+        base_costs: vec![1.0, 1.0, 5.0, 5.0, 4.0, 4.0, 14.0],
+        toll_arcs: vec![0, 1],
+        caps: vec![12.0, 12.0],
+        commodities: vec![
+            Commodity { origin: 0, destination: 4, demand: 3.0 },
+            Commodity { origin: 1, destination: 4, demand: 1.0 },
+        ],
+    };
+    let grid = solve_grid(&corridor, 240).unwrap();
+    let ea = solve_ea(&corridor, &TollEaConfig::default(), 7);
+    println!("two-toll corridor, two commodities (demand 3 + 1):");
+    println!(
+        "  grid leader: tolls = [{:.2}, {:.2}], revenue = {:.2}",
+        grid.tolls[0], grid.tolls[1], grid.revenue
+    );
+    println!(
+        "  EA leader:   tolls = [{:.2}, {:.2}], revenue = {:.2}",
+        ea.tolls[0], ea.tolls[1], ea.revenue
+    );
+    println!(
+        "  follower cost at EA tolls: {:.2} (free-flow: {:.2})",
+        corridor.follower_cost(&ea.tolls).unwrap(),
+        corridor.follower_cost(&[0.0, 0.0]).unwrap()
+    );
+}

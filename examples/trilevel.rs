@@ -1,0 +1,45 @@
+//! Tri-level optimization — the paper's future-work direction, made
+//! concrete: three sequential decision makers, each anticipating the
+//! rational reactions of everyone below.
+//!
+//! ```text
+//! cargo run --release --example trilevel
+//! ```
+
+use bico::core::multilevel::{trilevel_example, TriRow};
+
+fn main() {
+    let p = trilevel_example();
+    println!("bottom:  min -z   s.t. z <= y, z <= 10 - 2y      (z* = min(y, 10-2y))");
+    println!("middle:  min -z   s.t. y <= x");
+    println!("top:     min -z + 0.01 x\n");
+
+    println!("reaction chain for a few top-level decisions:");
+    for &x in &[1.0, 2.0, 10.0 / 3.0, 5.0, 6.0] {
+        if let Some((y, z)) = p.middle_reaction(x, 2000) {
+            println!(
+                "  x = {x:>5.2}  ->  y = {y:>5.2}  ->  z = {z:>5.2}   F1 = {:>6.3}",
+                p.objectives[0].eval(x, y, z)
+            );
+        }
+    }
+
+    let sol = p.solve(2000).unwrap();
+    println!(
+        "\ntri-level optimum: x = {:.3}, y = {:.3}, z = {:.3}, F1 = {:.4}",
+        sol.x, sol.y, sol.z, sol.objective
+    );
+    println!("(analytic: x = y = z = 10/3 — every level meets at the reaction peak)\n");
+
+    // Now the top player faces an extra constraint excluding that peak —
+    // exactly the discontinuous-inducible-region effect of the bi-level
+    // toy, one level deeper.
+    let mut capped = p.clone();
+    capped.constraints[0].push(TriRow { ax: 1.0, ay: 1.0, az: 1.0, rhs: 6.0 });
+    let sol = capped.solve(2000).unwrap();
+    println!(
+        "with top-level cap x+y+z <= 6: x = {:.3}, y = {:.3}, z = {:.3}, F1 = {:.4}",
+        sol.x, sol.y, sol.z, sol.objective
+    );
+    println!("(the top level retreats: deeper levels' preferences are not his to keep)");
+}

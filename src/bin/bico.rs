@@ -1,0 +1,318 @@
+//! `bico` — command-line interface to the bi-level co-evolution library.
+//!
+//! ```text
+//! bico generate  --bundles 100 --services 10 --seed 42 [--tightness 0.25] [--out inst.bcpop]
+//! bico run       carbon|cobra|nested [--instance F | --class 100x10] [--seed S]
+//!                [--evals N] [--pop P] [--heuristic-out h.sexpr]
+//! bico compare   [--class 100x10] [--runs R] [--seed S] [--evals N] [--pop P]
+//! bico eval      --sexpr "(+ c_j (% c_j q_res))" [--instance F | --class 100x10]
+//! bico linear    # the Mersha–Dempe toy: grid scan + exact KKT solve
+//! ```
+
+use bico::bcpop::{
+    bcpop_primitives, generate, greedy_cover, read_instance, write_instance, BcpopInstance,
+    CostPerCoverageScorer, GeneratorConfig, GpScorer, RelaxationSolver,
+};
+use bico::cobra::{Cobra, CobraConfig, NestedConfig, NestedSequential};
+use bico::core::{program3, solve_kkt, Carbon, CarbonConfig, TieBreak};
+use bico::ea::hypothesis::mann_whitney_u;
+use bico::gp::{parse_sexpr, to_sexpr};
+use std::process::exit;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        usage();
+        exit(2);
+    };
+    let rest = &args[1..];
+    match cmd.as_str() {
+        "generate" => cmd_generate(rest),
+        "run" => cmd_run(rest),
+        "compare" => cmd_compare(rest),
+        "eval" => cmd_eval(rest),
+        "linear" => cmd_linear(),
+        "help" | "--help" | "-h" => usage(),
+        other => {
+            eprintln!("unknown command {other:?}");
+            usage();
+            exit(2);
+        }
+    }
+}
+
+fn usage() {
+    eprintln!(
+        "bico — bi-level co-evolution (CARBON / COBRA / nested) on the cloud-pricing problem
+
+USAGE:
+  bico generate --bundles N --services M [--seed S] [--tightness T] [--own F] [--out FILE]
+  bico run <carbon|cobra|nested> [--instance FILE | --class NxM] [--seed S]
+           [--evals N] [--pop P] [--heuristic-out FILE]
+  bico compare [--class NxM] [--runs R] [--seed S] [--evals N] [--pop P]
+  bico eval --sexpr EXPR [--instance FILE | --class NxM] [--seed S]
+  bico linear"
+    );
+}
+
+/// Pull `--key value` from an argument list; returns the value.
+fn opt(args: &[String], key: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn opt_parse<T: std::str::FromStr>(args: &[String], key: &str, default: T) -> T {
+    opt(args, key).and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn class_of(args: &[String]) -> (usize, usize) {
+    let spec = opt(args, "--class").unwrap_or_else(|| "100x10".into());
+    let mut parts = spec.split(['x', 'X']);
+    let n = parts.next().and_then(|v| v.parse().ok()).unwrap_or(100);
+    let m = parts.next().and_then(|v| v.parse().ok()).unwrap_or(10);
+    (n, m)
+}
+
+fn load_instance(args: &[String]) -> BcpopInstance {
+    if let Some(path) = opt(args, "--instance") {
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            exit(1);
+        });
+        read_instance(&text).unwrap_or_else(|e| {
+            eprintln!("cannot parse {path}: {e}");
+            exit(1);
+        })
+    } else {
+        let (n, m) = class_of(args);
+        let seed = opt_parse(args, "--seed", 42u64);
+        generate(&GeneratorConfig::paper_class(n, m), seed)
+    }
+}
+
+fn cmd_generate(args: &[String]) {
+    let cfg = GeneratorConfig {
+        num_bundles: opt_parse(args, "--bundles", 100usize),
+        num_services: opt_parse(args, "--services", 10usize),
+        tightness: opt_parse(args, "--tightness", 0.25f64),
+        own_fraction: opt_parse(args, "--own", 0.1f64),
+        ..Default::default()
+    };
+    let seed = opt_parse(args, "--seed", 42u64);
+    let inst = generate(&cfg, seed);
+    let text = write_instance(&inst);
+    match opt(args, "--out") {
+        Some(path) => {
+            std::fs::write(&path, text).unwrap_or_else(|e| {
+                eprintln!("cannot write {path}: {e}");
+                exit(1);
+            });
+            eprintln!(
+                "wrote {path}: {} bundles x {} services, own block {}",
+                inst.num_bundles(),
+                inst.num_services(),
+                inst.num_own()
+            );
+        }
+        None => print!("{text}"),
+    }
+}
+
+fn cmd_run(args: &[String]) {
+    let Some(algo) = args.first() else {
+        eprintln!("run: missing algorithm (carbon|cobra|nested)");
+        exit(2);
+    };
+    let inst = load_instance(args);
+    let seed = opt_parse(args, "--seed", 1u64);
+    let evals = opt_parse(args, "--evals", 4_000u64);
+    let pop = opt_parse(args, "--pop", 24usize);
+    eprintln!(
+        "{algo} on {}x{} (own {}), budget {evals}+{evals}, pop {pop}, seed {seed}",
+        inst.num_bundles(),
+        inst.num_services(),
+        inst.num_own()
+    );
+
+    match algo.as_str() {
+        "carbon" => {
+            let cfg = CarbonConfig {
+                ul_pop_size: pop,
+                ll_pop_size: pop,
+                ul_archive_size: pop,
+                ll_archive_size: pop,
+                ul_evaluations: evals,
+                ll_evaluations: evals,
+                ..Default::default()
+            };
+            let solver = Carbon::new(&inst, cfg);
+            let r = solver.run(seed);
+            println!("generations      {}", r.generations);
+            println!("best UL revenue  {:.2}", r.best_ul_value);
+            println!("best %-gap       {:.3}", r.best_gap);
+            println!("champion         {}", r.best_heuristic_infix);
+            if let Some(path) = opt(args, "--heuristic-out") {
+                let text = to_sexpr(&r.best_heuristic, solver.primitives());
+                std::fs::write(&path, &text).unwrap_or_else(|e| {
+                    eprintln!("cannot write {path}: {e}");
+                    exit(1);
+                });
+                eprintln!("saved champion heuristic to {path}");
+            }
+        }
+        "cobra" => {
+            let cfg = CobraConfig {
+                ul_pop_size: pop,
+                ll_pop_size: pop,
+                ul_archive_size: pop,
+                ll_archive_size: pop,
+                ul_evaluations: evals,
+                ll_evaluations: evals,
+                ..Default::default()
+            };
+            let r = Cobra::new(&inst, cfg).run(seed);
+            println!("cycles           {}", r.cycles);
+            println!("best UL revenue  {:.2}", r.best_ul_value);
+            println!("best %-gap       {:.3}", r.best_gap);
+        }
+        "nested" => {
+            let cfg = NestedConfig {
+                ul_pop_size: pop.min(16),
+                ul_evaluations: (evals / 50).max(10),
+                ll_pop_size: pop.min(16),
+                ll_gens_per_eval: 8,
+                ll_evaluations: evals,
+                ..Default::default()
+            };
+            let r = NestedSequential::new(&inst, cfg).run(seed);
+            println!("UL evals         {}", r.ul_evals_used);
+            println!("LL evals         {}", r.ll_evals_used);
+            println!("best UL revenue  {:.2}", r.best_ul_value);
+            println!("best %-gap       {:.3}", r.best_gap);
+        }
+        other => {
+            eprintln!("unknown algorithm {other:?} (carbon|cobra|nested)");
+            exit(2);
+        }
+    }
+}
+
+fn cmd_compare(args: &[String]) {
+    let inst = load_instance(args);
+    let runs = opt_parse(args, "--runs", 5usize);
+    let seed = opt_parse(args, "--seed", 1u64);
+    let evals = opt_parse(args, "--evals", 4_000u64);
+    let pop = opt_parse(args, "--pop", 24usize);
+    eprintln!(
+        "comparing CARBON vs COBRA on {}x{}: {runs} runs, budget {evals}+{evals}, pop {pop}",
+        inst.num_bundles(),
+        inst.num_services()
+    );
+
+    let mut carbon_gaps = Vec::new();
+    let mut cobra_gaps = Vec::new();
+    let mut carbon_uls = Vec::new();
+    let mut cobra_uls = Vec::new();
+    for run in 0..runs as u64 {
+        let c = Carbon::new(
+            &inst,
+            CarbonConfig {
+                ul_pop_size: pop,
+                ll_pop_size: pop,
+                ul_archive_size: pop,
+                ll_archive_size: pop,
+                ul_evaluations: evals,
+                ll_evaluations: evals,
+                ..Default::default()
+            },
+        )
+        .run(seed.wrapping_add(run));
+        carbon_gaps.push(c.best_gap);
+        carbon_uls.push(c.best_ul_value);
+        let b = Cobra::new(
+            &inst,
+            CobraConfig {
+                ul_pop_size: pop,
+                ll_pop_size: pop,
+                ul_archive_size: pop,
+                ll_archive_size: pop,
+                ul_evaluations: evals,
+                ll_evaluations: evals,
+                ..Default::default()
+            },
+        )
+        .run(seed.wrapping_add(run));
+        cobra_gaps.push(b.best_gap);
+        cobra_uls.push(b.best_ul_value);
+    }
+
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    println!("metric        | CARBON      | COBRA");
+    println!("--------------|-------------|------------");
+    println!(
+        "mean %-gap    | {:>11.3} | {:>10.3}",
+        mean(&carbon_gaps),
+        mean(&cobra_gaps)
+    );
+    println!(
+        "mean UL value | {:>11.2} | {:>10.2}",
+        mean(&carbon_uls),
+        mean(&cobra_uls)
+    );
+    if let Some(t) = mann_whitney_u(&carbon_gaps, &cobra_gaps) {
+        println!(
+            "rank-sum test on gaps: U = {:.1}, p = {:.2e} ({})",
+            t.u,
+            t.p_two_sided,
+            if t.p_two_sided < 0.05 { "significant" } else { "not significant" }
+        );
+    }
+}
+
+fn cmd_eval(args: &[String]) {
+    let Some(text) = opt(args, "--sexpr") else {
+        eprintln!("eval: missing --sexpr");
+        exit(2);
+    };
+    let ps = bcpop_primitives();
+    let expr = parse_sexpr(&text, &ps).unwrap_or_else(|e| {
+        eprintln!("cannot parse heuristic: {e}");
+        exit(1);
+    });
+    let inst = load_instance(args);
+    let prices = vec![inst.price_cap() / 4.0; inst.num_own()];
+    let costs = inst.costs_for(&prices);
+    let relax = RelaxationSolver::new(&inst).solve(&costs).unwrap_or_else(|| {
+        eprintln!("relaxation failed");
+        exit(1);
+    });
+    let mut scorer = GpScorer::new(&expr, &ps);
+    let out = greedy_cover(&inst, &costs, &mut scorer, Some(&relax));
+    let base = greedy_cover(&inst, &costs, &mut CostPerCoverageScorer, Some(&relax));
+    println!("heuristic          {}", to_sexpr(&expr, &ps));
+    println!("LP bound           {:.2}", relax.lower_bound);
+    println!(
+        "heuristic cover    {:.2}  (%-gap {:.2})",
+        out.cost,
+        100.0 * (out.cost - relax.lower_bound) / relax.lower_bound
+    );
+    println!(
+        "cost/coverage ref  {:.2}  (%-gap {:.2})",
+        base.cost,
+        100.0 * (base.cost - relax.lower_bound) / relax.lower_bound
+    );
+}
+
+fn cmd_linear() {
+    let p = program3();
+    println!("Program 3 (Mersha–Dempe):");
+    let (x, y, f) = p.solve_grid(0.0, 10.0, 4000, TieBreak::Optimistic).unwrap();
+    println!("  grid scan:  x = {x:.3}, y = {:.3}, F = {f:.3}", y[0]);
+    let kkt = solve_kkt(&p).unwrap();
+    println!(
+        "  exact KKT:  x = {:.3}, y = {:.3}, F = {:.3}  ({} patterns, {} feasible)",
+        kkt.x[0], kkt.y[0], kkt.objective, kkt.patterns_solved, kkt.patterns_feasible
+    );
+}

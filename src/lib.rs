@@ -1,0 +1,14 @@
+#![warn(missing_docs)]
+
+//! # bico — bi-level co-evolution in Rust
+//!
+//! Facade crate re-exporting the whole workspace. See the README for a
+//! tour and `DESIGN.md` for the paper-to-module map.
+
+pub use bico_bcpop as bcpop;
+pub use bico_cobra as cobra;
+pub use bico_core as core;
+pub use bico_ea as ea;
+pub use bico_gp as gp;
+pub use bico_lp as lp;
+pub use bico_toll as toll;

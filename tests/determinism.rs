@@ -1,0 +1,62 @@
+//! Determinism contract: the same seed yields bit-identical results
+//! regardless of the rayon thread count (per-item seed streams, pure
+//! fitness functions, order-preserving parallel collection).
+
+use bico::bcpop::{generate, GeneratorConfig};
+use bico::cobra::{Cobra, CobraConfig};
+use bico::core::{Carbon, CarbonConfig};
+
+fn with_threads<T: Send>(n: usize, f: impl FnOnce() -> T + Send) -> T {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(n)
+        .build()
+        .expect("pool")
+        .install(f)
+}
+
+#[test]
+fn carbon_is_thread_count_invariant() {
+    let inst = generate(
+        &GeneratorConfig { num_bundles: 40, num_services: 5, ..Default::default() },
+        77,
+    );
+    let cfg = CarbonConfig {
+        ul_pop_size: 12,
+        ll_pop_size: 12,
+        ul_archive_size: 12,
+        ll_archive_size: 12,
+        ul_evaluations: 240,
+        ll_evaluations: 240,
+        ..Default::default()
+    };
+    let r1 = with_threads(1, || Carbon::new(&inst, cfg.clone()).run(9));
+    let r4 = with_threads(4, || Carbon::new(&inst, cfg.clone()).run(9));
+    assert_eq!(r1.best_pricing, r4.best_pricing);
+    assert_eq!(r1.best_ul_value, r4.best_ul_value);
+    assert_eq!(r1.best_gap, r4.best_gap);
+    assert_eq!(r1.best_heuristic, r4.best_heuristic);
+    assert_eq!(r1.trace.points(), r4.trace.points());
+}
+
+#[test]
+fn cobra_is_thread_count_invariant() {
+    let inst = generate(
+        &GeneratorConfig { num_bundles: 40, num_services: 5, ..Default::default() },
+        78,
+    );
+    let cfg = CobraConfig {
+        ul_pop_size: 12,
+        ll_pop_size: 12,
+        ul_archive_size: 12,
+        ll_archive_size: 12,
+        ul_evaluations: 240,
+        ll_evaluations: 240,
+        improvement_gens: 3,
+        ..Default::default()
+    };
+    let r1 = with_threads(1, || Cobra::new(&inst, cfg.clone()).run(9));
+    let r4 = with_threads(4, || Cobra::new(&inst, cfg.clone()).run(9));
+    assert_eq!(r1.best_pricing, r4.best_pricing);
+    assert_eq!(r1.best_gap, r4.best_gap);
+    assert_eq!(r1.trace.points(), r4.trace.points());
+}

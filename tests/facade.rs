@@ -1,0 +1,68 @@
+//! Facade smoke test: every crate is reachable through `bico::*` and the
+//! cross-crate types compose (the exact imports the README advertises).
+
+use bico::bcpop::{generate, GeneratorConfig};
+use bico::cobra::{Codba, CodbaConfig};
+use bico::core::{solve_kkt, trilevel_example, CarbonWeights};
+use bico::ea::hypothesis::mann_whitney_u;
+use bico::gp::{parse_sexpr, to_sexpr};
+use bico::lp::{to_lp_format, LpProblem, Relation};
+use bico::toll::problem::highway_example;
+
+#[test]
+fn every_subsystem_is_reachable_and_composes() {
+    // lp
+    let mut p = LpProblem::minimize(2);
+    p.set_objective(&[1.0, 2.0]);
+    p.add_constraint_dense(&[1.0, 1.0], Relation::Ge, 3.0);
+    let sol = p.solve().unwrap();
+    assert!(sol.is_optimal());
+    assert!(to_lp_format(&p).contains("Minimize"));
+
+    // gp
+    let ps = bico::bcpop::bcpop_primitives();
+    let e = parse_sexpr("(% c_j q_res)", &ps).unwrap();
+    assert_eq!(to_sexpr(&e, &ps), "(% c_j q_res)");
+
+    // ea
+    let t = mann_whitney_u(&[1.0, 2.0, 3.0], &[7.0, 8.0, 9.0]).unwrap();
+    assert!(t.p_two_sided < 0.2);
+
+    // bcpop + core (linear variant keeps this test fast)
+    let inst = generate(
+        &GeneratorConfig { num_bundles: 25, num_services: 3, ..Default::default() },
+        99,
+    );
+    let mut cfg = bico::core::CarbonConfig::quick();
+    cfg.ul_pop_size = 8;
+    cfg.ll_pop_size = 8;
+    cfg.ul_evaluations = 80;
+    cfg.ll_evaluations = 80;
+    let r = CarbonWeights::new(&inst, cfg).run(1);
+    assert!(r.best_gap.is_finite());
+
+    // cobra (CODBA flavor)
+    let r = Codba::new(
+        &inst,
+        CodbaConfig {
+            ul_pop_size: 4,
+            ul_evaluations: 8,
+            sub_pop_size: 6,
+            sub_max_gens: 4,
+            ll_evaluations: 5_000,
+            ..Default::default()
+        },
+    )
+    .run(1);
+    assert!(r.ul_evals_used <= 8);
+
+    // kkt + multilevel
+    let kkt = solve_kkt(&bico::core::program3()).unwrap();
+    assert!((kkt.objective + 20.0).abs() < 1e-6);
+    let tri = trilevel_example().solve(400).unwrap();
+    assert!((tri.z - 10.0 / 3.0).abs() < 0.05);
+
+    // toll
+    let toll = highway_example();
+    assert_eq!(toll.revenue(&[4.0]).unwrap(), 4.0);
+}

@@ -1,0 +1,109 @@
+//! The paper's Eq. 2–3 argument, verified end to end:
+//!
+//! better lower-level solutions (smaller gap) mean a *tighter* implied
+//! constraint `f(x, y) ≤ H(x)` at the upper level, i.e.
+//! `S_opt ⊂ S_carbon ⊂ S_cobra`, so COBRA's larger revenue is an
+//! overestimation artifact, not better pricing.
+
+use bico::bcpop::{
+    evaluate_pair, exact_ll_optimum, generate, greedy_cover, CostPerCoverageScorer,
+    GeneratorConfig, RelaxationSolver,
+};
+use bico::cobra::{Cobra, CobraConfig};
+use bico::core::{Carbon, CarbonConfig};
+
+#[test]
+fn gap_ordering_carbon_below_cobra() {
+    // Mean best-gap over 3 seeds: CARBON ≤ COBRA (Table III's shape).
+    let inst = generate(
+        &GeneratorConfig { num_bundles: 60, num_services: 8, ..Default::default() },
+        2024,
+    );
+    let mut carbon_sum = 0.0;
+    let mut cobra_sum = 0.0;
+    for seed in 0..3u64 {
+        carbon_sum += Carbon::new(
+            &inst,
+            CarbonConfig {
+                ul_pop_size: 16,
+                ll_pop_size: 16,
+                ul_archive_size: 16,
+                ll_archive_size: 16,
+                ul_evaluations: 960,
+                ll_evaluations: 960,
+                ..Default::default()
+            },
+        )
+        .run(seed)
+        .best_gap;
+        cobra_sum += Cobra::new(
+            &inst,
+            CobraConfig {
+                ul_pop_size: 16,
+                ll_pop_size: 16,
+                ul_archive_size: 16,
+                ll_archive_size: 16,
+                ul_evaluations: 960,
+                ll_evaluations: 960,
+                ..Default::default()
+            },
+        )
+        .run(seed)
+        .best_gap;
+    }
+    assert!(
+        carbon_sum < cobra_sum,
+        "mean CARBON gap {} must be below mean COBRA gap {}",
+        carbon_sum / 3.0,
+        cobra_sum / 3.0
+    );
+}
+
+#[test]
+fn sandwich_w_le_heuristic_on_small_instance() {
+    // On an exactly solvable instance: LB(x) ≤ w(x) ≤ A(x) for any
+    // heuristic A — the inequality chain Eq. 3 builds on.
+    let inst = generate(
+        &GeneratorConfig { num_bundles: 16, num_services: 4, ..Default::default() },
+        3,
+    );
+    let solver = RelaxationSolver::new(&inst);
+    for pct in [0.1, 0.5, 0.9] {
+        let prices = vec![inst.price_cap() * pct; inst.num_own()];
+        let costs = inst.costs_for(&prices);
+        let relax = solver.solve(&costs).unwrap();
+        let (w, _) = exact_ll_optimum(&inst, &costs).unwrap();
+        let out = greedy_cover(&inst, &costs, &mut CostPerCoverageScorer, Some(&relax));
+        assert!(relax.lower_bound <= w + 1e-6);
+        assert!(w <= out.cost + 1e-6);
+        // And the implied evaluate_pair gap is consistent and nonnegative.
+        let ev = evaluate_pair(&inst, &prices, &out.chosen, relax.lower_bound);
+        assert!(ev.gap >= -1e-9);
+    }
+}
+
+#[test]
+fn looser_reaction_never_shrinks_ul_estimate() {
+    // Directly exercise S_opt ⊂ S_H: for the *same* pricing, replacing a
+    // rational reaction by a worse (more expensive) one can only change
+    // the leader's *estimate* — the rational revenue is what the leader
+    // actually gets. Verify that the exact reaction's revenue is what
+    // evaluate_pair reports, and that a strictly worse reaction is
+    // flagged by a strictly larger gap.
+    let inst = generate(
+        &GeneratorConfig { num_bundles: 14, num_services: 3, ..Default::default() },
+        8,
+    );
+    let prices = vec![inst.price_cap() * 0.3; inst.num_own()];
+    let costs = inst.costs_for(&prices);
+    let relax = RelaxationSolver::new(&inst).solve(&costs).unwrap();
+    let (_, rational) = exact_ll_optimum(&inst, &costs).unwrap();
+    let ev_rational = evaluate_pair(&inst, &prices, &rational, relax.lower_bound);
+
+    // Degrade the reaction: buy everything.
+    let all = vec![true; inst.num_bundles()];
+    let ev_loose = evaluate_pair(&inst, &prices, &all, relax.lower_bound);
+    assert!(ev_loose.gap > ev_rational.gap);
+    assert!(ev_loose.ul_value >= ev_rational.ul_value,
+        "buying everything includes all own bundles: the overestimation direction");
+}
