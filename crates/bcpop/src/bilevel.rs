@@ -9,12 +9,7 @@ use crate::relaxation::gap_percent;
 pub fn ul_revenue(inst: &BcpopInstance, prices: &[f64], chosen: &[bool]) -> f64 {
     debug_assert_eq!(prices.len(), inst.num_own());
     debug_assert_eq!(chosen.len(), inst.num_bundles());
-    prices
-        .iter()
-        .zip(chosen.iter())
-        .filter(|(_, &sel)| sel)
-        .map(|(&p, _)| p)
-        .sum()
+    prices.iter().zip(chosen.iter()).filter(|(_, &sel)| sel).map(|(&p, _)| p).sum()
 }
 
 /// Lower-level total cost `f = Σ_j c_j x_j` over the whole market.

@@ -22,10 +22,7 @@ pub const EXACT_LIMIT: usize = 24;
 #[allow(clippy::needless_range_loop)] // residual/suffix arrays share indices
 pub fn exact_ll_optimum(inst: &BcpopInstance, costs: &[f64]) -> Option<(f64, Vec<bool>)> {
     let m = inst.num_bundles();
-    assert!(
-        m <= EXACT_LIMIT,
-        "exact solver limited to {EXACT_LIMIT} bundles (got {m})"
-    );
+    assert!(m <= EXACT_LIMIT, "exact solver limited to {EXACT_LIMIT} bundles (got {m})");
     let n = inst.num_services();
     let mut best_cost = f64::INFINITY;
     let mut best_sel: Option<Vec<bool>> = None;
@@ -127,11 +124,7 @@ mod tests {
 
     #[test]
     fn sandwich_lp_le_exact_le_greedy() {
-        let cfg = GeneratorConfig {
-            num_bundles: 14,
-            num_services: 4,
-            ..Default::default()
-        };
+        let cfg = GeneratorConfig { num_bundles: 14, num_services: 4, ..Default::default() };
         for seed in 0..8 {
             let inst = generate(&cfg, seed);
             let prices = vec![20.0; inst.num_own()];

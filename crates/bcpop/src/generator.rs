@@ -102,9 +102,10 @@ pub fn generate(cfg: &GeneratorConfig, seed: u64) -> BcpopInstance {
 
     // Costs correlated with total coverage plus noise — the classic
     // "correlated" MKP profit scheme, reused as bundle cost.
-    let mean_cov: f64 =
-        (0..m).map(|j| q[j * n..(j + 1) * n].iter().map(|&v| v as f64).sum::<f64>()).sum::<f64>()
-            / m as f64;
+    let mean_cov: f64 = (0..m)
+        .map(|j| q[j * n..(j + 1) * n].iter().map(|&v| v as f64).sum::<f64>())
+        .sum::<f64>()
+        / m as f64;
     let mut costs = vec![0.0f64; m];
     for (j, c) in costs.iter_mut().enumerate() {
         let cov: f64 = q[j * n..(j + 1) * n].iter().map(|&v| v as f64).sum();
@@ -115,11 +116,7 @@ pub fn generate(cfg: &GeneratorConfig, seed: u64) -> BcpopInstance {
     // The CSP may price up to twice the most expensive competitor bundle:
     // generous enough to price itself out of the market (the interesting
     // upper edge of the decision space).
-    let price_cap = costs[own..]
-        .iter()
-        .fold(0.0f64, |a, &c| a.max(c))
-        .max(1.0)
-        * 2.0;
+    let price_cap = costs[own..].iter().fold(0.0f64, |a, &c| a.max(c)).max(1.0) * 2.0;
 
     BcpopInstance::new(n, m, own, q, b, costs, price_cap)
         .expect("generator must produce valid instances")

@@ -109,12 +109,10 @@ fn eliminate_redundancy(inst: &BcpopInstance, costs: &[f64], chosen: &mut [bool]
             .sum();
         slack[k] = covered - inst.requirement(k) as i64;
     }
-    let mut selected: Vec<usize> =
-        (0..inst.num_bundles()).filter(|&j| chosen[j]).collect();
+    let mut selected: Vec<usize> = (0..inst.num_bundles()).filter(|&j| chosen[j]).collect();
     selected.sort_by(|&a, &b| costs[b].total_cmp(&costs[a])); // expensive first
     for j in selected {
-        let removable =
-            (0..n).all(|k| slack[k] >= inst.coverage(j, k) as i64);
+        let removable = (0..n).all(|k| slack[k] >= inst.coverage(j, k) as i64);
         if removable {
             chosen[j] = false;
             for k in 0..n {

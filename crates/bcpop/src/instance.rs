@@ -107,10 +107,7 @@ impl BcpopInstance {
         }
         let total_coverage = (0..num_bundles)
             .map(|j| {
-                q[j * num_services..(j + 1) * num_services]
-                    .iter()
-                    .map(|&v| v as u64)
-                    .sum()
+                q[j * num_services..(j + 1) * num_services].iter().map(|&v| v as u64).sum()
             })
             .collect();
         let inst = BcpopInstance {
@@ -354,17 +351,12 @@ mod tests {
 
     #[test]
     fn rejects_uncoverable_service() {
-        let err = BcpopInstance::new(
-            1,
-            2,
-            1,
-            vec![1, 1],
-            vec![5],
-            vec![0.0, 1.0],
-            10.0,
-        )
-        .unwrap_err();
-        assert!(matches!(err, InstanceError::Uncoverable { service: 0, available: 2, required: 5 }));
+        let err =
+            BcpopInstance::new(1, 2, 1, vec![1, 1], vec![5], vec![0.0, 1.0], 10.0).unwrap_err();
+        assert!(matches!(
+            err,
+            InstanceError::Uncoverable { service: 0, available: 2, required: 5 }
+        ));
     }
 
     #[test]
@@ -381,8 +373,8 @@ mod tests {
 
     #[test]
     fn rejects_negative_competitor_cost() {
-        let err =
-            BcpopInstance::new(1, 2, 1, vec![2, 2], vec![1], vec![0.0, -3.0], 10.0).unwrap_err();
+        let err = BcpopInstance::new(1, 2, 1, vec![2, 2], vec![1], vec![0.0, -3.0], 10.0)
+            .unwrap_err();
         assert!(matches!(err, InstanceError::NegativeCost { bundle: 1, .. }));
     }
 

@@ -82,9 +82,7 @@ pub fn write_instance(inst: &BcpopInstance) -> String {
 /// Parse the text format back into a validated instance.
 pub fn read_instance(text: &str) -> Result<BcpopInstance, IoError> {
     let mut lines = text.lines().enumerate().filter(|(_, l)| !l.trim().is_empty());
-    let (_, header) = lines
-        .next()
-        .ok_or_else(|| IoError::BadHeader("<empty>".into()))?;
+    let (_, header) = lines.next().ok_or_else(|| IoError::BadHeader("<empty>".into()))?;
     if header.trim() != "bcpop 1" {
         return Err(IoError::BadHeader(header.trim().to_string()));
     }
@@ -93,10 +91,8 @@ pub fn read_instance(text: &str) -> Result<BcpopInstance, IoError> {
         item: Option<(usize, &'a str)>,
         key: &str,
     ) -> Result<(usize, Vec<&'a str>), IoError> {
-        let (lineno, line) = item.ok_or(IoError::BadField {
-            line: 0,
-            detail: format!("missing field {key:?}"),
-        })?;
+        let (lineno, line) = item
+            .ok_or(IoError::BadField { line: 0, detail: format!("missing field {key:?}") })?;
         let mut parts = line.split_whitespace();
         let got = parts.next().unwrap_or("");
         if got != key {
@@ -125,7 +121,10 @@ pub fn read_instance(text: &str) -> Result<BcpopInstance, IoError> {
 
     let (l, v) = field(lines.next(), "b")?;
     if v.len() != n {
-        return Err(IoError::BadField { line: l, detail: format!("expected {n} requirements") });
+        return Err(IoError::BadField {
+            line: l,
+            detail: format!("expected {n} requirements"),
+        });
     }
     let b: Vec<u32> = v
         .iter()
@@ -147,7 +146,10 @@ pub fn read_instance(text: &str) -> Result<BcpopInstance, IoError> {
     for _ in 0..m {
         let (l, v) = field(lines.next(), "q")?;
         if v.len() != n {
-            return Err(IoError::BadField { line: l, detail: format!("expected {n} coverages") });
+            return Err(IoError::BadField {
+                line: l,
+                detail: format!("expected {n} coverages"),
+            });
         }
         for s in v {
             q.push(
@@ -196,7 +198,10 @@ mod tests {
 
     #[test]
     fn rejects_truncated_matrix() {
-        let inst = generate(&GeneratorConfig { num_bundles: 4, num_services: 2, ..Default::default() }, 1);
+        let inst = generate(
+            &GeneratorConfig { num_bundles: 4, num_services: 2, ..Default::default() },
+            1,
+        );
         let text = write_instance(&inst);
         let truncated: String = text.lines().take(8).collect::<Vec<_>>().join("\n");
         assert!(read_instance(&truncated).is_err());

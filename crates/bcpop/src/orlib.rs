@@ -227,7 +227,7 @@ mod tests {
         assert_eq!(inst.num_bundles(), 3);
         assert_eq!(inst.num_services(), 2);
         assert_eq!(inst.num_own(), 2); // ceil(0.34 * 3)
-        // weights row 0 = [2,3,1] → coverage of service 0 per bundle
+                                       // weights row 0 = [2,3,1] → coverage of service 0 per bundle
         assert_eq!(inst.coverage(0, 0), 2);
         assert_eq!(inst.coverage(1, 0), 3);
         assert_eq!(inst.coverage(2, 0), 1);
@@ -235,7 +235,7 @@ mod tests {
         assert_eq!(inst.requirement(0), 5);
         assert_eq!(inst.requirement(1), 6);
         // All-ones must be feasible (non-empty search space guarantee).
-        assert!(inst.is_covering(&vec![true; 3]));
+        assert!(inst.is_covering(&[true; 3]));
     }
 
     #[test]
@@ -251,7 +251,7 @@ mod tests {
         };
         let inst = mkp.into_covering(0.5).unwrap();
         assert_eq!(inst.requirement(0), 6);
-        assert!(inst.is_covering(&vec![true; 2]));
+        assert!(inst.is_covering(&[true; 2]));
     }
 
     #[test]

@@ -20,6 +20,9 @@ pub struct Relaxation {
     pub duals: Vec<f64>,
     /// Relaxed primal `x̄_j ∈ [0, 1]` (one per bundle).
     pub xbar: Vec<f64>,
+    /// Simplex pivots spent on this solve (both phases) — observability
+    /// only; carries no information about the optimum.
+    pub pivots: u64,
 }
 
 /// Reusable relaxation solver: the constraint structure of an instance
@@ -74,7 +77,12 @@ impl RelaxationSolver {
         if sol.status != LpStatus::Optimal {
             return None;
         }
-        Some(Relaxation { lower_bound: sol.objective, duals: sol.duals, xbar: sol.x })
+        Some(Relaxation {
+            lower_bound: sol.objective,
+            duals: sol.duals,
+            xbar: sol.x,
+            pivots: sol.iterations as u64,
+        })
     }
 }
 
@@ -159,6 +167,14 @@ mod tests {
         assert!(g.is_finite());
         assert!(g > 0.0);
         assert_eq!(gap_percent(0.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn relaxation_reports_pivots() {
+        let inst = tiny();
+        let solver = RelaxationSolver::new(&inst);
+        let relax = solver.solve(&inst.costs_for(&[1.5, 2.5])).unwrap();
+        assert!(relax.pivots > 0, "a non-trivial covering LP needs at least one pivot");
     }
 
     #[test]

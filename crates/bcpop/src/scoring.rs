@@ -91,6 +91,12 @@ impl<'a> GpScorer<'a> {
     pub fn new(expr: &'a Expr, ps: &'a PrimitiveSet) -> Self {
         GpScorer { expr, ps, evaluator: Evaluator::new() }
     }
+
+    /// Tree nodes visited by this scorer so far (observability counter;
+    /// see [`Evaluator::nodes_evaluated`]).
+    pub fn nodes_evaluated(&self) -> u64 {
+        self.evaluator.nodes_evaluated()
+    }
 }
 
 impl Scorer for GpScorer<'_> {
@@ -155,11 +161,7 @@ impl WeightScorer {
 
 impl Scorer for WeightScorer {
     fn score(&mut self, f: &BundleFeatures) -> f64 {
-        self.weights
-            .iter()
-            .zip(f.as_array())
-            .map(|(w, v)| w * v)
-            .sum()
+        self.weights.iter().zip(f.as_array()).map(|(w, v)| w * v).sum()
     }
 }
 
@@ -206,10 +208,7 @@ mod tests {
         let ps = bcpop_primitives();
         assert_eq!(ps.num_ops(), 5);
         assert_eq!(ps.num_terminals(), NUM_TERMINALS);
-        assert_eq!(
-            ps.terminals(),
-            &["c_j", "q_j", "q_res", "b_res", "d_q_j", "x_bar_j"]
-        );
+        assert_eq!(ps.terminals(), &["c_j", "q_j", "q_res", "b_res", "d_q_j", "x_bar_j"]);
         assert!(ps.const_range().is_some());
     }
 
@@ -246,6 +245,7 @@ mod tests {
             lower_bound: 2.0,
             duals: vec![0.5, 1.0],
             xbar: vec![1.0, 1.0, 0.0, 0.25],
+            pivots: 0,
         };
         let residual: Vec<i64> = vec![2, 2];
         let f = bundle_features(&inst, &costs, &residual, Some(&relax), 3);
@@ -269,6 +269,7 @@ mod tests {
             xbar: 0.0,
         };
         assert_eq!(scorer.score(&f), 2.0);
+        assert_eq!(scorer.nodes_evaluated(), 3);
     }
 
     #[test]

@@ -12,7 +12,12 @@ use proptest::prelude::*;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
-fn small_config(bundles: usize, services: usize, tightness: f64, density: f64) -> GeneratorConfig {
+fn small_config(
+    bundles: usize,
+    services: usize,
+    tightness: f64,
+    density: f64,
+) -> GeneratorConfig {
     GeneratorConfig {
         num_bundles: bundles,
         num_services: services,

@@ -10,18 +10,15 @@ use std::hint::black_box;
 
 fn bench_scaling(c: &mut Criterion) {
     let inst = generate(&GeneratorConfig::paper_class(250, 10), 42);
-    let pricings: Vec<Vec<f64>> = (0..32)
-        .map(|i| vec![10.0 + i as f64 * 3.0; inst.num_own()])
-        .collect();
+    let pricings: Vec<Vec<f64>> =
+        (0..32).map(|i| vec![10.0 + i as f64 * 3.0; inst.num_own()]).collect();
     let solver = RelaxationSolver::new(&inst);
 
     let mut group = c.benchmark_group("rayon_scaling");
     group.sample_size(10);
     for threads in [1usize, 2, 4] {
-        let pool = rayon::ThreadPoolBuilder::new()
-            .num_threads(threads)
-            .build()
-            .expect("thread pool");
+        let pool =
+            rayon::ThreadPoolBuilder::new().num_threads(threads).build().expect("thread pool");
         group.bench_function(format!("eval32_threads_{threads}"), |b| {
             b.iter(|| {
                 pool.install(|| {
@@ -30,8 +27,13 @@ fn bench_scaling(c: &mut Criterion) {
                         .map(|prices| {
                             let costs = inst.costs_for(prices);
                             let relax = solver.solve(&costs).unwrap();
-                            greedy_cover(&inst, &costs, &mut CostPerCoverageScorer, Some(&relax))
-                                .cost
+                            greedy_cover(
+                                &inst,
+                                &costs,
+                                &mut CostPerCoverageScorer,
+                                Some(&relax),
+                            )
+                            .cost
                         })
                         .sum();
                     black_box(total)

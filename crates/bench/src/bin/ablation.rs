@@ -31,7 +31,8 @@ fn run_variant(
     let outcomes: Vec<(f64, f64)> = (0..runs)
         .into_par_iter()
         .map(|run| {
-            let r = Carbon::new(&inst, cfg.clone()).run(seed_stream(opts.seed, 0x2000 + run as u64));
+            let r = Carbon::new(&inst, cfg.clone())
+                .run(seed_stream(opts.seed, 0x2000 + run as u64));
             (r.best_gap, r.best_ul_value)
         })
         .collect();

@@ -127,7 +127,14 @@ fn main() {
     println!(
         "{}",
         markdown_table(
-            &["algorithm", "mean %-gap", "best %-gap", "mean UL", "best UL", "LL evals / UL eval"],
+            &[
+                "algorithm",
+                "mean %-gap",
+                "best %-gap",
+                "mean UL",
+                "best UL",
+                "LL evals / UL eval"
+            ],
             &table
         )
     );

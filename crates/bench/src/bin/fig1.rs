@@ -44,6 +44,9 @@ fn main() {
         p.ul_objective(&[6.0], &[8.0])
     );
     let (x, y, f) = p.solve_grid(0.0, 10.0, 2000, TieBreak::Optimistic).unwrap();
-    println!("Bi-level optimum over the inducible region: x = {x:.3}, y = {:.3}, F = {f:.3}", y[0]);
+    println!(
+        "Bi-level optimum over the inducible region: x = {x:.3}, y = {:.3}, F = {f:.3}",
+        y[0]
+    );
     println!("(analytic optimum: x = 8, y = 6, F = -20)");
 }

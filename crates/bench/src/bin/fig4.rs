@@ -6,13 +6,15 @@
 //!
 //! ```text
 //! cargo run -p bico-bench --release --bin fig4 [--full|--smoke] [--runs N] [--seed S]
+//!     [--trace-out run.jsonl] [--metrics-out metrics.json] [--log-level info]
 //! ```
 
-use bico_bench::{run_class, write_csv, AlgoKind, ExperimentOpts};
+use bico_bench::{run_class_observed, write_csv, AlgoKind, ExperimentOpts, ObsStack};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let opts = ExperimentOpts::from_args(&args);
+    let stack = ObsStack::from_opts(&opts);
     let class = (500, 30);
     eprintln!(
         "Fig. 4 reproduction (CARBON convergence on {}x{}) — tier {:?}, {} runs",
@@ -21,7 +23,8 @@ fn main() {
         opts.tier,
         opts.runs()
     );
-    let result = run_class(AlgoKind::Carbon, class, &opts);
+    let result = run_class_observed(AlgoKind::Carbon, class, &opts, &stack);
+    stack.finish();
     let mut stdout = std::io::stdout().lock();
     write_csv(&mut stdout, &result.trace).expect("stdout");
     let mut file = std::fs::File::create("fig4.csv").expect("create fig4.csv");
@@ -41,11 +44,9 @@ fn main() {
             ul_reversals += 1;
         }
     }
-    let mean_step: f64 = pts
-        .windows(2)
-        .map(|w| (w[1].gap_best - w[0].gap_best).abs())
-        .sum::<f64>()
-        / (pts.len().max(2) - 1) as f64;
+    let mean_step: f64 =
+        pts.windows(2).map(|w| (w[1].gap_best - w[0].gap_best).abs()).sum::<f64>()
+            / (pts.len().max(2) - 1) as f64;
     eprintln!(
         "direction reversals over {} points — gap: {gap_reversals}, UL: {ul_reversals}; \
          mean per-generation gap swing: {mean_step:.3} points \

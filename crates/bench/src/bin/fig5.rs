@@ -7,13 +7,15 @@
 //!
 //! ```text
 //! cargo run -p bico-bench --release --bin fig5 [--full|--smoke] [--runs N] [--seed S]
+//!     [--trace-out run.jsonl] [--metrics-out metrics.json] [--log-level info]
 //! ```
 
-use bico_bench::{run_class, write_csv, AlgoKind, ExperimentOpts};
+use bico_bench::{run_class_observed, write_csv, AlgoKind, ExperimentOpts, ObsStack};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let opts = ExperimentOpts::from_args(&args);
+    let stack = ObsStack::from_opts(&opts);
     let class = (500, 30);
     eprintln!(
         "Fig. 5 reproduction (COBRA convergence on {}x{}) — tier {:?}, {} runs",
@@ -22,7 +24,8 @@ fn main() {
         opts.tier,
         opts.runs()
     );
-    let result = run_class(AlgoKind::Cobra, class, &opts);
+    let result = run_class_observed(AlgoKind::Cobra, class, &opts, &stack);
+    stack.finish();
     let mut stdout = std::io::stdout().lock();
     write_csv(&mut stdout, &result.trace).expect("stdout");
     let mut file = std::fs::File::create("fig5.csv").expect("create fig5.csv");
@@ -40,11 +43,9 @@ fn main() {
             reversals += 1;
         }
     }
-    let mean_step: f64 = pts
-        .windows(2)
-        .map(|w| (w[1].gap_best - w[0].gap_best).abs())
-        .sum::<f64>()
-        / (pts.len().max(2) - 1) as f64;
+    let mean_step: f64 =
+        pts.windows(2).map(|w| (w[1].gap_best - w[0].gap_best).abs()).sum::<f64>()
+            / (pts.len().max(2) - 1) as f64;
     eprintln!(
         "gap-series direction reversals: {reversals} over {} points; \
          mean per-generation gap swing: {mean_step:.3} points \

@@ -3,9 +3,10 @@
 //!
 //! ```text
 //! cargo run -p bico-bench --release --bin table3 [--full|--smoke] [--runs N] [--seed S]
+//!     [--trace-out run.jsonl] [--metrics-out metrics.json] [--log-level info]
 //! ```
 
-use bico_bench::{markdown_table, run_class, AlgoKind, ExperimentOpts};
+use bico_bench::{markdown_table, run_class_observed, AlgoKind, ExperimentOpts, ObsStack};
 use bico_ea::hypothesis::mann_whitney_u;
 
 /// The paper's reported Table III values (CARBON, COBRA) per class, for
@@ -32,14 +33,15 @@ fn main() {
         opts.seed
     );
 
+    let stack = ObsStack::from_opts(&opts);
     let mut rows = Vec::new();
     let mut avg_carbon = 0.0;
     let mut avg_cobra = 0.0;
     let classes = opts.classes();
     for (idx, &class) in classes.iter().enumerate() {
         eprintln!("  class {}x{} ...", class.0, class.1);
-        let carbon = run_class(AlgoKind::Carbon, class, &opts);
-        let cobra = run_class(AlgoKind::Cobra, class, &opts);
+        let carbon = run_class_observed(AlgoKind::Carbon, class, &opts, &stack);
+        let cobra = run_class_observed(AlgoKind::Cobra, class, &opts, &stack);
         avg_carbon += carbon.best_gap;
         avg_cobra += cobra.best_gap;
         let (p_car, p_cob) = PAPER_TABLE3.get(idx).copied().unwrap_or((f64::NAN, f64::NAN));
@@ -84,8 +86,11 @@ fn main() {
         )
     );
     if avg_carbon < avg_cobra {
-        println!("SHAPE OK: CARBON achieves smaller gaps than COBRA (paper's headline result).");
+        println!(
+            "SHAPE OK: CARBON achieves smaller gaps than COBRA (paper's headline result)."
+        );
     } else {
         println!("SHAPE MISMATCH: CARBON did not beat COBRA on gap at this budget.");
     }
+    stack.finish();
 }

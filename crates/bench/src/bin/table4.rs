@@ -5,9 +5,10 @@
 //!
 //! ```text
 //! cargo run -p bico-bench --release --bin table4 [--full|--smoke] [--runs N] [--seed S]
+//!     [--trace-out run.jsonl] [--metrics-out metrics.json] [--log-level info]
 //! ```
 
-use bico_bench::{markdown_table, run_class, AlgoKind, ExperimentOpts};
+use bico_bench::{markdown_table, run_class_observed, AlgoKind, ExperimentOpts, ObsStack};
 
 /// Paper Table IV values (CARBON, COBRA) per class.
 const PAPER_TABLE4: [(f64, f64); 9] = [
@@ -32,14 +33,15 @@ fn main() {
         opts.seed
     );
 
+    let stack = ObsStack::from_opts(&opts);
     let mut rows = Vec::new();
     let mut overestimation_classes = 0usize;
     let mut ordering_ok = 0usize;
     let classes = opts.classes();
     for (idx, &class) in classes.iter().enumerate() {
         eprintln!("  class {}x{} ...", class.0, class.1);
-        let carbon = run_class(AlgoKind::Carbon, class, &opts);
-        let cobra = run_class(AlgoKind::Cobra, class, &opts);
+        let carbon = run_class_observed(AlgoKind::Carbon, class, &opts, &stack);
+        let cobra = run_class_observed(AlgoKind::Cobra, class, &opts, &stack);
         if cobra.best_ul > carbon.best_ul {
             overestimation_classes += 1;
         }
@@ -83,4 +85,5 @@ fn main() {
          {ordering_ok}/{} classes.",
         classes.len()
     );
+    stack.finish();
 }

@@ -1,11 +1,13 @@
 //! Experiment orchestration: instance classes, budget tiers, 30-run
 //! protocol, per-class summaries.
 
+use crate::obs::ObsStack;
 use bico_bcpop::{generate, BcpopInstance, GeneratorConfig};
 use bico_cobra::{Cobra, CobraConfig};
 use bico_core::{Carbon, CarbonConfig};
 use bico_ea::rng::seed_stream;
 use bico_ea::stats::{Summary, Trace};
+use bico_obs::LogLevel;
 use rayon::prelude::*;
 
 /// The paper's 9 instance classes: `(#variables, #constraints)` =
@@ -104,17 +106,32 @@ pub struct ExperimentOpts {
     pub runs_override: Option<usize>,
     /// Restrict to the first `k` classes (for quick sanity passes).
     pub max_classes: Option<usize>,
+    /// Stream every solver event to this JSONL file (`--trace-out`).
+    pub trace_out: Option<String>,
+    /// Write an aggregated metrics report to this file (`--metrics-out`).
+    pub metrics_out: Option<String>,
+    /// Progress verbosity on stderr (`--log-level`, default `BICO_LOG`).
+    pub log_level: LogLevel,
 }
 
 impl Default for ExperimentOpts {
     fn default() -> Self {
-        ExperimentOpts { tier: BudgetTier::Reduced, seed: 20180521, runs_override: None, max_classes: None }
+        ExperimentOpts {
+            tier: BudgetTier::Reduced,
+            seed: 20180521,
+            runs_override: None,
+            max_classes: None,
+            trace_out: None,
+            metrics_out: None,
+            log_level: LogLevel::from_env(),
+        }
     }
 }
 
 impl ExperimentOpts {
     /// Parse CLI arguments of the experiment binaries
-    /// (`--full | --smoke`, `--runs N`, `--seed S`, `--classes K`).
+    /// (`--full | --smoke`, `--runs N`, `--seed S`, `--classes K`,
+    /// `--trace-out F`, `--metrics-out F`, `--log-level L`).
     pub fn from_args(args: &[String]) -> Self {
         let mut opts = ExperimentOpts::default();
         let mut it = args.iter().peekable();
@@ -123,8 +140,7 @@ impl ExperimentOpts {
                 "--full" => opts.tier = BudgetTier::Full,
                 "--smoke" => opts.tier = BudgetTier::Smoke,
                 "--runs" => {
-                    opts.runs_override =
-                        it.next().and_then(|v| v.parse().ok());
+                    opts.runs_override = it.next().and_then(|v| v.parse().ok());
                 }
                 "--seed" => {
                     if let Some(v) = it.next().and_then(|v| v.parse().ok()) {
@@ -133,6 +149,17 @@ impl ExperimentOpts {
                 }
                 "--classes" => {
                     opts.max_classes = it.next().and_then(|v| v.parse().ok());
+                }
+                "--trace-out" => {
+                    opts.trace_out = it.next().cloned();
+                }
+                "--metrics-out" => {
+                    opts.metrics_out = it.next().cloned();
+                }
+                "--log-level" => {
+                    if let Some(v) = it.next().and_then(|v| v.parse().ok()) {
+                        opts.log_level = v;
+                    }
                 }
                 _ => {}
             }
@@ -187,10 +214,19 @@ pub fn class_instance(class: (usize, usize), master_seed: u64) -> BcpopInstance 
 }
 
 /// Run `runs` independent seeded runs of `algo` on `class`, in parallel.
-pub fn run_class(
+pub fn run_class(algo: AlgoKind, class: (usize, usize), opts: &ExperimentOpts) -> ClassResult {
+    run_class_observed(algo, class, opts, &ObsStack::disabled())
+}
+
+/// [`run_class`] with an observability stack attached: each run streams
+/// events tagged `Algo/NxM/runK` into the stack's shared sinks. Call
+/// [`ObsStack::finish`] after the last class to flush the trace and
+/// write the metrics report.
+pub fn run_class_observed(
     algo: AlgoKind,
     class: (usize, usize),
     opts: &ExperimentOpts,
+    stack: &ObsStack,
 ) -> ClassResult {
     let inst = class_instance(class, opts.seed);
     let runs = opts.runs();
@@ -198,14 +234,17 @@ pub fn run_class(
         .into_par_iter()
         .map(|run| {
             let run_seed = seed_stream(opts.seed, 0x1000 + run as u64);
+            let obs = stack.for_run(&format!("{algo:?}/{}x{}/run{run}", class.0, class.1));
             match algo {
                 AlgoKind::Carbon => {
-                    let r = Carbon::new(&inst, opts.tier.carbon_config()).run(run_seed);
+                    let r = Carbon::new(&inst, opts.tier.carbon_config())
+                        .run_observed(run_seed, &obs);
                     let ll = ll_value_of(&inst, &r.best_pricing, r.best_gap);
                     (r.best_gap, r.best_ul_value, ll, r.trace)
                 }
                 AlgoKind::Cobra => {
-                    let r = Cobra::new(&inst, opts.tier.cobra_config()).run(run_seed);
+                    let r = Cobra::new(&inst, opts.tier.cobra_config())
+                        .run_observed(run_seed, &obs);
                     (r.best_gap, r.best_ul_value, r.best_ll_value, r.trace)
                 }
             }
@@ -285,11 +324,10 @@ mod tests {
 
     #[test]
     fn args_parse() {
-        let args: Vec<String> =
-            ["--full", "--runs", "7", "--seed", "99", "--classes", "2"]
-                .iter()
-                .map(|s| s.to_string())
-                .collect();
+        let args: Vec<String> = ["--full", "--runs", "7", "--seed", "99", "--classes", "2"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         let o = ExperimentOpts::from_args(&args);
         assert_eq!(o.tier, BudgetTier::Full);
         assert_eq!(o.runs(), 7);
@@ -303,6 +341,21 @@ mod tests {
         assert_eq!(o.tier, BudgetTier::Reduced);
         assert_eq!(o.runs(), 5);
         assert_eq!(o.classes().len(), 9);
+        assert!(o.trace_out.is_none());
+        assert!(o.metrics_out.is_none());
+    }
+
+    #[test]
+    fn args_parse_observability_flags() {
+        let args: Vec<String> =
+            ["--trace-out", "run.jsonl", "--metrics-out", "m.json", "--log-level", "info"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
+        let o = ExperimentOpts::from_args(&args);
+        assert_eq!(o.trace_out.as_deref(), Some("run.jsonl"));
+        assert_eq!(o.metrics_out.as_deref(), Some("m.json"));
+        assert_eq!(o.log_level, LogLevel::Info);
     }
 
     #[test]
@@ -311,7 +364,7 @@ mod tests {
             tier: BudgetTier::Smoke,
             seed: 1,
             runs_override: Some(2),
-            max_classes: None,
+            ..Default::default()
         };
         let r = run_class(AlgoKind::Carbon, (100, 5), &opts);
         assert_eq!(r.gap_stats.count(), 2);

@@ -20,9 +20,12 @@
 //! and are deterministic per `--seed`.
 
 pub mod experiment;
+pub mod obs;
 pub mod report;
 
 pub use experiment::{
-    class_instance, run_class, AlgoKind, BudgetTier, ClassResult, ExperimentOpts, PAPER_CLASSES,
+    class_instance, run_class, run_class_observed, AlgoKind, BudgetTier, ClassResult,
+    ExperimentOpts, PAPER_CLASSES,
 };
+pub use obs::{ObsStack, RunObservers};
 pub use report::{format_row, markdown_table, write_csv};

@@ -1,0 +1,139 @@
+//! Observability wiring for the experiment binaries.
+//!
+//! One [`ObsStack`] is built per process from the shared CLI flags
+//! (`--trace-out`, `--metrics-out`, `--log-level`); each (class, run)
+//! then borrows a tagged [`RunObservers`] view so that all runs stream
+//! into one JSONL file and one metrics report. Counters stay exact
+//! under rayon (they are atomic); wall-clock phase timings are only
+//! meaningful for single-run attachments and are therefore most useful
+//! via the `bico` CLI rather than the parallel benches.
+
+use crate::experiment::ExperimentOpts;
+use bico_obs::{Event, JsonlSink, LogLevel, MetricsSink, ProgressSink, RunObserver};
+
+/// Process-wide observability state for a bench binary.
+pub struct ObsStack {
+    jsonl: Option<JsonlSink>,
+    metrics: Option<MetricsSink>,
+    progress: Option<ProgressSink>,
+    metrics_out: Option<String>,
+}
+
+impl ObsStack {
+    /// A stack with no sinks: `for_run` hands out disabled observers and
+    /// the instrumentation folds away.
+    pub fn disabled() -> Self {
+        ObsStack { jsonl: None, metrics: None, progress: None, metrics_out: None }
+    }
+
+    /// Build the stack the options ask for. Unwritable trace paths are
+    /// reported on stderr and skipped rather than aborting the bench.
+    pub fn from_opts(opts: &ExperimentOpts) -> Self {
+        let jsonl = opts.trace_out.as_deref().and_then(|path| match JsonlSink::create(path) {
+            Ok(sink) => Some(sink),
+            Err(err) => {
+                eprintln!("bico: cannot create trace file {path}: {err}");
+                None
+            }
+        });
+        let metrics = opts.metrics_out.as_ref().map(|_| MetricsSink::new());
+        let progress =
+            (opts.log_level > LogLevel::Warn).then(|| ProgressSink::stderr(opts.log_level));
+        ObsStack { jsonl, metrics, progress, metrics_out: opts.metrics_out.clone() }
+    }
+
+    /// True when no sink is attached.
+    pub fn is_disabled(&self) -> bool {
+        self.jsonl.is_none() && self.metrics.is_none() && self.progress.is_none()
+    }
+
+    /// The metrics sink, when `--metrics-out` was given.
+    pub fn metrics(&self) -> Option<&MetricsSink> {
+        self.metrics.as_ref()
+    }
+
+    /// A borrowed observer for one tagged run.
+    pub fn for_run(&self, tag: &str) -> RunObservers<'_> {
+        RunObservers {
+            jsonl: self.jsonl.as_ref().map(|sink| sink.with_tag(tag)),
+            metrics: self.metrics.as_ref(),
+            progress: self.progress.as_ref(),
+        }
+    }
+
+    /// Flush the trace file and write the metrics report. Call once,
+    /// after the last run.
+    pub fn finish(&self) {
+        if let Some(sink) = &self.jsonl {
+            if let Err(err) = sink.flush() {
+                eprintln!("bico: trace flush failed: {err}");
+            }
+        }
+        if let (Some(metrics), Some(path)) = (&self.metrics, &self.metrics_out) {
+            let json = metrics.report().to_json();
+            if let Err(err) = std::fs::write(path, json + "\n") {
+                eprintln!("bico: cannot write metrics file {path}: {err}");
+            }
+        }
+    }
+}
+
+/// The per-run observer view handed to `run_observed`: a tagged JSONL
+/// handle plus shared metrics/progress sinks.
+pub struct RunObservers<'a> {
+    jsonl: Option<JsonlSink>,
+    metrics: Option<&'a MetricsSink>,
+    progress: Option<&'a ProgressSink>,
+}
+
+impl RunObserver for RunObservers<'_> {
+    fn enabled(&self) -> bool {
+        self.jsonl.is_some()
+            || self.metrics.is_some()
+            || self.progress.is_some_and(|p| p.enabled())
+    }
+
+    fn observe(&self, event: &Event<'_>) {
+        if let Some(sink) = &self.jsonl {
+            sink.observe(event);
+        }
+        if let Some(sink) = self.metrics {
+            sink.observe(event);
+        }
+        if let Some(sink) = self.progress {
+            if sink.enabled() {
+                sink.observe(event);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_stack_hands_out_disabled_observers() {
+        let stack = ObsStack::disabled();
+        assert!(stack.is_disabled());
+        assert!(!stack.for_run("x").enabled());
+        stack.finish(); // no-op
+    }
+
+    #[test]
+    fn metrics_only_stack_counts_events() {
+        let opts = ExperimentOpts {
+            metrics_out: Some("/nonexistent-dir/never-written.json".into()),
+            ..Default::default()
+        };
+        let stack = ObsStack::from_opts(&opts);
+        let obs = stack.for_run("run0");
+        assert!(obs.enabled());
+        obs.observe(&Event::RunStart { algo: "carbon", seed: 1 });
+        obs.observe(&Event::LowerLevelSolve { solves: 3, pivots: 40 });
+        let report = stack.metrics().unwrap().report();
+        assert_eq!(report.runs, 1);
+        assert_eq!(report.ll_solves, 3);
+        assert_eq!(report.simplex_pivots, 40);
+    }
+}

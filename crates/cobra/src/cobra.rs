@@ -36,6 +36,7 @@ use bico_ea::{
     select::{tournament, Direction},
     stats::Trace,
 };
+use bico_obs::{Event, Level, NullObserver, RunObserver};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
@@ -169,6 +170,13 @@ impl<'a> Cobra<'a> {
 
     /// Run to budget exhaustion; deterministic per seed.
     pub fn run(&self, seed: u64) -> CobraResult {
+        self.run_observed(seed, &NullObserver)
+    }
+
+    /// [`run`](Self::run) with an observer attached. Events are emitted
+    /// from the coordinating thread only; attaching any observer leaves
+    /// the result bit-identical (see `tests/determinism.rs`).
+    pub fn run_observed<O: RunObserver + ?Sized>(&self, seed: u64, obs: &O) -> CobraResult {
         let cfg = &self.cfg;
         let inst = self.inst;
         let (lo, hi) = inst.price_bounds();
@@ -195,7 +203,8 @@ impl<'a> Cobra<'a> {
             Archive::new(cfg.ul_archive_size, Direction::Maximize);
         // Lower archive ranks pairs by the LL objective value — COBRA's
         // own criterion (the gap is only computed for reporting).
-        let mut ll_archive: Archive<Pair> = Archive::new(cfg.ll_archive_size, Direction::Minimize);
+        let mut ll_archive: Archive<Pair> =
+            Archive::new(cfg.ll_archive_size, Direction::Minimize);
 
         let mut trace = Trace::new();
         let mut ul_evals: u64 = 0;
@@ -203,19 +212,43 @@ impl<'a> Cobra<'a> {
         let mut cycles = 0usize;
         let mut gen_counter = 0usize;
 
+        if obs.enabled() {
+            obs.observe(&Event::RunStart { algo: "cobra", seed });
+        }
+
         let phase_cost = (pop_size * cfg.improvement_gens) as u64;
         while ul_evals + phase_cost <= cfg.ul_evaluations
             && ll_evals + phase_cost <= cfg.ll_evaluations
         {
             // ---- upper improvement: evolve prices against frozen reactions ----
+            if obs.enabled() {
+                obs.observe(&Event::PhaseChange { phase: "upper_improvement" });
+            }
             for _ in 0..cfg.improvement_gens {
+                if obs.enabled() {
+                    obs.observe(&Event::GenerationStart { generation: gen_counter as u64 });
+                }
                 let fit: Vec<f64> = uppers
                     .par_iter()
                     .zip(lowers.par_iter())
                     .map(|(x, y)| ul_fitness(inst, x, y))
                     .collect();
                 ul_evals += pop_size as u64;
-                self.record(&mut trace, gen_counter, ul_evals + ll_evals, &uppers, &lowers);
+                if obs.enabled() {
+                    obs.observe(&Event::Evaluation {
+                        level: Level::Upper,
+                        count: pop_size as u64,
+                        gp_nodes: 0,
+                    });
+                }
+                self.record(
+                    &mut trace,
+                    gen_counter,
+                    ul_evals + ll_evals,
+                    &uppers,
+                    &lowers,
+                    obs,
+                );
                 gen_counter += 1;
 
                 let mut next = Vec::with_capacity(pop_size);
@@ -223,12 +256,33 @@ impl<'a> Cobra<'a> {
                     let i = tournament(&fit, 2, Direction::Maximize, &mut rng);
                     let j = tournament(&fit, 2, Direction::Maximize, &mut rng);
                     let (mut c1, mut c2) = if rng.random::<f64>() < cfg.ul_crossover_prob {
-                        sbx_crossover(&uppers[i], &uppers[j], &lo, &hi, &cfg.ul_real_ops, &mut rng)
+                        sbx_crossover(
+                            &uppers[i],
+                            &uppers[j],
+                            &lo,
+                            &hi,
+                            &cfg.ul_real_ops,
+                            &mut rng,
+                        )
                     } else {
                         (uppers[i].clone(), uppers[j].clone())
                     };
-                    polynomial_mutation(&mut c1, &lo, &hi, cfg.ul_mutation_prob, &cfg.ul_real_ops, &mut rng);
-                    polynomial_mutation(&mut c2, &lo, &hi, cfg.ul_mutation_prob, &cfg.ul_real_ops, &mut rng);
+                    polynomial_mutation(
+                        &mut c1,
+                        &lo,
+                        &hi,
+                        cfg.ul_mutation_prob,
+                        &cfg.ul_real_ops,
+                        &mut rng,
+                    );
+                    polynomial_mutation(
+                        &mut c2,
+                        &lo,
+                        &hi,
+                        cfg.ul_mutation_prob,
+                        &cfg.ul_real_ops,
+                        &mut rng,
+                    );
                     next.push(c1);
                     if next.len() < pop_size {
                         next.push(c2);
@@ -238,14 +292,34 @@ impl<'a> Cobra<'a> {
             }
 
             // ---- lower improvement: evolve reactions against frozen prices ----
+            if obs.enabled() {
+                obs.observe(&Event::PhaseChange { phase: "lower_improvement" });
+            }
             for _ in 0..cfg.improvement_gens {
+                if obs.enabled() {
+                    obs.observe(&Event::GenerationStart { generation: gen_counter as u64 });
+                }
                 let fit: Vec<f64> = lowers
                     .par_iter()
                     .zip(uppers.par_iter())
                     .map(|(y, x)| ll_fitness(inst, x, y))
                     .collect();
                 ll_evals += pop_size as u64;
-                self.record(&mut trace, gen_counter, ul_evals + ll_evals, &uppers, &lowers);
+                if obs.enabled() {
+                    obs.observe(&Event::Evaluation {
+                        level: Level::Lower,
+                        count: pop_size as u64,
+                        gp_nodes: 0,
+                    });
+                }
+                self.record(
+                    &mut trace,
+                    gen_counter,
+                    ul_evals + ll_evals,
+                    &uppers,
+                    &lowers,
+                    obs,
+                );
                 gen_counter += 1;
 
                 let mut next = Vec::with_capacity(pop_size);
@@ -273,11 +347,27 @@ impl<'a> Cobra<'a> {
             }
 
             // ---- archiving (both levels) ----
+            if obs.enabled() {
+                obs.observe(&Event::PhaseChange { phase: "archiving" });
+            }
             for (x, y) in uppers.iter().zip(&lowers) {
                 let f = ul_fitness(inst, x, y);
                 ul_archive.push(x.clone(), f);
                 let cost = ll_fitness(inst, x, y);
                 ll_archive.push(Pair { prices: x.clone(), reaction: y.clone() }, cost);
+            }
+            if obs.enabled() {
+                obs.observe(&Event::ArchiveUpdate {
+                    level: Level::Upper,
+                    size: ul_archive.len() as u64,
+                    best: ul_archive.best().map_or(f64::NAN, |(_, f)| f),
+                });
+                obs.observe(&Event::ArchiveUpdate {
+                    level: Level::Lower,
+                    size: ll_archive.len() as u64,
+                    best: ll_archive.best().map_or(f64::NAN, |(_, f)| f),
+                });
+                obs.observe(&Event::PhaseChange { phase: "coevolution" });
             }
 
             // ---- coevolution: random re-pairing of the two populations ----
@@ -294,7 +384,17 @@ impl<'a> Cobra<'a> {
             cycles += 1;
         }
 
-        self.extract(ll_archive, trace, ul_evals, ll_evals, cycles)
+        let result = self.extract(ll_archive, trace, ul_evals, ll_evals, cycles);
+        if obs.enabled() {
+            obs.observe(&Event::RunComplete {
+                generations: gen_counter as u64,
+                ul_evaluations: ul_evals,
+                ll_evaluations: ll_evals,
+                best_value: result.best_ul_value,
+                best_gap: result.best_gap,
+            });
+        }
+        result
     }
 
     /// One trace point: the *current* populations' best pair, by revenue,
@@ -302,13 +402,14 @@ impl<'a> Cobra<'a> {
     /// (not best-so-far) pair is what exposes the see-saw: each upper
     /// improvement phase inflates revenue against frozen reactions, and
     /// each lower phase deflates it while repairing the gap.
-    fn record(
+    fn record<O: RunObserver + ?Sized>(
         &self,
         trace: &mut Trace,
         generation: usize,
         evals: u64,
         uppers: &[Vec<f64>],
         lowers: &[Vec<bool>],
+        obs: &O,
     ) {
         // Gap of the current best pair by revenue.
         let mut best_pair = 0usize;
@@ -322,12 +423,21 @@ impl<'a> Cobra<'a> {
         }
         let x = &uppers[best_pair];
         let y = &lowers[best_pair];
-        let gap = self
+        let (gap, pivots) = self
             .relaxer
             .solve(&self.inst.costs_for(x))
-            .map(|r| evaluate_pair(self.inst, x, y, r.lower_bound).gap)
-            .unwrap_or(f64::INFINITY);
+            .map(|r| (evaluate_pair(self.inst, x, y, r.lower_bound).gap, r.pivots))
+            .unwrap_or((f64::INFINITY, 0));
         trace.record(generation, evals, best_rev, gap);
+        if obs.enabled() {
+            obs.observe(&Event::LowerLevelSolve { solves: 1, pivots });
+            obs.observe(&Event::GenerationEnd {
+                generation: generation as u64,
+                evaluations: evals,
+                ul_best: best_rev,
+                gap_best: gap,
+            });
+        }
     }
 
     fn extract(
@@ -426,9 +536,7 @@ pub(crate) fn repair<R: Rng + ?Sized>(inst: &BcpopInstance, y: &mut [bool], rng:
     while residual.iter().any(|&r| r > 0) {
         // Pick a random unselected bundle that reduces some residual.
         let candidates: Vec<usize> = (0..inst.num_bundles())
-            .filter(|&j| {
-                !y[j] && (0..n).any(|k| residual[k] > 0 && inst.coverage(j, k) > 0)
-            })
+            .filter(|&j| !y[j] && (0..n).any(|k| residual[k] > 0 && inst.coverage(j, k) > 0))
             .collect();
         let Some(&j) = candidates.get(rng.random_range(0..candidates.len().max(1))) else {
             return; // cannot repair (impossible on validated instances)
@@ -454,10 +562,7 @@ mod tests {
     use bico_bcpop::{generate, GeneratorConfig};
 
     fn small_instance() -> BcpopInstance {
-        generate(
-            &GeneratorConfig { num_bundles: 30, num_services: 4, ..Default::default() },
-            7,
-        )
+        generate(&GeneratorConfig { num_bundles: 30, num_services: 4, ..Default::default() }, 7)
     }
 
     #[test]

@@ -176,8 +176,22 @@ impl<'a> Codba<'a> {
                 } else {
                     (pop[i].clone(), pop[j].clone())
                 };
-                polynomial_mutation(&mut c1, &lo, &hi, cfg.ul_mutation_prob, &cfg.ul_real_ops, &mut rng);
-                polynomial_mutation(&mut c2, &lo, &hi, cfg.ul_mutation_prob, &cfg.ul_real_ops, &mut rng);
+                polynomial_mutation(
+                    &mut c1,
+                    &lo,
+                    &hi,
+                    cfg.ul_mutation_prob,
+                    &cfg.ul_real_ops,
+                    &mut rng,
+                );
+                polynomial_mutation(
+                    &mut c2,
+                    &lo,
+                    &hi,
+                    cfg.ul_mutation_prob,
+                    &cfg.ul_real_ops,
+                    &mut rng,
+                );
                 next.push(c1);
                 if next.len() < pop.len() {
                     next.push(c2);

@@ -17,6 +17,7 @@ use bico_ea::{
     select::{tournament, Direction},
     stats::Trace,
 };
+use bico_obs::{Event, Level, NullObserver, RunObserver};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -90,6 +91,12 @@ impl<'a> NestedSequential<'a> {
 
     /// Run to budget exhaustion; deterministic per seed.
     pub fn run(&self, seed: u64) -> NestedResult {
+        self.run_observed(seed, &NullObserver)
+    }
+
+    /// [`run`](Self::run) with an observer attached; attaching any
+    /// observer leaves the result bit-identical.
+    pub fn run_observed<O: RunObserver + ?Sized>(&self, seed: u64, obs: &O) -> NestedResult {
         let cfg = &self.cfg;
         let inst = self.inst;
         let (lo, hi) = inst.price_bounds();
@@ -105,20 +112,35 @@ impl<'a> NestedSequential<'a> {
         let mut best: Option<(Vec<f64>, Vec<bool>, f64, f64)> = None;
         let mut generation = 0usize;
 
+        if obs.enabled() {
+            obs.observe(&Event::RunStart { algo: "nested", seed });
+            obs.observe(&Event::PhaseChange { phase: "search" });
+        }
+
         let inner_cost = (cfg.ll_pop_size * cfg.ll_gens_per_eval) as u64;
-        'outer: loop {
+        loop {
+            if obs.enabled() {
+                obs.observe(&Event::GenerationStart { generation: generation as u64 });
+            }
             let mut fits = Vec::with_capacity(pop.len());
+            let mut gen_ll_evals = 0u64;
+            let mut gen_solves = 0u64;
+            let mut gen_pivots = 0u64;
             for prices in &pop {
-                if ul_evals + 1 > cfg.ul_evaluations || ll_evals + inner_cost > cfg.ll_evaluations
+                if ul_evals + 1 > cfg.ul_evaluations
+                    || ll_evals + inner_cost > cfg.ll_evaluations
                 {
-                    break 'outer;
+                    break;
                 }
                 let (reaction, inner_evals) = self.solve_lower(prices, &mut rng);
                 ll_evals += inner_evals;
+                gen_ll_evals += inner_evals;
                 ul_evals += 1;
                 let relax = self.relaxer.solve(&inst.costs_for(prices));
                 let (f, gap) = match relax {
                     Some(r) => {
+                        gen_solves += 1;
+                        gen_pivots += r.pivots;
                         let ev = evaluate_pair(inst, prices, &reaction, r.lower_bound);
                         (ev.ul_value, ev.gap)
                     }
@@ -130,13 +152,36 @@ impl<'a> NestedSequential<'a> {
                     best = Some((prices.clone(), reaction, f, gap));
                 }
             }
+            if obs.enabled() && !fits.is_empty() {
+                obs.observe(&Event::Evaluation {
+                    level: Level::Upper,
+                    count: fits.len() as u64,
+                    gp_nodes: 0,
+                });
+                obs.observe(&Event::Evaluation {
+                    level: Level::Lower,
+                    count: gen_ll_evals,
+                    gp_nodes: 0,
+                });
+                obs.observe(&Event::LowerLevelSolve { solves: gen_solves, pivots: gen_pivots });
+            }
             if fits.len() < pop.len() {
+                // Budget ran out mid-generation: the partial batch is
+                // reported above, but it is not a completed generation.
                 break;
             }
             let (bf, bg) = best
                 .as_ref()
                 .map_or((f64::NEG_INFINITY, f64::INFINITY), |(_, _, f, g)| (*f, *g));
             trace.record(generation, ul_evals + ll_evals, bf, bg);
+            if obs.enabled() {
+                obs.observe(&Event::GenerationEnd {
+                    generation: generation as u64,
+                    evaluations: ul_evals + ll_evals,
+                    ul_best: bf,
+                    gap_best: bg,
+                });
+            }
             generation += 1;
 
             // Breed the upper level.
@@ -149,8 +194,22 @@ impl<'a> NestedSequential<'a> {
                 } else {
                     (pop[i].clone(), pop[j].clone())
                 };
-                polynomial_mutation(&mut c1, &lo, &hi, cfg.ul_mutation_prob, &cfg.ul_real_ops, &mut rng);
-                polynomial_mutation(&mut c2, &lo, &hi, cfg.ul_mutation_prob, &cfg.ul_real_ops, &mut rng);
+                polynomial_mutation(
+                    &mut c1,
+                    &lo,
+                    &hi,
+                    cfg.ul_mutation_prob,
+                    &cfg.ul_real_ops,
+                    &mut rng,
+                );
+                polynomial_mutation(
+                    &mut c2,
+                    &lo,
+                    &hi,
+                    cfg.ul_mutation_prob,
+                    &cfg.ul_real_ops,
+                    &mut rng,
+                );
                 next.push(c1);
                 if next.len() < pop.len() {
                     next.push(c2);
@@ -159,6 +218,15 @@ impl<'a> NestedSequential<'a> {
             pop = next;
         }
 
+        if obs.enabled() {
+            obs.observe(&Event::RunComplete {
+                generations: generation as u64,
+                ul_evaluations: ul_evals,
+                ll_evaluations: ll_evals,
+                best_value: best.as_ref().map_or(0.0, |(_, _, f, _)| *f),
+                best_gap: best.as_ref().map_or(f64::INFINITY, |(_, _, _, g)| *g),
+            });
+        }
         match best {
             Some((prices, reaction, f, gap)) => NestedResult {
                 best_pricing: prices,

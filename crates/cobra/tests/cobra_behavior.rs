@@ -5,10 +5,7 @@ use bico_bcpop::{generate, GeneratorConfig};
 use bico_cobra::{Cobra, CobraConfig, NestedConfig, NestedSequential};
 
 fn instance(seed: u64) -> bico_bcpop::BcpopInstance {
-    generate(
-        &GeneratorConfig { num_bundles: 60, num_services: 6, ..Default::default() },
-        seed,
-    )
+    generate(&GeneratorConfig { num_bundles: 60, num_services: 6, ..Default::default() }, seed)
 }
 
 fn cfg(pop: usize, evals: u64, gens: usize) -> CobraConfig {
@@ -49,10 +46,7 @@ fn see_saw_signature_has_reversals() {
             reversals += 1;
         }
     }
-    assert!(
-        reversals >= 3,
-        "expected see-saw reversals in COBRA's gap trace, got {reversals}"
-    );
+    assert!(reversals >= 3, "expected see-saw reversals in COBRA's gap trace, got {reversals}");
 }
 
 #[test]

@@ -32,6 +32,7 @@ use bico_gp::{
     mutate_uniform, ramped_half_and_half, subtree_crossover, to_infix, Expr, PrimitiveSet,
     VariationConfig,
 };
+use bico_obs::{Event, Level, NullObserver, RunObserver};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
@@ -196,6 +197,16 @@ impl<'a> Carbon<'a> {
     /// Run to budget exhaustion. Deterministic for a fixed seed,
     /// independent of the rayon thread count.
     pub fn run(&self, seed: u64) -> CarbonResult {
+        self.run_observed(seed, &NullObserver)
+    }
+
+    /// [`run`](Self::run) with an observer attached.
+    ///
+    /// Events are emitted from the coordinating thread only, outside the
+    /// rayon sections, and the observer never touches the RNG — attaching
+    /// any observer leaves the result bit-identical to [`run`](Self::run)
+    /// (asserted by `tests/determinism.rs`).
+    pub fn run_observed<O: RunObserver + ?Sized>(&self, seed: u64, obs: &O) -> CarbonResult {
         let cfg = &self.cfg;
         let inst = self.inst;
         let (lo, hi) = inst.price_bounds();
@@ -228,6 +239,10 @@ impl<'a> Carbon<'a> {
         let mut best: Option<(Vec<f64>, f64, f64)> = None; // (pricing, F, gap of that pairing)
         let mut best_gap_overall = f64::INFINITY; // Table III extraction: best gap of any evaluated pair
 
+        if obs.enabled() {
+            obs.observe(&Event::RunStart { algo: "carbon", seed });
+        }
+
         loop {
             let gen_ul_cost = cfg.ul_pop_size as u64;
             let gen_ll_cost = (cfg.ll_pop_size * cfg.training_samples) as u64;
@@ -235,6 +250,10 @@ impl<'a> Carbon<'a> {
                 || ll_evals + gen_ll_cost > cfg.ll_evaluations
             {
                 break;
+            }
+            if obs.enabled() {
+                obs.observe(&Event::GenerationStart { generation: generation as u64 });
+                obs.observe(&Event::PhaseChange { phase: "relaxation" });
             }
 
             // --- 1. relaxations for every pricing (parallel LP solves) ---
@@ -246,6 +265,13 @@ impl<'a> Carbon<'a> {
                         .expect("validated instances always relax")
                 })
                 .collect();
+            if obs.enabled() {
+                obs.observe(&Event::LowerLevelSolve {
+                    solves: relaxations.len() as u64,
+                    pivots: relaxations.iter().map(|r| r.pivots).sum(),
+                });
+                obs.observe(&Event::PhaseChange { phase: "ll_fitness" });
+            }
 
             // --- 2. heuristic fitness over a training subset: the elite
             // pricing (slot 0 after archive re-injection) plus rotating
@@ -260,10 +286,11 @@ impl<'a> Carbon<'a> {
                     }
                 })
                 .collect();
-            let ll_fitness: Vec<f64> = ll_pop
+            let ll_scored: Vec<(f64, u64)> = ll_pop
                 .par_iter()
                 .map(|expr| {
                     let mut total = 0.0;
+                    let mut gp_nodes = 0u64;
                     for &ti in &training {
                         let prices = &ul_pop[ti];
                         let costs = inst.costs_for(prices);
@@ -275,6 +302,7 @@ impl<'a> Carbon<'a> {
                             &mut scorer,
                             cfg.lp_terminals.then_some(relax),
                         );
+                        gp_nodes += scorer.nodes_evaluated();
                         let ev = evaluate_pair(inst, prices, &out.chosen, relax.lower_bound);
                         total += if cfg.gap_fitness {
                             if ev.gap.is_finite() {
@@ -286,10 +314,18 @@ impl<'a> Carbon<'a> {
                             ev.ll_value
                         };
                     }
-                    total / training.len() as f64
+                    (total / training.len() as f64, gp_nodes)
                 })
                 .collect();
+            let ll_fitness: Vec<f64> = ll_scored.iter().map(|&(f, _)| f).collect();
             ll_evals += gen_ll_cost;
+            if obs.enabled() {
+                obs.observe(&Event::Evaluation {
+                    level: Level::Lower,
+                    count: gen_ll_cost,
+                    gp_nodes: ll_scored.iter().map(|&(_, n)| n).sum(),
+                });
+            }
 
             // --- 3. champion selection + archive update. The champion is
             // the *current* generation's best heuristic: archive fitness
@@ -308,10 +344,20 @@ impl<'a> Carbon<'a> {
                 for (expr, &fit) in ll_pop.iter().zip(&ll_fitness) {
                     ll_archive.push(expr.clone(), fit);
                 }
+                if obs.enabled() {
+                    obs.observe(&Event::ArchiveUpdate {
+                        level: Level::Lower,
+                        size: ll_archive.len() as u64,
+                        best: ll_archive.best().map_or(f64::NAN, |(_, f)| f),
+                    });
+                }
+            }
+            if obs.enabled() {
+                obs.observe(&Event::PhaseChange { phase: "ul_fitness" });
             }
 
             // --- 4. upper-level fitness against the champion ---
-            let ul_scored: Vec<(f64, f64)> = ul_pop
+            let ul_scored: Vec<(f64, f64, u64)> = ul_pop
                 .par_iter()
                 .zip(relaxations.par_iter())
                 .map(|(prices, relax)| {
@@ -324,14 +370,21 @@ impl<'a> Carbon<'a> {
                         cfg.lp_terminals.then_some(relax),
                     );
                     let ev = evaluate_pair(inst, prices, &out.chosen, relax.lower_bound);
-                    (ev.ul_value, ev.gap)
+                    (ev.ul_value, ev.gap, scorer.nodes_evaluated())
                 })
                 .collect();
             ul_evals += gen_ul_cost;
+            if obs.enabled() {
+                obs.observe(&Event::Evaluation {
+                    level: Level::Upper,
+                    count: gen_ul_cost,
+                    gp_nodes: ul_scored.iter().map(|&(_, _, n)| n).sum(),
+                });
+            }
 
             let mut gen_best_f = f64::NEG_INFINITY;
             let mut gen_best_gap = f64::INFINITY;
-            for (prices, &(f, gap)) in ul_pop.iter().zip(&ul_scored) {
+            for (prices, &(f, gap, _)) in ul_pop.iter().zip(&ul_scored) {
                 if cfg.use_archives {
                     ul_archive.push(prices.clone(), f);
                 }
@@ -354,28 +407,30 @@ impl<'a> Carbon<'a> {
             // steady curves are a property of CARBON, not of best-so-far
             // bookkeeping, so we deliberately do not make them monotone).
             trace.record(generation, ul_evals + ll_evals, gen_best_f, gen_best_gap);
+            if obs.enabled() {
+                if cfg.use_archives {
+                    obs.observe(&Event::ArchiveUpdate {
+                        level: Level::Upper,
+                        size: ul_archive.len() as u64,
+                        best: ul_archive.best().map_or(f64::NAN, |(_, f)| f),
+                    });
+                }
+                obs.observe(&Event::GenerationEnd {
+                    generation: generation as u64,
+                    evaluations: ul_evals + ll_evals,
+                    ul_best: gen_best_f,
+                    gap_best: gen_best_gap,
+                });
+                obs.observe(&Event::PhaseChange { phase: "breeding" });
+            }
 
             // --- 6. breed the upper level (GA, Table II left column) ---
-            let ul_fit: Vec<f64> = ul_scored.iter().map(|&(f, _)| f).collect();
-            ul_pop = breed_ul(
-                &ul_pop,
-                &ul_fit,
-                &ul_archive,
-                &lo,
-                &hi,
-                cfg,
-                &mut rng,
-            );
+            let ul_fit: Vec<f64> = ul_scored.iter().map(|&(f, _, _)| f).collect();
+            ul_pop = breed_ul(&ul_pop, &ul_fit, &ul_archive, &lo, &hi, cfg, &mut rng);
 
             // --- 7. breed the lower level (GP, Table II right column) ---
-            ll_pop = breed_ll(
-                &ll_pop,
-                &ll_fitness,
-                &ll_archive,
-                &self.primitives,
-                cfg,
-                &mut rng,
-            );
+            ll_pop =
+                breed_ll(&ll_pop, &ll_fitness, &ll_archive, &self.primitives, cfg, &mut rng);
 
             generation += 1;
         }
@@ -389,6 +444,15 @@ impl<'a> Carbon<'a> {
         };
         let best_gap = best_gap_overall;
         let best_heuristic_infix = to_infix(&champion, &self.primitives);
+        if obs.enabled() {
+            obs.observe(&Event::RunComplete {
+                generations: generation as u64,
+                ul_evaluations: ul_evals,
+                ll_evaluations: ll_evals,
+                best_value: best_ul_value,
+                best_gap,
+            });
+        }
         CarbonResult {
             best_pricing,
             best_ul_value,
@@ -504,10 +568,7 @@ mod tests {
     }
 
     fn small_instance() -> BcpopInstance {
-        generate(
-            &GeneratorConfig { num_bundles: 30, num_services: 4, ..Default::default() },
-            7,
-        )
+        generate(&GeneratorConfig { num_bundles: 30, num_services: 4, ..Default::default() }, 7)
     }
 
     #[test]
@@ -599,10 +660,7 @@ mod tests {
         let mean = |s: &[bico_ea::stats::TracePoint]| {
             s.iter().map(|p| p.gap_best).sum::<f64>() / s.len() as f64
         };
-        assert!(
-            mean(&pts[half..]) <= mean(&pts[..half]) + 1e-9,
-            "gap did not trend downward"
-        );
+        assert!(mean(&pts[half..]) <= mean(&pts[..half]) + 1e-9, "gap did not trend downward");
     }
 
     #[test]

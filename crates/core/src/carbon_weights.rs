@@ -96,7 +96,8 @@ impl<'a> CarbonWeights<'a> {
         loop {
             let gen_ul = cfg.ul_pop_size as u64;
             let gen_ll = (cfg.ll_pop_size * cfg.training_samples) as u64;
-            if ul_evals + gen_ul > cfg.ul_evaluations || ll_evals + gen_ll > cfg.ll_evaluations {
+            if ul_evals + gen_ul > cfg.ul_evaluations || ll_evals + gen_ll > cfg.ll_evaluations
+            {
                 break;
             }
 
@@ -119,8 +120,12 @@ impl<'a> CarbonWeights<'a> {
                         let mut scorer = WeightScorer::new(weights);
                         let out =
                             greedy_cover(inst, &costs, &mut scorer, Some(&relaxations[ti]));
-                        let ev =
-                            evaluate_pair(inst, prices, &out.chosen, relaxations[ti].lower_bound);
+                        let ev = evaluate_pair(
+                            inst,
+                            prices,
+                            &out.chosen,
+                            relaxations[ti].lower_bound,
+                        );
                         total += if ev.gap.is_finite() { ev.gap } else { 1e9 };
                     }
                     total / training.len() as f64
@@ -174,11 +179,25 @@ impl<'a> CarbonWeights<'a> {
             // Breed UL exactly as CARBON does.
             let ul_fit: Vec<f64> = ul_scored.iter().map(|&(f, _)| f).collect();
             ul_pop = breed_real(
-                &ul_pop, &ul_fit, &ul_archive, &lo, &hi, cfg, Direction::Maximize, &mut rng,
+                &ul_pop,
+                &ul_fit,
+                &ul_archive,
+                &lo,
+                &hi,
+                cfg,
+                Direction::Maximize,
+                &mut rng,
             );
             // Breed LL with the *same real-coded operators* on weights.
             ll_pop = breed_real(
-                &ll_pop, &ll_fitness, &ll_archive, &wlo, &whi, cfg, Direction::Minimize, &mut rng,
+                &ll_pop,
+                &ll_fitness,
+                &ll_archive,
+                &wlo,
+                &whi,
+                cfg,
+                Direction::Minimize,
+                &mut rng,
             );
             generation += 1;
         }
@@ -225,8 +244,22 @@ fn breed_real<R: Rng + ?Sized>(
         } else {
             (pop[i].clone(), pop[j].clone())
         };
-        polynomial_mutation(&mut c1, lo, hi, cfg.ul_mutation_prob.max(0.1), &cfg.ul_real_ops, rng);
-        polynomial_mutation(&mut c2, lo, hi, cfg.ul_mutation_prob.max(0.1), &cfg.ul_real_ops, rng);
+        polynomial_mutation(
+            &mut c1,
+            lo,
+            hi,
+            cfg.ul_mutation_prob.max(0.1),
+            &cfg.ul_real_ops,
+            rng,
+        );
+        polynomial_mutation(
+            &mut c2,
+            lo,
+            hi,
+            cfg.ul_mutation_prob.max(0.1),
+            &cfg.ul_real_ops,
+            rng,
+        );
         next.push(c1);
         if next.len() < pop.len() {
             next.push(c2);

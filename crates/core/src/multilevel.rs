@@ -131,9 +131,8 @@ impl TrilevelLinear {
         for i in 0..=steps {
             let y = lo + (hi - lo) * i as f64 / steps as f64;
             let Some(z) = self.bottom_reaction(x, y) else { continue };
-            let ok = self.constraints[1]
-                .iter()
-                .all(|row| row.activity(x, y, z) <= row.rhs + 1e-7);
+            let ok =
+                self.constraints[1].iter().all(|row| row.activity(x, y, z) <= row.rhs + 1e-7);
             if !ok {
                 continue;
             }
@@ -141,9 +140,7 @@ impl TrilevelLinear {
             let f1 = self.objectives[0].eval(x, y, z);
             let better = match best {
                 None => true,
-                Some((_, _, bf2, bf1)) => {
-                    f2 < bf2 - TOL || (f2 < bf2 + TOL && f1 < bf1 - TOL)
-                }
+                Some((_, _, bf2, bf1)) => f2 < bf2 - TOL || (f2 < bf2 + TOL && f1 < bf1 - TOL),
             };
             if better {
                 best = Some((y, z, f2, f1));
@@ -163,9 +160,8 @@ impl TrilevelLinear {
             let Some((y, z)) = self.middle_reaction(x, steps) else {
                 continue;
             };
-            let ok = self.constraints[0]
-                .iter()
-                .all(|row| row.activity(x, y, z) <= row.rhs + 1e-7);
+            let ok =
+                self.constraints[0].iter().all(|row| row.activity(x, y, z) <= row.rhs + 1e-7);
             if !ok {
                 continue;
             }
@@ -227,7 +223,7 @@ mod tests {
                 vec![],
                 vec![],
                 vec![
-                    TriRow { ax: 0.0, ay: 0.0, az: 1.0, rhs: 1.0 },  // z ≤ 1
+                    TriRow { ax: 0.0, ay: 0.0, az: 1.0, rhs: 1.0 }, // z ≤ 1
                     TriRow { ax: 0.0, ay: 0.0, az: -1.0, rhs: -2.0 }, // z ≥ 2
                 ],
             ],

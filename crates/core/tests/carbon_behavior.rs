@@ -7,10 +7,7 @@ use bico_bcpop::{
 use bico_core::{Carbon, CarbonConfig};
 
 fn instance(seed: u64) -> bico_bcpop::BcpopInstance {
-    generate(
-        &GeneratorConfig { num_bundles: 60, num_services: 6, ..Default::default() },
-        seed,
-    )
+    generate(&GeneratorConfig { num_bundles: 60, num_services: 6, ..Default::default() }, seed)
 }
 
 fn cfg(pop: usize, evals: u64) -> CarbonConfig {

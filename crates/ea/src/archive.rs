@@ -73,9 +73,7 @@ impl<G: Clone + PartialEq> Archive<G> {
             }
         }
         // Binary search for the insertion point (best-first ordering).
-        let pos = self
-            .entries
-            .partition_point(|(_, f)| !self.dir.better(fitness, *f));
+        let pos = self.entries.partition_point(|(_, f)| !self.dir.better(fitness, *f));
         self.entries.insert(pos, (genome, fitness));
         self.entries.truncate(self.capacity);
         true

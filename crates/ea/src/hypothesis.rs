@@ -44,11 +44,8 @@ pub fn mann_whitney_u(a: &[f64], b: &[f64]) -> Option<MannWhitney> {
     let n = na + nb;
 
     // Rank the pooled sample with average ranks on ties.
-    let mut pooled: Vec<(f64, bool)> = a
-        .iter()
-        .map(|&v| (v, true))
-        .chain(b.iter().map(|&v| (v, false)))
-        .collect();
+    let mut pooled: Vec<(f64, bool)> =
+        a.iter().map(|&v| (v, true)).chain(b.iter().map(|&v| (v, false))).collect();
     pooled.sort_by(|x, y| x.0.total_cmp(&y.0));
 
     let mut rank_sum_a = 0.0f64;
@@ -101,7 +98,8 @@ fn erf(x: f64) -> f64 {
     let t = 1.0 / (1.0 + 0.327_591_1 * x);
     let poly = t
         * (0.254_829_592
-            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+            + t * (-0.284_496_736
+                + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
     sign * (1.0 - poly * (-x * x).exp())
 }
 

@@ -148,7 +148,8 @@ mod tests {
         let p1 = vec![0.0, 1.0, 5.0, 9.9, 0.1, 10.0];
         let p2 = vec![10.0, 2.0, 5.0, 0.0, 0.2, 10.0];
         for _ in 0..500 {
-            let (c1, c2) = sbx_crossover(&p1, &p2, &lo, &hi, &RealOpsConfig::default(), &mut rng);
+            let (c1, c2) =
+                sbx_crossover(&p1, &p2, &lo, &hi, &RealOpsConfig::default(), &mut rng);
             for v in c1.iter().chain(c2.iter()) {
                 assert!((0.0..=10.0).contains(v), "child gene {v} out of bounds");
             }
@@ -166,7 +167,8 @@ mod tests {
         let p1 = vec![2.0, 3.0, 7.0, 1.0];
         let p2 = vec![8.0, 4.0, 2.0, 9.0];
         for _ in 0..100 {
-            let (c1, c2) = sbx_crossover(&p1, &p2, &lo, &hi, &RealOpsConfig::default(), &mut rng);
+            let (c1, c2) =
+                sbx_crossover(&p1, &p2, &lo, &hi, &RealOpsConfig::default(), &mut rng);
             for i in 0..4 {
                 let sum_parents = p1[i] + p2[i];
                 let sum_children = c1[i] + c2[i];
@@ -207,7 +209,8 @@ mod tests {
     fn high_eta_keeps_children_near_parents() {
         let (lo, hi) = bounds(1);
         let mut rng = SmallRng::seed_from_u64(4);
-        let cfg = RealOpsConfig { eta_crossover: 1000.0, gene_swap_prob: 1.0, ..Default::default() };
+        let cfg =
+            RealOpsConfig { eta_crossover: 1000.0, gene_swap_prob: 1.0, ..Default::default() };
         let mut max_dev = 0.0f64;
         for _ in 0..200 {
             let (c1, c2) = sbx_crossover(&[4.0], &[6.0], &lo, &hi, &cfg, &mut rng);

@@ -3,134 +3,17 @@
 //! The paper's Fig. 4 and Fig. 5 plot, per generation, the average (over
 //! 30 runs) best upper-level fitness and best %-gap. [`Trace`] records
 //! one run's series; [`Summary`] aggregates values with Welford's online
-//! algorithm (numerically stable single pass).
+//! algorithm (numerically stable single pass) and retains the samples
+//! for [`Summary::median`]/[`Summary::percentile`].
+//!
+//! Both types now live in `bico-obs` — a [`TracePoint`] is exactly the
+//! payload of a `GenerationEnd` observability event, and the metrics
+//! sink reuses [`Summary`] for its latency report — so the whole
+//! workspace shares one definition. This module re-exports them under
+//! their historical path.
 
-/// Online mean/variance/min/max accumulator (Welford).
-#[derive(Debug, Clone, Default)]
-pub struct Summary {
-    n: u64,
-    mean: f64,
-    m2: f64,
-    min: f64,
-    max: f64,
-}
-
-impl Summary {
-    /// Empty summary.
-    pub fn new() -> Self {
-        Summary { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
-    }
-
-    /// Build a summary from a slice.
-    pub fn of(values: &[f64]) -> Self {
-        let mut s = Self::new();
-        for &v in values {
-            s.push(v);
-        }
-        s
-    }
-
-    /// Accumulate one value (NaN values are ignored).
-    pub fn push(&mut self, v: f64) {
-        if v.is_nan() {
-            return;
-        }
-        self.n += 1;
-        let delta = v - self.mean;
-        self.mean += delta / self.n as f64;
-        self.m2 += delta * (v - self.mean);
-        self.min = self.min.min(v);
-        self.max = self.max.max(v);
-    }
-
-    /// Count of accumulated values.
-    pub fn count(&self) -> u64 {
-        self.n
-    }
-
-    /// Arithmetic mean (NaN when empty).
-    pub fn mean(&self) -> f64 {
-        if self.n == 0 {
-            f64::NAN
-        } else {
-            self.mean
-        }
-    }
-
-    /// Sample standard deviation (NaN when n < 2).
-    pub fn std_dev(&self) -> f64 {
-        if self.n < 2 {
-            f64::NAN
-        } else {
-            (self.m2 / (self.n - 1) as f64).sqrt()
-        }
-    }
-
-    /// Minimum (∞ when empty).
-    pub fn min(&self) -> f64 {
-        self.min
-    }
-
-    /// Maximum (−∞ when empty).
-    pub fn max(&self) -> f64 {
-        self.max
-    }
-}
-
-/// One sampled point of a convergence trace.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct TracePoint {
-    /// Generation index.
-    pub generation: usize,
-    /// Cumulative fitness evaluations consumed when sampled.
-    pub evaluations: u64,
-    /// Best upper-level objective so far.
-    pub ul_best: f64,
-    /// Best lower-level %-gap so far.
-    pub gap_best: f64,
-}
-
-/// A per-run convergence series.
-#[derive(Debug, Clone, Default)]
-pub struct Trace {
-    points: Vec<TracePoint>,
-}
-
-impl Trace {
-    /// Empty trace.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Append a sample.
-    pub fn record(&mut self, generation: usize, evaluations: u64, ul_best: f64, gap_best: f64) {
-        self.points.push(TracePoint { generation, evaluations, ul_best, gap_best });
-    }
-
-    /// The recorded points, in order.
-    pub fn points(&self) -> &[TracePoint] {
-        &self.points
-    }
-
-    /// Average several traces point-wise (series are truncated to the
-    /// shortest — the paper averages aligned generations over 30 runs).
-    pub fn average(traces: &[Trace]) -> Trace {
-        let Some(min_len) = traces.iter().map(|t| t.points.len()).min() else {
-            return Trace::new();
-        };
-        let mut out = Trace::new();
-        for i in 0..min_len {
-            let n = traces.len() as f64;
-            let gen = traces[0].points[i].generation;
-            let evals =
-                (traces.iter().map(|t| t.points[i].evaluations).sum::<u64>() as f64 / n) as u64;
-            let ul = traces.iter().map(|t| t.points[i].ul_best).sum::<f64>() / n;
-            let gap = traces.iter().map(|t| t.points[i].gap_best).sum::<f64>() / n;
-            out.record(gen, evals, ul, gap);
-        }
-        out
-    }
-}
+pub use bico_obs::stats::Summary;
+pub use bico_obs::trace::{Trace, TracePoint};
 
 #[cfg(test)]
 mod tests {
@@ -150,9 +33,12 @@ mod tests {
     fn summary_empty_and_singleton() {
         let s = Summary::new();
         assert!(s.mean().is_nan());
+        assert!(s.std_dev().is_nan(), "std_dev of 0 samples must be NaN");
         let s = Summary::of(&[3.0]);
         assert_eq!(s.mean(), 3.0);
-        assert!(s.std_dev().is_nan());
+        assert!(s.std_dev().is_nan(), "std_dev of 1 sample must be NaN");
+        let s = Summary::of(&[3.0, 5.0]);
+        assert!((s.std_dev() - 2.0f64.sqrt()).abs() < 1e-12);
     }
 
     #[test]
@@ -160,6 +46,15 @@ mod tests {
         let s = Summary::of(&[1.0, f64::NAN, 3.0]);
         assert_eq!(s.count(), 2);
         assert!((s.mean() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_order_statistics() {
+        let s = Summary::of(&[9.0, 2.0, 4.0, 4.0, 5.0, 5.0, 7.0, 4.0]);
+        assert_eq!(s.median(), 4.5);
+        assert_eq!(s.percentile(0.0), 2.0);
+        assert_eq!(s.percentile(100.0), 9.0);
+        assert!((s.percentile(25.0) - 4.0).abs() < 1e-12);
     }
 
     #[test]
@@ -190,5 +85,21 @@ mod tests {
     fn trace_average_of_empty_set() {
         let avg = Trace::average(&[]);
         assert!(avg.points().is_empty());
+    }
+
+    #[test]
+    fn trace_point_is_the_generation_end_event() {
+        use bico_obs::Event;
+        let mut t = Trace::new();
+        t.record_event(&Event::GenerationEnd {
+            generation: 2,
+            evaluations: 300,
+            ul_best: 12.0,
+            gap_best: 0.75,
+        });
+        assert_eq!(
+            t.points(),
+            &[TracePoint { generation: 2, evaluations: 300, ul_best: 12.0, gap_best: 0.75 }]
+        );
     }
 }

@@ -221,9 +221,8 @@ mod tests {
         ps.set_const_range(-1.0, 1.0);
         let mut rng = SmallRng::seed_from_u64(5);
         let pop = ramped_half_and_half(&ps, 200, 1, 3, &mut rng).unwrap();
-        let has_const = pop
-            .iter()
-            .any(|e| e.nodes().iter().any(|n| matches!(n, Node::Const(_))));
+        let has_const =
+            pop.iter().any(|e| e.nodes().iter().any(|n| matches!(n, Node::Const(_))));
         assert!(has_const, "no ephemeral constants generated in 200 trees");
         for e in &pop {
             for n in e.nodes() {

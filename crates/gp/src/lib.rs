@@ -53,7 +53,8 @@ mod tree;
 
 pub use generate::{full, grow, ramped_half_and_half, GenError};
 pub use ops::{
-    mutate_hoist, mutate_point, mutate_shrink, mutate_uniform, subtree_crossover, VariationConfig,
+    mutate_hoist, mutate_point, mutate_shrink, mutate_uniform, subtree_crossover,
+    VariationConfig,
 };
 pub use pretty::to_infix;
 pub use primitives::{OpFn, Operator, PrimitiveSet};

@@ -86,10 +86,8 @@ pub fn mutate_point<R: Rng + ?Sized>(e: &Expr, ps: &PrimitiveSet, rng: &mut R) -
     match nodes[point] {
         Node::Op(id) => {
             let arity = ps.arity(id as usize);
-            let same_arity: Vec<u16> = (0..ps.num_ops())
-                .filter(|&j| ps.arity(j) == arity)
-                .map(|j| j as u16)
-                .collect();
+            let same_arity: Vec<u16> =
+                (0..ps.num_ops()).filter(|&j| ps.arity(j) == arity).map(|j| j as u16).collect();
             nodes[point] = Node::Op(same_arity[rng.random_range(0..same_arity.len())]);
         }
         Node::Term(_) | Node::Const(_) => {

@@ -92,8 +92,7 @@ pub fn parse_sexpr(text: &str, ps: &PrimitiveSet) -> Result<Expr, SexprError> {
         )));
     }
     let expr = Expr::from_nodes(nodes);
-    expr.validate(ps)
-        .map_err(|e| SexprError::Syntax(e.to_string()))?;
+    expr.validate(ps).map_err(|e| SexprError::Syntax(e.to_string()))?;
     Ok(expr)
 }
 

@@ -178,15 +178,32 @@ impl Expr {
 /// Reusable-stack evaluator. Keep one per thread / per worker and call
 /// [`Evaluator::eval`] repeatedly; the value stack is reused across calls
 /// so steady-state evaluation performs no allocation.
+///
+/// The evaluator also keeps a running count of nodes visited
+/// ([`Evaluator::nodes_evaluated`]), the natural work unit for GP cost
+/// accounting: tree size varies per individual, so "evaluations" alone
+/// understates large trees.
 #[derive(Debug, Default)]
 pub struct Evaluator {
     stack: Vec<f64>,
+    nodes: u64,
 }
 
 impl Evaluator {
     /// New evaluator with a small pre-allocated stack.
     pub fn new() -> Self {
-        Evaluator { stack: Vec::with_capacity(64) }
+        Evaluator { stack: Vec::with_capacity(64), nodes: 0 }
+    }
+
+    /// Total tree nodes visited by [`Evaluator::eval`] since creation (or
+    /// the last [`Evaluator::reset_node_count`]).
+    pub fn nodes_evaluated(&self) -> u64 {
+        self.nodes
+    }
+
+    /// Reset the node counter to zero.
+    pub fn reset_node_count(&mut self) {
+        self.nodes = 0;
     }
 
     /// Evaluate `expr` against `terminal_values` (indexed by terminal id).
@@ -198,6 +215,7 @@ impl Evaluator {
     /// [`Expr::validate`]); malformed input may panic in debug builds.
     pub fn eval(&mut self, expr: &Expr, ps: &PrimitiveSet, terminal_values: &[f64]) -> f64 {
         self.stack.clear();
+        self.nodes += expr.nodes().len() as u64;
         // Scan prefix order from the right: operands are on the stack in
         // left-to-right order by the time their operator is visited.
         for node in expr.nodes().iter().rev() {
@@ -399,6 +417,19 @@ mod tests {
         assert_eq!(e.nodes(), &[Node::Op(2), Node::Const(2.0), Node::Term(0)]);
         assert!(e.validate(&ps).is_ok());
         assert_eq!(Evaluator::new().eval(&e, &ps, &[5.0, 0.0]), 10.0);
+    }
+
+    #[test]
+    fn evaluator_counts_nodes() {
+        let ps = ps2();
+        let e = Expr::from_nodes(vec![Node::Op(0), Node::Term(0), Node::Term(1)]);
+        let mut ev = Evaluator::new();
+        assert_eq!(ev.nodes_evaluated(), 0);
+        ev.eval(&e, &ps, &[1.0, 2.0]);
+        ev.eval(&e, &ps, &[1.0, 2.0]);
+        assert_eq!(ev.nodes_evaluated(), 6);
+        ev.reset_node_count();
+        assert_eq!(ev.nodes_evaluated(), 0);
     }
 
     #[test]

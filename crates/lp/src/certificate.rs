@@ -32,7 +32,11 @@ pub fn check_certificate(p: &LpProblem, sol: &LpSolution, tol: f64) -> Result<()
         return Err(format!("x has length {}, expected {}", sol.x.len(), p.n));
     }
     if sol.duals.len() != p.rows.len() {
-        return Err(format!("duals have length {}, expected {}", sol.duals.len(), p.rows.len()));
+        return Err(format!(
+            "duals have length {}, expected {}",
+            sol.duals.len(),
+            p.rows.len()
+        ));
     }
 
     let sense_sign = match p.sense {
@@ -111,8 +115,7 @@ pub fn check_certificate(p: &LpProblem, sol: &LpSolution, tol: f64) -> Result<()
     // 4. variable complementarity
     for j in 0..p.n {
         let xj = sol.x[j];
-        let interior =
-            xj > p.lower[j] + tol * scale && xj < p.upper[j] - tol * scale;
+        let interior = xj > p.lower[j] + tol * scale && xj < p.upper[j] - tol * scale;
         if interior && d[j].abs() > tol * scale * 10.0 {
             return Err(format!("interior variable {j} has nonzero reduced cost {}", d[j]));
         }
@@ -134,10 +137,7 @@ pub fn check_certificate(p: &LpProblem, sol: &LpSolution, tol: f64) -> Result<()
     for i in 0..p.rows.len() {
         let slack = activity[i] - p.rhs[i];
         if (y[i] * slack).abs() > tol * scale * scale {
-            return Err(format!(
-                "row {i}: dual {} times slack {slack} is not ~0",
-                y[i]
-            ));
+            return Err(format!("row {i}: dual {} times slack {slack} is not ~0", y[i]));
         }
     }
 
@@ -152,7 +152,7 @@ mod tests {
     #[test]
     fn rejects_non_optimal_status() {
         let p = LpProblem::minimize(1);
-        let sol = LpSolution::non_optimal(LpStatus::Infeasible, 0);
+        let sol = LpSolution::non_optimal(LpStatus::Infeasible, 0, 0);
         assert!(check_certificate(&p, &sol, 1e-6).is_err());
     }
 

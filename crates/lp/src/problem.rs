@@ -205,8 +205,12 @@ impl LpProblem {
     /// Panics on length mismatch.
     pub fn add_constraint_dense(&mut self, coeffs: &[f64], rel: Relation, rhs: f64) {
         assert_eq!(coeffs.len(), self.n, "dense row length mismatch");
-        let sparse: Vec<(usize, f64)> =
-            coeffs.iter().enumerate().filter(|(_, &c)| c != 0.0).map(|(j, &c)| (j, c)).collect();
+        let sparse: Vec<(usize, f64)> = coeffs
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c != 0.0)
+            .map(|(j, &c)| (j, c))
+            .collect();
         self.rows.push(sparse);
         self.relations.push(rel);
         self.rhs.push(rhs);

@@ -397,11 +397,20 @@ pub(crate) fn solve(p: &LpProblem, opts: &SimplexOptions) -> LpSolution {
             unreachable!("phase 1 cannot be unbounded");
         }
         PhaseOutcome::IterationLimit => {
-            return LpSolution::non_optimal(LpStatus::IterationLimit, tab.iterations);
+            return LpSolution::non_optimal(
+                LpStatus::IterationLimit,
+                tab.iterations,
+                tab.iterations,
+            );
         }
     }
+    let phase1_iterations = tab.iterations;
     if tab.phase_objective() > opts.feas_tol * scale {
-        return LpSolution::non_optimal(LpStatus::Infeasible, tab.iterations);
+        return LpSolution::non_optimal(
+            LpStatus::Infeasible,
+            tab.iterations,
+            phase1_iterations,
+        );
     }
 
     // --- pin artificials to zero and drive basic ones out where possible ---
@@ -447,10 +456,18 @@ pub(crate) fn solve(p: &LpProblem, opts: &SimplexOptions) -> LpSolution {
     match tab.run_phase(false) {
         PhaseOutcome::Optimal => {}
         PhaseOutcome::Unbounded => {
-            return LpSolution::non_optimal(LpStatus::Unbounded, tab.iterations);
+            return LpSolution::non_optimal(
+                LpStatus::Unbounded,
+                tab.iterations,
+                phase1_iterations,
+            );
         }
         PhaseOutcome::IterationLimit => {
-            return LpSolution::non_optimal(LpStatus::IterationLimit, tab.iterations);
+            return LpSolution::non_optimal(
+                LpStatus::IterationLimit,
+                tab.iterations,
+                phase1_iterations,
+            );
         }
     }
 
@@ -483,6 +500,7 @@ pub(crate) fn solve(p: &LpProblem, opts: &SimplexOptions) -> LpSolution {
         duals,
         reduced_costs,
         iterations: tab.iterations,
+        phase1_iterations,
     }
 }
 
@@ -720,6 +738,19 @@ mod tests {
             assert!((-1e-9..=1.0 + 1e-9).contains(&v));
         }
         check_certificate(&p, &sol, 1e-6).unwrap();
+    }
+
+    #[test]
+    fn pivot_counts_split_by_phase() {
+        // A ≥ row makes the initial slack basis infeasible, so phase 1
+        // must pivot at least once; phase-2 pivots are the remainder.
+        let mut p = LpProblem::minimize(2);
+        p.set_objective(&[2.0, 3.0]);
+        p.add_constraint_dense(&[1.0, 1.0], Relation::Ge, 4.0);
+        let sol = p.solve().unwrap();
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert!(sol.phase1_iterations >= 1, "phase 1 must have pivoted");
+        assert!(sol.iterations >= sol.phase1_iterations);
     }
 
     #[test]

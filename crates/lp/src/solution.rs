@@ -36,6 +36,10 @@ pub struct LpSolution {
     pub reduced_costs: Vec<f64>,
     /// Total simplex pivots across both phases.
     pub iterations: usize,
+    /// Pivots spent in phase 1 (finding a feasible basis); `0` when the
+    /// initial slack basis was already feasible. Phase-2 pivots are
+    /// `iterations - phase1_iterations`.
+    pub phase1_iterations: usize,
 }
 
 impl LpSolution {
@@ -44,7 +48,11 @@ impl LpSolution {
         self.status == LpStatus::Optimal
     }
 
-    pub(crate) fn non_optimal(status: LpStatus, iterations: usize) -> Self {
+    pub(crate) fn non_optimal(
+        status: LpStatus,
+        iterations: usize,
+        phase1_iterations: usize,
+    ) -> Self {
         LpSolution {
             status,
             objective: f64::NAN,
@@ -52,6 +60,7 @@ impl LpSolution {
             duals: Vec::new(),
             reduced_costs: Vec::new(),
             iterations,
+            phase1_iterations,
         }
     }
 }
@@ -62,10 +71,11 @@ mod tests {
 
     #[test]
     fn non_optimal_is_empty() {
-        let s = LpSolution::non_optimal(LpStatus::Infeasible, 7);
+        let s = LpSolution::non_optimal(LpStatus::Infeasible, 7, 4);
         assert!(!s.is_optimal());
         assert!(s.objective.is_nan());
         assert!(s.x.is_empty());
         assert_eq!(s.iterations, 7);
+        assert_eq!(s.phase1_iterations, 4);
     }
 }

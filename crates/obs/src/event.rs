@@ -1,0 +1,264 @@
+//! Typed solver events.
+//!
+//! One enum covers every signal the solvers emit. Events borrow string
+//! data (`&'a str`) so emitting one costs no allocation; sinks that need
+//! to keep data copy it out.
+
+use crate::json;
+
+/// Which level of the bi-level problem an event refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Level {
+    /// The leader (pricing) level.
+    Upper,
+    /// The follower (reaction / heuristic) level.
+    Lower,
+}
+
+impl Level {
+    /// Lower-case name used in JSON and log output.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Upper => "upper",
+            Level::Lower => "lower",
+        }
+    }
+}
+
+/// One observable occurrence inside a solver run.
+///
+/// Numeric conventions: counts are `u64`; objective values and gaps are
+/// `f64` and may be non-finite (serialized as JSON `null`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Event<'a> {
+    /// A solver run begins.
+    RunStart {
+        /// Algorithm name (`"carbon"`, `"cobra"`, `"nested"`, …).
+        algo: &'a str,
+        /// Master seed of the run.
+        seed: u64,
+    },
+    /// The run enters a new phase (e.g. `"relaxation"`, `"ul_fitness"`,
+    /// `"breeding"`). Phases partition the run's wall-clock time.
+    PhaseChange {
+        /// Phase name.
+        phase: &'a str,
+    },
+    /// A generation (or improvement generation) begins.
+    GenerationStart {
+        /// Zero-based generation index.
+        generation: u64,
+    },
+    /// A batch of fitness evaluations completed.
+    Evaluation {
+        /// Which population was evaluated.
+        level: Level,
+        /// Number of fitness evaluations in the batch.
+        count: u64,
+        /// GP tree nodes evaluated while scoring the batch (0 when the
+        /// batch involved no GP heuristic).
+        gp_nodes: u64,
+    },
+    /// A batch of lower-level relaxation LP solves completed.
+    LowerLevelSolve {
+        /// Number of LP solves in the batch.
+        solves: u64,
+        /// Total simplex pivots across the batch.
+        pivots: u64,
+    },
+    /// A memoization cache was probed (reserved for future caching
+    /// layers; nothing emits it yet).
+    CacheProbe {
+        /// Cache hits in the batch.
+        hits: u64,
+        /// Cache misses in the batch.
+        misses: u64,
+    },
+    /// An elite archive absorbed a generation's candidates.
+    ArchiveUpdate {
+        /// Which level's archive.
+        level: Level,
+        /// Archive size after the update.
+        size: u64,
+        /// Fitness of the archive's best entry (NaN when empty).
+        best: f64,
+    },
+    /// A generation completed — the Fig. 4/5 sample point.
+    GenerationEnd {
+        /// Zero-based generation index.
+        generation: u64,
+        /// Cumulative evaluations (both levels) consumed so far.
+        evaluations: u64,
+        /// The generation's best upper-level objective.
+        ul_best: f64,
+        /// The generation's best %-gap.
+        gap_best: f64,
+    },
+    /// A solver run finished.
+    RunComplete {
+        /// Generations completed.
+        generations: u64,
+        /// Upper-level evaluations consumed.
+        ul_evaluations: u64,
+        /// Lower-level evaluations consumed.
+        ll_evaluations: u64,
+        /// Best upper-level objective found.
+        best_value: f64,
+        /// Best %-gap found.
+        best_gap: f64,
+    },
+}
+
+impl Event<'_> {
+    /// The event's tag, as written to the JSONL `"event"` field.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Event::RunStart { .. } => "RunStart",
+            Event::PhaseChange { .. } => "PhaseChange",
+            Event::GenerationStart { .. } => "GenerationStart",
+            Event::Evaluation { .. } => "Evaluation",
+            Event::LowerLevelSolve { .. } => "LowerLevelSolve",
+            Event::CacheProbe { .. } => "CacheProbe",
+            Event::ArchiveUpdate { .. } => "ArchiveUpdate",
+            Event::GenerationEnd { .. } => "GenerationEnd",
+            Event::RunComplete { .. } => "RunComplete",
+        }
+    }
+
+    /// Append the event's payload as JSON key/value pairs (no braces,
+    /// leading comma included when there is at least one field).
+    pub(crate) fn write_json_fields(&self, out: &mut String) {
+        match *self {
+            Event::RunStart { algo, seed } => {
+                json::push_str_field(out, "algo", algo);
+                json::push_u64_field(out, "seed", seed);
+            }
+            Event::PhaseChange { phase } => {
+                json::push_str_field(out, "phase", phase);
+            }
+            Event::GenerationStart { generation } => {
+                json::push_u64_field(out, "generation", generation);
+            }
+            Event::Evaluation { level, count, gp_nodes } => {
+                json::push_str_field(out, "level", level.as_str());
+                json::push_u64_field(out, "count", count);
+                json::push_u64_field(out, "gp_nodes", gp_nodes);
+            }
+            Event::LowerLevelSolve { solves, pivots } => {
+                json::push_u64_field(out, "solves", solves);
+                json::push_u64_field(out, "pivots", pivots);
+            }
+            Event::CacheProbe { hits, misses } => {
+                json::push_u64_field(out, "hits", hits);
+                json::push_u64_field(out, "misses", misses);
+            }
+            Event::ArchiveUpdate { level, size, best } => {
+                json::push_str_field(out, "level", level.as_str());
+                json::push_u64_field(out, "size", size);
+                json::push_f64_field(out, "best", best);
+            }
+            Event::GenerationEnd { generation, evaluations, ul_best, gap_best } => {
+                json::push_u64_field(out, "generation", generation);
+                json::push_u64_field(out, "evaluations", evaluations);
+                json::push_f64_field(out, "ul_best", ul_best);
+                json::push_f64_field(out, "gap_best", gap_best);
+            }
+            Event::RunComplete {
+                generations,
+                ul_evaluations,
+                ll_evaluations,
+                best_value,
+                best_gap,
+            } => {
+                json::push_u64_field(out, "generations", generations);
+                json::push_u64_field(out, "ul_evaluations", ul_evaluations);
+                json::push_u64_field(out, "ll_evaluations", ll_evaluations);
+                json::push_f64_field(out, "best_value", best_value);
+                json::push_f64_field(out, "best_gap", best_gap);
+            }
+        }
+    }
+
+    /// Every variant, with placeholder payloads — used by tests that
+    /// must cover the full schema.
+    pub fn examples() -> Vec<Event<'static>> {
+        vec![
+            Event::RunStart { algo: "carbon", seed: 42 },
+            Event::PhaseChange { phase: "relaxation" },
+            Event::GenerationStart { generation: 0 },
+            Event::Evaluation { level: Level::Lower, count: 100, gp_nodes: 4321 },
+            Event::LowerLevelSolve { solves: 100, pivots: 1707 },
+            Event::CacheProbe { hits: 3, misses: 97 },
+            Event::ArchiveUpdate { level: Level::Upper, size: 100, best: 1543.25 },
+            Event::GenerationEnd {
+                generation: 0,
+                evaluations: 200,
+                ul_best: 1543.25,
+                gap_best: 3.4,
+            },
+            Event::RunComplete {
+                generations: 1,
+                ul_evaluations: 100,
+                ll_evaluations: 100,
+                best_value: 1543.25,
+                best_gap: f64::NAN,
+            },
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_stable() {
+        let names: Vec<&str> = Event::examples().iter().map(|e| e.name()).collect();
+        assert_eq!(
+            names,
+            [
+                "RunStart",
+                "PhaseChange",
+                "GenerationStart",
+                "Evaluation",
+                "LowerLevelSolve",
+                "CacheProbe",
+                "ArchiveUpdate",
+                "GenerationEnd",
+                "RunComplete",
+            ]
+        );
+    }
+
+    #[test]
+    fn level_names() {
+        assert_eq!(Level::Upper.as_str(), "upper");
+        assert_eq!(Level::Lower.as_str(), "lower");
+    }
+
+    #[test]
+    fn fields_serialize_to_valid_json_fragments() {
+        for event in Event::examples() {
+            let mut body = String::new();
+            event.write_json_fields(&mut body);
+            let line = format!("{{\"event\":\"{}\"{body}}}", event.name());
+            let value = json::parse(&line).expect("fragment must parse");
+            assert_eq!(value.get("event").and_then(|v| v.as_str()), Some(event.name()));
+        }
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let mut body = String::new();
+        Event::RunComplete {
+            generations: 0,
+            ul_evaluations: 0,
+            ll_evaluations: 0,
+            best_value: f64::INFINITY,
+            best_gap: f64::NAN,
+        }
+        .write_json_fields(&mut body);
+        assert!(body.contains("\"best_value\":null"));
+        assert!(body.contains("\"best_gap\":null"));
+    }
+}

@@ -1,0 +1,50 @@
+#![warn(missing_docs)]
+
+//! # bico-obs — run observability for the bi-level co-evolution stack
+//!
+//! The paper's whole evaluation (Figs. 4–5, Tables III–IV) is about run
+//! *trajectories*: gap-vs-generation curves, evaluation budgets, and
+//! per-phase behavior. This crate makes those trajectories observable
+//! without perturbing the algorithms that produce them.
+//!
+//! ## Architecture
+//!
+//! Solvers emit typed [`Event`]s through a [`RunObserver`]. Observers are
+//! passive: they receive `&Event`, never touch RNG state, and run outside
+//! the rayon parallel sections, so an instrumented run is bit-identical
+//! to an uninstrumented one (asserted by `tests/determinism.rs` at the
+//! workspace root).
+//!
+//! Three composable sinks are provided:
+//!
+//! * [`JsonlSink`] — one JSON object per event, machine-readable
+//!   (`--trace-out run.jsonl`);
+//! * [`ProgressSink`] — human-readable stderr lines, level-filtered via
+//!   `BICO_LOG` / `--log-level`;
+//! * [`MetricsSink`] — lock-free counters and wall-clock timers folded
+//!   into a final [`RunMetrics`] report (`--metrics-out metrics.json`).
+//!
+//! Multiple sinks stack with [`Observers`]; the [`NullObserver`] is the
+//! zero-cost default — `Solver::run` delegates to `run_observed` with a
+//! `&NullObserver`, which monomorphizes every `obs.enabled()` guard to
+//! `false` and lets the instrumentation fold away.
+//!
+//! The crate deliberately has **no dependencies**: [`json`] contains the
+//! tiny writer/parser the sinks and tests need, and [`stats`]/[`trace`]
+//! host the `Summary`/`Trace` types re-exported by `bico-ea` so the
+//! whole workspace shares one source of truth for run statistics.
+
+pub mod event;
+pub mod json;
+pub mod observer;
+pub mod sinks;
+pub mod stats;
+pub mod trace;
+
+pub use event::{Event, Level};
+pub use observer::{NullObserver, Observers, RunObserver};
+pub use sinks::jsonl::{JsonlSink, SharedBuffer};
+pub use sinks::metrics::{MetricsSink, PhaseTiming, RunMetrics};
+pub use sinks::progress::{LogLevel, ProgressSink};
+pub use stats::Summary;
+pub use trace::{Trace, TracePoint, TraceSink};

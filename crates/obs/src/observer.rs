@@ -1,0 +1,168 @@
+//! The observer trait and composition helpers.
+
+use crate::event::Event;
+use std::sync::Arc;
+
+/// A passive receiver of solver [`Event`]s.
+///
+/// Contract (relied on by the determinism tests): observers receive
+/// events by shared reference, are called *outside* parallel sections,
+/// and must not feed anything back into the solver — in particular they
+/// cannot touch RNG state, so attaching any observer leaves the run
+/// bit-identical.
+///
+/// `Sync` is a supertrait because solvers hold the observer across rayon
+/// scopes even though they only call it from the coordinating thread.
+pub trait RunObserver: Sync {
+    /// Cheap pre-check: when `false`, the caller may skip building the
+    /// event entirely. [`NullObserver`] returns `false`, which lets the
+    /// instrumentation fold away in uninstrumented (monomorphized) runs.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Receive one event.
+    fn observe(&self, event: &Event<'_>);
+}
+
+/// The do-nothing observer; `Solver::run` delegates to `run_observed`
+/// with this, making plain runs zero-cost.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullObserver;
+
+impl RunObserver for NullObserver {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn observe(&self, _event: &Event<'_>) {}
+}
+
+impl<O: RunObserver + ?Sized> RunObserver for &O {
+    fn enabled(&self) -> bool {
+        (**self).enabled()
+    }
+
+    fn observe(&self, event: &Event<'_>) {
+        (**self).observe(event)
+    }
+}
+
+impl<O: RunObserver + ?Sized> RunObserver for Box<O> {
+    fn enabled(&self) -> bool {
+        (**self).enabled()
+    }
+
+    fn observe(&self, event: &Event<'_>) {
+        (**self).observe(event)
+    }
+}
+
+impl<O: RunObserver + Send + ?Sized> RunObserver for Arc<O> {
+    fn enabled(&self) -> bool {
+        (**self).enabled()
+    }
+
+    fn observe(&self, event: &Event<'_>) {
+        (**self).observe(event)
+    }
+}
+
+/// A stack of observers, fanned out in push order. Build one in a CLI,
+/// push the sinks the flags ask for, and pass `&stack` to
+/// `run_observed`.
+#[derive(Default)]
+pub struct Observers {
+    stack: Vec<Box<dyn RunObserver>>,
+}
+
+impl Observers {
+    /// Empty stack (disabled until something is pushed).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append an observer.
+    pub fn push(&mut self, obs: Box<dyn RunObserver>) {
+        self.stack.push(obs);
+    }
+
+    /// Builder-style [`push`](Self::push).
+    pub fn with(mut self, obs: Box<dyn RunObserver>) -> Self {
+        self.push(obs);
+        self
+    }
+
+    /// Number of stacked observers.
+    pub fn len(&self) -> usize {
+        self.stack.len()
+    }
+
+    /// True when no observer has been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.stack.is_empty()
+    }
+}
+
+impl RunObserver for Observers {
+    fn enabled(&self) -> bool {
+        self.stack.iter().any(|o| o.enabled())
+    }
+
+    fn observe(&self, event: &Event<'_>) {
+        for obs in &self.stack {
+            if obs.enabled() {
+                obs.observe(event);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[derive(Default)]
+    struct Counter(AtomicU64);
+
+    impl RunObserver for Counter {
+        fn observe(&self, _event: &Event<'_>) {
+            self.0.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    #[test]
+    fn null_observer_is_disabled() {
+        assert!(!NullObserver.enabled());
+        NullObserver.observe(&Event::GenerationStart { generation: 0 }); // no-op
+    }
+
+    #[test]
+    fn stack_fans_out_to_enabled_members() {
+        let counter = Arc::new(Counter::default());
+        let stack =
+            Observers::new().with(Box::new(NullObserver)).with(Box::new(counter.clone()));
+        assert!(stack.enabled());
+        assert_eq!(stack.len(), 2);
+        stack.observe(&Event::GenerationStart { generation: 1 });
+        stack.observe(&Event::GenerationStart { generation: 2 });
+        assert_eq!(counter.0.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn empty_stack_is_disabled() {
+        let stack = Observers::new();
+        assert!(!stack.enabled());
+        assert!(stack.is_empty());
+    }
+
+    #[test]
+    fn reference_and_arc_forward() {
+        let counter = Counter::default();
+        let by_ref: &dyn RunObserver = &&counter;
+        assert!(by_ref.enabled());
+        by_ref.observe(&Event::GenerationStart { generation: 0 });
+        assert_eq!(counter.0.load(Ordering::Relaxed), 1);
+    }
+}

@@ -1,0 +1,232 @@
+//! Structured trace sink: one JSON object per event, one event per line.
+//!
+//! Line schema (stable, documented in the README):
+//!
+//! ```json
+//! {"event":"GenerationEnd","seq":12,"t_ms":34,"tag":"Carbon/500x30/run0","generation":5,...}
+//! ```
+//!
+//! `seq` is a global sequence number over the shared writer, `t_ms` is
+//! milliseconds since the sink was created, and `tag` (optional) labels
+//! the emitting run when several runs share one file — see
+//! [`JsonlSink::with_tag`].
+
+use crate::event::Event;
+use crate::json;
+use crate::observer::RunObserver;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+struct Shared<W> {
+    writer: Mutex<W>,
+    seq: AtomicU64,
+    start: Instant,
+}
+
+/// An observer that appends every event as one JSON line to a writer.
+///
+/// Cloning (or [`with_tag`](Self::with_tag)) shares the underlying
+/// writer and sequence counter, so parallel bench runs can interleave
+/// tagged lines into one file without tearing.
+pub struct JsonlSink<W: Write + Send = BufWriter<File>> {
+    shared: Arc<Shared<W>>,
+    tag: Option<String>,
+}
+
+impl<W: Write + Send> Clone for JsonlSink<W> {
+    fn clone(&self) -> Self {
+        JsonlSink { shared: Arc::clone(&self.shared), tag: self.tag.clone() }
+    }
+}
+
+impl JsonlSink<BufWriter<File>> {
+    /// Create (truncate) `path` and write events to it, buffered.
+    pub fn create(path: &str) -> io::Result<Self> {
+        Ok(JsonlSink::new(BufWriter::new(File::create(path)?)))
+    }
+}
+
+impl<W: Write + Send> JsonlSink<W> {
+    /// Wrap any writer (a file, [`SharedBuffer`], `std::io::sink()`, …).
+    pub fn new(writer: W) -> Self {
+        JsonlSink {
+            shared: Arc::new(Shared {
+                writer: Mutex::new(writer),
+                seq: AtomicU64::new(0),
+                start: Instant::now(),
+            }),
+            tag: None,
+        }
+    }
+
+    /// A handle onto the same writer whose lines carry `"tag":…` —
+    /// used by the bench harness to label each (class, run) stream in a
+    /// shared trace file.
+    pub fn with_tag(&self, tag: impl Into<String>) -> Self {
+        JsonlSink { shared: Arc::clone(&self.shared), tag: Some(tag.into()) }
+    }
+
+    /// Flush the underlying writer.
+    pub fn flush(&self) -> io::Result<()> {
+        self.shared.writer.lock().expect("jsonl writer poisoned").flush()
+    }
+}
+
+impl<W: Write + Send> RunObserver for JsonlSink<W> {
+    fn observe(&self, event: &Event<'_>) {
+        let mut line = String::with_capacity(128);
+        line.push_str("{\"event\":");
+        json::push_string(&mut line, event.name());
+        let seq = self.shared.seq.fetch_add(1, Ordering::Relaxed);
+        json::push_u64_field(&mut line, "seq", seq);
+        let t_ms = self.shared.start.elapsed().as_millis() as u64;
+        json::push_u64_field(&mut line, "t_ms", t_ms);
+        if let Some(tag) = &self.tag {
+            json::push_str_field(&mut line, "tag", tag);
+        }
+        event.write_json_fields(&mut line);
+        line.push_str("}\n");
+        // Best-effort: a full disk must not abort a multi-hour run.
+        let _ = self
+            .shared
+            .writer
+            .lock()
+            .expect("jsonl writer poisoned")
+            .write_all(line.as_bytes());
+    }
+}
+
+/// A cloneable in-memory writer for tests and tools: all clones append
+/// to the same buffer.
+#[derive(Debug, Clone, Default)]
+pub struct SharedBuffer {
+    buf: Arc<Mutex<Vec<u8>>>,
+}
+
+impl SharedBuffer {
+    /// Empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The buffered bytes as UTF-8.
+    pub fn contents(&self) -> String {
+        String::from_utf8_lossy(&self.buf.lock().expect("buffer poisoned")).into_owned()
+    }
+}
+
+impl Write for SharedBuffer {
+    fn write(&mut self, data: &[u8]) -> io::Result<usize> {
+        self.buf.lock().expect("buffer poisoned").extend_from_slice(data);
+        Ok(data.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::{parse, Value};
+
+    #[test]
+    fn every_line_is_valid_json_with_an_event_tag() {
+        let buffer = SharedBuffer::new();
+        let sink = JsonlSink::new(buffer.clone());
+        for event in Event::examples() {
+            sink.observe(&event);
+        }
+        sink.flush().unwrap();
+        let text = buffer.contents();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), Event::examples().len());
+        for (line, event) in lines.iter().zip(Event::examples()) {
+            let value = parse(line).unwrap_or_else(|e| panic!("bad line {line:?}: {e}"));
+            assert_eq!(value.get("event").and_then(Value::as_str), Some(event.name()));
+            assert!(value.get("seq").and_then(Value::as_u64).is_some());
+            assert!(value.get("t_ms").and_then(Value::as_u64).is_some());
+        }
+    }
+
+    #[test]
+    fn payload_fields_round_trip() {
+        let buffer = SharedBuffer::new();
+        let sink = JsonlSink::new(buffer.clone());
+        sink.observe(&Event::GenerationEnd {
+            generation: 7,
+            evaluations: 1600,
+            ul_best: 1543.25,
+            gap_best: 3.4,
+        });
+        let text = buffer.contents();
+        let value = parse(text.trim()).unwrap();
+        assert_eq!(value.get("generation").and_then(Value::as_u64), Some(7));
+        assert_eq!(value.get("evaluations").and_then(Value::as_u64), Some(1600));
+        assert_eq!(value.get("ul_best").and_then(Value::as_f64), Some(1543.25));
+        assert_eq!(value.get("gap_best").and_then(Value::as_f64), Some(3.4));
+    }
+
+    #[test]
+    fn tags_share_the_writer_and_sequence() {
+        let buffer = SharedBuffer::new();
+        let sink = JsonlSink::new(buffer.clone());
+        let a = sink.with_tag("run0");
+        let b = sink.with_tag("run1");
+        a.observe(&Event::GenerationStart { generation: 0 });
+        b.observe(&Event::GenerationStart { generation: 0 });
+        a.observe(&Event::GenerationStart { generation: 1 });
+        let text = buffer.contents();
+        let mut seqs = Vec::new();
+        let mut tags = Vec::new();
+        for line in text.lines() {
+            let v = parse(line).unwrap();
+            seqs.push(v.get("seq").and_then(Value::as_u64).unwrap());
+            tags.push(v.get("tag").and_then(Value::as_str).unwrap().to_string());
+        }
+        assert_eq!(seqs, [0, 1, 2], "clones must share one sequence");
+        assert_eq!(tags, ["run0", "run1", "run0"]);
+    }
+
+    #[test]
+    fn non_finite_payloads_stay_parseable() {
+        let buffer = SharedBuffer::new();
+        let sink = JsonlSink::new(buffer.clone());
+        sink.observe(&Event::GenerationEnd {
+            generation: 0,
+            evaluations: 0,
+            ul_best: f64::NEG_INFINITY,
+            gap_best: f64::NAN,
+        });
+        let text = buffer.contents();
+        let value = parse(text.trim()).unwrap();
+        assert_eq!(value.get("ul_best"), Some(&Value::Null));
+        assert_eq!(value.get("gap_best"), Some(&Value::Null));
+    }
+
+    #[test]
+    fn concurrent_writers_never_tear_lines() {
+        let buffer = SharedBuffer::new();
+        let sink = JsonlSink::new(buffer.clone());
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let tagged = sink.with_tag(format!("t{t}"));
+                scope.spawn(move || {
+                    for g in 0..50 {
+                        tagged.observe(&Event::GenerationStart { generation: g });
+                    }
+                });
+            }
+        });
+        let text = buffer.contents();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 200);
+        for line in lines {
+            parse(line).unwrap_or_else(|e| panic!("torn line {line:?}: {e}"));
+        }
+    }
+}

@@ -1,0 +1,394 @@
+//! Metrics sink: lock-free counters plus wall-clock timers, folded into
+//! a final [`RunMetrics`] report.
+//!
+//! Counters are atomic and exact under any interleaving — attach one
+//! sink to a whole batch of parallel runs and the totals still add up.
+//! The wall-clock parts (per-phase durations, generation latency) are
+//! keyed off `PhaseChange`/`GenerationStart`/`GenerationEnd` pairs and
+//! are only meaningful when a single run feeds the sink at a time; with
+//! interleaved runs the counters remain exact while the timings blur.
+
+use crate::event::{Event, Level};
+use crate::json;
+use crate::observer::RunObserver;
+use crate::stats::Summary;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Wall-clock total for one named phase.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseTiming {
+    /// Phase name, as emitted by `PhaseChange`.
+    pub phase: String,
+    /// Total seconds spent in the phase (summed over revisits).
+    pub seconds: f64,
+}
+
+#[derive(Default)]
+struct TimedState {
+    current_phase: Option<(String, Instant)>,
+    phase_totals: Vec<(String, Duration)>, // insertion-ordered
+    generation_start: Option<Instant>,
+    generation_seconds: Summary,
+}
+
+impl TimedState {
+    fn accrue_phase(&mut self, now: Instant) {
+        if let Some((name, since)) = self.current_phase.take() {
+            let elapsed = now.duration_since(since);
+            match self.phase_totals.iter_mut().find(|(n, _)| *n == name) {
+                Some((_, total)) => *total += elapsed,
+                None => self.phase_totals.push((name, elapsed)),
+            }
+        }
+    }
+}
+
+/// An observer aggregating counters and timers across every event it
+/// sees. Call [`MetricsSink::report`] when the run(s) finish.
+#[derive(Default)]
+pub struct MetricsSink {
+    runs: AtomicU64,
+    generations: AtomicU64,
+    ul_evaluations: AtomicU64,
+    ll_evaluations: AtomicU64,
+    gp_node_evals: AtomicU64,
+    ll_solves: AtomicU64,
+    simplex_pivots: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    archive_updates: AtomicU64,
+    timed: Mutex<TimedState>,
+    created: Option<Instant>,
+}
+
+impl MetricsSink {
+    /// Fresh sink; the wall clock starts now.
+    pub fn new() -> Self {
+        MetricsSink { created: Some(Instant::now()), ..Default::default() }
+    }
+
+    /// Fold the accumulated state into a report. The sink keeps
+    /// accumulating afterwards (the report is a snapshot).
+    pub fn report(&self) -> RunMetrics {
+        let timed = self.timed.lock().expect("metrics mutex poisoned");
+        let generation_seconds = timed.generation_seconds.clone();
+        let phases: Vec<PhaseTiming> = timed
+            .phase_totals
+            .iter()
+            .map(|(phase, total)| PhaseTiming {
+                phase: phase.clone(),
+                seconds: total.as_secs_f64(),
+            })
+            .collect();
+        drop(timed);
+        let ul = self.ul_evaluations.load(Ordering::Relaxed);
+        let ll = self.ll_evaluations.load(Ordering::Relaxed);
+        RunMetrics {
+            runs: self.runs.load(Ordering::Relaxed),
+            generations: self.generations.load(Ordering::Relaxed),
+            evaluations: ul + ll,
+            ul_evaluations: ul,
+            ll_evaluations: ll,
+            gp_node_evals: self.gp_node_evals.load(Ordering::Relaxed),
+            ll_solves: self.ll_solves.load(Ordering::Relaxed),
+            simplex_pivots: self.simplex_pivots.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            archive_updates: self.archive_updates.load(Ordering::Relaxed),
+            wall_seconds: self.created.map_or(0.0, |c| c.elapsed().as_secs_f64()),
+            phases,
+            generation_seconds,
+        }
+    }
+}
+
+impl RunObserver for MetricsSink {
+    fn observe(&self, event: &Event<'_>) {
+        match *event {
+            Event::RunStart { .. } => {
+                self.runs.fetch_add(1, Ordering::Relaxed);
+            }
+            Event::PhaseChange { phase } => {
+                let now = Instant::now();
+                let mut timed = self.timed.lock().expect("metrics mutex poisoned");
+                timed.accrue_phase(now);
+                timed.current_phase = Some((phase.to_string(), now));
+            }
+            Event::GenerationStart { .. } => {
+                let mut timed = self.timed.lock().expect("metrics mutex poisoned");
+                timed.generation_start = Some(Instant::now());
+            }
+            Event::Evaluation { level, count, gp_nodes } => {
+                match level {
+                    Level::Upper => &self.ul_evaluations,
+                    Level::Lower => &self.ll_evaluations,
+                }
+                .fetch_add(count, Ordering::Relaxed);
+                self.gp_node_evals.fetch_add(gp_nodes, Ordering::Relaxed);
+            }
+            Event::LowerLevelSolve { solves, pivots } => {
+                self.ll_solves.fetch_add(solves, Ordering::Relaxed);
+                self.simplex_pivots.fetch_add(pivots, Ordering::Relaxed);
+            }
+            Event::CacheProbe { hits, misses } => {
+                self.cache_hits.fetch_add(hits, Ordering::Relaxed);
+                self.cache_misses.fetch_add(misses, Ordering::Relaxed);
+            }
+            Event::ArchiveUpdate { .. } => {
+                self.archive_updates.fetch_add(1, Ordering::Relaxed);
+            }
+            Event::GenerationEnd { .. } => {
+                self.generations.fetch_add(1, Ordering::Relaxed);
+                let mut timed = self.timed.lock().expect("metrics mutex poisoned");
+                if let Some(start) = timed.generation_start.take() {
+                    let seconds = start.elapsed().as_secs_f64();
+                    timed.generation_seconds.push(seconds);
+                }
+            }
+            Event::RunComplete { .. } => {
+                let now = Instant::now();
+                let mut timed = self.timed.lock().expect("metrics mutex poisoned");
+                timed.accrue_phase(now);
+                timed.generation_start = None;
+            }
+        }
+    }
+}
+
+/// Snapshot of a [`MetricsSink`] — what `--metrics-out` serializes.
+#[derive(Debug, Clone)]
+pub struct RunMetrics {
+    /// Solver runs observed (`RunStart` count).
+    pub runs: u64,
+    /// Generations completed across all runs.
+    pub generations: u64,
+    /// Total fitness evaluations, both levels.
+    pub evaluations: u64,
+    /// Upper-level fitness evaluations.
+    pub ul_evaluations: u64,
+    /// Lower-level fitness evaluations.
+    pub ll_evaluations: u64,
+    /// GP tree nodes evaluated.
+    pub gp_node_evals: u64,
+    /// Lower-level relaxation LP solves.
+    pub ll_solves: u64,
+    /// Simplex pivots across those solves.
+    pub simplex_pivots: u64,
+    /// Cache hits (0 until a caching layer lands).
+    pub cache_hits: u64,
+    /// Cache misses.
+    pub cache_misses: u64,
+    /// Archive-update events.
+    pub archive_updates: u64,
+    /// Seconds since the sink was created.
+    pub wall_seconds: f64,
+    /// Per-phase wall-clock totals, in first-seen order.
+    pub phases: Vec<PhaseTiming>,
+    /// Distribution of per-generation latencies (seconds).
+    pub generation_seconds: Summary,
+}
+
+impl RunMetrics {
+    /// Serialize as a pretty-printed JSON object.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(512);
+        out.push_str("{\n");
+        let mut field = |key: &str, tail: &str| {
+            out.push_str("  \"");
+            out.push_str(key);
+            out.push_str("\": ");
+            out.push_str(tail);
+            out.push_str(",\n");
+        };
+        field("runs", &self.runs.to_string());
+        field("generations", &self.generations.to_string());
+        field("evaluations", &self.evaluations.to_string());
+        field("ul_evaluations", &self.ul_evaluations.to_string());
+        field("ll_evaluations", &self.ll_evaluations.to_string());
+        field("gp_node_evals", &self.gp_node_evals.to_string());
+        field("ll_solves", &self.ll_solves.to_string());
+        field("simplex_pivots", &self.simplex_pivots.to_string());
+        field("cache_hits", &self.cache_hits.to_string());
+        field("cache_misses", &self.cache_misses.to_string());
+        field("archive_updates", &self.archive_updates.to_string());
+        let mut wall = String::new();
+        json::push_f64(&mut wall, self.wall_seconds);
+        field("wall_seconds", &wall);
+
+        out.push_str("  \"phases\": [");
+        for (i, timing) in self.phases.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {\"phase\": ");
+            json::push_string(&mut out, &timing.phase);
+            out.push_str(", \"seconds\": ");
+            json::push_f64(&mut out, timing.seconds);
+            out.push('}');
+        }
+        if !self.phases.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("],\n");
+
+        let g = &self.generation_seconds;
+        out.push_str("  \"generation_seconds\": {");
+        let stats = [
+            ("count", g.count() as f64),
+            ("mean", g.mean()),
+            ("median", g.median()),
+            ("p90", g.percentile(90.0)),
+            ("min", g.min()),
+            ("max", g.max()),
+        ];
+        for (i, (key, value)) in stats.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push('"');
+            out.push_str(key);
+            out.push_str("\": ");
+            json::push_f64(&mut out, *value);
+        }
+        out.push_str("}\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::{parse, Value};
+
+    #[test]
+    fn counters_aggregate() {
+        let sink = MetricsSink::new();
+        sink.observe(&Event::RunStart { algo: "carbon", seed: 1 });
+        sink.observe(&Event::Evaluation { level: Level::Upper, count: 10, gp_nodes: 0 });
+        sink.observe(&Event::Evaluation { level: Level::Lower, count: 20, gp_nodes: 500 });
+        sink.observe(&Event::LowerLevelSolve { solves: 10, pivots: 170 });
+        sink.observe(&Event::ArchiveUpdate { level: Level::Upper, size: 5, best: 1.0 });
+        sink.observe(&Event::CacheProbe { hits: 2, misses: 8 });
+        let m = sink.report();
+        assert_eq!(m.runs, 1);
+        assert_eq!(m.evaluations, 30);
+        assert_eq!(m.ul_evaluations, 10);
+        assert_eq!(m.ll_evaluations, 20);
+        assert_eq!(m.gp_node_evals, 500);
+        assert_eq!(m.ll_solves, 10);
+        assert_eq!(m.simplex_pivots, 170);
+        assert_eq!(m.archive_updates, 1);
+        assert_eq!(m.cache_hits, 2);
+        assert_eq!(m.cache_misses, 8);
+    }
+
+    #[test]
+    fn counters_are_exact_under_threads() {
+        let sink = MetricsSink::new();
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    for _ in 0..1000 {
+                        sink.observe(&Event::Evaluation {
+                            level: Level::Lower,
+                            count: 3,
+                            gp_nodes: 7,
+                        });
+                        sink.observe(&Event::LowerLevelSolve { solves: 1, pivots: 2 });
+                    }
+                });
+            }
+        });
+        let m = sink.report();
+        assert_eq!(m.ll_evaluations, 8 * 1000 * 3);
+        assert_eq!(m.gp_node_evals, 8 * 1000 * 7);
+        assert_eq!(m.ll_solves, 8 * 1000);
+        assert_eq!(m.simplex_pivots, 8 * 1000 * 2);
+    }
+
+    #[test]
+    fn phases_accrue_by_name() {
+        let sink = MetricsSink::new();
+        sink.observe(&Event::PhaseChange { phase: "relaxation" });
+        sink.observe(&Event::PhaseChange { phase: "breeding" });
+        sink.observe(&Event::PhaseChange { phase: "relaxation" });
+        sink.observe(&Event::RunComplete {
+            generations: 0,
+            ul_evaluations: 0,
+            ll_evaluations: 0,
+            best_value: 0.0,
+            best_gap: 0.0,
+        });
+        let m = sink.report();
+        let names: Vec<&str> = m.phases.iter().map(|p| p.phase.as_str()).collect();
+        assert_eq!(names, ["relaxation", "breeding"], "revisits merge by name");
+        for p in &m.phases {
+            assert!(p.seconds >= 0.0);
+        }
+    }
+
+    #[test]
+    fn generation_latency_is_summarized() {
+        let sink = MetricsSink::new();
+        for g in 0..3 {
+            sink.observe(&Event::GenerationStart { generation: g });
+            sink.observe(&Event::GenerationEnd {
+                generation: g,
+                evaluations: 10 * (g + 1),
+                ul_best: 0.0,
+                gap_best: 0.0,
+            });
+        }
+        let m = sink.report();
+        assert_eq!(m.generations, 3);
+        assert_eq!(m.generation_seconds.count(), 3);
+        assert!(m.generation_seconds.median() >= 0.0);
+    }
+
+    #[test]
+    fn report_json_is_valid_and_complete() {
+        let sink = MetricsSink::new();
+        sink.observe(&Event::PhaseChange { phase: "relaxation" });
+        sink.observe(&Event::Evaluation { level: Level::Upper, count: 4, gp_nodes: 0 });
+        sink.observe(&Event::RunComplete {
+            generations: 1,
+            ul_evaluations: 4,
+            ll_evaluations: 0,
+            best_value: 1.0,
+            best_gap: 0.5,
+        });
+        let text = sink.report().to_json();
+        let value = parse(&text).unwrap_or_else(|e| panic!("bad JSON: {e}\n{text}"));
+        for key in [
+            "runs",
+            "generations",
+            "evaluations",
+            "ul_evaluations",
+            "ll_evaluations",
+            "gp_node_evals",
+            "ll_solves",
+            "simplex_pivots",
+            "cache_hits",
+            "cache_misses",
+            "archive_updates",
+            "wall_seconds",
+            "phases",
+            "generation_seconds",
+        ] {
+            assert!(value.get(key).is_some(), "missing key {key}");
+        }
+        assert_eq!(value.get("evaluations").and_then(Value::as_u64), Some(4));
+        match value.get("phases") {
+            Some(Value::Array(items)) => {
+                assert_eq!(items.len(), 1);
+                assert_eq!(items[0].get("phase").and_then(Value::as_str), Some("relaxation"));
+            }
+            other => panic!("phases not an array: {other:?}"),
+        }
+        // An empty latency summary serializes NaN stats as null and must
+        // still parse.
+        assert!(value.get("generation_seconds").unwrap().get("mean").is_some());
+    }
+}

@@ -1,0 +1,5 @@
+//! Provided observer implementations.
+
+pub mod jsonl;
+pub mod metrics;
+pub mod progress;

@@ -1,0 +1,235 @@
+//! Human-readable progress sink (stderr, level-filtered).
+//!
+//! Verbosity is a [`LogLevel`], settable per sink or from the
+//! `BICO_LOG` environment variable (`off|error|warn|info|debug|trace`,
+//! default `warn`). Event → level mapping:
+//!
+//! * `info`: `RunStart`, `GenerationEnd` (the progress line),
+//!   `RunComplete`;
+//! * `debug`: `PhaseChange`, `ArchiveUpdate`;
+//! * `trace`: everything else (`GenerationStart`, `Evaluation`,
+//!   `LowerLevelSolve`, `CacheProbe`).
+
+use crate::event::Event;
+use crate::observer::RunObserver;
+use std::io::Write;
+use std::str::FromStr;
+use std::sync::Mutex;
+
+/// Verbosity threshold, ordered `Off < Error < … < Trace`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum LogLevel {
+    /// Log nothing.
+    Off,
+    /// Errors only (reserved; the solvers currently emit none).
+    Error,
+    /// Warnings only — the quiet default.
+    #[default]
+    Warn,
+    /// Run lifecycle and per-generation progress.
+    Info,
+    /// Plus phase changes and archive updates.
+    Debug,
+    /// Every event.
+    Trace,
+}
+
+impl LogLevel {
+    /// Read the level from `BICO_LOG` (default [`LogLevel::Warn`];
+    /// unparseable values also fall back to the default).
+    pub fn from_env() -> LogLevel {
+        std::env::var("BICO_LOG").ok().and_then(|v| v.parse().ok()).unwrap_or_default()
+    }
+
+    /// The canonical lower-case name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            LogLevel::Off => "off",
+            LogLevel::Error => "error",
+            LogLevel::Warn => "warn",
+            LogLevel::Info => "info",
+            LogLevel::Debug => "debug",
+            LogLevel::Trace => "trace",
+        }
+    }
+}
+
+impl FromStr for LogLevel {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "off" => Ok(LogLevel::Off),
+            "error" => Ok(LogLevel::Error),
+            "warn" | "warning" => Ok(LogLevel::Warn),
+            "info" => Ok(LogLevel::Info),
+            "debug" => Ok(LogLevel::Debug),
+            "trace" => Ok(LogLevel::Trace),
+            other => {
+                Err(format!("unknown log level {other:?} (off|error|warn|info|debug|trace)"))
+            }
+        }
+    }
+}
+
+/// The level at which an event is logged.
+fn event_level(event: &Event<'_>) -> LogLevel {
+    match event {
+        Event::RunStart { .. } | Event::GenerationEnd { .. } | Event::RunComplete { .. } => {
+            LogLevel::Info
+        }
+        Event::PhaseChange { .. } | Event::ArchiveUpdate { .. } => LogLevel::Debug,
+        Event::GenerationStart { .. }
+        | Event::Evaluation { .. }
+        | Event::LowerLevelSolve { .. }
+        | Event::CacheProbe { .. } => LogLevel::Trace,
+    }
+}
+
+/// An observer that renders events as single human-readable lines.
+pub struct ProgressSink {
+    level: LogLevel,
+    out: Mutex<Box<dyn Write + Send>>,
+}
+
+impl ProgressSink {
+    /// Log to stderr at `level`.
+    pub fn stderr(level: LogLevel) -> Self {
+        Self::to_writer(level, Box::new(std::io::stderr()))
+    }
+
+    /// Log to stderr at the `BICO_LOG` level.
+    pub fn from_env() -> Self {
+        Self::stderr(LogLevel::from_env())
+    }
+
+    /// Log to an arbitrary writer (used by the tests).
+    pub fn to_writer(level: LogLevel, out: Box<dyn Write + Send>) -> Self {
+        ProgressSink { level, out: Mutex::new(out) }
+    }
+
+    /// The configured threshold.
+    pub fn level(&self) -> LogLevel {
+        self.level
+    }
+
+    fn render(event: &Event<'_>) -> String {
+        match *event {
+            Event::RunStart { algo, seed } => format!("run start: {algo}, seed {seed}"),
+            Event::PhaseChange { phase } => format!("phase: {phase}"),
+            Event::GenerationStart { generation } => format!("gen {generation} start"),
+            Event::Evaluation { level, count, gp_nodes } => {
+                format!("evaluated {count} {} individuals ({gp_nodes} GP nodes)", level.as_str())
+            }
+            Event::LowerLevelSolve { solves, pivots } => {
+                format!("relaxation: {solves} LP solves, {pivots} pivots")
+            }
+            Event::CacheProbe { hits, misses } => {
+                format!("cache: {hits} hits, {misses} misses")
+            }
+            Event::ArchiveUpdate { level, size, best } => {
+                format!("{} archive: size {size}, best {best:.4}", level.as_str())
+            }
+            Event::GenerationEnd { generation, evaluations, ul_best, gap_best } => {
+                format!(
+                    "gen {generation:>4} | evals {evaluations:>8} | best F {ul_best:>12.2} | best gap {gap_best:>8.3}%"
+                )
+            }
+            Event::RunComplete {
+                generations,
+                ul_evaluations,
+                ll_evaluations,
+                best_value,
+                best_gap,
+            } => format!(
+                "run complete: {generations} generations, {ul_evaluations}+{ll_evaluations} evals, best F {best_value:.2}, best gap {best_gap:.3}%"
+            ),
+        }
+    }
+}
+
+impl RunObserver for ProgressSink {
+    fn enabled(&self) -> bool {
+        self.level > LogLevel::Warn
+    }
+
+    fn observe(&self, event: &Event<'_>) {
+        if event_level(event) > self.level {
+            return;
+        }
+        let line = format!("bico: {}\n", Self::render(event));
+        // Best-effort, like the JSONL sink.
+        let _ = self.out.lock().expect("progress writer poisoned").write_all(line.as_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Level;
+    use crate::sinks::jsonl::SharedBuffer;
+
+    fn capture(level: LogLevel, events: &[Event<'_>]) -> String {
+        let buffer = SharedBuffer::new();
+        let sink = ProgressSink::to_writer(level, Box::new(buffer.clone()));
+        for event in events {
+            if sink.enabled() {
+                sink.observe(event);
+            }
+        }
+        buffer.contents()
+    }
+
+    #[test]
+    fn levels_parse_and_order() {
+        assert_eq!("info".parse::<LogLevel>().unwrap(), LogLevel::Info);
+        assert_eq!("TRACE".parse::<LogLevel>().unwrap(), LogLevel::Trace);
+        assert_eq!("warning".parse::<LogLevel>().unwrap(), LogLevel::Warn);
+        assert!("verbose".parse::<LogLevel>().is_err());
+        assert!(LogLevel::Off < LogLevel::Error);
+        assert!(LogLevel::Info < LogLevel::Debug);
+        assert_eq!(LogLevel::default(), LogLevel::Warn);
+    }
+
+    #[test]
+    fn warn_default_logs_nothing() {
+        let out = capture(LogLevel::Warn, &Event::examples());
+        assert!(out.is_empty(), "unexpected output: {out}");
+    }
+
+    #[test]
+    fn info_logs_lifecycle_and_progress_only() {
+        let out = capture(LogLevel::Info, &Event::examples());
+        assert!(out.contains("run start"));
+        assert!(out.contains("| best gap"));
+        assert!(out.contains("run complete"));
+        assert!(!out.contains("phase:"));
+        assert!(!out.contains("LP solves"));
+    }
+
+    #[test]
+    fn debug_adds_phases_and_archives() {
+        let out = capture(LogLevel::Debug, &Event::examples());
+        assert!(out.contains("phase: relaxation"));
+        assert!(out.contains("archive: size"));
+        assert!(!out.contains("LP solves"));
+    }
+
+    #[test]
+    fn trace_logs_everything() {
+        let out = capture(LogLevel::Trace, &Event::examples());
+        assert!(out.contains("LP solves"));
+        assert!(out.contains("cache:"));
+        assert!(out.contains("gen 0 start"));
+        assert_eq!(out.lines().count(), Event::examples().len());
+    }
+
+    #[test]
+    fn evaluation_line_names_the_level() {
+        let out = capture(
+            LogLevel::Trace,
+            &[Event::Evaluation { level: Level::Upper, count: 9, gp_nodes: 0 }],
+        );
+        assert!(out.contains("9 upper individuals"));
+    }
+}

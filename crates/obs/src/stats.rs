@@ -1,0 +1,168 @@
+//! Summary statistics.
+//!
+//! [`Summary`] is the workspace's shared accumulator (re-exported by
+//! `bico-ea` as `stats::Summary`): Welford's online algorithm for the
+//! moments, plus the raw samples for exact order statistics —
+//! [`Summary::median`] and [`Summary::percentile`] feed the
+//! [`MetricsSink`](crate::MetricsSink) latency report.
+
+/// Online mean/variance/min/max accumulator (Welford) that also retains
+/// the samples for order statistics.
+#[derive(Debug, Clone, Default)]
+pub struct Summary {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+    values: Vec<f64>,
+}
+
+impl Summary {
+    /// Empty summary.
+    pub fn new() -> Self {
+        Summary {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            values: Vec::new(),
+        }
+    }
+
+    /// Build a summary from a slice.
+    pub fn of(values: &[f64]) -> Self {
+        let mut s = Self::new();
+        for &v in values {
+            s.push(v);
+        }
+        s
+    }
+
+    /// Accumulate one value (NaN values are ignored).
+    pub fn push(&mut self, v: f64) {
+        if v.is_nan() {
+            return;
+        }
+        self.n += 1;
+        let delta = v - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (v - self.mean);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        self.values.push(v);
+    }
+
+    /// Count of accumulated values.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Arithmetic mean (NaN when empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.mean
+        }
+    }
+
+    /// Sample standard deviation (NaN when `count < 2`: with zero or one
+    /// sample the `n − 1` denominator is undefined).
+    pub fn std_dev(&self) -> f64 {
+        if self.n < 2 {
+            f64::NAN
+        } else {
+            (self.m2 / (self.n - 1) as f64).sqrt()
+        }
+    }
+
+    /// Minimum (∞ when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Maximum (−∞ when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// The `p`-th percentile, `p ∈ [0, 100]`, with linear interpolation
+    /// between closest ranks (NaN when empty or `p` out of range).
+    pub fn percentile(&self, p: f64) -> f64 {
+        if self.values.is_empty() || !(0.0..=100.0).contains(&p) {
+            return f64::NAN;
+        }
+        let mut sorted = self.values.clone();
+        // NaN is never pushed, so a total order exists.
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN stored"));
+        let rank = p / 100.0 * (sorted.len() - 1) as f64;
+        let lo = rank.floor() as usize;
+        let hi = rank.ceil() as usize;
+        if lo == hi {
+            sorted[lo]
+        } else {
+            sorted[lo] + (rank - lo as f64) * (sorted[hi] - sorted[lo])
+        }
+    }
+
+    /// The median (50th percentile; NaN when empty).
+    pub fn median(&self) -> f64 {
+        self.percentile(50.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_moments() {
+        let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.std_dev() - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn std_dev_needs_two_samples() {
+        assert!(Summary::new().std_dev().is_nan());
+        assert!(Summary::of(&[3.0]).std_dev().is_nan());
+        assert_eq!(Summary::of(&[3.0, 3.0]).std_dev(), 0.0);
+    }
+
+    #[test]
+    fn median_odd_and_even() {
+        assert_eq!(Summary::of(&[3.0, 1.0, 2.0]).median(), 2.0);
+        assert_eq!(Summary::of(&[4.0, 1.0, 2.0, 3.0]).median(), 2.5);
+        assert!(Summary::new().median().is_nan());
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let s = Summary::of(&[10.0, 20.0, 30.0, 40.0, 50.0]);
+        assert_eq!(s.percentile(0.0), 10.0);
+        assert_eq!(s.percentile(100.0), 50.0);
+        assert_eq!(s.percentile(50.0), 30.0);
+        assert!((s.percentile(90.0) - 46.0).abs() < 1e-12);
+        assert!((s.percentile(12.5) - 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_out_of_range_is_nan() {
+        let s = Summary::of(&[1.0, 2.0]);
+        assert!(s.percentile(-1.0).is_nan());
+        assert!(s.percentile(100.1).is_nan());
+    }
+
+    #[test]
+    fn nan_is_ignored_everywhere() {
+        let s = Summary::of(&[1.0, f64::NAN, 3.0]);
+        assert_eq!(s.count(), 2);
+        assert!((s.mean() - 2.0).abs() < 1e-12);
+        assert_eq!(s.median(), 2.0);
+    }
+}

@@ -1,0 +1,206 @@
+//! Convergence traces.
+//!
+//! [`Trace`]/[`TracePoint`] are the Fig. 4/5 data series, re-exported by
+//! `bico-ea` as `stats::{Trace, TracePoint}` so the solvers and the
+//! bench report code share one definition. A [`TracePoint`] is exactly
+//! the payload of an [`Event::GenerationEnd`], and [`TraceSink`] is the
+//! adapter that rebuilds a `Trace` from an event stream.
+
+use crate::event::Event;
+use crate::observer::RunObserver;
+use std::sync::Mutex;
+
+/// One sampled point of a convergence trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TracePoint {
+    /// Generation index.
+    pub generation: usize,
+    /// Cumulative fitness evaluations consumed when sampled.
+    pub evaluations: u64,
+    /// Best upper-level objective so far.
+    pub ul_best: f64,
+    /// Best lower-level %-gap so far.
+    pub gap_best: f64,
+}
+
+impl TracePoint {
+    /// Build a point from a [`Event::GenerationEnd`]; `None` for other
+    /// variants.
+    pub fn from_event(event: &Event<'_>) -> Option<TracePoint> {
+        match *event {
+            Event::GenerationEnd { generation, evaluations, ul_best, gap_best } => {
+                Some(TracePoint {
+                    generation: generation as usize,
+                    evaluations,
+                    ul_best,
+                    gap_best,
+                })
+            }
+            _ => None,
+        }
+    }
+
+    /// The equivalent event (the inverse of [`TracePoint::from_event`]).
+    pub fn to_event(self) -> Event<'static> {
+        Event::GenerationEnd {
+            generation: self.generation as u64,
+            evaluations: self.evaluations,
+            ul_best: self.ul_best,
+            gap_best: self.gap_best,
+        }
+    }
+}
+
+/// A per-run convergence series.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    points: Vec<TracePoint>,
+}
+
+impl Trace {
+    /// Empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a sample.
+    pub fn record(&mut self, generation: usize, evaluations: u64, ul_best: f64, gap_best: f64) {
+        self.points.push(TracePoint { generation, evaluations, ul_best, gap_best });
+    }
+
+    /// Append the sample carried by a [`Event::GenerationEnd`]; other
+    /// events are ignored.
+    pub fn record_event(&mut self, event: &Event<'_>) {
+        if let Some(point) = TracePoint::from_event(event) {
+            self.points.push(point);
+        }
+    }
+
+    /// The recorded points, in order.
+    pub fn points(&self) -> &[TracePoint] {
+        &self.points
+    }
+
+    /// Average several traces point-wise (series are truncated to the
+    /// shortest — the paper averages aligned generations over 30 runs).
+    pub fn average(traces: &[Trace]) -> Trace {
+        let Some(min_len) = traces.iter().map(|t| t.points.len()).min() else {
+            return Trace::new();
+        };
+        let mut out = Trace::new();
+        for i in 0..min_len {
+            let n = traces.len() as f64;
+            let gen = traces[0].points[i].generation;
+            let evals =
+                (traces.iter().map(|t| t.points[i].evaluations).sum::<u64>() as f64 / n) as u64;
+            let ul = traces.iter().map(|t| t.points[i].ul_best).sum::<f64>() / n;
+            let gap = traces.iter().map(|t| t.points[i].gap_best).sum::<f64>() / n;
+            out.record(gen, evals, ul, gap);
+        }
+        out
+    }
+}
+
+/// An observer that rebuilds a [`Trace`] from the event stream — the
+/// bridge between the event-based instrumentation and the trace-based
+/// report code.
+#[derive(Debug, Default)]
+pub struct TraceSink {
+    trace: Mutex<Trace>,
+}
+
+impl TraceSink {
+    /// Empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Clone out the trace collected so far.
+    pub fn snapshot(&self) -> Trace {
+        self.trace.lock().expect("trace mutex poisoned").clone()
+    }
+
+    /// Consume the sink, returning the collected trace.
+    pub fn into_trace(self) -> Trace {
+        self.trace.into_inner().expect("trace mutex poisoned")
+    }
+}
+
+impl RunObserver for TraceSink {
+    fn observe(&self, event: &Event<'_>) {
+        if let Some(point) = TracePoint::from_event(event) {
+            self.trace.lock().expect("trace mutex poisoned").points.push(point);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Level;
+
+    #[test]
+    fn trace_average_is_pointwise() {
+        let mut t1 = Trace::new();
+        t1.record(0, 100, 10.0, 5.0);
+        t1.record(1, 200, 20.0, 3.0);
+        let mut t2 = Trace::new();
+        t2.record(0, 100, 30.0, 1.0);
+        t2.record(1, 200, 40.0, 1.0);
+        t2.record(2, 300, 50.0, 0.5); // extra point is truncated
+        let avg = Trace::average(&[t1, t2]);
+        assert_eq!(avg.points().len(), 2);
+        assert_eq!(avg.points()[0].ul_best, 20.0);
+        assert_eq!(avg.points()[1].gap_best, 2.0);
+    }
+
+    #[test]
+    fn trace_average_of_empty_set() {
+        let avg = Trace::average(&[]);
+        assert!(avg.points().is_empty());
+    }
+
+    #[test]
+    fn point_event_round_trip() {
+        let p = TracePoint { generation: 3, evaluations: 480, ul_best: 9.5, gap_best: 1.25 };
+        assert_eq!(TracePoint::from_event(&p.to_event()), Some(p));
+        assert_eq!(TracePoint::from_event(&Event::PhaseChange { phase: "breeding" }), None);
+    }
+
+    #[test]
+    fn sink_collects_generation_ends_only() {
+        let sink = TraceSink::new();
+        sink.observe(&Event::RunStart { algo: "carbon", seed: 1 });
+        sink.observe(&Event::GenerationEnd {
+            generation: 0,
+            evaluations: 40,
+            ul_best: 7.0,
+            gap_best: 2.0,
+        });
+        sink.observe(&Event::Evaluation { level: Level::Upper, count: 20, gp_nodes: 0 });
+        sink.observe(&Event::GenerationEnd {
+            generation: 1,
+            evaluations: 80,
+            ul_best: 8.0,
+            gap_best: 1.5,
+        });
+        let trace = sink.into_trace();
+        assert_eq!(trace.points().len(), 2);
+        assert_eq!(trace.points()[1].evaluations, 80);
+        assert_eq!(trace.points()[1].gap_best, 1.5);
+    }
+
+    #[test]
+    fn record_event_matches_record() {
+        let mut a = Trace::new();
+        a.record(0, 10, 1.0, 2.0);
+        let mut b = Trace::new();
+        b.record_event(&Event::GenerationEnd {
+            generation: 0,
+            evaluations: 10,
+            ul_best: 1.0,
+            gap_best: 2.0,
+        });
+        assert_eq!(a.points(), b.points());
+    }
+}

@@ -67,10 +67,7 @@ impl Graph {
     /// Panics if `costs.len() != num_arcs` or any cost is negative/NaN.
     pub fn dijkstra(&self, source: usize, costs: &[f64]) -> ShortestPaths {
         assert_eq!(costs.len(), self.num_arcs, "cost vector length mismatch");
-        assert!(
-            costs.iter().all(|c| *c >= 0.0),
-            "Dijkstra requires non-negative costs"
-        );
+        assert!(costs.iter().all(|c| *c >= 0.0), "Dijkstra requires non-negative costs");
         let n = self.num_nodes();
         let mut dist = vec![f64::INFINITY; n];
         let mut heap: BinaryHeap<HeapItem> = BinaryHeap::new();
@@ -217,6 +214,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)] // sp.dist and fw share the index
     fn dijkstra_matches_floyd_on_diamond() {
         let (g, arcs) = diamond();
         let costs = vec![1.0, 1.0, 2.0, 2.0, 5.0];
@@ -293,6 +291,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)] // sp.dist and fw share the indices
     fn random_graph_dijkstra_vs_floyd() {
         // Deterministic pseudo-random graph, cross-checked exhaustively.
         let n = 12;

@@ -29,4 +29,4 @@ pub mod solvers;
 
 pub use graph::{Graph, ShortestPaths};
 pub use problem::{Commodity, TollProblem};
-pub use solvers::{solve_ea, solve_grid, TollEaConfig, TollSolution};
+pub use solvers::{solve_ea, solve_ea_observed, solve_grid, TollEaConfig, TollSolution};

@@ -9,6 +9,7 @@ use bico_ea::{
     rng::seed_stream,
     select::{tournament, Direction},
 };
+use bico_obs::{Event, Level, NullObserver, RunObserver};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -33,11 +34,8 @@ pub fn solve_grid(p: &TollProblem, steps: usize) -> Option<TollSolution> {
     let mut best: Option<TollSolution> = None;
     let mut idx = vec![0usize; k];
     loop {
-        let tolls: Vec<f64> = idx
-            .iter()
-            .zip(&p.caps)
-            .map(|(&i, &cap)| cap * i as f64 / steps as f64)
-            .collect();
+        let tolls: Vec<f64> =
+            idx.iter().zip(&p.caps).map(|(&i, &cap)| cap * i as f64 / steps as f64).collect();
         if let Some(rev) = p.revenue(&tolls) {
             if best.as_ref().is_none_or(|b| rev > b.revenue) {
                 best = Some(TollSolution { tolls, revenue: rev });
@@ -88,6 +86,18 @@ impl Default for TollEaConfig {
 
 /// Real-coded EA over the toll box. Deterministic per seed.
 pub fn solve_ea(p: &TollProblem, cfg: &TollEaConfig, seed: u64) -> TollSolution {
+    solve_ea_observed(p, cfg, seed, &NullObserver)
+}
+
+/// [`solve_ea`] with an observer attached. The toll problem has no
+/// %-gap notion, so `gap_best` is reported as NaN; attaching any
+/// observer leaves the result bit-identical.
+pub fn solve_ea_observed<O: RunObserver + ?Sized>(
+    p: &TollProblem,
+    cfg: &TollEaConfig,
+    seed: u64,
+    obs: &O,
+) -> TollSolution {
     p.validate();
     let k = p.num_tolls();
     let lo = vec![0.0; k];
@@ -99,15 +109,33 @@ pub fn solve_ea(p: &TollProblem, cfg: &TollEaConfig, seed: u64) -> TollSolution 
         .collect();
     let mut best = TollSolution { tolls: vec![0.0; k], revenue: f64::NEG_INFINITY };
 
-    for _ in 0..cfg.generations {
-        let fits: Vec<f64> = pop
-            .iter()
-            .map(|t| p.revenue(t).unwrap_or(f64::NEG_INFINITY))
-            .collect();
+    if obs.enabled() {
+        obs.observe(&Event::RunStart { algo: "toll-ea", seed });
+        obs.observe(&Event::PhaseChange { phase: "search" });
+    }
+    for generation in 0..cfg.generations {
+        if obs.enabled() {
+            obs.observe(&Event::GenerationStart { generation: generation as u64 });
+        }
+        let fits: Vec<f64> =
+            pop.iter().map(|t| p.revenue(t).unwrap_or(f64::NEG_INFINITY)).collect();
         for (t, &f) in pop.iter().zip(&fits) {
             if f > best.revenue {
                 best = TollSolution { tolls: t.clone(), revenue: f };
             }
+        }
+        if obs.enabled() {
+            obs.observe(&Event::Evaluation {
+                level: Level::Upper,
+                count: pop.len() as u64,
+                gp_nodes: 0,
+            });
+            obs.observe(&Event::GenerationEnd {
+                generation: generation as u64,
+                evaluations: ((generation + 1) * cfg.pop_size) as u64,
+                ul_best: best.revenue,
+                gap_best: f64::NAN,
+            });
         }
         let mut next = Vec::with_capacity(pop.len());
         next.push(best.tolls.clone()); // elitism
@@ -127,6 +155,15 @@ pub fn solve_ea(p: &TollProblem, cfg: &TollEaConfig, seed: u64) -> TollSolution 
             }
         }
         pop = next;
+    }
+    if obs.enabled() {
+        obs.observe(&Event::RunComplete {
+            generations: cfg.generations as u64,
+            ul_evaluations: (cfg.generations * cfg.pop_size) as u64,
+            ll_evaluations: 0,
+            best_value: best.revenue,
+            best_gap: f64::NAN,
+        });
     }
     best
 }

@@ -6,11 +6,7 @@ use proptest::prelude::*;
 
 /// Build a layered random network that always connects node 0 to the
 /// last node: a chain 0 → 1 → … → n−1 plus random shortcuts.
-fn layered(
-    n: usize,
-    shortcut_seeds: &[(u8, u8, u8)],
-    toll_on_chain: bool,
-) -> TollProblem {
+fn layered(n: usize, shortcut_seeds: &[(u8, u8, u8)], toll_on_chain: bool) -> TollProblem {
     let mut arcs: Vec<(usize, usize)> = (0..n - 1).map(|i| (i, i + 1)).collect();
     let mut costs: Vec<f64> = (0..n - 1).map(|i| 1.0 + (i % 3) as f64).collect();
     for &(a, b, c) in shortcut_seeds {

@@ -17,10 +17,7 @@ use bico::core::{Carbon, CarbonConfig};
 fn main() {
     let class = (100usize, 10usize);
     let instance = generate(&GeneratorConfig::paper_class(class.0, class.1), 99);
-    println!(
-        "class {}x{} — one instance, same budget for every algorithm\n",
-        class.0, class.1
-    );
+    println!("class {}x{} — one instance, same budget for every algorithm\n", class.0, class.1);
 
     let evals = 4_000u64;
     let pop = 24usize;

@@ -38,10 +38,7 @@ fn main() {
          and UL-feasible: {})",
         p.ul_feasible(&[6.0], &[8.0], 1e-7)
     );
-    println!(
-        "  promising the leader F = {:.1} ...",
-        p.ul_objective(&[6.0], &[8.0])
-    );
+    println!("  promising the leader F = {:.1} ...", p.ul_objective(&[6.0], &[8.0]));
     let r = p.rational_reaction(&[6.0], TieBreak::Optimistic).unwrap();
     println!(
         "  but the RATIONAL follower plays y = {:.1}, which violates the UL \

@@ -8,9 +8,7 @@
 //! Without an argument, an embedded sample in the exact OR-library
 //! format is used, so the example always runs offline.
 
-use bico::bcpop::{
-    greedy_cover, orlib::parse_mknap, CostPerCoverageScorer, RelaxationSolver,
-};
+use bico::bcpop::{greedy_cover, orlib::parse_mknap, CostPerCoverageScorer, RelaxationSolver};
 
 /// First problem of the OR-library `mknap1` file (Petersen 1967).
 const SAMPLE: &str = "

@@ -45,12 +45,7 @@ fn main() {
     println!("  reaction quality (%-gap):    {:.2}%", result.best_gap);
     println!(
         "  best pricing: [{}]",
-        result
-            .best_pricing
-            .iter()
-            .map(|p| format!("{p:.1}"))
-            .collect::<Vec<_>>()
-            .join(", ")
+        result.best_pricing.iter().map(|p| format!("{p:.1}")).collect::<Vec<_>>().join(", ")
     );
     println!("  evolved scoring heuristic:   {}", result.best_heuristic_infix);
     println!(

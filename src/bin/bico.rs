@@ -4,7 +4,9 @@
 //! bico generate  --bundles 100 --services 10 --seed 42 [--tightness 0.25] [--out inst.bcpop]
 //! bico run       carbon|cobra|nested [--instance F | --class 100x10] [--seed S]
 //!                [--evals N] [--pop P] [--heuristic-out h.sexpr]
+//!                [--trace-out run.jsonl] [--metrics-out metrics.json] [--log-level info]
 //! bico compare   [--class 100x10] [--runs R] [--seed S] [--evals N] [--pop P]
+//!                [--trace-out run.jsonl] [--metrics-out metrics.json] [--log-level info]
 //! bico eval      --sexpr "(+ c_j (% c_j q_res))" [--instance F | --class 100x10]
 //! bico linear    # the Mersha–Dempe toy: grid scan + exact KKT solve
 //! ```
@@ -17,7 +19,9 @@ use bico::cobra::{Cobra, CobraConfig, NestedConfig, NestedSequential};
 use bico::core::{program3, solve_kkt, Carbon, CarbonConfig, TieBreak};
 use bico::ea::hypothesis::mann_whitney_u;
 use bico::gp::{parse_sexpr, to_sexpr};
+use bico::obs::{JsonlSink, LogLevel, MetricsSink, Observers, ProgressSink, RunObserver};
 use std::process::exit;
+use std::sync::Arc;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -49,18 +53,75 @@ USAGE:
   bico generate --bundles N --services M [--seed S] [--tightness T] [--own F] [--out FILE]
   bico run <carbon|cobra|nested> [--instance FILE | --class NxM] [--seed S]
            [--evals N] [--pop P] [--heuristic-out FILE]
+           [--trace-out FILE.jsonl] [--metrics-out FILE.json] [--log-level LEVEL]
   bico compare [--class NxM] [--runs R] [--seed S] [--evals N] [--pop P]
+           [--trace-out FILE.jsonl] [--metrics-out FILE.json] [--log-level LEVEL]
   bico eval --sexpr EXPR [--instance FILE | --class NxM] [--seed S]
-  bico linear"
+  bico linear
+
+Observability (run/compare): --trace-out streams one JSON event per line,
+--metrics-out writes aggregate counters/timers after the run, and
+--log-level (off|error|warn|info|debug|trace; default from BICO_LOG)
+controls stderr progress. Observers never alter results."
     );
+}
+
+/// Sinks requested by `--trace-out` / `--metrics-out` / `--log-level`,
+/// stacked into one observer plus the handles needed to flush/report
+/// after the run.
+struct ObsSetup {
+    observers: Observers,
+    jsonl: Option<JsonlSink>,
+    metrics: Option<Arc<MetricsSink>>,
+    metrics_out: Option<String>,
+}
+
+fn obs_setup(args: &[String]) -> ObsSetup {
+    let level = opt(args, "--log-level")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(LogLevel::from_env);
+    let mut observers = Observers::new();
+    let mut jsonl = None;
+    if let Some(path) = opt(args, "--trace-out") {
+        match JsonlSink::create(&path) {
+            Ok(sink) => {
+                jsonl = Some(sink.clone());
+                observers.push(Box::new(sink));
+            }
+            Err(e) => eprintln!("cannot create trace file {path}: {e} (tracing disabled)"),
+        }
+    }
+    let metrics_out = opt(args, "--metrics-out");
+    let metrics = metrics_out.as_ref().map(|_| {
+        let sink = Arc::new(MetricsSink::new());
+        observers.push(Box::new(sink.clone()));
+        sink
+    });
+    let progress = ProgressSink::stderr(level);
+    if progress.enabled() {
+        observers.push(Box::new(progress));
+    }
+    ObsSetup { observers, jsonl, metrics, metrics_out }
+}
+
+impl ObsSetup {
+    /// Flush the trace file and write the metrics report, if requested.
+    fn finish(&self) {
+        if let Some(sink) = &self.jsonl {
+            let _ = sink.flush();
+        }
+        if let (Some(metrics), Some(path)) = (&self.metrics, &self.metrics_out) {
+            let json = metrics.report().to_json();
+            if let Err(e) = std::fs::write(path, json + "\n") {
+                eprintln!("cannot write {path}: {e}");
+            }
+        }
+    }
 }
 
 /// Pull `--key value` from an argument list; returns the value.
 fn opt(args: &[String], key: &str) -> Option<String> {
-    args.iter()
-        .position(|a| a == key)
-        .and_then(|i| args.get(i + 1))
-        .cloned()
+    args.iter().position(|a| a == key).and_then(|i| args.get(i + 1)).cloned()
 }
 
 fn opt_parse<T: std::str::FromStr>(args: &[String], key: &str, default: T) -> T {
@@ -129,6 +190,7 @@ fn cmd_run(args: &[String]) {
     let seed = opt_parse(args, "--seed", 1u64);
     let evals = opt_parse(args, "--evals", 4_000u64);
     let pop = opt_parse(args, "--pop", 24usize);
+    let obs = obs_setup(args);
     eprintln!(
         "{algo} on {}x{} (own {}), budget {evals}+{evals}, pop {pop}, seed {seed}",
         inst.num_bundles(),
@@ -148,7 +210,7 @@ fn cmd_run(args: &[String]) {
                 ..Default::default()
             };
             let solver = Carbon::new(&inst, cfg);
-            let r = solver.run(seed);
+            let r = solver.run_observed(seed, &obs.observers);
             println!("generations      {}", r.generations);
             println!("best UL revenue  {:.2}", r.best_ul_value);
             println!("best %-gap       {:.3}", r.best_gap);
@@ -172,7 +234,7 @@ fn cmd_run(args: &[String]) {
                 ll_evaluations: evals,
                 ..Default::default()
             };
-            let r = Cobra::new(&inst, cfg).run(seed);
+            let r = Cobra::new(&inst, cfg).run_observed(seed, &obs.observers);
             println!("cycles           {}", r.cycles);
             println!("best UL revenue  {:.2}", r.best_ul_value);
             println!("best %-gap       {:.3}", r.best_gap);
@@ -186,7 +248,7 @@ fn cmd_run(args: &[String]) {
                 ll_evaluations: evals,
                 ..Default::default()
             };
-            let r = NestedSequential::new(&inst, cfg).run(seed);
+            let r = NestedSequential::new(&inst, cfg).run_observed(seed, &obs.observers);
             println!("UL evals         {}", r.ul_evals_used);
             println!("LL evals         {}", r.ll_evals_used);
             println!("best UL revenue  {:.2}", r.best_ul_value);
@@ -197,6 +259,7 @@ fn cmd_run(args: &[String]) {
             exit(2);
         }
     }
+    obs.finish();
 }
 
 fn cmd_compare(args: &[String]) {
@@ -205,6 +268,7 @@ fn cmd_compare(args: &[String]) {
     let seed = opt_parse(args, "--seed", 1u64);
     let evals = opt_parse(args, "--evals", 4_000u64);
     let pop = opt_parse(args, "--pop", 24usize);
+    let obs = obs_setup(args);
     eprintln!(
         "comparing CARBON vs COBRA on {}x{}: {runs} runs, budget {evals}+{evals}, pop {pop}",
         inst.num_bundles(),
@@ -228,7 +292,7 @@ fn cmd_compare(args: &[String]) {
                 ..Default::default()
             },
         )
-        .run(seed.wrapping_add(run));
+        .run_observed(seed.wrapping_add(run), &obs.observers);
         carbon_gaps.push(c.best_gap);
         carbon_uls.push(c.best_ul_value);
         let b = Cobra::new(
@@ -243,7 +307,7 @@ fn cmd_compare(args: &[String]) {
                 ..Default::default()
             },
         )
-        .run(seed.wrapping_add(run));
+        .run_observed(seed.wrapping_add(run), &obs.observers);
         cobra_gaps.push(b.best_gap);
         cobra_uls.push(b.best_ul_value);
     }
@@ -251,16 +315,8 @@ fn cmd_compare(args: &[String]) {
     let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
     println!("metric        | CARBON      | COBRA");
     println!("--------------|-------------|------------");
-    println!(
-        "mean %-gap    | {:>11.3} | {:>10.3}",
-        mean(&carbon_gaps),
-        mean(&cobra_gaps)
-    );
-    println!(
-        "mean UL value | {:>11.2} | {:>10.2}",
-        mean(&carbon_uls),
-        mean(&cobra_uls)
-    );
+    println!("mean %-gap    | {:>11.3} | {:>10.3}", mean(&carbon_gaps), mean(&cobra_gaps));
+    println!("mean UL value | {:>11.2} | {:>10.2}", mean(&carbon_uls), mean(&cobra_uls));
     if let Some(t) = mann_whitney_u(&carbon_gaps, &cobra_gaps) {
         println!(
             "rank-sum test on gaps: U = {:.1}, p = {:.2e} ({})",
@@ -269,6 +325,7 @@ fn cmd_compare(args: &[String]) {
             if t.p_two_sided < 0.05 { "significant" } else { "not significant" }
         );
     }
+    obs.finish();
 }
 
 fn cmd_eval(args: &[String]) {

@@ -11,4 +11,5 @@ pub use bico_core as core;
 pub use bico_ea as ea;
 pub use bico_gp as gp;
 pub use bico_lp as lp;
+pub use bico_obs as obs;
 pub use bico_toll as toll;

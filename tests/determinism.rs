@@ -1,17 +1,29 @@
 //! Determinism contract: the same seed yields bit-identical results
 //! regardless of the rayon thread count (per-item seed streams, pure
-//! fitness functions, order-preserving parallel collection).
+//! fitness functions, order-preserving parallel collection) — and
+//! regardless of attached observers, which receive events by shared
+//! reference and never touch RNG state.
 
 use bico::bcpop::{generate, GeneratorConfig};
 use bico::cobra::{Cobra, CobraConfig};
 use bico::core::{Carbon, CarbonConfig};
+use bico::obs::{JsonlSink, MetricsSink, Observers, TraceSink};
+use std::sync::Arc;
+
+/// A full sink stack (JSONL to the bit bucket, metrics, trace rebuild)
+/// plus the handles needed to inspect it after the run.
+fn full_stack() -> (Observers, Arc<MetricsSink>, Arc<TraceSink>) {
+    let metrics = Arc::new(MetricsSink::new());
+    let trace = Arc::new(TraceSink::new());
+    let observers = Observers::new()
+        .with(Box::new(JsonlSink::new(std::io::sink())))
+        .with(Box::new(metrics.clone()))
+        .with(Box::new(trace.clone()));
+    (observers, metrics, trace)
+}
 
 fn with_threads<T: Send>(n: usize, f: impl FnOnce() -> T + Send) -> T {
-    rayon::ThreadPoolBuilder::new()
-        .num_threads(n)
-        .build()
-        .expect("pool")
-        .install(f)
+    rayon::ThreadPoolBuilder::new().num_threads(n).build().expect("pool").install(f)
 }
 
 #[test]
@@ -59,4 +71,71 @@ fn cobra_is_thread_count_invariant() {
     assert_eq!(r1.best_pricing, r4.best_pricing);
     assert_eq!(r1.best_gap, r4.best_gap);
     assert_eq!(r1.trace.points(), r4.trace.points());
+}
+
+#[test]
+fn carbon_observers_do_not_change_results() {
+    let inst = generate(
+        &GeneratorConfig { num_bundles: 40, num_services: 5, ..Default::default() },
+        77,
+    );
+    let cfg = CarbonConfig {
+        ul_pop_size: 12,
+        ll_pop_size: 12,
+        ul_archive_size: 12,
+        ll_archive_size: 12,
+        ul_evaluations: 240,
+        ll_evaluations: 240,
+        ..Default::default()
+    };
+    let plain = Carbon::new(&inst, cfg.clone()).run(9);
+    let (observers, metrics, trace) = full_stack();
+    let observed = Carbon::new(&inst, cfg).run_observed(9, &observers);
+    assert_eq!(plain.best_pricing, observed.best_pricing);
+    assert_eq!(plain.best_ul_value, observed.best_ul_value);
+    assert_eq!(plain.best_gap, observed.best_gap);
+    assert_eq!(plain.best_heuristic, observed.best_heuristic);
+    assert_eq!(plain.trace.points(), observed.trace.points());
+    // The trace rebuilt from GenerationEnd events matches the solver's.
+    assert_eq!(trace.snapshot().points(), observed.trace.points());
+    // Metrics actually saw the run.
+    let report = metrics.report();
+    assert_eq!(report.runs, 1);
+    assert!(report.generations > 0);
+    assert!(report.evaluations > 0);
+    assert!(report.ll_solves > 0);
+    assert!(report.simplex_pivots > 0);
+    assert!(report.gp_node_evals > 0);
+}
+
+#[test]
+fn cobra_observers_do_not_change_results() {
+    let inst = generate(
+        &GeneratorConfig { num_bundles: 40, num_services: 5, ..Default::default() },
+        78,
+    );
+    let cfg = CobraConfig {
+        ul_pop_size: 12,
+        ll_pop_size: 12,
+        ul_archive_size: 12,
+        ll_archive_size: 12,
+        ul_evaluations: 240,
+        ll_evaluations: 240,
+        improvement_gens: 3,
+        ..Default::default()
+    };
+    let plain = Cobra::new(&inst, cfg.clone()).run(9);
+    let (observers, metrics, trace) = full_stack();
+    let observed = Cobra::new(&inst, cfg).run_observed(9, &observers);
+    assert_eq!(plain.best_pricing, observed.best_pricing);
+    assert_eq!(plain.best_ul_value, observed.best_ul_value);
+    assert_eq!(plain.best_gap, observed.best_gap);
+    assert_eq!(plain.trace.points(), observed.trace.points());
+    assert_eq!(trace.snapshot().points(), observed.trace.points());
+    let report = metrics.report();
+    assert_eq!(report.runs, 1);
+    assert!(report.generations > 0);
+    assert!(report.evaluations > 0);
+    assert!(report.ll_solves > 0);
+    assert!(report.simplex_pivots > 0);
 }

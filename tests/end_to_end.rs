@@ -6,10 +6,7 @@ use bico::cobra::{Cobra, CobraConfig};
 use bico::core::{Carbon, CarbonConfig};
 
 fn instance() -> bico::bcpop::BcpopInstance {
-    generate(
-        &GeneratorConfig { num_bundles: 50, num_services: 6, ..Default::default() },
-        1234,
-    )
+    generate(&GeneratorConfig { num_bundles: 50, num_services: 6, ..Default::default() }, 1234)
 }
 
 #[test]

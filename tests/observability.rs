@@ -1,0 +1,123 @@
+//! End-to-end observability: a real solver run streams JSONL that
+//! external tooling (serde_json here, `jq` in the README) can parse,
+//! and the metrics sink aggregates exactly under rayon parallelism.
+
+use bico::bcpop::{generate, GeneratorConfig};
+use bico::core::{Carbon, CarbonConfig};
+use bico::obs::{Event, JsonlSink, Level, MetricsSink, RunObserver, SharedBuffer};
+use std::collections::HashSet;
+
+fn small_instance() -> bico::bcpop::BcpopInstance {
+    generate(&GeneratorConfig { num_bundles: 30, num_services: 4, ..Default::default() }, 5)
+}
+
+fn small_config() -> CarbonConfig {
+    CarbonConfig {
+        ul_pop_size: 8,
+        ll_pop_size: 8,
+        ul_archive_size: 8,
+        ll_archive_size: 8,
+        ul_evaluations: 64,
+        ll_evaluations: 64,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn carbon_jsonl_trace_round_trips_through_serde_json() {
+    let buffer = SharedBuffer::new();
+    let sink = JsonlSink::new(buffer.clone());
+    let result = Carbon::new(&small_instance(), small_config()).run_observed(5, &sink);
+    sink.flush().unwrap();
+
+    let known: HashSet<&str> = Event::examples().iter().map(|e| e.name()).collect();
+    let text = buffer.contents();
+    let mut events = Vec::new();
+    let mut last_seq = None;
+    for line in text.lines() {
+        let value: serde_json::Value =
+            serde_json::from_str(line).unwrap_or_else(|e| panic!("bad line {line:?}: {e}"));
+        let event = value
+            .get("event")
+            .and_then(|v| v.as_str())
+            .unwrap_or_else(|| panic!("no event tag in {line:?}"))
+            .to_string();
+        assert!(known.contains(event.as_str()), "unknown event {event:?}");
+        let seq = value.get("seq").and_then(|v| v.as_u64()).expect("seq");
+        assert!(last_seq.map_or(seq == 0, |s| seq == s + 1), "seq gap at {line:?}");
+        last_seq = Some(seq);
+        assert!(value.get("t_ms").and_then(|v| v.as_u64()).is_some(), "t_ms");
+        events.push(event);
+    }
+
+    assert_eq!(events.first().map(String::as_str), Some("RunStart"));
+    assert_eq!(events.last().map(String::as_str), Some("RunComplete"));
+    let gen_ends = events.iter().filter(|e| *e == "GenerationEnd").count();
+    assert_eq!(gen_ends, result.generations, "one GenerationEnd per generation");
+    assert!(events.iter().any(|e| e == "LowerLevelSolve"));
+    assert!(events.iter().any(|e| e == "Evaluation"));
+}
+
+#[test]
+fn jsonl_payloads_match_the_run_trace() {
+    let buffer = SharedBuffer::new();
+    let sink = JsonlSink::new(buffer.clone());
+    let result = Carbon::new(&small_instance(), small_config()).run_observed(5, &sink);
+    sink.flush().unwrap();
+
+    // Rebuild the convergence series from the JSON stream — this is the
+    // README's jq one-liner, done in-process.
+    let mut series = Vec::new();
+    for line in buffer.contents().lines() {
+        let value: serde_json::Value = serde_json::from_str(line).unwrap();
+        if value.get("event").and_then(|v| v.as_str()) == Some("GenerationEnd") {
+            series.push((
+                value.get("generation").and_then(|v| v.as_u64()).unwrap() as usize,
+                value.get("evaluations").and_then(|v| v.as_u64()).unwrap(),
+                value.get("ul_best").and_then(|v| v.as_f64()).unwrap(),
+                value.get("gap_best").and_then(|v| v.as_f64()).unwrap(),
+            ));
+        }
+    }
+    let expected: Vec<(usize, u64, f64, f64)> = result
+        .trace
+        .points()
+        .iter()
+        .map(|p| (p.generation, p.evaluations, p.ul_best, p.gap_best))
+        .collect();
+    assert_eq!(series, expected);
+}
+
+#[test]
+fn metrics_sink_aggregates_exactly_under_rayon() {
+    use rayon::prelude::*;
+    let sink = MetricsSink::new();
+    (0..64u64).into_par_iter().for_each(|i| {
+        sink.observe(&Event::Evaluation { level: Level::Lower, count: i, gp_nodes: 2 * i });
+        sink.observe(&Event::Evaluation { level: Level::Upper, count: 1, gp_nodes: 0 });
+        sink.observe(&Event::LowerLevelSolve { solves: 1, pivots: i });
+    });
+    let m = sink.report();
+    let total: u64 = (0..64).sum();
+    assert_eq!(m.ll_evaluations, total);
+    assert_eq!(m.ul_evaluations, 64);
+    assert_eq!(m.evaluations, total + 64);
+    assert_eq!(m.gp_node_evals, 2 * total);
+    assert_eq!(m.ll_solves, 64);
+    assert_eq!(m.simplex_pivots, total);
+}
+
+#[test]
+fn metrics_report_json_parses_with_serde() {
+    let sink = MetricsSink::new();
+    Carbon::new(&small_instance(), small_config()).run_observed(5, &sink);
+    let text = sink.report().to_json();
+    let value: serde_json::Value =
+        serde_json::from_str(&text).unwrap_or_else(|e| panic!("bad metrics JSON: {e}\n{text}"));
+    assert_eq!(value.get("runs").and_then(|v| v.as_u64()), Some(1));
+    for key in ["evaluations", "ll_solves", "simplex_pivots", "gp_node_evals"] {
+        let n = value.get(key).and_then(|v| v.as_u64()).unwrap_or(0);
+        assert!(n > 0, "{key} should be nonzero, got {n}");
+    }
+    assert!(value.get("phases").and_then(|v| v.as_array()).is_some_and(|a| !a.is_empty()));
+}

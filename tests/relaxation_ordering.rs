@@ -104,6 +104,8 @@ fn looser_reaction_never_shrinks_ul_estimate() {
     let all = vec![true; inst.num_bundles()];
     let ev_loose = evaluate_pair(&inst, &prices, &all, relax.lower_bound);
     assert!(ev_loose.gap > ev_rational.gap);
-    assert!(ev_loose.ul_value >= ev_rational.ul_value,
-        "buying everything includes all own bundles: the overestimation direction");
+    assert!(
+        ev_loose.ul_value >= ev_rational.ul_value,
+        "buying everything includes all own bundles: the overestimation direction"
+    );
 }
