@@ -9,7 +9,7 @@
 //! lower-level gap".
 
 use crate::instance::BcpopInstance;
-use bico_lp::{LpProblem, LpStatus, Relation};
+use bico_lp::{LpProblem, LpStatus, PreparedLp, Relation};
 
 /// The relaxation artifacts for one pricing.
 #[derive(Debug, Clone)]
@@ -27,7 +27,12 @@ pub struct Relaxation {
 
 /// Reusable relaxation solver: the constraint structure of an instance
 /// is fixed; only the objective (prices of the CSP block) changes per
-/// upper-level decision, so rows are assembled once.
+/// upper-level decision, so rows are assembled — and simplex phase 1 is
+/// run — exactly once. Every [`solve`](RelaxationSolver::solve) resumes
+/// from the prepared feasible basis and goes straight to phase 2, which
+/// is bit-identical to a cold two-phase solve of the same objective (see
+/// [`bico_lp::PreparedLp`]); warm-starting is therefore invisible to the
+/// determinism contract.
 ///
 /// ```
 /// use bico_bcpop::{generate, GeneratorConfig, RelaxationSolver};
@@ -41,11 +46,12 @@ pub struct Relaxation {
 /// ```
 #[derive(Debug, Clone)]
 pub struct RelaxationSolver {
-    template: LpProblem,
+    prepared: PreparedLp,
 }
 
 impl RelaxationSolver {
-    /// Pre-assemble the covering rows of `inst`.
+    /// Pre-assemble the covering rows of `inst` and run simplex phase 1
+    /// on them once (the phase-1 basis is objective-independent).
     pub fn new(inst: &BcpopInstance) -> Self {
         let m = inst.num_bundles();
         let n = inst.num_services();
@@ -62,18 +68,18 @@ impl RelaxationSolver {
                 .collect();
             p.add_constraint(&row, Relation::Ge, inst.requirement(k) as f64);
         }
-        RelaxationSolver { template: p }
+        let prepared = p.prepare().expect("covering template is well-formed");
+        RelaxationSolver { prepared }
     }
 
     /// Solve the relaxation for a full cost vector (see
-    /// [`BcpopInstance::costs_for`]).
+    /// [`BcpopInstance::costs_for`]), warm-starting phase 2 from the
+    /// prepared feasible basis.
     ///
     /// Returns `None` only if the LP solver fails, which for a validated
     /// instance (coverable requirements, finite costs) cannot happen.
     pub fn solve(&self, costs: &[f64]) -> Option<Relaxation> {
-        let mut p = self.template.clone();
-        p.set_objective(costs);
-        let sol = p.solve().ok()?;
+        let sol = self.prepared.solve_objective(costs).ok()?;
         if sol.status != LpStatus::Optimal {
             return None;
         }

@@ -1,9 +1,12 @@
 //! Rayon scaling of the population-evaluation kernel: the same batch of
-//! lower-level evaluations on thread pools of different sizes.
+//! lower-level evaluations on thread pools of different sizes, plus the
+//! lower-level solve cache on a repeated-pricing workload.
 
 use bico_bcpop::{
-    generate, greedy_cover, CostPerCoverageScorer, GeneratorConfig, RelaxationSolver,
+    generate, greedy_cover, CostPerCoverageScorer, GeneratorConfig, Relaxation,
+    RelaxationSolver,
 };
+use bico_ea::SolveCache;
 use criterion::{criterion_group, criterion_main, Criterion};
 use rayon::prelude::*;
 use std::hint::black_box;
@@ -44,5 +47,72 @@ fn bench_scaling(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_scaling);
+/// The solve cache on a repeated-pricing workload: a small set of
+/// distinct pricings probed many times over, the access pattern elite
+/// re-injection and archive replay produce during co-evolution.
+fn bench_solve_cache(c: &mut Criterion) {
+    let inst = generate(&GeneratorConfig::paper_class(250, 10), 42);
+    let solver = RelaxationSolver::new(&inst);
+    let distinct: Vec<Vec<f64>> =
+        (0..8).map(|i| vec![10.0 + i as f64 * 3.0; inst.num_own()]).collect();
+    let workload: Vec<&Vec<f64>> = (0..256).map(|i| &distinct[i % distinct.len()]).collect();
+
+    // Untimed accounting pass: report hit rate and pivot reduction, and
+    // hold the ISSUE's acceptance bar (hits > 0, fewer total pivots).
+    let cold_pivots: u64 =
+        workload.iter().map(|p| solver.solve(&inst.costs_for(p)).unwrap().pivots).sum();
+    let cache: SolveCache<Relaxation> = SolveCache::new(1024);
+    let mut cached_pivots = 0u64;
+    for p in &workload {
+        let (r, hit) =
+            cache.get_or_insert_with(p, || solver.solve(&inst.costs_for(p)).unwrap());
+        if !hit {
+            cached_pivots += r.pivots;
+        }
+    }
+    let s = cache.stats();
+    assert!(s.hits > 0, "repeated pricings must hit the cache");
+    assert!(
+        cached_pivots < cold_pivots,
+        "caching must reduce total simplex pivots ({cached_pivots} vs {cold_pivots})"
+    );
+    eprintln!(
+        "solve_cache: {} probes, {} hits ({:.1}% hit rate), pivots {cold_pivots} -> \
+         {cached_pivots} ({:.1}% reduction)",
+        s.hits + s.misses,
+        s.hits,
+        100.0 * s.hits as f64 / (s.hits + s.misses) as f64,
+        100.0 * (cold_pivots - cached_pivots) as f64 / cold_pivots as f64,
+    );
+
+    let mut group = c.benchmark_group("solve_cache");
+    group.sample_size(10);
+    group.bench_function("repeated_pricing_cold", |b| {
+        b.iter(|| {
+            let total: f64 = workload
+                .iter()
+                .map(|p| solver.solve(&inst.costs_for(p)).unwrap().lower_bound)
+                .sum();
+            black_box(total)
+        })
+    });
+    group.bench_function("repeated_pricing_cached", |b| {
+        b.iter(|| {
+            let cache: SolveCache<Relaxation> = SolveCache::new(1024);
+            let total: f64 = workload
+                .iter()
+                .map(|p| {
+                    cache
+                        .get_or_insert_with(p, || solver.solve(&inst.costs_for(p)).unwrap())
+                        .0
+                        .lower_bound
+                })
+                .sum();
+            black_box(total)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling, bench_solve_cache);
 criterion_main!(benches);

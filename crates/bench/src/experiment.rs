@@ -112,6 +112,10 @@ pub struct ExperimentOpts {
     pub metrics_out: Option<String>,
     /// Progress verbosity on stderr (`--log-level`, default `BICO_LOG`).
     pub log_level: LogLevel,
+    /// Lower-level solve-cache capacity per run (`--ll-cache-capacity`,
+    /// 0 = off). Bit-identical results either way; see
+    /// [`bico_ea::SolveCache`].
+    pub ll_cache_capacity: usize,
 }
 
 impl Default for ExperimentOpts {
@@ -124,6 +128,7 @@ impl Default for ExperimentOpts {
             trace_out: None,
             metrics_out: None,
             log_level: LogLevel::from_env(),
+            ll_cache_capacity: 0,
         }
     }
 }
@@ -131,7 +136,8 @@ impl Default for ExperimentOpts {
 impl ExperimentOpts {
     /// Parse CLI arguments of the experiment binaries
     /// (`--full | --smoke`, `--runs N`, `--seed S`, `--classes K`,
-    /// `--trace-out F`, `--metrics-out F`, `--log-level L`).
+    /// `--trace-out F`, `--metrics-out F`, `--log-level L`,
+    /// `--ll-cache-capacity C`).
     pub fn from_args(args: &[String]) -> Self {
         let mut opts = ExperimentOpts::default();
         let mut it = args.iter().peekable();
@@ -159,6 +165,11 @@ impl ExperimentOpts {
                 "--log-level" => {
                     if let Some(v) = it.next().and_then(|v| v.parse().ok()) {
                         opts.log_level = v;
+                    }
+                }
+                "--ll-cache-capacity" => {
+                    if let Some(v) = it.next().and_then(|v| v.parse().ok()) {
+                        opts.ll_cache_capacity = v;
                     }
                 }
                 _ => {}
@@ -237,14 +248,16 @@ pub fn run_class_observed(
             let obs = stack.for_run(&format!("{algo:?}/{}x{}/run{run}", class.0, class.1));
             match algo {
                 AlgoKind::Carbon => {
-                    let r = Carbon::new(&inst, opts.tier.carbon_config())
-                        .run_observed(run_seed, &obs);
+                    let mut cfg = opts.tier.carbon_config();
+                    cfg.ll_cache_capacity = opts.ll_cache_capacity;
+                    let r = Carbon::new(&inst, cfg).run_observed(run_seed, &obs);
                     let ll = ll_value_of(&inst, &r.best_pricing, r.best_gap);
                     (r.best_gap, r.best_ul_value, ll, r.trace)
                 }
                 AlgoKind::Cobra => {
-                    let r = Cobra::new(&inst, opts.tier.cobra_config())
-                        .run_observed(run_seed, &obs);
+                    let mut cfg = opts.tier.cobra_config();
+                    cfg.ll_cache_capacity = opts.ll_cache_capacity;
+                    let r = Cobra::new(&inst, cfg).run_observed(run_seed, &obs);
                     (r.best_gap, r.best_ul_value, r.best_ll_value, r.trace)
                 }
             }
@@ -356,6 +369,14 @@ mod tests {
         assert_eq!(o.trace_out.as_deref(), Some("run.jsonl"));
         assert_eq!(o.metrics_out.as_deref(), Some("m.json"));
         assert_eq!(o.log_level, LogLevel::Info);
+    }
+
+    #[test]
+    fn args_parse_cache_capacity() {
+        assert_eq!(ExperimentOpts::from_args(&[]).ll_cache_capacity, 0, "off by default");
+        let args: Vec<String> =
+            ["--ll-cache-capacity", "1024"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(ExperimentOpts::from_args(&args).ll_cache_capacity, 1024);
     }
 
     #[test]

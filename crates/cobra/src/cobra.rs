@@ -27,10 +27,11 @@
 //! gaps; the `gap` metric is computed at archiving/extraction time only,
 //! to report Tables III/IV.
 
-use bico_bcpop::{evaluate_pair, BcpopInstance, RelaxationSolver};
+use bico_bcpop::{evaluate_pair, BcpopInstance, Relaxation, RelaxationSolver};
 use bico_ea::{
     archive::Archive,
     binary::{random_bits, shuffle_mutation, two_point_crossover},
+    cache::SolveCache,
     real::{polynomial_mutation, sbx_crossover, RealOpsConfig},
     rng::seed_stream,
     select::{tournament, Direction},
@@ -71,6 +72,12 @@ pub struct CobraConfig {
     /// (COBRA needs *some* feasibility handling on a covering LL; the
     /// repair adds random useful bundles until covering).
     pub repair: bool,
+    /// Capacity of the lower-level solve cache (`0` = off). COBRA solves
+    /// the relaxation once per generation for the trace gap and once per
+    /// archived pair at extraction; re-injected elites and archived
+    /// repeats hit the cache. Results are bit-identical either way (see
+    /// [`bico_ea::SolveCache`]).
+    pub ll_cache_capacity: usize,
 }
 
 impl Default for CobraConfig {
@@ -88,6 +95,7 @@ impl Default for CobraConfig {
             ll_crossover_prob: 0.85,
             improvement_gens: 5,
             repair: true,
+            ll_cache_capacity: 0,
         }
     }
 }
@@ -211,6 +219,7 @@ impl<'a> Cobra<'a> {
         let mut ll_evals: u64 = 0;
         let mut cycles = 0usize;
         let mut gen_counter = 0usize;
+        let cache: SolveCache<Relaxation> = SolveCache::new(cfg.ll_cache_capacity);
 
         if obs.enabled() {
             obs.observe(&Event::RunStart { algo: "cobra", seed });
@@ -247,6 +256,7 @@ impl<'a> Cobra<'a> {
                     ul_evals + ll_evals,
                     &uppers,
                     &lowers,
+                    &cache,
                     obs,
                 );
                 gen_counter += 1;
@@ -318,6 +328,7 @@ impl<'a> Cobra<'a> {
                     ul_evals + ll_evals,
                     &uppers,
                     &lowers,
+                    &cache,
                     obs,
                 );
                 gen_counter += 1;
@@ -384,7 +395,7 @@ impl<'a> Cobra<'a> {
             cycles += 1;
         }
 
-        let result = self.extract(ll_archive, trace, ul_evals, ll_evals, cycles);
+        let result = self.extract(ll_archive, trace, ul_evals, ll_evals, cycles, &cache, obs);
         if obs.enabled() {
             obs.observe(&Event::RunComplete {
                 generations: gen_counter as u64,
@@ -402,6 +413,30 @@ impl<'a> Cobra<'a> {
     /// (not best-so-far) pair is what exposes the see-saw: each upper
     /// improvement phase inflates revenue against frozen reactions, and
     /// each lower phase deflates it while repairing the gap.
+    /// Probe the solve cache for the relaxation of `prices`, computing
+    /// (and storing) it on a miss. Returns the relaxation and whether it
+    /// was a hit; insertion is skipped on the (impossible-for-validated-
+    /// instances) solver-failure path so the cache never holds failures.
+    fn probe(
+        &self,
+        cache: &SolveCache<Relaxation>,
+        prices: &[f64],
+    ) -> (Option<Relaxation>, bool) {
+        if !cache.is_enabled() {
+            return (self.relaxer.solve(&self.inst.costs_for(prices)), false);
+        }
+        let key = SolveCache::<Relaxation>::key_of(prices);
+        if let Some(r) = cache.get(&key) {
+            return (Some(r), true);
+        }
+        let relax = self.relaxer.solve(&self.inst.costs_for(prices));
+        if let Some(r) = &relax {
+            cache.insert(&key, r.clone());
+        }
+        (relax, false)
+    }
+
+    #[allow(clippy::too_many_arguments)]
     fn record<O: RunObserver + ?Sized>(
         &self,
         trace: &mut Trace,
@@ -409,6 +444,7 @@ impl<'a> Cobra<'a> {
         evals: u64,
         uppers: &[Vec<f64>],
         lowers: &[Vec<bool>],
+        cache: &SolveCache<Relaxation>,
         obs: &O,
     ) {
         // Gap of the current best pair by revenue.
@@ -423,14 +459,25 @@ impl<'a> Cobra<'a> {
         }
         let x = &uppers[best_pair];
         let y = &lowers[best_pair];
-        let (gap, pivots) = self
-            .relaxer
-            .solve(&self.inst.costs_for(x))
-            .map(|r| (evaluate_pair(self.inst, x, y, r.lower_bound).gap, r.pivots))
+        let (relax, hit) = self.probe(cache, x);
+        // A hit spends no pivots: the pivot series reflects work done.
+        let (gap, pivots) = relax
+            .map(|r| {
+                (
+                    evaluate_pair(self.inst, x, y, r.lower_bound).gap,
+                    if hit { 0 } else { r.pivots },
+                )
+            })
             .unwrap_or((f64::INFINITY, 0));
         trace.record(generation, evals, best_rev, gap);
         if obs.enabled() {
             obs.observe(&Event::LowerLevelSolve { solves: 1, pivots });
+            if cache.is_enabled() {
+                obs.observe(&Event::CacheProbe {
+                    hits: u64::from(hit),
+                    misses: u64::from(!hit),
+                });
+            }
             obs.observe(&Event::GenerationEnd {
                 generation: generation as u64,
                 evaluations: evals,
@@ -440,22 +487,36 @@ impl<'a> Cobra<'a> {
         }
     }
 
-    fn extract(
+    #[allow(clippy::too_many_arguments)]
+    fn extract<O: RunObserver + ?Sized>(
         &self,
         ll_archive: Archive<Pair>,
         trace: Trace,
         ul_evals: u64,
         ll_evals: u64,
         cycles: usize,
+        cache: &SolveCache<Relaxation>,
+        obs: &O,
     ) -> CobraResult {
         let inst = self.inst;
+        if obs.enabled() {
+            obs.observe(&Event::PhaseChange { phase: "extraction" });
+        }
         let mut best_gap = f64::INFINITY;
         let mut best_ul = 0.0f64;
         let mut best: Option<(Pair, f64)> = None;
+        let (mut solves, mut pivots, mut hits) = (0u64, 0u64, 0u64);
         for (pair, ll_value) in ll_archive.iter() {
-            let Some(relax) = self.relaxer.solve(&inst.costs_for(&pair.prices)) else {
+            let (relax, hit) = self.probe(cache, &pair.prices);
+            solves += 1;
+            let Some(relax) = relax else {
                 continue;
             };
+            if hit {
+                hits += 1;
+            } else {
+                pivots += relax.pivots;
+            }
             let ev = evaluate_pair(inst, &pair.prices, &pair.reaction, relax.lower_bound);
             if !ev.feasible {
                 continue;
@@ -464,6 +525,12 @@ impl<'a> Cobra<'a> {
             if ev.gap < best_gap {
                 best_gap = ev.gap;
                 best = Some((pair.clone(), ll_value));
+            }
+        }
+        if obs.enabled() && solves > 0 {
+            obs.observe(&Event::LowerLevelSolve { solves, pivots });
+            if cache.is_enabled() {
+                obs.observe(&Event::CacheProbe { hits, misses: solves - hits });
             }
         }
         match best {
@@ -609,6 +676,26 @@ mod tests {
         assert_eq!(a.best_pricing, b.best_pricing);
         assert_eq!(a.best_gap, b.best_gap);
         assert_eq!(a.trace.points(), b.trace.points());
+    }
+
+    #[test]
+    fn solve_cache_leaves_results_bit_identical() {
+        let inst = small_instance();
+        let mut cfg = CobraConfig::quick();
+        cfg.ul_pop_size = 8;
+        cfg.ll_pop_size = 8;
+        cfg.ul_evaluations = 160;
+        cfg.ll_evaluations = 160;
+        cfg.improvement_gens = 2;
+        assert_eq!(cfg.ll_cache_capacity, 0, "cache defaults to off");
+        let cold = Cobra::new(&inst, cfg.clone()).run(5);
+        cfg.ll_cache_capacity = 512;
+        let cached = Cobra::new(&inst, cfg).run(5);
+        assert_eq!(cold.best_pricing, cached.best_pricing);
+        assert_eq!(cold.best_reaction, cached.best_reaction);
+        assert_eq!(cold.best_ul_value.to_bits(), cached.best_ul_value.to_bits());
+        assert_eq!(cold.best_gap.to_bits(), cached.best_gap.to_bits());
+        assert_eq!(cold.trace.points(), cached.trace.points());
     }
 
     #[test]

@@ -9,9 +9,10 @@
 //! so its gaps are small, but it burns the lower-level budget orders of
 //! magnitude faster than CARBON).
 
-use bico_bcpop::{evaluate_pair, BcpopInstance, RelaxationSolver};
+use bico_bcpop::{evaluate_pair, BcpopInstance, Relaxation, RelaxationSolver};
 use bico_ea::{
     binary::{random_bits, shuffle_mutation, two_point_crossover},
+    cache::SolveCache,
     real::{polynomial_mutation, sbx_crossover, RealOpsConfig},
     rng::seed_stream,
     select::{tournament, Direction},
@@ -40,6 +41,10 @@ pub struct NestedConfig {
     pub ll_gens_per_eval: usize,
     /// Total lower-level evaluation budget (inner GA evaluations).
     pub ll_evaluations: u64,
+    /// Capacity of the lower-level solve cache (`0` = off); memoizes the
+    /// per-pricing relaxation used for the %-gap. Results are
+    /// bit-identical either way (see [`bico_ea::SolveCache`]).
+    pub ll_cache_capacity: usize,
 }
 
 impl Default for NestedConfig {
@@ -53,6 +58,7 @@ impl Default for NestedConfig {
             ll_pop_size: 20,
             ll_gens_per_eval: 10,
             ll_evaluations: 400_000,
+            ll_cache_capacity: 0,
         }
     }
 }
@@ -117,6 +123,7 @@ impl<'a> NestedSequential<'a> {
             obs.observe(&Event::PhaseChange { phase: "search" });
         }
 
+        let cache: SolveCache<Relaxation> = SolveCache::new(cfg.ll_cache_capacity);
         let inner_cost = (cfg.ll_pop_size * cfg.ll_gens_per_eval) as u64;
         loop {
             if obs.enabled() {
@@ -126,6 +133,8 @@ impl<'a> NestedSequential<'a> {
             let mut gen_ll_evals = 0u64;
             let mut gen_solves = 0u64;
             let mut gen_pivots = 0u64;
+            let mut gen_hits = 0u64;
+            let mut gen_misses = 0u64;
             for prices in &pop {
                 if ul_evals + 1 > cfg.ul_evaluations
                     || ll_evals + inner_cost > cfg.ll_evaluations
@@ -136,11 +145,33 @@ impl<'a> NestedSequential<'a> {
                 ll_evals += inner_evals;
                 gen_ll_evals += inner_evals;
                 ul_evals += 1;
-                let relax = self.relaxer.solve(&inst.costs_for(prices));
+                let (relax, hit) = if cache.is_enabled() {
+                    let key = SolveCache::<Relaxation>::key_of(prices);
+                    match cache.get(&key) {
+                        Some(r) => (Some(r), true),
+                        None => {
+                            let r = self.relaxer.solve(&inst.costs_for(prices));
+                            if let Some(r) = &r {
+                                cache.insert(&key, r.clone());
+                            }
+                            (r, false)
+                        }
+                    }
+                } else {
+                    (self.relaxer.solve(&inst.costs_for(prices)), false)
+                };
+                if hit {
+                    gen_hits += 1;
+                } else {
+                    gen_misses += 1;
+                }
                 let (f, gap) = match relax {
                     Some(r) => {
                         gen_solves += 1;
-                        gen_pivots += r.pivots;
+                        // A hit spends no pivots: only actual solves count.
+                        if !hit {
+                            gen_pivots += r.pivots;
+                        }
                         let ev = evaluate_pair(inst, prices, &reaction, r.lower_bound);
                         (ev.ul_value, ev.gap)
                     }
@@ -164,6 +195,9 @@ impl<'a> NestedSequential<'a> {
                     gp_nodes: 0,
                 });
                 obs.observe(&Event::LowerLevelSolve { solves: gen_solves, pivots: gen_pivots });
+                if cache.is_enabled() {
+                    obs.observe(&Event::CacheProbe { hits: gen_hits, misses: gen_misses });
+                }
             }
             if fits.len() < pop.len() {
                 // Budget ran out mid-generation: the partial batch is
@@ -326,6 +360,31 @@ mod tests {
         assert!(r.ul_evals_used <= 30);
         // The nested scheme burns LL budget fast: ~32 LL evals per UL eval.
         assert!(r.ll_evals_used >= 20 * r.ul_evals_used);
+    }
+
+    #[test]
+    fn solve_cache_leaves_results_bit_identical() {
+        let inst = generate(
+            &GeneratorConfig { num_bundles: 20, num_services: 3, ..Default::default() },
+            14,
+        );
+        let mut cfg = NestedConfig {
+            ul_pop_size: 4,
+            ul_evaluations: 12,
+            ll_pop_size: 6,
+            ll_gens_per_eval: 3,
+            ll_evaluations: 10_000,
+            ..Default::default()
+        };
+        assert_eq!(cfg.ll_cache_capacity, 0, "cache defaults to off");
+        let cold = NestedSequential::new(&inst, cfg.clone()).run(2);
+        cfg.ll_cache_capacity = 256;
+        let cached = NestedSequential::new(&inst, cfg).run(2);
+        assert_eq!(cold.best_pricing, cached.best_pricing);
+        assert_eq!(cold.best_reaction, cached.best_reaction);
+        assert_eq!(cold.best_ul_value.to_bits(), cached.best_ul_value.to_bits());
+        assert_eq!(cold.best_gap.to_bits(), cached.best_gap.to_bits());
+        assert_eq!(cold.trace.points(), cached.trace.points());
     }
 
     #[test]

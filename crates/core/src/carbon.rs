@@ -23,6 +23,7 @@ use bico_bcpop::{
 };
 use bico_ea::{
     archive::Archive,
+    cache::SolveCache,
     real::{polynomial_mutation, sbx_crossover, RealOpsConfig},
     rng::seed_stream,
     select::{tournament, Direction},
@@ -84,6 +85,11 @@ pub struct CarbonConfig {
     /// Provide the LP terminals (`d_k`, `x̄_j`) to the heuristics
     /// (`false` = the `ablation_terminals` variant).
     pub lp_terminals: bool,
+    /// Capacity of the lower-level solve cache (`0` = off). Relaxations
+    /// are memoized by the exact bit pattern of the pricing vector, so
+    /// re-evaluating an elite or archived pricing skips the LP solve;
+    /// results are bit-identical either way (see [`bico_ea::SolveCache`]).
+    pub ll_cache_capacity: usize,
 }
 
 impl Default for CarbonConfig {
@@ -108,6 +114,7 @@ impl Default for CarbonConfig {
             use_archives: true,
             gap_fitness: true,
             lp_terminals: true,
+            ll_cache_capacity: 0,
         }
     }
 }
@@ -238,6 +245,7 @@ impl<'a> Carbon<'a> {
         let mut champion: Expr = ll_pop[0].clone();
         let mut best: Option<(Vec<f64>, f64, f64)> = None; // (pricing, F, gap of that pairing)
         let mut best_gap_overall = f64::INFINITY; // Table III extraction: best gap of any evaluated pair
+        let cache: SolveCache<Relaxation> = SolveCache::new(cfg.ll_cache_capacity);
 
         if obs.enabled() {
             obs.observe(&Event::RunStart { algo: "carbon", seed });
@@ -256,20 +264,35 @@ impl<'a> Carbon<'a> {
                 obs.observe(&Event::PhaseChange { phase: "relaxation" });
             }
 
-            // --- 1. relaxations for every pricing (parallel LP solves) ---
-            let relaxations: Vec<Relaxation> = ul_pop
+            // --- 1. relaxations for every pricing (parallel LP solves,
+            // memoized by exact pricing bits when the cache is on) ---
+            let probed: Vec<(Relaxation, bool)> = ul_pop
                 .par_iter()
                 .map(|prices| {
-                    self.relaxer
-                        .solve(&inst.costs_for(prices))
-                        .expect("validated instances always relax")
+                    cache.get_or_insert_with(prices, || {
+                        self.relaxer
+                            .solve(&inst.costs_for(prices))
+                            .expect("validated instances always relax")
+                    })
                 })
                 .collect();
+            // Cache hits spend no pivots: only actual solves are counted,
+            // so the pivot series reflects work done, not work recalled.
+            let gen_hits = probed.iter().filter(|&&(_, hit)| hit).count() as u64;
+            let gen_pivots: u64 =
+                probed.iter().filter(|&&(_, hit)| !hit).map(|(r, _)| r.pivots).sum();
+            let relaxations: Vec<Relaxation> = probed.into_iter().map(|(r, _)| r).collect();
             if obs.enabled() {
                 obs.observe(&Event::LowerLevelSolve {
                     solves: relaxations.len() as u64,
-                    pivots: relaxations.iter().map(|r| r.pivots).sum(),
+                    pivots: gen_pivots,
                 });
+                if cache.is_enabled() {
+                    obs.observe(&Event::CacheProbe {
+                        hits: gen_hits,
+                        misses: relaxations.len() as u64 - gen_hits,
+                    });
+                }
                 obs.observe(&Event::PhaseChange { phase: "ll_fitness" });
             }
 
@@ -661,6 +684,24 @@ mod tests {
             s.iter().map(|p| p.gap_best).sum::<f64>() / s.len() as f64
         };
         assert!(mean(&pts[half..]) <= mean(&pts[..half]) + 1e-9, "gap did not trend downward");
+    }
+
+    #[test]
+    fn solve_cache_leaves_results_bit_identical() {
+        let inst = small_instance();
+        let mut cfg = CarbonConfig::quick();
+        cfg.ul_pop_size = 8;
+        cfg.ll_pop_size = 8;
+        cfg.ul_evaluations = 80;
+        cfg.ll_evaluations = 80;
+        assert_eq!(cfg.ll_cache_capacity, 0, "cache defaults to off");
+        let cold = Carbon::new(&inst, cfg.clone()).run(6);
+        cfg.ll_cache_capacity = 512;
+        let cached = Carbon::new(&inst, cfg).run(6);
+        assert_eq!(cold.best_pricing, cached.best_pricing);
+        assert_eq!(cold.best_ul_value.to_bits(), cached.best_ul_value.to_bits());
+        assert_eq!(cold.best_gap.to_bits(), cached.best_gap.to_bits());
+        assert_eq!(cold.trace.points(), cached.trace.points());
     }
 
     #[test]

@@ -1,0 +1,297 @@
+//! A thread-safe, capacity-bounded memoization cache for lower-level
+//! solves.
+//!
+//! Bi-level co-evolution re-evaluates the same upper-level decision many
+//! times: elites are re-injected every generation, archives replay their
+//! members against new opponents, and improvement phases sweep stored
+//! pairs. The lower-level relaxation is a pure function of the pricing
+//! vector, so those repeats can be served from a cache — and because the
+//! key is the *exact bit pattern* of the pricing (`f64::to_bits`), a hit
+//! returns the very value a fresh solve would have produced. Cached and
+//! uncached runs are therefore bit-identical; `tests/determinism.rs`
+//! asserts this differentially.
+//!
+//! The map is sharded (16 shards, each its own mutex) so rayon workers
+//! probing concurrently rarely contend, and bounded by a per-shard FIFO
+//! eviction queue so memory stays capped on long runs. Eviction order
+//! does not affect results — evicting merely turns a future hit into a
+//! recomputation of the identical value.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+const NUM_SHARDS: usize = 16;
+
+/// Monotonic counters describing cache traffic so far.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Probes answered from the cache.
+    pub hits: u64,
+    /// Probes that had to compute (including every probe when disabled).
+    pub misses: u64,
+    /// Values actually stored (a concurrent duplicate insert counts once).
+    pub insertions: u64,
+    /// Values dropped to respect the capacity bound.
+    pub evictions: u64,
+    /// Entries resident right now.
+    pub entries: usize,
+}
+
+#[derive(Debug)]
+struct Shard<V> {
+    map: HashMap<Box<[u64]>, V>,
+    /// Insertion order for FIFO eviction.
+    order: VecDeque<Box<[u64]>>,
+    capacity: usize,
+}
+
+/// A sharded, bounded, thread-safe memoization cache keyed by the bit
+/// pattern of an `f64` slice. `capacity == 0` disables caching entirely:
+/// every probe misses and nothing is stored.
+///
+/// All methods take `&self`; share one instance across rayon workers by
+/// reference.
+#[derive(Debug)]
+pub struct SolveCache<V> {
+    shards: Vec<Mutex<Shard<V>>>,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    insertions: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl<V: Clone> SolveCache<V> {
+    /// Create a cache holding at most `capacity` entries in total
+    /// (`0` = disabled).
+    pub fn new(capacity: usize) -> Self {
+        // Distribute the bound across shards so the global entry count
+        // can never exceed `capacity` even under concurrent inserts.
+        // Small capacities use fewer shards so no shard ends up with a
+        // zero bound (which would silently drop every insert routed to it).
+        let active = capacity.clamp(1, NUM_SHARDS);
+        let shards = (0..active)
+            .map(|i| {
+                let cap = capacity / active + usize::from(i < capacity % active);
+                Mutex::new(Shard { map: HashMap::new(), order: VecDeque::new(), capacity: cap })
+            })
+            .collect();
+        SolveCache {
+            shards,
+            capacity,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            insertions: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// A cache that never stores anything (capacity 0).
+    pub fn disabled() -> Self {
+        Self::new(0)
+    }
+
+    /// `true` iff the cache can store entries.
+    pub fn is_enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// The configured capacity bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Entries resident across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().expect("cache shard poisoned").map.len()).sum()
+    }
+
+    /// `true` iff no entries are resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The exact-bit-pattern key of a pricing vector.
+    pub fn key_of(values: &[f64]) -> Box<[u64]> {
+        values.iter().map(|v| v.to_bits()).collect()
+    }
+
+    /// Probe for `key`; counts a hit or a miss.
+    pub fn get(&self, key: &[u64]) -> Option<V> {
+        if self.capacity == 0 {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        let shard = &self.shards[self.shard_of(key)];
+        let guard = shard.lock().expect("cache shard poisoned");
+        match guard.map.get(key) {
+            Some(v) => {
+                let v = v.clone();
+                drop(guard);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(v)
+            }
+            None => {
+                drop(guard);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Store `value` under `key` unless already present (first writer
+    /// wins; a concurrent duplicate insert is a no-op, so counters and
+    /// the FIFO queue stay consistent). Evicts the oldest entry of the
+    /// target shard when it is full. No-op when disabled.
+    pub fn insert(&self, key: &[u64], value: V) {
+        if self.capacity == 0 {
+            return;
+        }
+        let shard = &self.shards[self.shard_of(key)];
+        let mut guard = shard.lock().expect("cache shard poisoned");
+        if guard.capacity == 0 || guard.map.contains_key(key) {
+            return;
+        }
+        if guard.map.len() >= guard.capacity {
+            if let Some(oldest) = guard.order.pop_front() {
+                guard.map.remove(&oldest);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let boxed: Box<[u64]> = key.into();
+        guard.order.push_back(boxed.clone());
+        guard.map.insert(boxed, value);
+        self.insertions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Memoize `compute` over the bit pattern of `values`. Returns the
+    /// value and whether it was served from the cache (`true` = hit).
+    ///
+    /// Note the non-blocking miss path: two workers probing the same new
+    /// key may both compute, and the second insert is dropped. That is
+    /// deliberate — `compute` is pure, so both results are identical, and
+    /// not holding the shard lock during `compute` keeps workers off each
+    /// other's critical path.
+    pub fn get_or_insert_with(&self, values: &[f64], compute: impl FnOnce() -> V) -> (V, bool) {
+        if self.capacity == 0 {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return (compute(), false);
+        }
+        let key = Self::key_of(values);
+        if let Some(v) = self.get(&key) {
+            return (v, true);
+        }
+        let v = compute();
+        self.insert(&key, v.clone());
+        (v, false)
+    }
+
+    /// Snapshot the traffic counters. `hits + misses` equals the number
+    /// of probes ([`get`](Self::get) calls plus disabled-path probes).
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: self.len(),
+        }
+    }
+
+    /// FNV-1a over the key words, folded onto the active shard count.
+    fn shard_of(&self, key: &[u64]) -> usize {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for w in key {
+            for b in w.to_le_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+        }
+        (h % self.shards.len() as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_cache_never_stores() {
+        let cache: SolveCache<u64> = SolveCache::disabled();
+        assert!(!cache.is_enabled());
+        let (v, hit) = cache.get_or_insert_with(&[1.0], || 7);
+        assert_eq!((v, hit), (7, false));
+        let (v, hit) = cache.get_or_insert_with(&[1.0], || 7);
+        assert_eq!((v, hit), (7, false));
+        let s = cache.stats();
+        assert_eq!(s.hits, 0);
+        assert_eq!(s.misses, 2);
+        assert_eq!(s.insertions, 0);
+        assert_eq!(s.entries, 0);
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn second_probe_hits() {
+        let cache: SolveCache<u64> = SolveCache::new(8);
+        assert!(cache.is_enabled());
+        assert_eq!(cache.capacity(), 8);
+        let (_, hit) = cache.get_or_insert_with(&[1.5, -2.5], || 42);
+        assert!(!hit);
+        let (v, hit) = cache.get_or_insert_with(&[1.5, -2.5], || unreachable!());
+        assert!(hit);
+        assert_eq!(v, 42);
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.insertions, s.entries), (1, 1, 1, 1));
+    }
+
+    #[test]
+    fn keys_are_exact_bit_patterns() {
+        // 0.0 and -0.0 compare equal as floats but have different bit
+        // patterns: they must be distinct cache keys. (Capacity well
+        // above the shard count so same-shard keys cannot evict each
+        // other.)
+        let cache: SolveCache<u64> = SolveCache::new(64);
+        cache.get_or_insert_with(&[0.0], || 1);
+        let (v, hit) = cache.get_or_insert_with(&[-0.0], || 2);
+        assert!(!hit);
+        assert_eq!(v, 2);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn capacity_bound_evicts_fifo() {
+        // A single-entry cache stresses eviction in whichever shard each
+        // key lands: every insert after the first one in a shard evicts.
+        let cache: SolveCache<u64> = SolveCache::new(1);
+        for i in 0..100u64 {
+            cache.get_or_insert_with(&[i as f64], || i);
+            assert!(cache.len() <= 1, "capacity exceeded at step {i}");
+        }
+        let s = cache.stats();
+        assert_eq!(s.entries, 1);
+        assert_eq!(s.insertions - s.evictions, 1);
+    }
+
+    #[test]
+    fn duplicate_insert_is_a_noop() {
+        let cache: SolveCache<u64> = SolveCache::new(8);
+        let key = SolveCache::<u64>::key_of(&[3.25]);
+        cache.insert(&key, 1);
+        cache.insert(&key, 2);
+        assert_eq!(cache.get(&key), Some(1), "first writer wins");
+        assert_eq!(cache.stats().insertions, 1);
+    }
+
+    #[test]
+    fn stats_probe_identity_holds() {
+        let cache: SolveCache<u64> = SolveCache::new(4);
+        for i in 0..20u64 {
+            cache.get_or_insert_with(&[(i % 5) as f64], || i);
+        }
+        let s = cache.stats();
+        assert_eq!(s.hits + s.misses, 20);
+        assert!(s.entries <= 4);
+    }
+}

@@ -16,10 +16,13 @@
 //! * [`rng`] — splitmix64 seed streams so parallel runs stay
 //!   deterministic regardless of thread count;
 //! * [`stats`] — running statistics and convergence traces (the data
-//!   behind the paper's Fig. 4 and Fig. 5).
+//!   behind the paper's Fig. 4 and Fig. 5);
+//! * [`cache`] — a sharded, bounded, bit-exact memoization cache for
+//!   lower-level solves, shared across generations and rayon workers.
 
 pub mod archive;
 pub mod binary;
+pub mod cache;
 pub mod hypothesis;
 pub mod population;
 pub mod real;
@@ -28,6 +31,7 @@ pub mod select;
 pub mod stats;
 
 pub use archive::Archive;
+pub use cache::{CacheStats, SolveCache};
 pub use hypothesis::{mann_whitney_u, MannWhitney};
 pub use population::{evaluate_parallel, Individual};
 pub use real::{polynomial_mutation, sbx_crossover, RealOpsConfig};

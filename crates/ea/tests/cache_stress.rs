@@ -1,0 +1,76 @@
+//! Concurrency stress for [`bico_ea::SolveCache`]: hammer one cache from
+//! the rayon pool with heavily overlapping keys and check the invariants
+//! that the solvers rely on — no duplicate inserts, monotonic counters,
+//! and the capacity bound never exceeded even transiently.
+
+use bico_ea::SolveCache;
+use rayon::prelude::*;
+
+const PROBES: u64 = 10_000;
+const DISTINCT: u64 = 100;
+
+fn value_of(k: u64) -> u64 {
+    k.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+}
+
+#[test]
+fn concurrent_probes_on_roomy_cache_insert_each_key_once() {
+    // Capacity comfortably above the distinct-key count: no evictions,
+    // so every key must be inserted exactly once even when many workers
+    // miss on it simultaneously (first writer wins, the rest drop).
+    let cache: SolveCache<u64> = SolveCache::new(256);
+    (0..PROBES).into_par_iter().for_each(|i| {
+        let k = i % DISTINCT;
+        let (v, _) = cache.get_or_insert_with(&[k as f64], || value_of(k));
+        assert_eq!(v, value_of(k), "cache returned a value for the wrong key");
+    });
+    let s = cache.stats();
+    assert_eq!(s.hits + s.misses, PROBES, "every probe is a hit or a miss");
+    assert_eq!(s.insertions, DISTINCT, "no duplicate inserts");
+    assert_eq!(s.evictions, 0);
+    assert_eq!(s.entries, DISTINCT as usize);
+    assert!(s.hits >= PROBES - DISTINCT * rayon::current_num_threads() as u64);
+}
+
+#[test]
+fn concurrent_probes_never_exceed_capacity() {
+    // More distinct keys than capacity: constant eviction churn while
+    // workers probe. Sample the resident count from inside the workers.
+    const CAP: usize = 64;
+    let cache: SolveCache<u64> = SolveCache::new(CAP);
+    (0..PROBES).into_par_iter().for_each(|i| {
+        let k = i % DISTINCT;
+        let (v, _) = cache.get_or_insert_with(&[k as f64], || value_of(k));
+        assert_eq!(v, value_of(k));
+        if i % 97 == 0 {
+            assert!(cache.len() <= CAP, "capacity exceeded mid-run");
+        }
+    });
+    let s = cache.stats();
+    assert_eq!(s.hits + s.misses, PROBES);
+    assert!(s.entries <= CAP);
+    assert_eq!(
+        s.entries as u64,
+        s.insertions - s.evictions,
+        "resident count must equal inserts minus evictions (no duplicates)"
+    );
+}
+
+#[test]
+fn counters_are_monotonic_under_load() {
+    let cache: SolveCache<u64> = SolveCache::new(32);
+    let mut last = cache.stats();
+    for round in 0..8u64 {
+        (0..1_000u64).into_par_iter().for_each(|i| {
+            let k = (round * 131 + i) % DISTINCT;
+            cache.get_or_insert_with(&[k as f64], || value_of(k));
+        });
+        let now = cache.stats();
+        assert!(now.hits >= last.hits, "hits went backwards");
+        assert!(now.misses >= last.misses, "misses went backwards");
+        assert!(now.insertions >= last.insertions, "insertions went backwards");
+        assert!(now.evictions >= last.evictions, "evictions went backwards");
+        assert_eq!(now.hits + now.misses, (round + 1) * 1_000);
+        last = now;
+    }
+}

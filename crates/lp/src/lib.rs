@@ -21,7 +21,12 @@
 //! * a two-phase start with per-row artificial variables,
 //! * Dantzig pricing with an automatic switch to Bland's rule when the
 //!   objective stalls (anti-cycling),
-//! * exact dual recovery from the artificial columns.
+//! * exact dual recovery from the artificial columns,
+//! * warm starts: [`LpProblem::solve_with_basis`] crashes a recorded
+//!   [`BasisSnapshot`] back into the tableau and skips phase 1, and
+//!   [`PreparedLp`] amortizes phase 1 across repeated solves of one
+//!   constraint template under varying objectives (bit-identical to the
+//!   cold path).
 //!
 //! Problem sizes in this project are tiny by LP standards (≤ 30 rows,
 //! ≤ 500 bounded columns) but the solver is called tens of thousands of
@@ -46,13 +51,15 @@
 //! ```
 
 mod certificate;
+mod prepared;
 mod problem;
 mod simplex;
 mod solution;
 mod write;
 
 pub use certificate::check_certificate;
+pub use prepared::PreparedLp;
 pub use problem::{LpError, LpProblem, Relation, Sense};
 pub use simplex::SimplexOptions;
-pub use solution::{LpSolution, LpStatus};
+pub use solution::{BasisSnapshot, LpSolution, LpStatus, VarStatus};
 pub use write::to_lp_format;

@@ -1,0 +1,164 @@
+//! Phase-1 reuse for repeated solves over a fixed constraint system.
+//!
+//! Phase 1 of the two-phase simplex never looks at the objective: it
+//! minimizes the artificial sum, which depends only on the constraint
+//! rows, relations, right-hand sides and variable bounds. A workload that
+//! solves the *same* constraint template under many different cost
+//! vectors — the CARBON lower-level relaxation re-priced per upper-level
+//! decision — can therefore run phase 1 once, snapshot the feasible
+//! tableau, and resume each solve directly in phase 2.
+//!
+//! [`PreparedLp::solve_objective`] is bit-identical to a cold
+//! [`LpProblem::solve`] with the same objective: the resumed tableau is
+//! the exact floating-point state the cold path would have reached at the
+//! end of phase 1, so phase 2 performs the same pivots in the same order.
+
+use crate::problem::{LpError, LpProblem, Sense};
+use crate::simplex::{self, Prepared, SimplexOptions};
+use crate::solution::LpSolution;
+
+/// An [`LpProblem`] with phase 1 already run, ready to solve repeatedly
+/// under varying objectives. Build one with [`LpProblem::prepare`].
+///
+/// The prepared state is immutable: each [`solve_objective`] call clones
+/// the feasible tableau, so a `PreparedLp` can be shared across threads
+/// (`&self` methods only).
+///
+/// [`solve_objective`]: PreparedLp::solve_objective
+#[derive(Debug, Clone)]
+pub struct PreparedLp {
+    sense: Sense,
+    n: usize,
+    state: Prepared,
+}
+
+impl LpProblem {
+    /// Run phase 1 once and return a [`PreparedLp`] that can solve this
+    /// constraint system under any objective. Uses default
+    /// [`SimplexOptions`].
+    pub fn prepare(&self) -> Result<PreparedLp, LpError> {
+        self.prepare_with(&SimplexOptions::default())
+    }
+
+    /// [`LpProblem::prepare`] with explicit options.
+    pub fn prepare_with(&self, opts: &SimplexOptions) -> Result<PreparedLp, LpError> {
+        self.validate()?;
+        Ok(PreparedLp { sense: self.sense, n: self.n, state: simplex::prepare(self, opts) })
+    }
+}
+
+impl PreparedLp {
+    /// Number of structural variables an objective must cover.
+    pub fn num_vars(&self) -> usize {
+        self.n
+    }
+
+    /// `true` iff phase 1 found a feasible basis (every
+    /// [`solve_objective`](PreparedLp::solve_objective) call on an
+    /// infeasible preparation returns the same non-optimal status).
+    pub fn is_feasible(&self) -> bool {
+        matches!(self.state, Prepared::Ready { .. })
+    }
+
+    /// Pivots phase 1 spent reaching feasibility; amortized across every
+    /// subsequent [`solve_objective`](PreparedLp::solve_objective) call
+    /// (each of which reports them in its own `phase1_iterations` for
+    /// parity with the cold path).
+    pub fn phase1_iterations(&self) -> usize {
+        match &self.state {
+            Prepared::Ready { phase1_iterations, .. } => *phase1_iterations,
+            Prepared::Stopped { phase1_iterations, .. } => *phase1_iterations,
+        }
+    }
+
+    /// Solve for `obj`, resuming from the prepared feasible basis.
+    ///
+    /// Bit-identical to `LpProblem::solve` on the underlying problem with
+    /// its objective set to `obj` — including `iterations` /
+    /// `phase1_iterations`, which count the shared phase-1 pivots as if
+    /// they had been performed by this call.
+    pub fn solve_objective(&self, obj: &[f64]) -> Result<LpSolution, LpError> {
+        if obj.len() != self.n {
+            return Err(LpError::ObjectiveLength { got: obj.len(), expected: self.n });
+        }
+        if obj.iter().any(|c| c.is_nan()) {
+            return Err(LpError::NotANumber("objective coefficient"));
+        }
+        match &self.state {
+            Prepared::Stopped { status, iterations, phase1_iterations } => {
+                Ok(LpSolution::non_optimal(*status, *iterations, *phase1_iterations))
+            }
+            Prepared::Ready { tab, signs, phase1_iterations } => {
+                Ok(simplex::finish(tab.clone(), signs, *phase1_iterations, self.sense, obj))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{LpProblem, LpStatus, Relation};
+
+    fn covering(costs: &[f64]) -> LpProblem {
+        let mut p = LpProblem::minimize(4);
+        p.set_objective(costs);
+        for j in 0..4 {
+            p.set_bounds(j, 0.0, 1.0);
+        }
+        p.add_constraint_dense(&[2.0, 1.0, 0.0, 1.0], Relation::Ge, 2.0);
+        p.add_constraint_dense(&[0.0, 2.0, 3.0, 1.0], Relation::Ge, 3.0);
+        p.add_constraint_dense(&[1.0, 0.0, 1.0, 2.0], Relation::Ge, 1.0);
+        p
+    }
+
+    #[test]
+    fn resumed_solve_is_bit_identical_to_cold() {
+        let objectives: [&[f64]; 4] = [
+            &[3.0, 2.0, 4.0, 1.0],
+            &[1.0, 1.0, 1.0, 1.0],
+            &[0.5, 9.0, 0.25, 2.0],
+            &[4.0, 0.0, 0.0, 7.0],
+        ];
+        let prepared = covering(objectives[0]).prepare().unwrap();
+        assert!(prepared.is_feasible());
+        for obj in objectives {
+            let warm = prepared.solve_objective(obj).unwrap();
+            let cold = covering(obj).solve().unwrap();
+            assert_eq!(warm.status, cold.status);
+            assert_eq!(warm.objective.to_bits(), cold.objective.to_bits());
+            let eq_bits = |a: &[f64], b: &[f64]| {
+                a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+            };
+            assert!(eq_bits(&warm.x, &cold.x), "x differs for {obj:?}");
+            assert!(eq_bits(&warm.duals, &cold.duals), "duals differ for {obj:?}");
+            assert!(
+                eq_bits(&warm.reduced_costs, &cold.reduced_costs),
+                "reduced costs differ for {obj:?}"
+            );
+            assert_eq!(warm.iterations, cold.iterations);
+            assert_eq!(warm.phase1_iterations, cold.phase1_iterations);
+            assert_eq!(warm.basis, cold.basis);
+        }
+    }
+
+    #[test]
+    fn prepared_infeasible_reports_every_objective_infeasible() {
+        let mut p = LpProblem::minimize(1);
+        p.add_constraint_dense(&[1.0], Relation::Ge, 5.0);
+        p.add_constraint_dense(&[1.0], Relation::Le, 2.0);
+        let prepared = p.prepare().unwrap();
+        assert!(!prepared.is_feasible());
+        let sol = prepared.solve_objective(&[1.0]).unwrap();
+        assert_eq!(sol.status, LpStatus::Infeasible);
+        let sol = prepared.solve_objective(&[-3.0]).unwrap();
+        assert_eq!(sol.status, LpStatus::Infeasible);
+    }
+
+    #[test]
+    fn solve_objective_validates_input() {
+        let prepared = covering(&[1.0; 4]).prepare().unwrap();
+        assert!(prepared.solve_objective(&[1.0]).is_err());
+        assert!(prepared.solve_objective(&[1.0, f64::NAN, 0.0, 0.0]).is_err());
+        assert_eq!(prepared.num_vars(), 4);
+    }
+}

@@ -161,6 +161,18 @@ impl LpProblem {
         (self.lower[var], self.upper[var])
     }
 
+    /// Right-hand side of constraint `row`.
+    pub fn rhs(&self, row: usize) -> f64 {
+        self.rhs[row]
+    }
+
+    /// Replace the right-hand side of constraint `row` — the usual way
+    /// two "nearby" problems differ when warm-starting with
+    /// [`LpProblem::solve_with_basis`].
+    pub fn set_rhs(&mut self, row: usize, rhs: f64) {
+        self.rhs[row] = rhs;
+    }
+
     /// Set the full objective vector.
     ///
     /// # Panics
@@ -258,6 +270,25 @@ impl LpProblem {
     pub fn solve_with(&self, opts: &SimplexOptions) -> Result<LpSolution, LpError> {
         self.validate()?;
         Ok(simplex::solve(self, opts))
+    }
+
+    /// Warm-started solve: rebuild the basis recorded in `basis` (taken
+    /// from a previous optimal [`LpSolution::basis`](crate::LpSolution),
+    /// typically of a *nearby* problem) and go straight to phase 2.
+    ///
+    /// Falls back to the cold two-phase path whenever the snapshot cannot
+    /// be restored here — wrong shape, numerically singular basis, or a
+    /// vertex that is primal-infeasible for this problem's data — so the
+    /// returned status is always the same as an ordinary solve would
+    /// report; only the pivot route (and hence possibly which optimal
+    /// vertex is reported) may differ.
+    pub fn solve_with_basis(
+        &self,
+        opts: &SimplexOptions,
+        basis: &crate::BasisSnapshot,
+    ) -> Result<LpSolution, LpError> {
+        self.validate()?;
+        Ok(simplex::solve_with_basis(self, opts, basis))
     }
 }
 

@@ -11,7 +11,11 @@
 //! bound flips of the entering variable as a third leaving case.
 
 use crate::problem::{LpProblem, Relation, Sense};
-use crate::solution::{LpSolution, LpStatus};
+use crate::solution::{BasisSnapshot, LpSolution, LpStatus, VarStatus};
+
+/// Minimum pivot magnitude accepted when crashing a warm basis into the
+/// tableau (matches the drive-out threshold used after phase 1).
+const CRASH_PIVOT_TOL: f64 = 1e-7;
 
 /// Tuning knobs for the simplex loop.
 #[derive(Debug, Clone)]
@@ -55,7 +59,8 @@ enum PhaseOutcome {
     IterationLimit,
 }
 
-struct Tableau {
+#[derive(Debug, Clone)]
+pub(crate) struct Tableau {
     m: usize,
     n_struct: usize,
     n_total: usize,
@@ -293,8 +298,29 @@ impl Tableau {
     }
 }
 
+/// The tableau after phase 1 (feasible basis found, artificials pinned),
+/// ready to run phase 2 for any objective over the same constraint system.
+#[derive(Debug, Clone)]
+#[allow(clippy::large_enum_variant)] // one long-lived value per PreparedLp
+pub(crate) enum Prepared {
+    /// Phase 1 succeeded; `tab` holds a primal-feasible basis.
+    Ready {
+        tab: Tableau,
+        /// Per-row sign adjustment applied during assembly (`±1`),
+        /// needed to recover duals from the artificial columns.
+        signs: Vec<f64>,
+        phase1_iterations: usize,
+    },
+    /// Phase 1 proved infeasibility or hit the iteration limit; every
+    /// objective yields the same non-optimal status.
+    Stopped { status: LpStatus, iterations: usize, phase1_iterations: usize },
+}
+
+/// Assemble the initial tableau: nonbasic variables at finite bounds,
+/// all-artificial starting basis, rows sign-adjusted so the artificial
+/// values are non-negative. Returns the tableau and the per-row signs.
 #[allow(clippy::needless_range_loop)] // tableau assembly indexes parallel arrays
-pub(crate) fn solve(p: &LpProblem, opts: &SimplexOptions) -> LpSolution {
+fn assemble(p: &LpProblem, opts: &SimplexOptions) -> (Tableau, Vec<f64>) {
     let n = p.n;
     let m = p.rows.len();
     let n_total = n + 2 * m;
@@ -352,8 +378,9 @@ pub(crate) fn solve(p: &LpProblem, opts: &SimplexOptions) -> LpSolution {
     }
 
     let mut t = vec![0.0f64; m * n_total];
+    let signs: Vec<f64> = resid.iter().map(|&r| if r >= 0.0 { 1.0 } else { -1.0 }).collect();
     for (i, row) in p.rows.iter().enumerate() {
-        let sign = if resid[i] >= 0.0 { 1.0 } else { -1.0 };
+        let sign = signs[i];
         let trow = &mut t[i * n_total..(i + 1) * n_total];
         for &(j, a) in row {
             trow[j] += sign * a;
@@ -368,7 +395,7 @@ pub(crate) fn solve(p: &LpProblem, opts: &SimplexOptions) -> LpSolution {
         basis.push(n + m + i);
     }
 
-    let mut tab = Tableau {
+    let tab = Tableau {
         m,
         n_struct: n,
         n_total,
@@ -383,6 +410,19 @@ pub(crate) fn solve(p: &LpProblem, opts: &SimplexOptions) -> LpSolution {
         iterations: 0,
         opts: opts.clone(),
     };
+    (tab, signs)
+}
+
+/// Run phase 1 from the all-artificial basis, pin artificials to zero and
+/// drive basic ones out of the basis where possible. The result is a
+/// primal-feasible tableau that [`finish`] can run phase 2 on for *any*
+/// objective — phase 1 never looks at the cost vector, so the prepared
+/// state is objective-independent.
+pub(crate) fn prepare(p: &LpProblem, opts: &SimplexOptions) -> Prepared {
+    let n = p.n;
+    let m = p.rows.len();
+    let n_total = n + 2 * m;
+    let (mut tab, signs) = assemble(p, opts);
 
     // --- phase 1 ---
     for j in n + m..n_total {
@@ -397,20 +437,20 @@ pub(crate) fn solve(p: &LpProblem, opts: &SimplexOptions) -> LpSolution {
             unreachable!("phase 1 cannot be unbounded");
         }
         PhaseOutcome::IterationLimit => {
-            return LpSolution::non_optimal(
-                LpStatus::IterationLimit,
-                tab.iterations,
-                tab.iterations,
-            );
+            return Prepared::Stopped {
+                status: LpStatus::IterationLimit,
+                iterations: tab.iterations,
+                phase1_iterations: tab.iterations,
+            };
         }
     }
     let phase1_iterations = tab.iterations;
     if tab.phase_objective() > opts.feas_tol * scale {
-        return LpSolution::non_optimal(
-            LpStatus::Infeasible,
-            tab.iterations,
+        return Prepared::Stopped {
+            status: LpStatus::Infeasible,
+            iterations: tab.iterations,
             phase1_iterations,
-        );
+        };
     }
 
     // --- pin artificials to zero and drive basic ones out where possible ---
@@ -443,14 +483,31 @@ pub(crate) fn solve(p: &LpProblem, opts: &SimplexOptions) -> LpSolution {
         // with bounds [0, 0], which is harmless.
     }
 
+    Prepared::Ready { tab, signs, phase1_iterations }
+}
+
+/// Run phase 2 for `obj` on a primal-feasible tableau and extract the
+/// solution. `tab.iterations` must already count the pivots spent reaching
+/// feasibility (phase 1 or a warm-basis crash) so the global iteration cap
+/// spans both stages.
+pub(crate) fn finish(
+    mut tab: Tableau,
+    signs: &[f64],
+    phase1_iterations: usize,
+    sense: Sense,
+    obj: &[f64],
+) -> LpSolution {
+    let n = tab.n_struct;
+    let m = tab.m;
+
     // --- phase 2 ---
-    let obj_sign = match p.sense {
+    let obj_sign = match sense {
         Sense::Min => 1.0,
         Sense::Max => -1.0,
     };
     tab.cost.iter_mut().for_each(|c| *c = 0.0);
-    for j in 0..n {
-        tab.cost[j] = obj_sign * p.obj[j];
+    for (c, &o) in tab.cost[..n].iter_mut().zip(obj) {
+        *c = obj_sign * o;
     }
     tab.compute_reduced_costs();
     match tab.run_phase(false) {
@@ -474,24 +531,31 @@ pub(crate) fn solve(p: &LpProblem, opts: &SimplexOptions) -> LpSolution {
     // --- extraction ---
     let mut x = tab.xval[..n].to_vec();
     // Snap tiny bound violations introduced by floating-point drift.
+    // (Structural bounds in the tableau are exactly the problem's.)
     for (j, v) in x.iter_mut().enumerate() {
-        if *v < p.lower[j] {
-            *v = p.lower[j];
+        if *v < tab.lower[j] {
+            *v = tab.lower[j];
         }
-        if *v > p.upper[j] {
-            *v = p.upper[j];
+        if *v > tab.upper[j] {
+            *v = tab.upper[j];
         }
     }
-    let objective: f64 = p.obj.iter().zip(&x).map(|(c, v)| c * v).sum();
+    let objective: f64 = obj.iter().zip(&x).map(|(c, v)| c * v).sum();
 
     // Duals from the artificial columns: B^{-1} e_i = sign_i · T[:, art_i],
     // hence y_i = −sign_i · d[art_i] under the internal (min) costs.
-    let mut duals = Vec::with_capacity(m);
-    for i in 0..m {
-        let sign = if resid[i] >= 0.0 { 1.0 } else { -1.0 };
-        duals.push(obj_sign * (-sign * tab.d[n + m + i]));
-    }
+    let duals: Vec<f64> =
+        (0..m).zip(signs).map(|(i, &s)| obj_sign * (-s * tab.d[n + m + i])).collect();
     let reduced_costs: Vec<f64> = (0..n).map(|j| obj_sign * tab.d[j]).collect();
+
+    let statuses: Vec<VarStatus> = tab.stat[..n + m]
+        .iter()
+        .map(|s| match s {
+            Stat::Basic => VarStatus::Basic,
+            Stat::AtLower => VarStatus::AtLower,
+            Stat::AtUpper => VarStatus::AtUpper,
+        })
+        .collect();
 
     LpSolution {
         status: LpStatus::Optimal,
@@ -501,7 +565,150 @@ pub(crate) fn solve(p: &LpProblem, opts: &SimplexOptions) -> LpSolution {
         reduced_costs,
         iterations: tab.iterations,
         phase1_iterations,
+        basis: Some(BasisSnapshot::from_statuses(statuses)),
     }
+}
+
+/// Cold solve: phase 1 from the all-artificial basis, then phase 2.
+pub(crate) fn solve(p: &LpProblem, opts: &SimplexOptions) -> LpSolution {
+    match prepare(p, opts) {
+        Prepared::Stopped { status, iterations, phase1_iterations } => {
+            LpSolution::non_optimal(status, iterations, phase1_iterations)
+        }
+        Prepared::Ready { tab, signs, phase1_iterations } => {
+            finish(tab, &signs, phase1_iterations, p.sense, &p.obj)
+        }
+    }
+}
+
+/// Warm-started solve: crash `snapshot`'s basis into a fresh tableau and
+/// go straight to phase 2, falling back to the cold two-phase path when
+/// the snapshot does not fit the problem or its basis is numerically
+/// singular or primal-infeasible here.
+pub(crate) fn solve_with_basis(
+    p: &LpProblem,
+    opts: &SimplexOptions,
+    snapshot: &BasisSnapshot,
+) -> LpSolution {
+    match try_warm(p, opts, snapshot) {
+        Some(sol) => sol,
+        None => solve(p, opts),
+    }
+}
+
+/// Attempt the warm start; `None` means "use the cold path".
+fn try_warm(
+    p: &LpProblem,
+    opts: &SimplexOptions,
+    snapshot: &BasisSnapshot,
+) -> Option<LpSolution> {
+    let n = p.n;
+    let m = p.rows.len();
+    if snapshot.len() != n + m || snapshot.num_basic() > m {
+        return None;
+    }
+    let (mut tab, signs) = assemble(p, opts);
+    let scale = 1.0 + p.rhs.iter().fold(0.0f64, |a, b| a.max(b.abs()));
+
+    // The tableau has no explicit rhs column (primal values live in
+    // `xval`), so track one through the crash pivots to recover the basic
+    // values of the warm vertex afterwards.
+    let mut rhs: Vec<f64> = (0..m).map(|i| signs[i] * p.rhs[i]).collect();
+
+    // Crash: pivot each snapshot-basic column into a row still held by an
+    // artificial, choosing the largest available pivot for stability. A
+    // pivot below CRASH_PIVOT_TOL means the snapshot's basis is (near-)
+    // singular for this problem's data — bail out to the cold path.
+    for q in 0..n + m {
+        if snapshot.statuses()[q] != VarStatus::Basic {
+            continue;
+        }
+        let mut best: Option<(usize, f64)> = None;
+        for r in 0..m {
+            if tab.basis[r] < n + m {
+                continue; // row already taken by an earlier crash pivot
+            }
+            let a = tab.at(r, q).abs();
+            if best.is_none_or(|(_, b)| a > b) {
+                best = Some((r, a));
+            }
+        }
+        let (r, mag) = best?;
+        if mag <= CRASH_PIVOT_TOL {
+            return None;
+        }
+        let col: Vec<f64> = (0..m).map(|i| tab.at(i, q)).collect();
+        let leaving = tab.basis[r];
+        tab.stat[leaving] = Stat::AtLower;
+        tab.xval[leaving] = 0.0;
+        tab.pivot(r, q);
+        tab.basis[r] = q;
+        tab.stat[q] = Stat::Basic;
+        tab.iterations += 1;
+        rhs[r] /= col[r];
+        for i in 0..m {
+            if i != r && col[i] != 0.0 {
+                rhs[i] -= col[i] * rhs[r];
+            }
+        }
+    }
+
+    // Rest the nonbasic columns on the bounds the snapshot recorded; a
+    // nonbasic placement on an infinite bound cannot be restored.
+    for j in 0..n + m {
+        match snapshot.statuses()[j] {
+            VarStatus::Basic => {}
+            VarStatus::AtLower => {
+                if !tab.lower[j].is_finite() {
+                    return None;
+                }
+                tab.stat[j] = Stat::AtLower;
+                tab.xval[j] = tab.lower[j];
+            }
+            VarStatus::AtUpper => {
+                if !tab.upper[j].is_finite() {
+                    return None;
+                }
+                tab.stat[j] = Stat::AtUpper;
+                tab.xval[j] = tab.upper[j];
+            }
+        }
+    }
+
+    // Pin artificials to zero exactly as the cold path does after phase 1.
+    // Rows the snapshot leaves uncrashed keep a basic artificial, which
+    // must then check out at value ≈ 0 below (redundant row).
+    for j in n + m..n + 2 * m {
+        tab.lower[j] = 0.0;
+        tab.upper[j] = 0.0;
+        if tab.stat[j] != Stat::Basic {
+            tab.xval[j] = 0.0;
+        }
+    }
+
+    // Basic values: x_B = B⁻¹ b − Σ_{nonbasic j} (B⁻¹ A)_j · x_j.
+    for (r, &b) in rhs.iter().enumerate().take(m) {
+        let mut v = b;
+        for j in 0..n + m {
+            if tab.stat[j] != Stat::Basic && tab.xval[j] != 0.0 {
+                v -= tab.at(r, j) * tab.xval[j];
+            }
+        }
+        tab.xval[tab.basis[r]] = v;
+    }
+
+    // Primal feasibility of the restored vertex; on violation the warm
+    // basis is simply not feasible for this problem — cold-solve instead.
+    let tol = opts.feas_tol * scale;
+    for r in 0..m {
+        let jb = tab.basis[r];
+        if tab.xval[jb] < tab.lower[jb] - tol || tab.xval[jb] > tab.upper[jb] + tol {
+            return None;
+        }
+    }
+
+    let crash_iterations = tab.iterations;
+    Some(finish(tab, &signs, crash_iterations, p.sense, &p.obj))
 }
 
 #[cfg(test)]
@@ -751,6 +958,101 @@ mod tests {
         assert_eq!(sol.status, LpStatus::Optimal);
         assert!(sol.phase1_iterations >= 1, "phase 1 must have pivoted");
         assert!(sol.iterations >= sol.phase1_iterations);
+    }
+
+    #[test]
+    fn optimal_solution_carries_a_basis_snapshot() {
+        let mut p = LpProblem::minimize(2);
+        p.set_objective(&[2.0, 3.0]);
+        p.add_constraint_dense(&[1.0, 1.0], Relation::Ge, 4.0);
+        let sol = p.solve().unwrap();
+        let snap = sol.basis.as_ref().expect("optimal solve records a basis");
+        assert_eq!(snap.len(), 2 + 1, "n structural + m slack columns");
+        assert!(snap.num_basic() >= 1);
+
+        let infeasible = {
+            let mut q = LpProblem::minimize(1);
+            q.add_constraint_dense(&[1.0], Relation::Ge, 5.0);
+            q.add_constraint_dense(&[1.0], Relation::Le, 2.0);
+            q.solve().unwrap()
+        };
+        assert!(infeasible.basis.is_none());
+    }
+
+    #[test]
+    fn warm_start_from_own_basis_skips_phase_1() {
+        let mut p = LpProblem::minimize(2);
+        p.set_objective(&[2.0, 3.0]);
+        p.add_constraint_dense(&[1.0, 1.0], Relation::Ge, 4.0);
+        p.add_constraint_dense(&[1.0, 2.0], Relation::Ge, 6.0);
+        let cold = p.solve().unwrap();
+        let snap = cold.basis.clone().unwrap();
+        let warm = p.solve_with_basis(&SimplexOptions::default(), &snap).unwrap();
+        assert_eq!(warm.status, LpStatus::Optimal);
+        assert!((warm.objective - cold.objective).abs() < 1e-9);
+        check_certificate(&p, &warm, 1e-6).unwrap();
+        // Re-solving from the optimal vertex needs no phase-2 pivots; the
+        // only pivots reported are the basis-crash ones.
+        assert_eq!(warm.iterations, warm.phase1_iterations);
+        assert_eq!(warm.phase1_iterations, snap.num_basic());
+    }
+
+    #[test]
+    fn warm_start_on_perturbed_objective_matches_cold() {
+        let base = {
+            let mut p = LpProblem::minimize(2);
+            p.set_objective(&[2.0, 3.0]);
+            p.add_constraint_dense(&[1.0, 1.0], Relation::Ge, 4.0);
+            p.add_constraint_dense(&[1.0, 2.0], Relation::Ge, 6.0);
+            p
+        };
+        let snap = base.solve().unwrap().basis.unwrap();
+        let mut moved = base.clone();
+        moved.set_objective(&[5.0, 1.0]); // different optimal vertex
+        let warm = moved.solve_with_basis(&SimplexOptions::default(), &snap).unwrap();
+        let cold = moved.solve().unwrap();
+        assert_eq!(warm.status, cold.status);
+        assert!((warm.objective - cold.objective).abs() < 1e-9);
+        check_certificate(&moved, &warm, 1e-6).unwrap();
+    }
+
+    #[test]
+    fn infeasible_warm_basis_falls_back_to_cold_solve() {
+        // Snapshot from a loose rhs; tightening the rhs makes that vertex
+        // primal-infeasible, so the warm path must detect it and fall back.
+        let build = |rhs: f64| {
+            let mut p = LpProblem::minimize(2);
+            p.set_objective(&[2.0, 3.0]);
+            p.set_bounds(0, 0.0, 10.0);
+            p.set_bounds(1, 0.0, 10.0);
+            p.add_constraint_dense(&[1.0, 1.0], Relation::Ge, rhs);
+            p
+        };
+        let snap = build(4.0).solve().unwrap().basis.unwrap();
+        let tight = build(9.0);
+        let warm = tight.solve_with_basis(&SimplexOptions::default(), &snap).unwrap();
+        let cold = tight.solve().unwrap();
+        assert_eq!(warm.status, LpStatus::Optimal);
+        assert!((warm.objective - cold.objective).abs() < 1e-9);
+        check_certificate(&tight, &warm, 1e-6).unwrap();
+    }
+
+    #[test]
+    fn mismatched_snapshot_shape_falls_back_to_cold_solve() {
+        use crate::{BasisSnapshot, VarStatus};
+        let mut p = LpProblem::minimize(2);
+        p.set_objective(&[2.0, 3.0]);
+        p.add_constraint_dense(&[1.0, 1.0], Relation::Ge, 4.0);
+        // Wrong length entirely.
+        let bogus = BasisSnapshot::from_statuses(vec![VarStatus::Basic; 7]);
+        let sol = p.solve_with_basis(&SimplexOptions::default(), &bogus).unwrap();
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert!((sol.objective - 8.0).abs() < 1e-8);
+        // Right length but more basics than rows.
+        let bogus = BasisSnapshot::from_statuses(vec![VarStatus::Basic; 3]);
+        let sol = p.solve_with_basis(&SimplexOptions::default(), &bogus).unwrap();
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert!((sol.objective - 8.0).abs() < 1e-8);
     }
 
     #[test]

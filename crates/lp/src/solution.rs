@@ -1,5 +1,58 @@
 //! Solver output types.
 
+/// Position of a variable (structural or slack) in a simplex basis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VarStatus {
+    /// In the basis; its value is determined by the constraint system.
+    Basic,
+    /// Nonbasic, resting at its lower bound.
+    AtLower,
+    /// Nonbasic, resting at its upper bound.
+    AtUpper,
+}
+
+/// A basis snapshot taken at an optimal vertex: one [`VarStatus`] per
+/// structural variable (`[0, n)`) followed by one per constraint slack
+/// (`[n, n+m)`).
+///
+/// Feed it back into [`crate::LpProblem::solve_with_basis`] to warm-start
+/// a solve of a *nearby* problem (same shape, perturbed data) from this
+/// vertex instead of running phase 1 from scratch. Rows left redundant by
+/// phase 1 may carry fewer than `m` basic entries; that is a valid
+/// snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BasisSnapshot {
+    statuses: Vec<VarStatus>,
+}
+
+impl BasisSnapshot {
+    /// Build a snapshot from explicit per-column statuses
+    /// (`n` structural then `m` slack entries).
+    pub fn from_statuses(statuses: Vec<VarStatus>) -> Self {
+        BasisSnapshot { statuses }
+    }
+
+    /// Per-column statuses, structural variables first.
+    pub fn statuses(&self) -> &[VarStatus] {
+        &self.statuses
+    }
+
+    /// Total number of columns covered (`n + m`).
+    pub fn len(&self) -> usize {
+        self.statuses.len()
+    }
+
+    /// `true` iff the snapshot covers zero columns.
+    pub fn is_empty(&self) -> bool {
+        self.statuses.is_empty()
+    }
+
+    /// Number of columns marked [`VarStatus::Basic`].
+    pub fn num_basic(&self) -> usize {
+        self.statuses.iter().filter(|s| **s == VarStatus::Basic).count()
+    }
+}
+
 /// Termination status of a simplex solve.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LpStatus {
@@ -38,8 +91,13 @@ pub struct LpSolution {
     pub iterations: usize,
     /// Pivots spent in phase 1 (finding a feasible basis); `0` when the
     /// initial slack basis was already feasible. Phase-2 pivots are
-    /// `iterations - phase1_iterations`.
+    /// `iterations - phase1_iterations`. For a warm-started solve this
+    /// counts the basis-crash pivots instead.
     pub phase1_iterations: usize,
+    /// Basis at the optimal vertex, for warm-starting nearby solves via
+    /// [`crate::LpProblem::solve_with_basis`]. `None` unless
+    /// `status == LpStatus::Optimal`.
+    pub basis: Option<BasisSnapshot>,
 }
 
 impl LpSolution {
@@ -61,6 +119,7 @@ impl LpSolution {
             reduced_costs: Vec::new(),
             iterations,
             phase1_iterations,
+            basis: None,
         }
     }
 }
@@ -77,5 +136,20 @@ mod tests {
         assert!(s.x.is_empty());
         assert_eq!(s.iterations, 7);
         assert_eq!(s.phase1_iterations, 4);
+        assert!(s.basis.is_none());
+    }
+
+    #[test]
+    fn basis_snapshot_counts_basics() {
+        let snap = BasisSnapshot::from_statuses(vec![
+            VarStatus::Basic,
+            VarStatus::AtLower,
+            VarStatus::AtUpper,
+            VarStatus::Basic,
+        ]);
+        assert_eq!(snap.len(), 4);
+        assert!(!snap.is_empty());
+        assert_eq!(snap.num_basic(), 2);
+        assert_eq!(snap.statuses()[1], VarStatus::AtLower);
     }
 }

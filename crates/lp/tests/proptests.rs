@@ -6,7 +6,7 @@
 //! complete optimality proof for linear programs, these tests do not need
 //! a reference solver.
 
-use bico_lp::{check_certificate, LpProblem, LpStatus, Relation};
+use bico_lp::{check_certificate, LpProblem, LpStatus, Relation, SimplexOptions};
 use proptest::prelude::*;
 
 /// Random covering LP: min c·x, Qx ≥ b, 0 ≤ x ≤ 1 with Q ≥ 0 and
@@ -28,6 +28,54 @@ fn covering_lp(n: usize, m: usize, seed_data: &[u8]) -> LpProblem {
         p.add_constraint_dense(&row, Relation::Ge, b);
     }
     p
+}
+
+/// Deterministic twin of the warm-start properties below, using fixed
+/// data through the exact same code path — it keeps the scenario covered
+/// (and type-checked) even in environments where the `proptest!` bodies
+/// are compiled out.
+#[test]
+fn warm_start_fixed_case_matches_cold() {
+    let data: Vec<u8> = (0..128u32).map(|i| (i * 37 % 251) as u8).collect();
+    let base = covering_lp(12, 6, &data);
+    let opts = SimplexOptions::default();
+    let cold_base = base.solve_with(&opts).unwrap();
+    assert_eq!(cold_base.status, LpStatus::Optimal);
+    let basis = cold_base.basis.clone().expect("optimal solves carry a basis");
+
+    // From its own basis the warm solve reproduces the cold optimum.
+    let warm = base.solve_with_basis(&opts, &basis).unwrap();
+    assert_eq!(warm.status, LpStatus::Optimal);
+    assert!((warm.objective - cold_base.objective).abs() <= 1e-9);
+
+    // From a nearby problem's basis it matches that problem's cold solve.
+    let mut perturbed = base.clone();
+    let costs: Vec<f64> = base
+        .objective()
+        .iter()
+        .enumerate()
+        .map(|(j, &c)| c * (1.0 + 0.25 * ((j % 3) as f64)))
+        .collect();
+    perturbed.set_objective(&costs);
+    for i in 0..perturbed.num_rows() {
+        let b = perturbed.rhs(i) * 0.6;
+        perturbed.set_rhs(i, b);
+    }
+    let cold = perturbed.solve_with(&opts).unwrap();
+    let warm = perturbed.solve_with_basis(&opts, &basis).unwrap();
+    assert_eq!(warm.status, cold.status);
+    assert_eq!(cold.status, LpStatus::Optimal);
+    assert!(
+        (warm.objective - cold.objective).abs() <= 1e-6 * (1.0 + cold.objective.abs()),
+        "warm {} vs cold {}",
+        warm.objective,
+        cold.objective
+    );
+    assert!(
+        check_certificate(&perturbed, &warm, 1e-6).is_ok(),
+        "warm certificate failed: {:?}",
+        check_certificate(&perturbed, &warm, 1e-6)
+    );
 }
 
 proptest! {
@@ -109,6 +157,70 @@ proptest! {
             })
             .sum();
         prop_assert!((sol.objective - expected).abs() < 1e-8);
+    }
+
+    #[test]
+    fn warm_start_from_own_basis_matches_cold(
+        n in 2usize..30,
+        m in 1usize..10,
+        data in proptest::collection::vec(any::<u8>(), 64..256),
+    ) {
+        // Re-solving a problem from the optimal basis of its own cold
+        // solve must reproduce the cold status and objective.
+        let p = covering_lp(n, m, &data);
+        let opts = SimplexOptions::default();
+        let cold = p.solve_with(&opts).unwrap();
+        prop_assert_eq!(cold.status, LpStatus::Optimal);
+        let basis = cold.basis.as_ref().expect("optimal solves carry a basis");
+        let warm = p.solve_with_basis(&opts, basis).unwrap();
+        prop_assert_eq!(warm.status, LpStatus::Optimal);
+        prop_assert!((warm.objective - cold.objective).abs() <= opts.opt_tol.max(1e-9),
+            "warm {} vs cold {}", warm.objective, cold.objective);
+    }
+
+    #[test]
+    fn warm_start_on_perturbed_problem_matches_cold(
+        n in 2usize..30,
+        m in 1usize..10,
+        data in proptest::collection::vec(any::<u8>(), 64..256),
+        obj_scale in 1u8..40,
+        rhs_scale in 0u8..100,
+    ) {
+        // The cache's warm-start path: take the optimal basis of one
+        // pricing's LP and re-solve a *nearby* problem (perturbed costs
+        // and loosened rhs) from it. Whatever pivot route the crash
+        // start takes, status and objective must match a cold solve of
+        // the perturbed problem within tolerance.
+        let base = covering_lp(n, m, &data);
+        let opts = SimplexOptions::default();
+        let cold_base = base.solve_with(&opts).unwrap();
+        prop_assert_eq!(cold_base.status, LpStatus::Optimal);
+        let basis = cold_base.basis.clone().expect("optimal solves carry a basis");
+
+        let mut perturbed = base.clone();
+        let costs: Vec<f64> = base
+            .objective()
+            .iter()
+            .enumerate()
+            .map(|(j, &c)| c * (1.0 + (obj_scale as f64) / 100.0 * ((j % 3) as f64)))
+            .collect();
+        perturbed.set_objective(&costs);
+        for i in 0..perturbed.num_rows() {
+            // Shrink every covering rhs: the all-ones point stays feasible.
+            let b = perturbed.rhs(i) * (rhs_scale as f64) / 100.0;
+            perturbed.set_rhs(i, b);
+        }
+
+        let cold = perturbed.solve_with(&opts).unwrap();
+        let warm = perturbed.solve_with_basis(&opts, &basis).unwrap();
+        prop_assert_eq!(warm.status, cold.status);
+        if cold.status == LpStatus::Optimal {
+            let tol = 1e-6 * (1.0 + cold.objective.abs());
+            prop_assert!((warm.objective - cold.objective).abs() <= tol,
+                "warm {} vs cold {}", warm.objective, cold.objective);
+            prop_assert!(check_certificate(&perturbed, &warm, 1e-6).is_ok(),
+                "warm certificate failed: {:?}", check_certificate(&perturbed, &warm, 1e-6));
+        }
     }
 
     #[test]

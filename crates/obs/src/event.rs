@@ -61,13 +61,17 @@ pub enum Event<'a> {
     },
     /// A batch of lower-level relaxation LP solves completed.
     LowerLevelSolve {
-        /// Number of LP solves in the batch.
+        /// Number of relaxation requests in the batch (including ones
+        /// answered by the solve cache).
         solves: u64,
-        /// Total simplex pivots across the batch.
+        /// Total simplex pivots across the batch; solve-cache hits spend
+        /// none, so this reflects work done, not work recalled.
         pivots: u64,
     },
-    /// A memoization cache was probed (reserved for future caching
-    /// layers; nothing emits it yet).
+    /// A batch of lower-level solve-cache probes completed. Emitted
+    /// right after the matching [`Event::LowerLevelSolve`] by every
+    /// solver with `ll_cache_capacity > 0`; `hits + misses` equals that
+    /// batch's `solves`. Never emitted when the cache is disabled.
     CacheProbe {
         /// Cache hits in the batch.
         hits: u64,

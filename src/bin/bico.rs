@@ -52,9 +52,10 @@ fn usage() {
 USAGE:
   bico generate --bundles N --services M [--seed S] [--tightness T] [--own F] [--out FILE]
   bico run <carbon|cobra|nested> [--instance FILE | --class NxM] [--seed S]
-           [--evals N] [--pop P] [--heuristic-out FILE]
+           [--evals N] [--pop P] [--ll-cache-capacity C] [--heuristic-out FILE]
            [--trace-out FILE.jsonl] [--metrics-out FILE.json] [--log-level LEVEL]
   bico compare [--class NxM] [--runs R] [--seed S] [--evals N] [--pop P]
+           [--ll-cache-capacity C]
            [--trace-out FILE.jsonl] [--metrics-out FILE.json] [--log-level LEVEL]
   bico eval --sexpr EXPR [--instance FILE | --class NxM] [--seed S]
   bico linear
@@ -62,7 +63,11 @@ USAGE:
 Observability (run/compare): --trace-out streams one JSON event per line,
 --metrics-out writes aggregate counters/timers after the run, and
 --log-level (off|error|warn|info|debug|trace; default from BICO_LOG)
-controls stderr progress. Observers never alter results."
+controls stderr progress. Observers never alter results.
+
+--ll-cache-capacity C memoizes lower-level relaxations by the exact bit
+pattern of the pricing (C entries, FIFO eviction; 0 = off, the default).
+Results are bit-identical with the cache on or off."
     );
 }
 
@@ -190,6 +195,7 @@ fn cmd_run(args: &[String]) {
     let seed = opt_parse(args, "--seed", 1u64);
     let evals = opt_parse(args, "--evals", 4_000u64);
     let pop = opt_parse(args, "--pop", 24usize);
+    let ll_cache_capacity = opt_parse(args, "--ll-cache-capacity", 0usize);
     let obs = obs_setup(args);
     eprintln!(
         "{algo} on {}x{} (own {}), budget {evals}+{evals}, pop {pop}, seed {seed}",
@@ -207,6 +213,7 @@ fn cmd_run(args: &[String]) {
                 ll_archive_size: pop,
                 ul_evaluations: evals,
                 ll_evaluations: evals,
+                ll_cache_capacity,
                 ..Default::default()
             };
             let solver = Carbon::new(&inst, cfg);
@@ -232,6 +239,7 @@ fn cmd_run(args: &[String]) {
                 ll_archive_size: pop,
                 ul_evaluations: evals,
                 ll_evaluations: evals,
+                ll_cache_capacity,
                 ..Default::default()
             };
             let r = Cobra::new(&inst, cfg).run_observed(seed, &obs.observers);
@@ -246,6 +254,7 @@ fn cmd_run(args: &[String]) {
                 ll_pop_size: pop.min(16),
                 ll_gens_per_eval: 8,
                 ll_evaluations: evals,
+                ll_cache_capacity,
                 ..Default::default()
             };
             let r = NestedSequential::new(&inst, cfg).run_observed(seed, &obs.observers);
@@ -268,6 +277,7 @@ fn cmd_compare(args: &[String]) {
     let seed = opt_parse(args, "--seed", 1u64);
     let evals = opt_parse(args, "--evals", 4_000u64);
     let pop = opt_parse(args, "--pop", 24usize);
+    let ll_cache_capacity = opt_parse(args, "--ll-cache-capacity", 0usize);
     let obs = obs_setup(args);
     eprintln!(
         "comparing CARBON vs COBRA on {}x{}: {runs} runs, budget {evals}+{evals}, pop {pop}",
@@ -289,6 +299,7 @@ fn cmd_compare(args: &[String]) {
                 ll_archive_size: pop,
                 ul_evaluations: evals,
                 ll_evaluations: evals,
+                ll_cache_capacity,
                 ..Default::default()
             },
         )
@@ -304,6 +315,7 @@ fn cmd_compare(args: &[String]) {
                 ll_archive_size: pop,
                 ul_evaluations: evals,
                 ll_evaluations: evals,
+                ll_cache_capacity,
                 ..Default::default()
             },
         )

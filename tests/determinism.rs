@@ -1,11 +1,13 @@
 //! Determinism contract: the same seed yields bit-identical results
 //! regardless of the rayon thread count (per-item seed streams, pure
-//! fitness functions, order-preserving parallel collection) — and
-//! regardless of attached observers, which receive events by shared
-//! reference and never touch RNG state.
+//! fitness functions, order-preserving parallel collection), regardless
+//! of attached observers, which receive events by shared reference and
+//! never touch RNG state — and regardless of the lower-level solve
+//! cache, which memoizes relaxations by exact pricing bits and so can
+//! only ever return the value a fresh solve would have produced.
 
-use bico::bcpop::{generate, GeneratorConfig};
-use bico::cobra::{Cobra, CobraConfig};
+use bico::bcpop::{generate, BcpopInstance, GeneratorConfig};
+use bico::cobra::{Cobra, CobraConfig, NestedConfig, NestedSequential};
 use bico::core::{Carbon, CarbonConfig};
 use bico::obs::{JsonlSink, MetricsSink, Observers, TraceSink};
 use std::sync::Arc;
@@ -24,6 +26,168 @@ fn full_stack() -> (Observers, Arc<MetricsSink>, Arc<TraceSink>) {
 
 fn with_threads<T: Send>(n: usize, f: impl FnOnce() -> T + Send) -> T {
     rayon::ThreadPoolBuilder::new().num_threads(n).build().expect("pool").install(f)
+}
+
+/// The differential-test fixtures: two instances of different shapes,
+/// each exercised under three seeds.
+fn diff_instances() -> Vec<BcpopInstance> {
+    vec![
+        generate(
+            &GeneratorConfig { num_bundles: 40, num_services: 5, ..Default::default() },
+            77,
+        ),
+        generate(
+            &GeneratorConfig { num_bundles: 30, num_services: 4, ..Default::default() },
+            5,
+        ),
+    ]
+}
+
+const DIFF_SEEDS: [u64; 3] = [9, 10, 11];
+
+fn bits(v: &[f64]) -> Vec<u64> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+#[test]
+fn carbon_solve_cache_is_bit_identical() {
+    for inst in &diff_instances() {
+        for &seed in &DIFF_SEEDS {
+            let mut cfg = CarbonConfig {
+                ul_pop_size: 10,
+                ll_pop_size: 10,
+                ul_archive_size: 10,
+                ll_archive_size: 10,
+                ul_evaluations: 150,
+                ll_evaluations: 150,
+                ..Default::default()
+            };
+            let cold = Carbon::new(inst, cfg.clone()).run(seed);
+            cfg.ll_cache_capacity = 4096;
+            let cached = Carbon::new(inst, cfg).run(seed);
+            let tag = format!("{}x{} seed {seed}", inst.num_bundles(), inst.num_services());
+            assert_eq!(bits(&cold.best_pricing), bits(&cached.best_pricing), "pricing {tag}");
+            assert_eq!(
+                cold.best_ul_value.to_bits(),
+                cached.best_ul_value.to_bits(),
+                "best F {tag}"
+            );
+            assert_eq!(cold.best_gap.to_bits(), cached.best_gap.to_bits(), "best gap {tag}");
+            assert_eq!(cold.best_heuristic, cached.best_heuristic, "champion {tag}");
+            assert_eq!(cold.trace.points(), cached.trace.points(), "trace {tag}");
+        }
+    }
+}
+
+#[test]
+fn cobra_solve_cache_is_bit_identical() {
+    for inst in &diff_instances() {
+        for &seed in &DIFF_SEEDS {
+            let mut cfg = CobraConfig {
+                ul_pop_size: 10,
+                ll_pop_size: 10,
+                ul_archive_size: 10,
+                ll_archive_size: 10,
+                ul_evaluations: 150,
+                ll_evaluations: 150,
+                improvement_gens: 2,
+                ..Default::default()
+            };
+            let cold = Cobra::new(inst, cfg.clone()).run(seed);
+            cfg.ll_cache_capacity = 4096;
+            let cached = Cobra::new(inst, cfg).run(seed);
+            let tag = format!("{}x{} seed {seed}", inst.num_bundles(), inst.num_services());
+            assert_eq!(bits(&cold.best_pricing), bits(&cached.best_pricing), "pricing {tag}");
+            assert_eq!(cold.best_reaction, cached.best_reaction, "reaction {tag}");
+            assert_eq!(
+                cold.best_ul_value.to_bits(),
+                cached.best_ul_value.to_bits(),
+                "best F {tag}"
+            );
+            assert_eq!(cold.best_gap.to_bits(), cached.best_gap.to_bits(), "best gap {tag}");
+            assert_eq!(
+                cold.best_ll_value.to_bits(),
+                cached.best_ll_value.to_bits(),
+                "best f {tag}"
+            );
+            assert_eq!(cold.trace.points(), cached.trace.points(), "trace {tag}");
+        }
+    }
+}
+
+#[test]
+fn nested_solve_cache_is_bit_identical() {
+    for inst in &diff_instances() {
+        for &seed in &DIFF_SEEDS {
+            let mut cfg = NestedConfig {
+                ul_pop_size: 5,
+                ul_evaluations: 15,
+                ll_pop_size: 6,
+                ll_gens_per_eval: 3,
+                ll_evaluations: 10_000,
+                ..Default::default()
+            };
+            let cold = NestedSequential::new(inst, cfg.clone()).run(seed);
+            cfg.ll_cache_capacity = 1024;
+            let cached = NestedSequential::new(inst, cfg).run(seed);
+            let tag = format!("{}x{} seed {seed}", inst.num_bundles(), inst.num_services());
+            assert_eq!(bits(&cold.best_pricing), bits(&cached.best_pricing), "pricing {tag}");
+            assert_eq!(cold.best_reaction, cached.best_reaction, "reaction {tag}");
+            assert_eq!(
+                cold.best_ul_value.to_bits(),
+                cached.best_ul_value.to_bits(),
+                "best F {tag}"
+            );
+            assert_eq!(cold.best_gap.to_bits(), cached.best_gap.to_bits(), "best gap {tag}");
+            assert_eq!(cold.trace.points(), cached.trace.points(), "trace {tag}");
+        }
+    }
+}
+
+#[test]
+fn tiny_cache_under_eviction_churn_is_still_bit_identical() {
+    // Capacity 2 on a population of 10: constant FIFO eviction. Eviction
+    // order must not matter — an evicted entry is simply recomputed to
+    // the identical value.
+    let inst = &diff_instances()[1];
+    let mut cfg = CarbonConfig {
+        ul_pop_size: 10,
+        ll_pop_size: 10,
+        ul_archive_size: 10,
+        ll_archive_size: 10,
+        ul_evaluations: 150,
+        ll_evaluations: 150,
+        ..Default::default()
+    };
+    let cold = Carbon::new(inst, cfg.clone()).run(13);
+    cfg.ll_cache_capacity = 2;
+    let churned = Carbon::new(inst, cfg).run(13);
+    assert_eq!(bits(&cold.best_pricing), bits(&churned.best_pricing));
+    assert_eq!(cold.best_gap.to_bits(), churned.best_gap.to_bits());
+    assert_eq!(cold.trace.points(), churned.trace.points());
+}
+
+#[test]
+fn cached_carbon_run_actually_hits_the_cache() {
+    // The differential tests above would pass vacuously if the cache
+    // never hit; this pins the premise.
+    let inst = &diff_instances()[0];
+    let cfg = CarbonConfig {
+        ul_pop_size: 10,
+        ll_pop_size: 10,
+        ul_archive_size: 10,
+        ll_archive_size: 10,
+        ul_evaluations: 150,
+        ll_evaluations: 150,
+        ll_cache_capacity: 4096,
+        ..Default::default()
+    };
+    let metrics = Arc::new(MetricsSink::new());
+    let observers = Observers::new().with(Box::new(metrics.clone()));
+    Carbon::new(inst, cfg).run_observed(9, &observers);
+    let report = metrics.report();
+    assert!(report.cache_hits > 0, "elite re-injection must produce cache hits");
+    assert_eq!(report.cache_hits + report.cache_misses, report.ll_solves);
 }
 
 #[test]

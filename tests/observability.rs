@@ -89,6 +89,61 @@ fn jsonl_payloads_match_the_run_trace() {
 }
 
 #[test]
+fn cache_probes_stream_and_aggregate_consistently() {
+    let buffer = SharedBuffer::new();
+    let sink = JsonlSink::new(buffer.clone());
+    let mut cfg = small_config();
+    cfg.ll_cache_capacity = 512;
+    Carbon::new(&small_instance(), cfg.clone()).run_observed(5, &sink);
+    sink.flush().unwrap();
+
+    let mut probes = 0u64;
+    let mut hits = 0u64;
+    let mut solves = 0u64;
+    for line in buffer.contents().lines() {
+        let value: serde_json::Value = serde_json::from_str(line).unwrap();
+        match value.get("event").and_then(|v| v.as_str()) {
+            Some("CacheProbe") => {
+                let h = value.get("hits").and_then(|v| v.as_u64()).expect("hits field");
+                let m = value.get("misses").and_then(|v| v.as_u64()).expect("misses field");
+                hits += h;
+                probes += h + m;
+            }
+            Some("LowerLevelSolve") => {
+                solves += value.get("solves").and_then(|v| v.as_u64()).expect("solves field");
+            }
+            _ => {}
+        }
+    }
+    assert!(probes > 0, "an enabled cache must emit CacheProbe events");
+    assert_eq!(probes, solves, "every relaxation request is exactly one cache probe");
+    assert!(hits > 0, "elite re-injection must produce at least one cache hit");
+
+    // The metrics sink aggregates the same stream to the same identity.
+    let metrics = MetricsSink::new();
+    Carbon::new(&small_instance(), cfg).run_observed(5, &metrics);
+    let m = metrics.report();
+    assert_eq!(m.cache_hits + m.cache_misses, m.ll_solves);
+    assert_eq!(m.cache_hits, hits, "both sinks see the same probe stream");
+}
+
+#[test]
+fn disabled_cache_emits_no_probe_events() {
+    let buffer = SharedBuffer::new();
+    let sink = JsonlSink::new(buffer.clone());
+    Carbon::new(&small_instance(), small_config()).run_observed(5, &sink);
+    sink.flush().unwrap();
+    for line in buffer.contents().lines() {
+        let value: serde_json::Value = serde_json::from_str(line).unwrap();
+        assert_ne!(
+            value.get("event").and_then(|v| v.as_str()),
+            Some("CacheProbe"),
+            "capacity 0 must not emit CacheProbe"
+        );
+    }
+}
+
+#[test]
 fn metrics_sink_aggregates_exactly_under_rayon() {
     use rayon::prelude::*;
     let sink = MetricsSink::new();
