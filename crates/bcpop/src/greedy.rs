@@ -8,7 +8,7 @@
 
 use crate::instance::BcpopInstance;
 use crate::relaxation::Relaxation;
-use crate::scoring::{bundle_features, Scorer};
+use crate::scoring::{BatchScorer, BundleFeatures, FeatureColumns, Scorer};
 
 /// Result of one greedy pass.
 #[derive(Debug, Clone, PartialEq)]
@@ -54,17 +54,53 @@ pub fn greedy_cover<S: Scorer>(
     let mut residual: Vec<i64> = inst.requirements().iter().map(|&v| v as i64).collect();
     let mut chosen = vec![false; m];
     let mut steps = 0usize;
+    // Services still unsatisfied — replaces the per-step
+    // `residual.iter().any(..)` full scan; updated on purchase.
+    let mut uncovered = residual.iter().filter(|&&r| r > 0).count();
 
-    while residual.iter().any(|&r| r > 0) {
+    // The LP terminals never change within a pass: hoist the
+    // `relax.is_some()` branch out of the inner loop by materializing the
+    // dual-weighted coverage column once (same k-order accumulation as
+    // `bundle_features`, so values are bit-identical).
+    let dual_col: Option<Vec<f64>> = relax.map(|r| {
+        (0..m)
+            .map(|j| {
+                let mut d = 0.0f64;
+                for (k, &qjk) in inst.bundle_coverage(j).iter().enumerate() {
+                    d += r.duals[k] * qjk as f64;
+                }
+                d
+            })
+            .collect()
+    });
+
+    while uncovered > 0 {
+        // Residual demand is bundle-independent: once per step, not per
+        // candidate (identical accumulation order → identical bits).
+        let mut resid_dem = 0.0f64;
+        for &rem in &residual {
+            resid_dem += rem.max(0) as f64;
+        }
         let mut best: Option<(usize, f64)> = None;
         for j in 0..m {
             if chosen[j] {
                 continue;
             }
-            let feats = bundle_features(inst, costs, &residual, relax, j);
-            if feats.residual_coverage <= 0.0 {
+            let mut resid_cov = 0.0f64;
+            for (&qjk, &rem) in inst.bundle_coverage(j).iter().zip(residual.iter()) {
+                resid_cov += (qjk as f64).min(rem.max(0) as f64);
+            }
+            if resid_cov <= 0.0 {
                 continue; // useless bundle at this state
             }
+            let feats = BundleFeatures {
+                cost: costs[j],
+                total_coverage: inst.total_coverage(j) as f64,
+                residual_coverage: resid_cov,
+                residual_demand: resid_dem,
+                dual_coverage: dual_col.as_ref().map_or(0.0, |d| d[j]),
+                xbar: relax.map_or(0.0, |r| r.xbar[j]),
+            };
             let s = scorer.score(&feats);
             let better = match best {
                 None => true,
@@ -86,9 +122,150 @@ pub fn greedy_cover<S: Scorer>(
         };
         chosen[j] = true;
         for k in 0..n {
-            residual[k] -= inst.coverage(j, k) as i64;
+            let old = residual[k];
+            residual[k] = old - inst.coverage(j, k) as i64;
+            if old > 0 && residual[k] <= 0 {
+                uncovered -= 1;
+            }
         }
         steps += 1;
+    }
+
+    eliminate_redundancy(inst, costs, &mut chosen);
+    CoverOutcome { cost: selection_cost(costs, &chosen), chosen, feasible: true, steps }
+}
+
+/// The incremental + batched greedy decoder — the compiled fast path.
+///
+/// Produces a [`CoverOutcome`] bit-identical to [`greedy_cover`] with the
+/// scalar version of the same scorer, but restructures the work:
+///
+/// * static feature columns (cost, total coverage, dual-weighted
+///   coverage, x̄) are computed once per pass, not per candidate per step;
+/// * per-bundle residual coverage and the scalar residual demand are
+///   maintained *incrementally* as integers: buying bundle `j` walks the
+///   instance's service→bundles inverted index
+///   ([`BcpopInstance::covering_bundles`]) and only touches bundles that
+///   share a service with `j`;
+/// * each step's surviving candidates are scored as one batch through
+///   [`BatchScorer`] (a single bytecode sweep for
+///   [`crate::CompiledGpScorer`]).
+///
+/// Bit-identity holds because every feature is an exactly-representable
+/// small integer (or a statically precomputed column with the reference
+/// accumulation order), the candidate list preserves ascending bundle
+/// order, and the arg-min keeps the reference first-strictly-less rule.
+#[allow(clippy::needless_range_loop)] // several parallel arrays per index
+pub fn greedy_cover_batched<S: BatchScorer>(
+    inst: &BcpopInstance,
+    costs: &[f64],
+    scorer: &mut S,
+    relax: Option<&Relaxation>,
+) -> CoverOutcome {
+    let m = inst.num_bundles();
+    debug_assert_eq!(costs.len(), m);
+
+    let mut residual: Vec<i64> = inst.requirements().iter().map(|&v| v as i64).collect();
+    let mut chosen = vec![false; m];
+    let mut steps = 0usize;
+    let mut uncovered = residual.iter().filter(|&&r| r > 0).count();
+
+    // Static columns, once per pass.
+    let total_col: Vec<f64> = (0..m).map(|j| inst.total_coverage(j) as f64).collect();
+    let dual_col: Option<Vec<f64>> = relax.map(|r| {
+        (0..m)
+            .map(|j| {
+                let mut d = 0.0f64;
+                for (k, &qjk) in inst.bundle_coverage(j).iter().enumerate() {
+                    d += r.duals[k] * qjk as f64;
+                }
+                d
+            })
+            .collect()
+    });
+
+    // Incrementally maintained state. All quantities are sums of small
+    // non-negative integers, so the i64 mirrors convert to f64 exactly —
+    // bit-identical to the reference f64 accumulations.
+    let mut resid_cov: Vec<i64> = (0..m)
+        .map(|j| {
+            inst.bundle_coverage(j)
+                .iter()
+                .zip(residual.iter())
+                .map(|(&qjk, &rem)| (qjk as i64).min(rem.max(0)))
+                .sum()
+        })
+        .collect();
+    let mut resid_dem: i64 = residual.iter().map(|&r| r.max(0)).sum();
+
+    let mut candidates: Vec<u32> = Vec::with_capacity(m);
+    let mut cols = FeatureColumns::with_capacity(m);
+    let mut scores: Vec<f64> = Vec::with_capacity(m);
+
+    while uncovered > 0 {
+        // Gather surviving candidates in ascending bundle order (the
+        // reference scan order) and their feature rows.
+        candidates.clear();
+        cols.clear();
+        let resid_dem_f = resid_dem as f64;
+        for j in 0..m {
+            if chosen[j] || resid_cov[j] <= 0 {
+                continue;
+            }
+            candidates.push(j as u32);
+            cols.cost.push(costs[j]);
+            cols.total_coverage.push(total_col[j]);
+            cols.residual_coverage.push(resid_cov[j] as f64);
+            cols.residual_demand.push(resid_dem_f);
+            cols.dual_coverage.push(dual_col.as_ref().map_or(0.0, |d| d[j]));
+            cols.xbar.push(relax.map_or(0.0, |r| r.xbar[j]));
+        }
+        if candidates.is_empty() {
+            // No bundle can reduce any residual requirement.
+            return CoverOutcome {
+                cost: selection_cost(costs, &chosen),
+                chosen,
+                feasible: false,
+                steps,
+            };
+        }
+        scorer.score_batch(&cols, candidates.len(), &mut scores);
+        // First strictly-smaller score wins — same tiebreak as the
+        // reference (candidates are in ascending bundle order).
+        let mut best = 0usize;
+        for i in 1..scores.len() {
+            if scores[i].total_cmp(&scores[best]) == std::cmp::Ordering::Less {
+                best = i;
+            }
+        }
+        let j = candidates[best] as usize;
+        chosen[j] = true;
+        steps += 1;
+
+        // Buy bundle j: update residuals and propagate the change to the
+        // residual coverage of exactly the bundles sharing a dirtied
+        // service, via the inverted index.
+        for (k, &qjk) in inst.bundle_coverage(j).iter().enumerate() {
+            if qjk == 0 {
+                continue;
+            }
+            let old = residual[k];
+            let new = old - qjk as i64;
+            residual[k] = new;
+            let old_c = old.max(0);
+            let new_c = new.max(0);
+            if old_c == new_c {
+                continue; // service was already satisfied
+            }
+            resid_dem -= old_c - new_c;
+            if new <= 0 {
+                uncovered -= 1; // old_c > new_c implies old > 0
+            }
+            for &(jj, units) in inst.covering_bundles(k) {
+                let u = units as i64;
+                resid_cov[jj as usize] += u.min(new_c) - u.min(old_c);
+            }
+        }
     }
 
     eliminate_redundancy(inst, costs, &mut chosen);
@@ -207,6 +384,92 @@ mod tests {
         let costs = inst.costs_for(&vec![10.0; inst.num_own()]);
         let out = greedy_cover(&inst, &costs, &mut CostPerCoverageScorer, None);
         assert!(out.steps <= inst.num_bundles());
+    }
+
+    /// Assert two outcomes are bit-identical (cost compared by bits, not
+    /// tolerance).
+    fn assert_outcome_bits(a: &CoverOutcome, b: &CoverOutcome, ctx: &str) {
+        assert_eq!(a.chosen, b.chosen, "{ctx}: chosen sets differ");
+        assert_eq!(a.cost.to_bits(), b.cost.to_bits(), "{ctx}: cost bits differ");
+        assert_eq!(a.feasible, b.feasible, "{ctx}: feasibility differs");
+        assert_eq!(a.steps, b.steps, "{ctx}: step counts differ");
+    }
+
+    #[test]
+    fn batched_matches_reference_for_handcrafted_scorers() {
+        for seed in 0..4 {
+            for &(n, m) in &[(100usize, 5usize), (250, 10)] {
+                let inst = generate(&GeneratorConfig::paper_class(n, m), seed);
+                let costs = inst.costs_for(&vec![20.0; inst.num_own()]);
+                let relax = RelaxationSolver::new(&inst).solve(&costs).unwrap();
+                for use_relax in [false, true] {
+                    let r = use_relax.then_some(&relax);
+                    let a = greedy_cover(&inst, &costs, &mut CostPerCoverageScorer, r);
+                    let b = greedy_cover_batched(&inst, &costs, &mut CostPerCoverageScorer, r);
+                    assert_outcome_bits(&a, &b, &format!("cpc seed {seed} {n}x{m}"));
+                    let mut ws =
+                        crate::scoring::WeightScorer::new([1.0, -0.5, -2.0, 0.25, -1.0, 3.0]);
+                    let a = greedy_cover(&inst, &costs, &mut ws.clone(), r);
+                    let b = greedy_cover_batched(&inst, &costs, &mut ws, r);
+                    assert_outcome_bits(&a, &b, &format!("weights seed {seed} {n}x{m}"));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn compiled_gp_matches_interpreted_gp_bitwise() {
+        use crate::scoring::{bcpop_primitives, CompiledGpScorer, GpScorer};
+        use bico_gp::grow;
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+        let ps = bcpop_primitives();
+        for seed in 0..6u64 {
+            for &(n, m) in &[(100usize, 5usize), (250, 10)] {
+                let inst = generate(&GeneratorConfig::paper_class(n, m), seed);
+                let costs = inst.costs_for(&vec![15.0 + seed as f64; inst.num_own()]);
+                let relax = RelaxationSolver::new(&inst).solve(&costs).unwrap();
+                let mut rng = SmallRng::seed_from_u64(seed * 1000 + n as u64);
+                let expr = grow(&ps, 1, 5, &mut rng).unwrap();
+                for use_relax in [false, true] {
+                    let r = use_relax.then_some(&relax);
+                    let mut interp = GpScorer::new(&expr, &ps);
+                    let a = greedy_cover(&inst, &costs, &mut interp, r);
+                    let mut compiled = CompiledGpScorer::new(&expr, &ps).unwrap();
+                    let b = greedy_cover_batched(&inst, &costs, &mut compiled, r);
+                    assert_outcome_bits(
+                        &a,
+                        &b,
+                        &format!("gp seed {seed} {n}x{m} relax={use_relax}"),
+                    );
+                    // nodes_evaluated accounting is preserved under
+                    // batching: same candidates scored, same tree size.
+                    assert_eq!(
+                        interp.nodes_evaluated(),
+                        compiled.nodes_evaluated(),
+                        "node accounting diverged (seed {seed} {n}x{m})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batched_agrees_with_reference_under_nan_scores() {
+        // total_cmp tiebreaking must match between the scalar arg-min and
+        // the batched arg-min even when every score is NaN.
+        struct NanScorer;
+        impl Scorer for NanScorer {
+            fn score(&mut self, _f: &BundleFeatures) -> f64 {
+                f64::NAN
+            }
+        }
+        use crate::scoring::BundleFeatures;
+        let inst = tiny();
+        let costs = inst.costs_for(&[1.0, 1.0]);
+        let a = greedy_cover(&inst, &costs, &mut NanScorer, None);
+        let b = greedy_cover_batched(&inst, &costs, &mut NanScorer, None);
+        assert_outcome_bits(&a, &b, "nan scorer");
     }
 
     #[test]

@@ -78,6 +78,14 @@ pub struct BcpopInstance {
     price_cap: f64,
     /// Cached per-bundle total coverage `Σ_k q_j^k`.
     total_coverage: Vec<u64>,
+    /// Service→bundles inverted index in CSR form: entries for service
+    /// `k` live at `covering[covering_offsets[k]..covering_offsets[k+1]]`
+    /// as `(bundle, units)` pairs with `units > 0`, bundle-ascending.
+    /// Buying a bundle only dirties the residual coverage of bundles
+    /// sharing one of its services, which the incremental greedy decoder
+    /// walks through this index.
+    covering_offsets: Vec<usize>,
+    covering: Vec<(u32, u32)>,
 }
 
 impl BcpopInstance {
@@ -110,6 +118,18 @@ impl BcpopInstance {
                 q[j * num_services..(j + 1) * num_services].iter().map(|&v| v as u64).sum()
             })
             .collect();
+        let mut covering_offsets = Vec::with_capacity(num_services + 1);
+        let mut covering = Vec::new();
+        covering_offsets.push(0);
+        for k in 0..num_services {
+            for j in 0..num_bundles {
+                let units = q[j * num_services + k];
+                if units > 0 {
+                    covering.push((j as u32, units));
+                }
+            }
+            covering_offsets.push(covering.len());
+        }
         let inst = BcpopInstance {
             num_services,
             num_bundles,
@@ -119,6 +139,8 @@ impl BcpopInstance {
             competitor_costs,
             price_cap,
             total_coverage,
+            covering_offsets,
+            covering,
         };
         inst.validate()?;
         Ok(inst)
@@ -210,6 +232,13 @@ impl BcpopInstance {
     #[inline]
     pub fn total_coverage(&self, bundle: usize) -> u64 {
         self.total_coverage[bundle]
+    }
+
+    /// The bundles offering service `k`, as `(bundle, units)` pairs with
+    /// `units > 0`, in ascending bundle order (cached inverted index).
+    #[inline]
+    pub fn covering_bundles(&self, service: usize) -> &[(u32, u32)] {
+        &self.covering[self.covering_offsets[service]..self.covering_offsets[service + 1]]
     }
 
     /// Requirement `b^k` of service `k`.
@@ -318,6 +347,22 @@ mod tests {
         assert_eq!(inst.total_coverage(0), 2);
         assert_eq!(inst.total_coverage(2), 2);
         assert_eq!(inst.requirement(1), 2);
+    }
+
+    #[test]
+    fn covering_index_matches_matrix() {
+        let inst = tiny();
+        assert_eq!(inst.covering_bundles(0), &[(0, 2), (2, 1), (3, 1)]);
+        assert_eq!(inst.covering_bundles(1), &[(1, 2), (2, 1), (3, 1)]);
+        // Consistency with the dense accessor on every (j, k).
+        for k in 0..inst.num_services() {
+            let from_index: Vec<(u32, u32)> = inst.covering_bundles(k).to_vec();
+            let dense: Vec<(u32, u32)> = (0..inst.num_bundles())
+                .filter(|&j| inst.coverage(j, k) > 0)
+                .map(|j| (j as u32, inst.coverage(j, k)))
+                .collect();
+            assert_eq!(from_index, dense);
+        }
     }
 
     #[test]

@@ -28,7 +28,11 @@
 //! * [`RelaxationSolver`] — the lower-level LP relaxation (via
 //!   `bico-lp`) yielding `LB(x)`, duals `d_k` and relaxed primal `x̄_j`;
 //! * [`greedy_cover`] — the greedy covering heuristic parameterized by a
-//!   [`Scorer`] (the GP phenotype), with redundancy elimination;
+//!   [`Scorer`] (the GP phenotype), with redundancy elimination, plus
+//!   [`greedy_cover_batched`] — the bit-identical fast path that keeps
+//!   residual features incrementally up to date via the instance's
+//!   service→bundles inverted index and scores each step's candidates as
+//!   one batch (a single bytecode sweep for [`CompiledGpScorer`]);
 //! * [`scoring`] — the Table I terminal binding ([`GpScorer`]) and
 //!   handcrafted baseline scorers;
 //! * [`gap_percent`] — Eq. 1, plus exact enumeration for small instances
@@ -47,11 +51,12 @@ pub mod scoring;
 pub use bilevel::{evaluate_pair, ll_cost, ul_revenue, BilevelEval};
 pub use exact::exact_ll_optimum;
 pub use generator::{generate, GeneratorConfig};
-pub use greedy::{greedy_cover, CoverOutcome};
+pub use greedy::{greedy_cover, greedy_cover_batched, CoverOutcome};
 pub use instance::{BcpopInstance, InstanceError};
 pub use io::{read_instance, write_instance};
 pub use relaxation::{gap_percent, Relaxation, RelaxationSolver};
 pub use scoring::{
-    bcpop_primitives, BundleFeatures, CostPerCoverageScorer, CostScorer, DualAdjustedScorer,
-    GpScorer, Scorer, WeightScorer, NUM_TERMINALS,
+    bcpop_primitives, BatchScorer, BundleFeatures, CompiledGpScorer, CostPerCoverageScorer,
+    CostScorer, DualAdjustedScorer, FeatureColumns, GpScorer, Scorer, WeightScorer,
+    NUM_TERMINALS,
 };

@@ -10,7 +10,7 @@
 
 use crate::instance::BcpopInstance;
 use crate::relaxation::Relaxation;
-use bico_gp::{Evaluator, Expr, PrimitiveSet};
+use bico_gp::{CompiledEvaluator, CompiledProgram, Evaluator, Expr, PrimitiveSet, TreeError};
 
 /// Number of GP terminals bound by [`bcpop_primitives`].
 pub const NUM_TERMINALS: usize = 6;
@@ -162,6 +162,161 @@ impl WeightScorer {
 impl Scorer for WeightScorer {
     fn score(&mut self, f: &BundleFeatures) -> f64 {
         self.weights.iter().zip(f.as_array()).map(|(w, v)| w * v).sum()
+    }
+}
+
+/// Structure-of-arrays feature columns for a batch of candidate bundles:
+/// column `i` of [`BundleFeatures::as_array`] becomes one `Vec<f64>` with
+/// one entry per candidate row. This is the input of [`BatchScorer`] and
+/// the layout [`bico_gp::CompiledEvaluator::eval_batch`] consumes
+/// directly (terminal id = column index).
+#[derive(Debug, Clone, Default)]
+pub struct FeatureColumns {
+    /// `c_j` per candidate.
+    pub cost: Vec<f64>,
+    /// `Σ_k q_j^k` per candidate.
+    pub total_coverage: Vec<f64>,
+    /// `Σ_k min(q_j^k, b̂^k)` per candidate.
+    pub residual_coverage: Vec<f64>,
+    /// `Σ_k b̂^k` (same value every row — the feature is
+    /// bundle-independent, but scoring trees consume it per row).
+    pub residual_demand: Vec<f64>,
+    /// `Σ_k d_k q_j^k` per candidate.
+    pub dual_coverage: Vec<f64>,
+    /// `x̄_j` per candidate.
+    pub xbar: Vec<f64>,
+}
+
+impl FeatureColumns {
+    /// Empty columns with `capacity` reserved per column.
+    pub fn with_capacity(capacity: usize) -> Self {
+        FeatureColumns {
+            cost: Vec::with_capacity(capacity),
+            total_coverage: Vec::with_capacity(capacity),
+            residual_coverage: Vec::with_capacity(capacity),
+            residual_demand: Vec::with_capacity(capacity),
+            dual_coverage: Vec::with_capacity(capacity),
+            xbar: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Clear all columns, keeping their allocations.
+    pub fn clear(&mut self) {
+        self.cost.clear();
+        self.total_coverage.clear();
+        self.residual_coverage.clear();
+        self.residual_demand.clear();
+        self.dual_coverage.clear();
+        self.xbar.clear();
+    }
+
+    /// Number of candidate rows.
+    pub fn rows(&self) -> usize {
+        debug_assert_eq!(self.cost.len(), self.total_coverage.len());
+        debug_assert_eq!(self.cost.len(), self.residual_coverage.len());
+        debug_assert_eq!(self.cost.len(), self.residual_demand.len());
+        debug_assert_eq!(self.cost.len(), self.dual_coverage.len());
+        debug_assert_eq!(self.cost.len(), self.xbar.len());
+        self.cost.len()
+    }
+
+    /// Append one candidate's features.
+    pub fn push(&mut self, f: &BundleFeatures) {
+        self.cost.push(f.cost);
+        self.total_coverage.push(f.total_coverage);
+        self.residual_coverage.push(f.residual_coverage);
+        self.residual_demand.push(f.residual_demand);
+        self.dual_coverage.push(f.dual_coverage);
+        self.xbar.push(f.xbar);
+    }
+
+    /// Reassemble row `i` as a [`BundleFeatures`] (the scalar view).
+    #[inline]
+    pub fn row(&self, i: usize) -> BundleFeatures {
+        BundleFeatures {
+            cost: self.cost[i],
+            total_coverage: self.total_coverage[i],
+            residual_coverage: self.residual_coverage[i],
+            residual_demand: self.residual_demand[i],
+            dual_coverage: self.dual_coverage[i],
+            xbar: self.xbar[i],
+        }
+    }
+
+    /// Column slices in terminal-id order (matches
+    /// [`BundleFeatures::as_array`] and [`bcpop_primitives`]).
+    #[inline]
+    pub fn as_refs(&self) -> [&[f64]; NUM_TERMINALS] {
+        [
+            &self.cost,
+            &self.total_coverage,
+            &self.residual_coverage,
+            &self.residual_demand,
+            &self.dual_coverage,
+            &self.xbar,
+        ]
+    }
+}
+
+/// A scorer that evaluates a whole batch of candidates in one call.
+///
+/// Every [`Scorer`] is a `BatchScorer` through the blanket impl (scalar
+/// scoring row by row — bit-identical to the scalar path by
+/// construction); [`CompiledGpScorer`] overrides the economics with a
+/// single bytecode sweep per column batch.
+pub trait BatchScorer {
+    /// Score `rows` candidates, writing one score per row into `out`
+    /// (cleared first). Row `i`'s score must be bit-identical to the
+    /// scalar score of `cols.row(i)`.
+    fn score_batch(&mut self, cols: &FeatureColumns, rows: usize, out: &mut Vec<f64>);
+}
+
+impl<S: Scorer> BatchScorer for S {
+    fn score_batch(&mut self, cols: &FeatureColumns, rows: usize, out: &mut Vec<f64>) {
+        out.clear();
+        out.reserve(rows);
+        for i in 0..rows {
+            out.push(self.score(&cols.row(i)));
+        }
+    }
+}
+
+/// Evolved scorer on the compiled fast path: the GP expression is
+/// lowered once to bytecode ([`bico_gp::CompiledProgram`]) and evaluated
+/// over whole candidate batches. Produces scores bit-identical to
+/// [`GpScorer`] on the same expression, and charges the same
+/// `nodes_evaluated` (source-tree nodes × candidates scored).
+pub struct CompiledGpScorer {
+    prog: CompiledProgram,
+    evaluator: CompiledEvaluator,
+}
+
+impl CompiledGpScorer {
+    /// Compile a GP expression (over [`bcpop_primitives`]) as a batch
+    /// scorer. Fails only on structurally invalid trees.
+    pub fn new(expr: &Expr, ps: &PrimitiveSet) -> Result<Self, TreeError> {
+        Ok(CompiledGpScorer {
+            prog: CompiledProgram::compile(expr, ps)?,
+            evaluator: CompiledEvaluator::new(),
+        })
+    }
+
+    /// Source-tree nodes charged so far (see
+    /// [`bico_gp::CompiledEvaluator::nodes_evaluated`]).
+    pub fn nodes_evaluated(&self) -> u64 {
+        self.evaluator.nodes_evaluated()
+    }
+
+    /// The compiled program (bench/introspection access).
+    pub fn program(&self) -> &CompiledProgram {
+        &self.prog
+    }
+}
+
+impl BatchScorer for CompiledGpScorer {
+    fn score_batch(&mut self, cols: &FeatureColumns, rows: usize, out: &mut Vec<f64>) {
+        let refs = cols.as_refs();
+        self.evaluator.eval_batch(&self.prog, &refs, rows, out);
     }
 }
 

@@ -25,6 +25,14 @@ fn bench_step(c: &mut Criterion) {
         b.iter(|| black_box(Carbon::new(&inst, carbon_cfg.clone()).run(1).generations))
     });
 
+    // Same budget through the tree-walking interpreter with per-step
+    // feature recomputation — the gap to the default run above is the
+    // end-to-end payoff of the compiled + incremental decode path.
+    let interpreted_cfg = CarbonConfig { compiled_eval: false, ..carbon_cfg.clone() };
+    group.bench_function("carbon_10_generations_100x5_interpreted", |b| {
+        b.iter(|| black_box(Carbon::new(&inst, interpreted_cfg.clone()).run(1).generations))
+    });
+
     let cobra_cfg = CobraConfig {
         ul_pop_size: 16,
         ll_pop_size: 16,

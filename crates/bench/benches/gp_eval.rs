@@ -1,8 +1,10 @@
 //! GP tree evaluation throughput — the innermost loop of the greedy
-//! (one evaluation per candidate bundle per greedy step).
+//! (one evaluation per candidate bundle per greedy step) — comparing the
+//! tree-walking interpreter against the bytecode-compiled program, both
+//! per-candidate (scalar) and over a whole candidate batch.
 
 use bico_bcpop::bcpop_primitives;
-use bico_gp::{grow, Evaluator};
+use bico_gp::{grow, CompiledEvaluator, CompiledProgram, Evaluator};
 use criterion::{criterion_group, criterion_main, Criterion};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -15,10 +17,35 @@ fn bench_eval(c: &mut Criterion) {
     for depth in [2usize, 5, 8] {
         let expr = grow(&ps, depth, depth, &mut rng).unwrap();
         let vals = [3.0, 120.0, 40.0, 800.0, 6.5, 0.4];
-        group.bench_function(format!("depth_{depth}_{}_nodes", expr.len()), |b| {
+        group.bench_function(format!("interpreted_depth_{depth}_{}_nodes", expr.len()), |b| {
             let mut ev = Evaluator::new();
             b.iter(|| black_box(ev.eval(&expr, &ps, black_box(&vals))))
         });
+
+        let prog = CompiledProgram::compile(&expr, &ps).unwrap();
+        group.bench_function(format!("compiled_depth_{depth}_{}_nodes", expr.len()), |b| {
+            let mut ev = CompiledEvaluator::new();
+            b.iter(|| black_box(ev.eval(&prog, black_box(&vals))))
+        });
+
+        // One batched sweep over 512 candidate rows — the shape the
+        // incremental greedy decoder produces each step. Throughput is
+        // per-row: divide the reported time by `rows`.
+        let rows = 512usize;
+        let cols: Vec<Vec<f64>> =
+            (0..vals.len()).map(|t| (0..rows).map(|r| vals[t] + r as f64).collect()).collect();
+        let col_refs: Vec<&[f64]> = cols.iter().map(|c| c.as_slice()).collect();
+        group.bench_function(
+            format!("compiled_batch{rows}_depth_{depth}_{}_nodes", expr.len()),
+            |b| {
+                let mut ev = CompiledEvaluator::new();
+                let mut out = Vec::new();
+                b.iter(|| {
+                    ev.eval_batch(&prog, black_box(&col_refs), rows, &mut out);
+                    black_box(out.last().copied())
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -1,17 +1,60 @@
 //! Greedy covering pass latency — one lower-level evaluation
-//! (per heuristic, per training pricing) in CARBON.
+//! (per heuristic, per training pricing) in CARBON — comparing the
+//! original formulation (tree-walking interpreter, per-step feature
+//! recomputation) against the fast path (bytecode program, incremental
+//! residual features, batched candidate scoring).
 
 use bico_bcpop::{
-    bcpop_primitives, generate, greedy_cover, CostPerCoverageScorer, GeneratorConfig, GpScorer,
-    RelaxationSolver,
+    bcpop_primitives, generate, greedy_cover, greedy_cover_batched, CompiledGpScorer,
+    CostPerCoverageScorer, GeneratorConfig, GpScorer, RelaxationSolver,
 };
 use bico_gp::grow;
 use criterion::{criterion_group, criterion_main, Criterion};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::hint::black_box;
+use std::time::Instant;
 
 fn bench_greedy(c: &mut Criterion) {
+    // Untimed accounting pass on a paper-class instance: the decode
+    // speedup the ISSUE's acceptance bar quotes (interpreted + recompute
+    // vs compiled + incremental), with outcomes checked bit-identical.
+    {
+        let inst = generate(&GeneratorConfig::paper_class(500, 30), 42);
+        let costs = inst.costs_for(&vec![50.0; inst.num_own()]);
+        let relax = RelaxationSolver::new(&inst).solve(&costs).unwrap();
+        let ps = bcpop_primitives();
+        // Depth window of a CARBON champion (max evolved depth is 8).
+        let expr = grow(&ps, 5, 8, &mut SmallRng::seed_from_u64(7)).unwrap();
+        let reps = 30u32;
+
+        let t0 = Instant::now();
+        let mut ref_cost = 0.0f64;
+        for _ in 0..reps {
+            let mut scorer = GpScorer::new(&expr, &ps);
+            ref_cost = greedy_cover(&inst, &costs, &mut scorer, Some(&relax)).cost;
+        }
+        let interpreted = t0.elapsed();
+
+        let t1 = Instant::now();
+        let mut fast_cost = 0.0f64;
+        for _ in 0..reps {
+            let mut scorer = CompiledGpScorer::new(&expr, &ps).unwrap();
+            fast_cost = greedy_cover_batched(&inst, &costs, &mut scorer, Some(&relax)).cost;
+        }
+        let compiled = t1.elapsed();
+
+        assert_eq!(ref_cost.to_bits(), fast_cost.to_bits(), "fast path must be bit-identical");
+        eprintln!(
+            "greedy_decode 500x30 ({} nodes): interpreted+recompute {:.2?}/pass, \
+             compiled+incremental {:.2?}/pass, speedup {:.2}x",
+            expr.len(),
+            interpreted / reps,
+            compiled / reps,
+            interpreted.as_secs_f64() / compiled.as_secs_f64().max(1e-12),
+        );
+    }
+
     let mut group = c.benchmark_group("greedy_cover");
     group.sample_size(20);
     for &(n, m) in &[(100usize, 5usize), (500, 30)] {
@@ -27,12 +70,33 @@ fn bench_greedy(c: &mut Criterion) {
             })
         });
 
+        group.bench_function(format!("handcrafted_batched_{n}x{m}"), |b| {
+            b.iter(|| {
+                black_box(
+                    greedy_cover_batched(
+                        &inst,
+                        &costs,
+                        &mut CostPerCoverageScorer,
+                        Some(&relax),
+                    )
+                    .cost,
+                )
+            })
+        });
+
         let ps = bcpop_primitives();
         let expr = grow(&ps, 2, 5, &mut SmallRng::seed_from_u64(7)).unwrap();
-        group.bench_function(format!("gp_tree_{n}x{m}"), |b| {
+        group.bench_function(format!("gp_interpreted_{n}x{m}"), |b| {
             b.iter(|| {
                 let mut scorer = GpScorer::new(&expr, &ps);
                 black_box(greedy_cover(&inst, &costs, &mut scorer, Some(&relax)).cost)
+            })
+        });
+
+        group.bench_function(format!("gp_compiled_{n}x{m}"), |b| {
+            b.iter(|| {
+                let mut scorer = CompiledGpScorer::new(&expr, &ps).unwrap();
+                black_box(greedy_cover_batched(&inst, &costs, &mut scorer, Some(&relax)).cost)
             })
         });
     }

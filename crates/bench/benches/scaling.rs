@@ -3,15 +3,64 @@
 //! lower-level solve cache on a repeated-pricing workload.
 
 use bico_bcpop::{
-    generate, greedy_cover, CostPerCoverageScorer, GeneratorConfig, Relaxation,
-    RelaxationSolver,
+    bcpop_primitives, generate, greedy_cover, greedy_cover_batched, CompiledGpScorer,
+    CostPerCoverageScorer, GeneratorConfig, GpScorer, Relaxation, RelaxationSolver,
 };
 use bico_ea::SolveCache;
+use bico_gp::grow;
 use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
 use rayon::prelude::*;
 use std::hint::black_box;
+use std::time::Instant;
+
+/// Untimed accounting pass: GP scoring and greedy decode throughput of
+/// the interpreted and compiled paths on a paper-class instance,
+/// reported in the same spirit as the cache hit-rate below.
+fn report_decode_throughput() {
+    let inst = generate(&GeneratorConfig::paper_class(250, 10), 42);
+    let costs = inst.costs_for(&vec![50.0; inst.num_own()]);
+    let relax = RelaxationSolver::new(&inst).solve(&costs).unwrap();
+    let ps = bcpop_primitives();
+    let expr = grow(&ps, 4, 7, &mut SmallRng::seed_from_u64(7)).unwrap();
+    let reps = 50u32;
+
+    let t0 = Instant::now();
+    let mut interp_nodes = 0u64;
+    let mut interp_steps = 0u64;
+    for _ in 0..reps {
+        let mut scorer = GpScorer::new(&expr, &ps);
+        interp_steps += greedy_cover(&inst, &costs, &mut scorer, Some(&relax)).steps as u64;
+        interp_nodes += scorer.nodes_evaluated();
+    }
+    let interp = t0.elapsed().as_secs_f64();
+
+    let t1 = Instant::now();
+    let mut comp_nodes = 0u64;
+    let mut comp_steps = 0u64;
+    for _ in 0..reps {
+        let mut scorer = CompiledGpScorer::new(&expr, &ps).unwrap();
+        comp_steps +=
+            greedy_cover_batched(&inst, &costs, &mut scorer, Some(&relax)).steps as u64;
+        comp_nodes += scorer.nodes_evaluated();
+    }
+    let comp = t1.elapsed().as_secs_f64();
+
+    assert_eq!(interp_nodes, comp_nodes, "node accounting must agree across paths");
+    eprintln!(
+        "decode_throughput 250x10 ({} nodes/tree): interpreted {:.2e} GP nodes/s, \
+         {:.2e} greedy steps/s; compiled {:.2e} GP nodes/s, {:.2e} greedy steps/s",
+        expr.len(),
+        interp_nodes as f64 / interp.max(1e-12),
+        interp_steps as f64 / interp.max(1e-12),
+        comp_nodes as f64 / comp.max(1e-12),
+        comp_steps as f64 / comp.max(1e-12),
+    );
+}
 
 fn bench_scaling(c: &mut Criterion) {
+    report_decode_throughput();
     let inst = generate(&GeneratorConfig::paper_class(250, 10), 42);
     let pricings: Vec<Vec<f64>> =
         (0..32).map(|i| vec![10.0 + i as f64 * 3.0; inst.num_own()]).collect();

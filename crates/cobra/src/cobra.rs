@@ -571,15 +571,19 @@ fn ul_fitness(inst: &BcpopInstance, prices: &[f64], reaction: &[bool]) -> f64 {
 
 /// Lower-level fitness: cost plus a proportional penalty per unit of
 /// uncovered requirement (COBRA handles the LL as a penalized
-/// single-level problem).
+/// single-level problem). Coverage is summed over the instance's
+/// service→bundles inverted index (nonzeros only); integer sums are
+/// order-independent, so the value is bit-identical to a dense scan.
 fn ll_fitness(inst: &BcpopInstance, prices: &[f64], reaction: &[bool]) -> f64 {
     let costs = inst.costs_for(prices);
     let cost = bico_bcpop::ll_cost(&costs, reaction);
     let mut violation = 0.0f64;
     for k in 0..inst.num_services() {
-        let covered: i64 = (0..inst.num_bundles())
-            .filter(|&j| reaction[j])
-            .map(|j| inst.coverage(j, k) as i64)
+        let covered: i64 = inst
+            .covering_bundles(k)
+            .iter()
+            .filter(|&&(j, _)| reaction[j as usize])
+            .map(|&(_, units)| units as i64)
             .sum();
         violation += (inst.requirement(k) as i64 - covered).max(0) as f64;
     }
@@ -588,29 +592,57 @@ fn ll_fitness(inst: &BcpopInstance, prices: &[f64], reaction: &[bool]) -> f64 {
 }
 
 /// Add random useful bundles until the reaction covers all requirements.
-#[allow(clippy::needless_range_loop)]
+///
+/// Residuals, the uncovered-service count, and the per-bundle count of
+/// still-useful services are maintained incrementally via the instance's
+/// service→bundles inverted index, replacing the dense O(m·n) rescan per
+/// added bundle. Each iteration's candidate list is the same set in the
+/// same ascending-`j` order as the dense formulation (`useful[j] > 0` ⟺
+/// ∃k: residual_k > 0 ∧ q_jk > 0), so the RNG draw sequence — and hence
+/// the repaired reaction — is bit-identical.
 pub(crate) fn repair<R: Rng + ?Sized>(inst: &BcpopInstance, y: &mut [bool], rng: &mut R) {
     let n = inst.num_services();
-    let mut residual: Vec<i64> = (0..n)
-        .map(|k| {
-            inst.requirement(k) as i64
-                - (0..inst.num_bundles())
-                    .filter(|&j| y[j])
-                    .map(|j| inst.coverage(j, k) as i64)
-                    .sum::<i64>()
-        })
-        .collect();
-    while residual.iter().any(|&r| r > 0) {
+    let m = inst.num_bundles();
+    let mut residual: Vec<i64> = (0..n).map(|k| inst.requirement(k) as i64).collect();
+    for (k, rem) in residual.iter_mut().enumerate() {
+        for &(j, units) in inst.covering_bundles(k) {
+            if y[j as usize] {
+                *rem -= units as i64;
+            }
+        }
+    }
+    let mut useful = vec![0u32; m];
+    let mut uncovered = 0usize;
+    for (k, &rem) in residual.iter().enumerate() {
+        if rem > 0 {
+            uncovered += 1;
+            for &(j, _) in inst.covering_bundles(k) {
+                useful[j as usize] += 1;
+            }
+        }
+    }
+    let mut candidates: Vec<usize> = Vec::with_capacity(m);
+    while uncovered > 0 {
         // Pick a random unselected bundle that reduces some residual.
-        let candidates: Vec<usize> = (0..inst.num_bundles())
-            .filter(|&j| !y[j] && (0..n).any(|k| residual[k] > 0 && inst.coverage(j, k) > 0))
-            .collect();
+        candidates.clear();
+        candidates.extend((0..m).filter(|&j| !y[j] && useful[j] > 0));
         let Some(&j) = candidates.get(rng.random_range(0..candidates.len().max(1))) else {
             return; // cannot repair (impossible on validated instances)
         };
         y[j] = true;
-        for k in 0..n {
-            residual[k] -= inst.coverage(j, k) as i64;
+        for (k, rem) in residual.iter_mut().enumerate() {
+            let c = inst.coverage(j, k) as i64;
+            if c == 0 {
+                continue;
+            }
+            let old = *rem;
+            *rem = old - c;
+            if old > 0 && *rem <= 0 {
+                uncovered -= 1;
+                for &(jj, _) in inst.covering_bundles(k) {
+                    useful[jj as usize] -= 1;
+                }
+            }
         }
     }
 }
@@ -711,6 +743,92 @@ mod tests {
         assert!(r.ul_evals_used <= 100);
         assert!(r.ll_evals_used <= 100);
         assert_eq!(r.cycles, 3);
+    }
+
+    /// The pre-index dense formulation of [`repair`], kept as the
+    /// reference the incremental version must match draw for draw.
+    #[allow(clippy::needless_range_loop)]
+    fn repair_dense<R: Rng + ?Sized>(inst: &BcpopInstance, y: &mut [bool], rng: &mut R) {
+        let n = inst.num_services();
+        let mut residual: Vec<i64> = (0..n)
+            .map(|k| {
+                inst.requirement(k) as i64
+                    - (0..inst.num_bundles())
+                        .filter(|&j| y[j])
+                        .map(|j| inst.coverage(j, k) as i64)
+                        .sum::<i64>()
+            })
+            .collect();
+        while residual.iter().any(|&r| r > 0) {
+            let candidates: Vec<usize> = (0..inst.num_bundles())
+                .filter(|&j| {
+                    !y[j] && (0..n).any(|k| residual[k] > 0 && inst.coverage(j, k) > 0)
+                })
+                .collect();
+            let Some(&j) = candidates.get(rng.random_range(0..candidates.len().max(1))) else {
+                return;
+            };
+            y[j] = true;
+            for k in 0..n {
+                residual[k] -= inst.coverage(j, k) as i64;
+            }
+        }
+    }
+
+    #[test]
+    fn repair_matches_dense_reference_bitwise() {
+        for (m, n, inst_seed) in [(30usize, 4usize, 7u64), (80, 10, 13)] {
+            let inst = generate(
+                &GeneratorConfig { num_bundles: m, num_services: n, ..Default::default() },
+                inst_seed,
+            );
+            for seed in 0..40u64 {
+                let density = (seed % 10) as f64 / 20.0;
+                let mut ya = random_bits(
+                    inst.num_bundles(),
+                    density,
+                    &mut SmallRng::seed_from_u64(seed ^ 0xA5A5),
+                );
+                let mut yb = ya.clone();
+                let mut rng_a = SmallRng::seed_from_u64(seed);
+                let mut rng_b = SmallRng::seed_from_u64(seed);
+                repair(&inst, &mut ya, &mut rng_a);
+                repair_dense(&inst, &mut yb, &mut rng_b);
+                assert_eq!(ya, yb, "reaction diverged (seed {seed}, {m}x{n})");
+                assert_eq!(
+                    rng_a.random::<u64>(),
+                    rng_b.random::<u64>(),
+                    "RNG stream diverged (seed {seed}, {m}x{n})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ll_fitness_matches_dense_reference_bitwise() {
+        let inst = small_instance();
+        let mut rng = SmallRng::seed_from_u64(31);
+        for trial in 0..50 {
+            let prices: Vec<f64> = {
+                let (lo, hi) = inst.price_bounds();
+                (0..inst.num_own()).map(|j| rng.random_range(lo[j]..=hi[j])).collect()
+            };
+            let y = random_bits(inst.num_bundles(), 0.3, &mut rng);
+            let fast = ll_fitness(&inst, &prices, &y);
+            let costs = inst.costs_for(&prices);
+            let cost = bico_bcpop::ll_cost(&costs, &y);
+            let mut violation = 0.0f64;
+            for k in 0..inst.num_services() {
+                let covered: i64 = (0..inst.num_bundles())
+                    .filter(|&j| y[j])
+                    .map(|j| inst.coverage(j, k) as i64)
+                    .sum();
+                violation += (inst.requirement(k) as i64 - covered).max(0) as f64;
+            }
+            let max_cost: f64 = costs.iter().sum();
+            let dense = cost + violation * (1.0 + max_cost);
+            assert_eq!(fast.to_bits(), dense.to_bits(), "trial {trial}");
+        }
     }
 
     #[test]

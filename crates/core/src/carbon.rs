@@ -18,8 +18,8 @@
 //!    elite archives are maintained at both levels.
 
 use bico_bcpop::{
-    bcpop_primitives, evaluate_pair, greedy_cover, BcpopInstance, GpScorer, Relaxation,
-    RelaxationSolver,
+    bcpop_primitives, evaluate_pair, greedy_cover, greedy_cover_batched, BcpopInstance,
+    CompiledGpScorer, CoverOutcome, GpScorer, Relaxation, RelaxationSolver,
 };
 use bico_ea::{
     archive::Archive,
@@ -90,6 +90,14 @@ pub struct CarbonConfig {
     /// re-evaluating an elite or archived pricing skips the LP solve;
     /// results are bit-identical either way (see [`bico_ea::SolveCache`]).
     pub ll_cache_capacity: usize,
+    /// Use the compiled fast path for lower-level decodes: GP scoring
+    /// trees are lowered to bytecode once per decode and the greedy
+    /// decoder maintains residual features incrementally, scoring each
+    /// step's candidates as one batch. `false` falls back to the
+    /// tree-walking interpreter + recomputing decoder (the reference
+    /// implementation). Results are bit-identical either way, including
+    /// `nodes_evaluated` accounting (asserted by differential tests).
+    pub compiled_eval: bool,
 }
 
 impl Default for CarbonConfig {
@@ -115,6 +123,7 @@ impl Default for CarbonConfig {
             gap_fitness: true,
             lp_terminals: true,
             ll_cache_capacity: 0,
+            compiled_eval: true,
         }
     }
 }
@@ -247,6 +256,24 @@ impl<'a> Carbon<'a> {
         let mut best_gap_overall = f64::INFINITY; // Table III extraction: best gap of any evaluated pair
         let cache: SolveCache<Relaxation> = SolveCache::new(cfg.ll_cache_capacity);
 
+        // One lower-level decode of `expr` against `costs`: the compiled
+        // + incremental fast path or the interpreter + recomputing
+        // reference, per `compiled_eval`. Returns the outcome and the GP
+        // nodes charged (identical between the two paths).
+        let decode =
+            |expr: &Expr, costs: &[f64], relax: Option<&Relaxation>| -> (CoverOutcome, u64) {
+                if cfg.compiled_eval {
+                    let mut scorer = CompiledGpScorer::new(expr, &self.primitives)
+                        .expect("evolved trees are structurally valid");
+                    let out = greedy_cover_batched(inst, costs, &mut scorer, relax);
+                    (out, scorer.nodes_evaluated())
+                } else {
+                    let mut scorer = GpScorer::new(expr, &self.primitives);
+                    let out = greedy_cover(inst, costs, &mut scorer, relax);
+                    (out, scorer.nodes_evaluated())
+                }
+            };
+
         if obs.enabled() {
             obs.observe(&Event::RunStart { algo: "carbon", seed });
         }
@@ -318,14 +345,9 @@ impl<'a> Carbon<'a> {
                         let prices = &ul_pop[ti];
                         let costs = inst.costs_for(prices);
                         let relax = &relaxations[ti];
-                        let mut scorer = GpScorer::new(expr, &self.primitives);
-                        let out = greedy_cover(
-                            inst,
-                            &costs,
-                            &mut scorer,
-                            cfg.lp_terminals.then_some(relax),
-                        );
-                        gp_nodes += scorer.nodes_evaluated();
+                        let (out, nodes) =
+                            decode(expr, &costs, cfg.lp_terminals.then_some(relax));
+                        gp_nodes += nodes;
                         let ev = evaluate_pair(inst, prices, &out.chosen, relax.lower_bound);
                         total += if cfg.gap_fitness {
                             if ev.gap.is_finite() {
@@ -385,15 +407,10 @@ impl<'a> Carbon<'a> {
                 .zip(relaxations.par_iter())
                 .map(|(prices, relax)| {
                     let costs = inst.costs_for(prices);
-                    let mut scorer = GpScorer::new(&champion, &self.primitives);
-                    let out = greedy_cover(
-                        inst,
-                        &costs,
-                        &mut scorer,
-                        cfg.lp_terminals.then_some(relax),
-                    );
+                    let (out, nodes) =
+                        decode(&champion, &costs, cfg.lp_terminals.then_some(relax));
                     let ev = evaluate_pair(inst, prices, &out.chosen, relax.lower_bound);
-                    (ev.ul_value, ev.gap, scorer.nodes_evaluated())
+                    (ev.ul_value, ev.gap, nodes)
                 })
                 .collect();
             ul_evals += gen_ul_cost;
@@ -588,6 +605,7 @@ mod tests {
         assert_eq!(c.ll_reproduction_prob, 0.05);
         assert!(c.gap_fitness);
         assert!(c.use_archives);
+        assert!(c.compiled_eval, "compiled fast path defaults on");
     }
 
     fn small_instance() -> BcpopInstance {
@@ -702,6 +720,41 @@ mod tests {
         assert_eq!(cold.best_ul_value.to_bits(), cached.best_ul_value.to_bits());
         assert_eq!(cold.best_gap.to_bits(), cached.best_gap.to_bits());
         assert_eq!(cold.trace.points(), cached.trace.points());
+    }
+
+    #[test]
+    fn compiled_eval_leaves_runs_bit_identical() {
+        // The compiled + incremental fast path must reproduce the
+        // interpreter reference bit for bit: 3 seeds × 2 instance
+        // classes, full run comparison including the trace.
+        for (nb, ns, inst_seed) in [(30usize, 4usize, 7u64), (40, 5, 11)] {
+            let inst = generate(
+                &GeneratorConfig { num_bundles: nb, num_services: ns, ..Default::default() },
+                inst_seed,
+            );
+            for seed in [1u64, 2, 3] {
+                let mut cfg = CarbonConfig::quick();
+                cfg.ul_pop_size = 8;
+                cfg.ll_pop_size = 8;
+                cfg.ul_evaluations = 80;
+                cfg.ll_evaluations = 80;
+                assert!(cfg.compiled_eval, "fast path defaults on");
+                let fast = Carbon::new(&inst, cfg.clone()).run(seed);
+                cfg.compiled_eval = false;
+                let reference = Carbon::new(&inst, cfg).run(seed);
+                let ctx = format!("{nb}x{ns} seed {seed}");
+                assert_eq!(fast.best_pricing, reference.best_pricing, "{ctx}");
+                assert_eq!(
+                    fast.best_ul_value.to_bits(),
+                    reference.best_ul_value.to_bits(),
+                    "{ctx}"
+                );
+                assert_eq!(fast.best_gap.to_bits(), reference.best_gap.to_bits(), "{ctx}");
+                assert_eq!(fast.best_heuristic, reference.best_heuristic, "{ctx}");
+                assert_eq!(fast.trace.points(), reference.trace.points(), "{ctx}");
+                assert_eq!(fast.generations, reference.generations, "{ctx}");
+            }
+        }
     }
 
     #[test]

@@ -11,8 +11,8 @@
 
 use crate::carbon::CarbonConfig;
 use bico_bcpop::{
-    evaluate_pair, greedy_cover, BcpopInstance, Relaxation, RelaxationSolver, WeightScorer,
-    NUM_TERMINALS,
+    evaluate_pair, greedy_cover, greedy_cover_batched, BcpopInstance, CoverOutcome, Relaxation,
+    RelaxationSolver, WeightScorer, NUM_TERMINALS,
 };
 use bico_ea::{
     archive::Archive,
@@ -93,6 +93,21 @@ impl<'a> CarbonWeights<'a> {
         let mut best: Option<(Vec<f64>, f64)> = None;
         let mut best_gap_overall = f64::INFINITY;
 
+        // Linear scorers have nothing to compile, but the incremental +
+        // batched decoder still applies (same flag, same bit-identity
+        // guarantee as CARBON's GP path).
+        let cover = |weights: [f64; NUM_TERMINALS],
+                     costs: &[f64],
+                     relax: &Relaxation|
+         -> CoverOutcome {
+            let mut scorer = WeightScorer::new(weights);
+            if cfg.compiled_eval {
+                greedy_cover_batched(inst, costs, &mut scorer, Some(relax))
+            } else {
+                greedy_cover(inst, costs, &mut scorer, Some(relax))
+            }
+        };
+
         loop {
             let gen_ul = cfg.ul_pop_size as u64;
             let gen_ll = (cfg.ll_pop_size * cfg.training_samples) as u64;
@@ -117,9 +132,7 @@ impl<'a> CarbonWeights<'a> {
                     for &ti in &training {
                         let prices = &ul_pop[ti];
                         let costs = inst.costs_for(prices);
-                        let mut scorer = WeightScorer::new(weights);
-                        let out =
-                            greedy_cover(inst, &costs, &mut scorer, Some(&relaxations[ti]));
+                        let out = cover(weights, &costs, &relaxations[ti]);
                         let ev = evaluate_pair(
                             inst,
                             prices,
@@ -151,8 +164,7 @@ impl<'a> CarbonWeights<'a> {
                 .zip(relaxations.par_iter())
                 .map(|(prices, relax)| {
                     let costs = inst.costs_for(prices);
-                    let mut scorer = WeightScorer::new(champion);
-                    let out = greedy_cover(inst, &costs, &mut scorer, Some(relax));
+                    let out = cover(champion, &costs, relax);
                     let ev = evaluate_pair(inst, prices, &out.chosen, relax.lower_bound);
                     (ev.ul_value, ev.gap)
                 })
@@ -311,6 +323,27 @@ mod tests {
         assert_eq!(a.best_pricing, b.best_pricing);
         assert_eq!(a.best_gap, b.best_gap);
         assert_eq!(a.best_weights, b.best_weights);
+    }
+
+    #[test]
+    fn compiled_eval_leaves_runs_bit_identical() {
+        let inst = instance();
+        for seed in [1u64, 2, 3] {
+            let mut c = cfg(10, 400);
+            assert!(c.compiled_eval);
+            let fast = CarbonWeights::new(&inst, c.clone()).run(seed);
+            c.compiled_eval = false;
+            let reference = CarbonWeights::new(&inst, c).run(seed);
+            assert_eq!(fast.best_pricing, reference.best_pricing, "seed {seed}");
+            assert_eq!(
+                fast.best_ul_value.to_bits(),
+                reference.best_ul_value.to_bits(),
+                "seed {seed}"
+            );
+            assert_eq!(fast.best_gap.to_bits(), reference.best_gap.to_bits(), "seed {seed}");
+            assert_eq!(fast.best_weights, reference.best_weights, "seed {seed}");
+            assert_eq!(fast.trace.points(), reference.trace.points(), "seed {seed}");
+        }
     }
 
     #[test]

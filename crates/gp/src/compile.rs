@@ -1,0 +1,689 @@
+//! Bytecode compilation of [`Expr`] trees.
+//!
+//! [`Evaluator::eval`](crate::Evaluator::eval) walks the prefix node
+//! buffer with per-node enum dispatch, a function-pointer call per
+//! operator, and a push/pop pair per node. That is the innermost loop of
+//! every lower-level fitness evaluation, and the same tree is evaluated
+//! once per candidate bundle per greedy step — thousands of times per
+//! decode with only the terminal values changing.
+//!
+//! [`CompiledProgram`] lowers a tree once into a flat register program:
+//!
+//! * **constant folding** — subtrees with all-constant leaves collapse to
+//!   a single immediate at compile time (folded through the same
+//!   `sanitize` the interpreter applies, so results stay bit-identical);
+//! * **fused terminal loads** — terminals and constants are instruction
+//!   *operands*, not separate push instructions, so a tree with `n`
+//!   operator nodes compiles to at most `n` instructions;
+//! * **opcode specialization** — the Table I arithmetic operators are
+//!   recognized by function address and lowered to dedicated opcodes that
+//!   the evaluator dispatches without an indirect call (unknown operators
+//!   fall back to a generic call opcode, still bit-identical);
+//! * **batched evaluation** — [`CompiledEvaluator::eval_batch`] runs one
+//!   program over structure-of-arrays terminal columns (one row per
+//!   candidate), turning per-instruction dispatch into a tight loop over
+//!   rows.
+//!
+//! ## Determinism contract
+//!
+//! For every well-formed tree and every terminal vector (including NaN
+//! and ±∞ entries), [`CompiledEvaluator::eval`] returns a value
+//! bit-identical to [`Evaluator::eval`](crate::Evaluator::eval), and
+//! `eval_batch` row `i` is bit-identical to a scalar `eval` on row `i`'s
+//! terminal values. Node accounting is preserved "as if interpreted":
+//! each evaluation charges the *source tree* length, so MetricsSink
+//! GP-node counters do not change when the compiled path is enabled.
+
+use crate::primitives::{add, mul, protected_div, protected_mod, sub, OpFn, PrimitiveSet};
+use crate::tree::{sanitize, Expr, Node, TreeError};
+
+/// Where an instruction operand comes from.
+///
+/// Register indices follow virtual-stack discipline: the value produced
+/// at stack height `h` lives in register `h`. Consequently a binary
+/// instruction with destination `d` can only read registers `d` (its
+/// second operand, which it overwrites) and `d + 1` (its first operand),
+/// and a unary instruction only register `d`. The batch evaluator relies
+/// on this to resolve aliasing without copies.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Src {
+    /// Read register `r`.
+    Reg(u16),
+    /// Read terminal column `t`, sanitizing on load (NaN → 0, clamp).
+    Term(u16),
+    /// Immediate, already sanitized at compile time.
+    Const(f64),
+}
+
+/// Specialized operation codes. The five Table I arithmetic operators get
+/// direct opcodes; anything else dispatches through the registered
+/// function pointer exactly as the interpreter does.
+#[derive(Debug, Clone, Copy)]
+enum Opcode {
+    /// `a + b`
+    Add,
+    /// `a - b`
+    Sub,
+    /// `a * b`
+    Mul,
+    /// Protected division (`%` in Table I).
+    PDiv,
+    /// Protected Euclidean modulo (`mod` in Table I).
+    PMod,
+    /// Generic unary operator call.
+    CallUnary(fn(f64) -> f64),
+    /// Generic binary operator call.
+    CallBinary(fn(f64, f64) -> f64),
+}
+
+/// One register instruction: `dst = sanitize(op(a, b))` (binary) or
+/// `dst = sanitize(op(a))` (unary; `b` is ignored).
+#[derive(Debug, Clone, Copy)]
+struct Instr {
+    op: Opcode,
+    dst: u16,
+    a: Src,
+    b: Src,
+}
+
+/// An [`Expr`] lowered to flat register bytecode. Compile once with
+/// [`CompiledProgram::compile`], evaluate many times through a
+/// [`CompiledEvaluator`].
+#[derive(Debug, Clone)]
+pub struct CompiledProgram {
+    instrs: Vec<Instr>,
+    /// Where the final value lives after all instructions run.
+    result: Src,
+    /// Registers needed (the source tree's maximum stack height).
+    num_regs: u16,
+    /// Source tree length, charged per evaluation so node accounting
+    /// matches the interpreter exactly.
+    source_len: u64,
+}
+
+impl CompiledProgram {
+    /// Lower `expr` for `ps`. Validates the tree first; structural errors
+    /// are returned rather than panicking.
+    pub fn compile(expr: &Expr, ps: &PrimitiveSet) -> Result<Self, TreeError> {
+        expr.validate(ps)?;
+        let mut instrs: Vec<Instr> = Vec::new();
+        // Virtual operand stack mirroring the interpreter's value stack.
+        let mut stack: Vec<Src> = Vec::with_capacity(16);
+        let mut max_height: usize = 0;
+        for node in expr.nodes().iter().rev() {
+            match *node {
+                Node::Term(id) => stack.push(Src::Term(id)),
+                // Pre-sanitize immediates: the interpreter sanitizes
+                // constants on push, so folding sees the same values.
+                Node::Const(c) => stack.push(Src::Const(sanitize(c))),
+                Node::Op(id) => {
+                    let func = ps.ops()[id as usize].func;
+                    match func {
+                        OpFn::Unary(f) => {
+                            let a = stack.pop().expect("validated expr: missing operand");
+                            let dst = stack.len() as u16;
+                            if let Src::Const(ca) = a {
+                                stack.push(Src::Const(sanitize(f(ca))));
+                            } else {
+                                debug_assert!(!matches!(a, Src::Reg(r) if r != dst));
+                                instrs.push(Instr {
+                                    op: Opcode::CallUnary(f),
+                                    dst,
+                                    a,
+                                    b: Src::Const(0.0),
+                                });
+                                stack.push(Src::Reg(dst));
+                            }
+                        }
+                        OpFn::Binary(f) => {
+                            let a = stack.pop().expect("validated expr: missing operand");
+                            let b = stack.pop().expect("validated expr: missing operand");
+                            let dst = stack.len() as u16;
+                            if let (Src::Const(ca), Src::Const(cb)) = (a, b) {
+                                stack.push(Src::Const(sanitize(f(ca, cb))));
+                            } else {
+                                debug_assert!(!matches!(a, Src::Reg(r) if r != dst + 1));
+                                debug_assert!(!matches!(b, Src::Reg(r) if r != dst));
+                                instrs.push(Instr { op: lower_binary(f), dst, a, b });
+                                stack.push(Src::Reg(dst));
+                            }
+                        }
+                    }
+                }
+            }
+            max_height = max_height.max(stack.len());
+        }
+        debug_assert_eq!(stack.len(), 1, "validated expr: leftover operands");
+        let result = stack.pop().unwrap_or(Src::Const(0.0));
+        Ok(CompiledProgram {
+            instrs,
+            result,
+            num_regs: max_height as u16,
+            source_len: expr.len() as u64,
+        })
+    }
+
+    /// Number of register instructions (operator nodes minus folded
+    /// subtrees).
+    pub fn num_instructions(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Registers the program needs (the source tree's max stack height).
+    pub fn num_regs(&self) -> usize {
+        self.num_regs as usize
+    }
+
+    /// Source-tree node count charged per evaluation.
+    pub fn source_len(&self) -> usize {
+        self.source_len as usize
+    }
+
+    /// If the whole tree folded to a constant, its value.
+    pub fn as_const(&self) -> Option<f64> {
+        match self.result {
+            Src::Const(c) if self.instrs.is_empty() => Some(c),
+            _ => None,
+        }
+    }
+}
+
+/// Recognize the Table I arithmetic functions by address; anything else
+/// keeps generic call dispatch (identical results either way).
+fn lower_binary(f: fn(f64, f64) -> f64) -> Opcode {
+    if std::ptr::fn_addr_eq(f, add as fn(f64, f64) -> f64) {
+        Opcode::Add
+    } else if std::ptr::fn_addr_eq(f, sub as fn(f64, f64) -> f64) {
+        Opcode::Sub
+    } else if std::ptr::fn_addr_eq(f, mul as fn(f64, f64) -> f64) {
+        Opcode::Mul
+    } else if std::ptr::fn_addr_eq(f, protected_div as fn(f64, f64) -> f64) {
+        Opcode::PDiv
+    } else if std::ptr::fn_addr_eq(f, protected_mod as fn(f64, f64) -> f64) {
+        Opcode::PMod
+    } else {
+        Opcode::CallBinary(f)
+    }
+}
+
+/// Reusable register file for [`CompiledProgram`] execution. Keep one per
+/// thread / worker; the register buffer is reused across calls so
+/// steady-state evaluation performs no allocation.
+///
+/// Tracks nodes evaluated with the same convention as
+/// [`Evaluator`](crate::Evaluator): every evaluation charges the source
+/// tree's node count (per row, for batches), regardless of how many
+/// instructions folding eliminated.
+#[derive(Debug, Default)]
+pub struct CompiledEvaluator {
+    regs: Vec<f64>,
+    nodes: u64,
+}
+
+impl CompiledEvaluator {
+    /// New evaluator with an empty register file.
+    pub fn new() -> Self {
+        CompiledEvaluator { regs: Vec::with_capacity(64), nodes: 0 }
+    }
+
+    /// Total source-tree nodes charged since creation (or the last
+    /// [`CompiledEvaluator::reset_node_count`]).
+    pub fn nodes_evaluated(&self) -> u64 {
+        self.nodes
+    }
+
+    /// Reset the node counter to zero.
+    pub fn reset_node_count(&mut self) {
+        self.nodes = 0;
+    }
+
+    /// Evaluate `prog` against one terminal vector. Bit-identical to
+    /// [`Evaluator::eval`](crate::Evaluator::eval) on the source tree.
+    pub fn eval(&mut self, prog: &CompiledProgram, terminal_values: &[f64]) -> f64 {
+        self.nodes += prog.source_len;
+        self.regs.clear();
+        self.regs.resize(prog.num_regs as usize, 0.0);
+        for instr in &prog.instrs {
+            let a = fetch_scalar(instr.a, &self.regs, terminal_values);
+            let out = match instr.op {
+                Opcode::Add => a + fetch_scalar(instr.b, &self.regs, terminal_values),
+                Opcode::Sub => a - fetch_scalar(instr.b, &self.regs, terminal_values),
+                Opcode::Mul => a * fetch_scalar(instr.b, &self.regs, terminal_values),
+                Opcode::PDiv => {
+                    protected_div(a, fetch_scalar(instr.b, &self.regs, terminal_values))
+                }
+                Opcode::PMod => {
+                    protected_mod(a, fetch_scalar(instr.b, &self.regs, terminal_values))
+                }
+                Opcode::CallUnary(f) => f(a),
+                Opcode::CallBinary(f) => {
+                    f(a, fetch_scalar(instr.b, &self.regs, terminal_values))
+                }
+            };
+            self.regs[instr.dst as usize] = sanitize(out);
+        }
+        match prog.result {
+            Src::Reg(r) => self.regs[r as usize],
+            Src::Term(t) => sanitize(terminal_values[t as usize]),
+            Src::Const(c) => c,
+        }
+    }
+
+    /// Evaluate `prog` over structure-of-arrays terminal columns:
+    /// `columns[t][row]` is terminal `t`'s value for candidate `row`.
+    /// Writes one score per row into `out` (cleared first). Row `i` is
+    /// bit-identical to a scalar [`CompiledEvaluator::eval`] on row `i`'s
+    /// terminal values, and charges `rows × source_len` nodes — exactly
+    /// what the interpreter would have charged scoring the same
+    /// candidates one by one.
+    pub fn eval_batch(
+        &mut self,
+        prog: &CompiledProgram,
+        columns: &[&[f64]],
+        rows: usize,
+        out: &mut Vec<f64>,
+    ) {
+        out.clear();
+        self.nodes += prog.source_len * rows as u64;
+        if rows == 0 {
+            return;
+        }
+        debug_assert!(columns.iter().all(|c| c.len() >= rows), "short terminal column");
+        let nr = prog.num_regs as usize;
+        self.regs.clear();
+        self.regs.resize(nr * rows, 0.0);
+        for instr in &prog.instrs {
+            run_instr(instr, &mut self.regs, columns, rows);
+        }
+        out.reserve(rows);
+        match prog.result {
+            Src::Reg(r) => out.extend_from_slice(&self.regs[r as usize * rows..][..rows]),
+            Src::Term(t) => {
+                out.extend(columns[t as usize][..rows].iter().map(|&v| sanitize(v)))
+            }
+            Src::Const(c) => out.extend(std::iter::repeat_n(c, rows)),
+        }
+    }
+}
+
+#[inline(always)]
+fn fetch_scalar(src: Src, regs: &[f64], terminal_values: &[f64]) -> f64 {
+    match src {
+        Src::Reg(r) => regs[r as usize],
+        Src::Term(t) => sanitize(terminal_values[t as usize]),
+        Src::Const(c) => c,
+    }
+}
+
+/// First operand of a batched instruction, resolved outside the row loop.
+/// Never aliases the destination (a register operand is `dst + 1`).
+enum ColA<'a> {
+    Reg(&'a [f64]),
+    Term(&'a [f64]),
+    Const(f64),
+}
+
+/// Second operand of a batched instruction. A register operand is always
+/// the destination register itself (stack discipline), read before the
+/// row's write.
+enum ColB<'a> {
+    Dst,
+    Term(&'a [f64]),
+    Const(f64),
+}
+
+fn run_instr(instr: &Instr, regs: &mut [f64], columns: &[&[f64]], rows: usize) {
+    let d = instr.dst as usize;
+    // Registers are row-major per register: register r occupies
+    // `regs[r*rows .. (r+1)*rows]`. Split so `dst` (register d) is
+    // mutable while register d+1 — the only other register a binary
+    // instruction may read — stays shared.
+    let (lo, hi) = regs.split_at_mut((d + 1) * rows);
+    let dst = &mut lo[d * rows..];
+    // A unary instruction's register operand is `dst` itself (stack
+    // discipline): handle it before the binary operand resolution.
+    if let Opcode::CallUnary(f) = instr.op {
+        match instr.a {
+            Src::Reg(r) => {
+                debug_assert_eq!(r as usize, d);
+                for v in dst[..rows].iter_mut() {
+                    *v = sanitize(f(*v));
+                }
+            }
+            Src::Term(t) => {
+                let s = &columns[t as usize][..rows];
+                for row in 0..rows {
+                    dst[row] = sanitize(f(sanitize(s[row])));
+                }
+            }
+            Src::Const(c) => {
+                let v = sanitize(f(c));
+                dst[..rows].fill(v);
+            }
+        }
+        return;
+    }
+    let a = match instr.a {
+        Src::Reg(r) => {
+            debug_assert_eq!(r as usize, d + 1);
+            ColA::Reg(&hi[..rows])
+        }
+        Src::Term(t) => ColA::Term(columns[t as usize]),
+        Src::Const(c) => ColA::Const(c),
+    };
+    let b = match instr.b {
+        Src::Reg(r) => {
+            debug_assert_eq!(r as usize, d);
+            ColB::Dst
+        }
+        Src::Term(t) => ColB::Term(columns[t as usize]),
+        Src::Const(c) => ColB::Const(c),
+    };
+    match instr.op {
+        Opcode::Add => run_binary(dst, a, b, rows, |x, y| x + y),
+        Opcode::Sub => run_binary(dst, a, b, rows, |x, y| x - y),
+        Opcode::Mul => run_binary(dst, a, b, rows, |x, y| x * y),
+        Opcode::PDiv => run_binary(dst, a, b, rows, protected_div),
+        Opcode::PMod => run_binary(dst, a, b, rows, protected_mod),
+        Opcode::CallBinary(f) => run_binary(dst, a, b, rows, f),
+        Opcode::CallUnary(_) => unreachable!("handled above"),
+    }
+}
+
+/// Monomorphized per operator, with the operand-kind dispatch hoisted out
+/// of the row loop: each of the nine (a, b) shapes gets its own tight
+/// loop the vectorizer can work on.
+#[inline(always)]
+fn run_binary(
+    dst: &mut [f64],
+    a: ColA<'_>,
+    b: ColB<'_>,
+    rows: usize,
+    f: impl Fn(f64, f64) -> f64,
+) {
+    // Re-slice every operand to exactly `rows` so the bounds checks hoist
+    // out of the loops below.
+    let dst = &mut dst[..rows];
+    let a = match a {
+        ColA::Term(s) => ColA::Term(&s[..rows]),
+        other => other,
+    };
+    let b = match b {
+        ColB::Term(s) => ColB::Term(&s[..rows]),
+        other => other,
+    };
+    match (a, b) {
+        (ColA::Reg(s), ColB::Dst) => {
+            for row in 0..rows {
+                dst[row] = sanitize(f(s[row], dst[row]));
+            }
+        }
+        (ColA::Reg(s), ColB::Term(t)) => {
+            for row in 0..rows {
+                dst[row] = sanitize(f(s[row], sanitize(t[row])));
+            }
+        }
+        (ColA::Reg(s), ColB::Const(c)) => {
+            for row in 0..rows {
+                dst[row] = sanitize(f(s[row], c));
+            }
+        }
+        (ColA::Term(s), ColB::Dst) => {
+            for row in 0..rows {
+                dst[row] = sanitize(f(sanitize(s[row]), dst[row]));
+            }
+        }
+        (ColA::Term(s), ColB::Term(t)) => {
+            for row in 0..rows {
+                dst[row] = sanitize(f(sanitize(s[row]), sanitize(t[row])));
+            }
+        }
+        (ColA::Term(s), ColB::Const(c)) => {
+            for row in 0..rows {
+                dst[row] = sanitize(f(sanitize(s[row]), c));
+            }
+        }
+        (ColA::Const(ca), ColB::Dst) => {
+            for v in dst.iter_mut() {
+                *v = sanitize(f(ca, *v));
+            }
+        }
+        (ColA::Const(ca), ColB::Term(t)) => {
+            for row in 0..rows {
+                dst[row] = sanitize(f(ca, sanitize(t[row])));
+            }
+        }
+        // Cannot occur (constant operands fold at compile time), but the
+        // kernel stays total.
+        (ColA::Const(ca), ColB::Const(cb)) => {
+            let v = sanitize(f(ca, cb));
+            dst[..rows].fill(v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::CLAMP;
+    use crate::Evaluator;
+
+    fn ps2() -> PrimitiveSet {
+        let mut ps = PrimitiveSet::arithmetic();
+        ps.add_terminal("a");
+        ps.add_terminal("b");
+        ps
+    }
+
+    #[test]
+    fn compile_rejects_malformed() {
+        let ps = ps2();
+        let e = Expr::from_nodes(vec![Node::Op(0), Node::Term(0)]);
+        assert_eq!(CompiledProgram::compile(&e, &ps).unwrap_err(), TreeError::Malformed);
+    }
+
+    #[test]
+    fn scalar_matches_interpreter_on_nested_tree() {
+        let ps = ps2();
+        // (a + b) * (a - b)
+        let e = Expr::from_nodes(vec![
+            Node::Op(2),
+            Node::Op(0),
+            Node::Term(0),
+            Node::Term(1),
+            Node::Op(1),
+            Node::Term(0),
+            Node::Term(1),
+        ]);
+        let prog = CompiledProgram::compile(&e, &ps).unwrap();
+        let mut cev = CompiledEvaluator::new();
+        let mut iev = Evaluator::new();
+        for tv in [[5.0, 3.0], [0.0, 0.0], [-2.5, 7.0], [1e200, 1e200], [f64::NAN, 1.0]] {
+            let c = cev.eval(&prog, &tv);
+            let i = iev.eval(&e, &ps, &tv);
+            assert_eq!(c.to_bits(), i.to_bits(), "tv={tv:?}");
+        }
+    }
+
+    #[test]
+    fn constant_subtrees_fold() {
+        let ps = ps2();
+        // (2 + 3) * a → one instruction, const operand 5.
+        let e = Expr::from_nodes(vec![
+            Node::Op(2),
+            Node::Op(0),
+            Node::Const(2.0),
+            Node::Const(3.0),
+            Node::Term(0),
+        ]);
+        let prog = CompiledProgram::compile(&e, &ps).unwrap();
+        assert_eq!(prog.num_instructions(), 1);
+        assert_eq!(CompiledEvaluator::new().eval(&prog, &[4.0, 0.0]), 20.0);
+    }
+
+    #[test]
+    fn fully_constant_tree_folds_to_immediate() {
+        let ps = ps2();
+        // (2 * 3) - 1 → constant 5, zero instructions.
+        let e = Expr::from_nodes(vec![
+            Node::Op(1),
+            Node::Op(2),
+            Node::Const(2.0),
+            Node::Const(3.0),
+            Node::Const(1.0),
+        ]);
+        let prog = CompiledProgram::compile(&e, &ps).unwrap();
+        assert_eq!(prog.num_instructions(), 0);
+        assert_eq!(prog.as_const(), Some(5.0));
+        assert_eq!(CompiledEvaluator::new().eval(&prog, &[0.0, 0.0]), 5.0);
+    }
+
+    #[test]
+    fn folding_applies_sanitize_like_interpreter() {
+        let ps = ps2();
+        // 1e200 * 1e200 folded must clamp exactly as the interpreter does.
+        let e = Expr::from_nodes(vec![Node::Op(2), Node::Const(1e200), Node::Const(1e200)]);
+        let prog = CompiledProgram::compile(&e, &ps).unwrap();
+        assert_eq!(prog.as_const(), Some(CLAMP));
+        let i = Evaluator::new().eval(&e, &ps, &[]);
+        assert_eq!(prog.as_const().unwrap().to_bits(), i.to_bits());
+    }
+
+    #[test]
+    fn terminal_only_program_sanitizes_on_read() {
+        let ps = ps2();
+        let e = Expr::terminal(1);
+        let prog = CompiledProgram::compile(&e, &ps).unwrap();
+        assert_eq!(prog.num_instructions(), 0);
+        let mut cev = CompiledEvaluator::new();
+        assert_eq!(cev.eval(&prog, &[0.0, f64::INFINITY]), CLAMP);
+        assert_eq!(cev.eval(&prog, &[0.0, f64::NAN]), 0.0);
+    }
+
+    #[test]
+    fn batch_rows_match_scalar() {
+        let ps = ps2();
+        // a % (b - 0.5)
+        let e = Expr::from_nodes(vec![
+            Node::Op(3),
+            Node::Term(0),
+            Node::Op(1),
+            Node::Term(1),
+            Node::Const(0.5),
+        ]);
+        let prog = CompiledProgram::compile(&e, &ps).unwrap();
+        let col_a = [1.0, 2.0, f64::NAN, 1e300, -7.5];
+        let col_b = [0.5, 0.5 + 1e-12, 3.0, f64::NEG_INFINITY, 0.25];
+        let mut cev = CompiledEvaluator::new();
+        let mut out = Vec::new();
+        cev.eval_batch(&prog, &[&col_a, &col_b], 5, &mut out);
+        assert_eq!(out.len(), 5);
+        let mut scalar = CompiledEvaluator::new();
+        for row in 0..5 {
+            let s = scalar.eval(&prog, &[col_a[row], col_b[row]]);
+            assert_eq!(out[row].to_bits(), s.to_bits(), "row {row}");
+        }
+    }
+
+    #[test]
+    fn batch_handles_zero_rows_and_const_program() {
+        let ps = ps2();
+        let prog = CompiledProgram::compile(&Expr::constant(2.5), &ps).unwrap();
+        let mut cev = CompiledEvaluator::new();
+        let mut out = vec![9.0; 4];
+        cev.eval_batch(&prog, &[&[], &[]], 0, &mut out);
+        assert!(out.is_empty());
+        cev.eval_batch(&prog, &[&[0.0; 3], &[0.0; 3]], 3, &mut out);
+        assert_eq!(out, vec![2.5, 2.5, 2.5]);
+    }
+
+    #[test]
+    fn node_accounting_matches_interpreter() {
+        let ps = ps2();
+        // (2 + 3) * a: folding removes an instruction, but accounting
+        // still charges all 5 source nodes per evaluation.
+        let e = Expr::from_nodes(vec![
+            Node::Op(2),
+            Node::Op(0),
+            Node::Const(2.0),
+            Node::Const(3.0),
+            Node::Term(0),
+        ]);
+        let prog = CompiledProgram::compile(&e, &ps).unwrap();
+        let mut cev = CompiledEvaluator::new();
+        cev.eval(&prog, &[1.0, 0.0]);
+        assert_eq!(cev.nodes_evaluated(), 5);
+        let mut out = Vec::new();
+        cev.eval_batch(&prog, &[&[1.0; 4], &[0.0; 4]], 4, &mut out);
+        assert_eq!(cev.nodes_evaluated(), 5 + 4 * 5);
+        let mut iev = Evaluator::new();
+        for _ in 0..5 {
+            iev.eval(&e, &ps, &[1.0, 0.0]);
+        }
+        assert_eq!(cev.nodes_evaluated(), iev.nodes_evaluated());
+        cev.reset_node_count();
+        assert_eq!(cev.nodes_evaluated(), 0);
+    }
+
+    #[test]
+    fn custom_unary_op_falls_back_to_call() {
+        let mut ps = PrimitiveSet::arithmetic();
+        let neg = ps.add_unary("neg", |a| -a) as u16;
+        ps.add_terminal("a");
+        // neg(a + 1)
+        let e =
+            Expr::from_nodes(vec![Node::Op(neg), Node::Op(0), Node::Term(0), Node::Const(1.0)]);
+        let prog = CompiledProgram::compile(&e, &ps).unwrap();
+        let mut cev = CompiledEvaluator::new();
+        let mut iev = Evaluator::new();
+        for tv in [[4.0], [f64::INFINITY], [-0.0]] {
+            assert_eq!(
+                cev.eval(&prog, &tv).to_bits(),
+                iev.eval(&e, &ps, &tv).to_bits(),
+                "tv={tv:?}"
+            );
+        }
+        // Unary batch path, including the folded-const case neg(2).
+        let folded = Expr::from_nodes(vec![Node::Op(neg), Node::Const(2.0)]);
+        let fprog = CompiledProgram::compile(&folded, &ps).unwrap();
+        assert_eq!(fprog.as_const(), Some(-2.0));
+        let col = [1.0, -3.0, f64::NAN];
+        let mut out = Vec::new();
+        cev.eval_batch(&prog, &[&col], 3, &mut out);
+        for row in 0..3 {
+            let s = iev.eval(&e, &ps, &[col[row]]);
+            assert_eq!(out[row].to_bits(), s.to_bits(), "row {row}");
+        }
+    }
+
+    #[test]
+    fn deep_chain_register_allocation() {
+        let ps = ps2();
+        // Right-deep chain a + (a + (a + (a + b))) exercises stack heights.
+        let mut nodes = Vec::new();
+        for _ in 0..4 {
+            nodes.push(Node::Op(0));
+            nodes.push(Node::Term(0));
+        }
+        nodes.push(Node::Term(1));
+        let e = Expr::from_nodes(nodes);
+        let prog = CompiledProgram::compile(&e, &ps).unwrap();
+        assert!(prog.num_regs() >= 1);
+        let mut cev = CompiledEvaluator::new();
+        let mut iev = Evaluator::new();
+        let tv = [1.5, 2.25];
+        assert_eq!(cev.eval(&prog, &tv).to_bits(), iev.eval(&e, &ps, &tv).to_bits());
+        // Left-deep chain (((a+b)+b)+b) too.
+        let left = Expr::from_nodes(vec![
+            Node::Op(0),
+            Node::Op(0),
+            Node::Op(0),
+            Node::Term(0),
+            Node::Term(1),
+            Node::Term(1),
+            Node::Term(1),
+        ]);
+        let lprog = CompiledProgram::compile(&left, &ps).unwrap();
+        assert_eq!(cev.eval(&lprog, &tv).to_bits(), iev.eval(&left, &ps, &tv).to_bits());
+    }
+}

@@ -43,6 +43,7 @@
 //! assert_eq!(ev.eval(&expr, &ps, &[6.0, 0.0]), 1.0); // protected
 //! ```
 
+mod compile;
 mod generate;
 mod ops;
 mod pretty;
@@ -51,6 +52,7 @@ mod sexpr;
 mod simplify;
 mod tree;
 
+pub use compile::{CompiledEvaluator, CompiledProgram};
 pub use generate::{full, grow, ramped_half_and_half, GenError};
 pub use ops::{
     mutate_hoist, mutate_point, mutate_shrink, mutate_uniform, subtree_crossover,

@@ -42,8 +42,28 @@ pub struct Operator {
 /// denominator as zero (DEAP-style protection).
 pub const PROTECT_EPS: f64 = 1e-9;
 
+/// Plain addition. Named (rather than a closure) so the bytecode
+/// compiler can recognize it by function address and emit a fused opcode.
+#[inline]
+pub(crate) fn add(a: f64, b: f64) -> f64 {
+    a + b
+}
+
+/// Plain subtraction (see [`add`] for why this is a named function).
+#[inline]
+pub(crate) fn sub(a: f64, b: f64) -> f64 {
+    a - b
+}
+
+/// Plain multiplication (see [`add`] for why this is a named function).
+#[inline]
+pub(crate) fn mul(a: f64, b: f64) -> f64 {
+    a * b
+}
+
 /// Protected division: returns `1.0` when the denominator is ~0
 /// (the paper's `%` operator, Table I).
+#[inline]
 pub fn protected_div(a: f64, b: f64) -> f64 {
     if b.abs() < PROTECT_EPS {
         1.0
@@ -55,6 +75,7 @@ pub fn protected_div(a: f64, b: f64) -> f64 {
 /// Protected modulo: returns `1.0` when the modulus is ~0
 /// (the paper's `mod` operator, Table I). Uses the Euclidean remainder so
 /// the result sign follows the modulus-free convention `a − b·⌊a/b⌋`.
+#[inline]
 pub fn protected_mod(a: f64, b: f64) -> f64 {
     if b.abs() < PROTECT_EPS {
         1.0
@@ -87,9 +108,9 @@ impl PrimitiveSet {
     /// protected `mod`. Terminals are added by the caller.
     pub fn arithmetic() -> Self {
         let mut ps = Self::new();
-        ps.add_binary("+", |a, b| a + b);
-        ps.add_binary("-", |a, b| a - b);
-        ps.add_binary("*", |a, b| a * b);
+        ps.add_binary("+", add);
+        ps.add_binary("-", sub);
+        ps.add_binary("*", mul);
         ps.add_binary("%", protected_div);
         ps.add_binary("mod", protected_mod);
         ps

@@ -234,9 +234,11 @@ impl Evaluator {
                             f(a, b)
                         }
                     };
-                    sanitize(out)
+                    out
                 }
             };
+            // `sanitize` is idempotent, so one clamp on push covers both
+            // raw leaf loads and op outputs.
             self.stack.push(sanitize(v));
         }
         debug_assert_eq!(self.stack.len(), 1, "malformed expr: leftover operands");
@@ -245,11 +247,17 @@ impl Evaluator {
 }
 
 #[inline]
+#[allow(clippy::manual_clamp)] // `clamp`'s ordered comparisons branch
 pub(crate) fn sanitize(v: f64) -> f64 {
+    // `max`/`min` lower to single branchless instructions (unlike
+    // `f64::clamp`, whose ordered comparisons branch), keeping the
+    // batched evaluator's inner loops vectorizable. NaN propagates as
+    // `max(NaN, x) = x`, so the explicit NaN select stays.
+    let clamped = v.max(-CLAMP).min(CLAMP);
     if v.is_nan() {
         0.0
     } else {
-        v.clamp(-CLAMP, CLAMP)
+        clamped
     }
 }
 
@@ -438,5 +446,33 @@ mod tests {
         assert_eq!(sanitize(f64::INFINITY), CLAMP);
         assert_eq!(sanitize(f64::NEG_INFINITY), -CLAMP);
         assert_eq!(sanitize(1.5), 1.5);
+    }
+
+    /// Regression for the single-clamp rewrite: op outputs are sanitized
+    /// exactly once, and NaN/±∞ leaves and intermediates behave as before.
+    #[test]
+    fn eval_pins_nan_and_inf_behavior() {
+        let ps = ps2();
+        let mut ev = Evaluator::new();
+
+        // NaN terminal loads become 0 before any op sees them: NaN + b = 0 + b.
+        let add = Expr::from_nodes(vec![Node::Op(0), Node::Term(0), Node::Term(1)]);
+        assert_eq!(ev.eval(&add, &ps, &[f64::NAN, 3.5]), 3.5);
+
+        // ±∞ terminal loads clamp to ±CLAMP before the op.
+        assert_eq!(ev.eval(&add, &ps, &[f64::INFINITY, 0.0]), CLAMP);
+        assert_eq!(ev.eval(&add, &ps, &[f64::NEG_INFINITY, 0.0]), -CLAMP);
+
+        // An op output that overflows past the clamp is clamped once.
+        let mul = Expr::from_nodes(vec![Node::Op(2), Node::Term(0), Node::Term(1)]);
+        assert_eq!(ev.eval(&mul, &ps, &[1e200, 1e200]), CLAMP);
+        assert_eq!(ev.eval(&mul, &ps, &[-1e200, 1e200]), -CLAMP);
+
+        // ∞·0 would be NaN un-sanitized; the clamped load makes it exact 0.
+        assert_eq!(ev.eval(&mul, &ps, &[f64::INFINITY, 0.0]), 0.0);
+
+        // NaN constants are also neutralized on load.
+        let cadd = Expr::from_nodes(vec![Node::Op(0), Node::Const(f64::NAN), Node::Term(1)]);
+        assert_eq!(ev.eval(&cadd, &ps, &[0.0, 2.25]), 2.25);
     }
 }

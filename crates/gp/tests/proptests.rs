@@ -4,7 +4,8 @@
 
 use bico_gp::{
     full, grow, mutate_point, mutate_shrink, mutate_uniform, parse_sexpr, ramped_half_and_half,
-    simplify, subtree_crossover, to_sexpr, Evaluator, Expr, PrimitiveSet, VariationConfig,
+    simplify, subtree_crossover, to_sexpr, CompiledEvaluator, CompiledProgram, Evaluator, Expr,
+    PrimitiveSet, VariationConfig,
 };
 use proptest::prelude::*;
 use rand::rngs::SmallRng;
@@ -24,6 +25,26 @@ fn random_tree(seed: u64, max_depth: usize) -> (PrimitiveSet, Expr) {
     let mut rng = SmallRng::seed_from_u64(seed);
     let e = grow(&ps, 0, max_depth, &mut rng).unwrap();
     (ps, e)
+}
+
+/// Terminal-value strategy biased toward the adversarial cases the
+/// evaluator's `sanitize` handles: NaN, ±∞, signed zero, clamp-magnitude
+/// values, and near-`PROTECT_EPS` denominators. A macro (expanded inside
+/// `proptest!`) rather than an `impl Strategy` fn so the suite still
+/// compiles against proptest stand-ins that only provide the macro.
+macro_rules! term_value {
+    () => {
+        prop_oneof![
+            6 => -1e12f64..1e12,
+            1 => Just(f64::NAN),
+            1 => Just(f64::INFINITY),
+            1 => Just(f64::NEG_INFINITY),
+            1 => Just(1e305),
+            1 => Just(-1e305),
+            1 => Just(-0.0),
+            1 => Just(1e-10),
+        ]
+    };
 }
 
 proptest! {
@@ -97,4 +118,108 @@ proptest! {
         // A full binary tree over binary ops has exactly 2^(d+1)-1 nodes.
         prop_assert_eq!(e.len(), (1usize << (depth + 1)) - 1);
     }
+
+    #[test]
+    fn compiled_matches_interpreter_bitwise(
+        seed: u64,
+        depth in 0usize..8,
+        vals in proptest::collection::vec(term_value!(), 5),
+    ) {
+        let (ps, e) = random_tree(seed, depth);
+        let prog = CompiledProgram::compile(&e, &ps).unwrap();
+        let mut iev = Evaluator::new();
+        let mut cev = CompiledEvaluator::new();
+        let i = iev.eval(&e, &ps, &vals);
+        let c = cev.eval(&prog, &vals);
+        prop_assert_eq!(
+            c.to_bits(), i.to_bits(),
+            "compiled {} != interpreted {} for tree {}", c, i, to_sexpr(&e, &ps)
+        );
+        prop_assert_eq!(cev.nodes_evaluated(), iev.nodes_evaluated());
+    }
+
+    #[test]
+    fn batch_matches_scalar_rows_bitwise(
+        seed: u64,
+        depth in 0usize..8,
+        rows in proptest::collection::vec(proptest::collection::vec(term_value!(), 5), 1..24),
+    ) {
+        let (ps, e) = random_tree(seed, depth);
+        let prog = CompiledProgram::compile(&e, &ps).unwrap();
+        // Transpose row-major samples into terminal columns.
+        let n = rows.len();
+        let cols: Vec<Vec<f64>> = (0..5).map(|t| rows.iter().map(|r| r[t]).collect()).collect();
+        let col_refs: Vec<&[f64]> = cols.iter().map(|c| c.as_slice()).collect();
+        let mut cev = CompiledEvaluator::new();
+        let mut out = Vec::new();
+        cev.eval_batch(&prog, &col_refs, n, &mut out);
+        prop_assert_eq!(out.len(), n);
+        let mut iev = Evaluator::new();
+        for (row, tv) in rows.iter().enumerate() {
+            let i = iev.eval(&e, &ps, tv);
+            prop_assert_eq!(
+                out[row].to_bits(), i.to_bits(),
+                "row {} diverged: batch {} vs interpreted {}", row, out[row], i
+            );
+        }
+        prop_assert_eq!(cev.nodes_evaluated(), iev.nodes_evaluated());
+    }
+}
+
+/// Deterministic twin of the differential properties above: a fixed sweep
+/// of seeded random trees × adversarial terminal vectors, so the
+/// bit-identity guarantee is exercised even where the proptest runner is
+/// unavailable.
+#[test]
+fn compiled_differential_deterministic_twin() {
+    let ps = table1_like_ps();
+    let specials = [
+        0.0,
+        -0.0,
+        1.0,
+        -1.0,
+        f64::NAN,
+        f64::INFINITY,
+        f64::NEG_INFINITY,
+        1e305,
+        -1e305,
+        1e-10,
+        -3.75,
+        12345.678,
+    ];
+    let mut iev = Evaluator::new();
+    let mut cev = CompiledEvaluator::new();
+    let mut out = Vec::new();
+    for seed in 0..200u64 {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let e = grow(&ps, 0, (seed % 8) as usize, &mut rng).unwrap();
+        let prog = CompiledProgram::compile(&e, &ps).unwrap();
+        // 8 terminal vectors per tree, drawn from the special pool.
+        let mut rows: Vec<Vec<f64>> = Vec::new();
+        for r in 0..8u64 {
+            let tv: Vec<f64> = (0..5)
+                .map(|t| specials[((seed * 31 + r * 7 + t) % specials.len() as u64) as usize])
+                .collect();
+            let i = iev.eval(&e, &ps, &tv);
+            let c = cev.eval(&prog, &tv);
+            assert_eq!(
+                c.to_bits(),
+                i.to_bits(),
+                "seed {seed} row {r}: compiled {c} != interpreted {i} for {}",
+                to_sexpr(&e, &ps)
+            );
+            rows.push(tv);
+        }
+        let cols: Vec<Vec<f64>> = (0..5).map(|t| rows.iter().map(|r| r[t]).collect()).collect();
+        let col_refs: Vec<&[f64]> = cols.iter().map(|c| c.as_slice()).collect();
+        cev.eval_batch(&prog, &col_refs, rows.len(), &mut out);
+        for (row, tv) in rows.iter().enumerate() {
+            let i = iev.eval(&e, &ps, tv);
+            assert_eq!(out[row].to_bits(), i.to_bits(), "seed {seed} batch row {row} diverged");
+        }
+    }
+    // Node accounting stayed in lockstep across the whole sweep: the
+    // interpreter ran each row twice (scalar + batch check), the compiled
+    // path once each scalar and batched.
+    assert_eq!(iev.nodes_evaluated(), cev.nodes_evaluated());
 }

@@ -12,6 +12,7 @@ use bico_ea::{
 use bico_obs::{Event, Level, NullObserver, RunObserver};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
 
 /// A toll vector with its revenue.
 #[derive(Debug, Clone, PartialEq)]
@@ -117,8 +118,11 @@ pub fn solve_ea_observed<O: RunObserver + ?Sized>(
         if obs.enabled() {
             obs.observe(&Event::GenerationStart { generation: generation as u64 });
         }
+        // Each follower solve (Dijkstra) is independent; the ordered
+        // collect keeps the fitness vector — and hence every RNG-driven
+        // selection below — bit-identical to the serial sweep.
         let fits: Vec<f64> =
-            pop.iter().map(|t| p.revenue(t).unwrap_or(f64::NEG_INFINITY)).collect();
+            pop.par_iter().map(|t| p.revenue(t).unwrap_or(f64::NEG_INFINITY)).collect();
         for (t, &f) in pop.iter().zip(&fits) {
             if f > best.revenue {
                 best = TollSolution { tolls: t.clone(), revenue: f };

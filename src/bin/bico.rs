@@ -12,8 +12,9 @@
 //! ```
 
 use bico::bcpop::{
-    bcpop_primitives, generate, greedy_cover, read_instance, write_instance, BcpopInstance,
-    CostPerCoverageScorer, GeneratorConfig, GpScorer, RelaxationSolver,
+    bcpop_primitives, generate, greedy_cover, greedy_cover_batched, read_instance,
+    write_instance, BcpopInstance, CompiledGpScorer, CostPerCoverageScorer, GeneratorConfig,
+    GpScorer, RelaxationSolver,
 };
 use bico::cobra::{Cobra, CobraConfig, NestedConfig, NestedSequential};
 use bico::core::{program3, solve_kkt, Carbon, CarbonConfig, TieBreak};
@@ -52,12 +53,14 @@ fn usage() {
 USAGE:
   bico generate --bundles N --services M [--seed S] [--tightness T] [--own F] [--out FILE]
   bico run <carbon|cobra|nested> [--instance FILE | --class NxM] [--seed S]
-           [--evals N] [--pop P] [--ll-cache-capacity C] [--heuristic-out FILE]
+           [--evals N] [--pop P] [--ll-cache-capacity C] [--compiled-eval BOOL]
+           [--heuristic-out FILE]
            [--trace-out FILE.jsonl] [--metrics-out FILE.json] [--log-level LEVEL]
   bico compare [--class NxM] [--runs R] [--seed S] [--evals N] [--pop P]
-           [--ll-cache-capacity C]
+           [--ll-cache-capacity C] [--compiled-eval BOOL]
            [--trace-out FILE.jsonl] [--metrics-out FILE.json] [--log-level LEVEL]
   bico eval --sexpr EXPR [--instance FILE | --class NxM] [--seed S]
+           [--compiled-eval BOOL]
   bico linear
 
 Observability (run/compare): --trace-out streams one JSON event per line,
@@ -67,7 +70,12 @@ controls stderr progress. Observers never alter results.
 
 --ll-cache-capacity C memoizes lower-level relaxations by the exact bit
 pattern of the pricing (C entries, FIFO eviction; 0 = off, the default).
-Results are bit-identical with the cache on or off."
+Results are bit-identical with the cache on or off.
+
+--compiled-eval BOOL (default true) scores GP heuristics through the
+bytecode-compiled evaluator and the incremental batched greedy decoder;
+false falls back to the tree-walking interpreter with per-step feature
+recomputation. Results are bit-identical either way."
     );
 }
 
@@ -196,6 +204,7 @@ fn cmd_run(args: &[String]) {
     let evals = opt_parse(args, "--evals", 4_000u64);
     let pop = opt_parse(args, "--pop", 24usize);
     let ll_cache_capacity = opt_parse(args, "--ll-cache-capacity", 0usize);
+    let compiled_eval = opt_parse(args, "--compiled-eval", true);
     let obs = obs_setup(args);
     eprintln!(
         "{algo} on {}x{} (own {}), budget {evals}+{evals}, pop {pop}, seed {seed}",
@@ -214,6 +223,7 @@ fn cmd_run(args: &[String]) {
                 ul_evaluations: evals,
                 ll_evaluations: evals,
                 ll_cache_capacity,
+                compiled_eval,
                 ..Default::default()
             };
             let solver = Carbon::new(&inst, cfg);
@@ -278,6 +288,7 @@ fn cmd_compare(args: &[String]) {
     let evals = opt_parse(args, "--evals", 4_000u64);
     let pop = opt_parse(args, "--pop", 24usize);
     let ll_cache_capacity = opt_parse(args, "--ll-cache-capacity", 0usize);
+    let compiled_eval = opt_parse(args, "--compiled-eval", true);
     let obs = obs_setup(args);
     eprintln!(
         "comparing CARBON vs COBRA on {}x{}: {runs} runs, budget {evals}+{evals}, pop {pop}",
@@ -300,6 +311,7 @@ fn cmd_compare(args: &[String]) {
                 ul_evaluations: evals,
                 ll_evaluations: evals,
                 ll_cache_capacity,
+                compiled_eval,
                 ..Default::default()
             },
         )
@@ -357,8 +369,16 @@ fn cmd_eval(args: &[String]) {
         eprintln!("relaxation failed");
         exit(1);
     });
-    let mut scorer = GpScorer::new(&expr, &ps);
-    let out = greedy_cover(&inst, &costs, &mut scorer, Some(&relax));
+    let out = if opt_parse(args, "--compiled-eval", true) {
+        let mut scorer = CompiledGpScorer::new(&expr, &ps).unwrap_or_else(|e| {
+            eprintln!("cannot compile heuristic: {e}");
+            exit(1);
+        });
+        greedy_cover_batched(&inst, &costs, &mut scorer, Some(&relax))
+    } else {
+        let mut scorer = GpScorer::new(&expr, &ps);
+        greedy_cover(&inst, &costs, &mut scorer, Some(&relax))
+    };
     let base = greedy_cover(&inst, &costs, &mut CostPerCoverageScorer, Some(&relax));
     println!("heuristic          {}", to_sexpr(&expr, &ps));
     println!("LP bound           {:.2}", relax.lower_bound);
