@@ -147,6 +147,10 @@ pub fn greedy_cover<S: Scorer>(
 ///   instance's service→bundles inverted index
 ///   ([`BcpopInstance::covering_bundles`]) and only touches bundles that
 ///   share a service with `j`;
+/// * the candidate list is *retained*, not rebuilt: bundles only ever
+///   leave the set (a purchase is permanent and residual coverage is
+///   monotonically non-increasing), so each step prunes the surviving
+///   list in place instead of re-scanning all `m` bundles;
 /// * each step's surviving candidates are scored as one batch through
 ///   [`BatchScorer`] (a single bytecode sweep for
 ///   [`crate::CompiledGpScorer`]).
@@ -198,21 +202,26 @@ pub fn greedy_cover_batched<S: BatchScorer>(
         .collect();
     let mut resid_dem: i64 = residual.iter().map(|&r| r.max(0)).sum();
 
-    let mut candidates: Vec<u32> = Vec::with_capacity(m);
+    // Retained candidate list, in ascending bundle order (the reference
+    // scan order). Candidates only ever *leave* the set: a purchase is
+    // permanent, and `resid_cov` is monotonically non-increasing because
+    // residual requirements only shrink — a bundle that stops covering
+    // anything can never start again. Pruning in place therefore yields
+    // exactly the survivor set a full `0..m` re-scan would, in the same
+    // order, without touching long-dead bundles every step.
+    let mut candidates: Vec<u32> =
+        (0..m as u32).filter(|&j| resid_cov[j as usize] > 0).collect();
     let mut cols = FeatureColumns::with_capacity(m);
     let mut scores: Vec<f64> = Vec::with_capacity(m);
 
     while uncovered > 0 {
-        // Gather surviving candidates in ascending bundle order (the
-        // reference scan order) and their feature rows.
-        candidates.clear();
+        // Prune candidates invalidated by the previous purchase, then
+        // gather the survivors' feature rows.
+        candidates.retain(|&j| !chosen[j as usize] && resid_cov[j as usize] > 0);
         cols.clear();
         let resid_dem_f = resid_dem as f64;
-        for j in 0..m {
-            if chosen[j] || resid_cov[j] <= 0 {
-                continue;
-            }
-            candidates.push(j as u32);
+        for &cj in &candidates {
+            let j = cj as usize;
             cols.cost.push(costs[j]);
             cols.total_coverage.push(total_col[j]);
             cols.residual_coverage.push(resid_cov[j] as f64);
@@ -450,6 +459,34 @@ mod tests {
                         "node accounting diverged (seed {seed} {n}x{m})"
                     );
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn retained_candidates_preserve_stateful_score_sequence() {
+        // The blanket BatchScorer impl feeds a scalar scorer row by row,
+        // so a stateful scorer observes the exact candidate sequence. If
+        // the retained list ever diverged from the reference full-scan
+        // survivor set (extra, missing, or reordered candidates), the
+        // state counters would desynchronize and the outcomes differ.
+        #[derive(Clone)]
+        struct Stateful(u64);
+        impl Scorer for Stateful {
+            fn score(&mut self, f: &BundleFeatures) -> f64 {
+                self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let jitter = (self.0 >> 33) as f64 / 2e9;
+                f.cost / f.residual_coverage + jitter
+            }
+        }
+        use crate::scoring::BundleFeatures;
+        for seed in 0..4 {
+            for &(n, m) in &[(100usize, 5usize), (250, 10)] {
+                let inst = generate(&GeneratorConfig::paper_class(n, m), seed);
+                let costs = inst.costs_for(&vec![12.0; inst.num_own()]);
+                let a = greedy_cover(&inst, &costs, &mut Stateful(seed), None);
+                let b = greedy_cover_batched(&inst, &costs, &mut Stateful(seed), None);
+                assert_outcome_bits(&a, &b, &format!("stateful seed {seed} {n}x{m}"));
             }
         }
     }

@@ -11,6 +11,7 @@
 use crate::instance::BcpopInstance;
 use crate::relaxation::Relaxation;
 use bico_gp::{CompiledEvaluator, CompiledProgram, Evaluator, Expr, PrimitiveSet, TreeError};
+use std::sync::Arc;
 
 /// Number of GP terminals bound by [`bcpop_primitives`].
 pub const NUM_TERMINALS: usize = 6;
@@ -286,8 +287,12 @@ impl<S: Scorer> BatchScorer for S {
 /// over whole candidate batches. Produces scores bit-identical to
 /// [`GpScorer`] on the same expression, and charges the same
 /// `nodes_evaluated` (source-tree nodes × candidates scored).
+///
+/// The program is held behind an [`Arc`] so a compile cache can hand the
+/// same lowered bytecode to many workers ([`CompiledGpScorer::from_program`])
+/// while each keeps its own register file.
 pub struct CompiledGpScorer {
-    prog: CompiledProgram,
+    prog: Arc<CompiledProgram>,
     evaluator: CompiledEvaluator,
 }
 
@@ -295,10 +300,13 @@ impl CompiledGpScorer {
     /// Compile a GP expression (over [`bcpop_primitives`]) as a batch
     /// scorer. Fails only on structurally invalid trees.
     pub fn new(expr: &Expr, ps: &PrimitiveSet) -> Result<Self, TreeError> {
-        Ok(CompiledGpScorer {
-            prog: CompiledProgram::compile(expr, ps)?,
-            evaluator: CompiledEvaluator::new(),
-        })
+        Ok(Self::from_program(Arc::new(CompiledProgram::compile(expr, ps)?)))
+    }
+
+    /// Wrap an already-compiled (typically cache-shared) program. The
+    /// evaluator state — register file, node counter — is fresh.
+    pub fn from_program(prog: Arc<CompiledProgram>) -> Self {
+        CompiledGpScorer { prog, evaluator: CompiledEvaluator::new() }
     }
 
     /// Source-tree nodes charged so far (see

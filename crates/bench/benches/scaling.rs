@@ -1,14 +1,27 @@
 //! Rayon scaling of the population-evaluation kernel: the same batch of
 //! lower-level evaluations on thread pools of different sizes, plus the
 //! lower-level solve cache on a repeated-pricing workload.
+//!
+//! Besides the criterion groups, the binary has a machine-readable mode:
+//!
+//! ```text
+//! cargo bench --bench scaling -- --json-out BENCH_scaling.json [--reduced]
+//! ```
+//!
+//! which skips criterion entirely and writes one JSON object with the
+//! decode ms/pass (interpreted vs compiled+CSE), the GP compile-cache
+//! hit rate on a repeated-elite workload, and the solve-cache hit rate
+//! and pivot counts — the perf trajectory CI records per commit.
+//! `--reduced` shrinks the instance and workloads to CI size.
 
 use bico_bcpop::{
     bcpop_primitives, generate, greedy_cover, greedy_cover_batched, CompiledGpScorer,
     CostPerCoverageScorer, GeneratorConfig, GpScorer, Relaxation, RelaxationSolver,
 };
+use bico_core::GpCompileCache;
 use bico_ea::SolveCache;
 use bico_gp::grow;
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, Criterion};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use rayon::prelude::*;
@@ -163,5 +176,111 @@ fn bench_solve_cache(c: &mut Criterion) {
     group.finish();
 }
 
+/// The `--json-out` measurement pass. Every number is also sanity-
+/// checked here so a regressed build fails the bench job instead of
+/// silently recording garbage.
+fn write_bench_json(path: &str, reduced: bool) {
+    let (nb, ns, reps, workload_len) =
+        if reduced { (100usize, 6usize, 8u32, 64usize) } else { (500, 30, 30, 256) };
+    let inst = generate(&GeneratorConfig::paper_class(nb, ns), 42);
+    let costs = inst.costs_for(&vec![50.0; inst.num_own()]);
+    let solver = RelaxationSolver::new(&inst);
+    let relax = solver.solve(&costs).unwrap();
+    let ps = bcpop_primitives();
+    // Champion-depth tree (max evolved depth 8) — the greedy_cover bench's
+    // configuration, so ms/pass is comparable across reports.
+    let expr = grow(&ps, 5, 8, &mut SmallRng::seed_from_u64(7)).unwrap();
+
+    let t0 = Instant::now();
+    let mut ref_cost = 0.0f64;
+    let mut interp_nodes = 0u64;
+    for _ in 0..reps {
+        let mut scorer = GpScorer::new(&expr, &ps);
+        ref_cost = greedy_cover(&inst, &costs, &mut scorer, Some(&relax)).cost;
+        interp_nodes += scorer.nodes_evaluated();
+    }
+    let interp_ms = t0.elapsed().as_secs_f64() * 1e3 / f64::from(reps);
+
+    // Compiled path exactly as CARBON runs it: one cached compilation,
+    // per-decode scorers sharing the Arc'd program.
+    let decode_cache = GpCompileCache::new(64);
+    let t1 = Instant::now();
+    let mut fast_cost = 0.0f64;
+    let mut comp_nodes = 0u64;
+    for _ in 0..reps {
+        let (prog, _) = decode_cache.get_or_compile(&expr, &ps);
+        let mut scorer = CompiledGpScorer::from_program(prog);
+        fast_cost = greedy_cover_batched(&inst, &costs, &mut scorer, Some(&relax)).cost;
+        comp_nodes += scorer.nodes_evaluated();
+    }
+    let compiled_ms = t1.elapsed().as_secs_f64() * 1e3 / f64::from(reps);
+    assert_eq!(ref_cost.to_bits(), fast_cost.to_bits(), "fast path must be bit-identical");
+    assert_eq!(interp_nodes, comp_nodes, "node accounting must agree across paths");
+
+    // Repeated-elite compile workload: a small pool of distinct trees
+    // probed round-robin, the traffic elites/clones generate per run.
+    let pool: Vec<_> = (0..8u64)
+        .map(|i| grow(&ps, 3, 7, &mut SmallRng::seed_from_u64(100 + i)).unwrap())
+        .collect();
+    let cc = GpCompileCache::new(1024);
+    for i in 0..workload_len {
+        cc.get_or_compile(&pool[i % pool.len()], &ps);
+    }
+    let ccs = cc.stats();
+    assert!(ccs.hits > 0, "repeated elites must hit the compile cache");
+
+    // Repeated-pricing solve workload (as in bench_solve_cache).
+    let distinct: Vec<Vec<f64>> =
+        (0..8).map(|i| vec![10.0 + i as f64 * 3.0; inst.num_own()]).collect();
+    let cold_pivots: u64 = (0..workload_len)
+        .map(|i| solver.solve(&inst.costs_for(&distinct[i % distinct.len()])).unwrap().pivots)
+        .sum();
+    let sc: SolveCache<Relaxation> = SolveCache::new(1024);
+    let mut cached_pivots = 0u64;
+    for i in 0..workload_len {
+        let p = &distinct[i % distinct.len()];
+        let (r, hit) = sc.get_or_insert_with(p, || solver.solve(&inst.costs_for(p)).unwrap());
+        if !hit {
+            cached_pivots += r.pivots;
+        }
+    }
+    let scs = sc.stats();
+    assert!(scs.hits > 0 && cached_pivots < cold_pivots);
+
+    let rate = |h: u64, m: u64| h as f64 / (h + m).max(1) as f64;
+    let json = format!(
+        "{{\n  \"bench\": \"scaling\",\n  \"reduced\": {reduced},\n  \
+         \"instance_class\": \"{nb}x{ns}\",\n  \"tree_nodes\": {tree_nodes},\n  \
+         \"passes\": {reps},\n  \"interp_ms_per_pass\": {interp_ms:.4},\n  \
+         \"compiled_ms_per_pass\": {compiled_ms:.4},\n  \"decode_speedup\": {speedup:.3},\n  \
+         \"gp_nodes_per_pass\": {nodes_per_pass},\n  \
+         \"compile_cache\": {{\"probes\": {ccp}, \"hits\": {cch}, \"misses\": {ccm}, \
+         \"hit_rate\": {ccr:.4}}},\n  \
+         \"solve_cache\": {{\"probes\": {scp}, \"hits\": {sch}, \"hit_rate\": {scr:.4}, \
+         \"pivots_cold\": {cold_pivots}, \"pivots_cached\": {cached_pivots}}}\n}}\n",
+        tree_nodes = expr.len(),
+        speedup = interp_ms / compiled_ms.max(1e-12),
+        nodes_per_pass = interp_nodes / u64::from(reps),
+        ccp = ccs.hits + ccs.misses,
+        cch = ccs.hits,
+        ccm = ccs.misses,
+        ccr = rate(ccs.hits, ccs.misses),
+        scp = scs.hits + scs.misses,
+        sch = scs.hits,
+        scr = rate(scs.hits, scs.misses),
+    );
+    std::fs::write(path, &json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    eprintln!("wrote {path}:\n{json}");
+}
+
 criterion_group!(benches, bench_scaling, bench_solve_cache);
-criterion_main!(benches);
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(i) = args.iter().position(|a| a == "--json-out") {
+        let path = args.get(i + 1).cloned().unwrap_or_else(|| "BENCH_scaling.json".into());
+        write_bench_json(&path, args.iter().any(|a| a == "--reduced"));
+        return;
+    }
+    benches();
+}

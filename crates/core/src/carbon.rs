@@ -17,6 +17,7 @@
 //! 4. both populations then evolve with their Table II operators, and
 //!    elite archives are maintained at both levels.
 
+use crate::compile_cache::GpCompileCache;
 use bico_bcpop::{
     bcpop_primitives, evaluate_pair, greedy_cover, greedy_cover_batched, BcpopInstance,
     CompiledGpScorer, CoverOutcome, GpScorer, Relaxation, RelaxationSolver,
@@ -91,13 +92,21 @@ pub struct CarbonConfig {
     /// results are bit-identical either way (see [`bico_ea::SolveCache`]).
     pub ll_cache_capacity: usize,
     /// Use the compiled fast path for lower-level decodes: GP scoring
-    /// trees are lowered to bytecode once per decode and the greedy
-    /// decoder maintains residual features incrementally, scoring each
-    /// step's candidates as one batch. `false` falls back to the
-    /// tree-walking interpreter + recomputing decoder (the reference
-    /// implementation). Results are bit-identical either way, including
-    /// `nodes_evaluated` accounting (asserted by differential tests).
+    /// trees are lowered to bytecode (with subtree CSE) once per distinct
+    /// expression and the greedy decoder maintains residual features and
+    /// a retained candidate list incrementally, scoring each step's
+    /// candidates as one batch. `false` falls back to the tree-walking
+    /// interpreter + recomputing decoder (the reference implementation).
+    /// Results are bit-identical either way, including `nodes_evaluated`
+    /// accounting (asserted by differential tests).
     pub compiled_eval: bool,
+    /// Capacity of the cross-generation GP compile cache (`0` = off;
+    /// only meaningful with `compiled_eval`). Compiled programs are
+    /// memoized by the tree's exact structural encoding, so elites,
+    /// archive members, and reproduction clones compile once per run
+    /// instead of once per generation; results are bit-identical either
+    /// way (see [`crate::GpCompileCache`]).
+    pub gp_compile_cache_capacity: usize,
 }
 
 impl Default for CarbonConfig {
@@ -124,6 +133,7 @@ impl Default for CarbonConfig {
             lp_terminals: true,
             ll_cache_capacity: 0,
             compiled_eval: true,
+            gp_compile_cache_capacity: 1024,
         }
     }
 }
@@ -255,24 +265,16 @@ impl<'a> Carbon<'a> {
         let mut best: Option<(Vec<f64>, f64, f64)> = None; // (pricing, F, gap of that pairing)
         let mut best_gap_overall = f64::INFINITY; // Table III extraction: best gap of any evaluated pair
         let cache: SolveCache<Relaxation> = SolveCache::new(cfg.ll_cache_capacity);
-
-        // One lower-level decode of `expr` against `costs`: the compiled
-        // + incremental fast path or the interpreter + recomputing
-        // reference, per `compiled_eval`. Returns the outcome and the GP
-        // nodes charged (identical between the two paths).
-        let decode =
-            |expr: &Expr, costs: &[f64], relax: Option<&Relaxation>| -> (CoverOutcome, u64) {
-                if cfg.compiled_eval {
-                    let mut scorer = CompiledGpScorer::new(expr, &self.primitives)
-                        .expect("evolved trees are structurally valid");
-                    let out = greedy_cover_batched(inst, costs, &mut scorer, relax);
-                    (out, scorer.nodes_evaluated())
-                } else {
-                    let mut scorer = GpScorer::new(expr, &self.primitives);
-                    let out = greedy_cover(inst, costs, &mut scorer, relax);
-                    (out, scorer.nodes_evaluated())
-                }
-            };
+        // Compiled programs are shared across workers and generations;
+        // with the cache off (or the interpreted path) every preparation
+        // compiles/binds fresh, which is the pre-cache behaviour.
+        let gp_cache = GpCompileCache::new(if cfg.compiled_eval {
+            cfg.gp_compile_cache_capacity
+        } else {
+            0
+        });
+        // Compile-cache traffic emitted per generation as deltas.
+        let mut cc_emitted = (0u64, 0u64);
 
         if obs.enabled() {
             obs.observe(&Event::RunStart { algo: "carbon", seed });
@@ -339,6 +341,17 @@ impl<'a> Carbon<'a> {
             let ll_scored: Vec<(f64, u64)> = ll_pop
                 .par_iter()
                 .map(|expr| {
+                    // One scorer per (expr, generation): compilation is
+                    // served by the cross-generation cache (at most one
+                    // compile per distinct tree per run), and the
+                    // interpreted reference binds its evaluator once here
+                    // instead of once per decode.
+                    let mut scorer = PreparedScorer::bind(
+                        expr,
+                        &self.primitives,
+                        cfg.compiled_eval,
+                        &gp_cache,
+                    );
                     let mut total = 0.0;
                     let mut gp_nodes = 0u64;
                     for &ti in &training {
@@ -346,7 +359,7 @@ impl<'a> Carbon<'a> {
                         let costs = inst.costs_for(prices);
                         let relax = &relaxations[ti];
                         let (out, nodes) =
-                            decode(expr, &costs, cfg.lp_terminals.then_some(relax));
+                            scorer.decode(inst, &costs, cfg.lp_terminals.then_some(relax));
                         gp_nodes += nodes;
                         let ev = evaluate_pair(inst, prices, &out.chosen, relax.lower_bound);
                         total += if cfg.gap_fitness {
@@ -401,14 +414,29 @@ impl<'a> Carbon<'a> {
                 obs.observe(&Event::PhaseChange { phase: "ul_fitness" });
             }
 
-            // --- 4. upper-level fitness against the champion ---
+            // --- 4. upper-level fitness against the champion. The
+            // champion's program is resolved once per generation on the
+            // coordinating thread (one cache probe — usually a hit, the
+            // tree was just decoded in the ll phase); workers share the
+            // Arc'd bytecode with private register files. ---
+            let champ_prog = cfg
+                .compiled_eval
+                .then(|| gp_cache.get_or_compile(&champion, &self.primitives).0);
             let ul_scored: Vec<(f64, f64, u64)> = ul_pop
                 .par_iter()
                 .zip(relaxations.par_iter())
                 .map(|(prices, relax)| {
                     let costs = inst.costs_for(prices);
+                    let mut scorer = match &champ_prog {
+                        Some(prog) => PreparedScorer::Compiled(CompiledGpScorer::from_program(
+                            prog.clone(),
+                        )),
+                        None => {
+                            PreparedScorer::Interp(GpScorer::new(&champion, &self.primitives))
+                        }
+                    };
                     let (out, nodes) =
-                        decode(&champion, &costs, cfg.lp_terminals.then_some(relax));
+                        scorer.decode(inst, &costs, cfg.lp_terminals.then_some(relax));
                     let ev = evaluate_pair(inst, prices, &out.chosen, relax.lower_bound);
                     (ev.ul_value, ev.gap, nodes)
                 })
@@ -420,6 +448,20 @@ impl<'a> Carbon<'a> {
                     count: gen_ul_cost,
                     gp_nodes: ul_scored.iter().map(|&(_, _, n)| n).sum(),
                 });
+                if gp_cache.is_enabled() {
+                    // This generation's compile-cache traffic (ll phase +
+                    // champion resolution), as deltas of the monotone
+                    // counters. Counts are observability-only: concurrent
+                    // first probes of one tree may both miss, so exact
+                    // numbers can vary with thread interleaving while
+                    // results stay bit-identical.
+                    let s = gp_cache.stats();
+                    obs.observe(&Event::CompileCacheProbe {
+                        hits: s.hits - cc_emitted.0,
+                        misses: s.misses - cc_emitted.1,
+                    });
+                    cc_emitted = (s.hits, s.misses);
+                }
             }
 
             let mut gen_best_f = f64::NEG_INFINITY;
@@ -503,6 +545,56 @@ impl<'a> Carbon<'a> {
             ul_evals_used: ul_evals,
             ll_evals_used: ll_evals,
             generations: generation,
+        }
+    }
+}
+
+/// A GP scoring tree bound as a reusable decoder: the compiled +
+/// incremental fast path or the interpreter + recomputing reference, per
+/// `compiled_eval`. Construct once per (expr, worker task) and decode
+/// many times — hoisting compilation and evaluator allocation out of the
+/// per-decode closure both paths used to pay.
+enum PreparedScorer<'e> {
+    Compiled(CompiledGpScorer),
+    Interp(GpScorer<'e>),
+}
+
+impl<'e> PreparedScorer<'e> {
+    /// Bind `expr`, compiling through `gp_cache` on the fast path.
+    fn bind(
+        expr: &'e Expr,
+        ps: &'e PrimitiveSet,
+        compiled_eval: bool,
+        gp_cache: &GpCompileCache,
+    ) -> Self {
+        if compiled_eval {
+            let (prog, _) = gp_cache.get_or_compile(expr, ps);
+            PreparedScorer::Compiled(CompiledGpScorer::from_program(prog))
+        } else {
+            PreparedScorer::Interp(GpScorer::new(expr, ps))
+        }
+    }
+
+    /// One lower-level decode against `costs`. Returns the outcome and
+    /// the GP nodes charged by *this* decode (identical between the two
+    /// paths: both charge source-tree length per candidate scored).
+    fn decode(
+        &mut self,
+        inst: &BcpopInstance,
+        costs: &[f64],
+        relax: Option<&Relaxation>,
+    ) -> (CoverOutcome, u64) {
+        match self {
+            PreparedScorer::Compiled(scorer) => {
+                let before = scorer.nodes_evaluated();
+                let out = greedy_cover_batched(inst, costs, scorer, relax);
+                (out, scorer.nodes_evaluated() - before)
+            }
+            PreparedScorer::Interp(scorer) => {
+                let before = scorer.nodes_evaluated();
+                let out = greedy_cover(inst, costs, scorer, relax);
+                (out, scorer.nodes_evaluated() - before)
+            }
         }
     }
 }
@@ -606,6 +698,7 @@ mod tests {
         assert!(c.gap_fitness);
         assert!(c.use_archives);
         assert!(c.compiled_eval, "compiled fast path defaults on");
+        assert_eq!(c.gp_compile_cache_capacity, 1024, "compile cache defaults on");
     }
 
     fn small_instance() -> BcpopInstance {
@@ -753,6 +846,39 @@ mod tests {
                 assert_eq!(fast.best_heuristic, reference.best_heuristic, "{ctx}");
                 assert_eq!(fast.trace.points(), reference.trace.points(), "{ctx}");
                 assert_eq!(fast.generations, reference.generations, "{ctx}");
+            }
+        }
+    }
+
+    #[test]
+    fn gp_compile_cache_leaves_runs_bit_identical() {
+        // Cache on (default) vs off, same compiled path: memoizing
+        // compilation must not change a single bit of the run.
+        for (nb, ns, inst_seed) in [(30usize, 4usize, 7u64), (40, 5, 11)] {
+            let inst = generate(
+                &GeneratorConfig { num_bundles: nb, num_services: ns, ..Default::default() },
+                inst_seed,
+            );
+            for seed in [1u64, 2, 3] {
+                let mut cfg = CarbonConfig::quick();
+                cfg.ul_pop_size = 8;
+                cfg.ll_pop_size = 8;
+                cfg.ul_evaluations = 80;
+                cfg.ll_evaluations = 80;
+                assert!(cfg.gp_compile_cache_capacity > 0, "cache defaults on");
+                let cached = Carbon::new(&inst, cfg.clone()).run(seed);
+                cfg.gp_compile_cache_capacity = 0;
+                let uncached = Carbon::new(&inst, cfg).run(seed);
+                let ctx = format!("{nb}x{ns} seed {seed}");
+                assert_eq!(cached.best_pricing, uncached.best_pricing, "{ctx}");
+                assert_eq!(
+                    cached.best_ul_value.to_bits(),
+                    uncached.best_ul_value.to_bits(),
+                    "{ctx}"
+                );
+                assert_eq!(cached.best_gap.to_bits(), uncached.best_gap.to_bits(), "{ctx}");
+                assert_eq!(cached.best_heuristic, uncached.best_heuristic, "{ctx}");
+                assert_eq!(cached.trace.points(), uncached.trace.points(), "{ctx}");
             }
         }
     }

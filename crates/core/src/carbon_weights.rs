@@ -95,18 +95,17 @@ impl<'a> CarbonWeights<'a> {
 
         // Linear scorers have nothing to compile, but the incremental +
         // batched decoder still applies (same flag, same bit-identity
-        // guarantee as CARBON's GP path).
-        let cover = |weights: [f64; NUM_TERMINALS],
-                     costs: &[f64],
-                     relax: &Relaxation|
-         -> CoverOutcome {
-            let mut scorer = WeightScorer::new(weights);
-            if cfg.compiled_eval {
-                greedy_cover_batched(inst, costs, &mut scorer, Some(relax))
-            } else {
-                greedy_cover(inst, costs, &mut scorer, Some(relax))
-            }
-        };
+        // guarantee as CARBON's GP path). Scorers are bound once per
+        // worker task and reused across decodes, mirroring CARBON's
+        // prepared-scorer hoisting.
+        let cover =
+            |scorer: &mut WeightScorer, costs: &[f64], relax: &Relaxation| -> CoverOutcome {
+                if cfg.compiled_eval {
+                    greedy_cover_batched(inst, costs, scorer, Some(relax))
+                } else {
+                    greedy_cover(inst, costs, scorer, Some(relax))
+                }
+            };
 
         loop {
             let gen_ul = cfg.ul_pop_size as u64;
@@ -128,11 +127,12 @@ impl<'a> CarbonWeights<'a> {
                 .par_iter()
                 .map(|w| {
                     let weights: [f64; NUM_TERMINALS] = w.clone().try_into().unwrap();
+                    let mut scorer = WeightScorer::new(weights);
                     let mut total = 0.0;
                     for &ti in &training {
                         let prices = &ul_pop[ti];
                         let costs = inst.costs_for(prices);
-                        let out = cover(weights, &costs, &relaxations[ti]);
+                        let out = cover(&mut scorer, &costs, &relaxations[ti]);
                         let ev = evaluate_pair(
                             inst,
                             prices,
@@ -164,7 +164,8 @@ impl<'a> CarbonWeights<'a> {
                 .zip(relaxations.par_iter())
                 .map(|(prices, relax)| {
                     let costs = inst.costs_for(prices);
-                    let out = cover(champion, &costs, relax);
+                    let mut scorer = WeightScorer::new(champion);
+                    let out = cover(&mut scorer, &costs, relax);
                     let ev = evaluate_pair(inst, prices, &out.chosen, relax.lower_bound);
                     (ev.ul_value, ev.gap)
                 })

@@ -1,0 +1,118 @@
+//! Cross-generation GP compile cache.
+//!
+//! CARBON re-decodes the same scoring tree many times: once per training
+//! pricing in the lower-level fitness phase, once per pricing for the
+//! champion in the upper-level phase — and elites, archive members, and
+//! reproduction clones resurface the *same* tree generation after
+//! generation. Lowering a tree to bytecode
+//! ([`bico_gp::CompiledProgram`]) is pure, so all of those repeats can
+//! share one compilation: the cache memoizes programs under the tree's
+//! canonical structural encoding ([`bico_gp::structural_key`]) in the
+//! sharded, capacity-bounded [`SolveCache`] used for lower-level
+//! relaxations, and hands out [`Arc`]s so rayon workers share bytecode
+//! while keeping private register files.
+//!
+//! Caching cannot change results: a hit returns a program byte-for-byte
+//! identical to what a fresh compile would produce (lowering is
+//! deterministic, keys are exact — constants compare by bit pattern),
+//! so cached and uncached runs are bit-identical. Differential tests in
+//! `tests/determinism.rs` assert this.
+
+use bico_ea::cache::{CacheStats, SolveCache};
+use bico_gp::{structural_key, CompiledProgram, Expr, PrimitiveSet};
+use std::sync::Arc;
+
+/// A sharded, bounded, thread-safe cache of compiled GP programs keyed
+/// by tree structure. `capacity == 0` disables storage: every probe
+/// compiles fresh (and counts a miss), which is exactly the pre-cache
+/// behaviour.
+///
+/// One cache is only valid for one [`PrimitiveSet`]: the structural key
+/// encodes operator/terminal *ids*, which are meaningless across sets.
+#[derive(Debug)]
+pub struct GpCompileCache {
+    cache: SolveCache<Arc<CompiledProgram>>,
+}
+
+impl GpCompileCache {
+    /// Create a cache holding at most `capacity` compiled programs
+    /// (`0` = disabled).
+    pub fn new(capacity: usize) -> Self {
+        GpCompileCache { cache: SolveCache::new(capacity) }
+    }
+
+    /// `true` iff the cache can store entries.
+    pub fn is_enabled(&self) -> bool {
+        self.cache.is_enabled()
+    }
+
+    /// The compiled program for `expr`, from the cache when possible.
+    /// Returns the program and whether it was a hit.
+    ///
+    /// Panics on structurally invalid trees — callers compile evolved
+    /// populations, which are valid by construction.
+    pub fn get_or_compile(
+        &self,
+        expr: &Expr,
+        ps: &PrimitiveSet,
+    ) -> (Arc<CompiledProgram>, bool) {
+        self.cache.get_or_insert_keyed(&structural_key(expr), || {
+            Arc::new(
+                CompiledProgram::compile(expr, ps)
+                    .expect("evolved trees are structurally valid"),
+            )
+        })
+    }
+
+    /// Snapshot of hit/miss/insertion/eviction counters.
+    pub fn stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bico_bcpop::bcpop_primitives;
+    use bico_gp::parse_sexpr;
+
+    #[test]
+    fn structurally_equal_trees_share_one_program() {
+        let ps = bcpop_primitives();
+        let cache = GpCompileCache::new(64);
+        let a = parse_sexpr("(+ c_j (* q_res b_res))", &ps).unwrap();
+        let b = parse_sexpr("(+ c_j (* q_res b_res))", &ps).unwrap();
+        let (pa, hit_a) = cache.get_or_compile(&a, &ps);
+        assert!(!hit_a);
+        let (pb, hit_b) = cache.get_or_compile(&b, &ps);
+        assert!(hit_b, "structural twin must hit");
+        assert!(Arc::ptr_eq(&pa, &pb), "hit must share the same program");
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.insertions), (1, 1, 1));
+    }
+
+    #[test]
+    fn different_trees_get_different_entries() {
+        let ps = bcpop_primitives();
+        let cache = GpCompileCache::new(64);
+        let a = parse_sexpr("(+ c_j q_j)", &ps).unwrap();
+        let b = parse_sexpr("(- c_j q_j)", &ps).unwrap();
+        cache.get_or_compile(&a, &ps);
+        let (_, hit) = cache.get_or_compile(&b, &ps);
+        assert!(!hit);
+        assert_eq!(cache.stats().insertions, 2);
+    }
+
+    #[test]
+    fn disabled_cache_still_compiles() {
+        let ps = bcpop_primitives();
+        let cache = GpCompileCache::new(0);
+        assert!(!cache.is_enabled());
+        let e = parse_sexpr("(+ c_j q_j)", &ps).unwrap();
+        let (p1, hit1) = cache.get_or_compile(&e, &ps);
+        let (p2, hit2) = cache.get_or_compile(&e, &ps);
+        assert!(!hit1 && !hit2);
+        assert!(!Arc::ptr_eq(&p1, &p2), "disabled cache compiles fresh");
+        assert_eq!(p1.num_instructions(), p2.num_instructions());
+    }
+}

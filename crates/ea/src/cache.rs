@@ -178,12 +178,23 @@ impl<V: Clone> SolveCache<V> {
             self.misses.fetch_add(1, Ordering::Relaxed);
             return (compute(), false);
         }
-        let key = Self::key_of(values);
-        if let Some(v) = self.get(&key) {
+        self.get_or_insert_keyed(&Self::key_of(values), compute)
+    }
+
+    /// Memoize `compute` under a caller-supplied exact key — for values
+    /// whose natural identity is not an `f64` slice, such as a GP tree's
+    /// canonical structural encoding. Same traffic accounting and
+    /// non-blocking miss path as [`get_or_insert_with`](Self::get_or_insert_with).
+    pub fn get_or_insert_keyed(&self, key: &[u64], compute: impl FnOnce() -> V) -> (V, bool) {
+        if self.capacity == 0 {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return (compute(), false);
+        }
+        if let Some(v) = self.get(key) {
             return (v, true);
         }
         let v = compute();
-        self.insert(&key, v.clone());
+        self.insert(key, v.clone());
         (v, false)
     }
 
@@ -282,6 +293,22 @@ mod tests {
         cache.insert(&key, 2);
         assert_eq!(cache.get(&key), Some(1), "first writer wins");
         assert_eq!(cache.stats().insertions, 1);
+    }
+
+    #[test]
+    fn keyed_api_memoizes_arbitrary_keys() {
+        let cache: SolveCache<u64> = SolveCache::new(8);
+        let (v, hit) = cache.get_or_insert_keyed(&[1, 2, 3], || 11);
+        assert_eq!((v, hit), (11, false));
+        let (v, hit) = cache.get_or_insert_keyed(&[1, 2, 3], || unreachable!());
+        assert_eq!((v, hit), (11, true));
+        // Distinct key lengths are distinct keys.
+        let (v, hit) = cache.get_or_insert_keyed(&[1, 2], || 5);
+        assert_eq!((v, hit), (5, false));
+        let disabled: SolveCache<u64> = SolveCache::disabled();
+        let (v, hit) = disabled.get_or_insert_keyed(&[9], || 3);
+        assert_eq!((v, hit), (3, false));
+        assert!(disabled.is_empty());
     }
 
     #[test]

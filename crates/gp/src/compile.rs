@@ -12,6 +12,13 @@
 //! * **constant folding** — subtrees with all-constant leaves collapse to
 //!   a single immediate at compile time (folded through the same
 //!   `sanitize` the interpreter applies, so results stay bit-identical);
+//! * **common-subexpression elimination** — lowering value-numbers every
+//!   `(operator, operands)` application, so structurally repeated
+//!   subtrees (common after crossover self-grafts) are emitted once and
+//!   every later occurrence reuses the first result's register;
+//! * **register allocation** — instructions write a compact register file
+//!   assigned by linear scan over last uses, with the guarantee that a
+//!   destination never aliases its own operands;
 //! * **fused terminal loads** — terminals and constants are instruction
 //!   *operands*, not separate push instructions, so a tree with `n`
 //!   operator nodes compiles to at most `n` instructions;
@@ -30,21 +37,24 @@
 //! and ±∞ entries), [`CompiledEvaluator::eval`] returns a value
 //! bit-identical to [`Evaluator::eval`](crate::Evaluator::eval), and
 //! `eval_batch` row `i` is bit-identical to a scalar `eval` on row `i`'s
-//! terminal values. Node accounting is preserved "as if interpreted":
-//! each evaluation charges the *source tree* length, so MetricsSink
-//! GP-node counters do not change when the compiled path is enabled.
+//! terminal values. CSE only merges *structurally identical* pure
+//! computations, whose results are bit-equal by construction. Node
+//! accounting is preserved "as if interpreted": each evaluation charges
+//! the *source tree* length, so MetricsSink GP-node counters do not
+//! change when the compiled path is enabled.
 
 use crate::primitives::{add, mul, protected_div, protected_mod, sub, OpFn, PrimitiveSet};
 use crate::tree::{sanitize, Expr, Node, TreeError};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
 
 /// Where an instruction operand comes from.
 ///
-/// Register indices follow virtual-stack discipline: the value produced
-/// at stack height `h` lives in register `h`. Consequently a binary
-/// instruction with destination `d` can only read registers `d` (its
-/// second operand, which it overwrites) and `d + 1` (its first operand),
-/// and a unary instruction only register `d`. The batch evaluator relies
-/// on this to resolve aliasing without copies.
+/// Register operands may name any allocated register except the
+/// instruction's own destination: the allocator releases an operand's
+/// register only after the destination is assigned, so `dst` never
+/// aliases `a` or `b`. The batch evaluator relies on this to split
+/// disjoint register slices without copies.
 #[derive(Debug, Clone, Copy, PartialEq)]
 enum Src {
     /// Read register `r`.
@@ -86,6 +96,47 @@ struct Instr {
     b: Src,
 }
 
+/// Value produced during lowering: a virtual register (one per *distinct*
+/// non-folded operator application), a terminal, or a folded constant.
+#[derive(Debug, Clone, Copy)]
+enum VVal {
+    Vreg(u32),
+    Term(u16),
+    Const(f64),
+}
+
+/// Hashable identity of a [`VVal`] for the value-numbering table.
+/// Constants compare by bit pattern, so `-0.0` and `0.0` stay distinct —
+/// conservative, and exactly as bit-identity requires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum VKey {
+    Vreg(u32),
+    Term(u16),
+    Const(u64),
+}
+
+fn vkey(v: VVal) -> VKey {
+    match v {
+        VVal::Vreg(r) => VKey::Vreg(r),
+        VVal::Term(t) => VKey::Term(t),
+        VVal::Const(c) => VKey::Const(c.to_bits()),
+    }
+}
+
+/// Sentinel second operand for unary applications in the numbering key.
+/// Virtual registers are numbered densely from zero, so `u32::MAX` never
+/// collides with a real operand.
+const UNARY_KEY_B: VKey = VKey::Vreg(u32::MAX);
+
+/// Instruction in SSA form, before register allocation: instruction `i`
+/// defines virtual register `i`.
+#[derive(Debug, Clone, Copy)]
+struct VInstr {
+    op: Opcode,
+    a: VVal,
+    b: VVal,
+}
+
 /// An [`Expr`] lowered to flat register bytecode. Compile once with
 /// [`CompiledProgram::compile`], evaluate many times through a
 /// [`CompiledEvaluator`].
@@ -94,7 +145,7 @@ pub struct CompiledProgram {
     instrs: Vec<Instr>,
     /// Where the final value lives after all instructions run.
     result: Src,
-    /// Registers needed (the source tree's maximum stack height).
+    /// Physical registers allocated (compacted by last-use reuse).
     num_regs: u16,
     /// Source tree length, charged per evaluation so node accounting
     /// matches the interpreter exactly.
@@ -104,72 +155,74 @@ pub struct CompiledProgram {
 impl CompiledProgram {
     /// Lower `expr` for `ps`. Validates the tree first; structural errors
     /// are returned rather than panicking.
+    ///
+    /// Lowering runs in two passes. The first walks the prefix buffer in
+    /// reverse with a virtual operand stack — exactly the interpreter's
+    /// evaluation order — folding constant applications and
+    /// value-numbering everything else, so each distinct
+    /// `(operator, operands)` subtree is emitted once. The second pass
+    /// assigns physical registers by linear scan over last uses.
     pub fn compile(expr: &Expr, ps: &PrimitiveSet) -> Result<Self, TreeError> {
         expr.validate(ps)?;
-        let mut instrs: Vec<Instr> = Vec::new();
-        // Virtual operand stack mirroring the interpreter's value stack.
-        let mut stack: Vec<Src> = Vec::with_capacity(16);
-        let mut max_height: usize = 0;
+        let mut vinstrs: Vec<VInstr> = Vec::new();
+        let mut stack: Vec<VVal> = Vec::with_capacity(16);
+        let mut numbering: HashMap<(u16, VKey, VKey), u32> = HashMap::new();
         for node in expr.nodes().iter().rev() {
             match *node {
-                Node::Term(id) => stack.push(Src::Term(id)),
+                Node::Term(id) => stack.push(VVal::Term(id)),
                 // Pre-sanitize immediates: the interpreter sanitizes
                 // constants on push, so folding sees the same values.
-                Node::Const(c) => stack.push(Src::Const(sanitize(c))),
+                Node::Const(c) => stack.push(VVal::Const(sanitize(c))),
                 Node::Op(id) => {
                     let func = ps.ops()[id as usize].func;
                     match func {
                         OpFn::Unary(f) => {
                             let a = stack.pop().expect("validated expr: missing operand");
-                            let dst = stack.len() as u16;
-                            if let Src::Const(ca) = a {
-                                stack.push(Src::Const(sanitize(f(ca))));
+                            if let VVal::Const(ca) = a {
+                                stack.push(VVal::Const(sanitize(f(ca))));
                             } else {
-                                debug_assert!(!matches!(a, Src::Reg(r) if r != dst));
-                                instrs.push(Instr {
-                                    op: Opcode::CallUnary(f),
-                                    dst,
-                                    a,
-                                    b: Src::Const(0.0),
+                                let key = (id, vkey(a), UNARY_KEY_B);
+                                let vr = *numbering.entry(key).or_insert_with(|| {
+                                    vinstrs.push(VInstr {
+                                        op: Opcode::CallUnary(f),
+                                        a,
+                                        b: VVal::Const(0.0),
+                                    });
+                                    (vinstrs.len() - 1) as u32
                                 });
-                                stack.push(Src::Reg(dst));
+                                stack.push(VVal::Vreg(vr));
                             }
                         }
                         OpFn::Binary(f) => {
                             let a = stack.pop().expect("validated expr: missing operand");
                             let b = stack.pop().expect("validated expr: missing operand");
-                            let dst = stack.len() as u16;
-                            if let (Src::Const(ca), Src::Const(cb)) = (a, b) {
-                                stack.push(Src::Const(sanitize(f(ca, cb))));
+                            if let (VVal::Const(ca), VVal::Const(cb)) = (a, b) {
+                                stack.push(VVal::Const(sanitize(f(ca, cb))));
                             } else {
-                                debug_assert!(!matches!(a, Src::Reg(r) if r != dst + 1));
-                                debug_assert!(!matches!(b, Src::Reg(r) if r != dst));
-                                instrs.push(Instr { op: lower_binary(f), dst, a, b });
-                                stack.push(Src::Reg(dst));
+                                let key = (id, vkey(a), vkey(b));
+                                let vr = *numbering.entry(key).or_insert_with(|| {
+                                    vinstrs.push(VInstr { op: lower_binary(f), a, b });
+                                    (vinstrs.len() - 1) as u32
+                                });
+                                stack.push(VVal::Vreg(vr));
                             }
                         }
                     }
                 }
             }
-            max_height = max_height.max(stack.len());
         }
         debug_assert_eq!(stack.len(), 1, "validated expr: leftover operands");
-        let result = stack.pop().unwrap_or(Src::Const(0.0));
-        Ok(CompiledProgram {
-            instrs,
-            result,
-            num_regs: max_height as u16,
-            source_len: expr.len() as u64,
-        })
+        let root = stack.pop().unwrap_or(VVal::Const(0.0));
+        Ok(allocate_registers(&vinstrs, root, expr.len()))
     }
 
-    /// Number of register instructions (operator nodes minus folded
-    /// subtrees).
+    /// Number of register instructions (operator nodes minus folded and
+    /// CSE-shared subtrees).
     pub fn num_instructions(&self) -> usize {
         self.instrs.len()
     }
 
-    /// Registers the program needs (the source tree's max stack height).
+    /// Physical registers the program needs.
     pub fn num_regs(&self) -> usize {
         self.num_regs as usize
     }
@@ -185,6 +238,98 @@ impl CompiledProgram {
             Src::Const(c) if self.instrs.is_empty() => Some(c),
             _ => None,
         }
+    }
+}
+
+/// Canonical structural encoding of a tree, suitable as an exact
+/// compile-cache key: two trees produce the same key iff their node
+/// buffers are identical (constants compared by bit pattern — the same
+/// equality lowering itself uses). Each node contributes one tagged word;
+/// constants contribute a second word carrying the value bits, which
+/// keeps the encoding a prefix code and therefore injective.
+///
+/// The key does *not* identify the [`PrimitiveSet`]: operator and
+/// terminal ids are only meaningful relative to one set, so a cache keyed
+/// by this encoding must not be shared across primitive sets.
+pub fn structural_key(expr: &Expr) -> Vec<u64> {
+    let mut key = Vec::with_capacity(expr.len() + 1);
+    for node in expr.nodes() {
+        match *node {
+            Node::Op(id) => key.push((1u64 << 32) | id as u64),
+            Node::Term(id) => key.push((2u64 << 32) | id as u64),
+            Node::Const(c) => {
+                key.push(3u64 << 32);
+                key.push(c.to_bits());
+            }
+        }
+    }
+    key
+}
+
+/// Linear-scan register allocation over the (topologically ordered) SSA
+/// instruction list: the lowest free physical register wins, and an
+/// operand's register is released only *after* the destination is
+/// assigned, so a destination never aliases its own operands.
+fn allocate_registers(vinstrs: &[VInstr], root: VVal, source_len: usize) -> CompiledProgram {
+    let n = vinstrs.len();
+    // Last instruction index that reads each virtual register; the root
+    // value, if a register, is read "after" the final instruction.
+    let mut last_use: Vec<usize> = vec![usize::MAX; n];
+    for (i, vi) in vinstrs.iter().enumerate() {
+        if let VVal::Vreg(r) = vi.a {
+            last_use[r as usize] = i;
+        }
+        if let VVal::Vreg(r) = vi.b {
+            last_use[r as usize] = i;
+        }
+    }
+    if let VVal::Vreg(r) = root {
+        last_use[r as usize] = n;
+    }
+    let mut preg: Vec<u16> = vec![0; n];
+    let mut free: BinaryHeap<Reverse<u16>> = BinaryHeap::new();
+    let mut num_regs: u16 = 0;
+    let mut instrs: Vec<Instr> = Vec::with_capacity(n);
+    let resolve = |v: VVal, preg: &[u16]| -> Src {
+        match v {
+            VVal::Vreg(r) => Src::Reg(preg[r as usize]),
+            VVal::Term(t) => Src::Term(t),
+            VVal::Const(c) => Src::Const(c),
+        }
+    };
+    for (i, vi) in vinstrs.iter().enumerate() {
+        let a = resolve(vi.a, &preg);
+        let b = resolve(vi.b, &preg);
+        let dst = match free.pop() {
+            Some(Reverse(r)) => r,
+            None => {
+                let r = num_regs;
+                num_regs = num_regs.checked_add(1).expect("register file exceeds u16 range");
+                r
+            }
+        };
+        preg[i] = dst;
+        instrs.push(Instr { op: vi.op, dst, a, b });
+        let mut release = |v: VVal| {
+            if let VVal::Vreg(r) = v {
+                if last_use[r as usize] == i {
+                    free.push(Reverse(preg[r as usize]));
+                }
+            }
+        };
+        release(vi.a);
+        // Release `b` unless it is the same virtual register as `a`
+        // (e.g. `x + x` after CSE), which must be freed only once.
+        match (vi.a, vi.b) {
+            (VVal::Vreg(ra), VVal::Vreg(rb)) if ra == rb => {}
+            _ => release(vi.b),
+        }
+    }
+    CompiledProgram {
+        instrs,
+        result: resolve(root, &preg),
+        num_regs,
+        source_len: source_len as u64,
     }
 }
 
@@ -213,7 +358,7 @@ fn lower_binary(f: fn(f64, f64) -> f64) -> Opcode {
 /// Tracks nodes evaluated with the same convention as
 /// [`Evaluator`](crate::Evaluator): every evaluation charges the source
 /// tree's node count (per row, for batches), regardless of how many
-/// instructions folding eliminated.
+/// instructions folding and CSE eliminated.
 #[derive(Debug, Default)]
 pub struct CompiledEvaluator {
     regs: Vec<f64>,
@@ -315,39 +460,42 @@ fn fetch_scalar(src: Src, regs: &[f64], terminal_values: &[f64]) -> f64 {
     }
 }
 
-/// First operand of a batched instruction, resolved outside the row loop.
-/// Never aliases the destination (a register operand is `dst + 1`).
-enum ColA<'a> {
+/// A batched instruction operand, resolved outside the row loop. Register
+/// operands are already sanitized (written by a previous instruction);
+/// terminal columns sanitize on read.
+enum Col<'a> {
     Reg(&'a [f64]),
     Term(&'a [f64]),
     Const(f64),
 }
 
-/// Second operand of a batched instruction. A register operand is always
-/// the destination register itself (stack discipline), read before the
-/// row's write.
-enum ColB<'a> {
-    Dst,
-    Term(&'a [f64]),
-    Const(f64),
+/// The row block of register `r` in a register file split around
+/// destination block `d`: `lo` holds registers `0..d`, `hi` holds
+/// registers `d+1..`.
+fn reg_block<'a>(lo: &'a [f64], hi: &'a [f64], d: usize, rows: usize, r: usize) -> &'a [f64] {
+    debug_assert_ne!(r, d, "operand register aliases destination");
+    if r < d {
+        &lo[r * rows..(r + 1) * rows]
+    } else {
+        &hi[(r - d - 1) * rows..(r - d) * rows]
+    }
 }
 
 fn run_instr(instr: &Instr, regs: &mut [f64], columns: &[&[f64]], rows: usize) {
     let d = instr.dst as usize;
     // Registers are row-major per register: register r occupies
-    // `regs[r*rows .. (r+1)*rows]`. Split so `dst` (register d) is
-    // mutable while register d+1 — the only other register a binary
-    // instruction may read — stays shared.
-    let (lo, hi) = regs.split_at_mut((d + 1) * rows);
-    let dst = &mut lo[d * rows..];
-    // A unary instruction's register operand is `dst` itself (stack
-    // discipline): handle it before the binary operand resolution.
+    // `regs[r*rows .. (r+1)*rows]`. The allocator guarantees a
+    // destination never aliases its operands, so cut the file into the
+    // mutable dst block plus shared everything-else.
+    let (lo, rest) = regs.split_at_mut(d * rows);
+    let (dst, hi) = rest.split_at_mut(rows);
+    let (lo, hi) = (&*lo, &*hi);
     if let Opcode::CallUnary(f) = instr.op {
         match instr.a {
             Src::Reg(r) => {
-                debug_assert_eq!(r as usize, d);
-                for v in dst[..rows].iter_mut() {
-                    *v = sanitize(f(*v));
+                let s = reg_block(lo, hi, d, rows, r as usize);
+                for row in 0..rows {
+                    dst[row] = sanitize(f(s[row]));
                 }
             }
             Src::Term(t) => {
@@ -363,22 +511,13 @@ fn run_instr(instr: &Instr, regs: &mut [f64], columns: &[&[f64]], rows: usize) {
         }
         return;
     }
-    let a = match instr.a {
-        Src::Reg(r) => {
-            debug_assert_eq!(r as usize, d + 1);
-            ColA::Reg(&hi[..rows])
-        }
-        Src::Term(t) => ColA::Term(columns[t as usize]),
-        Src::Const(c) => ColA::Const(c),
+    let col = |src: Src| match src {
+        Src::Reg(r) => Col::Reg(reg_block(lo, hi, d, rows, r as usize)),
+        Src::Term(t) => Col::Term(columns[t as usize]),
+        Src::Const(c) => Col::Const(c),
     };
-    let b = match instr.b {
-        Src::Reg(r) => {
-            debug_assert_eq!(r as usize, d);
-            ColB::Dst
-        }
-        Src::Term(t) => ColB::Term(columns[t as usize]),
-        Src::Const(c) => ColB::Const(c),
-    };
+    let a = col(instr.a);
+    let b = col(instr.b);
     match instr.op {
         Opcode::Add => run_binary(dst, a, b, rows, |x, y| x + y),
         Opcode::Sub => run_binary(dst, a, b, rows, |x, y| x - y),
@@ -396,8 +535,8 @@ fn run_instr(instr: &Instr, regs: &mut [f64], columns: &[&[f64]], rows: usize) {
 #[inline(always)]
 fn run_binary(
     dst: &mut [f64],
-    a: ColA<'_>,
-    b: ColB<'_>,
+    a: Col<'_>,
+    b: Col<'_>,
     rows: usize,
     f: impl Fn(f64, f64) -> f64,
 ) {
@@ -405,57 +544,59 @@ fn run_binary(
     // out of the loops below.
     let dst = &mut dst[..rows];
     let a = match a {
-        ColA::Term(s) => ColA::Term(&s[..rows]),
+        Col::Reg(s) => Col::Reg(&s[..rows]),
+        Col::Term(s) => Col::Term(&s[..rows]),
         other => other,
     };
     let b = match b {
-        ColB::Term(s) => ColB::Term(&s[..rows]),
+        Col::Reg(s) => Col::Reg(&s[..rows]),
+        Col::Term(s) => Col::Term(&s[..rows]),
         other => other,
     };
     match (a, b) {
-        (ColA::Reg(s), ColB::Dst) => {
+        (Col::Reg(s), Col::Reg(t)) => {
             for row in 0..rows {
-                dst[row] = sanitize(f(s[row], dst[row]));
+                dst[row] = sanitize(f(s[row], t[row]));
             }
         }
-        (ColA::Reg(s), ColB::Term(t)) => {
+        (Col::Reg(s), Col::Term(t)) => {
             for row in 0..rows {
                 dst[row] = sanitize(f(s[row], sanitize(t[row])));
             }
         }
-        (ColA::Reg(s), ColB::Const(c)) => {
+        (Col::Reg(s), Col::Const(c)) => {
             for row in 0..rows {
                 dst[row] = sanitize(f(s[row], c));
             }
         }
-        (ColA::Term(s), ColB::Dst) => {
+        (Col::Term(s), Col::Reg(t)) => {
             for row in 0..rows {
-                dst[row] = sanitize(f(sanitize(s[row]), dst[row]));
+                dst[row] = sanitize(f(sanitize(s[row]), t[row]));
             }
         }
-        (ColA::Term(s), ColB::Term(t)) => {
+        (Col::Term(s), Col::Term(t)) => {
             for row in 0..rows {
                 dst[row] = sanitize(f(sanitize(s[row]), sanitize(t[row])));
             }
         }
-        (ColA::Term(s), ColB::Const(c)) => {
+        (Col::Term(s), Col::Const(c)) => {
             for row in 0..rows {
                 dst[row] = sanitize(f(sanitize(s[row]), c));
             }
         }
-        (ColA::Const(ca), ColB::Dst) => {
-            for v in dst.iter_mut() {
-                *v = sanitize(f(ca, *v));
+        (Col::Const(ca), Col::Reg(t)) => {
+            for row in 0..rows {
+                dst[row] = sanitize(f(ca, t[row]));
             }
         }
-        (ColA::Const(ca), ColB::Term(t)) => {
+        (Col::Const(ca), Col::Term(t)) => {
             for row in 0..rows {
                 dst[row] = sanitize(f(ca, sanitize(t[row])));
             }
         }
         // Cannot occur (constant operands fold at compile time), but the
         // kernel stays total.
-        (ColA::Const(ca), ColB::Const(cb)) => {
+        (Col::Const(ca), Col::Const(cb)) => {
             let v = sanitize(f(ca, cb));
             dst[..rows].fill(v);
         }
@@ -626,6 +767,104 @@ mod tests {
     }
 
     #[test]
+    fn duplicate_subtrees_compile_once() {
+        let ps = ps2();
+        // (a + b) * (a + b): CSE emits the shared Add once, so the whole
+        // tree is two instructions, and the Mul reads the same register
+        // for both operands.
+        let e = Expr::from_nodes(vec![
+            Node::Op(2),
+            Node::Op(0),
+            Node::Term(0),
+            Node::Term(1),
+            Node::Op(0),
+            Node::Term(0),
+            Node::Term(1),
+        ]);
+        let prog = CompiledProgram::compile(&e, &ps).unwrap();
+        assert_eq!(prog.num_instructions(), 2);
+        let mut cev = CompiledEvaluator::new();
+        let mut iev = Evaluator::new();
+        for tv in [[5.0, 3.0], [f64::NAN, 1.0], [1e200, 1e200], [-0.0, 0.0]] {
+            assert_eq!(
+                cev.eval(&prog, &tv).to_bits(),
+                iev.eval(&e, &ps, &tv).to_bits(),
+                "tv={tv:?}"
+            );
+        }
+        // Batch path with a shared register on both operand positions.
+        let col_a = [5.0, f64::NAN, 1e300, -2.5];
+        let col_b = [3.0, 1.0, 1e300, 0.25];
+        let mut out = Vec::new();
+        cev.eval_batch(&prog, &[&col_a, &col_b], 4, &mut out);
+        for row in 0..4 {
+            let s = iev.eval(&e, &ps, &[col_a[row], col_b[row]]);
+            assert_eq!(out[row].to_bits(), s.to_bits(), "row {row}");
+        }
+    }
+
+    #[test]
+    fn node_accounting_charges_source_len_under_cse() {
+        let ps = ps2();
+        // (a + b) * (a + b): 7 source nodes, 2 instructions after CSE.
+        // Every evaluation must still charge the full 7 nodes so budgets
+        // stay comparable with the interpreter.
+        let e = Expr::from_nodes(vec![
+            Node::Op(2),
+            Node::Op(0),
+            Node::Term(0),
+            Node::Term(1),
+            Node::Op(0),
+            Node::Term(0),
+            Node::Term(1),
+        ]);
+        let prog = CompiledProgram::compile(&e, &ps).unwrap();
+        assert!(prog.num_instructions() < e.len());
+        let mut cev = CompiledEvaluator::new();
+        cev.eval(&prog, &[1.0, 2.0]);
+        assert_eq!(cev.nodes_evaluated(), 7);
+        let mut out = Vec::new();
+        cev.eval_batch(&prog, &[&[1.0; 3], &[2.0; 3]], 3, &mut out);
+        assert_eq!(cev.nodes_evaluated(), 7 + 3 * 7);
+    }
+
+    #[test]
+    fn registers_are_reused_after_last_use() {
+        let ps = ps2();
+        // Left-deep chain (((a+b)+b)+b): each sum dies feeding the next,
+        // so linear scan needs only two physical registers.
+        let left = Expr::from_nodes(vec![
+            Node::Op(0),
+            Node::Op(0),
+            Node::Op(0),
+            Node::Term(0),
+            Node::Term(1),
+            Node::Term(1),
+            Node::Term(1),
+        ]);
+        let prog = CompiledProgram::compile(&left, &ps).unwrap();
+        assert_eq!(prog.num_instructions(), 3);
+        assert!(prog.num_regs() <= 2, "num_regs={}", prog.num_regs());
+    }
+
+    #[test]
+    fn structural_key_distinguishes_trees() {
+        let shared = Expr::from_nodes(vec![Node::Op(0), Node::Term(0), Node::Term(1)]);
+        assert_eq!(structural_key(&shared), structural_key(&shared.clone()));
+        let other = Expr::from_nodes(vec![Node::Op(1), Node::Term(0), Node::Term(1)]);
+        assert_ne!(structural_key(&shared), structural_key(&other));
+        // Constants are compared by bit pattern: -0.0 and 0.0 differ.
+        let zp = Expr::constant(0.0);
+        let zn = Expr::constant(-0.0);
+        assert_ne!(structural_key(&zp), structural_key(&zn));
+        // Prefix-code injectivity: a const node cannot be confused with
+        // the node whose tag word follows it.
+        let c = Expr::constant(f64::from_bits((1u64 << 32) | 7));
+        let t = Expr::from_nodes(vec![Node::Op(0), Node::Term(0), Node::Const(0.5)]);
+        assert_ne!(structural_key(&c), structural_key(&t));
+    }
+
+    #[test]
     fn custom_unary_op_falls_back_to_call() {
         let mut ps = PrimitiveSet::arithmetic();
         let neg = ps.add_unary("neg", |a| -a) as u16;
@@ -659,7 +898,8 @@ mod tests {
     #[test]
     fn deep_chain_register_allocation() {
         let ps = ps2();
-        // Right-deep chain a + (a + (a + (a + b))) exercises stack heights.
+        // Right-deep chain a + (a + (a + (a + b))) exercises allocation
+        // under pending operands.
         let mut nodes = Vec::new();
         for _ in 0..4 {
             nodes.push(Node::Op(0));

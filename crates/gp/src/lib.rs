@@ -52,7 +52,7 @@ mod sexpr;
 mod simplify;
 mod tree;
 
-pub use compile::{CompiledEvaluator, CompiledProgram};
+pub use compile::{structural_key, CompiledEvaluator, CompiledProgram};
 pub use generate::{full, grow, ramped_half_and_half, GenError};
 pub use ops::{
     mutate_hoist, mutate_point, mutate_shrink, mutate_uniform, subtree_crossover,

@@ -5,7 +5,7 @@
 use bico_gp::{
     full, grow, mutate_point, mutate_shrink, mutate_uniform, parse_sexpr, ramped_half_and_half,
     simplify, subtree_crossover, to_sexpr, CompiledEvaluator, CompiledProgram, Evaluator, Expr,
-    PrimitiveSet, VariationConfig,
+    Node, PrimitiveSet, VariationConfig,
 };
 use proptest::prelude::*;
 use rand::rngs::SmallRng;
@@ -25,6 +25,26 @@ fn random_tree(seed: u64, max_depth: usize) -> (PrimitiveSet, Expr) {
     let mut rng = SmallRng::seed_from_u64(seed);
     let e = grow(&ps, 0, max_depth, &mut rng).unwrap();
     (ps, e)
+}
+
+/// Operator applications in a prefix node slice (what the compiler
+/// emits instructions for — terminals and constants are operand refs).
+fn ops_in(nodes: &[Node]) -> usize {
+    nodes.iter().filter(|n| matches!(n, Node::Op(_))).count()
+}
+
+/// Self-graft: replace the subtree rooted at `at` with `(+ S S)` where
+/// `S` is that subtree, guaranteeing the result contains a duplicated
+/// subtree (the raw material of common-subexpression elimination).
+fn self_graft(e: &Expr, at: usize, ps: &PrimitiveSet) -> Expr {
+    let sub: Vec<Node> = e.nodes()[e.subtree(at, ps)].to_vec();
+    let mut grafted = Vec::with_capacity(1 + 2 * sub.len());
+    grafted.push(Node::Op(0)); // "+" in PrimitiveSet::arithmetic
+    grafted.extend_from_slice(&sub);
+    grafted.extend_from_slice(&sub);
+    let mut out = e.clone();
+    out.replace_subtree(at, &grafted, ps);
+    out
 }
 
 /// Terminal-value strategy biased toward the adversarial cases the
@@ -139,6 +159,44 @@ proptest! {
     }
 
     #[test]
+    fn cse_dedups_self_grafted_duplicates(
+        seed: u64,
+        depth in 1usize..7,
+        at_sel: u64,
+        vals in proptest::collection::vec(term_value!(), 5),
+    ) {
+        let (ps, e) = random_tree(seed, depth);
+        let at = (at_sel % e.len() as u64) as usize;
+        let g = self_graft(&e, at, &ps);
+        prop_assert!(g.validate(&ps).is_ok());
+        let prog = CompiledProgram::compile(&g, &ps).unwrap();
+        // (a) CSE must not change a bit of the result, including on
+        // NaN/±∞ inputs, and node accounting still charges the source.
+        let mut iev = Evaluator::new();
+        let mut cev = CompiledEvaluator::new();
+        let i = iev.eval(&g, &ps, &vals);
+        let c = cev.eval(&prog, &vals);
+        prop_assert_eq!(
+            c.to_bits(), i.to_bits(),
+            "CSE diverged: compiled {} != interpreted {} for {}", c, i, to_sexpr(&g, &ps)
+        );
+        prop_assert_eq!(cev.nodes_evaluated(), iev.nodes_evaluated());
+        // (b) sharing is real: the program is always shorter than the
+        // source (strictly below node count), and when the duplicated
+        // subtree applies at least one operator, strictly below even the
+        // source's operator count — the duplicate's ops were not re-emitted.
+        prop_assert!(prog.num_instructions() < g.len());
+        let dup_ops = ops_in(&e.nodes()[e.subtree(at, &ps)]);
+        if dup_ops >= 1 {
+            prop_assert!(
+                prog.num_instructions() < ops_in(g.nodes()),
+                "{} instrs for {} ops in {}",
+                prog.num_instructions(), ops_in(g.nodes()), to_sexpr(&g, &ps)
+            );
+        }
+    }
+
+    #[test]
     fn batch_matches_scalar_rows_bitwise(
         seed: u64,
         depth in 0usize..8,
@@ -222,4 +280,57 @@ fn compiled_differential_deterministic_twin() {
     // interpreter ran each row twice (scalar + batch check), the compiled
     // path once each scalar and batched.
     assert_eq!(iev.nodes_evaluated(), cev.nodes_evaluated());
+}
+
+/// Deterministic twin of `cse_dedups_self_grafted_duplicates`: seeded
+/// self-grafted trees × adversarial inputs, scalar and batched.
+#[test]
+fn cse_differential_deterministic_twin() {
+    let ps = table1_like_ps();
+    let specials =
+        [0.0, -0.0, 1.0, -1.0, f64::NAN, f64::INFINITY, f64::NEG_INFINITY, 1e305, 1e-10, -3.75];
+    let mut iev = Evaluator::new();
+    let mut cev = CompiledEvaluator::new();
+    let mut out = Vec::new();
+    let mut op_dups = 0usize;
+    for seed in 0..150u64 {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let e = grow(&ps, 1, 1 + (seed % 6) as usize, &mut rng).unwrap();
+        let at = (seed.wrapping_mul(17) % e.len() as u64) as usize;
+        let g = self_graft(&e, at, &ps);
+        g.validate(&ps).unwrap();
+        let prog = CompiledProgram::compile(&g, &ps).unwrap();
+        assert!(prog.num_instructions() < g.len(), "seed {seed}");
+        if ops_in(&e.nodes()[e.subtree(at, &ps)]) >= 1 {
+            assert!(
+                prog.num_instructions() < ops_in(g.nodes()),
+                "seed {seed}: duplicated ops were re-emitted"
+            );
+            op_dups += 1;
+        }
+        let mut rows: Vec<Vec<f64>> = Vec::new();
+        for r in 0..6u64 {
+            let tv: Vec<f64> = (0..5)
+                .map(|t| specials[((seed * 13 + r * 7 + t) % specials.len() as u64) as usize])
+                .collect();
+            let i = iev.eval(&g, &ps, &tv);
+            let c = cev.eval(&prog, &tv);
+            assert_eq!(
+                c.to_bits(),
+                i.to_bits(),
+                "seed {seed} row {r}: CSE diverged on {}",
+                to_sexpr(&g, &ps)
+            );
+            rows.push(tv);
+        }
+        let cols: Vec<Vec<f64>> = (0..5).map(|t| rows.iter().map(|r| r[t]).collect()).collect();
+        let col_refs: Vec<&[f64]> = cols.iter().map(|c| c.as_slice()).collect();
+        cev.eval_batch(&prog, &col_refs, rows.len(), &mut out);
+        for (row, tv) in rows.iter().enumerate() {
+            let i = iev.eval(&g, &ps, tv);
+            assert_eq!(out[row].to_bits(), i.to_bits(), "seed {seed} batch row {row} diverged");
+        }
+    }
+    assert_eq!(iev.nodes_evaluated(), cev.nodes_evaluated());
+    assert!(op_dups >= 30, "sweep too weak: only {op_dups} operator-arity duplicates");
 }

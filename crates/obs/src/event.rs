@@ -78,6 +78,16 @@ pub enum Event<'a> {
         /// Cache misses in the batch.
         misses: u64,
     },
+    /// A batch of GP compile-cache probes completed. Emitted once per
+    /// generation by solvers running with the compiled evaluator and a
+    /// GP compile cache; counts are deltas since the previous probe
+    /// event. Never emitted when the cache is disabled.
+    CompileCacheProbe {
+        /// Compile-cache hits in the batch.
+        hits: u64,
+        /// Compile-cache misses (fresh compilations) in the batch.
+        misses: u64,
+    },
     /// An elite archive absorbed a generation's candidates.
     ArchiveUpdate {
         /// Which level's archive.
@@ -123,6 +133,7 @@ impl Event<'_> {
             Event::Evaluation { .. } => "Evaluation",
             Event::LowerLevelSolve { .. } => "LowerLevelSolve",
             Event::CacheProbe { .. } => "CacheProbe",
+            Event::CompileCacheProbe { .. } => "CompileCacheProbe",
             Event::ArchiveUpdate { .. } => "ArchiveUpdate",
             Event::GenerationEnd { .. } => "GenerationEnd",
             Event::RunComplete { .. } => "RunComplete",
@@ -152,7 +163,7 @@ impl Event<'_> {
                 json::push_u64_field(out, "solves", solves);
                 json::push_u64_field(out, "pivots", pivots);
             }
-            Event::CacheProbe { hits, misses } => {
+            Event::CacheProbe { hits, misses } | Event::CompileCacheProbe { hits, misses } => {
                 json::push_u64_field(out, "hits", hits);
                 json::push_u64_field(out, "misses", misses);
             }
@@ -193,6 +204,7 @@ impl Event<'_> {
             Event::Evaluation { level: Level::Lower, count: 100, gp_nodes: 4321 },
             Event::LowerLevelSolve { solves: 100, pivots: 1707 },
             Event::CacheProbe { hits: 3, misses: 97 },
+            Event::CompileCacheProbe { hits: 95, misses: 5 },
             Event::ArchiveUpdate { level: Level::Upper, size: 100, best: 1543.25 },
             Event::GenerationEnd {
                 generation: 0,
@@ -227,6 +239,7 @@ mod tests {
                 "Evaluation",
                 "LowerLevelSolve",
                 "CacheProbe",
+                "CompileCacheProbe",
                 "ArchiveUpdate",
                 "GenerationEnd",
                 "RunComplete",

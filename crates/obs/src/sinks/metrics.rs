@@ -58,6 +58,8 @@ pub struct MetricsSink {
     simplex_pivots: AtomicU64,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
+    compile_cache_hits: AtomicU64,
+    compile_cache_misses: AtomicU64,
     archive_updates: AtomicU64,
     timed: Mutex<TimedState>,
     created: Option<Instant>,
@@ -96,6 +98,8 @@ impl MetricsSink {
             simplex_pivots: self.simplex_pivots.load(Ordering::Relaxed),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            compile_cache_hits: self.compile_cache_hits.load(Ordering::Relaxed),
+            compile_cache_misses: self.compile_cache_misses.load(Ordering::Relaxed),
             archive_updates: self.archive_updates.load(Ordering::Relaxed),
             wall_seconds: self.created.map_or(0.0, |c| c.elapsed().as_secs_f64()),
             phases,
@@ -135,6 +139,10 @@ impl RunObserver for MetricsSink {
             Event::CacheProbe { hits, misses } => {
                 self.cache_hits.fetch_add(hits, Ordering::Relaxed);
                 self.cache_misses.fetch_add(misses, Ordering::Relaxed);
+            }
+            Event::CompileCacheProbe { hits, misses } => {
+                self.compile_cache_hits.fetch_add(hits, Ordering::Relaxed);
+                self.compile_cache_misses.fetch_add(misses, Ordering::Relaxed);
             }
             Event::ArchiveUpdate { .. } => {
                 self.archive_updates.fetch_add(1, Ordering::Relaxed);
@@ -176,10 +184,14 @@ pub struct RunMetrics {
     pub ll_solves: u64,
     /// Simplex pivots across those solves.
     pub simplex_pivots: u64,
-    /// Cache hits (0 until a caching layer lands).
+    /// Lower-level solve-cache hits.
     pub cache_hits: u64,
-    /// Cache misses.
+    /// Lower-level solve-cache misses.
     pub cache_misses: u64,
+    /// GP compile-cache hits.
+    pub compile_cache_hits: u64,
+    /// GP compile-cache misses (fresh compilations).
+    pub compile_cache_misses: u64,
     /// Archive-update events.
     pub archive_updates: u64,
     /// Seconds since the sink was created.
@@ -212,6 +224,8 @@ impl RunMetrics {
         field("simplex_pivots", &self.simplex_pivots.to_string());
         field("cache_hits", &self.cache_hits.to_string());
         field("cache_misses", &self.cache_misses.to_string());
+        field("compile_cache_hits", &self.compile_cache_hits.to_string());
+        field("compile_cache_misses", &self.compile_cache_misses.to_string());
         field("archive_updates", &self.archive_updates.to_string());
         let mut wall = String::new();
         json::push_f64(&mut wall, self.wall_seconds);
@@ -271,6 +285,7 @@ mod tests {
         sink.observe(&Event::LowerLevelSolve { solves: 10, pivots: 170 });
         sink.observe(&Event::ArchiveUpdate { level: Level::Upper, size: 5, best: 1.0 });
         sink.observe(&Event::CacheProbe { hits: 2, misses: 8 });
+        sink.observe(&Event::CompileCacheProbe { hits: 40, misses: 3 });
         let m = sink.report();
         assert_eq!(m.runs, 1);
         assert_eq!(m.evaluations, 30);
@@ -282,6 +297,8 @@ mod tests {
         assert_eq!(m.archive_updates, 1);
         assert_eq!(m.cache_hits, 2);
         assert_eq!(m.cache_misses, 8);
+        assert_eq!(m.compile_cache_hits, 40);
+        assert_eq!(m.compile_cache_misses, 3);
     }
 
     #[test]
@@ -372,6 +389,8 @@ mod tests {
             "simplex_pivots",
             "cache_hits",
             "cache_misses",
+            "compile_cache_hits",
+            "compile_cache_misses",
             "archive_updates",
             "wall_seconds",
             "phases",

@@ -8,7 +8,7 @@
 //!   `RunComplete`;
 //! * `debug`: `PhaseChange`, `ArchiveUpdate`;
 //! * `trace`: everything else (`GenerationStart`, `Evaluation`,
-//!   `LowerLevelSolve`, `CacheProbe`).
+//!   `LowerLevelSolve`, `CacheProbe`, `CompileCacheProbe`).
 
 use crate::event::Event;
 use crate::observer::RunObserver;
@@ -82,7 +82,8 @@ fn event_level(event: &Event<'_>) -> LogLevel {
         Event::GenerationStart { .. }
         | Event::Evaluation { .. }
         | Event::LowerLevelSolve { .. }
-        | Event::CacheProbe { .. } => LogLevel::Trace,
+        | Event::CacheProbe { .. }
+        | Event::CompileCacheProbe { .. } => LogLevel::Trace,
     }
 }
 
@@ -126,6 +127,9 @@ impl ProgressSink {
             }
             Event::CacheProbe { hits, misses } => {
                 format!("cache: {hits} hits, {misses} misses")
+            }
+            Event::CompileCacheProbe { hits, misses } => {
+                format!("compile cache: {hits} hits, {misses} misses")
             }
             Event::ArchiveUpdate { level, size, best } => {
                 format!("{} archive: size {size}, best {best:.4}", level.as_str())

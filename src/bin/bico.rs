@@ -54,10 +54,10 @@ USAGE:
   bico generate --bundles N --services M [--seed S] [--tightness T] [--own F] [--out FILE]
   bico run <carbon|cobra|nested> [--instance FILE | --class NxM] [--seed S]
            [--evals N] [--pop P] [--ll-cache-capacity C] [--compiled-eval BOOL]
-           [--heuristic-out FILE]
+           [--gp-compile-cache BOOL] [--heuristic-out FILE]
            [--trace-out FILE.jsonl] [--metrics-out FILE.json] [--log-level LEVEL]
   bico compare [--class NxM] [--runs R] [--seed S] [--evals N] [--pop P]
-           [--ll-cache-capacity C] [--compiled-eval BOOL]
+           [--ll-cache-capacity C] [--compiled-eval BOOL] [--gp-compile-cache BOOL]
            [--trace-out FILE.jsonl] [--metrics-out FILE.json] [--log-level LEVEL]
   bico eval --sexpr EXPR [--instance FILE | --class NxM] [--seed S]
            [--compiled-eval BOOL]
@@ -73,9 +73,15 @@ pattern of the pricing (C entries, FIFO eviction; 0 = off, the default).
 Results are bit-identical with the cache on or off.
 
 --compiled-eval BOOL (default true) scores GP heuristics through the
-bytecode-compiled evaluator and the incremental batched greedy decoder;
-false falls back to the tree-walking interpreter with per-step feature
-recomputation. Results are bit-identical either way."
+bytecode-compiled evaluator (with subtree CSE) and the incremental
+batched greedy decoder; false falls back to the tree-walking interpreter
+with per-step feature recomputation. Results are bit-identical either way.
+
+--gp-compile-cache BOOL (default true; CARBON only, needs compiled-eval)
+memoizes compiled GP programs across generations by the tree's exact
+structural encoding, so each distinct expression compiles at most once
+per run. Results are bit-identical with the cache on or off; hit/miss
+counts appear as CompileCacheProbe events and in the metrics report."
     );
 }
 
@@ -139,6 +145,16 @@ fn opt(args: &[String], key: &str) -> Option<String> {
 
 fn opt_parse<T: std::str::FromStr>(args: &[String], key: &str, default: T) -> T {
     opt(args, key).and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+/// `--gp-compile-cache BOOL` (default true) → the config's capacity:
+/// the default capacity when on, `0` (disabled) when off.
+fn gp_compile_cache_capacity(args: &[String]) -> usize {
+    if opt_parse(args, "--gp-compile-cache", true) {
+        CarbonConfig::default().gp_compile_cache_capacity
+    } else {
+        0
+    }
 }
 
 fn class_of(args: &[String]) -> (usize, usize) {
@@ -205,6 +221,7 @@ fn cmd_run(args: &[String]) {
     let pop = opt_parse(args, "--pop", 24usize);
     let ll_cache_capacity = opt_parse(args, "--ll-cache-capacity", 0usize);
     let compiled_eval = opt_parse(args, "--compiled-eval", true);
+    let gp_compile_cache_capacity = gp_compile_cache_capacity(args);
     let obs = obs_setup(args);
     eprintln!(
         "{algo} on {}x{} (own {}), budget {evals}+{evals}, pop {pop}, seed {seed}",
@@ -224,6 +241,7 @@ fn cmd_run(args: &[String]) {
                 ll_evaluations: evals,
                 ll_cache_capacity,
                 compiled_eval,
+                gp_compile_cache_capacity,
                 ..Default::default()
             };
             let solver = Carbon::new(&inst, cfg);
@@ -289,6 +307,7 @@ fn cmd_compare(args: &[String]) {
     let pop = opt_parse(args, "--pop", 24usize);
     let ll_cache_capacity = opt_parse(args, "--ll-cache-capacity", 0usize);
     let compiled_eval = opt_parse(args, "--compiled-eval", true);
+    let gp_compile_cache_capacity = gp_compile_cache_capacity(args);
     let obs = obs_setup(args);
     eprintln!(
         "comparing CARBON vs COBRA on {}x{}: {runs} runs, budget {evals}+{evals}, pop {pop}",
@@ -312,6 +331,7 @@ fn cmd_compare(args: &[String]) {
                 ll_evaluations: evals,
                 ll_cache_capacity,
                 compiled_eval,
+                gp_compile_cache_capacity,
                 ..Default::default()
             },
         )

@@ -4,7 +4,10 @@
 //! of attached observers, which receive events by shared reference and
 //! never touch RNG state — and regardless of the lower-level solve
 //! cache, which memoizes relaxations by exact pricing bits and so can
-//! only ever return the value a fresh solve would have produced.
+//! only ever return the value a fresh solve would have produced. The
+//! same argument covers the GP compile cache: compilation is pure and
+//! keyed by the tree's exact structural encoding, so a cached program
+//! is byte-identical to a fresh compile.
 
 use bico::bcpop::{generate, BcpopInstance, GeneratorConfig};
 use bico::cobra::{Cobra, CobraConfig, NestedConfig, NestedSequential};
@@ -77,6 +80,66 @@ fn carbon_solve_cache_is_bit_identical() {
             assert_eq!(cold.trace.points(), cached.trace.points(), "trace {tag}");
         }
     }
+}
+
+#[test]
+fn carbon_gp_compile_cache_is_bit_identical() {
+    for inst in &diff_instances() {
+        for &seed in &DIFF_SEEDS {
+            let mut cfg = CarbonConfig {
+                ul_pop_size: 10,
+                ll_pop_size: 10,
+                ul_archive_size: 10,
+                ll_archive_size: 10,
+                ul_evaluations: 150,
+                ll_evaluations: 150,
+                ..Default::default()
+            };
+            assert!(cfg.gp_compile_cache_capacity > 0, "compile cache defaults on");
+            let cached = Carbon::new(inst, cfg.clone()).run(seed);
+            cfg.gp_compile_cache_capacity = 0;
+            let cold = Carbon::new(inst, cfg).run(seed);
+            let tag = format!("{}x{} seed {seed}", inst.num_bundles(), inst.num_services());
+            assert_eq!(bits(&cold.best_pricing), bits(&cached.best_pricing), "pricing {tag}");
+            assert_eq!(
+                cold.best_ul_value.to_bits(),
+                cached.best_ul_value.to_bits(),
+                "best F {tag}"
+            );
+            assert_eq!(cold.best_gap.to_bits(), cached.best_gap.to_bits(), "best gap {tag}");
+            assert_eq!(cold.best_heuristic, cached.best_heuristic, "champion {tag}");
+            assert_eq!(cold.trace.points(), cached.trace.points(), "trace {tag}");
+        }
+    }
+}
+
+#[test]
+fn cached_carbon_run_actually_hits_the_compile_cache() {
+    // Elites and reproduction clones resurface identical trees, so a
+    // real run must produce compile-cache hits — without this, the
+    // differential test above could pass with a cache that never fires.
+    let inst = &diff_instances()[0];
+    let cfg = CarbonConfig {
+        ul_pop_size: 10,
+        ll_pop_size: 10,
+        ul_archive_size: 10,
+        ll_archive_size: 10,
+        ul_evaluations: 150,
+        ll_evaluations: 150,
+        ..Default::default()
+    };
+    assert!(cfg.compiled_eval && cfg.gp_compile_cache_capacity > 0);
+    let metrics = Arc::new(MetricsSink::new());
+    let observers = Observers::new().with(Box::new(metrics.clone()));
+    Carbon::new(inst, cfg).run_observed(9, &observers);
+    let report = metrics.report();
+    assert!(report.compile_cache_hits > 0, "repeated trees must hit the compile cache");
+    assert!(report.compile_cache_misses > 0, "fresh trees must compile");
+    assert!(
+        report.compile_cache_hits + report.compile_cache_misses
+            <= report.ll_evaluations + report.ul_evaluations,
+        "at most one probe per scorer binding"
+    );
 }
 
 #[test]

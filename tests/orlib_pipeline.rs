@@ -47,6 +47,44 @@ fn mknap_to_carbon() {
 }
 
 #[test]
+fn fixture_file_round_trips_through_parse_convert_validate() {
+    // The on-disk pipeline: an OR-library-format fixture is read from
+    // tests/fixtures/, parsed, serialized back to the mknap number
+    // stream, re-parsed to the identical problems, and each problem
+    // survives the paper's ≤→≥ conversion into a validated instance.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures/mknap_small.txt");
+    let text = std::fs::read_to_string(path).expect("fixture present");
+    let problems = parse_mknap(&text).unwrap();
+    assert_eq!(problems.len(), 2);
+    assert_eq!((problems[0].n, problems[0].m), (6, 10));
+    assert_eq!((problems[1].n, problems[1].m), (10, 2));
+    assert_eq!(problems[0].known_optimum, 3800.0);
+
+    // Serialize back to the mknap format and re-parse: lossless.
+    let mut back = format!("{}\n", problems.len());
+    for p in &problems {
+        back.push_str(&format!("{} {} {}\n", p.n, p.m, p.known_optimum));
+        for block in [&p.profits, &p.weights, &p.capacities] {
+            for v in block {
+                back.push_str(&format!("{v} "));
+            }
+            back.push('\n');
+        }
+    }
+    assert_eq!(parse_mknap(&back).unwrap(), problems);
+
+    for (i, p) in problems.into_iter().enumerate() {
+        let (n, m) = (p.n, p.m);
+        let inst = p.into_covering(0.34).unwrap_or_else(|e| panic!("problem {i}: {e:?}"));
+        assert_eq!(inst.num_bundles(), n, "problem {i}");
+        assert_eq!(inst.num_services(), m, "problem {i}");
+        inst.validate().unwrap_or_else(|e| panic!("problem {i}: {e:?}"));
+        // The ≥-conversion guarantees a non-empty search space.
+        assert!(inst.is_covering(&vec![true; inst.num_bundles()]), "problem {i}");
+    }
+}
+
+#[test]
 fn zero_constraint_row_weights_are_tolerated() {
     // The Petersen instance has rows with zero weights for some items —
     // the conversion and validation must accept them.
