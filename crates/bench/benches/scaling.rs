@@ -10,15 +10,18 @@
 //!
 //! which skips criterion entirely and writes one JSON object with the
 //! decode ms/pass (interpreted vs compiled+CSE), the GP compile-cache
-//! hit rate on a repeated-elite workload, and the solve-cache hit rate
-//! and pivot counts — the perf trajectory CI records per commit.
-//! `--reduced` shrinks the instance and workloads to CI size.
+//! hit rate on a repeated-elite workload, the decode-cache hit rate and
+//! ms/pass on a repeated evaluation-matrix workload, and the solve-cache
+//! hit rate and pivot counts — the perf trajectory CI records per
+//! commit. `--reduced` shrinks the instance and workloads to CI size.
 
 use bico_bcpop::{
-    bcpop_primitives, generate, greedy_cover, greedy_cover_batched, CompiledGpScorer,
-    CostPerCoverageScorer, GeneratorConfig, GpScorer, Relaxation, RelaxationSolver,
+    bcpop_primitives, evaluate_pair, generate, greedy_cover, greedy_cover_batched,
+    CompiledGpScorer, CostPerCoverageScorer, GeneratorConfig, GpScorer, Relaxation,
+    RelaxationSolver,
 };
-use bico_core::GpCompileCache;
+use bico_core::decode_cache::{cell_key, decode_mode, tree_scorer_key, DecodeOutcome};
+use bico_core::{DecodeCache, GpCompileCache};
 use bico_ea::SolveCache;
 use bico_gp::grow;
 use criterion::{criterion_group, Criterion};
@@ -203,12 +206,12 @@ fn write_bench_json(path: &str, reduced: bool) {
 
     // Compiled path exactly as CARBON runs it: one cached compilation,
     // per-decode scorers sharing the Arc'd program.
-    let decode_cache = GpCompileCache::new(64);
+    let gp_cache = GpCompileCache::new(64);
     let t1 = Instant::now();
     let mut fast_cost = 0.0f64;
     let mut comp_nodes = 0u64;
     for _ in 0..reps {
-        let (prog, _) = decode_cache.get_or_compile(&expr, &ps);
+        let (prog, _) = gp_cache.get_or_compile(&expr, &ps);
         let mut scorer = CompiledGpScorer::from_program(prog);
         fast_cost = greedy_cover_batched(&inst, &costs, &mut scorer, Some(&relax)).cost;
         comp_nodes += scorer.nodes_evaluated();
@@ -228,6 +231,62 @@ fn write_bench_json(path: &str, reduced: bool) {
     }
     let ccs = cc.stats();
     assert!(ccs.hits > 0, "repeated elites must hit the compile cache");
+
+    // Repeated evaluation-matrix decode workload: a pool of trees × a
+    // pool of pricings swept several times — the cell traffic elite
+    // re-injection and archive replay generate across generations. The
+    // reference decodes every cell of every pass fresh; the memoized
+    // sweep recalls repeats from the decode cache. Both must agree to
+    // the bit.
+    let dc_passes = if reduced { 3u32 } else { 6 };
+    let dc_trees = &pool[..4.min(pool.len())];
+    let dc_pricings: Vec<Vec<f64>> =
+        (0..6).map(|i| vec![12.0 + i as f64 * 5.0; inst.num_own()]).collect();
+    let dc_relaxes: Vec<Relaxation> =
+        dc_pricings.iter().map(|p| solver.solve(&inst.costs_for(p)).unwrap()).collect();
+    let decode_cell = |ti: usize, pi: usize| -> DecodeOutcome {
+        let prices = &dc_pricings[pi];
+        let costs = inst.costs_for(prices);
+        let (prog, _) = gp_cache.get_or_compile(&dc_trees[ti], &ps);
+        let mut scorer = CompiledGpScorer::from_program(prog);
+        let cover = greedy_cover_batched(&inst, &costs, &mut scorer, Some(&dc_relaxes[pi]));
+        let eval = evaluate_pair(&inst, prices, &cover.chosen, dc_relaxes[pi].lower_bound);
+        DecodeOutcome { cover, eval, gp_nodes: scorer.nodes_evaluated() }
+    };
+
+    let t2 = Instant::now();
+    let mut dc_ref_sum = 0.0f64;
+    for _ in 0..dc_passes {
+        for ti in 0..dc_trees.len() {
+            for pi in 0..dc_pricings.len() {
+                dc_ref_sum += decode_cell(ti, pi).eval.ul_value;
+            }
+        }
+    }
+    let dc_ref_ms = t2.elapsed().as_secs_f64() * 1e3 / f64::from(dc_passes);
+
+    let dc = DecodeCache::new(4096);
+    let mode = decode_mode(false, true, true);
+    let tree_keys: Vec<Vec<u64>> = dc_trees.iter().map(tree_scorer_key).collect();
+    let t3 = Instant::now();
+    let mut dc_memo_sum = 0.0f64;
+    for _ in 0..dc_passes {
+        for (ti, tkey) in tree_keys.iter().enumerate() {
+            for (pi, prices) in dc_pricings.iter().enumerate() {
+                let (out, _) =
+                    dc.get_or_decode(cell_key(mode, tkey, prices), || decode_cell(ti, pi));
+                dc_memo_sum += out.eval.ul_value;
+            }
+        }
+    }
+    let dc_memo_ms = t3.elapsed().as_secs_f64() * 1e3 / f64::from(dc_passes);
+    assert_eq!(
+        dc_ref_sum.to_bits(),
+        dc_memo_sum.to_bits(),
+        "memoized decodes must be bit-identical"
+    );
+    let dcs = dc.stats();
+    assert!(dcs.hits > 0, "repeated matrix cells must hit the decode cache");
 
     // Repeated-pricing solve workload (as in bench_solve_cache).
     let distinct: Vec<Vec<f64>> =
@@ -256,6 +315,9 @@ fn write_bench_json(path: &str, reduced: bool) {
          \"gp_nodes_per_pass\": {nodes_per_pass},\n  \
          \"compile_cache\": {{\"probes\": {ccp}, \"hits\": {cch}, \"misses\": {ccm}, \
          \"hit_rate\": {ccr:.4}}},\n  \
+         \"decode_cache\": {{\"probes\": {dcp}, \"hits\": {dch}, \"hit_rate\": {dcr:.4}, \
+         \"ref_ms_per_pass\": {dc_ref_ms:.4}, \"memo_ms_per_pass\": {dc_memo_ms:.4}, \
+         \"speedup\": {dc_speedup:.3}}},\n  \
          \"solve_cache\": {{\"probes\": {scp}, \"hits\": {sch}, \"hit_rate\": {scr:.4}, \
          \"pivots_cold\": {cold_pivots}, \"pivots_cached\": {cached_pivots}}}\n}}\n",
         tree_nodes = expr.len(),
@@ -265,6 +327,10 @@ fn write_bench_json(path: &str, reduced: bool) {
         cch = ccs.hits,
         ccm = ccs.misses,
         ccr = rate(ccs.hits, ccs.misses),
+        dcp = dcs.hits + dcs.misses,
+        dch = dcs.hits,
+        dcr = rate(dcs.hits, dcs.misses),
+        dc_speedup = dc_ref_ms / dc_memo_ms.max(1e-12),
         scp = scs.hits + scs.misses,
         sch = scs.hits,
         scr = rate(scs.hits, scs.misses),

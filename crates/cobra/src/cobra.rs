@@ -220,6 +220,8 @@ impl<'a> Cobra<'a> {
         let mut cycles = 0usize;
         let mut gen_counter = 0usize;
         let cache: SolveCache<Relaxation> = SolveCache::new(cfg.ll_cache_capacity);
+        // Evictions already reported in earlier CacheProbe events.
+        let mut cache_ev_emitted = 0u64;
 
         if obs.enabled() {
             obs.observe(&Event::RunStart { algo: "cobra", seed });
@@ -257,6 +259,7 @@ impl<'a> Cobra<'a> {
                     &uppers,
                     &lowers,
                     &cache,
+                    &mut cache_ev_emitted,
                     obs,
                 );
                 gen_counter += 1;
@@ -329,6 +332,7 @@ impl<'a> Cobra<'a> {
                     &uppers,
                     &lowers,
                     &cache,
+                    &mut cache_ev_emitted,
                     obs,
                 );
                 gen_counter += 1;
@@ -395,7 +399,16 @@ impl<'a> Cobra<'a> {
             cycles += 1;
         }
 
-        let result = self.extract(ll_archive, trace, ul_evals, ll_evals, cycles, &cache, obs);
+        let result = self.extract(
+            ll_archive,
+            trace,
+            ul_evals,
+            ll_evals,
+            cycles,
+            &cache,
+            &mut cache_ev_emitted,
+            obs,
+        );
         if obs.enabled() {
             obs.observe(&Event::RunComplete {
                 generations: gen_counter as u64,
@@ -445,6 +458,7 @@ impl<'a> Cobra<'a> {
         uppers: &[Vec<f64>],
         lowers: &[Vec<bool>],
         cache: &SolveCache<Relaxation>,
+        ev_emitted: &mut u64,
         obs: &O,
     ) {
         // Gap of the current best pair by revenue.
@@ -473,10 +487,14 @@ impl<'a> Cobra<'a> {
         if obs.enabled() {
             obs.observe(&Event::LowerLevelSolve { solves: 1, pivots });
             if cache.is_enabled() {
+                let s = cache.stats();
                 obs.observe(&Event::CacheProbe {
                     hits: u64::from(hit),
                     misses: u64::from(!hit),
+                    evictions: s.evictions - *ev_emitted,
+                    entries: s.entries as u64,
                 });
+                *ev_emitted = s.evictions;
             }
             obs.observe(&Event::GenerationEnd {
                 generation: generation as u64,
@@ -496,6 +514,7 @@ impl<'a> Cobra<'a> {
         ll_evals: u64,
         cycles: usize,
         cache: &SolveCache<Relaxation>,
+        ev_emitted: &mut u64,
         obs: &O,
     ) -> CobraResult {
         let inst = self.inst;
@@ -530,7 +549,14 @@ impl<'a> Cobra<'a> {
         if obs.enabled() && solves > 0 {
             obs.observe(&Event::LowerLevelSolve { solves, pivots });
             if cache.is_enabled() {
-                obs.observe(&Event::CacheProbe { hits, misses: solves - hits });
+                let s = cache.stats();
+                obs.observe(&Event::CacheProbe {
+                    hits,
+                    misses: solves - hits,
+                    evictions: s.evictions - *ev_emitted,
+                    entries: s.entries as u64,
+                });
+                *ev_emitted = s.evictions;
             }
         }
         match best {

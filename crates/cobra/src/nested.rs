@@ -124,6 +124,8 @@ impl<'a> NestedSequential<'a> {
         }
 
         let cache: SolveCache<Relaxation> = SolveCache::new(cfg.ll_cache_capacity);
+        // Evictions already reported in earlier CacheProbe events.
+        let mut ev_emitted = 0u64;
         let inner_cost = (cfg.ll_pop_size * cfg.ll_gens_per_eval) as u64;
         loop {
             if obs.enabled() {
@@ -196,7 +198,14 @@ impl<'a> NestedSequential<'a> {
                 });
                 obs.observe(&Event::LowerLevelSolve { solves: gen_solves, pivots: gen_pivots });
                 if cache.is_enabled() {
-                    obs.observe(&Event::CacheProbe { hits: gen_hits, misses: gen_misses });
+                    let s = cache.stats();
+                    obs.observe(&Event::CacheProbe {
+                        hits: gen_hits,
+                        misses: gen_misses,
+                        evictions: s.evictions - ev_emitted,
+                        entries: s.entries as u64,
+                    });
+                    ev_emitted = s.evictions;
                 }
             }
             if fits.len() < pop.len() {

@@ -18,6 +18,10 @@
 //!    elite archives are maintained at both levels.
 
 use crate::compile_cache::GpCompileCache;
+use crate::decode_cache::{
+    cell_key, decode_mode, dedup_by_key, pricing_key, tree_scorer_key, DecodeCache,
+    DecodeOutcome,
+};
 use bico_bcpop::{
     bcpop_primitives, evaluate_pair, greedy_cover, greedy_cover_batched, BcpopInstance,
     CompiledGpScorer, CoverOutcome, GpScorer, Relaxation, RelaxationSolver,
@@ -38,6 +42,7 @@ use bico_obs::{Event, Level, NullObserver, RunObserver};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
+use std::sync::Arc;
 
 /// CARBON parameters. `Default` is the paper's Table II column
 /// (50 000 + 50 000 evaluations, population/archive 100, SBX 0.85,
@@ -107,6 +112,24 @@ pub struct CarbonConfig {
     /// instead of once per generation; results are bit-identical either
     /// way (see [`crate::GpCompileCache`]).
     pub gp_compile_cache_capacity: usize,
+    /// Schedule fitness through the deduplicated evaluation matrix:
+    /// unique (tree, pricing) pairs are collected across the population
+    /// up front, each unique cell decodes once, and results scatter back
+    /// to every population slot that requested them — duplicated trees
+    /// (clones, elites, reproduction) and duplicated pricings never
+    /// decode twice within a generation. `false` runs the straight
+    /// per-individual reference loop. Results are bit-identical either
+    /// way (asserted by differential tests).
+    pub eval_matrix: bool,
+    /// Capacity of the cross-generation decode cache (`0` = off; only
+    /// probed by the evaluation matrix, so it needs `eval_matrix`).
+    /// Full lower-level outcomes are memoized by (scorer encoding ×
+    /// pricing bits × decode mode), so re-decoding an elite pairing in a
+    /// later generation — or the champion re-decoding a training pricing
+    /// it just saw in the lower-level phase — recalls the stored outcome
+    /// including its GP-node charge; results are bit-identical either
+    /// way (see [`crate::DecodeCache`]).
+    pub decode_cache_capacity: usize,
 }
 
 impl Default for CarbonConfig {
@@ -134,6 +157,8 @@ impl Default for CarbonConfig {
             ll_cache_capacity: 0,
             compiled_eval: true,
             gp_compile_cache_capacity: 1024,
+            eval_matrix: true,
+            decode_cache_capacity: 4096,
         }
     }
 }
@@ -274,7 +299,17 @@ impl<'a> Carbon<'a> {
             0
         });
         // Compile-cache traffic emitted per generation as deltas.
-        let mut cc_emitted = (0u64, 0u64);
+        let mut cc_emitted = (0u64, 0u64, 0u64);
+        // Solve-cache evictions already reported in earlier probes.
+        let mut cache_ev_emitted = 0u64;
+        // Decode outcomes are only memoized by the evaluation-matrix
+        // scheduler: the reference loop stays exactly the pre-matrix
+        // code path, cache and all.
+        let decode_cache =
+            DecodeCache::new(if cfg.eval_matrix { cfg.decode_cache_capacity } else { 0 });
+        let mode = decode_mode(false, cfg.lp_terminals, cfg.compiled_eval);
+        // Decode-cache traffic emitted per generation as deltas.
+        let mut dc_emitted = (0u64, 0u64, 0u64);
 
         if obs.enabled() {
             obs.observe(&Event::RunStart { algo: "carbon", seed });
@@ -317,10 +352,14 @@ impl<'a> Carbon<'a> {
                     pivots: gen_pivots,
                 });
                 if cache.is_enabled() {
+                    let s = cache.stats();
                     obs.observe(&Event::CacheProbe {
                         hits: gen_hits,
                         misses: relaxations.len() as u64 - gen_hits,
+                        evictions: s.evictions - cache_ev_emitted,
+                        entries: s.entries as u64,
                     });
+                    cache_ev_emitted = s.evictions;
                 }
                 obs.observe(&Event::PhaseChange { phase: "ll_fitness" });
             }
@@ -338,43 +377,107 @@ impl<'a> Carbon<'a> {
                     }
                 })
                 .collect();
-            let ll_scored: Vec<(f64, u64)> = ll_pop
-                .par_iter()
-                .map(|expr| {
-                    // One scorer per (expr, generation): compilation is
-                    // served by the cross-generation cache (at most one
-                    // compile per distinct tree per run), and the
-                    // interpreted reference binds its evaluator once here
-                    // instead of once per decode.
-                    let mut scorer = PreparedScorer::bind(
-                        expr,
-                        &self.primitives,
-                        cfg.compiled_eval,
-                        &gp_cache,
-                    );
-                    let mut total = 0.0;
-                    let mut gp_nodes = 0u64;
-                    for &ti in &training {
-                        let prices = &ul_pop[ti];
-                        let costs = inst.costs_for(prices);
-                        let relax = &relaxations[ti];
-                        let (out, nodes) =
-                            scorer.decode(inst, &costs, cfg.lp_terminals.then_some(relax));
-                        gp_nodes += nodes;
-                        let ev = evaluate_pair(inst, prices, &out.chosen, relax.lower_bound);
-                        total += if cfg.gap_fitness {
-                            if ev.gap.is_finite() {
-                                ev.gap
+            let ll_scored: Vec<(f64, u64)> = if cfg.eval_matrix {
+                // Evaluation matrix: rows are the population's *unique*
+                // trees (clones, elites, and reproduction copies share a
+                // row), columns its unique training pricings. Each cell
+                // decodes at most once per generation — and not at all
+                // when the decode cache recalls it from an earlier one.
+                let (row_of, rows) = dedup_by_key(ll_pop.iter().map(tree_scorer_key));
+                let (col_of, cols) =
+                    dedup_by_key(training.iter().map(|&ti| pricing_key(&ul_pop[ti])));
+                let cells: Vec<Vec<Arc<DecodeOutcome>>> = rows
+                    .par_iter()
+                    .map(|(rep, tkey)| {
+                        // Bound lazily: a row whose every cell hits the
+                        // decode cache never compiles or binds at all.
+                        let mut scorer: Option<PreparedScorer> = None;
+                        cols.iter()
+                            .map(|(rep_slot, _)| {
+                                let ti = training[*rep_slot];
+                                let prices = &ul_pop[ti];
+                                let relax = &relaxations[ti];
+                                decode_cache
+                                    .get_or_decode(cell_key(mode, tkey, prices), || {
+                                        let s = scorer.get_or_insert_with(|| {
+                                            PreparedScorer::bind(
+                                                &ll_pop[*rep],
+                                                &self.primitives,
+                                                cfg.compiled_eval,
+                                                &gp_cache,
+                                            )
+                                        });
+                                        decode_cell(inst, s, prices, relax, cfg.lp_terminals)
+                                    })
+                                    .0
+                            })
+                            .collect()
+                    })
+                    .collect();
+                // Scatter: every population slot reads its row, summing
+                // training contributions in the same order the reference
+                // loop does, so the f64 accumulation is bit-identical.
+                (0..ll_pop.len())
+                    .map(|i| {
+                        let row = &cells[row_of[i]];
+                        let mut total = 0.0;
+                        let mut gp_nodes = 0u64;
+                        for &c in &col_of {
+                            let cell = &row[c];
+                            gp_nodes += cell.gp_nodes;
+                            total += if cfg.gap_fitness {
+                                if cell.eval.gap.is_finite() {
+                                    cell.eval.gap
+                                } else {
+                                    1e9
+                                }
                             } else {
-                                1e9
-                            }
-                        } else {
-                            ev.ll_value
-                        };
-                    }
-                    (total / training.len() as f64, gp_nodes)
-                })
-                .collect();
+                                cell.eval.ll_value
+                            };
+                        }
+                        (total / training.len() as f64, gp_nodes)
+                    })
+                    .collect()
+            } else {
+                ll_pop
+                    .par_iter()
+                    .map(|expr| {
+                        // One scorer per (expr, generation): compilation is
+                        // served by the cross-generation cache (at most one
+                        // compile per distinct tree per run), and the
+                        // interpreted reference binds its evaluator once here
+                        // instead of once per decode.
+                        let mut scorer = PreparedScorer::bind(
+                            expr,
+                            &self.primitives,
+                            cfg.compiled_eval,
+                            &gp_cache,
+                        );
+                        let mut total = 0.0;
+                        let mut gp_nodes = 0u64;
+                        for &ti in &training {
+                            let prices = &ul_pop[ti];
+                            let costs = inst.costs_for(prices);
+                            let relax = &relaxations[ti];
+                            let (out, nodes) =
+                                scorer.decode(inst, &costs, cfg.lp_terminals.then_some(relax));
+                            gp_nodes += nodes;
+                            let ev =
+                                evaluate_pair(inst, prices, &out.chosen, relax.lower_bound);
+                            total += if cfg.gap_fitness {
+                                if ev.gap.is_finite() {
+                                    ev.gap
+                                } else {
+                                    1e9
+                                }
+                            } else {
+                                ev.ll_value
+                            };
+                        }
+                        (total / training.len() as f64, gp_nodes)
+                    })
+                    .collect()
+            };
             let ll_fitness: Vec<f64> = ll_scored.iter().map(|&(f, _)| f).collect();
             ll_evals += gen_ll_cost;
             if obs.enabled() {
@@ -410,6 +513,19 @@ impl<'a> Carbon<'a> {
                     });
                 }
             }
+            // Frequency-aware admission: the trees most likely to be
+            // probed again next generation — the champion and the archive
+            // best that breeding re-injects — are pinned so compile-cache
+            // capacity churn cannot evict them mid-arms-race. Pin sets are
+            // per-generation: last generation's elite loses its shield
+            // when it stops being elite.
+            if gp_cache.is_enabled() {
+                gp_cache.clear_pins();
+                gp_cache.pin(&champion);
+                if let Some((elite, _)) = ll_archive.best() {
+                    gp_cache.pin(elite);
+                }
+            }
             if obs.enabled() {
                 obs.observe(&Event::PhaseChange { phase: "ul_fitness" });
             }
@@ -422,25 +538,53 @@ impl<'a> Carbon<'a> {
             let champ_prog = cfg
                 .compiled_eval
                 .then(|| gp_cache.get_or_compile(&champion, &self.primitives).0);
-            let ul_scored: Vec<(f64, f64, u64)> = ul_pop
-                .par_iter()
-                .zip(relaxations.par_iter())
-                .map(|(prices, relax)| {
-                    let costs = inst.costs_for(prices);
-                    let mut scorer = match &champ_prog {
-                        Some(prog) => PreparedScorer::Compiled(CompiledGpScorer::from_program(
-                            prog.clone(),
-                        )),
-                        None => {
-                            PreparedScorer::Interp(GpScorer::new(&champion, &self.primitives))
-                        }
-                    };
-                    let (out, nodes) =
-                        scorer.decode(inst, &costs, cfg.lp_terminals.then_some(relax));
-                    let ev = evaluate_pair(inst, prices, &out.chosen, relax.lower_bound);
-                    (ev.ul_value, ev.gap, nodes)
-                })
-                .collect();
+            let bind_champ = || match &champ_prog {
+                Some(prog) => {
+                    PreparedScorer::Compiled(CompiledGpScorer::from_program(prog.clone()))
+                }
+                None => PreparedScorer::Interp(GpScorer::new(&champion, &self.primitives)),
+            };
+            let ul_scored: Vec<(f64, f64, u64)> = if cfg.eval_matrix {
+                // One matrix row (the champion) wide over the population's
+                // unique pricings. Champion cells share the lower-level
+                // key namespace, so the training pricings the champion
+                // just decoded in phase 2 are recalled, not re-decoded.
+                let (col_of, cols) = dedup_by_key(ul_pop.iter().map(|p| pricing_key(p)));
+                let champ_key = tree_scorer_key(&champion);
+                let cells: Vec<Arc<DecodeOutcome>> = cols
+                    .par_iter()
+                    .map(|(rep, _)| {
+                        let prices = &ul_pop[*rep];
+                        let relax = &relaxations[*rep];
+                        decode_cache
+                            .get_or_decode(cell_key(mode, &champ_key, prices), || {
+                                let mut scorer = bind_champ();
+                                decode_cell(inst, &mut scorer, prices, relax, cfg.lp_terminals)
+                            })
+                            .0
+                    })
+                    .collect();
+                col_of
+                    .iter()
+                    .map(|&c| {
+                        let cell = &cells[c];
+                        (cell.eval.ul_value, cell.eval.gap, cell.gp_nodes)
+                    })
+                    .collect()
+            } else {
+                ul_pop
+                    .par_iter()
+                    .zip(relaxations.par_iter())
+                    .map(|(prices, relax)| {
+                        let costs = inst.costs_for(prices);
+                        let mut scorer = bind_champ();
+                        let (out, nodes) =
+                            scorer.decode(inst, &costs, cfg.lp_terminals.then_some(relax));
+                        let ev = evaluate_pair(inst, prices, &out.chosen, relax.lower_bound);
+                        (ev.ul_value, ev.gap, nodes)
+                    })
+                    .collect()
+            };
             ul_evals += gen_ul_cost;
             if obs.enabled() {
                 obs.observe(&Event::Evaluation {
@@ -459,8 +603,24 @@ impl<'a> Carbon<'a> {
                     obs.observe(&Event::CompileCacheProbe {
                         hits: s.hits - cc_emitted.0,
                         misses: s.misses - cc_emitted.1,
+                        evictions: s.evictions - cc_emitted.2,
+                        entries: s.entries as u64,
                     });
-                    cc_emitted = (s.hits, s.misses);
+                    cc_emitted = (s.hits, s.misses, s.evictions);
+                }
+                if decode_cache.is_enabled() {
+                    // This generation's decode-cache traffic (ll matrix +
+                    // champion row), as deltas. Hits + misses counts
+                    // *unique* matrix cells — intra-generation duplicates
+                    // were deduplicated before probing.
+                    let s = decode_cache.stats();
+                    obs.observe(&Event::DecodeCacheProbe {
+                        hits: s.hits - dc_emitted.0,
+                        misses: s.misses - dc_emitted.1,
+                        evictions: s.evictions - dc_emitted.2,
+                        entries: s.entries as u64,
+                    });
+                    dc_emitted = (s.hits, s.misses, s.evictions);
                 }
             }
 
@@ -597,6 +757,23 @@ impl<'e> PreparedScorer<'e> {
             }
         }
     }
+}
+
+/// Decode one evaluation-matrix cell — one scorer against one pricing —
+/// and evaluate the resulting pair. Pure: the outcome depends only on
+/// the scorer, the pricing bits, and the decode mode, which is what
+/// makes the cell memoizable.
+fn decode_cell(
+    inst: &BcpopInstance,
+    scorer: &mut PreparedScorer,
+    prices: &[f64],
+    relax: &Relaxation,
+    lp_terminals: bool,
+) -> DecodeOutcome {
+    let costs = inst.costs_for(prices);
+    let (cover, gp_nodes) = scorer.decode(inst, &costs, lp_terminals.then_some(relax));
+    let eval = evaluate_pair(inst, prices, &cover.chosen, relax.lower_bound);
+    DecodeOutcome { cover, eval, gp_nodes }
 }
 
 fn breed_ul<R: Rng + ?Sized>(
@@ -846,6 +1023,44 @@ mod tests {
                 assert_eq!(fast.best_heuristic, reference.best_heuristic, "{ctx}");
                 assert_eq!(fast.trace.points(), reference.trace.points(), "{ctx}");
                 assert_eq!(fast.generations, reference.generations, "{ctx}");
+            }
+        }
+    }
+
+    #[test]
+    fn eval_matrix_matches_reference_loop_bit_for_bit() {
+        // The deduplicated evaluation matrix (with its decode cache) must
+        // reproduce the straight per-individual loop bit for bit,
+        // including when training subsets are wide enough to contain
+        // duplicate pricings.
+        for (nb, ns, inst_seed) in [(30usize, 4usize, 7u64), (40, 5, 11)] {
+            let inst = generate(
+                &GeneratorConfig { num_bundles: nb, num_services: ns, ..Default::default() },
+                inst_seed,
+            );
+            for seed in [1u64, 2, 3] {
+                let mut cfg = CarbonConfig::quick();
+                cfg.ul_pop_size = 8;
+                cfg.ll_pop_size = 8;
+                cfg.ul_evaluations = 80;
+                cfg.ll_evaluations = 160;
+                cfg.training_samples = 2;
+                assert!(cfg.eval_matrix, "matrix scheduler defaults on");
+                assert!(cfg.decode_cache_capacity > 0, "decode cache defaults on");
+                let matrix = Carbon::new(&inst, cfg.clone()).run(seed);
+                cfg.eval_matrix = false;
+                let reference = Carbon::new(&inst, cfg).run(seed);
+                let ctx = format!("{nb}x{ns} seed {seed}");
+                assert_eq!(matrix.trace.points(), reference.trace.points(), "{ctx}");
+                assert_eq!(matrix.best_pricing, reference.best_pricing, "{ctx}");
+                assert_eq!(
+                    matrix.best_ul_value.to_bits(),
+                    reference.best_ul_value.to_bits(),
+                    "{ctx}"
+                );
+                assert_eq!(matrix.best_gap.to_bits(), reference.best_gap.to_bits(), "{ctx}");
+                assert_eq!(matrix.best_heuristic, reference.best_heuristic, "{ctx}");
+                assert_eq!(matrix.generations, reference.generations, "{ctx}");
             }
         }
     }

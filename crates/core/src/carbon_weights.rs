@@ -10,6 +10,10 @@
 //! coupling.
 
 use crate::carbon::CarbonConfig;
+use crate::decode_cache::{
+    cell_key, decode_mode, dedup_by_key, pricing_key, weights_scorer_key, DecodeCache,
+    DecodeOutcome,
+};
 use bico_bcpop::{
     evaluate_pair, greedy_cover, greedy_cover_batched, BcpopInstance, CoverOutcome, Relaxation,
     RelaxationSolver, WeightScorer, NUM_TERMINALS,
@@ -24,6 +28,7 @@ use bico_ea::{
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
+use std::sync::Arc;
 
 /// Result of a CARBON-W run.
 #[derive(Debug, Clone)]
@@ -106,6 +111,20 @@ impl<'a> CarbonWeights<'a> {
                     greedy_cover(inst, costs, scorer, Some(relax))
                 }
             };
+        // One evaluation-matrix cell: decode + pair evaluation, keyed by
+        // (weight bits × pricing bits × mode). Linear scorers charge no
+        // GP nodes.
+        let cell = |weights: [f64; NUM_TERMINALS], prices: &[f64], relax: &Relaxation| {
+            let costs = inst.costs_for(prices);
+            let mut scorer = WeightScorer::new(weights);
+            let cover = cover(&mut scorer, &costs, relax);
+            let eval = evaluate_pair(inst, prices, &cover.chosen, relax.lower_bound);
+            DecodeOutcome { cover, eval, gp_nodes: 0 }
+        };
+        let decode_cache =
+            DecodeCache::new(if cfg.eval_matrix { cfg.decode_cache_capacity } else { 0 });
+        // CARBON-W always feeds the scorer the LP terminals.
+        let mode = decode_mode(true, true, cfg.compiled_eval);
 
         loop {
             let gen_ul = cfg.ul_pop_size as u64;
@@ -123,27 +142,67 @@ impl<'a> CarbonWeights<'a> {
             let training: Vec<usize> = (0..cfg.training_samples)
                 .map(|s| if s == 0 { 0 } else { (generation + s * 37) % ul_pop.len() })
                 .collect();
-            let ll_fitness: Vec<f64> = ll_pop
-                .par_iter()
-                .map(|w| {
-                    let weights: [f64; NUM_TERMINALS] = w.clone().try_into().unwrap();
-                    let mut scorer = WeightScorer::new(weights);
-                    let mut total = 0.0;
-                    for &ti in &training {
-                        let prices = &ul_pop[ti];
-                        let costs = inst.costs_for(prices);
-                        let out = cover(&mut scorer, &costs, &relaxations[ti]);
-                        let ev = evaluate_pair(
-                            inst,
-                            prices,
-                            &out.chosen,
-                            relaxations[ti].lower_bound,
-                        );
-                        total += if ev.gap.is_finite() { ev.gap } else { 1e9 };
-                    }
-                    total / training.len() as f64
-                })
-                .collect();
+            let ll_fitness: Vec<f64> = if cfg.eval_matrix {
+                // Deduplicated evaluation matrix: unique weight vectors ×
+                // unique training pricings, each cell decoded once (or
+                // recalled from an earlier generation), scattered back in
+                // the reference loop's summation order.
+                let (row_of, rows) = dedup_by_key(ll_pop.iter().map(|w| weights_scorer_key(w)));
+                let (col_of, cols) =
+                    dedup_by_key(training.iter().map(|&ti| pricing_key(&ul_pop[ti])));
+                let cells: Vec<Vec<Arc<DecodeOutcome>>> = rows
+                    .par_iter()
+                    .map(|(rep, wkey)| {
+                        let weights: [f64; NUM_TERMINALS] =
+                            ll_pop[*rep].clone().try_into().unwrap();
+                        cols.iter()
+                            .map(|(rep_slot, _)| {
+                                let ti = training[*rep_slot];
+                                let prices = &ul_pop[ti];
+                                let relax = &relaxations[ti];
+                                decode_cache
+                                    .get_or_decode(cell_key(mode, wkey, prices), || {
+                                        cell(weights, prices, relax)
+                                    })
+                                    .0
+                            })
+                            .collect()
+                    })
+                    .collect();
+                (0..ll_pop.len())
+                    .map(|i| {
+                        let row = &cells[row_of[i]];
+                        let mut total = 0.0;
+                        for &c in &col_of {
+                            let gap = row[c].eval.gap;
+                            total += if gap.is_finite() { gap } else { 1e9 };
+                        }
+                        total / training.len() as f64
+                    })
+                    .collect()
+            } else {
+                ll_pop
+                    .par_iter()
+                    .map(|w| {
+                        let weights: [f64; NUM_TERMINALS] = w.clone().try_into().unwrap();
+                        let mut scorer = WeightScorer::new(weights);
+                        let mut total = 0.0;
+                        for &ti in &training {
+                            let prices = &ul_pop[ti];
+                            let costs = inst.costs_for(prices);
+                            let out = cover(&mut scorer, &costs, &relaxations[ti]);
+                            let ev = evaluate_pair(
+                                inst,
+                                prices,
+                                &out.chosen,
+                                relaxations[ti].lower_bound,
+                            );
+                            total += if ev.gap.is_finite() { ev.gap } else { 1e9 };
+                        }
+                        total / training.len() as f64
+                    })
+                    .collect()
+            };
             ll_evals += gen_ll;
 
             let mut best_ll = 0;
@@ -159,17 +218,37 @@ impl<'a> CarbonWeights<'a> {
                 }
             }
 
-            let ul_scored: Vec<(f64, f64)> = ul_pop
-                .par_iter()
-                .zip(relaxations.par_iter())
-                .map(|(prices, relax)| {
-                    let costs = inst.costs_for(prices);
-                    let mut scorer = WeightScorer::new(champion);
-                    let out = cover(&mut scorer, &costs, relax);
-                    let ev = evaluate_pair(inst, prices, &out.chosen, relax.lower_bound);
-                    (ev.ul_value, ev.gap)
-                })
-                .collect();
+            let ul_scored: Vec<(f64, f64)> = if cfg.eval_matrix {
+                // Champion row over the population's unique pricings;
+                // training cells from the ll phase are recalled.
+                let (col_of, cols) = dedup_by_key(ul_pop.iter().map(|p| pricing_key(p)));
+                let champ_key = weights_scorer_key(&champion);
+                let cells: Vec<Arc<DecodeOutcome>> = cols
+                    .par_iter()
+                    .map(|(rep, _)| {
+                        let prices = &ul_pop[*rep];
+                        let relax = &relaxations[*rep];
+                        decode_cache
+                            .get_or_decode(cell_key(mode, &champ_key, prices), || {
+                                cell(champion, prices, relax)
+                            })
+                            .0
+                    })
+                    .collect();
+                col_of.iter().map(|&c| (cells[c].eval.ul_value, cells[c].eval.gap)).collect()
+            } else {
+                ul_pop
+                    .par_iter()
+                    .zip(relaxations.par_iter())
+                    .map(|(prices, relax)| {
+                        let costs = inst.costs_for(prices);
+                        let mut scorer = WeightScorer::new(champion);
+                        let out = cover(&mut scorer, &costs, relax);
+                        let ev = evaluate_pair(inst, prices, &out.chosen, relax.lower_bound);
+                        (ev.ul_value, ev.gap)
+                    })
+                    .collect()
+            };
             ul_evals += gen_ul;
 
             let mut gen_best_f = f64::NEG_INFINITY;
@@ -344,6 +423,37 @@ mod tests {
             assert_eq!(fast.best_gap.to_bits(), reference.best_gap.to_bits(), "seed {seed}");
             assert_eq!(fast.best_weights, reference.best_weights, "seed {seed}");
             assert_eq!(fast.trace.points(), reference.trace.points(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn eval_matrix_matches_reference_loop_bit_for_bit() {
+        // The deduplicated evaluation matrix (+ decode cache) against the
+        // legacy per-slot loop: scheduling and memoization must not move
+        // a single bit of the run.
+        for inst_seed in [51u64, 6] {
+            let inst = generate(
+                &GeneratorConfig { num_bundles: 30, num_services: 4, ..Default::default() },
+                inst_seed,
+            );
+            for seed in [1u64, 2, 3] {
+                let mut c = cfg(10, 400);
+                assert!(c.eval_matrix && c.decode_cache_capacity > 0);
+                let matrix = CarbonWeights::new(&inst, c.clone()).run(seed);
+                c.eval_matrix = false;
+                let reference = CarbonWeights::new(&inst, c).run(seed);
+                let ctx = format!("inst {inst_seed} seed {seed}");
+                assert_eq!(matrix.best_pricing, reference.best_pricing, "{ctx}");
+                assert_eq!(
+                    matrix.best_ul_value.to_bits(),
+                    reference.best_ul_value.to_bits(),
+                    "{ctx}"
+                );
+                assert_eq!(matrix.best_gap.to_bits(), reference.best_gap.to_bits(), "{ctx}");
+                assert_eq!(matrix.best_weights, reference.best_weights, "{ctx}");
+                assert_eq!(matrix.trace.points(), reference.trace.points(), "{ctx}");
+                assert_eq!(matrix.generations, reference.generations, "{ctx}");
+            }
         }
     }
 

@@ -64,6 +64,25 @@ impl GpCompileCache {
         })
     }
 
+    /// Pin `expr`'s program: while pinned, capacity-overflow eviction
+    /// passes over it (frequency-aware admission — CARBON pins each
+    /// generation's elite set, whose trees are near-certain to be
+    /// re-probed next generation). Applies immediately if the program is
+    /// resident, otherwise on its next admission. No-op when disabled.
+    pub fn pin(&self, expr: &Expr) {
+        self.cache.pin(&structural_key(expr));
+    }
+
+    /// Unpin everything (start of a new generation's elite set).
+    pub fn clear_pins(&self) {
+        self.cache.clear_pins();
+    }
+
+    /// Number of currently pinned keys.
+    pub fn pinned_len(&self) -> usize {
+        self.cache.pinned_len()
+    }
+
     /// Snapshot of hit/miss/insertion/eviction counters.
     pub fn stats(&self) -> CacheStats {
         self.cache.stats()
@@ -101,6 +120,33 @@ mod tests {
         let (_, hit) = cache.get_or_compile(&b, &ps);
         assert!(!hit);
         assert_eq!(cache.stats().insertions, 2);
+    }
+
+    #[test]
+    fn pinned_program_outlives_capacity_overflow_churn() {
+        let ps = bcpop_primitives();
+        // Tiny capacity: every insert after the first must evict.
+        let cache = GpCompileCache::new(1);
+        let elite = parse_sexpr("(+ c_j (* q_res b_res))", &ps).unwrap();
+        let (elite_prog, _) = cache.get_or_compile(&elite, &ps);
+        cache.pin(&elite);
+        // Churn through distinct trees; each wants the elite's only slot.
+        for expr in ["(- c_j q_j)", "(* c_j q_j)", "(% c_j q_j)", "(+ c_j q_j)"] {
+            let churn = parse_sexpr(expr, &ps).unwrap();
+            cache.get_or_compile(&churn, &ps);
+        }
+        let (prog, hit) = cache.get_or_compile(&elite, &ps);
+        assert!(hit, "pinned elite must survive the churn");
+        assert!(Arc::ptr_eq(&elite_prog, &prog));
+        // Unpinned, the next overflow may finally evict it.
+        cache.clear_pins();
+        assert_eq!(cache.pinned_len(), 0);
+        for expr in ["(- c_j q_j)", "(* c_j q_j)"] {
+            let churn = parse_sexpr(expr, &ps).unwrap();
+            cache.get_or_compile(&churn, &ps);
+        }
+        let (_, hit) = cache.get_or_compile(&elite, &ps);
+        assert!(!hit, "unpinned entry is subject to normal eviction");
     }
 
     #[test]

@@ -1,0 +1,241 @@
+//! Cross-generation lower-level decode memoization.
+//!
+//! A lower-level decode — one greedy pass of one scoring heuristic over
+//! one pricing's cost vector — is a pure function of the scorer, the
+//! pricing bits, and the decode mode: the cost vector, the relaxation
+//! (when LP terminals are on), and the pair evaluation all derive
+//! deterministically from the pricing. CARBON re-runs the very same
+//! decode constantly: elites and archive members resurface identical
+//! pricings generation after generation, reproduction clones and the
+//! re-injected archive best resurface identical trees, and the champion
+//! decoded against the training elite in the lower-level phase is decoded
+//! against it again in the upper-level phase.
+//!
+//! [`DecodeCache`] memoizes the *full* outcome of such a decode —
+//! chosen bundles, follower objective, leader revenue, %-gap, and the
+//! GP-node charge — under an injective key combining the scorer's exact
+//! encoding, the pricing's exact bit pattern, and the decode mode.
+//! Storing the node charge keeps `nodes_evaluated` accounting
+//! bit-identical on hits: a recalled decode charges exactly what the
+//! fresh decode did.
+//!
+//! Caching cannot change results: decodes are deterministic and keys are
+//! exact, so cached and uncached runs are bit-identical (asserted by the
+//! differential tests in `tests/determinism.rs`).
+
+use bico_bcpop::{BilevelEval, CoverOutcome};
+use bico_ea::cache::{CacheStats, ShardedCache};
+use bico_gp::{structural_key, Expr};
+use std::sync::Arc;
+
+/// Everything one lower-level decode of one (scorer, pricing) pair
+/// produces. Cached whole so a hit can stand in for the decode *and* the
+/// pair evaluation without recomputing either.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecodeOutcome {
+    /// The greedy cover the heuristic produced (chosen bundles, follower
+    /// objective, feasibility, steps).
+    pub cover: CoverOutcome,
+    /// The bilevel evaluation of that cover against the pricing (leader
+    /// revenue, follower cost, %-gap, feasibility).
+    pub eval: BilevelEval,
+    /// GP nodes charged by this decode (0 for linear weight scorers).
+    /// Replayed on every hit so evaluation accounting never depends on
+    /// whether the decode was recalled or recomputed.
+    pub gp_nodes: u64,
+}
+
+/// Mode tag: the scorer words encode a GP tree ([`structural_key`]).
+pub const MODE_TREE: u64 = 1 << 32;
+/// Mode tag: the scorer words encode a linear weight vector (bit
+/// patterns of the weights).
+pub const MODE_WEIGHTS: u64 = 2 << 32;
+/// Mode flag: the LP relaxation terminals were provided to the scorer.
+pub const FLAG_LP_TERMINALS: u64 = 1;
+/// Mode flag: the compiled + batched decoder ran (vs the interpreter;
+/// both produce bit-identical outcomes, the flag keeps keys
+/// self-describing).
+pub const FLAG_COMPILED: u64 = 2;
+
+/// The mode word for a run configuration.
+pub fn decode_mode(weights: bool, lp_terminals: bool, compiled: bool) -> u64 {
+    (if weights { MODE_WEIGHTS } else { MODE_TREE })
+        | (if lp_terminals { FLAG_LP_TERMINALS } else { 0 })
+        | (if compiled { FLAG_COMPILED } else { 0 })
+}
+
+/// Scorer words for a GP tree: its canonical structural encoding.
+pub fn tree_scorer_key(expr: &Expr) -> Vec<u64> {
+    structural_key(expr)
+}
+
+/// Scorer words for a linear weight vector: exact bit patterns.
+pub fn weights_scorer_key(weights: &[f64]) -> Vec<u64> {
+    weights.iter().map(|w| w.to_bits()).collect()
+}
+
+/// A pricing's exact bit pattern — the evaluation matrix's column
+/// identity (two pricings share a column iff every price is equal to
+/// the bit).
+pub fn pricing_key(prices: &[f64]) -> Box<[u64]> {
+    prices.iter().map(|p| p.to_bits()).collect()
+}
+
+/// One evaluation-matrix cell's cache key:
+/// `[mode, scorer_len, scorer words…, pricing bits…]`.
+///
+/// The layout is a prefix code — `scorer_len` pins down the boundary
+/// between the scorer words and the pricing words — so the key is
+/// injective across (scorer, pricing, mode) as long as each mode's
+/// scorer encoding is itself injective ([`structural_key`] is; weight
+/// bit patterns trivially are). Asserted by a proptest in
+/// `tests/decode_cache_keys.rs`.
+pub fn cell_key(mode: u64, scorer: &[u64], prices: &[f64]) -> Box<[u64]> {
+    let mut key = Vec::with_capacity(2 + scorer.len() + prices.len());
+    key.push(mode);
+    key.push(scorer.len() as u64);
+    key.extend_from_slice(scorer);
+    key.extend(prices.iter().map(|p| p.to_bits()));
+    key.into_boxed_slice()
+}
+
+/// Group a sequence by key — the evaluation matrix's row/column
+/// assignment. Returns, per input position, the index of its group,
+/// plus one `(representative position, key)` per group in
+/// first-appearance order. Population slots sharing a group share one
+/// matrix cell's outcome.
+pub fn dedup_by_key<K: std::hash::Hash + Eq + Clone>(
+    keys: impl Iterator<Item = K>,
+) -> (Vec<usize>, Vec<(usize, K)>) {
+    let mut group_of = Vec::new();
+    let mut groups: Vec<(usize, K)> = Vec::new();
+    let mut seen: std::collections::HashMap<K, usize> = std::collections::HashMap::new();
+    for (i, key) in keys.enumerate() {
+        let id = *seen.entry(key.clone()).or_insert_with(|| {
+            groups.push((i, key));
+            groups.len() - 1
+        });
+        group_of.push(id);
+    }
+    (group_of, groups)
+}
+
+/// A sharded, bounded, thread-safe cache of decode outcomes keyed by
+/// [`cell_key`]. `capacity == 0` disables storage: every probe decodes
+/// fresh (and counts a miss), which is exactly the pre-cache behaviour.
+///
+/// Outcomes are handed out as [`Arc`]s so the evaluation matrix can
+/// scatter one cell to many population slots without cloning the chosen
+/// vector.
+#[derive(Debug)]
+pub struct DecodeCache {
+    inner: ShardedCache<Box<[u64]>, Arc<DecodeOutcome>>,
+}
+
+impl DecodeCache {
+    /// Create a cache holding at most `capacity` outcomes (`0` =
+    /// disabled).
+    pub fn new(capacity: usize) -> Self {
+        DecodeCache { inner: ShardedCache::new(capacity) }
+    }
+
+    /// `true` iff the cache can store entries.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_enabled()
+    }
+
+    /// Outcomes currently resident.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// `true` iff no outcome is resident.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// The outcome for `key`, decoding through `compute` on a miss.
+    /// Returns the outcome and whether it was a hit.
+    pub fn get_or_decode(
+        &self,
+        key: Box<[u64]>,
+        compute: impl FnOnce() -> DecodeOutcome,
+    ) -> (Arc<DecodeOutcome>, bool) {
+        self.inner.get_or_insert(key, || Arc::new(compute()))
+    }
+
+    /// Snapshot of probe/hit/miss/insertion/eviction counters.
+    pub fn stats(&self) -> CacheStats {
+        self.inner.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(cost: f64) -> DecodeOutcome {
+        DecodeOutcome {
+            cover: CoverOutcome { chosen: vec![true, false], cost, feasible: true, steps: 1 },
+            eval: BilevelEval {
+                ul_value: cost / 2.0,
+                ll_value: cost,
+                gap: 1.5,
+                feasible: true,
+            },
+            gp_nodes: 7,
+        }
+    }
+
+    #[test]
+    fn second_probe_recalls_the_same_outcome() {
+        let cache = DecodeCache::new(16);
+        let key = cell_key(MODE_TREE, &[1, 2, 3], &[10.0, 20.0]);
+        let (first, hit1) = cache.get_or_decode(key.clone(), || outcome(100.0));
+        assert!(!hit1);
+        let (second, hit2) = cache.get_or_decode(key, || panic!("must not recompute"));
+        assert!(hit2);
+        assert!(Arc::ptr_eq(&first, &second), "hit must share the stored outcome");
+        assert_eq!(second.gp_nodes, 7, "node charge is replayed on hits");
+    }
+
+    #[test]
+    fn disabled_cache_always_decodes_fresh() {
+        let cache = DecodeCache::new(0);
+        assert!(!cache.is_enabled());
+        let key = cell_key(MODE_TREE, &[1], &[10.0]);
+        let (_, hit1) = cache.get_or_decode(key.clone(), || outcome(1.0));
+        let (_, hit2) = cache.get_or_decode(key, || outcome(1.0));
+        assert!(!hit1 && !hit2);
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn mode_and_scorer_separate_otherwise_equal_keys() {
+        // Same numeric content, different boundaries / modes → distinct.
+        let a = cell_key(MODE_TREE, &[1, 2], &[f64::from_bits(3)]);
+        let b = cell_key(MODE_TREE, &[1, 2, 3], &[]);
+        let c = cell_key(MODE_WEIGHTS, &[1, 2], &[f64::from_bits(3)]);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(b, c);
+    }
+
+    #[test]
+    fn dedup_groups_by_first_appearance() {
+        let (of, groups) = dedup_by_key(["a", "b", "a", "c", "b"].into_iter());
+        assert_eq!(of, vec![0, 1, 0, 2, 1]);
+        assert_eq!(groups, vec![(0, "a"), (1, "b"), (3, "c")]);
+    }
+
+    #[test]
+    fn pricing_bits_are_exact() {
+        let cache = DecodeCache::new(16);
+        let k1 = cell_key(MODE_TREE, &[1], &[0.0]);
+        let k2 = cell_key(MODE_TREE, &[1], &[-0.0]);
+        assert_ne!(k1, k2, "0.0 and -0.0 are different pricings to the bit");
+        cache.get_or_decode(k1, || outcome(1.0));
+        let (_, hit) = cache.get_or_decode(k2, || outcome(2.0));
+        assert!(!hit);
+    }
+}

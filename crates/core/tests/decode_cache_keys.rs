@@ -1,0 +1,159 @@
+//! Key injectivity for the decode cache.
+//!
+//! [`cell_key`] lays a cache key out as `[mode, scorer_len, scorer
+//! words…, pricing bits…]`. The property that makes decode memoization
+//! sound is injectivity: two (mode, scorer, pricing) triples collide iff
+//! they are the same triple. The layout is a prefix code — `scorer_len`
+//! pins the boundary between scorer and pricing words — so injectivity
+//! is equivalent to the key being exactly parseable back into its
+//! components, which is what these tests assert over random triples.
+
+use bico_bcpop::bcpop_primitives;
+use bico_core::decode_cache::{
+    cell_key, decode_mode, pricing_key, tree_scorer_key, weights_scorer_key,
+};
+use bico_gp::{grow, Expr};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn random_tree(seed: u64, max_depth: usize) -> Expr {
+    let ps = bcpop_primitives();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    grow(&ps, 0, max_depth, &mut rng).expect("grow produces a valid tree")
+}
+
+/// Invert [`cell_key`]: `(mode, scorer words, pricing bits)`. Existence
+/// of this exact inverse is what makes the key injective.
+fn parse_key(key: &[u64]) -> (u64, Vec<u64>, Vec<u64>) {
+    let mode = key[0];
+    let n = key[1] as usize;
+    (mode, key[2..2 + n].to_vec(), key[2 + n..].to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Round-trip: every key parses back into exactly the triple that
+    /// built it, for tree scorers of any shape and pricings of any
+    /// length (including the empty pricing).
+    #[test]
+    fn tree_keys_parse_back_exactly(
+        seed: u64,
+        depth in 0usize..6,
+        prices in proptest::collection::vec(-1e9f64..1e9, 0..12),
+        lp_terminals: bool,
+        compiled: bool,
+    ) {
+        let tree = random_tree(seed, depth);
+        let scorer = tree_scorer_key(&tree);
+        let mode = decode_mode(false, lp_terminals, compiled);
+        let key = cell_key(mode, &scorer, &prices);
+        let (m, s, p) = parse_key(&key);
+        prop_assert_eq!(m, mode);
+        prop_assert_eq!(s, scorer);
+        prop_assert_eq!(p, pricing_key(&prices).to_vec());
+    }
+
+    /// Same round-trip for the linear-weights mode, whose scorer words
+    /// are weight bit patterns rather than tree structure.
+    #[test]
+    fn weight_keys_parse_back_exactly(
+        weights in proptest::collection::vec(-1.0f64..1.0, 1..8),
+        prices in proptest::collection::vec(-1e9f64..1e9, 0..12),
+        compiled: bool,
+    ) {
+        let scorer = weights_scorer_key(&weights);
+        let mode = decode_mode(true, true, compiled);
+        let key = cell_key(mode, &scorer, &prices);
+        let (m, s, p) = parse_key(&key);
+        prop_assert_eq!(m, mode);
+        prop_assert_eq!(s, scorer);
+        prop_assert_eq!(p, pricing_key(&prices).to_vec());
+    }
+
+    /// Distinct triples get distinct keys: keys collide only when mode,
+    /// scorer words, and pricing bits all agree. (The converse — equal
+    /// triples give equal keys — is determinism of `cell_key` and is
+    /// implied by the round-trip above.)
+    #[test]
+    fn distinct_triples_get_distinct_keys(
+        seed_a: u64,
+        seed_b: u64,
+        depth in 0usize..5,
+        prices_a in proptest::collection::vec(-1e9f64..1e9, 0..8),
+        prices_b in proptest::collection::vec(-1e9f64..1e9, 0..8),
+        lp_a: bool,
+        lp_b: bool,
+    ) {
+        let (ta, tb) = (random_tree(seed_a, depth), random_tree(seed_b, depth));
+        let (sa, sb) = (tree_scorer_key(&ta), tree_scorer_key(&tb));
+        let (ma, mb) = (decode_mode(false, lp_a, true), decode_mode(false, lp_b, true));
+        let (ka, kb) = (cell_key(ma, &sa, &prices_a), cell_key(mb, &sb, &prices_b));
+        let same_triple = ma == mb
+            && sa == sb
+            && pricing_key(&prices_a) == pricing_key(&prices_b);
+        prop_assert_eq!(ka == kb, same_triple);
+    }
+
+    /// Tree mode and weights mode never collide, even when the scorer
+    /// words happen to carry identical numeric content.
+    #[test]
+    fn modes_partition_the_key_space(
+        words in proptest::collection::vec(0u64..1 << 40, 1..6),
+        prices in proptest::collection::vec(-1e9f64..1e9, 0..8),
+    ) {
+        let tree_key = cell_key(decode_mode(false, true, true), &words, &prices);
+        let weight_key = cell_key(decode_mode(true, true, true), &words, &prices);
+        prop_assert_ne!(tree_key, weight_key);
+    }
+}
+
+/// Deterministic twin of the round-trip properties, so the injectivity
+/// contract is exercised even where the proptest runner is a
+/// compile-only stand-in (mirrors the GP suite's twin tests).
+#[test]
+fn key_roundtrip_deterministic_twin() {
+    let mut keys = Vec::new();
+    for seed in 0..24u64 {
+        let tree = random_tree(seed, 4);
+        let scorer = tree_scorer_key(&tree);
+        let prices = [seed as f64 * 0.5, -1.25, 0.0];
+        for (weights, lp) in [(false, false), (false, true), (true, true)] {
+            let sw;
+            let scorer: &[u64] = if weights {
+                sw = weights_scorer_key(&[seed as f64, -0.5]);
+                &sw
+            } else {
+                &scorer
+            };
+            let mode = decode_mode(weights, lp, true);
+            let key = cell_key(mode, scorer, &prices);
+            let (m, s, p) = parse_key(&key);
+            assert_eq!(m, mode, "seed {seed}");
+            assert_eq!(s, scorer, "seed {seed}");
+            assert_eq!(p, pricing_key(&prices).to_vec(), "seed {seed}");
+            keys.push(((mode, scorer.to_vec(), p), key));
+        }
+    }
+    // Pairwise: keys agree exactly when the triples agree.
+    for (ta, ka) in &keys {
+        for (tb, kb) in &keys {
+            assert_eq!(ka == kb, ta == tb, "injectivity violated for {ta:?} vs {tb:?}");
+        }
+    }
+}
+
+/// Deterministic spot check of the boundary encoding: moving a word
+/// across the scorer/pricing boundary while keeping the concatenation
+/// fixed must change the key (the `scorer_len` word differs).
+#[test]
+fn scorer_pricing_boundary_is_unambiguous() {
+    let mode = decode_mode(false, true, true);
+    let p = f64::from_bits(7);
+    let a = cell_key(mode, &[1, 2], &[p, 3.0]);
+    let b = cell_key(mode, &[1, 2, 7], &[3.0]);
+    assert_ne!(a, b, "same concatenation, different split, must differ");
+    assert_eq!(parse_key(&a).1, vec![1, 2]);
+    assert_eq!(parse_key(&b).1, vec![1, 2, 7]);
+}

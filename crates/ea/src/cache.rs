@@ -1,23 +1,31 @@
-//! A thread-safe, capacity-bounded memoization cache for lower-level
-//! solves.
+//! Thread-safe, capacity-bounded memoization caches.
 //!
-//! Bi-level co-evolution re-evaluates the same upper-level decision many
-//! times: elites are re-injected every generation, archives replay their
+//! Bi-level co-evolution re-computes the same pure functions many times:
+//! elites are re-injected every generation, archives replay their
 //! members against new opponents, and improvement phases sweep stored
-//! pairs. The lower-level relaxation is a pure function of the pricing
-//! vector, so those repeats can be served from a cache — and because the
-//! key is the *exact bit pattern* of the pricing (`f64::to_bits`), a hit
-//! returns the very value a fresh solve would have produced. Cached and
-//! uncached runs are therefore bit-identical; `tests/determinism.rs`
-//! asserts this differentially.
+//! pairs. Three memo layers exploit that — lower-level relaxation solves
+//! keyed by pricing bits ([`SolveCache`]), GP compilation keyed by tree
+//! structure (`bico_core::GpCompileCache`), and full lower-level decodes
+//! keyed by (tree × pricing × mode) (`bico_core::DecodeCache`). All
+//! three share the generic machinery here ([`ShardedCache`]) instead of
+//! triplicating shard/FIFO/stats logic.
+//!
+//! Keys are exact (bit patterns, canonical structural encodings), so a
+//! hit returns the very value a fresh computation would have produced:
+//! cached and uncached runs are bit-identical, and `tests/determinism.rs`
+//! asserts this differentially for every layer.
 //!
 //! The map is sharded (16 shards, each its own mutex) so rayon workers
 //! probing concurrently rarely contend, and bounded by a per-shard FIFO
 //! eviction queue so memory stays capped on long runs. Eviction order
 //! does not affect results — evicting merely turns a future hit into a
-//! recomputation of the identical value.
+//! recomputation of the identical value. Individual keys can be
+//! [pinned](ShardedCache::pin) to survive eviction storms (frequency-aware
+//! admission for elite sets).
 
-use std::collections::{HashMap, VecDeque};
+use std::borrow::Borrow;
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
@@ -26,6 +34,9 @@ const NUM_SHARDS: usize = 16;
 /// Monotonic counters describing cache traffic so far.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheStats {
+    /// Probes observed (every [`get`](ShardedCache::get) call, plus one
+    /// per memoized lookup when the cache is disabled).
+    pub probes: u64,
     /// Probes answered from the cache.
     pub hits: u64,
     /// Probes that had to compute (including every probe when disabled).
@@ -38,33 +49,85 @@ pub struct CacheStats {
     pub entries: usize,
 }
 
+impl CacheStats {
+    /// Assert the traffic identity `hits + misses == probes`.
+    ///
+    /// The counters are independent relaxed atomics, so the identity is
+    /// guaranteed only at quiescent points — after every in-flight probe
+    /// has finished — which is when snapshots are meaningful anyway.
+    /// Tests call this after joining workers; a failure means a probe
+    /// path forgot to account its outcome.
+    pub fn assert_consistent(&self) {
+        assert_eq!(
+            self.hits + self.misses,
+            self.probes,
+            "cache stats inconsistent: hits {} + misses {} != probes {}",
+            self.hits,
+            self.misses,
+            self.probes
+        );
+    }
+}
+
+/// FNV-1a as a [`Hasher`], used for shard routing. Hand-rolled rather
+/// than `DefaultHasher` so shard assignment (and therefore eviction
+/// patterns and perf traces) is deterministic across runs and
+/// toolchains. Shard routing can never affect results: eviction only
+/// turns a future hit into recomputation of an identical value.
+struct Fnv1a(u64);
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Fnv1a(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl Hasher for Fnv1a {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+}
+
 #[derive(Debug)]
-struct Shard<V> {
-    map: HashMap<Box<[u64]>, V>,
+struct Shard<K, V> {
+    map: HashMap<K, V>,
     /// Insertion order for FIFO eviction.
-    order: VecDeque<Box<[u64]>>,
+    order: VecDeque<K>,
+    /// Keys exempt from eviction until [`ShardedCache::clear_pins`].
+    pinned: HashSet<K>,
     capacity: usize,
 }
 
-/// A sharded, bounded, thread-safe memoization cache keyed by the bit
-/// pattern of an `f64` slice. `capacity == 0` disables caching entirely:
-/// every probe misses and nothing is stored.
+/// A sharded, bounded, thread-safe memoization cache over arbitrary
+/// hashable keys. `capacity == 0` disables caching entirely: every probe
+/// misses and nothing is stored.
 ///
 /// All methods take `&self`; share one instance across rayon workers by
-/// reference.
+/// reference. [`SolveCache`] (pricing-bit keys), `GpCompileCache`
+/// (structural keys), and `DecodeCache` (tree × pricing keys) are thin
+/// wrappers over this type.
 #[derive(Debug)]
-pub struct SolveCache<V> {
-    shards: Vec<Mutex<Shard<V>>>,
+pub struct ShardedCache<K, V> {
+    shards: Vec<Mutex<Shard<K, V>>>,
     capacity: usize,
+    probes: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
     insertions: AtomicU64,
     evictions: AtomicU64,
 }
 
-impl<V: Clone> SolveCache<V> {
+impl<K: Hash + Eq + Clone, V: Clone> ShardedCache<K, V> {
     /// Create a cache holding at most `capacity` entries in total
-    /// (`0` = disabled).
+    /// (`0` = disabled). Pinned entries may exceed the bound; see
+    /// [`pin`](Self::pin).
     pub fn new(capacity: usize) -> Self {
         // Distribute the bound across shards so the global entry count
         // can never exceed `capacity` even under concurrent inserts.
@@ -74,12 +137,18 @@ impl<V: Clone> SolveCache<V> {
         let shards = (0..active)
             .map(|i| {
                 let cap = capacity / active + usize::from(i < capacity % active);
-                Mutex::new(Shard { map: HashMap::new(), order: VecDeque::new(), capacity: cap })
+                Mutex::new(Shard {
+                    map: HashMap::new(),
+                    order: VecDeque::new(),
+                    pinned: HashSet::new(),
+                    capacity: cap,
+                })
             })
             .collect();
-        SolveCache {
+        ShardedCache {
             shards,
             capacity,
+            probes: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             insertions: AtomicU64::new(0),
@@ -112,13 +181,42 @@ impl<V: Clone> SolveCache<V> {
         self.len() == 0
     }
 
-    /// The exact-bit-pattern key of a pricing vector.
-    pub fn key_of(values: &[f64]) -> Box<[u64]> {
-        values.iter().map(|v| v.to_bits()).collect()
+    /// Keys currently pinned across all shards.
+    pub fn pinned_len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().expect("cache shard poisoned").pinned.len()).sum()
     }
 
-    /// Probe for `key`; counts a hit or a miss.
-    pub fn get(&self, key: &[u64]) -> Option<V> {
+    /// Exempt `key` from FIFO eviction until [`clear_pins`](Self::clear_pins).
+    ///
+    /// Frequency-aware admission: callers pin the keys they *know* will
+    /// recur (the current elite set) so a storm of one-off insertions
+    /// cannot flush them. A pinned key need not be resident yet — the pin
+    /// applies whenever it is. While every resident entry of a shard is
+    /// pinned, inserts are admitted past the bound, so the capacity is
+    /// soft by at most the pinned count; callers keep pin sets small.
+    /// No-op when disabled.
+    pub fn pin(&self, key: K) {
+        if self.capacity == 0 {
+            return;
+        }
+        let shard = &self.shards[self.shard_of(&key)];
+        shard.lock().expect("cache shard poisoned").pinned.insert(key);
+    }
+
+    /// Drop every pin (entries stay resident, but become evictable).
+    pub fn clear_pins(&self) {
+        for shard in &self.shards {
+            shard.lock().expect("cache shard poisoned").pinned.clear();
+        }
+    }
+
+    /// Probe for `key`; counts a probe plus a hit or a miss.
+    pub fn get<Q>(&self, key: &Q) -> Option<V>
+    where
+        K: Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
+        self.probes.fetch_add(1, Ordering::Relaxed);
         if self.capacity == 0 {
             self.misses.fetch_add(1, Ordering::Relaxed);
             return None;
@@ -142,55 +240,63 @@ impl<V: Clone> SolveCache<V> {
 
     /// Store `value` under `key` unless already present (first writer
     /// wins; a concurrent duplicate insert is a no-op, so counters and
-    /// the FIFO queue stay consistent). Evicts the oldest entry of the
-    /// target shard when it is full. No-op when disabled.
-    pub fn insert(&self, key: &[u64], value: V) {
+    /// the FIFO queue stay consistent). Evicts the oldest *unpinned*
+    /// entry of the target shard when it is full; while everything
+    /// resident is pinned the insert is admitted past the bound. No-op
+    /// when disabled. Does not count a probe.
+    pub fn insert(&self, key: K, value: V) {
         if self.capacity == 0 {
             return;
         }
-        let shard = &self.shards[self.shard_of(key)];
+        let shard = &self.shards[self.shard_of(&key)];
         let mut guard = shard.lock().expect("cache shard poisoned");
-        if guard.capacity == 0 || guard.map.contains_key(key) {
+        if guard.capacity == 0 || guard.map.contains_key(&key) {
             return;
         }
         if guard.map.len() >= guard.capacity {
-            if let Some(oldest) = guard.order.pop_front() {
-                guard.map.remove(&oldest);
-                self.evictions.fetch_add(1, Ordering::Relaxed);
+            // Pop the FIFO front; pinned keys are re-queued (treated as
+            // most recently inserted) and the oldest unpinned entry is
+            // the one dropped.
+            let in_queue = guard.order.len();
+            let mut scanned = 0;
+            while scanned < in_queue {
+                match guard.order.pop_front() {
+                    None => break,
+                    Some(oldest) => {
+                        if guard.pinned.contains(&oldest) {
+                            guard.order.push_back(oldest);
+                            scanned += 1;
+                        } else {
+                            guard.map.remove(&oldest);
+                            self.evictions.fetch_add(1, Ordering::Relaxed);
+                            break;
+                        }
+                    }
+                }
             }
         }
-        let boxed: Box<[u64]> = key.into();
-        guard.order.push_back(boxed.clone());
-        guard.map.insert(boxed, value);
+        guard.order.push_back(key.clone());
+        guard.map.insert(key, value);
         self.insertions.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Memoize `compute` over the bit pattern of `values`. Returns the
-    /// value and whether it was served from the cache (`true` = hit).
+    /// Memoize `compute` under an owned key — for callers that build the
+    /// key per probe anyway (e.g. decode-cache keys assembled from tree
+    /// and pricing components). Returns the value and whether it was
+    /// served from the cache (`true` = hit).
     ///
     /// Note the non-blocking miss path: two workers probing the same new
     /// key may both compute, and the second insert is dropped. That is
     /// deliberate — `compute` is pure, so both results are identical, and
     /// not holding the shard lock during `compute` keeps workers off each
     /// other's critical path.
-    pub fn get_or_insert_with(&self, values: &[f64], compute: impl FnOnce() -> V) -> (V, bool) {
+    pub fn get_or_insert(&self, key: K, compute: impl FnOnce() -> V) -> (V, bool) {
         if self.capacity == 0 {
+            self.probes.fetch_add(1, Ordering::Relaxed);
             self.misses.fetch_add(1, Ordering::Relaxed);
             return (compute(), false);
         }
-        self.get_or_insert_keyed(&Self::key_of(values), compute)
-    }
-
-    /// Memoize `compute` under a caller-supplied exact key — for values
-    /// whose natural identity is not an `f64` slice, such as a GP tree's
-    /// canonical structural encoding. Same traffic accounting and
-    /// non-blocking miss path as [`get_or_insert_with`](Self::get_or_insert_with).
-    pub fn get_or_insert_keyed(&self, key: &[u64], compute: impl FnOnce() -> V) -> (V, bool) {
-        if self.capacity == 0 {
-            self.misses.fetch_add(1, Ordering::Relaxed);
-            return (compute(), false);
-        }
-        if let Some(v) = self.get(key) {
+        if let Some(v) = self.get(&key) {
             return (v, true);
         }
         let v = compute();
@@ -198,10 +304,32 @@ impl<V: Clone> SolveCache<V> {
         (v, false)
     }
 
-    /// Snapshot the traffic counters. `hits + misses` equals the number
-    /// of probes ([`get`](Self::get) calls plus disabled-path probes).
+    /// [`get_or_insert`](Self::get_or_insert) with a borrowed key,
+    /// converting to an owned key only on the miss path — for callers
+    /// that probe with a long-lived borrowed form (e.g. pricing slices).
+    pub fn get_or_insert_with<Q>(&self, key: &Q, compute: impl FnOnce() -> V) -> (V, bool)
+    where
+        K: Borrow<Q> + for<'q> From<&'q Q>,
+        Q: Hash + Eq + ?Sized,
+    {
+        if self.capacity == 0 {
+            self.probes.fetch_add(1, Ordering::Relaxed);
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return (compute(), false);
+        }
+        if let Some(v) = self.get(key) {
+            return (v, true);
+        }
+        let v = compute();
+        self.insert(K::from(key), v.clone());
+        (v, false)
+    }
+
+    /// Snapshot the traffic counters. At quiescence `hits + misses`
+    /// equals `probes` ([`CacheStats::assert_consistent`]).
     pub fn stats(&self) -> CacheStats {
         CacheStats {
+            probes: self.probes.load(Ordering::Relaxed),
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             insertions: self.insertions.load(Ordering::Relaxed),
@@ -210,16 +338,112 @@ impl<V: Clone> SolveCache<V> {
         }
     }
 
-    /// FNV-1a over the key words, folded onto the active shard count.
-    fn shard_of(&self, key: &[u64]) -> usize {
-        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-        for w in key {
-            for b in w.to_le_bytes() {
-                h ^= u64::from(b);
-                h = h.wrapping_mul(0x100_0000_01b3);
-            }
+    /// FNV-1a over the key's `Hash` stream, folded onto the active shard
+    /// count.
+    fn shard_of<Q: Hash + ?Sized>(&self, key: &Q) -> usize {
+        let mut h = Fnv1a::default();
+        key.hash(&mut h);
+        (h.finish() % self.shards.len() as u64) as usize
+    }
+}
+
+/// A [`ShardedCache`] keyed by the bit pattern of an `f64` slice — the
+/// memo layer for lower-level relaxation solves, where the natural
+/// identity of a problem is the exact pricing vector.
+///
+/// Because the key is the *exact bit pattern* (`f64::to_bits`), a hit
+/// returns the very value a fresh solve would have produced; cached and
+/// uncached runs are bit-identical.
+#[derive(Debug)]
+pub struct SolveCache<V> {
+    inner: ShardedCache<Box<[u64]>, V>,
+}
+
+impl<V: Clone> SolveCache<V> {
+    /// Create a cache holding at most `capacity` entries in total
+    /// (`0` = disabled).
+    pub fn new(capacity: usize) -> Self {
+        SolveCache { inner: ShardedCache::new(capacity) }
+    }
+
+    /// A cache that never stores anything (capacity 0).
+    pub fn disabled() -> Self {
+        Self::new(0)
+    }
+
+    /// `true` iff the cache can store entries.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_enabled()
+    }
+
+    /// The configured capacity bound.
+    pub fn capacity(&self) -> usize {
+        self.inner.capacity()
+    }
+
+    /// Entries resident across all shards.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// `true` iff no entries are resident.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// The exact-bit-pattern key of a pricing vector.
+    pub fn key_of(values: &[f64]) -> Box<[u64]> {
+        values.iter().map(|v| v.to_bits()).collect()
+    }
+
+    /// Probe for `key`; counts a probe plus a hit or a miss.
+    pub fn get(&self, key: &[u64]) -> Option<V> {
+        self.inner.get(key)
+    }
+
+    /// Store `value` under `key` unless already present (first writer
+    /// wins). See [`ShardedCache::insert`].
+    pub fn insert(&self, key: &[u64], value: V) {
+        if self.inner.is_enabled() {
+            self.inner.insert(key.into(), value);
         }
-        (h % self.shards.len() as u64) as usize
+    }
+
+    /// Exempt `key` from eviction until [`clear_pins`](Self::clear_pins);
+    /// see [`ShardedCache::pin`].
+    pub fn pin(&self, key: &[u64]) {
+        if self.inner.is_enabled() {
+            self.inner.pin(key.into());
+        }
+    }
+
+    /// Drop every pin (entries stay resident, but become evictable).
+    pub fn clear_pins(&self) {
+        self.inner.clear_pins();
+    }
+
+    /// Keys currently pinned.
+    pub fn pinned_len(&self) -> usize {
+        self.inner.pinned_len()
+    }
+
+    /// Memoize `compute` over the bit pattern of `values`. Returns the
+    /// value and whether it was served from the cache (`true` = hit).
+    pub fn get_or_insert_with(&self, values: &[f64], compute: impl FnOnce() -> V) -> (V, bool) {
+        self.inner.get_or_insert_with(&*Self::key_of(values), compute)
+    }
+
+    /// Memoize `compute` under a caller-supplied exact key — for values
+    /// whose natural identity is not an `f64` slice, such as a GP tree's
+    /// canonical structural encoding. Same traffic accounting and
+    /// non-blocking miss path as [`get_or_insert_with`](Self::get_or_insert_with).
+    pub fn get_or_insert_keyed(&self, key: &[u64], compute: impl FnOnce() -> V) -> (V, bool) {
+        self.inner.get_or_insert_with(key, compute)
+    }
+
+    /// Snapshot the traffic counters; see [`ShardedCache::stats`].
+    pub fn stats(&self) -> CacheStats {
+        self.inner.stats()
     }
 }
 
@@ -238,8 +462,10 @@ mod tests {
         let s = cache.stats();
         assert_eq!(s.hits, 0);
         assert_eq!(s.misses, 2);
+        assert_eq!(s.probes, 2);
         assert_eq!(s.insertions, 0);
         assert_eq!(s.entries, 0);
+        s.assert_consistent();
         assert!(cache.is_empty());
     }
 
@@ -254,7 +480,8 @@ mod tests {
         assert!(hit);
         assert_eq!(v, 42);
         let s = cache.stats();
-        assert_eq!((s.hits, s.misses, s.insertions, s.entries), (1, 1, 1, 1));
+        assert_eq!((s.probes, s.hits, s.misses, s.insertions, s.entries), (2, 1, 1, 1, 1));
+        s.assert_consistent();
     }
 
     #[test]
@@ -283,6 +510,7 @@ mod tests {
         let s = cache.stats();
         assert_eq!(s.entries, 1);
         assert_eq!(s.insertions - s.evictions, 1);
+        s.assert_consistent();
     }
 
     #[test]
@@ -319,6 +547,76 @@ mod tests {
         }
         let s = cache.stats();
         assert_eq!(s.hits + s.misses, 20);
+        assert_eq!(s.probes, 20);
+        s.assert_consistent();
         assert!(s.entries <= 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "cache stats inconsistent")]
+    fn assert_consistent_catches_skew() {
+        let skewed = CacheStats { probes: 3, hits: 1, misses: 1, ..CacheStats::default() };
+        skewed.assert_consistent();
+    }
+
+    #[test]
+    fn generic_cache_takes_arbitrary_keys() {
+        let cache: ShardedCache<(u32, bool), String> = ShardedCache::new(8);
+        let (v, hit) = cache.get_or_insert((7, true), || "a".to_string());
+        assert_eq!((v.as_str(), hit), ("a", false));
+        let (v, hit) = cache.get_or_insert((7, true), || unreachable!());
+        assert_eq!((v.as_str(), hit), ("a", true));
+        let (_, hit) = cache.get_or_insert((7, false), || "b".to_string());
+        assert!(!hit, "tuple components are part of the key");
+        cache.stats().assert_consistent();
+    }
+
+    #[test]
+    fn pinned_entry_survives_eviction_churn() {
+        // Capacity 1 → a single shard, so every key contends with the
+        // pinned one. The pin must hold through an overflow storm while
+        // unpinned entries churn.
+        let cache: SolveCache<u64> = SolveCache::new(1);
+        let elite = SolveCache::<u64>::key_of(&[123.456]);
+        cache.pin(&elite);
+        assert_eq!(cache.pinned_len(), 1);
+        cache.insert(&elite, 999);
+        for i in 0..50u64 {
+            cache.insert(&SolveCache::<u64>::key_of(&[i as f64]), i);
+        }
+        assert_eq!(cache.get(&elite), Some(999), "pinned entry evicted by churn");
+        // The bound is soft by at most the pinned count.
+        assert!(cache.len() <= 1 + cache.pinned_len(), "len {} too large", cache.len());
+        // Unpinning makes it evictable again.
+        cache.clear_pins();
+        assert_eq!(cache.pinned_len(), 0);
+        for i in 0..50u64 {
+            cache.insert(&SolveCache::<u64>::key_of(&[1000.0 + i as f64]), i);
+        }
+        assert_eq!(cache.get(&elite), None, "unpinned entry should churn out");
+        cache.stats().assert_consistent();
+    }
+
+    #[test]
+    fn pin_before_insert_applies_on_admission() {
+        let cache: SolveCache<u64> = SolveCache::new(1);
+        let elite = SolveCache::<u64>::key_of(&[999.5]);
+        // Pin first, insert later: the pin applies once resident.
+        cache.pin(&elite);
+        for i in 0..10u64 {
+            cache.insert(&SolveCache::<u64>::key_of(&[i as f64]), i);
+        }
+        cache.insert(&elite, 42);
+        for i in 0..10u64 {
+            cache.insert(&SolveCache::<u64>::key_of(&[100.0 + i as f64]), i);
+        }
+        assert_eq!(cache.get(&elite), Some(42));
+    }
+
+    #[test]
+    fn disabled_cache_ignores_pins() {
+        let cache: SolveCache<u64> = SolveCache::disabled();
+        cache.pin(&SolveCache::<u64>::key_of(&[1.0]));
+        assert_eq!(cache.pinned_len(), 0);
     }
 }

@@ -17,8 +17,9 @@
 //!   deterministic regardless of thread count;
 //! * [`stats`] — running statistics and convergence traces (the data
 //!   behind the paper's Fig. 4 and Fig. 5);
-//! * [`cache`] — a sharded, bounded, bit-exact memoization cache for
-//!   lower-level solves, shared across generations and rayon workers.
+//! * [`cache`] — sharded, bounded, bit-exact memoization caches
+//!   ([`ShardedCache`] and its pricing-keyed [`SolveCache`] wrapper),
+//!   shared across generations and rayon workers.
 
 pub mod archive;
 pub mod binary;
@@ -31,7 +32,7 @@ pub mod select;
 pub mod stats;
 
 pub use archive::Archive;
-pub use cache::{CacheStats, SolveCache};
+pub use cache::{CacheStats, ShardedCache, SolveCache};
 pub use hypothesis::{mann_whitney_u, MannWhitney};
 pub use population::{evaluate_parallel, Individual};
 pub use real::{polynomial_mutation, sbx_crossover, RealOpsConfig};

@@ -26,6 +26,8 @@ fn concurrent_probes_on_roomy_cache_insert_each_key_once() {
     });
     let s = cache.stats();
     assert_eq!(s.hits + s.misses, PROBES, "every probe is a hit or a miss");
+    assert_eq!(s.probes, PROBES, "probe counter tracks every lookup");
+    s.assert_consistent();
     assert_eq!(s.insertions, DISTINCT, "no duplicate inserts");
     assert_eq!(s.evictions, 0);
     assert_eq!(s.entries, DISTINCT as usize);
@@ -48,6 +50,7 @@ fn concurrent_probes_never_exceed_capacity() {
     });
     let s = cache.stats();
     assert_eq!(s.hits + s.misses, PROBES);
+    s.assert_consistent();
     assert!(s.entries <= CAP);
     assert_eq!(
         s.entries as u64,
@@ -71,6 +74,57 @@ fn counters_are_monotonic_under_load() {
         assert!(now.insertions >= last.insertions, "insertions went backwards");
         assert!(now.evictions >= last.evictions, "evictions went backwards");
         assert_eq!(now.hits + now.misses, (round + 1) * 1_000);
+        assert_eq!(now.probes, (round + 1) * 1_000);
         last = now;
     }
+    last.assert_consistent();
+}
+
+#[test]
+fn probe_identity_holds_across_concurrent_eviction() {
+    // A tiny cache forces eviction on nearly every insert while workers
+    // probe concurrently: the hits + misses == probes identity must hold
+    // exactly once the workers have quiesced, no matter how the races
+    // between get / insert / evict interleave.
+    let cache: SolveCache<u64> = SolveCache::new(4);
+    (0..PROBES).into_par_iter().for_each(|i| {
+        let k = i % DISTINCT;
+        let (v, _) = cache.get_or_insert_with(&[k as f64], || value_of(k));
+        assert_eq!(v, value_of(k));
+    });
+    let s = cache.stats();
+    assert_eq!(s.probes, PROBES);
+    s.assert_consistent();
+    assert!(s.evictions > 0, "a 4-entry cache under 100 keys must evict");
+    assert_eq!(s.entries as u64, s.insertions - s.evictions);
+}
+
+#[test]
+fn pinned_keys_survive_concurrent_churn() {
+    // Pin a handful of "elite" keys, then storm the cache with one-off
+    // keys from the whole pool. The pinned entries must still answer
+    // hits afterwards; everything else is fair game for eviction.
+    const CAP: usize = 32;
+    let cache: SolveCache<u64> = SolveCache::new(CAP);
+    let elites: Vec<u64> = (1_000..1_008).collect();
+    for &e in &elites {
+        let key = SolveCache::<u64>::key_of(&[e as f64]);
+        cache.pin(&key);
+        cache.insert(&key, value_of(e));
+    }
+    (0..PROBES).into_par_iter().for_each(|i| {
+        let k = i % DISTINCT;
+        cache.get_or_insert_with(&[k as f64], || value_of(k));
+    });
+    for &e in &elites {
+        let key = SolveCache::<u64>::key_of(&[e as f64]);
+        assert_eq!(cache.get(&key), Some(value_of(e)), "pinned key {e} churned out");
+    }
+    let s = cache.stats();
+    s.assert_consistent();
+    assert!(
+        s.entries <= CAP + cache.pinned_len(),
+        "bound soft only by the pinned count: {} entries",
+        s.entries
+    );
 }

@@ -77,6 +77,10 @@ pub enum Event<'a> {
         hits: u64,
         /// Cache misses in the batch.
         misses: u64,
+        /// Entries evicted during the batch (delta, like hits/misses).
+        evictions: u64,
+        /// Entries resident after the batch (a gauge, not a delta).
+        entries: u64,
     },
     /// A batch of GP compile-cache probes completed. Emitted once per
     /// generation by solvers running with the compiled evaluator and a
@@ -87,6 +91,27 @@ pub enum Event<'a> {
         hits: u64,
         /// Compile-cache misses (fresh compilations) in the batch.
         misses: u64,
+        /// Programs evicted during the batch (delta, like hits/misses).
+        evictions: u64,
+        /// Programs resident after the batch (a gauge, not a delta).
+        entries: u64,
+    },
+    /// A batch of lower-level decode-cache probes completed. Emitted
+    /// once per generation by solvers running with the evaluation-matrix
+    /// scheduler and a decode cache; counts are deltas since the
+    /// previous probe event. Only unique (tree, pricing) cells probe the
+    /// cache — intra-generation duplicates are deduplicated before the
+    /// probe — so `hits + misses` counts matrix cells, not logical
+    /// evaluations. Never emitted when the cache is disabled.
+    DecodeCacheProbe {
+        /// Decode-cache hits in the batch.
+        hits: u64,
+        /// Decode-cache misses (fresh greedy decodes) in the batch.
+        misses: u64,
+        /// Outcomes evicted during the batch (delta, like hits/misses).
+        evictions: u64,
+        /// Outcomes resident after the batch (a gauge, not a delta).
+        entries: u64,
     },
     /// An elite archive absorbed a generation's candidates.
     ArchiveUpdate {
@@ -134,6 +159,7 @@ impl Event<'_> {
             Event::LowerLevelSolve { .. } => "LowerLevelSolve",
             Event::CacheProbe { .. } => "CacheProbe",
             Event::CompileCacheProbe { .. } => "CompileCacheProbe",
+            Event::DecodeCacheProbe { .. } => "DecodeCacheProbe",
             Event::ArchiveUpdate { .. } => "ArchiveUpdate",
             Event::GenerationEnd { .. } => "GenerationEnd",
             Event::RunComplete { .. } => "RunComplete",
@@ -163,9 +189,13 @@ impl Event<'_> {
                 json::push_u64_field(out, "solves", solves);
                 json::push_u64_field(out, "pivots", pivots);
             }
-            Event::CacheProbe { hits, misses } | Event::CompileCacheProbe { hits, misses } => {
+            Event::CacheProbe { hits, misses, evictions, entries }
+            | Event::CompileCacheProbe { hits, misses, evictions, entries }
+            | Event::DecodeCacheProbe { hits, misses, evictions, entries } => {
                 json::push_u64_field(out, "hits", hits);
                 json::push_u64_field(out, "misses", misses);
+                json::push_u64_field(out, "evictions", evictions);
+                json::push_u64_field(out, "entries", entries);
             }
             Event::ArchiveUpdate { level, size, best } => {
                 json::push_str_field(out, "level", level.as_str());
@@ -203,8 +233,9 @@ impl Event<'_> {
             Event::GenerationStart { generation: 0 },
             Event::Evaluation { level: Level::Lower, count: 100, gp_nodes: 4321 },
             Event::LowerLevelSolve { solves: 100, pivots: 1707 },
-            Event::CacheProbe { hits: 3, misses: 97 },
-            Event::CompileCacheProbe { hits: 95, misses: 5 },
+            Event::CacheProbe { hits: 3, misses: 97, evictions: 0, entries: 97 },
+            Event::CompileCacheProbe { hits: 95, misses: 5, evictions: 1, entries: 60 },
+            Event::DecodeCacheProbe { hits: 120, misses: 40, evictions: 2, entries: 150 },
             Event::ArchiveUpdate { level: Level::Upper, size: 100, best: 1543.25 },
             Event::GenerationEnd {
                 generation: 0,
@@ -240,6 +271,7 @@ mod tests {
                 "LowerLevelSolve",
                 "CacheProbe",
                 "CompileCacheProbe",
+                "DecodeCacheProbe",
                 "ArchiveUpdate",
                 "GenerationEnd",
                 "RunComplete",

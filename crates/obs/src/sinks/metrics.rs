@@ -58,8 +58,16 @@ pub struct MetricsSink {
     simplex_pivots: AtomicU64,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
+    cache_evictions: AtomicU64,
+    cache_entries: AtomicU64,
     compile_cache_hits: AtomicU64,
     compile_cache_misses: AtomicU64,
+    compile_cache_evictions: AtomicU64,
+    compile_cache_entries: AtomicU64,
+    decode_cache_hits: AtomicU64,
+    decode_cache_misses: AtomicU64,
+    decode_cache_evictions: AtomicU64,
+    decode_cache_entries: AtomicU64,
     archive_updates: AtomicU64,
     timed: Mutex<TimedState>,
     created: Option<Instant>,
@@ -98,8 +106,16 @@ impl MetricsSink {
             simplex_pivots: self.simplex_pivots.load(Ordering::Relaxed),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            cache_evictions: self.cache_evictions.load(Ordering::Relaxed),
+            cache_entries: self.cache_entries.load(Ordering::Relaxed),
             compile_cache_hits: self.compile_cache_hits.load(Ordering::Relaxed),
             compile_cache_misses: self.compile_cache_misses.load(Ordering::Relaxed),
+            compile_cache_evictions: self.compile_cache_evictions.load(Ordering::Relaxed),
+            compile_cache_entries: self.compile_cache_entries.load(Ordering::Relaxed),
+            decode_cache_hits: self.decode_cache_hits.load(Ordering::Relaxed),
+            decode_cache_misses: self.decode_cache_misses.load(Ordering::Relaxed),
+            decode_cache_evictions: self.decode_cache_evictions.load(Ordering::Relaxed),
+            decode_cache_entries: self.decode_cache_entries.load(Ordering::Relaxed),
             archive_updates: self.archive_updates.load(Ordering::Relaxed),
             wall_seconds: self.created.map_or(0.0, |c| c.elapsed().as_secs_f64()),
             phases,
@@ -136,13 +152,24 @@ impl RunObserver for MetricsSink {
                 self.ll_solves.fetch_add(solves, Ordering::Relaxed);
                 self.simplex_pivots.fetch_add(pivots, Ordering::Relaxed);
             }
-            Event::CacheProbe { hits, misses } => {
+            Event::CacheProbe { hits, misses, evictions, entries } => {
                 self.cache_hits.fetch_add(hits, Ordering::Relaxed);
                 self.cache_misses.fetch_add(misses, Ordering::Relaxed);
+                self.cache_evictions.fetch_add(evictions, Ordering::Relaxed);
+                // `entries` is a gauge: keep the last observed residency.
+                self.cache_entries.store(entries, Ordering::Relaxed);
             }
-            Event::CompileCacheProbe { hits, misses } => {
+            Event::CompileCacheProbe { hits, misses, evictions, entries } => {
                 self.compile_cache_hits.fetch_add(hits, Ordering::Relaxed);
                 self.compile_cache_misses.fetch_add(misses, Ordering::Relaxed);
+                self.compile_cache_evictions.fetch_add(evictions, Ordering::Relaxed);
+                self.compile_cache_entries.store(entries, Ordering::Relaxed);
+            }
+            Event::DecodeCacheProbe { hits, misses, evictions, entries } => {
+                self.decode_cache_hits.fetch_add(hits, Ordering::Relaxed);
+                self.decode_cache_misses.fetch_add(misses, Ordering::Relaxed);
+                self.decode_cache_evictions.fetch_add(evictions, Ordering::Relaxed);
+                self.decode_cache_entries.store(entries, Ordering::Relaxed);
             }
             Event::ArchiveUpdate { .. } => {
                 self.archive_updates.fetch_add(1, Ordering::Relaxed);
@@ -188,10 +215,26 @@ pub struct RunMetrics {
     pub cache_hits: u64,
     /// Lower-level solve-cache misses.
     pub cache_misses: u64,
+    /// Lower-level solve-cache evictions.
+    pub cache_evictions: u64,
+    /// Last observed solve-cache residency (a gauge).
+    pub cache_entries: u64,
     /// GP compile-cache hits.
     pub compile_cache_hits: u64,
     /// GP compile-cache misses (fresh compilations).
     pub compile_cache_misses: u64,
+    /// GP compile-cache evictions.
+    pub compile_cache_evictions: u64,
+    /// Last observed compile-cache residency (a gauge).
+    pub compile_cache_entries: u64,
+    /// Decode-cache hits (unique evaluation-matrix cells recalled).
+    pub decode_cache_hits: u64,
+    /// Decode-cache misses (fresh greedy decodes of unique cells).
+    pub decode_cache_misses: u64,
+    /// Decode-cache evictions.
+    pub decode_cache_evictions: u64,
+    /// Last observed decode-cache residency (a gauge).
+    pub decode_cache_entries: u64,
     /// Archive-update events.
     pub archive_updates: u64,
     /// Seconds since the sink was created.
@@ -224,8 +267,16 @@ impl RunMetrics {
         field("simplex_pivots", &self.simplex_pivots.to_string());
         field("cache_hits", &self.cache_hits.to_string());
         field("cache_misses", &self.cache_misses.to_string());
+        field("cache_evictions", &self.cache_evictions.to_string());
+        field("cache_entries", &self.cache_entries.to_string());
         field("compile_cache_hits", &self.compile_cache_hits.to_string());
         field("compile_cache_misses", &self.compile_cache_misses.to_string());
+        field("compile_cache_evictions", &self.compile_cache_evictions.to_string());
+        field("compile_cache_entries", &self.compile_cache_entries.to_string());
+        field("decode_cache_hits", &self.decode_cache_hits.to_string());
+        field("decode_cache_misses", &self.decode_cache_misses.to_string());
+        field("decode_cache_evictions", &self.decode_cache_evictions.to_string());
+        field("decode_cache_entries", &self.decode_cache_entries.to_string());
         field("archive_updates", &self.archive_updates.to_string());
         let mut wall = String::new();
         json::push_f64(&mut wall, self.wall_seconds);
@@ -284,8 +335,19 @@ mod tests {
         sink.observe(&Event::Evaluation { level: Level::Lower, count: 20, gp_nodes: 500 });
         sink.observe(&Event::LowerLevelSolve { solves: 10, pivots: 170 });
         sink.observe(&Event::ArchiveUpdate { level: Level::Upper, size: 5, best: 1.0 });
-        sink.observe(&Event::CacheProbe { hits: 2, misses: 8 });
-        sink.observe(&Event::CompileCacheProbe { hits: 40, misses: 3 });
+        sink.observe(&Event::CacheProbe { hits: 2, misses: 8, evictions: 1, entries: 7 });
+        sink.observe(&Event::CompileCacheProbe {
+            hits: 40,
+            misses: 3,
+            evictions: 0,
+            entries: 3,
+        });
+        sink.observe(&Event::DecodeCacheProbe {
+            hits: 12,
+            misses: 4,
+            evictions: 2,
+            entries: 14,
+        });
         let m = sink.report();
         assert_eq!(m.runs, 1);
         assert_eq!(m.evaluations, 30);
@@ -297,8 +359,27 @@ mod tests {
         assert_eq!(m.archive_updates, 1);
         assert_eq!(m.cache_hits, 2);
         assert_eq!(m.cache_misses, 8);
+        assert_eq!(m.cache_evictions, 1);
+        assert_eq!(m.cache_entries, 7);
         assert_eq!(m.compile_cache_hits, 40);
         assert_eq!(m.compile_cache_misses, 3);
+        assert_eq!(m.compile_cache_evictions, 0);
+        assert_eq!(m.compile_cache_entries, 3);
+        assert_eq!(m.decode_cache_hits, 12);
+        assert_eq!(m.decode_cache_misses, 4);
+        assert_eq!(m.decode_cache_evictions, 2);
+        assert_eq!(m.decode_cache_entries, 14);
+    }
+
+    #[test]
+    fn eviction_deltas_accumulate_while_entries_gauge_tracks_last() {
+        let sink = MetricsSink::new();
+        sink.observe(&Event::DecodeCacheProbe { hits: 1, misses: 9, evictions: 3, entries: 6 });
+        sink.observe(&Event::DecodeCacheProbe { hits: 7, misses: 3, evictions: 2, entries: 4 });
+        let m = sink.report();
+        assert_eq!(m.decode_cache_hits, 8, "hit deltas accumulate");
+        assert_eq!(m.decode_cache_evictions, 5, "eviction deltas accumulate");
+        assert_eq!(m.decode_cache_entries, 4, "entries is a last-value gauge");
     }
 
     #[test]
@@ -389,8 +470,16 @@ mod tests {
             "simplex_pivots",
             "cache_hits",
             "cache_misses",
+            "cache_evictions",
+            "cache_entries",
             "compile_cache_hits",
             "compile_cache_misses",
+            "compile_cache_evictions",
+            "compile_cache_entries",
+            "decode_cache_hits",
+            "decode_cache_misses",
+            "decode_cache_evictions",
+            "decode_cache_entries",
             "archive_updates",
             "wall_seconds",
             "phases",

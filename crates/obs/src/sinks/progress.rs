@@ -8,7 +8,8 @@
 //!   `RunComplete`;
 //! * `debug`: `PhaseChange`, `ArchiveUpdate`;
 //! * `trace`: everything else (`GenerationStart`, `Evaluation`,
-//!   `LowerLevelSolve`, `CacheProbe`, `CompileCacheProbe`).
+//!   `LowerLevelSolve`, `CacheProbe`, `CompileCacheProbe`,
+//!   `DecodeCacheProbe`).
 
 use crate::event::Event;
 use crate::observer::RunObserver;
@@ -83,7 +84,8 @@ fn event_level(event: &Event<'_>) -> LogLevel {
         | Event::Evaluation { .. }
         | Event::LowerLevelSolve { .. }
         | Event::CacheProbe { .. }
-        | Event::CompileCacheProbe { .. } => LogLevel::Trace,
+        | Event::CompileCacheProbe { .. }
+        | Event::DecodeCacheProbe { .. } => LogLevel::Trace,
     }
 }
 
@@ -125,11 +127,14 @@ impl ProgressSink {
             Event::LowerLevelSolve { solves, pivots } => {
                 format!("relaxation: {solves} LP solves, {pivots} pivots")
             }
-            Event::CacheProbe { hits, misses } => {
-                format!("cache: {hits} hits, {misses} misses")
+            Event::CacheProbe { hits, misses, evictions, entries } => {
+                format!("cache: {hits} hits, {misses} misses, {evictions} evicted, {entries} resident")
             }
-            Event::CompileCacheProbe { hits, misses } => {
-                format!("compile cache: {hits} hits, {misses} misses")
+            Event::CompileCacheProbe { hits, misses, evictions, entries } => {
+                format!("compile cache: {hits} hits, {misses} misses, {evictions} evicted, {entries} resident")
+            }
+            Event::DecodeCacheProbe { hits, misses, evictions, entries } => {
+                format!("decode cache: {hits} hits, {misses} misses, {evictions} evicted, {entries} resident")
             }
             Event::ArchiveUpdate { level, size, best } => {
                 format!("{} archive: size {size}, best {best:.4}", level.as_str())

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Perf-trajectory regression gate for BENCH_scaling.json.
+
+Compares the current bench report against the previous push's artifact
+and fails when any tracked ms/pass metric regresses by more than the
+threshold (default 15%). A missing or unreadable baseline only warns —
+the first run on a branch, an expired artifact, or a format change must
+not block CI.
+
+Usage:
+    check_bench_regression.py BASELINE.json CURRENT.json [--threshold 0.15]
+"""
+
+import json
+import sys
+
+# Lower is better for every tracked metric.
+TRACKED = [
+    ("interp_ms_per_pass", lambda r: r.get("interp_ms_per_pass")),
+    ("compiled_ms_per_pass", lambda r: r.get("compiled_ms_per_pass")),
+    ("decode_cache.memo_ms_per_pass",
+     lambda r: r.get("decode_cache", {}).get("memo_ms_per_pass")),
+    ("decode_cache.ref_ms_per_pass",
+     lambda r: r.get("decode_cache", {}).get("ref_ms_per_pass")),
+]
+
+
+def main() -> int:
+    args = [a for a in sys.argv[1:] if not a.startswith("--")]
+    threshold = 0.15
+    if "--threshold" in sys.argv:
+        threshold = float(sys.argv[sys.argv.index("--threshold") + 1])
+    if len(args) < 2:
+        print(__doc__.strip())
+        return 2
+    baseline_path, current_path = args[0], args[1]
+
+    try:
+        with open(baseline_path) as f:
+            baseline = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"::warning::no usable bench baseline at {baseline_path} ({e}); "
+              "skipping regression gate")
+        return 0
+    try:
+        with open(current_path) as f:
+            current = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"current bench report {current_path} unreadable: {e}")
+        return 1
+
+    if baseline.get("reduced") != current.get("reduced") or \
+            baseline.get("instance_class") != current.get("instance_class"):
+        print("::warning::baseline and current reports measure different "
+              "workloads; skipping regression gate")
+        return 0
+
+    failed = False
+    for name, get in TRACKED:
+        base, cur = get(baseline), get(current)
+        if base is None or cur is None or base <= 0:
+            print(f"::warning::metric {name} missing from a report; skipped")
+            continue
+        change = (cur - base) / base
+        status = "REGRESSION" if change > threshold else "ok"
+        print(f"{name}: {base:.4f} -> {cur:.4f} ms/pass "
+              f"({change:+.1%}, limit +{threshold:.0%}) {status}")
+        if change > threshold:
+            failed = True
+
+    if failed:
+        print(f"bench regression gate FAILED (>{threshold:.0%} slower than "
+              "the previous push)")
+        return 1
+    print("bench regression gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

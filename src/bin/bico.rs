@@ -54,10 +54,11 @@ USAGE:
   bico generate --bundles N --services M [--seed S] [--tightness T] [--own F] [--out FILE]
   bico run <carbon|cobra|nested> [--instance FILE | --class NxM] [--seed S]
            [--evals N] [--pop P] [--ll-cache-capacity C] [--compiled-eval BOOL]
-           [--gp-compile-cache BOOL] [--heuristic-out FILE]
+           [--gp-compile-cache BOOL] [--decode-cache BOOL] [--heuristic-out FILE]
            [--trace-out FILE.jsonl] [--metrics-out FILE.json] [--log-level LEVEL]
   bico compare [--class NxM] [--runs R] [--seed S] [--evals N] [--pop P]
            [--ll-cache-capacity C] [--compiled-eval BOOL] [--gp-compile-cache BOOL]
+           [--decode-cache BOOL]
            [--trace-out FILE.jsonl] [--metrics-out FILE.json] [--log-level LEVEL]
   bico eval --sexpr EXPR [--instance FILE | --class NxM] [--seed S]
            [--compiled-eval BOOL]
@@ -81,7 +82,14 @@ with per-step feature recomputation. Results are bit-identical either way.
 memoizes compiled GP programs across generations by the tree's exact
 structural encoding, so each distinct expression compiles at most once
 per run. Results are bit-identical with the cache on or off; hit/miss
-counts appear as CompileCacheProbe events and in the metrics report."
+counts appear as CompileCacheProbe events and in the metrics report.
+
+--decode-cache BOOL (default true; CARBON only) schedules each
+generation's fitness phases as a deduplicated (scorer x pricing)
+evaluation matrix and memoizes full lower-level decode outcomes across
+generations by the exact (tree structure, pricing bits, mode) key.
+Results are bit-identical with the cache on or off; hit/miss counts
+appear as DecodeCacheProbe events and in the metrics report."
     );
 }
 
@@ -157,6 +165,17 @@ fn gp_compile_cache_capacity(args: &[String]) -> usize {
     }
 }
 
+/// `--decode-cache BOOL` (default true) → (`eval_matrix`,
+/// `decode_cache_capacity`): matrix scheduling with the default capacity
+/// when on, the legacy per-slot loop with no cache when off.
+fn decode_cache_config(args: &[String]) -> (bool, usize) {
+    if opt_parse(args, "--decode-cache", true) {
+        (true, CarbonConfig::default().decode_cache_capacity)
+    } else {
+        (false, 0)
+    }
+}
+
 fn class_of(args: &[String]) -> (usize, usize) {
     let spec = opt(args, "--class").unwrap_or_else(|| "100x10".into());
     let mut parts = spec.split(['x', 'X']);
@@ -222,6 +241,7 @@ fn cmd_run(args: &[String]) {
     let ll_cache_capacity = opt_parse(args, "--ll-cache-capacity", 0usize);
     let compiled_eval = opt_parse(args, "--compiled-eval", true);
     let gp_compile_cache_capacity = gp_compile_cache_capacity(args);
+    let (eval_matrix, decode_cache_capacity) = decode_cache_config(args);
     let obs = obs_setup(args);
     eprintln!(
         "{algo} on {}x{} (own {}), budget {evals}+{evals}, pop {pop}, seed {seed}",
@@ -242,6 +262,8 @@ fn cmd_run(args: &[String]) {
                 ll_cache_capacity,
                 compiled_eval,
                 gp_compile_cache_capacity,
+                eval_matrix,
+                decode_cache_capacity,
                 ..Default::default()
             };
             let solver = Carbon::new(&inst, cfg);
@@ -308,6 +330,7 @@ fn cmd_compare(args: &[String]) {
     let ll_cache_capacity = opt_parse(args, "--ll-cache-capacity", 0usize);
     let compiled_eval = opt_parse(args, "--compiled-eval", true);
     let gp_compile_cache_capacity = gp_compile_cache_capacity(args);
+    let (eval_matrix, decode_cache_capacity) = decode_cache_config(args);
     let obs = obs_setup(args);
     eprintln!(
         "comparing CARBON vs COBRA on {}x{}: {runs} runs, budget {evals}+{evals}, pop {pop}",
@@ -332,6 +355,8 @@ fn cmd_compare(args: &[String]) {
                 ll_cache_capacity,
                 compiled_eval,
                 gp_compile_cache_capacity,
+                eval_matrix,
+                decode_cache_capacity,
                 ..Default::default()
             },
         )

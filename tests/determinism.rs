@@ -7,11 +7,14 @@
 //! only ever return the value a fresh solve would have produced. The
 //! same argument covers the GP compile cache: compilation is pure and
 //! keyed by the tree's exact structural encoding, so a cached program
-//! is byte-identical to a fresh compile.
+//! is byte-identical to a fresh compile — and the decode cache, which
+//! memoizes full lower-level decode outcomes (cover, evaluation, and
+//! GP-node charge) under the exact (scorer, pricing bits, mode) key,
+//! so a recalled outcome is the one a fresh decode would produce.
 
 use bico::bcpop::{generate, BcpopInstance, GeneratorConfig};
 use bico::cobra::{Cobra, CobraConfig, NestedConfig, NestedSequential};
-use bico::core::{Carbon, CarbonConfig};
+use bico::core::{Carbon, CarbonConfig, CarbonWeights};
 use bico::obs::{JsonlSink, MetricsSink, Observers, TraceSink};
 use std::sync::Arc;
 
@@ -139,6 +142,142 @@ fn cached_carbon_run_actually_hits_the_compile_cache() {
         report.compile_cache_hits + report.compile_cache_misses
             <= report.ll_evaluations + report.ul_evaluations,
         "at most one probe per scorer binding"
+    );
+}
+
+#[test]
+fn carbon_decode_cache_is_bit_identical() {
+    // The deduplicated evaluation matrix against the legacy per-slot
+    // loop, under three cache regimes: the default capacity (mostly
+    // hits), capacity 1 (constant eviction churn — at most one resident
+    // outcome, so nearly every probe recomputes), and capacity 0 (matrix
+    // scheduling alone, no storage). None may move a single bit.
+    for inst in &diff_instances() {
+        for &seed in &DIFF_SEEDS {
+            let base = CarbonConfig {
+                ul_pop_size: 10,
+                ll_pop_size: 10,
+                ul_archive_size: 10,
+                ll_archive_size: 10,
+                ul_evaluations: 150,
+                ll_evaluations: 150,
+                ..Default::default()
+            };
+            assert!(base.eval_matrix && base.decode_cache_capacity > 0, "matrix defaults on");
+            let mut legacy = base.clone();
+            legacy.eval_matrix = false;
+            let reference = Carbon::new(inst, legacy).run(seed);
+            for capacity in [base.decode_cache_capacity, 1, 0] {
+                let mut cfg = base.clone();
+                cfg.decode_cache_capacity = capacity;
+                let run = Carbon::new(inst, cfg).run(seed);
+                let tag = format!(
+                    "{}x{} seed {seed} capacity {capacity}",
+                    inst.num_bundles(),
+                    inst.num_services()
+                );
+                assert_eq!(
+                    bits(&run.best_pricing),
+                    bits(&reference.best_pricing),
+                    "pricing {tag}"
+                );
+                assert_eq!(
+                    run.best_ul_value.to_bits(),
+                    reference.best_ul_value.to_bits(),
+                    "best F {tag}"
+                );
+                assert_eq!(
+                    run.best_gap.to_bits(),
+                    reference.best_gap.to_bits(),
+                    "best gap {tag}"
+                );
+                assert_eq!(run.best_heuristic, reference.best_heuristic, "champion {tag}");
+                assert_eq!(run.trace.points(), reference.trace.points(), "trace {tag}");
+            }
+        }
+    }
+}
+
+#[test]
+fn carbon_weights_decode_cache_is_bit_identical() {
+    // Same contract for the linear-scorer variant, whose matrix keys are
+    // weight bit patterns instead of tree structure.
+    for inst in &diff_instances() {
+        for &seed in &DIFF_SEEDS {
+            let base = CarbonConfig {
+                ul_pop_size: 10,
+                ll_pop_size: 10,
+                ul_archive_size: 10,
+                ll_archive_size: 10,
+                ul_evaluations: 150,
+                ll_evaluations: 150,
+                ..Default::default()
+            };
+            let mut legacy = base.clone();
+            legacy.eval_matrix = false;
+            let reference = CarbonWeights::new(inst, legacy).run(seed);
+            for capacity in [base.decode_cache_capacity, 1] {
+                let mut cfg = base.clone();
+                cfg.decode_cache_capacity = capacity;
+                let run = CarbonWeights::new(inst, cfg).run(seed);
+                let tag = format!(
+                    "{}x{} seed {seed} capacity {capacity}",
+                    inst.num_bundles(),
+                    inst.num_services()
+                );
+                assert_eq!(
+                    bits(&run.best_pricing),
+                    bits(&reference.best_pricing),
+                    "pricing {tag}"
+                );
+                assert_eq!(
+                    run.best_ul_value.to_bits(),
+                    reference.best_ul_value.to_bits(),
+                    "best F {tag}"
+                );
+                assert_eq!(
+                    run.best_gap.to_bits(),
+                    reference.best_gap.to_bits(),
+                    "best gap {tag}"
+                );
+                assert_eq!(
+                    bits(&run.best_weights),
+                    bits(&reference.best_weights),
+                    "weights {tag}"
+                );
+                assert_eq!(run.trace.points(), reference.trace.points(), "trace {tag}");
+            }
+        }
+    }
+}
+
+#[test]
+fn cached_carbon_run_actually_hits_the_decode_cache() {
+    // Elite pricings and re-injected trees resurface identical matrix
+    // cells, so a real run must produce decode-cache hits — without
+    // this, the differential tests above could pass with a cache that
+    // never fires.
+    let inst = &diff_instances()[0];
+    let cfg = CarbonConfig {
+        ul_pop_size: 10,
+        ll_pop_size: 10,
+        ul_archive_size: 10,
+        ll_archive_size: 10,
+        ul_evaluations: 150,
+        ll_evaluations: 150,
+        ..Default::default()
+    };
+    assert!(cfg.eval_matrix && cfg.decode_cache_capacity > 0);
+    let metrics = Arc::new(MetricsSink::new());
+    let observers = Observers::new().with(Box::new(metrics.clone()));
+    Carbon::new(inst, cfg).run_observed(9, &observers);
+    let report = metrics.report();
+    assert!(report.decode_cache_hits > 0, "repeated cells must hit the decode cache");
+    assert!(report.decode_cache_misses > 0, "fresh cells must decode");
+    assert!(
+        report.decode_cache_hits + report.decode_cache_misses
+            <= report.ll_evaluations + report.ul_evaluations,
+        "deduplication means at most one probe per logical evaluation"
     );
 }
 

@@ -85,6 +85,68 @@ fn fixture_file_round_trips_through_parse_convert_validate() {
 }
 
 #[test]
+fn weing1_full_size_instance_flows_through_the_pipeline() {
+    // A real OR-library instance at full size: weing1 (Weingartner–Ness,
+    // 28 items × 2 knapsack constraints, published optimum 141278). The
+    // recorded optimum is re-proven here by exact dynamic programming
+    // over the two capacity dimensions, so the fixture is known-good
+    // data rather than a transcription taken on faith; the instance then
+    // runs the same parse → convert → validate → CARBON path as the toy
+    // fixtures.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures/mknap_weing1.txt");
+    let text = std::fs::read_to_string(path).expect("fixture present");
+    let mkp = parse_mknap(&text).unwrap().swap_remove(0);
+    assert_eq!((mkp.n, mkp.m), (28, 2));
+    assert_eq!(mkp.known_optimum, 141_278.0);
+    assert_eq!(mkp.capacities, vec![600.0, 600.0]);
+
+    // Exact DP over (row-0 load, row-1 load) → max profit.
+    let (c0, c1) = (mkp.capacities[0] as usize, mkp.capacities[1] as usize);
+    let mut dp = vec![f64::NEG_INFINITY; (c0 + 1) * (c1 + 1)];
+    dp[0] = 0.0;
+    for j in 0..mkp.n {
+        let (p, a, b) =
+            (mkp.profits[j], mkp.weights[j] as usize, mkp.weights[mkp.n + j] as usize);
+        for w0 in (0..=c0 - a).rev() {
+            for w1 in (0..=c1 - b).rev() {
+                let v = dp[w0 * (c1 + 1) + w1];
+                let t = &mut dp[(w0 + a) * (c1 + 1) + (w1 + b)];
+                if v + p > *t {
+                    *t = v + p;
+                }
+            }
+        }
+    }
+    let optimum = dp.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    assert_eq!(optimum, mkp.known_optimum, "DP must reproduce the published optimum");
+
+    // Convert, validate, and run a short CARBON smoke on the full-size
+    // instance (enough budget for a handful of generations).
+    let inst = mkp.into_covering(0.34).unwrap();
+    assert_eq!(inst.num_bundles(), 28);
+    assert_eq!(inst.num_services(), 2);
+    assert_eq!(inst.num_own(), 10);
+    inst.validate().unwrap();
+    assert!(inst.is_covering(&vec![true; inst.num_bundles()]));
+
+    let cfg = CarbonConfig {
+        ul_pop_size: 10,
+        ll_pop_size: 10,
+        ul_archive_size: 10,
+        ll_archive_size: 10,
+        ul_evaluations: 120,
+        ll_evaluations: 120,
+        ..Default::default()
+    };
+    assert!(cfg.eval_matrix && cfg.decode_cache_capacity > 0, "matrix path defaults on");
+    let r = Carbon::new(&inst, cfg).run(17);
+    assert!(r.generations >= 1);
+    assert!(r.best_gap.is_finite());
+    assert!(r.best_gap >= -1e-9);
+    assert_eq!(r.best_pricing.len(), inst.num_own());
+}
+
+#[test]
 fn zero_constraint_row_weights_are_tolerated() {
     // The Petersen instance has rows with zero weights for some items —
     // the conversion and validation must accept them.
