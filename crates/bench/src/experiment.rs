@@ -110,6 +110,9 @@ pub struct ExperimentOpts {
     pub trace_out: Option<String>,
     /// Write an aggregated metrics report to this file (`--metrics-out`).
     pub metrics_out: Option<String>,
+    /// Write the same report in the Prometheus text exposition format
+    /// (`--prom-out`).
+    pub prom_out: Option<String>,
     /// Progress verbosity on stderr (`--log-level`, default `BICO_LOG`).
     pub log_level: LogLevel,
     /// Lower-level solve-cache capacity per run (`--ll-cache-capacity`,
@@ -127,6 +130,7 @@ impl Default for ExperimentOpts {
             max_classes: None,
             trace_out: None,
             metrics_out: None,
+            prom_out: None,
             log_level: LogLevel::from_env(),
             ll_cache_capacity: 0,
         }
@@ -136,8 +140,8 @@ impl Default for ExperimentOpts {
 impl ExperimentOpts {
     /// Parse CLI arguments of the experiment binaries
     /// (`--full | --smoke`, `--runs N`, `--seed S`, `--classes K`,
-    /// `--trace-out F`, `--metrics-out F`, `--log-level L`,
-    /// `--ll-cache-capacity C`).
+    /// `--trace-out F`, `--metrics-out F`, `--prom-out F`,
+    /// `--log-level L`, `--ll-cache-capacity C`).
     pub fn from_args(args: &[String]) -> Self {
         let mut opts = ExperimentOpts::default();
         let mut it = args.iter().peekable();
@@ -161,6 +165,9 @@ impl ExperimentOpts {
                 }
                 "--metrics-out" => {
                     opts.metrics_out = it.next().cloned();
+                }
+                "--prom-out" => {
+                    opts.prom_out = it.next().cloned();
                 }
                 "--log-level" => {
                     if let Some(v) = it.next().and_then(|v| v.parse().ok()) {

@@ -9,6 +9,7 @@
 //! via the `bico` CLI rather than the parallel benches.
 
 use crate::experiment::ExperimentOpts;
+use bico_obs::sinks::prometheus;
 use bico_obs::{Event, JsonlSink, LogLevel, MetricsSink, ProgressSink, RunObserver};
 
 /// Process-wide observability state for a bench binary.
@@ -17,13 +18,14 @@ pub struct ObsStack {
     metrics: Option<MetricsSink>,
     progress: Option<ProgressSink>,
     metrics_out: Option<String>,
+    prom_out: Option<String>,
 }
 
 impl ObsStack {
     /// A stack with no sinks: `for_run` hands out disabled observers and
     /// the instrumentation folds away.
     pub fn disabled() -> Self {
-        ObsStack { jsonl: None, metrics: None, progress: None, metrics_out: None }
+        ObsStack { jsonl: None, metrics: None, progress: None, metrics_out: None, prom_out: None }
     }
 
     /// Build the stack the options ask for. Unwritable trace paths are
@@ -36,10 +38,18 @@ impl ObsStack {
                 None
             }
         });
-        let metrics = opts.metrics_out.as_ref().map(|_| MetricsSink::new());
+        // One sink feeds both the JSON and the Prometheus report.
+        let metrics = (opts.metrics_out.is_some() || opts.prom_out.is_some())
+            .then(MetricsSink::new);
         let progress =
             (opts.log_level > LogLevel::Warn).then(|| ProgressSink::stderr(opts.log_level));
-        ObsStack { jsonl, metrics, progress, metrics_out: opts.metrics_out.clone() }
+        ObsStack {
+            jsonl,
+            metrics,
+            progress,
+            metrics_out: opts.metrics_out.clone(),
+            prom_out: opts.prom_out.clone(),
+        }
     }
 
     /// True when no sink is attached.
@@ -69,10 +79,18 @@ impl ObsStack {
                 eprintln!("bico: trace flush failed: {err}");
             }
         }
-        if let (Some(metrics), Some(path)) = (&self.metrics, &self.metrics_out) {
-            let json = metrics.report().to_json();
-            if let Err(err) = std::fs::write(path, json + "\n") {
+        let Some(metrics) = &self.metrics else {
+            return;
+        };
+        let report = metrics.report();
+        if let Some(path) = &self.metrics_out {
+            if let Err(err) = std::fs::write(path, report.to_json() + "\n") {
                 eprintln!("bico: cannot write metrics file {path}: {err}");
+            }
+        }
+        if let Some(path) = &self.prom_out {
+            if let Err(err) = std::fs::write(path, prometheus::render(&report)) {
+                eprintln!("bico: cannot write prometheus file {path}: {err}");
             }
         }
     }
@@ -130,7 +148,7 @@ mod tests {
         let obs = stack.for_run("run0");
         assert!(obs.enabled());
         obs.observe(&Event::RunStart { algo: "carbon", seed: 1 });
-        obs.observe(&Event::LowerLevelSolve { solves: 3, pivots: 40 });
+        obs.observe(&Event::LowerLevelSolve { solves: 3, pivots: 40, micros: 120 });
         let report = stack.metrics().unwrap().report();
         assert_eq!(report.runs, 1);
         assert_eq!(report.ll_solves, 3);

@@ -37,7 +37,7 @@ use bico_ea::{
     select::{tournament, Direction},
     stats::Trace,
 };
-use bico_obs::{Event, Level, NullObserver, RunObserver};
+use bico_obs::{elapsed_micros, timer_if, Event, Level, NullObserver, RunObserver};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
@@ -239,6 +239,7 @@ impl<'a> Cobra<'a> {
                 if obs.enabled() {
                     obs.observe(&Event::GenerationStart { generation: gen_counter as u64 });
                 }
+                let t_fit = timer_if(obs.enabled());
                 let fit: Vec<f64> = uppers
                     .par_iter()
                     .zip(lowers.par_iter())
@@ -250,6 +251,7 @@ impl<'a> Cobra<'a> {
                         level: Level::Upper,
                         count: pop_size as u64,
                         gp_nodes: 0,
+                        micros: elapsed_micros(t_fit),
                     });
                 }
                 self.record(
@@ -258,6 +260,7 @@ impl<'a> Cobra<'a> {
                     ul_evals + ll_evals,
                     &uppers,
                     &lowers,
+                    Level::Upper,
                     &cache,
                     &mut cache_ev_emitted,
                     obs,
@@ -312,6 +315,7 @@ impl<'a> Cobra<'a> {
                 if obs.enabled() {
                     obs.observe(&Event::GenerationStart { generation: gen_counter as u64 });
                 }
+                let t_fit = timer_if(obs.enabled());
                 let fit: Vec<f64> = lowers
                     .par_iter()
                     .zip(uppers.par_iter())
@@ -323,6 +327,7 @@ impl<'a> Cobra<'a> {
                         level: Level::Lower,
                         count: pop_size as u64,
                         gp_nodes: 0,
+                        micros: elapsed_micros(t_fit),
                     });
                 }
                 self.record(
@@ -331,6 +336,7 @@ impl<'a> Cobra<'a> {
                     ul_evals + ll_evals,
                     &uppers,
                     &lowers,
+                    Level::Lower,
                     &cache,
                     &mut cache_ev_emitted,
                     obs,
@@ -457,6 +463,7 @@ impl<'a> Cobra<'a> {
         evals: u64,
         uppers: &[Vec<f64>],
         lowers: &[Vec<bool>],
+        level: Level,
         cache: &SolveCache<Relaxation>,
         ev_emitted: &mut u64,
         obs: &O,
@@ -473,19 +480,23 @@ impl<'a> Cobra<'a> {
         }
         let x = &uppers[best_pair];
         let y = &lowers[best_pair];
+        let t_solve = timer_if(obs.enabled());
         let (relax, hit) = self.probe(cache, x);
+        let solve_micros = elapsed_micros(t_solve);
         // A hit spends no pivots: the pivot series reflects work done.
-        let (gap, pivots) = relax
+        let (gap, ll_value, pivots) = relax
             .map(|r| {
-                (
-                    evaluate_pair(self.inst, x, y, r.lower_bound).gap,
-                    if hit { 0 } else { r.pivots },
-                )
+                let ev = evaluate_pair(self.inst, x, y, r.lower_bound);
+                (ev.gap, ev.ll_value, if hit { 0 } else { r.pivots })
             })
-            .unwrap_or((f64::INFINITY, 0));
+            .unwrap_or((f64::INFINITY, f64::NAN, 0));
         trace.record(generation, evals, best_rev, gap);
         if obs.enabled() {
-            obs.observe(&Event::LowerLevelSolve { solves: 1, pivots });
+            obs.observe(&Event::LowerLevelSolve { solves: 1, pivots, micros: solve_micros });
+            // The improving level tags the sample: segmenting the
+            // ObjectivePair stream by `level` is what lets `bico trace`
+            // measure the see-saw amplitude between phases.
+            obs.observe(&Event::ObjectivePair { level, ul_value: best_rev, ll_value });
             if cache.is_enabled() {
                 let s = cache.stats();
                 obs.observe(&Event::CacheProbe {
@@ -525,6 +536,7 @@ impl<'a> Cobra<'a> {
         let mut best_ul = 0.0f64;
         let mut best: Option<(Pair, f64)> = None;
         let (mut solves, mut pivots, mut hits) = (0u64, 0u64, 0u64);
+        let t_extract = timer_if(obs.enabled());
         for (pair, ll_value) in ll_archive.iter() {
             let (relax, hit) = self.probe(cache, &pair.prices);
             solves += 1;
@@ -547,7 +559,11 @@ impl<'a> Cobra<'a> {
             }
         }
         if obs.enabled() && solves > 0 {
-            obs.observe(&Event::LowerLevelSolve { solves, pivots });
+            obs.observe(&Event::LowerLevelSolve {
+                solves,
+                pivots,
+                micros: elapsed_micros(t_extract),
+            });
             if cache.is_enabled() {
                 let s = cache.stats();
                 obs.observe(&Event::CacheProbe {

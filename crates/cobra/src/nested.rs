@@ -18,7 +18,7 @@ use bico_ea::{
     select::{tournament, Direction},
     stats::Trace,
 };
-use bico_obs::{Event, Level, NullObserver, RunObserver};
+use bico_obs::{elapsed_micros, timer_if, Event, Level, NullObserver, RunObserver};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -137,16 +137,22 @@ impl<'a> NestedSequential<'a> {
             let mut gen_pivots = 0u64;
             let mut gen_hits = 0u64;
             let mut gen_misses = 0u64;
+            let mut gen_ll_micros = 0u64;
+            let mut gen_ul_micros = 0u64;
+            let mut gen_solve_micros = 0u64;
             for prices in &pop {
                 if ul_evals + 1 > cfg.ul_evaluations
                     || ll_evals + inner_cost > cfg.ll_evaluations
                 {
                     break;
                 }
+                let t_ll = timer_if(obs.enabled());
                 let (reaction, inner_evals) = self.solve_lower(prices, &mut rng);
+                gen_ll_micros += elapsed_micros(t_ll);
                 ll_evals += inner_evals;
                 gen_ll_evals += inner_evals;
                 ul_evals += 1;
+                let t_solve = timer_if(obs.enabled());
                 let (relax, hit) = if cache.is_enabled() {
                     let key = SolveCache::<Relaxation>::key_of(prices);
                     match cache.get(&key) {
@@ -162,11 +168,13 @@ impl<'a> NestedSequential<'a> {
                 } else {
                     (self.relaxer.solve(&inst.costs_for(prices)), false)
                 };
+                gen_solve_micros += elapsed_micros(t_solve);
                 if hit {
                     gen_hits += 1;
                 } else {
                     gen_misses += 1;
                 }
+                let t_ul = timer_if(obs.enabled());
                 let (f, gap) = match relax {
                     Some(r) => {
                         gen_solves += 1;
@@ -179,6 +187,7 @@ impl<'a> NestedSequential<'a> {
                     }
                     None => (0.0, f64::INFINITY),
                 };
+                gen_ul_micros += elapsed_micros(t_ul);
                 fits.push(f);
                 let better = best.as_ref().is_none_or(|(_, _, bf, _)| f > *bf);
                 if better && gap.is_finite() {
@@ -190,13 +199,19 @@ impl<'a> NestedSequential<'a> {
                     level: Level::Upper,
                     count: fits.len() as u64,
                     gp_nodes: 0,
+                    micros: gen_ul_micros,
                 });
                 obs.observe(&Event::Evaluation {
                     level: Level::Lower,
                     count: gen_ll_evals,
                     gp_nodes: 0,
+                    micros: gen_ll_micros,
                 });
-                obs.observe(&Event::LowerLevelSolve { solves: gen_solves, pivots: gen_pivots });
+                obs.observe(&Event::LowerLevelSolve {
+                    solves: gen_solves,
+                    pivots: gen_pivots,
+                    micros: gen_solve_micros,
+                });
                 if cache.is_enabled() {
                     let s = cache.stats();
                     obs.observe(&Event::CacheProbe {

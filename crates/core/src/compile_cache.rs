@@ -20,7 +20,9 @@
 
 use bico_ea::cache::{CacheStats, SolveCache};
 use bico_gp::{structural_key, CompiledProgram, Expr, PrimitiveSet};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// A sharded, bounded, thread-safe cache of compiled GP programs keyed
 /// by tree structure. `capacity == 0` disables storage: every probe
@@ -32,13 +34,18 @@ use std::sync::Arc;
 #[derive(Debug)]
 pub struct GpCompileCache {
     cache: SolveCache<Arc<CompiledProgram>>,
+    /// Wall-clock microseconds spent inside compile closures (cache
+    /// misses only). Purely observational: timing a pure function does
+    /// not perturb results, so accumulating inside rayon workers is
+    /// safe.
+    compile_micros: AtomicU64,
 }
 
 impl GpCompileCache {
     /// Create a cache holding at most `capacity` compiled programs
     /// (`0` = disabled).
     pub fn new(capacity: usize) -> Self {
-        GpCompileCache { cache: SolveCache::new(capacity) }
+        GpCompileCache { cache: SolveCache::new(capacity), compile_micros: AtomicU64::new(0) }
     }
 
     /// `true` iff the cache can store entries.
@@ -57,10 +64,14 @@ impl GpCompileCache {
         ps: &PrimitiveSet,
     ) -> (Arc<CompiledProgram>, bool) {
         self.cache.get_or_insert_keyed(&structural_key(expr), || {
-            Arc::new(
+            let t0 = Instant::now();
+            let program = Arc::new(
                 CompiledProgram::compile(expr, ps)
                     .expect("evolved trees are structurally valid"),
-            )
+            );
+            self.compile_micros
+                .fetch_add(t0.elapsed().as_micros() as u64, Ordering::Relaxed);
+            program
         })
     }
 
@@ -86,6 +97,12 @@ impl GpCompileCache {
     /// Snapshot of hit/miss/insertion/eviction counters.
     pub fn stats(&self) -> CacheStats {
         self.cache.stats()
+    }
+
+    /// Cumulative wall-clock microseconds spent compiling (misses
+    /// only). Monotone; emitters report per-generation deltas.
+    pub fn compile_micros(&self) -> u64 {
+        self.compile_micros.load(Ordering::Relaxed)
     }
 }
 

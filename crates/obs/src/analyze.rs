@@ -1,0 +1,585 @@
+//! Trace analysis: per-generation tables, run diffs and co-evolutionary
+//! pathology detectors over replayed JSONL traces.
+//!
+//! Competitive bi-level co-evolution has well-known failure modes that
+//! a gap-vs-generation curve hides:
+//!
+//! * **see-saw** — leader and follower alternately undo each other's
+//!   progress, so objectives oscillate across improvement phases
+//!   instead of converging ([`SeesawVerdict`]);
+//! * **disengagement** — selection stops discriminating: consecutive
+//!   generations end with identical bests, i.e. zero fitness-rank
+//!   change ([`DisengagementVerdict`]);
+//! * **stagnation** — the best-so-far gap plateaus for long windows
+//!   ([`StagnationVerdict`]).
+//!
+//! [`analyze`] computes all three plus cache-efficiency and
+//! phase-timing tables from one parsed trace; [`diff`] finds the first
+//! semantic divergence between two traces (timing payloads ignored, so
+//! two same-seed runs compare equal — the determinism smoke check in
+//! CI is built on exactly this).
+
+use crate::replay::{OwnedEvent, TraceRecord};
+
+/// Per-generation roll-up of the events between two `GenerationEnd`s.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GenerationRow {
+    /// Zero-based generation index (as emitted).
+    pub generation: u64,
+    /// Cumulative evaluations after the generation.
+    pub evaluations: u64,
+    /// The generation's best upper-level objective.
+    pub ul_best: f64,
+    /// The generation's best %-gap.
+    pub gap_best: f64,
+    /// Lower-level relaxation solves during the generation.
+    pub ll_solves: u64,
+    /// Solve-cache hits during the generation.
+    pub solve_hits: u64,
+    /// Solve-cache misses during the generation.
+    pub solve_misses: u64,
+    /// Compile-cache hits during the generation.
+    pub compile_hits: u64,
+    /// Compile-cache misses during the generation.
+    pub compile_misses: u64,
+    /// Decode-cache hits during the generation.
+    pub decode_hits: u64,
+    /// Decode-cache misses during the generation.
+    pub decode_misses: u64,
+    /// Microseconds spent in fitness evaluation during the generation.
+    pub eval_micros: u64,
+}
+
+impl GenerationRow {
+    /// Combined cache hit rate over every probe in the generation
+    /// (NaN when nothing probed).
+    pub fn hit_rate(&self) -> f64 {
+        let hits = self.solve_hits + self.compile_hits + self.decode_hits;
+        let total = hits + self.solve_misses + self.compile_misses + self.decode_misses;
+        if total == 0 {
+            f64::NAN
+        } else {
+            hits as f64 / total as f64
+        }
+    }
+}
+
+/// Wall-clock total for one phase, reconstructed from `t_ms` deltas
+/// between `PhaseChange` events.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseRow {
+    /// Phase name.
+    pub phase: String,
+    /// Total milliseconds attributed to the phase.
+    pub ms: u64,
+    /// Times the run entered the phase.
+    pub visits: u64,
+}
+
+/// See-saw detector result: oscillation of the best pair's objectives
+/// across improvement phases.
+///
+/// `ObjectivePair` events are segmented by their `level` (which
+/// population was improving); each segment's last sample is that
+/// phase's outcome. The amplitude is the mean absolute change of those
+/// outcomes between consecutive segments — large amplitudes with
+/// alternating signs mean the populations keep undoing each other.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeesawVerdict {
+    /// Improvement segments observed (level transitions + 1).
+    pub segments: u64,
+    /// Mean |Δ upper objective| between consecutive segment outcomes.
+    pub ul_amplitude: f64,
+    /// Mean |Δ lower objective| between consecutive segment outcomes.
+    pub ll_amplitude: f64,
+    /// Consecutive segment deltas with opposite signs (either level).
+    pub sign_flips: u64,
+    /// True when the objectives demonstrably oscillate: at least one
+    /// sign flip with nonzero amplitude.
+    pub detected: bool,
+}
+
+impl SeesawVerdict {
+    /// Combined oscillation amplitude (mean of the finite per-level
+    /// amplitudes; 0 when fewer than two segments were observed).
+    pub fn amplitude(&self) -> f64 {
+        0.5 * (self.ul_amplitude + self.ll_amplitude)
+    }
+}
+
+/// Disengagement detector result: generations whose best upper-level
+/// objective *and* best gap are bit-identical to the previous
+/// generation's, i.e. zero fitness-rank change at the top.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DisengagementVerdict {
+    /// Generations compared (GenerationEnd count − 1).
+    pub comparisons: u64,
+    /// Comparisons with identical bests.
+    pub flat: u64,
+    /// Longest run of consecutive flat comparisons.
+    pub longest_flat: u64,
+    /// `flat / comparisons` (NaN when no comparisons).
+    pub flat_fraction: f64,
+    /// True when more than half of all comparisons were flat.
+    pub detected: bool,
+}
+
+/// Stagnation detector result: windows where the best-so-far gap made
+/// no progress.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StagnationVerdict {
+    /// Generations observed.
+    pub generations: u64,
+    /// Longest window (in generations) without best-so-far improvement.
+    pub longest_window: u64,
+    /// Number of maximal no-improvement windows of at least
+    /// `window` generations.
+    pub windows: u64,
+    /// Window threshold the verdict was computed with.
+    pub window: u64,
+    /// True when at least one window reached the threshold.
+    pub detected: bool,
+}
+
+/// Everything [`analyze`] derives from one trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceAnalysis {
+    /// Events in the trace.
+    pub events: u64,
+    /// Algorithm name from `RunStart` (empty when absent).
+    pub algo: String,
+    /// Seed from `RunStart` (0 when absent).
+    pub seed: u64,
+    /// Per-generation roll-ups, in trace order.
+    pub generations: Vec<GenerationRow>,
+    /// Per-phase wall-clock totals, in first-seen order.
+    pub phases: Vec<PhaseRow>,
+    /// See-saw oscillation verdict.
+    pub seesaw: SeesawVerdict,
+    /// Disengagement verdict.
+    pub disengagement: DisengagementVerdict,
+    /// Stagnation verdict.
+    pub stagnation: StagnationVerdict,
+}
+
+/// First semantic difference between two traces.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Divergence {
+    /// Zero-based index (into the record sequence) of the first
+    /// differing event.
+    pub index: u64,
+    /// `name+payload` summary on the left side (None past its end).
+    pub left: Option<String>,
+    /// `name+payload` summary on the right side (None past its end).
+    pub right: Option<String>,
+}
+
+/// Default stagnation window (generations without best-so-far
+/// improvement) before the verdict trips.
+pub const DEFAULT_STAGNATION_WINDOW: u64 = 10;
+
+fn seesaw(records: &[TraceRecord]) -> SeesawVerdict {
+    // Segment ObjectivePair samples by the improving level; keep each
+    // segment's last (final) sample as the phase outcome.
+    let mut outcomes: Vec<(crate::event::Level, f64, f64)> = Vec::new();
+    for r in records {
+        if let OwnedEvent::ObjectivePair { level, ul_value, ll_value } = r.event {
+            match outcomes.last_mut() {
+                Some((l, ul, ll)) if *l == level => {
+                    *ul = ul_value;
+                    *ll = ll_value;
+                }
+                _ => outcomes.push((level, ul_value, ll_value)),
+            }
+        }
+    }
+    let segments = outcomes.len() as u64;
+    let mut ul_deltas = Vec::new();
+    let mut ll_deltas = Vec::new();
+    for pair in outcomes.windows(2) {
+        let d_ul = pair[1].1 - pair[0].1;
+        let d_ll = pair[1].2 - pair[0].2;
+        if d_ul.is_finite() {
+            ul_deltas.push(d_ul);
+        }
+        if d_ll.is_finite() {
+            ll_deltas.push(d_ll);
+        }
+    }
+    let mean_abs = |d: &[f64]| {
+        if d.is_empty() {
+            0.0
+        } else {
+            d.iter().map(|x| x.abs()).sum::<f64>() / d.len() as f64
+        }
+    };
+    let flips = |d: &[f64]| {
+        d.windows(2).filter(|w| w[0] * w[1] < 0.0).count() as u64
+    };
+    let ul_amplitude = mean_abs(&ul_deltas);
+    let ll_amplitude = mean_abs(&ll_deltas);
+    let sign_flips = flips(&ul_deltas) + flips(&ll_deltas);
+    SeesawVerdict {
+        segments,
+        ul_amplitude,
+        ll_amplitude,
+        sign_flips,
+        detected: sign_flips > 0 && (ul_amplitude > 0.0 || ll_amplitude > 0.0),
+    }
+}
+
+fn disengagement(rows: &[GenerationRow]) -> DisengagementVerdict {
+    let mut flat = 0u64;
+    let mut longest = 0u64;
+    let mut run = 0u64;
+    for pair in rows.windows(2) {
+        // Bit-level comparison: NaN == NaN here, a genuine f64 change
+        // is a change.
+        let same = pair[0].ul_best.to_bits() == pair[1].ul_best.to_bits()
+            && pair[0].gap_best.to_bits() == pair[1].gap_best.to_bits();
+        if same {
+            flat += 1;
+            run += 1;
+            longest = longest.max(run);
+        } else {
+            run = 0;
+        }
+    }
+    let comparisons = rows.len().saturating_sub(1) as u64;
+    let flat_fraction =
+        if comparisons == 0 { f64::NAN } else { flat as f64 / comparisons as f64 };
+    DisengagementVerdict {
+        comparisons,
+        flat,
+        longest_flat: longest,
+        flat_fraction,
+        detected: comparisons > 0 && flat * 2 > comparisons,
+    }
+}
+
+fn stagnation(rows: &[GenerationRow], window: u64) -> StagnationVerdict {
+    let mut best = f64::INFINITY;
+    let mut run = 0u64;
+    let mut longest = 0u64;
+    let mut windows = 0u64;
+    let mut counted_current = false;
+    for row in rows {
+        // NaN gaps (no feasible reference yet) never improve the best.
+        if row.gap_best < best {
+            best = row.gap_best;
+            run = 0;
+            counted_current = false;
+        } else {
+            run += 1;
+            longest = longest.max(run);
+            if run >= window && !counted_current {
+                windows += 1;
+                counted_current = true;
+            }
+        }
+    }
+    StagnationVerdict {
+        generations: rows.len() as u64,
+        longest_window: longest,
+        windows,
+        window,
+        detected: windows > 0,
+    }
+}
+
+/// Analyze one parsed trace. `stagnation_window` is the plateau length
+/// (generations) after which stagnation is flagged
+/// ([`DEFAULT_STAGNATION_WINDOW`] when in doubt).
+pub fn analyze(records: &[TraceRecord], stagnation_window: u64) -> TraceAnalysis {
+    let mut algo = String::new();
+    let mut seed = 0u64;
+    let mut generations: Vec<GenerationRow> = Vec::new();
+    let mut phases: Vec<(String, u64, u64)> = Vec::new(); // (name, ms, visits)
+    let mut open_phase: Option<(String, u64)> = None;
+
+    // Accumulators for the generation in progress.
+    let mut acc = GenerationRow {
+        generation: 0,
+        evaluations: 0,
+        ul_best: f64::NAN,
+        gap_best: f64::NAN,
+        ll_solves: 0,
+        solve_hits: 0,
+        solve_misses: 0,
+        compile_hits: 0,
+        compile_misses: 0,
+        decode_hits: 0,
+        decode_misses: 0,
+        eval_micros: 0,
+    };
+    let reset = |acc: &mut GenerationRow| {
+        *acc = GenerationRow {
+            generation: 0,
+            evaluations: 0,
+            ul_best: f64::NAN,
+            gap_best: f64::NAN,
+            ll_solves: 0,
+            solve_hits: 0,
+            solve_misses: 0,
+            compile_hits: 0,
+            compile_misses: 0,
+            decode_hits: 0,
+            decode_misses: 0,
+            eval_micros: 0,
+        };
+    };
+
+    let close_phase = |open: &mut Option<(String, u64)>, t_ms: u64, phases: &mut Vec<(String, u64, u64)>| {
+        if let Some((name, since)) = open.take() {
+            let elapsed = t_ms.saturating_sub(since);
+            match phases.iter_mut().find(|(n, _, _)| *n == name) {
+                Some((_, ms, _)) => *ms += elapsed,
+                None => unreachable!("phase rows are created on entry"),
+            }
+        }
+    };
+
+    for r in records {
+        match &r.event {
+            OwnedEvent::RunStart { algo: a, seed: s } => {
+                algo = a.clone();
+                seed = *s;
+            }
+            OwnedEvent::PhaseChange { phase } => {
+                close_phase(&mut open_phase, r.t_ms, &mut phases);
+                match phases.iter_mut().find(|(n, _, _)| n == phase) {
+                    Some((_, _, visits)) => *visits += 1,
+                    None => phases.push((phase.clone(), 0, 1)),
+                }
+                open_phase = Some((phase.clone(), r.t_ms));
+            }
+            OwnedEvent::Evaluation { micros, .. } => {
+                acc.eval_micros += micros;
+            }
+            OwnedEvent::LowerLevelSolve { solves, .. } => {
+                acc.ll_solves += solves;
+            }
+            OwnedEvent::CacheProbe { hits, misses, .. } => {
+                acc.solve_hits += hits;
+                acc.solve_misses += misses;
+            }
+            OwnedEvent::CompileCacheProbe { hits, misses, .. } => {
+                acc.compile_hits += hits;
+                acc.compile_misses += misses;
+            }
+            OwnedEvent::DecodeCacheProbe { hits, misses, .. } => {
+                acc.decode_hits += hits;
+                acc.decode_misses += misses;
+            }
+            OwnedEvent::GenerationEnd { generation, evaluations, ul_best, gap_best } => {
+                acc.generation = *generation;
+                acc.evaluations = *evaluations;
+                acc.ul_best = *ul_best;
+                acc.gap_best = *gap_best;
+                generations.push(acc.clone());
+                reset(&mut acc);
+            }
+            OwnedEvent::RunComplete { .. } => {
+                close_phase(&mut open_phase, r.t_ms, &mut phases);
+            }
+            OwnedEvent::GenerationStart { .. }
+            | OwnedEvent::ObjectivePair { .. }
+            | OwnedEvent::ArchiveUpdate { .. } => {}
+        }
+    }
+    // A truncated trace (no RunComplete) still closes at the last
+    // timestamp so phase totals don't silently drop the tail.
+    if let Some(last) = records.last() {
+        close_phase(&mut open_phase, last.t_ms, &mut phases);
+    }
+
+    TraceAnalysis {
+        events: records.len() as u64,
+        algo,
+        seed,
+        seesaw: seesaw(records),
+        disengagement: disengagement(&generations),
+        stagnation: stagnation(&generations, stagnation_window),
+        generations,
+        phases: phases
+            .into_iter()
+            .map(|(phase, ms, visits)| PhaseRow { phase, ms, visits })
+            .collect(),
+    }
+}
+
+/// Compare two traces event by event on [`OwnedEvent::semantic_key`]
+/// (name + payload, timing fields zeroed; `seq`/`t_ms`/`tag` envelopes
+/// ignored). Returns the first divergence, or `None` when the traces
+/// are semantically identical — which two runs of the same seed and
+/// configuration must be.
+pub fn diff(left: &[TraceRecord], right: &[TraceRecord]) -> Option<Divergence> {
+    let n = left.len().max(right.len());
+    for i in 0..n {
+        let l = left.get(i).map(|r| r.event.semantic_key());
+        let r = right.get(i).map(|r| r.event.semantic_key());
+        if l != r {
+            return Some(Divergence { index: i as u64, left: l, right: r });
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Level;
+    use crate::replay::parse_trace;
+
+    fn rec(seq: u64, t_ms: u64, event: OwnedEvent) -> TraceRecord {
+        TraceRecord { seq, t_ms, tag: None, event }
+    }
+
+    fn gen_end(generation: u64, ul_best: f64, gap_best: f64) -> OwnedEvent {
+        OwnedEvent::GenerationEnd {
+            generation,
+            evaluations: 10 * (generation + 1),
+            ul_best,
+            gap_best,
+        }
+    }
+
+    #[test]
+    fn generation_rows_accumulate_probe_deltas() {
+        let records = vec![
+            rec(0, 0, OwnedEvent::RunStart { algo: "carbon".into(), seed: 9 }),
+            rec(1, 1, OwnedEvent::LowerLevelSolve { solves: 10, pivots: 50, micros: 80 }),
+            rec(2, 1, OwnedEvent::CacheProbe { hits: 4, misses: 6, evictions: 0, entries: 6 }),
+            rec(3, 2, OwnedEvent::Evaluation { level: Level::Lower, count: 10, gp_nodes: 90, micros: 30 }),
+            rec(4, 3, gen_end(0, 100.0, 5.0)),
+            rec(5, 4, OwnedEvent::CacheProbe { hits: 9, misses: 1, evictions: 0, entries: 7 }),
+            rec(6, 5, gen_end(1, 101.0, 4.0)),
+        ];
+        let a = analyze(&records, DEFAULT_STAGNATION_WINDOW);
+        assert_eq!(a.algo, "carbon");
+        assert_eq!(a.seed, 9);
+        assert_eq!(a.generations.len(), 2);
+        let g0 = &a.generations[0];
+        assert_eq!((g0.ll_solves, g0.solve_hits, g0.solve_misses), (10, 4, 6));
+        assert_eq!(g0.eval_micros, 30);
+        assert!((g0.hit_rate() - 0.4).abs() < 1e-12);
+        let g1 = &a.generations[1];
+        assert_eq!((g1.solve_hits, g1.solve_misses), (9, 1), "deltas reset per generation");
+        assert!(g1.hit_rate() > 0.89);
+    }
+
+    #[test]
+    fn phase_rows_accrue_from_t_ms_deltas() {
+        let records = vec![
+            rec(0, 0, OwnedEvent::PhaseChange { phase: "relaxation".into() }),
+            rec(1, 30, OwnedEvent::PhaseChange { phase: "breeding".into() }),
+            rec(2, 40, OwnedEvent::PhaseChange { phase: "relaxation".into() }),
+            rec(
+                3,
+                45,
+                OwnedEvent::RunComplete {
+                    generations: 0,
+                    ul_evaluations: 0,
+                    ll_evaluations: 0,
+                    best_value: 0.0,
+                    best_gap: 0.0,
+                },
+            ),
+        ];
+        let a = analyze(&records, DEFAULT_STAGNATION_WINDOW);
+        assert_eq!(a.phases.len(), 2);
+        assert_eq!(a.phases[0].phase, "relaxation");
+        assert_eq!(a.phases[0].ms, 35, "30ms first visit + 5ms second");
+        assert_eq!(a.phases[0].visits, 2);
+        assert_eq!(a.phases[1].ms, 10);
+    }
+
+    #[test]
+    fn seesaw_detects_oscillation_and_measures_amplitude() {
+        // Upper improves (+10), then lower drags it back (−8), then
+        // upper again (+9): classic see-saw.
+        let records = vec![
+            rec(0, 0, OwnedEvent::ObjectivePair { level: Level::Upper, ul_value: 100.0, ll_value: 50.0 }),
+            rec(1, 1, OwnedEvent::ObjectivePair { level: Level::Upper, ul_value: 110.0, ll_value: 50.0 }),
+            rec(2, 2, OwnedEvent::ObjectivePair { level: Level::Lower, ul_value: 102.0, ll_value: 60.0 }),
+            rec(3, 3, OwnedEvent::ObjectivePair { level: Level::Upper, ul_value: 111.0, ll_value: 58.0 }),
+        ];
+        let v = seesaw(&records);
+        assert_eq!(v.segments, 3, "intra-segment samples collapse to the last");
+        assert!(v.detected);
+        assert!(v.sign_flips >= 1);
+        // Deltas are −8 and +9 → mean |Δ| = 8.5.
+        assert!((v.ul_amplitude - 8.5).abs() < 1e-12);
+        assert!(v.amplitude().is_finite() && v.amplitude() > 0.0);
+    }
+
+    #[test]
+    fn seesaw_on_empty_trace_is_finite_and_undetected() {
+        let v = seesaw(&[]);
+        assert!(!v.detected);
+        assert_eq!(v.segments, 0);
+        assert!(v.amplitude().is_finite());
+        assert_eq!(v.amplitude(), 0.0);
+    }
+
+    #[test]
+    fn disengagement_counts_flat_windows() {
+        let rows: Vec<TraceRecord> = [5.0, 5.0, 5.0, 4.0, 4.0]
+            .iter()
+            .enumerate()
+            .map(|(i, &gap)| rec(i as u64, i as u64, gen_end(i as u64, 100.0, gap)))
+            .collect();
+        let a = analyze(&rows, DEFAULT_STAGNATION_WINDOW);
+        let d = &a.disengagement;
+        assert_eq!(d.comparisons, 4);
+        assert_eq!(d.flat, 3, "gens 0→1, 1→2 and 3→4 are flat");
+        assert_eq!(d.longest_flat, 2);
+        assert!(d.detected, "3/4 flat comparisons is disengaged");
+    }
+
+    #[test]
+    fn stagnation_windows_track_best_so_far_plateaus() {
+        // Gap improves at gen 0 and 1, then plateaus for 4 generations.
+        let gaps = [5.0, 4.0, 4.5, 4.2, 4.0, 4.8];
+        let rows: Vec<TraceRecord> = gaps
+            .iter()
+            .enumerate()
+            .map(|(i, &gap)| rec(i as u64, i as u64, gen_end(i as u64, 100.0, gap)))
+            .collect();
+        let a = analyze(&rows, 3);
+        let s = &a.stagnation;
+        assert_eq!(s.longest_window, 4, "gens 2..=5 never beat 4.0");
+        assert_eq!(s.windows, 1);
+        assert!(s.detected);
+        let relaxed = analyze(&rows, 10);
+        assert!(!relaxed.stagnation.detected);
+    }
+
+    #[test]
+    fn diff_ignores_timing_but_catches_payload_changes() {
+        let base = "{\"event\":\"RunStart\",\"seq\":0,\"t_ms\":0,\"algo\":\"cobra\",\"seed\":1}\n\
+             {\"event\":\"LowerLevelSolve\",\"seq\":1,\"t_ms\":3,\"solves\":5,\"pivots\":20,\"micros\":111}\n";
+        let same_but_slower =
+            "{\"event\":\"RunStart\",\"seq\":0,\"t_ms\":2,\"algo\":\"cobra\",\"seed\":1}\n\
+             {\"event\":\"LowerLevelSolve\",\"seq\":1,\"t_ms\":9,\"solves\":5,\"pivots\":20,\"micros\":999}\n";
+        let divergent = "{\"event\":\"RunStart\",\"seq\":0,\"t_ms\":0,\"algo\":\"cobra\",\"seed\":1}\n\
+             {\"event\":\"LowerLevelSolve\",\"seq\":1,\"t_ms\":3,\"solves\":6,\"pivots\":20,\"micros\":111}\n";
+        let a = parse_trace(base).unwrap();
+        let b = parse_trace(same_but_slower).unwrap();
+        let c = parse_trace(divergent).unwrap();
+        assert_eq!(diff(&a, &b), None, "timing-only differences are not divergence");
+        let d = diff(&a, &c).expect("payload change must diverge");
+        assert_eq!(d.index, 1);
+        assert!(d.left.unwrap().contains("\"solves\":5"));
+        assert!(d.right.unwrap().contains("\"solves\":6"));
+    }
+
+    #[test]
+    fn diff_reports_length_mismatch_as_divergence() {
+        let a = parse_trace("{\"event\":\"GenerationStart\",\"seq\":0,\"t_ms\":0,\"generation\":0}\n")
+            .unwrap();
+        let d = diff(&a, &[]).expect("length mismatch diverges");
+        assert_eq!(d.index, 0);
+        assert!(d.left.is_some() && d.right.is_none());
+    }
+}

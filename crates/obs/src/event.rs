@@ -58,6 +58,9 @@ pub enum Event<'a> {
         /// GP tree nodes evaluated while scoring the batch (0 when the
         /// batch involved no GP heuristic).
         gp_nodes: u64,
+        /// Wall-clock microseconds spent scoring the batch (0 when the
+        /// emitter did not time it, e.g. observers were disabled).
+        micros: u64,
     },
     /// A batch of lower-level relaxation LP solves completed.
     LowerLevelSolve {
@@ -67,6 +70,9 @@ pub enum Event<'a> {
         /// Total simplex pivots across the batch; solve-cache hits spend
         /// none, so this reflects work done, not work recalled.
         pivots: u64,
+        /// Wall-clock microseconds spent answering the batch (0 when
+        /// the emitter did not time it).
+        micros: u64,
     },
     /// A batch of lower-level solve-cache probes completed. Emitted
     /// right after the matching [`Event::LowerLevelSolve`] by every
@@ -95,6 +101,9 @@ pub enum Event<'a> {
         evictions: u64,
         /// Programs resident after the batch (a gauge, not a delta).
         entries: u64,
+        /// Wall-clock microseconds spent compiling the batch's misses
+        /// (delta; 0 when everything hit or timing was unavailable).
+        compile_micros: u64,
     },
     /// A batch of lower-level decode-cache probes completed. Emitted
     /// once per generation by solvers running with the evaluation-matrix
@@ -112,6 +121,19 @@ pub enum Event<'a> {
         evictions: u64,
         /// Outcomes resident after the batch (a gauge, not a delta).
         entries: u64,
+    },
+    /// The best pair's objectives at one co-evolutionary step. Emitted
+    /// once per improvement generation by competitive solvers; `level`
+    /// names the population that was improving when the sample was
+    /// taken. The see-saw detector in the trace analyzer segments
+    /// these by `level` to measure leader/follower oscillation.
+    ObjectivePair {
+        /// The population improving when this sample was taken.
+        level: Level,
+        /// Upper-level (leader) objective of the current best pair.
+        ul_value: f64,
+        /// Lower-level (follower) objective of the current best pair.
+        ll_value: f64,
     },
     /// An elite archive absorbed a generation's candidates.
     ArchiveUpdate {
@@ -160,6 +182,7 @@ impl Event<'_> {
             Event::CacheProbe { .. } => "CacheProbe",
             Event::CompileCacheProbe { .. } => "CompileCacheProbe",
             Event::DecodeCacheProbe { .. } => "DecodeCacheProbe",
+            Event::ObjectivePair { .. } => "ObjectivePair",
             Event::ArchiveUpdate { .. } => "ArchiveUpdate",
             Event::GenerationEnd { .. } => "GenerationEnd",
             Event::RunComplete { .. } => "RunComplete",
@@ -180,22 +203,35 @@ impl Event<'_> {
             Event::GenerationStart { generation } => {
                 json::push_u64_field(out, "generation", generation);
             }
-            Event::Evaluation { level, count, gp_nodes } => {
+            Event::Evaluation { level, count, gp_nodes, micros } => {
                 json::push_str_field(out, "level", level.as_str());
                 json::push_u64_field(out, "count", count);
                 json::push_u64_field(out, "gp_nodes", gp_nodes);
+                json::push_u64_field(out, "micros", micros);
             }
-            Event::LowerLevelSolve { solves, pivots } => {
+            Event::LowerLevelSolve { solves, pivots, micros } => {
                 json::push_u64_field(out, "solves", solves);
                 json::push_u64_field(out, "pivots", pivots);
+                json::push_u64_field(out, "micros", micros);
             }
             Event::CacheProbe { hits, misses, evictions, entries }
-            | Event::CompileCacheProbe { hits, misses, evictions, entries }
             | Event::DecodeCacheProbe { hits, misses, evictions, entries } => {
                 json::push_u64_field(out, "hits", hits);
                 json::push_u64_field(out, "misses", misses);
                 json::push_u64_field(out, "evictions", evictions);
                 json::push_u64_field(out, "entries", entries);
+            }
+            Event::CompileCacheProbe { hits, misses, evictions, entries, compile_micros } => {
+                json::push_u64_field(out, "hits", hits);
+                json::push_u64_field(out, "misses", misses);
+                json::push_u64_field(out, "evictions", evictions);
+                json::push_u64_field(out, "entries", entries);
+                json::push_u64_field(out, "compile_micros", compile_micros);
+            }
+            Event::ObjectivePair { level, ul_value, ll_value } => {
+                json::push_str_field(out, "level", level.as_str());
+                json::push_f64_field(out, "ul_value", ul_value);
+                json::push_f64_field(out, "ll_value", ll_value);
             }
             Event::ArchiveUpdate { level, size, best } => {
                 json::push_str_field(out, "level", level.as_str());
@@ -231,11 +267,18 @@ impl Event<'_> {
             Event::RunStart { algo: "carbon", seed: 42 },
             Event::PhaseChange { phase: "relaxation" },
             Event::GenerationStart { generation: 0 },
-            Event::Evaluation { level: Level::Lower, count: 100, gp_nodes: 4321 },
-            Event::LowerLevelSolve { solves: 100, pivots: 1707 },
+            Event::Evaluation { level: Level::Lower, count: 100, gp_nodes: 4321, micros: 1850 },
+            Event::LowerLevelSolve { solves: 100, pivots: 1707, micros: 920 },
             Event::CacheProbe { hits: 3, misses: 97, evictions: 0, entries: 97 },
-            Event::CompileCacheProbe { hits: 95, misses: 5, evictions: 1, entries: 60 },
+            Event::CompileCacheProbe {
+                hits: 95,
+                misses: 5,
+                evictions: 1,
+                entries: 60,
+                compile_micros: 310,
+            },
             Event::DecodeCacheProbe { hits: 120, misses: 40, evictions: 2, entries: 150 },
+            Event::ObjectivePair { level: Level::Upper, ul_value: 1543.25, ll_value: 402.5 },
             Event::ArchiveUpdate { level: Level::Upper, size: 100, best: 1543.25 },
             Event::GenerationEnd {
                 generation: 0,
@@ -272,6 +315,7 @@ mod tests {
                 "CacheProbe",
                 "CompileCacheProbe",
                 "DecodeCacheProbe",
+                "ObjectivePair",
                 "ArchiveUpdate",
                 "GenerationEnd",
                 "RunComplete",

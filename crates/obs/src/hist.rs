@@ -1,0 +1,268 @@
+//! Dependency-free log-bucketed latency/size histograms.
+//!
+//! A [`Histogram`] covers a geometric range `[min, min·growth^n)` with
+//! `n` buckets whose upper bounds grow by a constant factor. Recording
+//! is O(log n) (binary search over precomputed bounds); `count`, `sum`
+//! and `max` are tracked exactly, while percentiles are estimated by
+//! linear interpolation inside the bucket that crosses the requested
+//! rank — the classic Prometheus histogram trade-off.
+//!
+//! Two presets cover everything the solvers need:
+//! [`Histogram::seconds`] for latencies (1 µs .. ~67 s, factor 2) and
+//! [`Histogram::counts`] for discrete sizes such as simplex pivots or
+//! GP nodes (1 .. ~1 M, factor 2).
+
+/// A fixed-bucket histogram with geometrically spaced bucket bounds.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    /// Inclusive upper bound of each bucket; the last real bucket is
+    /// followed by an implicit `+Inf` overflow bucket.
+    bounds: Vec<f64>,
+    /// Observation count per bucket; `counts.len() == bounds.len() + 1`
+    /// (the final slot is the `+Inf` overflow bucket).
+    counts: Vec<u64>,
+    /// Total number of observations.
+    count: u64,
+    /// Exact sum of all observed values.
+    sum: f64,
+    /// Exact maximum observed value (0 when empty).
+    max: f64,
+}
+
+impl Histogram {
+    /// A histogram with `n` buckets whose bounds are
+    /// `min·growth^0, min·growth^1, …, min·growth^(n-1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min <= 0`, `growth <= 1`, or `n == 0` — such a
+    /// histogram could never bucket anything meaningfully.
+    pub fn new(min: f64, growth: f64, n: usize) -> Self {
+        assert!(min > 0.0, "histogram min bound must be positive");
+        assert!(growth > 1.0, "histogram growth factor must exceed 1");
+        assert!(n > 0, "histogram needs at least one bucket");
+        let mut bounds = Vec::with_capacity(n);
+        let mut b = min;
+        for _ in 0..n {
+            bounds.push(b);
+            b *= growth;
+        }
+        Histogram { counts: vec![0; n + 1], bounds, count: 0, sum: 0.0, max: 0.0 }
+    }
+
+    /// Preset for latencies in seconds: 27 power-of-two buckets from
+    /// 1 µs to ~67 s. Sub-microsecond observations land in the first
+    /// bucket; anything slower than ~67 s lands in the overflow bucket.
+    pub fn seconds() -> Self {
+        Histogram::new(1e-6, 2.0, 27)
+    }
+
+    /// Preset for discrete sizes: 21 power-of-two buckets from 1 to
+    /// ~1 M (2^20).
+    pub fn counts() -> Self {
+        Histogram::new(1.0, 2.0, 21)
+    }
+
+    /// Record one observation. Non-finite or negative values are
+    /// ignored — instrumentation must never poison aggregate state.
+    pub fn record(&mut self, value: f64) {
+        self.record_n(value, 1);
+    }
+
+    /// Record `n` observations of the same value in O(log buckets).
+    /// Useful when a batch timer only knows the per-item mean.
+    pub fn record_n(&mut self, value: f64, n: u64) {
+        if n == 0 || !value.is_finite() || value < 0.0 {
+            return;
+        }
+        let idx = self.bounds.partition_point(|&b| b < value);
+        self.counts[idx] += n;
+        self.count += n;
+        self.sum += value * n as f64;
+        if value > self.max {
+            self.max = value;
+        }
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact sum of all observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Exact maximum observation (0 when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Mean observation (NaN when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Estimate the `q`-quantile (`0.0..=1.0`) by locating the bucket
+    /// containing the rank and interpolating linearly between its
+    /// bounds. Exact for `max` when `q == 1`; NaN when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return f64::NAN;
+        }
+        if q >= 1.0 {
+            return self.max;
+        }
+        let rank = q.max(0.0) * self.count as f64;
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let prev = cum as f64;
+            cum += c;
+            if (cum as f64) >= rank {
+                let lo = if i == 0 { 0.0 } else { self.bounds[i - 1] };
+                // Overflow bucket: no finite upper bound, clamp to max.
+                let hi = if i < self.bounds.len() { self.bounds[i] } else { self.max };
+                let hi = hi.min(self.max.max(lo));
+                let frac = ((rank - prev) / c as f64).clamp(0.0, 1.0);
+                return lo + (hi - lo) * frac;
+            }
+        }
+        self.max
+    }
+
+    /// Cumulative (Prometheus-style) bucket view: `(upper_bound,
+    /// cumulative_count)` for every finite bound. The `+Inf` bucket is
+    /// implied by [`Histogram::count`].
+    pub fn cumulative_buckets(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
+        let mut cum = 0u64;
+        self.bounds.iter().zip(&self.counts).map(move |(&b, &c)| {
+            cum += c;
+            (b, cum)
+        })
+    }
+
+    /// Append a JSON object summary (`count`, `sum`, `mean`, `p50`,
+    /// `p90`, `p99`, `max`) to `out`.
+    pub fn push_json_summary(&self, out: &mut String) {
+        out.push('{');
+        out.push_str("\"count\": ");
+        out.push_str(&self.count.to_string());
+        for (key, value) in [
+            ("sum", self.sum),
+            ("mean", self.mean()),
+            ("p50", self.quantile(0.50)),
+            ("p90", self.quantile(0.90)),
+            ("p99", self.quantile(0.99)),
+            ("max", self.max),
+        ] {
+            out.push_str(", \"");
+            out.push_str(key);
+            out.push_str("\": ");
+            crate::json::push_f64(out, value);
+        }
+        out.push('}');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_reports_nan_quantiles() {
+        let h = Histogram::seconds();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.sum(), 0.0);
+        assert_eq!(h.max(), 0.0);
+        assert!(h.quantile(0.5).is_nan());
+        assert!(h.mean().is_nan());
+    }
+
+    #[test]
+    fn count_sum_max_are_exact() {
+        let mut h = Histogram::seconds();
+        h.record(0.001);
+        h.record(0.002);
+        h.record_n(0.004, 3);
+        assert_eq!(h.count(), 5);
+        assert!((h.sum() - 0.015).abs() < 1e-12);
+        assert_eq!(h.max(), 0.004);
+        assert!((h.mean() - 0.003).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_bracket_the_data() {
+        let mut h = Histogram::seconds();
+        for i in 1..=1000u64 {
+            h.record(i as f64 * 1e-5); // 10 µs .. 10 ms
+        }
+        let p50 = h.quantile(0.50);
+        let p90 = h.quantile(0.90);
+        let p99 = h.quantile(0.99);
+        assert!(p50 <= p90 && p90 <= p99 && p99 <= h.max());
+        // p50 of a uniform 10µs..10ms sample should land within the
+        // right power-of-two bucket (~4..8 ms around 5 ms).
+        assert!(p50 > 1e-3 && p50 < 1e-2, "p50 = {p50}");
+        assert_eq!(h.quantile(1.0), h.max());
+    }
+
+    #[test]
+    fn overflow_and_underflow_observations_are_kept() {
+        let mut h = Histogram::new(1.0, 2.0, 4); // bounds 1,2,4,8
+        h.record(0.25); // below min -> first bucket
+        h.record(100.0); // above max bound -> overflow bucket
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.max(), 100.0);
+        // The overflow bucket interpolates between the last finite
+        // bound and the exact max; q = 1 returns the max itself.
+        let p99 = h.quantile(0.99);
+        assert!(p99 > 8.0 && p99 <= 100.0, "p99 = {p99}");
+        assert_eq!(h.quantile(1.0), 100.0);
+    }
+
+    #[test]
+    fn garbage_values_are_ignored() {
+        let mut h = Histogram::counts();
+        h.record(f64::NAN);
+        h.record(f64::INFINITY);
+        h.record(-3.0);
+        h.record_n(5.0, 0);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn cumulative_buckets_are_monotone_and_end_at_count() {
+        let mut h = Histogram::counts();
+        for v in [1.0, 3.0, 9.0, 700.0, 3_000_000.0] {
+            h.record(v);
+        }
+        let buckets: Vec<(f64, u64)> = h.cumulative_buckets().collect();
+        let mut prev = 0;
+        for &(_, c) in &buckets {
+            assert!(c >= prev);
+            prev = c;
+        }
+        // 3,000,000 exceeds the last finite bound (2^20): it only shows
+        // up in the implicit +Inf bucket, i.e. in count().
+        assert_eq!(buckets.last().unwrap().1, 4);
+        assert_eq!(h.count(), 5);
+    }
+
+    #[test]
+    fn json_summary_parses() {
+        let mut h = Histogram::seconds();
+        h.record(0.5);
+        let mut out = String::new();
+        h.push_json_summary(&mut out);
+        let v = crate::json::parse(&out).expect("summary must parse");
+        assert_eq!(v.get("count").and_then(|v| v.as_u64()), Some(1));
+    }
+}

@@ -15,14 +15,21 @@
 //! to an uninstrumented one (asserted by `tests/determinism.rs` at the
 //! workspace root).
 //!
-//! Three composable sinks are provided:
+//! Four composable sinks are provided:
 //!
 //! * [`JsonlSink`] — one JSON object per event, machine-readable
 //!   (`--trace-out run.jsonl`);
 //! * [`ProgressSink`] — human-readable stderr lines, level-filtered via
 //!   `BICO_LOG` / `--log-level`;
-//! * [`MetricsSink`] — lock-free counters and wall-clock timers folded
-//!   into a final [`RunMetrics`] report (`--metrics-out metrics.json`).
+//! * [`MetricsSink`] — lock-free counters, wall-clock timers and
+//!   latency [`Histogram`]s folded into a final [`RunMetrics`] report
+//!   (`--metrics-out metrics.json`);
+//! * [`PrometheusSink`] — the same [`RunMetrics`], rendered in the
+//!   Prometheus text exposition format (`--prom-out metrics.prom`).
+//!
+//! On top of the JSONL stream, [`replay`] parses traces back into owned
+//! events and [`analyze`] derives per-generation tables, run diffs and
+//! co-evolutionary pathology verdicts (`bico trace`).
 //!
 //! Multiple sinks stack with [`Observers`]; the [`NullObserver`] is the
 //! zero-cost default — `Solver::run` delegates to `run_observed` with a
@@ -34,17 +41,22 @@
 //! host the `Summary`/`Trace` types re-exported by `bico-ea` so the
 //! whole workspace shares one source of truth for run statistics.
 
+pub mod analyze;
 pub mod event;
+pub mod hist;
 pub mod json;
 pub mod observer;
+pub mod replay;
 pub mod sinks;
 pub mod stats;
 pub mod trace;
 
 pub use event::{Event, Level};
-pub use observer::{NullObserver, Observers, RunObserver};
+pub use hist::Histogram;
+pub use observer::{elapsed_micros, timer_if, NullObserver, Observers, RunObserver};
 pub use sinks::jsonl::{JsonlSink, SharedBuffer};
 pub use sinks::metrics::{MetricsSink, PhaseTiming, RunMetrics};
 pub use sinks::progress::{LogLevel, ProgressSink};
+pub use sinks::prometheus::PrometheusSink;
 pub use stats::Summary;
 pub use trace::{Trace, TracePoint, TraceSink};

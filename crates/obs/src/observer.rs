@@ -2,6 +2,20 @@
 
 use crate::event::Event;
 use std::sync::Arc;
+use std::time::Instant;
+
+/// Start a wall-clock timer iff observers want one. Pair with
+/// [`elapsed_micros`] around instrumented batches so uninstrumented
+/// runs (where `enabled` is a monomorphized `false`) skip the clock
+/// reads entirely.
+pub fn timer_if(enabled: bool) -> Option<Instant> {
+    enabled.then(Instant::now)
+}
+
+/// Elapsed microseconds of a [`timer_if`] timer (0 when disabled).
+pub fn elapsed_micros(t0: Option<Instant>) -> u64 {
+    t0.map_or(0, |t| t.elapsed().as_micros() as u64)
+}
 
 /// A passive receiver of solver [`Event`]s.
 ///

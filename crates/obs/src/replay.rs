@@ -1,0 +1,438 @@
+//! Replay: parse JSONL traces back into typed events.
+//!
+//! [`JsonlSink`](crate::JsonlSink) writes one event per line; this
+//! module is its inverse. Each line becomes a [`TraceRecord`] holding
+//! the envelope (`seq`, `t_ms`, optional `tag`) plus an [`OwnedEvent`]
+//! — an owned mirror of [`Event`] so records outlive the trace text.
+//! Re-serializing a record ([`TraceRecord::to_jsonl_line`]) reproduces
+//! the original line byte for byte, which the schema round-trip tests
+//! rely on: parsing is lossless precisely when the bytes match.
+
+use crate::event::{Event, Level};
+use crate::json::{self, Value};
+
+/// An owned mirror of [`Event`]: same variants, `String` instead of
+/// `&str`, so parsed traces are self-contained.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OwnedEvent {
+    /// See [`Event::RunStart`].
+    RunStart {
+        /// Algorithm name.
+        algo: String,
+        /// Master seed of the run.
+        seed: u64,
+    },
+    /// See [`Event::PhaseChange`].
+    PhaseChange {
+        /// Phase name.
+        phase: String,
+    },
+    /// See [`Event::GenerationStart`].
+    GenerationStart {
+        /// Zero-based generation index.
+        generation: u64,
+    },
+    /// See [`Event::Evaluation`].
+    Evaluation {
+        /// Which population was evaluated.
+        level: Level,
+        /// Evaluations in the batch.
+        count: u64,
+        /// GP tree nodes evaluated while scoring the batch.
+        gp_nodes: u64,
+        /// Wall-clock microseconds spent scoring the batch.
+        micros: u64,
+    },
+    /// See [`Event::LowerLevelSolve`].
+    LowerLevelSolve {
+        /// Relaxation requests in the batch.
+        solves: u64,
+        /// Simplex pivots across the batch.
+        pivots: u64,
+        /// Wall-clock microseconds spent answering the batch.
+        micros: u64,
+    },
+    /// See [`Event::CacheProbe`].
+    CacheProbe {
+        /// Cache hits in the batch.
+        hits: u64,
+        /// Cache misses in the batch.
+        misses: u64,
+        /// Entries evicted during the batch.
+        evictions: u64,
+        /// Entries resident after the batch.
+        entries: u64,
+    },
+    /// See [`Event::CompileCacheProbe`].
+    CompileCacheProbe {
+        /// Compile-cache hits in the batch.
+        hits: u64,
+        /// Compile-cache misses in the batch.
+        misses: u64,
+        /// Programs evicted during the batch.
+        evictions: u64,
+        /// Programs resident after the batch.
+        entries: u64,
+        /// Microseconds spent compiling the batch's misses.
+        compile_micros: u64,
+    },
+    /// See [`Event::DecodeCacheProbe`].
+    DecodeCacheProbe {
+        /// Decode-cache hits in the batch.
+        hits: u64,
+        /// Decode-cache misses in the batch.
+        misses: u64,
+        /// Outcomes evicted during the batch.
+        evictions: u64,
+        /// Outcomes resident after the batch.
+        entries: u64,
+    },
+    /// See [`Event::ObjectivePair`].
+    ObjectivePair {
+        /// The population improving when this sample was taken.
+        level: Level,
+        /// Upper-level objective of the current best pair.
+        ul_value: f64,
+        /// Lower-level objective of the current best pair.
+        ll_value: f64,
+    },
+    /// See [`Event::ArchiveUpdate`].
+    ArchiveUpdate {
+        /// Which level's archive.
+        level: Level,
+        /// Archive size after the update.
+        size: u64,
+        /// Fitness of the archive's best entry.
+        best: f64,
+    },
+    /// See [`Event::GenerationEnd`].
+    GenerationEnd {
+        /// Zero-based generation index.
+        generation: u64,
+        /// Cumulative evaluations consumed so far.
+        evaluations: u64,
+        /// The generation's best upper-level objective.
+        ul_best: f64,
+        /// The generation's best %-gap.
+        gap_best: f64,
+    },
+    /// See [`Event::RunComplete`].
+    RunComplete {
+        /// Generations completed.
+        generations: u64,
+        /// Upper-level evaluations consumed.
+        ul_evaluations: u64,
+        /// Lower-level evaluations consumed.
+        ll_evaluations: u64,
+        /// Best upper-level objective found.
+        best_value: f64,
+        /// Best %-gap found.
+        best_gap: f64,
+    },
+}
+
+impl OwnedEvent {
+    /// Borrow back as the wire-format [`Event`] (for re-serialization
+    /// and for feeding parsed traces through live sinks).
+    pub fn to_event(&self) -> Event<'_> {
+        match *self {
+            OwnedEvent::RunStart { ref algo, seed } => Event::RunStart { algo, seed },
+            OwnedEvent::PhaseChange { ref phase } => Event::PhaseChange { phase },
+            OwnedEvent::GenerationStart { generation } => Event::GenerationStart { generation },
+            OwnedEvent::Evaluation { level, count, gp_nodes, micros } => {
+                Event::Evaluation { level, count, gp_nodes, micros }
+            }
+            OwnedEvent::LowerLevelSolve { solves, pivots, micros } => {
+                Event::LowerLevelSolve { solves, pivots, micros }
+            }
+            OwnedEvent::CacheProbe { hits, misses, evictions, entries } => {
+                Event::CacheProbe { hits, misses, evictions, entries }
+            }
+            OwnedEvent::CompileCacheProbe { hits, misses, evictions, entries, compile_micros } => {
+                Event::CompileCacheProbe { hits, misses, evictions, entries, compile_micros }
+            }
+            OwnedEvent::DecodeCacheProbe { hits, misses, evictions, entries } => {
+                Event::DecodeCacheProbe { hits, misses, evictions, entries }
+            }
+            OwnedEvent::ObjectivePair { level, ul_value, ll_value } => {
+                Event::ObjectivePair { level, ul_value, ll_value }
+            }
+            OwnedEvent::ArchiveUpdate { level, size, best } => {
+                Event::ArchiveUpdate { level, size, best }
+            }
+            OwnedEvent::GenerationEnd { generation, evaluations, ul_best, gap_best } => {
+                Event::GenerationEnd { generation, evaluations, ul_best, gap_best }
+            }
+            OwnedEvent::RunComplete {
+                generations,
+                ul_evaluations,
+                ll_evaluations,
+                best_value,
+                best_gap,
+            } => Event::RunComplete {
+                generations,
+                ul_evaluations,
+                ll_evaluations,
+                best_value,
+                best_gap,
+            },
+        }
+    }
+
+    /// The event's tag (same as [`Event::name`]).
+    pub fn name(&self) -> &'static str {
+        self.to_event().name()
+    }
+
+    /// The event's payload with timing fields (`micros`,
+    /// `compile_micros`) zeroed, serialized as a JSON fragment. Two
+    /// same-seed runs produce identical semantic keys even though their
+    /// wall-clock payloads differ — this is what the run diff compares.
+    pub fn semantic_key(&self) -> String {
+        let mut stripped = self.clone();
+        match &mut stripped {
+            OwnedEvent::Evaluation { micros, .. }
+            | OwnedEvent::LowerLevelSolve { micros, .. } => *micros = 0,
+            OwnedEvent::CompileCacheProbe { compile_micros, .. } => *compile_micros = 0,
+            _ => {}
+        }
+        let event = stripped.to_event();
+        let mut out = String::from(event.name());
+        event.write_json_fields(&mut out);
+        out
+    }
+}
+
+/// One parsed JSONL trace line: envelope plus event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceRecord {
+    /// Global sequence number over the trace file.
+    pub seq: u64,
+    /// Milliseconds since the emitting sink was created.
+    pub t_ms: u64,
+    /// Optional run label (multi-run trace files).
+    pub tag: Option<String>,
+    /// The event payload.
+    pub event: OwnedEvent,
+}
+
+impl TraceRecord {
+    /// Re-serialize exactly as [`JsonlSink`](crate::JsonlSink) wrote it
+    /// (byte-identical, including the trailing newline).
+    pub fn to_jsonl_line(&self) -> String {
+        let event = self.event.to_event();
+        let mut line = String::with_capacity(128);
+        line.push_str("{\"event\":");
+        json::push_string(&mut line, event.name());
+        json::push_u64_field(&mut line, "seq", self.seq);
+        json::push_u64_field(&mut line, "t_ms", self.t_ms);
+        if let Some(tag) = &self.tag {
+            json::push_str_field(&mut line, "tag", tag);
+        }
+        event.write_json_fields(&mut line);
+        line.push_str("}\n");
+        line
+    }
+}
+
+fn get_u64(v: &Value, key: &str, name: &str) -> Result<u64, String> {
+    v.get(key)
+        .and_then(Value::as_u64)
+        .ok_or_else(|| format!("{name}: missing or non-integer field {key:?}"))
+}
+
+/// Floats may be `null` (the writer maps non-finite values there).
+fn get_f64(v: &Value, key: &str, name: &str) -> Result<f64, String> {
+    match v.get(key) {
+        Some(Value::Number(n)) => Ok(*n),
+        Some(Value::Null) => Ok(f64::NAN),
+        _ => Err(format!("{name}: missing or non-numeric field {key:?}")),
+    }
+}
+
+fn get_level(v: &Value, key: &str, name: &str) -> Result<Level, String> {
+    match v.get(key).and_then(Value::as_str) {
+        Some("upper") => Ok(Level::Upper),
+        Some("lower") => Ok(Level::Lower),
+        other => Err(format!("{name}: bad level {other:?}")),
+    }
+}
+
+/// Parse one JSONL trace line into a [`TraceRecord`].
+pub fn parse_line(line: &str) -> Result<TraceRecord, String> {
+    let v = json::parse(line.trim_end_matches('\n'))?;
+    let name = v
+        .get("event")
+        .and_then(Value::as_str)
+        .ok_or("line has no \"event\" field")?
+        .to_string();
+    let n = name.as_str();
+    let event = match n {
+        "RunStart" => OwnedEvent::RunStart {
+            algo: v
+                .get("algo")
+                .and_then(Value::as_str)
+                .ok_or("RunStart: missing algo")?
+                .to_string(),
+            seed: get_u64(&v, "seed", n)?,
+        },
+        "PhaseChange" => OwnedEvent::PhaseChange {
+            phase: v
+                .get("phase")
+                .and_then(Value::as_str)
+                .ok_or("PhaseChange: missing phase")?
+                .to_string(),
+        },
+        "GenerationStart" => {
+            OwnedEvent::GenerationStart { generation: get_u64(&v, "generation", n)? }
+        }
+        "Evaluation" => OwnedEvent::Evaluation {
+            level: get_level(&v, "level", n)?,
+            count: get_u64(&v, "count", n)?,
+            gp_nodes: get_u64(&v, "gp_nodes", n)?,
+            micros: get_u64(&v, "micros", n)?,
+        },
+        "LowerLevelSolve" => OwnedEvent::LowerLevelSolve {
+            solves: get_u64(&v, "solves", n)?,
+            pivots: get_u64(&v, "pivots", n)?,
+            micros: get_u64(&v, "micros", n)?,
+        },
+        "CacheProbe" => OwnedEvent::CacheProbe {
+            hits: get_u64(&v, "hits", n)?,
+            misses: get_u64(&v, "misses", n)?,
+            evictions: get_u64(&v, "evictions", n)?,
+            entries: get_u64(&v, "entries", n)?,
+        },
+        "CompileCacheProbe" => OwnedEvent::CompileCacheProbe {
+            hits: get_u64(&v, "hits", n)?,
+            misses: get_u64(&v, "misses", n)?,
+            evictions: get_u64(&v, "evictions", n)?,
+            entries: get_u64(&v, "entries", n)?,
+            compile_micros: get_u64(&v, "compile_micros", n)?,
+        },
+        "DecodeCacheProbe" => OwnedEvent::DecodeCacheProbe {
+            hits: get_u64(&v, "hits", n)?,
+            misses: get_u64(&v, "misses", n)?,
+            evictions: get_u64(&v, "evictions", n)?,
+            entries: get_u64(&v, "entries", n)?,
+        },
+        "ObjectivePair" => OwnedEvent::ObjectivePair {
+            level: get_level(&v, "level", n)?,
+            ul_value: get_f64(&v, "ul_value", n)?,
+            ll_value: get_f64(&v, "ll_value", n)?,
+        },
+        "ArchiveUpdate" => OwnedEvent::ArchiveUpdate {
+            level: get_level(&v, "level", n)?,
+            size: get_u64(&v, "size", n)?,
+            best: get_f64(&v, "best", n)?,
+        },
+        "GenerationEnd" => OwnedEvent::GenerationEnd {
+            generation: get_u64(&v, "generation", n)?,
+            evaluations: get_u64(&v, "evaluations", n)?,
+            ul_best: get_f64(&v, "ul_best", n)?,
+            gap_best: get_f64(&v, "gap_best", n)?,
+        },
+        "RunComplete" => OwnedEvent::RunComplete {
+            generations: get_u64(&v, "generations", n)?,
+            ul_evaluations: get_u64(&v, "ul_evaluations", n)?,
+            ll_evaluations: get_u64(&v, "ll_evaluations", n)?,
+            best_value: get_f64(&v, "best_value", n)?,
+            best_gap: get_f64(&v, "best_gap", n)?,
+        },
+        other => return Err(format!("unknown event {other:?}")),
+    };
+    Ok(TraceRecord {
+        seq: get_u64(&v, "seq", n)?,
+        t_ms: get_u64(&v, "t_ms", n)?,
+        tag: v.get("tag").and_then(Value::as_str).map(str::to_string),
+        event,
+    })
+}
+
+/// Parse a whole JSONL trace. Blank lines are skipped; any malformed
+/// line aborts with its 1-based line number.
+pub fn parse_trace(text: &str) -> Result<Vec<TraceRecord>, String> {
+    let mut records = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let record =
+            parse_line(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        records.push(record);
+    }
+    Ok(records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Event;
+    use crate::observer::RunObserver;
+    use crate::sinks::jsonl::{JsonlSink, SharedBuffer};
+
+    #[test]
+    fn every_variant_round_trips_byte_identically() {
+        let buffer = SharedBuffer::new();
+        let sink = JsonlSink::new(buffer.clone()).with_tag("roundtrip");
+        for event in Event::examples() {
+            sink.observe(&event);
+        }
+        let text = buffer.contents();
+        let records = parse_trace(&text).expect("trace must parse");
+        assert_eq!(records.len(), Event::examples().len());
+        let rebuilt: String = records.iter().map(TraceRecord::to_jsonl_line).collect();
+        assert_eq!(rebuilt, text, "re-serialization must be byte-identical");
+    }
+
+    #[test]
+    fn untagged_lines_round_trip_too() {
+        let buffer = SharedBuffer::new();
+        let sink = JsonlSink::new(buffer.clone());
+        sink.observe(&Event::GenerationStart { generation: 3 });
+        let text = buffer.contents();
+        let records = parse_trace(&text).unwrap();
+        assert_eq!(records[0].tag, None);
+        assert_eq!(records[0].to_jsonl_line(), text);
+    }
+
+    #[test]
+    fn non_finite_floats_survive_as_nan() {
+        let buffer = SharedBuffer::new();
+        let sink = JsonlSink::new(buffer.clone());
+        sink.observe(&Event::GenerationEnd {
+            generation: 0,
+            evaluations: 0,
+            ul_best: f64::NEG_INFINITY,
+            gap_best: f64::NAN,
+        });
+        let text = buffer.contents();
+        let records = parse_trace(&text).unwrap();
+        match &records[0].event {
+            OwnedEvent::GenerationEnd { ul_best, gap_best, .. } => {
+                assert!(ul_best.is_nan() && gap_best.is_nan());
+            }
+            other => panic!("wrong event {other:?}"),
+        }
+        // Both serialize back to null, so bytes still match.
+        assert_eq!(records[0].to_jsonl_line(), text);
+    }
+
+    #[test]
+    fn semantic_key_ignores_timing_payloads() {
+        let a = OwnedEvent::Evaluation { level: Level::Lower, count: 5, gp_nodes: 9, micros: 11 };
+        let b = OwnedEvent::Evaluation { level: Level::Lower, count: 5, gp_nodes: 9, micros: 99 };
+        let c = OwnedEvent::Evaluation { level: Level::Lower, count: 6, gp_nodes: 9, micros: 11 };
+        assert_eq!(a.semantic_key(), b.semantic_key());
+        assert_ne!(a.semantic_key(), c.semantic_key());
+    }
+
+    #[test]
+    fn malformed_lines_report_their_line_number() {
+        let err = parse_trace("{\"event\":\"RunStart\",\"seq\":0,\"t_ms\":0,\"algo\":\"x\",\"seed\":1}\nnot json\n")
+            .unwrap_err();
+        assert!(err.starts_with("line 2:"), "got {err}");
+        let err = parse_trace("{\"event\":\"Nope\",\"seq\":0,\"t_ms\":0}\n").unwrap_err();
+        assert!(err.contains("unknown event"), "got {err}");
+    }
+}

@@ -9,6 +9,7 @@
 //! interleaved runs the counters remain exact while the timings blur.
 
 use crate::event::{Event, Level};
+use crate::hist::Histogram;
 use crate::json;
 use crate::observer::RunObserver;
 use crate::stats::Summary;
@@ -25,12 +26,37 @@ pub struct PhaseTiming {
     pub seconds: f64,
 }
 
-#[derive(Default)]
 struct TimedState {
     current_phase: Option<(String, Instant)>,
     phase_totals: Vec<(String, Duration)>, // insertion-ordered
     generation_start: Option<Instant>,
     generation_seconds: Summary,
+    /// Per-solve latency of lower-level relaxation batches.
+    ll_solve_seconds: Histogram,
+    /// Per-evaluation latency of GP-scored (decode-pass) batches.
+    decode_pass_seconds: Histogram,
+    /// Per-miss latency of GP compilations.
+    gp_compile_seconds: Histogram,
+    /// Simplex pivots per relaxation solve.
+    simplex_pivots_per_solve: Histogram,
+    /// GP tree nodes walked per fitness evaluation.
+    gp_nodes_per_eval: Histogram,
+}
+
+impl Default for TimedState {
+    fn default() -> Self {
+        TimedState {
+            current_phase: None,
+            phase_totals: Vec::new(),
+            generation_start: None,
+            generation_seconds: Summary::default(),
+            ll_solve_seconds: Histogram::seconds(),
+            decode_pass_seconds: Histogram::seconds(),
+            gp_compile_seconds: Histogram::seconds(),
+            simplex_pivots_per_solve: Histogram::counts(),
+            gp_nodes_per_eval: Histogram::counts(),
+        }
+    }
 }
 
 impl TimedState {
@@ -84,6 +110,11 @@ impl MetricsSink {
     pub fn report(&self) -> RunMetrics {
         let timed = self.timed.lock().expect("metrics mutex poisoned");
         let generation_seconds = timed.generation_seconds.clone();
+        let ll_solve_seconds = timed.ll_solve_seconds.clone();
+        let decode_pass_seconds = timed.decode_pass_seconds.clone();
+        let gp_compile_seconds = timed.gp_compile_seconds.clone();
+        let simplex_pivots_per_solve = timed.simplex_pivots_per_solve.clone();
+        let gp_nodes_per_eval = timed.gp_nodes_per_eval.clone();
         let phases: Vec<PhaseTiming> = timed
             .phase_totals
             .iter()
@@ -120,6 +151,11 @@ impl MetricsSink {
             wall_seconds: self.created.map_or(0.0, |c| c.elapsed().as_secs_f64()),
             phases,
             generation_seconds,
+            ll_solve_seconds,
+            decode_pass_seconds,
+            gp_compile_seconds,
+            simplex_pivots_per_solve,
+            gp_nodes_per_eval,
         }
     }
 }
@@ -140,17 +176,37 @@ impl RunObserver for MetricsSink {
                 let mut timed = self.timed.lock().expect("metrics mutex poisoned");
                 timed.generation_start = Some(Instant::now());
             }
-            Event::Evaluation { level, count, gp_nodes } => {
+            Event::Evaluation { level, count, gp_nodes, micros } => {
                 match level {
                     Level::Upper => &self.ul_evaluations,
                     Level::Lower => &self.ll_evaluations,
                 }
                 .fetch_add(count, Ordering::Relaxed);
                 self.gp_node_evals.fetch_add(gp_nodes, Ordering::Relaxed);
+                // GP-scored batches are decode passes: the heuristic is
+                // evaluated to drive a greedy decode of the schedule.
+                if gp_nodes > 0 && count > 0 {
+                    let mut timed = self.timed.lock().expect("metrics mutex poisoned");
+                    if micros > 0 {
+                        let per_eval = micros as f64 / 1e6 / count as f64;
+                        timed.decode_pass_seconds.record_n(per_eval, count);
+                    }
+                    timed.gp_nodes_per_eval.record_n(gp_nodes as f64 / count as f64, count);
+                }
             }
-            Event::LowerLevelSolve { solves, pivots } => {
+            Event::LowerLevelSolve { solves, pivots, micros } => {
                 self.ll_solves.fetch_add(solves, Ordering::Relaxed);
                 self.simplex_pivots.fetch_add(pivots, Ordering::Relaxed);
+                if solves > 0 {
+                    let mut timed = self.timed.lock().expect("metrics mutex poisoned");
+                    if micros > 0 {
+                        let per_solve = micros as f64 / 1e6 / solves as f64;
+                        timed.ll_solve_seconds.record_n(per_solve, solves);
+                    }
+                    timed
+                        .simplex_pivots_per_solve
+                        .record_n(pivots as f64 / solves as f64, solves);
+                }
             }
             Event::CacheProbe { hits, misses, evictions, entries } => {
                 self.cache_hits.fetch_add(hits, Ordering::Relaxed);
@@ -159,11 +215,16 @@ impl RunObserver for MetricsSink {
                 // `entries` is a gauge: keep the last observed residency.
                 self.cache_entries.store(entries, Ordering::Relaxed);
             }
-            Event::CompileCacheProbe { hits, misses, evictions, entries } => {
+            Event::CompileCacheProbe { hits, misses, evictions, entries, compile_micros } => {
                 self.compile_cache_hits.fetch_add(hits, Ordering::Relaxed);
                 self.compile_cache_misses.fetch_add(misses, Ordering::Relaxed);
                 self.compile_cache_evictions.fetch_add(evictions, Ordering::Relaxed);
                 self.compile_cache_entries.store(entries, Ordering::Relaxed);
+                if misses > 0 && compile_micros > 0 {
+                    let mut timed = self.timed.lock().expect("metrics mutex poisoned");
+                    let per_miss = compile_micros as f64 / 1e6 / misses as f64;
+                    timed.gp_compile_seconds.record_n(per_miss, misses);
+                }
             }
             Event::DecodeCacheProbe { hits, misses, evictions, entries } => {
                 self.decode_cache_hits.fetch_add(hits, Ordering::Relaxed);
@@ -171,6 +232,8 @@ impl RunObserver for MetricsSink {
                 self.decode_cache_evictions.fetch_add(evictions, Ordering::Relaxed);
                 self.decode_cache_entries.store(entries, Ordering::Relaxed);
             }
+            // Objective pairs feed the trace analyzer, not the counters.
+            Event::ObjectivePair { .. } => {}
             Event::ArchiveUpdate { .. } => {
                 self.archive_updates.fetch_add(1, Ordering::Relaxed);
             }
@@ -243,6 +306,16 @@ pub struct RunMetrics {
     pub phases: Vec<PhaseTiming>,
     /// Distribution of per-generation latencies (seconds).
     pub generation_seconds: Summary,
+    /// Per-solve latency of lower-level relaxation batches (seconds).
+    pub ll_solve_seconds: Histogram,
+    /// Per-evaluation latency of GP-scored decode passes (seconds).
+    pub decode_pass_seconds: Histogram,
+    /// Per-miss latency of GP compilations (seconds).
+    pub gp_compile_seconds: Histogram,
+    /// Simplex pivots per relaxation solve.
+    pub simplex_pivots_per_solve: Histogram,
+    /// GP tree nodes walked per fitness evaluation.
+    pub gp_nodes_per_eval: Histogram,
 }
 
 impl RunMetrics {
@@ -317,8 +390,32 @@ impl RunMetrics {
             out.push_str("\": ");
             json::push_f64(&mut out, *value);
         }
-        out.push_str("}\n}\n");
+        out.push_str("},\n");
+
+        out.push_str("  \"histograms\": {");
+        for (i, (key, hist)) in self.histograms().into_iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    \"");
+            out.push_str(key);
+            out.push_str("\": ");
+            hist.push_json_summary(&mut out);
+        }
+        out.push_str("\n  }\n}\n");
         out
+    }
+
+    /// The latency/size histograms by stable report name, in render
+    /// order (shared by the JSON report and the Prometheus exposition).
+    pub fn histograms(&self) -> [(&'static str, &Histogram); 5] {
+        [
+            ("ll_solve_seconds", &self.ll_solve_seconds),
+            ("decode_pass_seconds", &self.decode_pass_seconds),
+            ("gp_compile_seconds", &self.gp_compile_seconds),
+            ("simplex_pivots_per_solve", &self.simplex_pivots_per_solve),
+            ("gp_nodes_per_eval", &self.gp_nodes_per_eval),
+        ]
     }
 }
 
@@ -331,9 +428,14 @@ mod tests {
     fn counters_aggregate() {
         let sink = MetricsSink::new();
         sink.observe(&Event::RunStart { algo: "carbon", seed: 1 });
-        sink.observe(&Event::Evaluation { level: Level::Upper, count: 10, gp_nodes: 0 });
-        sink.observe(&Event::Evaluation { level: Level::Lower, count: 20, gp_nodes: 500 });
-        sink.observe(&Event::LowerLevelSolve { solves: 10, pivots: 170 });
+        sink.observe(&Event::Evaluation { level: Level::Upper, count: 10, gp_nodes: 0, micros: 0 });
+        sink.observe(&Event::Evaluation {
+            level: Level::Lower,
+            count: 20,
+            gp_nodes: 500,
+            micros: 400,
+        });
+        sink.observe(&Event::LowerLevelSolve { solves: 10, pivots: 170, micros: 50 });
         sink.observe(&Event::ArchiveUpdate { level: Level::Upper, size: 5, best: 1.0 });
         sink.observe(&Event::CacheProbe { hits: 2, misses: 8, evictions: 1, entries: 7 });
         sink.observe(&Event::CompileCacheProbe {
@@ -341,6 +443,7 @@ mod tests {
             misses: 3,
             evictions: 0,
             entries: 3,
+            compile_micros: 90,
         });
         sink.observe(&Event::DecodeCacheProbe {
             hits: 12,
@@ -369,6 +472,18 @@ mod tests {
         assert_eq!(m.decode_cache_misses, 4);
         assert_eq!(m.decode_cache_evictions, 2);
         assert_eq!(m.decode_cache_entries, 14);
+        // Histograms: 20 GP-scored evals at 20 µs each, 10 solves at
+        // 5 µs each, 3 compile misses at 30 µs each.
+        assert_eq!(m.decode_pass_seconds.count(), 20);
+        assert!((m.decode_pass_seconds.sum() - 400e-6).abs() < 1e-12);
+        assert_eq!(m.gp_nodes_per_eval.count(), 20);
+        assert_eq!(m.ll_solve_seconds.count(), 10);
+        assert_eq!(m.simplex_pivots_per_solve.count(), 10);
+        assert_eq!(m.gp_compile_seconds.count(), 3);
+        assert!((m.gp_compile_seconds.sum() - 90e-6).abs() < 1e-12);
+        // The upper batch had gp_nodes == 0: it is not a decode pass
+        // and must not contribute to the decode histograms.
+        assert!((m.gp_nodes_per_eval.max() - 25.0).abs() < 1e-9);
     }
 
     #[test]
@@ -393,8 +508,9 @@ mod tests {
                             level: Level::Lower,
                             count: 3,
                             gp_nodes: 7,
+                            micros: 1,
                         });
-                        sink.observe(&Event::LowerLevelSolve { solves: 1, pivots: 2 });
+                        sink.observe(&Event::LowerLevelSolve { solves: 1, pivots: 2, micros: 1 });
                     }
                 });
             }
@@ -404,6 +520,8 @@ mod tests {
         assert_eq!(m.gp_node_evals, 8 * 1000 * 7);
         assert_eq!(m.ll_solves, 8 * 1000);
         assert_eq!(m.simplex_pivots, 8 * 1000 * 2);
+        assert_eq!(m.decode_pass_seconds.count(), 8 * 1000 * 3);
+        assert_eq!(m.ll_solve_seconds.count(), 8 * 1000);
     }
 
     #[test]
@@ -449,7 +567,7 @@ mod tests {
     fn report_json_is_valid_and_complete() {
         let sink = MetricsSink::new();
         sink.observe(&Event::PhaseChange { phase: "relaxation" });
-        sink.observe(&Event::Evaluation { level: Level::Upper, count: 4, gp_nodes: 0 });
+        sink.observe(&Event::Evaluation { level: Level::Upper, count: 4, gp_nodes: 0, micros: 9 });
         sink.observe(&Event::RunComplete {
             generations: 1,
             ul_evaluations: 4,
@@ -484,6 +602,7 @@ mod tests {
             "wall_seconds",
             "phases",
             "generation_seconds",
+            "histograms",
         ] {
             assert!(value.get(key).is_some(), "missing key {key}");
         }
@@ -498,5 +617,18 @@ mod tests {
         // An empty latency summary serializes NaN stats as null and must
         // still parse.
         assert!(value.get("generation_seconds").unwrap().get("mean").is_some());
+        let hists = value.get("histograms").expect("histograms object");
+        for key in [
+            "ll_solve_seconds",
+            "decode_pass_seconds",
+            "gp_compile_seconds",
+            "simplex_pivots_per_solve",
+            "gp_nodes_per_eval",
+        ] {
+            let h = hists.get(key).unwrap_or_else(|| panic!("missing histogram {key}"));
+            for stat in ["count", "sum", "mean", "p50", "p90", "p99", "max"] {
+                assert!(h.get(stat).is_some(), "histogram {key} missing {stat}");
+            }
+        }
     }
 }

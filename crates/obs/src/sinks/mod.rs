@@ -3,3 +3,4 @@
 pub mod jsonl;
 pub mod metrics;
 pub mod progress;
+pub mod prometheus;

@@ -9,7 +9,7 @@
 //! * `debug`: `PhaseChange`, `ArchiveUpdate`;
 //! * `trace`: everything else (`GenerationStart`, `Evaluation`,
 //!   `LowerLevelSolve`, `CacheProbe`, `CompileCacheProbe`,
-//!   `DecodeCacheProbe`).
+//!   `DecodeCacheProbe`, `ObjectivePair`).
 
 use crate::event::Event;
 use crate::observer::RunObserver;
@@ -85,7 +85,8 @@ fn event_level(event: &Event<'_>) -> LogLevel {
         | Event::LowerLevelSolve { .. }
         | Event::CacheProbe { .. }
         | Event::CompileCacheProbe { .. }
-        | Event::DecodeCacheProbe { .. } => LogLevel::Trace,
+        | Event::DecodeCacheProbe { .. }
+        | Event::ObjectivePair { .. } => LogLevel::Trace,
     }
 }
 
@@ -121,20 +122,26 @@ impl ProgressSink {
             Event::RunStart { algo, seed } => format!("run start: {algo}, seed {seed}"),
             Event::PhaseChange { phase } => format!("phase: {phase}"),
             Event::GenerationStart { generation } => format!("gen {generation} start"),
-            Event::Evaluation { level, count, gp_nodes } => {
-                format!("evaluated {count} {} individuals ({gp_nodes} GP nodes)", level.as_str())
+            Event::Evaluation { level, count, gp_nodes, micros } => {
+                format!(
+                    "evaluated {count} {} individuals ({gp_nodes} GP nodes, {micros} µs)",
+                    level.as_str()
+                )
             }
-            Event::LowerLevelSolve { solves, pivots } => {
-                format!("relaxation: {solves} LP solves, {pivots} pivots")
+            Event::LowerLevelSolve { solves, pivots, micros } => {
+                format!("relaxation: {solves} LP solves, {pivots} pivots, {micros} µs")
             }
             Event::CacheProbe { hits, misses, evictions, entries } => {
                 format!("cache: {hits} hits, {misses} misses, {evictions} evicted, {entries} resident")
             }
-            Event::CompileCacheProbe { hits, misses, evictions, entries } => {
-                format!("compile cache: {hits} hits, {misses} misses, {evictions} evicted, {entries} resident")
+            Event::CompileCacheProbe { hits, misses, evictions, entries, compile_micros } => {
+                format!("compile cache: {hits} hits, {misses} misses, {evictions} evicted, {entries} resident, {compile_micros} µs compiling")
             }
             Event::DecodeCacheProbe { hits, misses, evictions, entries } => {
                 format!("decode cache: {hits} hits, {misses} misses, {evictions} evicted, {entries} resident")
+            }
+            Event::ObjectivePair { level, ul_value, ll_value } => {
+                format!("objectives ({} improving): F {ul_value:.4}, f {ll_value:.4}", level.as_str())
             }
             Event::ArchiveUpdate { level, size, best } => {
                 format!("{} archive: size {size}, best {best:.4}", level.as_str())
@@ -237,7 +244,7 @@ mod tests {
     fn evaluation_line_names_the_level() {
         let out = capture(
             LogLevel::Trace,
-            &[Event::Evaluation { level: Level::Upper, count: 9, gp_nodes: 0 }],
+            &[Event::Evaluation { level: Level::Upper, count: 9, gp_nodes: 0, micros: 0 }],
         );
         assert!(out.contains("9 upper individuals"));
     }

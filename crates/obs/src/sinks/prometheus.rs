@@ -1,0 +1,352 @@
+//! Prometheus text-exposition rendering of [`RunMetrics`].
+//!
+//! [`render`] turns a metrics snapshot into the Prometheus text format
+//! (version 0.0.4): counters carry the `_total` suffix, cache counters
+//! share one metric family distinguished by a `cache` label, latency
+//! histograms expand into cumulative `_bucket{le="…"}` series plus
+//! `_sum`/`_count`, and the per-generation latency [`Summary`] renders
+//! as a summary with `quantile` labels. Every metric is prefixed
+//! `bico_` and seconds-valued metrics end in `_seconds`, per the
+//! upstream naming conventions.
+//!
+//! [`PrometheusSink`] is the observer-shaped wrapper: it feeds a
+//! (possibly shared) [`MetricsSink`] and renders the exposition on
+//! demand, so `--prom-out` can dump it at exit and a future
+//! `bico serve` can serve the same bytes from memory.
+//!
+//! [`Summary`]: crate::stats::Summary
+
+use crate::event::Event;
+use crate::hist::Histogram;
+use crate::observer::RunObserver;
+use crate::sinks::metrics::{MetricsSink, RunMetrics};
+use std::fmt::Write as _;
+use std::io;
+use std::sync::Arc;
+
+/// Escape a label value per the exposition format (backslash, quote and
+/// newline are the only specials).
+fn push_label_value(out: &mut String, value: &str) {
+    out.push('"');
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Append a `# HELP` / `# TYPE` header pair.
+fn push_header(out: &mut String, name: &str, kind: &str, help: &str) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} {kind}");
+}
+
+/// Append one sample line: `name{label="value"} sample`.
+fn push_sample(out: &mut String, name: &str, labels: &[(&str, &str)], value: f64) {
+    out.push_str(name);
+    if !labels.is_empty() {
+        out.push('{');
+        for (i, (k, v)) in labels.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(k);
+            out.push('=');
+            push_label_value(out, v);
+        }
+        out.push('}');
+    }
+    out.push(' ');
+    // Prometheus accepts Go-style floats incl. NaN/+Inf; Rust's Display
+    // for f64 produces a compatible subset.
+    let _ = writeln!(out, "{value}");
+}
+
+fn push_histogram(out: &mut String, name: &str, help: &str, hist: &Histogram) {
+    push_header(out, name, "histogram", help);
+    let bucket = format!("{name}_bucket");
+    let mut le = String::new();
+    for (bound, cumulative) in hist.cumulative_buckets() {
+        le.clear();
+        let _ = write!(le, "{bound}");
+        push_sample(out, &bucket, &[("le", &le)], cumulative as f64);
+    }
+    push_sample(out, &bucket, &[("le", "+Inf")], hist.count() as f64);
+    push_sample(out, &format!("{name}_sum"), &[], hist.sum());
+    push_sample(out, &format!("{name}_count"), &[], hist.count() as f64);
+}
+
+/// Render a metrics snapshot in the Prometheus text exposition format.
+pub fn render(m: &RunMetrics) -> String {
+    let mut out = String::with_capacity(4096);
+
+    push_header(&mut out, "bico_runs_total", "counter", "Solver runs observed.");
+    push_sample(&mut out, "bico_runs_total", &[], m.runs as f64);
+
+    push_header(
+        &mut out,
+        "bico_generations_total",
+        "counter",
+        "Generations completed across all runs.",
+    );
+    push_sample(&mut out, "bico_generations_total", &[], m.generations as f64);
+
+    push_header(
+        &mut out,
+        "bico_evaluations_total",
+        "counter",
+        "Fitness evaluations by population level.",
+    );
+    push_sample(&mut out, "bico_evaluations_total", &[("level", "upper")], m.ul_evaluations as f64);
+    push_sample(&mut out, "bico_evaluations_total", &[("level", "lower")], m.ll_evaluations as f64);
+
+    push_header(&mut out, "bico_gp_node_evals_total", "counter", "GP tree nodes evaluated.");
+    push_sample(&mut out, "bico_gp_node_evals_total", &[], m.gp_node_evals as f64);
+
+    push_header(
+        &mut out,
+        "bico_ll_solves_total",
+        "counter",
+        "Lower-level relaxation LP solves (including cache hits).",
+    );
+    push_sample(&mut out, "bico_ll_solves_total", &[], m.ll_solves as f64);
+
+    push_header(
+        &mut out,
+        "bico_simplex_pivots_total",
+        "counter",
+        "Simplex pivots across all relaxation solves.",
+    );
+    push_sample(&mut out, "bico_simplex_pivots_total", &[], m.simplex_pivots as f64);
+
+    push_header(
+        &mut out,
+        "bico_archive_updates_total",
+        "counter",
+        "Elite-archive update events.",
+    );
+    push_sample(&mut out, "bico_archive_updates_total", &[], m.archive_updates as f64);
+
+    // One family per cache statistic; the cache itself is a label.
+    let caches: [(&str, u64, u64, u64, u64); 3] = [
+        ("solve", m.cache_hits, m.cache_misses, m.cache_evictions, m.cache_entries),
+        (
+            "compile",
+            m.compile_cache_hits,
+            m.compile_cache_misses,
+            m.compile_cache_evictions,
+            m.compile_cache_entries,
+        ),
+        (
+            "decode",
+            m.decode_cache_hits,
+            m.decode_cache_misses,
+            m.decode_cache_evictions,
+            m.decode_cache_entries,
+        ),
+    ];
+    push_header(&mut out, "bico_cache_hits_total", "counter", "Cache hits by cache.");
+    for (cache, hits, ..) in &caches {
+        push_sample(&mut out, "bico_cache_hits_total", &[("cache", cache)], *hits as f64);
+    }
+    push_header(&mut out, "bico_cache_misses_total", "counter", "Cache misses by cache.");
+    for (cache, _, misses, ..) in &caches {
+        push_sample(&mut out, "bico_cache_misses_total", &[("cache", cache)], *misses as f64);
+    }
+    push_header(&mut out, "bico_cache_evictions_total", "counter", "Cache evictions by cache.");
+    for (cache, _, _, evictions, _) in &caches {
+        push_sample(
+            &mut out,
+            "bico_cache_evictions_total",
+            &[("cache", cache)],
+            *evictions as f64,
+        );
+    }
+    push_header(
+        &mut out,
+        "bico_cache_entries",
+        "gauge",
+        "Last observed cache residency by cache.",
+    );
+    for (cache, _, _, _, entries) in &caches {
+        push_sample(&mut out, "bico_cache_entries", &[("cache", cache)], *entries as f64);
+    }
+
+    push_header(
+        &mut out,
+        "bico_phase_seconds_total",
+        "counter",
+        "Wall-clock seconds by solver phase.",
+    );
+    for timing in &m.phases {
+        push_sample(
+            &mut out,
+            "bico_phase_seconds_total",
+            &[("phase", &timing.phase)],
+            timing.seconds,
+        );
+    }
+
+    push_header(&mut out, "bico_wall_seconds", "gauge", "Seconds since the metrics sink was created.");
+    push_sample(&mut out, "bico_wall_seconds", &[], m.wall_seconds);
+
+    let g = &m.generation_seconds;
+    push_header(
+        &mut out,
+        "bico_generation_seconds",
+        "summary",
+        "Per-generation wall-clock latency.",
+    );
+    if g.count() > 0 {
+        push_sample(&mut out, "bico_generation_seconds", &[("quantile", "0.5")], g.median());
+        push_sample(
+            &mut out,
+            "bico_generation_seconds",
+            &[("quantile", "0.9")],
+            g.percentile(90.0),
+        );
+        push_sample(
+            &mut out,
+            "bico_generation_seconds",
+            &[("quantile", "0.99")],
+            g.percentile(99.0),
+        );
+    }
+    push_sample(
+        &mut out,
+        "bico_generation_seconds_sum",
+        &[],
+        if g.count() > 0 { g.mean() * g.count() as f64 } else { 0.0 },
+    );
+    push_sample(&mut out, "bico_generation_seconds_count", &[], g.count() as f64);
+
+    for (key, hist) in m.histograms() {
+        let help: &str = match key {
+            "ll_solve_seconds" => "Per-solve latency of lower-level relaxation batches.",
+            "decode_pass_seconds" => "Per-evaluation latency of GP-scored decode passes.",
+            "gp_compile_seconds" => "Per-miss latency of GP compilations.",
+            "simplex_pivots_per_solve" => "Simplex pivots per relaxation solve.",
+            "gp_nodes_per_eval" => "GP tree nodes walked per fitness evaluation.",
+            _ => "Latency/size histogram.",
+        };
+        push_histogram(&mut out, &format!("bico_{key}"), help, hist);
+    }
+
+    out
+}
+
+/// An observer that accumulates into a [`MetricsSink`] and renders the
+/// Prometheus exposition on demand.
+pub struct PrometheusSink {
+    metrics: Arc<MetricsSink>,
+}
+
+impl Default for PrometheusSink {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PrometheusSink {
+    /// Fresh sink with its own private [`MetricsSink`].
+    pub fn new() -> Self {
+        PrometheusSink { metrics: Arc::new(MetricsSink::new()) }
+    }
+
+    /// Share an existing [`MetricsSink`] so `--metrics-out` and
+    /// `--prom-out` report identical numbers from one accumulator.
+    pub fn sharing(metrics: Arc<MetricsSink>) -> Self {
+        PrometheusSink { metrics }
+    }
+
+    /// Render the current state as Prometheus exposition text.
+    pub fn render(&self) -> String {
+        render(&self.metrics.report())
+    }
+
+    /// Write the current exposition to `path` (create/truncate).
+    pub fn write_to(&self, path: &str) -> io::Result<()> {
+        std::fs::write(path, self.render())
+    }
+}
+
+impl RunObserver for PrometheusSink {
+    fn observe(&self, event: &Event<'_>) {
+        self.metrics.observe(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Level;
+
+    #[test]
+    fn exposition_has_expected_families_and_shapes() {
+        let sink = PrometheusSink::new();
+        sink.observe(&Event::RunStart { algo: "carbon", seed: 7 });
+        sink.observe(&Event::Evaluation {
+            level: Level::Lower,
+            count: 10,
+            gp_nodes: 300,
+            micros: 120,
+        });
+        sink.observe(&Event::LowerLevelSolve { solves: 10, pivots: 45, micros: 80 });
+        let text = sink.render();
+        assert!(text.contains("# TYPE bico_runs_total counter"));
+        assert!(text.contains("bico_runs_total 1\n"));
+        assert!(text.contains("bico_evaluations_total{level=\"lower\"} 10\n"));
+        assert!(text.contains("# TYPE bico_ll_solve_seconds histogram"));
+        assert!(text.contains("bico_ll_solve_seconds_bucket{le=\"+Inf\"} 10\n"));
+        assert!(text.contains("bico_ll_solve_seconds_count 10\n"));
+        assert!(text.contains("bico_decode_pass_seconds_count 10\n"));
+        assert!(text.contains("bico_cache_hits_total{cache=\"solve\"} 0\n"));
+    }
+
+    #[test]
+    fn every_line_is_comment_or_sample() {
+        let sink = PrometheusSink::new();
+        sink.observe(&Event::PhaseChange { phase: "relaxation" });
+        for line in sink.render().lines() {
+            assert!(!line.is_empty());
+            if line.starts_with('#') {
+                assert!(line.starts_with("# HELP ") || line.starts_with("# TYPE "));
+            } else {
+                let (series, value) = line.rsplit_once(' ').expect("sample has a value");
+                assert!(series.starts_with("bico_"), "bad series {series:?}");
+                assert!(value.parse::<f64>().is_ok() || value == "+Inf", "bad value {value:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let mut out = String::new();
+        push_label_value(&mut out, "a\"b\\c\nd");
+        assert_eq!(out, "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_end_at_count() {
+        let mut h = Histogram::seconds();
+        h.record(0.002);
+        h.record(0.004);
+        h.record(40.0); // lands beyond the largest finite bound? (2^26 µs ≈ 67 s, so no)
+        let mut out = String::new();
+        push_histogram(&mut out, "bico_test_seconds", "test", &h);
+        let infs: Vec<&str> =
+            out.lines().filter(|l| l.contains("le=\"+Inf\"")).collect();
+        assert_eq!(infs.len(), 1);
+        assert!(infs[0].ends_with(" 3"));
+        let mut prev = 0.0;
+        for line in out.lines().filter(|l| l.contains("_bucket{le=") && !l.contains("+Inf")) {
+            let v: f64 = line.rsplit_once(' ').unwrap().1.parse().unwrap();
+            assert!(v >= prev, "buckets must be cumulative: {line}");
+            prev = v;
+        }
+    }
+}

@@ -9,7 +9,7 @@ use bico_ea::{
     rng::seed_stream,
     select::{tournament, Direction},
 };
-use bico_obs::{Event, Level, NullObserver, RunObserver};
+use bico_obs::{elapsed_micros, timer_if, Event, Level, NullObserver, RunObserver};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
@@ -121,6 +121,7 @@ pub fn solve_ea_observed<O: RunObserver + ?Sized>(
         // Each follower solve (Dijkstra) is independent; the ordered
         // collect keeps the fitness vector — and hence every RNG-driven
         // selection below — bit-identical to the serial sweep.
+        let t_fit = timer_if(obs.enabled());
         let fits: Vec<f64> =
             pop.par_iter().map(|t| p.revenue(t).unwrap_or(f64::NEG_INFINITY)).collect();
         for (t, &f) in pop.iter().zip(&fits) {
@@ -133,6 +134,7 @@ pub fn solve_ea_observed<O: RunObserver + ?Sized>(
                 level: Level::Upper,
                 count: pop.len() as u64,
                 gp_nodes: 0,
+                micros: elapsed_micros(t_fit),
             });
             obs.observe(&Event::GenerationEnd {
                 generation: generation as u64,

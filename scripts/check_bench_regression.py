@@ -24,6 +24,15 @@ TRACKED = [
      lambda r: r.get("decode_cache", {}).get("ref_ms_per_pass")),
 ]
 
+# Higher is better: a drop beyond the threshold is the regression. The
+# decode-cache hit rate is the lever behind memo_ms_per_pass — a change
+# that silently stops hitting (key drift, eviction bug) can keep ms/pass
+# acceptable on a small bench while destroying it at paper scale.
+TRACKED_HIGHER = [
+    ("decode_cache.hit_rate",
+     lambda r: r.get("decode_cache", {}).get("hit_rate")),
+]
+
 
 def main() -> int:
     args = [a for a in sys.argv[1:] if not a.startswith("--")]
@@ -66,6 +75,18 @@ def main() -> int:
         print(f"{name}: {base:.4f} -> {cur:.4f} ms/pass "
               f"({change:+.1%}, limit +{threshold:.0%}) {status}")
         if change > threshold:
+            failed = True
+
+    for name, get in TRACKED_HIGHER:
+        base, cur = get(baseline), get(current)
+        if base is None or cur is None or base <= 0:
+            print(f"::warning::metric {name} missing from a report; skipped")
+            continue
+        change = (cur - base) / base
+        status = "REGRESSION" if change < -threshold else "ok"
+        print(f"{name}: {base:.4f} -> {cur:.4f} "
+              f"({change:+.1%}, limit -{threshold:.0%}) {status}")
+        if change < -threshold:
             failed = True
 
     if failed:

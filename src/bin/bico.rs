@@ -4,10 +4,13 @@
 //! bico generate  --bundles 100 --services 10 --seed 42 [--tightness 0.25] [--out inst.bcpop]
 //! bico run       carbon|cobra|nested [--instance F | --class 100x10] [--seed S]
 //!                [--evals N] [--pop P] [--heuristic-out h.sexpr]
-//!                [--trace-out run.jsonl] [--metrics-out metrics.json] [--log-level info]
+//!                [--trace-out run.jsonl] [--metrics-out metrics.json]
+//!                [--prom-out metrics.prom] [--log-level info]
 //! bico compare   [--class 100x10] [--runs R] [--seed S] [--evals N] [--pop P]
-//!                [--trace-out run.jsonl] [--metrics-out metrics.json] [--log-level info]
+//!                [--trace-out run.jsonl] [--metrics-out metrics.json]
+//!                [--prom-out metrics.prom] [--log-level info]
 //! bico eval      --sexpr "(+ c_j (% c_j q_res))" [--instance F | --class 100x10]
+//! bico trace     run.jsonl [other.jsonl] [--json]  # tables, pathologies, run diff
 //! bico linear    # the Mersha–Dempe toy: grid scan + exact KKT solve
 //! ```
 
@@ -20,7 +23,10 @@ use bico::cobra::{Cobra, CobraConfig, NestedConfig, NestedSequential};
 use bico::core::{program3, solve_kkt, Carbon, CarbonConfig, TieBreak};
 use bico::ea::hypothesis::mann_whitney_u;
 use bico::gp::{parse_sexpr, to_sexpr};
-use bico::obs::{JsonlSink, LogLevel, MetricsSink, Observers, ProgressSink, RunObserver};
+use bico::obs::{
+    JsonlSink, LogLevel, MetricsSink, Observers, PrometheusSink, ProgressSink, RunObserver,
+};
+use bico::trace_cmd::{self, TraceArgs};
 use std::process::exit;
 use std::sync::Arc;
 
@@ -36,6 +42,7 @@ fn main() {
         "run" => cmd_run(rest),
         "compare" => cmd_compare(rest),
         "eval" => cmd_eval(rest),
+        "trace" => cmd_trace(rest),
         "linear" => cmd_linear(),
         "help" | "--help" | "-h" => usage(),
         other => {
@@ -55,19 +62,32 @@ USAGE:
   bico run <carbon|cobra|nested> [--instance FILE | --class NxM] [--seed S]
            [--evals N] [--pop P] [--ll-cache-capacity C] [--compiled-eval BOOL]
            [--gp-compile-cache BOOL] [--decode-cache BOOL] [--heuristic-out FILE]
-           [--trace-out FILE.jsonl] [--metrics-out FILE.json] [--log-level LEVEL]
+           [--trace-out FILE.jsonl] [--metrics-out FILE.json] [--prom-out FILE.prom]
+           [--log-level LEVEL]
   bico compare [--class NxM] [--runs R] [--seed S] [--evals N] [--pop P]
            [--ll-cache-capacity C] [--compiled-eval BOOL] [--gp-compile-cache BOOL]
            [--decode-cache BOOL]
-           [--trace-out FILE.jsonl] [--metrics-out FILE.json] [--log-level LEVEL]
+           [--trace-out FILE.jsonl] [--metrics-out FILE.json] [--prom-out FILE.prom]
+           [--log-level LEVEL]
   bico eval --sexpr EXPR [--instance FILE | --class NxM] [--seed S]
            [--compiled-eval BOOL]
+  bico trace FILE.jsonl [FILE2.jsonl] [--json] [--stagnation-window W]
+           [--max-rows N]
   bico linear
 
 Observability (run/compare): --trace-out streams one JSON event per line,
---metrics-out writes aggregate counters/timers after the run, and
---log-level (off|error|warn|info|debug|trace; default from BICO_LOG)
-controls stderr progress. Observers never alter results.
+--metrics-out writes aggregate counters/timers/latency histograms after
+the run, --prom-out writes the same report in the Prometheus text
+exposition format, and --log-level (off|error|warn|info|debug|trace;
+default from BICO_LOG) controls stderr progress. Observers never alter
+results.
+
+bico trace analyzes one or two --trace-out files offline: per-generation
+cache-efficiency and timing tables, per-phase wall-clock totals, and
+co-evolutionary pathology verdicts (see-saw oscillation, disengagement,
+stagnation). With two files it also reports the first semantic
+divergence between the runs (timing payloads ignored), which is exactly
+'none' for two runs of the same seed and configuration.
 
 --ll-cache-capacity C memoizes lower-level relaxations by the exact bit
 pattern of the pricing (C entries, FIFO eviction; 0 = off, the default).
@@ -93,14 +113,15 @@ appear as DecodeCacheProbe events and in the metrics report."
     );
 }
 
-/// Sinks requested by `--trace-out` / `--metrics-out` / `--log-level`,
-/// stacked into one observer plus the handles needed to flush/report
-/// after the run.
+/// Sinks requested by `--trace-out` / `--metrics-out` / `--prom-out` /
+/// `--log-level`, stacked into one observer plus the handles needed to
+/// flush/report after the run.
 struct ObsSetup {
     observers: Observers,
     jsonl: Option<JsonlSink>,
     metrics: Option<Arc<MetricsSink>>,
     metrics_out: Option<String>,
+    prom_out: Option<String>,
 }
 
 fn obs_setup(args: &[String]) -> ObsSetup {
@@ -119,7 +140,9 @@ fn obs_setup(args: &[String]) -> ObsSetup {
         }
     }
     let metrics_out = opt(args, "--metrics-out");
-    let metrics = metrics_out.as_ref().map(|_| {
+    let prom_out = opt(args, "--prom-out");
+    // One shared MetricsSink feeds both the JSON and Prometheus reports.
+    let metrics = (metrics_out.is_some() || prom_out.is_some()).then(|| {
         let sink = Arc::new(MetricsSink::new());
         observers.push(Box::new(sink.clone()));
         sink
@@ -128,18 +151,27 @@ fn obs_setup(args: &[String]) -> ObsSetup {
     if progress.enabled() {
         observers.push(Box::new(progress));
     }
-    ObsSetup { observers, jsonl, metrics, metrics_out }
+    ObsSetup { observers, jsonl, metrics, metrics_out, prom_out }
 }
 
 impl ObsSetup {
-    /// Flush the trace file and write the metrics report, if requested.
+    /// Flush the trace file and write the metrics reports, if requested.
     fn finish(&self) {
         if let Some(sink) = &self.jsonl {
             let _ = sink.flush();
         }
-        if let (Some(metrics), Some(path)) = (&self.metrics, &self.metrics_out) {
+        let Some(metrics) = &self.metrics else {
+            return;
+        };
+        if let Some(path) = &self.metrics_out {
             let json = metrics.report().to_json();
             if let Err(e) = std::fs::write(path, json + "\n") {
+                eprintln!("cannot write {path}: {e}");
+            }
+        }
+        if let Some(path) = &self.prom_out {
+            let prom = PrometheusSink::sharing(metrics.clone());
+            if let Err(e) = prom.write_to(path) {
                 eprintln!("cannot write {path}: {e}");
             }
         }
@@ -437,6 +469,46 @@ fn cmd_eval(args: &[String]) {
         base.cost,
         100.0 * (base.cost - relax.lower_bound) / relax.lower_bound
     );
+}
+
+fn cmd_trace(args: &[String]) {
+    // Positional operands are the trace files; everything `--`-prefixed
+    // (and its value) is an option.
+    let mut paths = Vec::new();
+    let mut skip = false;
+    let mut json = false;
+    for (i, a) in args.iter().enumerate() {
+        if skip {
+            skip = false;
+            continue;
+        }
+        match a.as_str() {
+            "--json" => json = true,
+            "--stagnation-window" | "--max-rows" => skip = true,
+            other if other.starts_with("--") => {
+                eprintln!("trace: unknown option {other:?}");
+                exit(2);
+            }
+            _ => paths.push(args[i].clone()),
+        }
+    }
+    let targs = TraceArgs {
+        paths,
+        json,
+        stagnation_window: opt_parse(
+            args,
+            "--stagnation-window",
+            TraceArgs::default().stagnation_window,
+        ),
+        max_rows: opt_parse(args, "--max-rows", TraceArgs::default().max_rows),
+    };
+    match trace_cmd::build_report(&targs) {
+        Ok(report) => print!("{}", trace_cmd::render(&report, &targs)),
+        Err(e) => {
+            eprintln!("{e}");
+            exit(1);
+        }
+    }
 }
 
 fn cmd_linear() {

@@ -5,6 +5,8 @@
 //! Facade crate re-exporting the whole workspace. See the README for a
 //! tour and `DESIGN.md` for the paper-to-module map.
 
+pub mod trace_cmd;
+
 pub use bico_bcpop as bcpop;
 pub use bico_cobra as cobra;
 pub use bico_core as core;

@@ -1,0 +1,368 @@
+//! The `bico trace` subcommand: offline analysis of JSONL run traces.
+//!
+//! Takes one or two trace files written by `--trace-out`, replays them
+//! through [`bico_obs::replay`], and renders what
+//! [`bico_obs::analyze`] derives: per-generation cache-efficiency and
+//! timing tables, per-phase wall-clock totals, the three co-evolutionary
+//! pathology verdicts (see-saw, disengagement, stagnation), and — when
+//! two traces are given — the first semantic divergence between them
+//! (timing payloads ignored, so two same-seed runs compare clean).
+//!
+//! Output is a human-readable report by default or one JSON document
+//! with `--json`; both are rendered from the same [`TraceReport`], and
+//! the JSON form is what the CI determinism smoke check consumes.
+
+use bico_obs::analyze::{
+    analyze, diff, Divergence, TraceAnalysis, DEFAULT_STAGNATION_WINDOW,
+};
+use bico_obs::json::{push_f64_field, push_str_field, push_string, push_u64_field};
+use bico_obs::replay::parse_trace;
+use std::fmt::Write as _;
+
+/// Parsed `bico trace` options.
+#[derive(Debug, Clone)]
+pub struct TraceArgs {
+    /// One or two trace files (two enables the run diff).
+    pub paths: Vec<String>,
+    /// Emit one JSON document instead of human tables.
+    pub json: bool,
+    /// Plateau length (generations) before stagnation is flagged.
+    pub stagnation_window: u64,
+    /// Maximum generation rows printed per trace in human output
+    /// (the middle is elided; JSON output is never truncated).
+    pub max_rows: usize,
+}
+
+impl Default for TraceArgs {
+    fn default() -> Self {
+        TraceArgs {
+            paths: Vec::new(),
+            json: false,
+            stagnation_window: DEFAULT_STAGNATION_WINDOW,
+            max_rows: 20,
+        }
+    }
+}
+
+/// Everything `bico trace` computed, ready to render.
+#[derive(Debug, Clone)]
+pub struct TraceReport {
+    /// `(path, analysis)` per input trace, in argument order.
+    pub analyses: Vec<(String, TraceAnalysis)>,
+    /// Diff outcome — `Some(None)` means two traces compared equal,
+    /// `Some(Some(d))` is the first divergence, `None` means only one
+    /// trace was given.
+    pub divergence: Option<Option<Divergence>>,
+}
+
+/// Load, analyze and (for two traces) diff. Errors name the offending
+/// file and line.
+pub fn build_report(args: &TraceArgs) -> Result<TraceReport, String> {
+    if args.paths.is_empty() || args.paths.len() > 2 {
+        return Err("trace: expected one or two trace files".into());
+    }
+    let mut parsed = Vec::new();
+    for path in &args.paths {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {path}: {e}"))?;
+        let records = parse_trace(&text).map_err(|e| format!("{path}: {e}"))?;
+        parsed.push((path.clone(), records));
+    }
+    let divergence = (parsed.len() == 2).then(|| diff(&parsed[0].1, &parsed[1].1));
+    let analyses = parsed
+        .into_iter()
+        .map(|(path, records)| (path, analyze(&records, args.stagnation_window)))
+        .collect();
+    Ok(TraceReport { analyses, divergence })
+}
+
+/// Render the report per `args` (human tables or JSON).
+pub fn render(report: &TraceReport, args: &TraceArgs) -> String {
+    if args.json {
+        render_json(report)
+    } else {
+        render_human(report, args.max_rows)
+    }
+}
+
+fn render_json(report: &TraceReport) -> String {
+    let mut out = String::from("{\"traces\":[");
+    for (i, (path, a)) in report.analyses.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"path\":");
+        push_string(&mut out, path);
+        push_str_field(&mut out, "algo", &a.algo);
+        push_u64_field(&mut out, "seed", a.seed);
+        push_u64_field(&mut out, "events", a.events);
+        out.push_str(",\"generations\":[");
+        for (j, g) in a.generations.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{{\"generation\":{}", g.generation);
+            push_u64_field(&mut out, "evaluations", g.evaluations);
+            push_f64_field(&mut out, "ul_best", g.ul_best);
+            push_f64_field(&mut out, "gap_best", g.gap_best);
+            push_u64_field(&mut out, "ll_solves", g.ll_solves);
+            push_u64_field(&mut out, "solve_hits", g.solve_hits);
+            push_u64_field(&mut out, "solve_misses", g.solve_misses);
+            push_u64_field(&mut out, "compile_hits", g.compile_hits);
+            push_u64_field(&mut out, "compile_misses", g.compile_misses);
+            push_u64_field(&mut out, "decode_hits", g.decode_hits);
+            push_u64_field(&mut out, "decode_misses", g.decode_misses);
+            push_f64_field(&mut out, "hit_rate", g.hit_rate());
+            push_u64_field(&mut out, "eval_micros", g.eval_micros);
+            out.push('}');
+        }
+        out.push_str("],\"phases\":[");
+        for (j, p) in a.phases.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"phase\":");
+            push_string(&mut out, &p.phase);
+            push_u64_field(&mut out, "ms", p.ms);
+            push_u64_field(&mut out, "visits", p.visits);
+            out.push('}');
+        }
+        let s = &a.seesaw;
+        let _ = write!(out, "],\"seesaw\":{{\"detected\":{}", s.detected);
+        push_u64_field(&mut out, "segments", s.segments);
+        push_f64_field(&mut out, "amplitude", s.amplitude());
+        push_f64_field(&mut out, "ul_amplitude", s.ul_amplitude);
+        push_f64_field(&mut out, "ll_amplitude", s.ll_amplitude);
+        push_u64_field(&mut out, "sign_flips", s.sign_flips);
+        let d = &a.disengagement;
+        let _ = write!(out, "}},\"disengagement\":{{\"detected\":{}", d.detected);
+        push_u64_field(&mut out, "comparisons", d.comparisons);
+        push_u64_field(&mut out, "flat", d.flat);
+        push_u64_field(&mut out, "longest_flat", d.longest_flat);
+        push_f64_field(&mut out, "flat_fraction", d.flat_fraction);
+        let st = &a.stagnation;
+        let _ = write!(out, "}},\"stagnation\":{{\"detected\":{}", st.detected);
+        push_u64_field(&mut out, "generations", st.generations);
+        push_u64_field(&mut out, "longest_window", st.longest_window);
+        push_u64_field(&mut out, "windows", st.windows);
+        push_u64_field(&mut out, "window", st.window);
+        out.push_str("}}");
+    }
+    out.push(']');
+    match &report.divergence {
+        None => {}
+        Some(None) => out.push_str(",\"divergence\":null"),
+        Some(Some(d)) => {
+            let _ = write!(out, ",\"divergence\":{{\"index\":{}", d.index);
+            out.push_str(",\"left\":");
+            match &d.left {
+                Some(l) => push_string(&mut out, l),
+                None => out.push_str("null"),
+            }
+            out.push_str(",\"right\":");
+            match &d.right {
+                Some(r) => push_string(&mut out, r),
+                None => out.push_str("null"),
+            }
+            out.push('}');
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn render_human(report: &TraceReport, max_rows: usize) -> String {
+    let mut out = String::new();
+    for (path, a) in &report.analyses {
+        let _ = writeln!(
+            out,
+            "trace {path} — {} seed {}, {} events, {} generations",
+            if a.algo.is_empty() { "<unknown>" } else { &a.algo },
+            a.seed,
+            a.events,
+            a.generations.len()
+        );
+        if !a.generations.is_empty() {
+            let _ = writeln!(
+                out,
+                "\n  {:>5} {:>9} {:>12} {:>10} {:>7} {:>9} {:>9}",
+                "gen", "evals", "ul_best", "gap_best", "solves", "hit_rate", "eval_ms"
+            );
+            // Elide the middle of long runs: head + tail around a marker.
+            let n = a.generations.len();
+            let (head, tail) = if n <= max_rows {
+                (n, 0)
+            } else {
+                (max_rows / 2, max_rows - max_rows / 2)
+            };
+            for (i, g) in a.generations.iter().enumerate() {
+                if i >= head && i < n - tail {
+                    if i == head {
+                        let _ = writeln!(out, "  {:>5}", format!("… {} rows elided …", n - head - tail));
+                    }
+                    continue;
+                }
+                let hit = g.hit_rate();
+                let _ = writeln!(
+                    out,
+                    "  {:>5} {:>9} {:>12.3} {:>10.3} {:>7} {:>9} {:>9.2}",
+                    g.generation,
+                    g.evaluations,
+                    g.ul_best,
+                    g.gap_best,
+                    g.ll_solves,
+                    if hit.is_nan() { "-".into() } else { format!("{:.2}", hit) },
+                    g.eval_micros as f64 / 1000.0
+                );
+            }
+        }
+        if !a.phases.is_empty() {
+            let _ = writeln!(out, "\n  {:<24} {:>9} {:>7}", "phase", "ms", "visits");
+            for p in &a.phases {
+                let _ = writeln!(out, "  {:<24} {:>9} {:>7}", p.phase, p.ms, p.visits);
+            }
+        }
+        let s = &a.seesaw;
+        let _ = writeln!(
+            out,
+            "\n  see-saw:       {} (segments {}, amplitude {:.4}, sign flips {})",
+            verdict(s.detected),
+            s.segments,
+            s.amplitude(),
+            s.sign_flips
+        );
+        let d = &a.disengagement;
+        let _ = writeln!(
+            out,
+            "  disengagement: {} ({}/{} flat comparisons, longest run {})",
+            verdict(d.detected),
+            d.flat,
+            d.comparisons,
+            d.longest_flat
+        );
+        let st = &a.stagnation;
+        let _ = writeln!(
+            out,
+            "  stagnation:    {} (longest no-improvement window {} vs threshold {})\n",
+            verdict(st.detected),
+            st.longest_window,
+            st.window
+        );
+    }
+    match &report.divergence {
+        None => {}
+        Some(None) => {
+            let _ = writeln!(out, "divergence: none — traces are semantically identical");
+        }
+        Some(Some(d)) => {
+            let _ = writeln!(out, "divergence: first at event index {}", d.index);
+            let _ = writeln!(out, "  left:  {}", d.left.as_deref().unwrap_or("<past end of trace>"));
+            let _ = writeln!(out, "  right: {}", d.right.as_deref().unwrap_or("<past end of trace>"));
+        }
+    }
+    out
+}
+
+fn verdict(detected: bool) -> &'static str {
+    if detected {
+        "DETECTED"
+    } else {
+        "not detected"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bico_obs::json::parse;
+
+    fn write_trace(name: &str, body: &str) -> String {
+        let path = std::env::temp_dir().join(name);
+        std::fs::write(&path, body).unwrap();
+        path.to_string_lossy().into_owned()
+    }
+
+    const SMALL: &str = "\
+{\"event\":\"RunStart\",\"seq\":0,\"t_ms\":0,\"algo\":\"cobra\",\"seed\":7}\n\
+{\"event\":\"PhaseChange\",\"seq\":1,\"t_ms\":0,\"phase\":\"upper_improvement\"}\n\
+{\"event\":\"ObjectivePair\",\"seq\":2,\"t_ms\":1,\"level\":\"upper\",\"ul_value\":100,\"ll_value\":50}\n\
+{\"event\":\"GenerationEnd\",\"seq\":3,\"t_ms\":2,\"generation\":0,\"evaluations\":10,\"ul_best\":100,\"gap_best\":5}\n\
+{\"event\":\"PhaseChange\",\"seq\":4,\"t_ms\":2,\"phase\":\"lower_improvement\"}\n\
+{\"event\":\"ObjectivePair\",\"seq\":5,\"t_ms\":3,\"level\":\"lower\",\"ul_value\":92,\"ll_value\":60}\n\
+{\"event\":\"GenerationEnd\",\"seq\":6,\"t_ms\":4,\"generation\":1,\"evaluations\":20,\"ul_best\":100,\"gap_best\":4}\n\
+{\"event\":\"PhaseChange\",\"seq\":7,\"t_ms\":4,\"phase\":\"upper_improvement\"}\n\
+{\"event\":\"ObjectivePair\",\"seq\":8,\"t_ms\":5,\"level\":\"upper\",\"ul_value\":105,\"ll_value\":58}\n\
+{\"event\":\"GenerationEnd\",\"seq\":9,\"t_ms\":6,\"generation\":2,\"evaluations\":30,\"ul_best\":105,\"gap_best\":4}\n\
+{\"event\":\"RunComplete\",\"seq\":10,\"t_ms\":7,\"generations\":3,\"ul_evaluations\":15,\"ll_evaluations\":15,\"best_value\":105,\"best_gap\":4}\n";
+
+    #[test]
+    fn json_report_has_verdicts_and_null_divergence_for_equal_traces() {
+        let a = write_trace("bico_trace_cmd_a.jsonl", SMALL);
+        let b = write_trace("bico_trace_cmd_b.jsonl", SMALL);
+        let args =
+            TraceArgs { paths: vec![a, b], json: true, ..TraceArgs::default() };
+        let report = build_report(&args).unwrap();
+        let out = render(&report, &args);
+        let v = parse(out.trim()).expect("JSON output must parse");
+        assert!(out.contains("\"divergence\":null"), "same trace twice diverges nowhere");
+        let traces = match v.get("traces") {
+            Some(bico_obs::json::Value::Array(t)) => t,
+            other => panic!("expected traces array, got {other:?}"),
+        };
+        assert_eq!(traces.len(), 2);
+        let seesaw = traces[0].get("seesaw").expect("seesaw verdict");
+        let amp = seesaw.get("amplitude").and_then(|a| a.as_f64()).unwrap();
+        assert!(amp.is_finite() && amp > 0.0, "see-saw amplitude from the ±Δ pairs");
+        assert_eq!(
+            traces[0].get("generations").and_then(|g| match g {
+                bico_obs::json::Value::Array(rows) => Some(rows.len()),
+                _ => None,
+            }),
+            Some(3)
+        );
+    }
+
+    #[test]
+    fn divergent_traces_report_first_index() {
+        let a = write_trace("bico_trace_cmd_c.jsonl", SMALL);
+        let b = write_trace(
+            "bico_trace_cmd_d.jsonl",
+            &SMALL.replace("\"seed\":7", "\"seed\":8"),
+        );
+        let args =
+            TraceArgs { paths: vec![a, b], json: true, ..TraceArgs::default() };
+        let out = render(&build_report(&args).unwrap(), &args);
+        assert!(out.contains("\"divergence\":{\"index\":0"), "seed change diverges at event 0:\n{out}");
+    }
+
+    #[test]
+    fn human_report_prints_tables_and_verdicts() {
+        let a = write_trace("bico_trace_cmd_e.jsonl", SMALL);
+        let args = TraceArgs { paths: vec![a], ..TraceArgs::default() };
+        let out = render(&build_report(&args).unwrap(), &args);
+        assert!(out.contains("cobra seed 7"));
+        assert!(out.contains("see-saw:"));
+        assert!(out.contains("upper_improvement"));
+        assert!(!out.contains("divergence"), "single trace has no diff section");
+    }
+
+    #[test]
+    fn missing_file_is_a_clean_error() {
+        let args = TraceArgs {
+            paths: vec!["/nonexistent/trace.jsonl".into()],
+            ..TraceArgs::default()
+        };
+        let err = build_report(&args).unwrap_err();
+        assert!(err.contains("/nonexistent/trace.jsonl"));
+    }
+
+    #[test]
+    fn zero_or_three_paths_rejected() {
+        assert!(build_report(&TraceArgs::default()).is_err());
+        let args = TraceArgs {
+            paths: vec!["a".into(), "b".into(), "c".into()],
+            ..TraceArgs::default()
+        };
+        assert!(build_report(&args).is_err());
+    }
+}

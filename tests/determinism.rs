@@ -15,18 +15,21 @@
 use bico::bcpop::{generate, BcpopInstance, GeneratorConfig};
 use bico::cobra::{Cobra, CobraConfig, NestedConfig, NestedSequential};
 use bico::core::{Carbon, CarbonConfig, CarbonWeights};
-use bico::obs::{JsonlSink, MetricsSink, Observers, TraceSink};
+use bico::obs::{JsonlSink, MetricsSink, Observers, PrometheusSink, TraceSink};
 use std::sync::Arc;
 
-/// A full sink stack (JSONL to the bit bucket, metrics, trace rebuild)
-/// plus the handles needed to inspect it after the run.
+/// A full sink stack (JSONL to the bit bucket, metrics, trace rebuild,
+/// Prometheus) plus the handles needed to inspect it after the run.
+/// The PrometheusSink rides along to prove the `--prom-out` path is as
+/// results-neutral as every other observer.
 fn full_stack() -> (Observers, Arc<MetricsSink>, Arc<TraceSink>) {
     let metrics = Arc::new(MetricsSink::new());
     let trace = Arc::new(TraceSink::new());
     let observers = Observers::new()
         .with(Box::new(JsonlSink::new(std::io::sink())))
         .with(Box::new(metrics.clone()))
-        .with(Box::new(trace.clone()));
+        .with(Box::new(trace.clone()))
+        .with(Box::new(PrometheusSink::new()));
     (observers, metrics, trace)
 }
 

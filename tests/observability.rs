@@ -148,9 +148,14 @@ fn metrics_sink_aggregates_exactly_under_rayon() {
     use rayon::prelude::*;
     let sink = MetricsSink::new();
     (0..64u64).into_par_iter().for_each(|i| {
-        sink.observe(&Event::Evaluation { level: Level::Lower, count: i, gp_nodes: 2 * i });
-        sink.observe(&Event::Evaluation { level: Level::Upper, count: 1, gp_nodes: 0 });
-        sink.observe(&Event::LowerLevelSolve { solves: 1, pivots: i });
+        sink.observe(&Event::Evaluation {
+            level: Level::Lower,
+            count: i,
+            gp_nodes: 2 * i,
+            micros: 10 * i,
+        });
+        sink.observe(&Event::Evaluation { level: Level::Upper, count: 1, gp_nodes: 0, micros: 5 });
+        sink.observe(&Event::LowerLevelSolve { solves: 1, pivots: i, micros: i });
     });
     let m = sink.report();
     let total: u64 = (0..64).sum();

@@ -1,0 +1,193 @@
+//! Schema-stability contracts for the observability surface.
+//!
+//! Two guarantees external tooling leans on:
+//!
+//! * the JSONL trace schema round-trips **byte-identically** through
+//!   [`bico::obs::replay`] for every event variant — so `bico trace`
+//!   can re-emit, diff and archive traces without drift;
+//! * the Prometheus exposition of a [`bico::obs::MetricsSink`] report
+//!   is stable against the golden file in `tests/golden/metrics.prom`
+//!   — scrape configs and dashboards key on these family names.
+
+use bico::obs::sinks::prometheus;
+use bico::obs::{
+    Event, Histogram, JsonlSink, MetricsSink, PhaseTiming, RunObserver, SharedBuffer, Summary,
+};
+use bico::obs::{replay, stats};
+
+#[test]
+fn every_event_variant_round_trips_byte_identically() {
+    let buffer = SharedBuffer::new();
+    let sink = JsonlSink::new(buffer.clone());
+    let examples = Event::examples();
+    assert_eq!(examples.len(), 12, "new Event variants must join examples() and this test");
+    for event in &examples {
+        sink.observe(event);
+    }
+    sink.flush().unwrap();
+
+    let text = buffer.contents();
+    let records = replay::parse_trace(&text).expect("own output must parse");
+    assert_eq!(records.len(), examples.len());
+    for (line, record) in text.lines().zip(&records) {
+        let mut reemitted = record.to_jsonl_line();
+        assert_eq!(reemitted.pop(), Some('\n'));
+        assert_eq!(line, reemitted, "round trip must be byte-identical");
+    }
+    // Tagged lines (the bench binaries' multi-run traces) too.
+    let tagged_buffer = SharedBuffer::new();
+    let tagged = JsonlSink::new(tagged_buffer.clone()).with_tag("carbon/run3");
+    for event in &examples {
+        tagged.observe(event);
+    }
+    tagged.flush().unwrap();
+    let text = tagged_buffer.contents();
+    for (line, record) in
+        text.lines().zip(replay::parse_trace(&text).expect("tagged output must parse"))
+    {
+        assert_eq!(record.tag.as_deref(), Some("carbon/run3"));
+        let mut reemitted = record.to_jsonl_line();
+        assert_eq!(reemitted.pop(), Some('\n'));
+        assert_eq!(line, reemitted);
+    }
+}
+
+#[test]
+fn owned_events_cover_every_variant() {
+    // Each parsed record must map back onto the borrowed Event it came
+    // from (same name), proving OwnedEvent tracks the Event enum.
+    let buffer = SharedBuffer::new();
+    let sink = JsonlSink::new(buffer.clone());
+    for event in Event::examples() {
+        sink.observe(&event);
+    }
+    sink.flush().unwrap();
+    let records = replay::parse_trace(&buffer.contents()).unwrap();
+    for (record, event) in records.iter().zip(Event::examples()) {
+        assert_eq!(record.event.name(), event.name());
+        assert_eq!(record.event.to_event().name(), event.name());
+    }
+}
+
+/// A fully deterministic report: every field hand-set, no wall clock.
+fn golden_metrics() -> bico::obs::RunMetrics {
+    let mut ll_solve_seconds = Histogram::seconds();
+    ll_solve_seconds.record_n(150e-6, 40);
+    ll_solve_seconds.record_n(900e-6, 8);
+    let mut decode_pass_seconds = Histogram::seconds();
+    decode_pass_seconds.record_n(75e-6, 96);
+    let mut gp_compile_seconds = Histogram::seconds();
+    gp_compile_seconds.record_n(30e-6, 12);
+    let mut simplex_pivots_per_solve = Histogram::counts();
+    simplex_pivots_per_solve.record_n(24.0, 48);
+    let mut gp_nodes_per_eval = Histogram::counts();
+    gp_nodes_per_eval.record_n(17.0, 96);
+    bico::obs::RunMetrics {
+        runs: 1,
+        generations: 12,
+        evaluations: 192,
+        ul_evaluations: 96,
+        ll_evaluations: 96,
+        gp_node_evals: 1632,
+        ll_solves: 48,
+        simplex_pivots: 1152,
+        cache_hits: 30,
+        cache_misses: 18,
+        cache_evictions: 2,
+        cache_entries: 16,
+        compile_cache_hits: 84,
+        compile_cache_misses: 12,
+        compile_cache_evictions: 0,
+        compile_cache_entries: 12,
+        decode_cache_hits: 60,
+        decode_cache_misses: 36,
+        decode_cache_evictions: 4,
+        decode_cache_entries: 32,
+        archive_updates: 24,
+        wall_seconds: 1.5,
+        phases: vec![
+            PhaseTiming { phase: "ll_fitness".into(), seconds: 0.9 },
+            PhaseTiming { phase: "ul_fitness".into(), seconds: 0.5 },
+        ],
+        generation_seconds: Summary::of(&[0.1, 0.1, 0.2, 0.15]),
+        ll_solve_seconds,
+        decode_pass_seconds,
+        gp_compile_seconds,
+        simplex_pivots_per_solve,
+        gp_nodes_per_eval,
+    }
+}
+
+#[test]
+fn prometheus_render_matches_golden_file() {
+    let rendered = prometheus::render(&golden_metrics());
+    let golden = include_str!("golden/metrics.prom");
+    assert_eq!(
+        rendered, golden,
+        "Prometheus exposition drifted from tests/golden/metrics.prom; \
+         if the change is intentional, re-bless the golden file"
+    );
+}
+
+#[test]
+fn prometheus_histogram_counts_match_json_report() {
+    // The JSON and Prometheus reports must agree: same five histogram
+    // families, same counts, derived from one RunMetrics.
+    let m = golden_metrics();
+    let rendered = prometheus::render(&m);
+    for (name, hist) in m.histograms() {
+        let count_line = format!("bico_{name}_count {}", hist.count());
+        assert!(
+            rendered.contains(&count_line),
+            "missing {count_line:?} in exposition:\n{rendered}"
+        );
+    }
+    let json = m.to_json();
+    let value: serde_json::Value = serde_json::from_str(&json).unwrap();
+    let hists = value.get("histograms").expect("histograms key");
+    for (name, hist) in m.histograms() {
+        let got = hists
+            .get(name)
+            .and_then(|h| h.get("count"))
+            .and_then(|c| c.as_u64())
+            .unwrap_or_else(|| panic!("histograms.{name}.count missing"));
+        assert_eq!(got, hist.count());
+    }
+}
+
+#[test]
+fn metrics_sink_report_renders_valid_exposition_lines() {
+    // End-to-end: a sink fed real events renders lines that are each
+    // either a comment or `name[{labels}] value`.
+    let sink = MetricsSink::new();
+    for event in Event::examples() {
+        sink.observe(&event);
+    }
+    let rendered = prometheus::render(&sink.report());
+    for line in rendered.lines() {
+        if line.starts_with('#') || line.is_empty() {
+            continue;
+        }
+        let (name_part, value) = line.rsplit_once(' ').unwrap_or_else(|| {
+            panic!("malformed exposition line {line:?}");
+        });
+        assert!(
+            value.parse::<f64>().is_ok() || value == "+Inf" || value == "NaN",
+            "unparseable sample value in {line:?}"
+        );
+        let bare = name_part.split('{').next().unwrap();
+        assert!(
+            bare.starts_with("bico_")
+                && bare.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'),
+            "bad metric name in {line:?}"
+        );
+    }
+}
+
+// Keep the facade honest: the stats module re-exported here is the one
+// the solvers use (one source of truth for Summary).
+#[test]
+fn facade_reexports_summary() {
+    let s = stats::Summary::of(&[1.0, 2.0]);
+    assert_eq!(s.count(), 2);
+}
