@@ -21,9 +21,14 @@ use bico_bcpop::{
     RelaxationSolver,
 };
 use bico_core::decode_cache::{cell_key, decode_mode, tree_scorer_key, DecodeOutcome};
-use bico_core::{DecodeCache, GpCompileCache};
-use bico_ea::SolveCache;
+use bico_core::{
+    BilinearProblem, CoevStrategy, DecodeCache, GpCompileCache, MaximinCoev, MaximinConfig,
+};
+use bico_ea::{seed_stream, SolveCache};
 use bico_gp::grow;
+use bico_obs::analyze::{analyze, DEFAULT_STAGNATION_WINDOW};
+use bico_obs::replay::parse_trace;
+use bico_obs::{JsonlSink, SharedBuffer};
 use criterion::{criterion_group, Criterion};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -306,6 +311,41 @@ fn write_bench_json(path: &str, reduced: bool) {
     let scs = sc.stats();
     assert!(scs.hits > 0 && cached_pivots < cold_pivots);
 
+    // Maximin pathology trajectory: the bilinear substrate has a known
+    // game value, so the plain strategy's see-saw amplitude and the
+    // shared strategy's equilibrium error are *absolute* quality
+    // metrics, not relative ms/pass numbers. Fixed seed streams keep
+    // the report deterministic; the regression gate requires the
+    // amplitude to stay strictly positive (the substrate must keep
+    // cycling under plain scoring, or the pathology suite tests
+    // nothing) and the shared error not to drift upward.
+    let mm_seeds = if reduced { 3usize } else { 6 };
+    let mut plain_amplitude = 0.0f64;
+    let mut plain_err = 0.0f64;
+    let mut shared_err = 0.0f64;
+    for i in 0..mm_seeds {
+        let seed = seed_stream(0xB1C0, i as u64);
+        let run = |strategy| {
+            MaximinCoev::new(
+                BilinearProblem::symmetric(2),
+                MaximinConfig { strategy, ..Default::default() },
+            )
+        };
+        let buffer = SharedBuffer::new();
+        let sink = JsonlSink::new(buffer.clone());
+        let plain = run(CoevStrategy::PredatorPrey).run_observed(seed, &sink);
+        let records = parse_trace(&buffer.contents()).expect("maximin trace parses");
+        let verdict = analyze(&records, DEFAULT_STAGNATION_WINDOW).seesaw;
+        assert!(verdict.detected, "plain scoring must see-saw on the bilinear substrate");
+        plain_amplitude += verdict.amplitude();
+        plain_err += plain.equilibrium_error;
+        shared_err += run(CoevStrategy::SharedFitness).run(seed).equilibrium_error;
+    }
+    plain_amplitude /= mm_seeds as f64;
+    plain_err /= mm_seeds as f64;
+    shared_err /= mm_seeds as f64;
+    assert!(plain_amplitude > 0.0, "see-saw amplitude collapsed to zero");
+
     let rate = |h: u64, m: u64| h as f64 / (h + m).max(1) as f64;
     let json = format!(
         "{{\n  \"bench\": \"scaling\",\n  \"reduced\": {reduced},\n  \
@@ -319,7 +359,11 @@ fn write_bench_json(path: &str, reduced: bool) {
          \"ref_ms_per_pass\": {dc_ref_ms:.4}, \"memo_ms_per_pass\": {dc_memo_ms:.4}, \
          \"speedup\": {dc_speedup:.3}}},\n  \
          \"solve_cache\": {{\"probes\": {scp}, \"hits\": {sch}, \"hit_rate\": {scr:.4}, \
-         \"pivots_cold\": {cold_pivots}, \"pivots_cached\": {cached_pivots}}}\n}}\n",
+         \"pivots_cold\": {cold_pivots}, \"pivots_cached\": {cached_pivots}}},\n  \
+         \"maximin\": {{\"seeds\": {mm_seeds}, \
+         \"plain_seesaw_amplitude\": {plain_amplitude:.4}, \
+         \"plain_equilibrium_error\": {plain_err:.4}, \
+         \"shared_equilibrium_error\": {shared_err:.4}}}\n}}\n",
         tree_nodes = expr.len(),
         speedup = interp_ms / compiled_ms.max(1e-12),
         nodes_per_pass = interp_nodes / u64::from(reps),

@@ -25,7 +25,13 @@ impl ObsStack {
     /// A stack with no sinks: `for_run` hands out disabled observers and
     /// the instrumentation folds away.
     pub fn disabled() -> Self {
-        ObsStack { jsonl: None, metrics: None, progress: None, metrics_out: None, prom_out: None }
+        ObsStack {
+            jsonl: None,
+            metrics: None,
+            progress: None,
+            metrics_out: None,
+            prom_out: None,
+        }
     }
 
     /// Build the stack the options ask for. Unwritable trace paths are
@@ -39,8 +45,8 @@ impl ObsStack {
             }
         });
         // One sink feeds both the JSON and the Prometheus report.
-        let metrics = (opts.metrics_out.is_some() || opts.prom_out.is_some())
-            .then(MetricsSink::new);
+        let metrics =
+            (opts.metrics_out.is_some() || opts.prom_out.is_some()).then(MetricsSink::new);
         let progress =
             (opts.log_level > LogLevel::Warn).then(|| ProgressSink::stderr(opts.log_level));
         ObsStack {

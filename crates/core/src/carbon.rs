@@ -44,6 +44,59 @@ use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
 use std::sync::Arc;
 
+/// How the lower-level population's fitness is aggregated from the
+/// evaluation matrix — the co-evolutionary "strategy" of the arms race.
+///
+/// The paper's CARBON is plain predator–prey scoring (mean %-gap over
+/// the training pricings). The two alternatives target its §V.B
+/// pathologies: competitive fitness sharing (Rosin & Belew; pybrain's
+/// `CompetitiveCoevolution`) rewards beating pricings few rivals beat,
+/// flattening see-saw cycles, and the hall-of-fame sampler scores
+/// heuristics against archived elite pricings instead of only the
+/// current population, preventing disengagement from a drifting prey.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CoevStrategy {
+    /// Mean %-gap over the training pricings (the paper's CARBON).
+    #[default]
+    PredatorPrey,
+    /// Competitive fitness sharing: a heuristic "beats" a training
+    /// pricing when its value is within `share_margin` of the column's
+    /// best, and each beat is worth `1 / beatsum` where `beatsum` is how
+    /// many rivals also beat that pricing — rare victories dominate.
+    SharedFitness,
+    /// Hall-of-fame opponent sampling: training columns beyond the elite
+    /// slot are drawn from the upper-level archive (falling back to the
+    /// population while the archive warms up), so heuristics must keep
+    /// answering historically strong pricings, not just today's.
+    HallOfFame,
+}
+
+impl CoevStrategy {
+    /// Stable lower-case name (used in docs and CLI output).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CoevStrategy::PredatorPrey => "predator-prey",
+            CoevStrategy::SharedFitness => "shared",
+            CoevStrategy::HallOfFame => "hall-of-fame",
+        }
+    }
+}
+
+impl std::str::FromStr for CoevStrategy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "plain" | "predator-prey" | "predator_prey" => Ok(CoevStrategy::PredatorPrey),
+            "shared" | "shared-fitness" | "fitness-sharing" => Ok(CoevStrategy::SharedFitness),
+            "hof" | "hall-of-fame" | "hall_of_fame" => Ok(CoevStrategy::HallOfFame),
+            other => Err(format!(
+                "unknown co-evolution strategy '{other}' (expected plain, shared, or hof)"
+            )),
+        }
+    }
+}
+
 /// CARBON parameters. `Default` is the paper's Table II column
 /// (50 000 + 50 000 evaluations, population/archive 100, SBX 0.85,
 /// polynomial mutation 0.01, GP crossover 0.85, uniform mutation 0.1,
@@ -130,6 +183,17 @@ pub struct CarbonConfig {
     /// including its GP-node charge; results are bit-identical either
     /// way (see [`crate::DecodeCache`]).
     pub decode_cache_capacity: usize,
+    /// Lower-level fitness-aggregation strategy (applies to the
+    /// tree-GP CARBON solver; CARBON-W keeps predator–prey scoring).
+    /// [`CoevStrategy::PredatorPrey`] reproduces the paper exactly; the
+    /// alternatives are bit-identical across the eval-matrix/reference
+    /// paths and every cache setting (asserted by `tests/determinism.rs`).
+    pub coev_strategy: CoevStrategy,
+    /// Beat margin for [`CoevStrategy::SharedFitness`], in the fitness
+    /// unit (%-gap points under `gap_fitness`): a heuristic beats a
+    /// training pricing when its value is within this margin of the
+    /// column's best value.
+    pub share_margin: f64,
 }
 
 impl Default for CarbonConfig {
@@ -159,6 +223,8 @@ impl Default for CarbonConfig {
             gp_compile_cache_capacity: 1024,
             eval_matrix: true,
             decode_cache_capacity: 4096,
+            coev_strategy: CoevStrategy::PredatorPrey,
+            share_margin: 0.5,
         }
     }
 }
@@ -348,17 +414,59 @@ impl<'a> Carbon<'a> {
             let gen_pivots: u64 =
                 probed.iter().filter(|&&(_, hit)| !hit).map(|(r, _)| r.pivots).sum();
             let relaxations: Vec<Relaxation> = probed.into_iter().map(|(r, _)| r).collect();
+
+            // --- 2. training opponents for the heuristic fitness: the
+            // elite pricing (slot 0 after archive re-injection) plus
+            // rotating samples — predators always train against the
+            // current best prey, so the arms race cannot stall on stale
+            // targets. Under the hall-of-fame strategy the rotating
+            // slots draw archived elite pricings instead (falling back
+            // to the population while the archive is empty); their
+            // relaxations go through the same solve cache, and the
+            // extra solves are folded into this batch's events.
+            let mut hof_solves = 0u64;
+            let mut hof_hits = 0u64;
+            let mut hof_pivots = 0u64;
+            let training: Vec<(Vec<f64>, Relaxation)> = (0..cfg.training_samples)
+                .map(|s| {
+                    let rotation = (generation * cfg.training_samples + s * 37) % ul_pop.len();
+                    let pop_slot = if s == 0 { 0 } else { rotation };
+                    if cfg.coev_strategy == CoevStrategy::HallOfFame
+                        && s > 0
+                        && !ul_archive.is_empty()
+                    {
+                        let pick =
+                            (generation * cfg.training_samples + s * 37) % ul_archive.len();
+                        let prices =
+                            ul_archive.iter().nth(pick).expect("pick < archive len").0.clone();
+                        let (relax, hit) = cache.get_or_insert_with(&prices, || {
+                            self.relaxer
+                                .solve(&inst.costs_for(&prices))
+                                .expect("validated instances always relax")
+                        });
+                        hof_solves += 1;
+                        if hit {
+                            hof_hits += 1;
+                        } else {
+                            hof_pivots += relax.pivots;
+                        }
+                        (prices, relax)
+                    } else {
+                        (ul_pop[pop_slot].clone(), relaxations[pop_slot].clone())
+                    }
+                })
+                .collect();
             if obs.enabled() {
                 obs.observe(&Event::LowerLevelSolve {
-                    solves: relaxations.len() as u64,
-                    pivots: gen_pivots,
+                    solves: relaxations.len() as u64 + hof_solves,
+                    pivots: gen_pivots + hof_pivots,
                     micros: elapsed_micros(t_relax),
                 });
                 if cache.is_enabled() {
                     let s = cache.stats();
                     obs.observe(&Event::CacheProbe {
-                        hits: gen_hits,
-                        misses: relaxations.len() as u64 - gen_hits,
+                        hits: gen_hits + hof_hits,
+                        misses: relaxations.len() as u64 + hof_solves - gen_hits - hof_hits,
                         evictions: s.evictions - cache_ev_emitted,
                         entries: s.entries as u64,
                     });
@@ -366,30 +474,15 @@ impl<'a> Carbon<'a> {
                 }
                 obs.observe(&Event::PhaseChange { phase: "ll_fitness" });
             }
-
-            // --- 2. heuristic fitness over a training subset: the elite
-            // pricing (slot 0 after archive re-injection) plus rotating
-            // samples — predators always train against the current best
-            // prey, so the arms race cannot stall on stale targets.
-            let training: Vec<usize> = (0..cfg.training_samples)
-                .map(|s| {
-                    if s == 0 {
-                        0
-                    } else {
-                        (generation * cfg.training_samples + s * 37) % ul_pop.len()
-                    }
-                })
-                .collect();
             let t_ll = timer_if(obs.enabled());
-            let ll_scored: Vec<(f64, u64)> = if cfg.eval_matrix {
+            let ll_values: Vec<(Vec<f64>, u64)> = if cfg.eval_matrix {
                 // Evaluation matrix: rows are the population's *unique*
                 // trees (clones, elites, and reproduction copies share a
                 // row), columns its unique training pricings. Each cell
                 // decodes at most once per generation — and not at all
                 // when the decode cache recalls it from an earlier one.
                 let (row_of, rows) = dedup_by_key(ll_pop.iter().map(tree_scorer_key));
-                let (col_of, cols) =
-                    dedup_by_key(training.iter().map(|&ti| pricing_key(&ul_pop[ti])));
+                let (col_of, cols) = dedup_by_key(training.iter().map(|(p, _)| pricing_key(p)));
                 let cells: Vec<Vec<Arc<DecodeOutcome>>> = rows
                     .par_iter()
                     .map(|(rep, tkey)| {
@@ -398,9 +491,7 @@ impl<'a> Carbon<'a> {
                         let mut scorer: Option<PreparedScorer> = None;
                         cols.iter()
                             .map(|(rep_slot, _)| {
-                                let ti = training[*rep_slot];
-                                let prices = &ul_pop[ti];
-                                let relax = &relaxations[ti];
+                                let (prices, relax) = &training[*rep_slot];
                                 decode_cache
                                     .get_or_decode(cell_key(mode, tkey, prices), || {
                                         let s = scorer.get_or_insert_with(|| {
@@ -418,18 +509,19 @@ impl<'a> Carbon<'a> {
                             .collect()
                     })
                     .collect();
-                // Scatter: every population slot reads its row, summing
+                // Scatter: every population slot reads its row, listing
                 // training contributions in the same order the reference
-                // loop does, so the f64 accumulation is bit-identical.
+                // loop visits them, so downstream f64 aggregation is
+                // bit-identical across the two paths.
                 (0..ll_pop.len())
                     .map(|i| {
                         let row = &cells[row_of[i]];
-                        let mut total = 0.0;
+                        let mut vals = Vec::with_capacity(col_of.len());
                         let mut gp_nodes = 0u64;
                         for &c in &col_of {
                             let cell = &row[c];
                             gp_nodes += cell.gp_nodes;
-                            total += if cfg.gap_fitness {
+                            vals.push(if cfg.gap_fitness {
                                 if cell.eval.gap.is_finite() {
                                     cell.eval.gap
                                 } else {
@@ -437,9 +529,9 @@ impl<'a> Carbon<'a> {
                                 }
                             } else {
                                 cell.eval.ll_value
-                            };
+                            });
                         }
-                        (total / training.len() as f64, gp_nodes)
+                        (vals, gp_nodes)
                     })
                     .collect()
             } else {
@@ -457,18 +549,16 @@ impl<'a> Carbon<'a> {
                             cfg.compiled_eval,
                             &gp_cache,
                         );
-                        let mut total = 0.0;
+                        let mut vals = Vec::with_capacity(training.len());
                         let mut gp_nodes = 0u64;
-                        for &ti in &training {
-                            let prices = &ul_pop[ti];
+                        for (prices, relax) in &training {
                             let costs = inst.costs_for(prices);
-                            let relax = &relaxations[ti];
                             let (out, nodes) =
                                 scorer.decode(inst, &costs, cfg.lp_terminals.then_some(relax));
                             gp_nodes += nodes;
                             let ev =
                                 evaluate_pair(inst, prices, &out.chosen, relax.lower_bound);
-                            total += if cfg.gap_fitness {
+                            vals.push(if cfg.gap_fitness {
                                 if ev.gap.is_finite() {
                                     ev.gap
                                 } else {
@@ -476,20 +566,21 @@ impl<'a> Carbon<'a> {
                                 }
                             } else {
                                 ev.ll_value
-                            };
+                            });
                         }
-                        (total / training.len() as f64, gp_nodes)
+                        (vals, gp_nodes)
                     })
                     .collect()
             };
             let ll_micros = elapsed_micros(t_ll);
-            let ll_fitness: Vec<f64> = ll_scored.iter().map(|&(f, _)| f).collect();
+            let ll_fitness =
+                ll_strategy_fitness(&ll_values, cfg.coev_strategy, cfg.share_margin);
             ll_evals += gen_ll_cost;
             if obs.enabled() {
                 obs.observe(&Event::Evaluation {
                     level: Level::Lower,
                     count: gen_ll_cost,
-                    gp_nodes: ll_scored.iter().map(|&(_, n)| n).sum(),
+                    gp_nodes: ll_values.iter().map(|(_, n)| *n).sum(),
                     micros: ll_micros,
                 });
             }
@@ -533,6 +624,15 @@ impl<'a> Carbon<'a> {
                 }
             }
             if obs.enabled() {
+                // The lower level just moved: sample the best pair's
+                // objectives so the see-saw detector can segment the
+                // arms race (ul side is NaN until a pairing exists;
+                // non-finite deltas are ignored by the detector).
+                obs.observe(&Event::ObjectivePair {
+                    level: Level::Lower,
+                    ul_value: best.as_ref().map_or(f64::NAN, |(_, f, _)| *f),
+                    ll_value: ll_fitness[best_ll],
+                });
                 obs.observe(&Event::PhaseChange { phase: "ul_fitness" });
             }
 
@@ -558,6 +658,18 @@ impl<'a> Carbon<'a> {
                 // just decoded in phase 2 are recalled, not re-decoded.
                 let (col_of, cols) = dedup_by_key(ul_pop.iter().map(|p| pricing_key(p)));
                 let champ_key = tree_scorer_key(&champion);
+                // Champion-row cells are the outcomes most likely to be
+                // probed again next generation (elitism re-injects the
+                // best pricing, and the champion often repeats), so pin
+                // them against FIFO churn — mirroring the compile-cache
+                // elite pinning above. Pin sets are per-generation;
+                // pinning only affects eviction order, never results.
+                if decode_cache.is_enabled() {
+                    decode_cache.clear_pins();
+                    for (rep, _) in &cols {
+                        decode_cache.pin(cell_key(mode, &champ_key, &ul_pop[*rep]));
+                    }
+                }
                 let cells: Vec<Arc<DecodeOutcome>> = cols
                     .par_iter()
                     .map(|(rep, _)| {
@@ -661,6 +773,12 @@ impl<'a> Carbon<'a> {
             // bookkeeping, so we deliberately do not make them monotone).
             trace.record(generation, ul_evals + ll_evals, gen_best_f, gen_best_gap);
             if obs.enabled() {
+                // The upper level just moved: the matching see-saw sample.
+                obs.observe(&Event::ObjectivePair {
+                    level: Level::Upper,
+                    ul_value: gen_best_f,
+                    ll_value: gen_best_gap,
+                });
                 if cfg.use_archives {
                     obs.observe(&Event::ArchiveUpdate {
                         level: Level::Upper,
@@ -785,6 +903,51 @@ fn decode_cell(
     let (cover, gp_nodes) = scorer.decode(inst, &costs, lp_terminals.then_some(relax));
     let eval = evaluate_pair(inst, prices, &cover.chosen, relax.lower_bound);
     DecodeOutcome { cover, eval, gp_nodes }
+}
+
+/// Aggregate each heuristic's per-training-column values into one
+/// fitness (minimized downstream), per the configured co-evolution
+/// strategy. `values` holds, per population slot, the column values in
+/// reference summation order plus the slot's GP-node charge.
+///
+/// Predator–prey and hall-of-fame both take the plain column mean —
+/// hall-of-fame differs only in *which* opponents fill the columns —
+/// and the sequential `iter().sum()` reproduces the pre-strategy inline
+/// accumulation bit-for-bit. Shared fitness scores a beat (a value
+/// within `share_margin` of the column's best) at `1 / beatsum`, so
+/// beating a pricing few rivals handle outweighs piling onto easy ones
+/// (Rosin–Belew competitive fitness sharing); the sum is negated to
+/// keep smaller-is-better selection semantics.
+fn ll_strategy_fitness(
+    values: &[(Vec<f64>, u64)],
+    strategy: CoevStrategy,
+    share_margin: f64,
+) -> Vec<f64> {
+    match strategy {
+        CoevStrategy::PredatorPrey | CoevStrategy::HallOfFame => values
+            .iter()
+            .map(|(vals, _)| vals.iter().sum::<f64>() / vals.len() as f64)
+            .collect(),
+        CoevStrategy::SharedFitness => {
+            let ncols = values.first().map_or(0, |(v, _)| v.len());
+            let mut shared = vec![0.0f64; values.len()];
+            for c in 0..ncols {
+                let col_best = values.iter().map(|(v, _)| v[c]).fold(f64::INFINITY, f64::min);
+                let threshold = col_best + share_margin;
+                let beatsum = values.iter().filter(|(v, _)| v[c] <= threshold).count();
+                if beatsum == 0 {
+                    continue;
+                }
+                let weight = 1.0 / beatsum as f64;
+                for (i, (v, _)) in values.iter().enumerate() {
+                    if v[c] <= threshold {
+                        shared[i] += weight;
+                    }
+                }
+            }
+            shared.into_iter().map(|s| -s).collect()
+        }
+    }
 }
 
 fn breed_ul<R: Rng + ?Sized>(

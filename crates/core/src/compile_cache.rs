@@ -69,8 +69,7 @@ impl GpCompileCache {
                 CompiledProgram::compile(expr, ps)
                     .expect("evolved trees are structurally valid"),
             );
-            self.compile_micros
-                .fetch_add(t0.elapsed().as_micros() as u64, Ordering::Relaxed);
+            self.compile_micros.fetch_add(t0.elapsed().as_micros() as u64, Ordering::Relaxed);
             program
         })
     }

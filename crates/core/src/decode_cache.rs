@@ -168,6 +168,24 @@ impl DecodeCache {
     pub fn stats(&self) -> CacheStats {
         self.inner.stats()
     }
+
+    /// Shield `key`'s outcome from FIFO eviction until
+    /// [`clear_pins`](Self::clear_pins). Pinning affects eviction order
+    /// only — never the outcome of a probe — so pinned runs stay
+    /// bit-identical to unpinned ones. No-op when the cache is disabled.
+    pub fn pin(&self, key: Box<[u64]>) {
+        self.inner.pin(key);
+    }
+
+    /// Drop every pin (entries stay resident, just evictable again).
+    pub fn clear_pins(&self) {
+        self.inner.clear_pins();
+    }
+
+    /// Number of currently pinned keys.
+    pub fn pinned_len(&self) -> usize {
+        self.inner.pinned_len()
+    }
 }
 
 #[cfg(test)]
@@ -226,6 +244,31 @@ mod tests {
         let (of, groups) = dedup_by_key(["a", "b", "a", "c", "b"].into_iter());
         assert_eq!(of, vec![0, 1, 0, 2, 1]);
         assert_eq!(groups, vec![(0, "a"), (1, "b"), (3, "c")]);
+    }
+
+    #[test]
+    fn pinned_outcomes_survive_fifo_churn() {
+        // The champion-row blind spot: under FIFO churn a hot row is
+        // evicted as readily as a cold one. Pinning shields it until the
+        // pins are cleared, after which it churns out normally.
+        let cache = DecodeCache::new(4);
+        let champ = cell_key(MODE_TREE, &[9], &[1.0]);
+        cache.get_or_decode(champ.clone(), || outcome(1.0));
+        cache.pin(champ.clone());
+        assert_eq!(cache.pinned_len(), 1);
+        for i in 0..32 {
+            cache.get_or_decode(cell_key(MODE_TREE, &[i], &[2.0]), || outcome(i as f64));
+        }
+        let (_, hit) = cache.get_or_decode(champ.clone(), || outcome(99.0));
+        assert!(hit, "pinned champion-row cell must survive eviction churn");
+
+        cache.clear_pins();
+        assert_eq!(cache.pinned_len(), 0);
+        for i in 100..140 {
+            cache.get_or_decode(cell_key(MODE_TREE, &[i], &[2.0]), || outcome(i as f64));
+        }
+        let (_, hit) = cache.get_or_decode(champ, || outcome(99.0));
+        assert!(!hit, "unpinned entries are evictable again");
     }
 
     #[test]

@@ -35,12 +35,14 @@ pub mod compile_cache;
 pub mod decode_cache;
 pub mod kkt;
 pub mod linear;
+pub mod maximin;
 pub mod multilevel;
 
-pub use carbon::{Carbon, CarbonConfig, CarbonResult};
+pub use carbon::{Carbon, CarbonConfig, CarbonResult, CoevStrategy};
 pub use carbon_weights::{CarbonWeights, CarbonWeightsResult};
 pub use compile_cache::GpCompileCache;
 pub use decode_cache::{DecodeCache, DecodeOutcome};
 pub use kkt::{solve_kkt, KktSolution};
 pub use linear::{program3, LinearBilevel, Reaction, TieBreak};
+pub use maximin::{BilinearProblem, MaximinCoev, MaximinConfig, MaximinResult};
 pub use multilevel::{trilevel_example, TriObjective, TriRow, TriSolution, TrilevelLinear};

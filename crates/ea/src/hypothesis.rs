@@ -86,6 +86,64 @@ pub fn mann_whitney_u(a: &[f64], b: &[f64]) -> Option<MannWhitney> {
     Some(MannWhitney { u, z, p_two_sided: p, a_shift: u_a - mean })
 }
 
+/// Summary statistics of a [`compare_run_sets`] comparison.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunSetComparison {
+    /// Mean of the `a` sample.
+    pub a_mean: f64,
+    /// Mean of the `b` sample.
+    pub b_mean: f64,
+    /// Median of the `a` sample.
+    pub a_median: f64,
+    /// Median of the `b` sample.
+    pub b_median: f64,
+    /// Mann–Whitney U outcome (`None` on degenerate samples).
+    pub test: Option<MannWhitney>,
+}
+
+fn median(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let mid = sorted.len() / 2;
+    if sorted.len() % 2 == 1 {
+        sorted[mid]
+    } else {
+        0.5 * (sorted[mid - 1] + sorted[mid])
+    }
+}
+
+fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Run a per-seed experiment over `n` seeds derived from `base` via
+/// [`seed_stream`](crate::seed_stream) — the multi-seed harness behind
+/// the pathology regression suite. Seeds are decorrelated (splitmix64
+/// streams), deterministic, and identical across strategies sharing the
+/// same `base`, so comparisons are paired at the seed level.
+pub fn seed_matrix(base: u64, n: usize, f: impl Fn(u64) -> f64) -> Vec<f64> {
+    (0..n).map(|i| f(crate::seed_stream(base, i as u64))).collect()
+}
+
+/// Compare two run sets: means, medians and the Mann–Whitney U test.
+/// Lower-is-better conventions are the caller's — the comparison only
+/// summarizes.
+pub fn compare_run_sets(a: &[f64], b: &[f64]) -> RunSetComparison {
+    RunSetComparison {
+        a_mean: mean(a),
+        b_mean: mean(b),
+        a_median: median(a),
+        b_median: median(b),
+        test: mann_whitney_u(a, b),
+    }
+}
+
 /// Standard normal CDF via the Abramowitz–Stegun erf approximation
 /// (absolute error < 1.5e-7 — plenty for reporting p-values).
 pub fn normal_cdf(x: f64) -> f64 {
@@ -162,6 +220,33 @@ mod tests {
         assert!(mann_whitney_u(&[1.0], &[]).is_none());
         // All identical: zero variance.
         assert!(mann_whitney_u(&[2.0, 2.0], &[2.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn seed_matrix_is_deterministic_and_decorrelated() {
+        let a = seed_matrix(7, 5, |s| s as f64);
+        let b = seed_matrix(7, 5, |s| s as f64);
+        assert_eq!(a, b, "same base, same seeds");
+        let c = seed_matrix(8, 5, |s| s as f64);
+        assert_ne!(a, c, "different base, different seeds");
+        let distinct: std::collections::HashSet<u64> = a.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(distinct.len(), 5, "streams must not collide");
+    }
+
+    #[test]
+    fn compare_run_sets_summarizes_both_sides() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [10.0, 20.0, 30.0];
+        let c = compare_run_sets(&a, &b);
+        assert!((c.a_mean - 2.5).abs() < 1e-12);
+        assert!((c.a_median - 2.5).abs() < 1e-12);
+        assert!((c.b_mean - 20.0).abs() < 1e-12);
+        assert!((c.b_median - 20.0).abs() < 1e-12);
+        let t = c.test.expect("non-degenerate samples");
+        assert!(t.a_shift < 0.0, "a is the smaller sample");
+        let empty = compare_run_sets(&[], &b);
+        assert!(empty.a_mean.is_nan() && empty.a_median.is_nan());
+        assert!(empty.test.is_none());
     }
 
     #[test]

@@ -33,7 +33,9 @@ pub mod stats;
 
 pub use archive::Archive;
 pub use cache::{CacheStats, ShardedCache, SolveCache};
-pub use hypothesis::{mann_whitney_u, MannWhitney};
+pub use hypothesis::{
+    compare_run_sets, mann_whitney_u, seed_matrix, MannWhitney, RunSetComparison,
+};
 pub use population::{evaluate_parallel, Individual};
 pub use real::{polynomial_mutation, sbx_crossover, RealOpsConfig};
 pub use rng::seed_stream;

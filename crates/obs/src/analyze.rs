@@ -178,7 +178,38 @@ pub struct Divergence {
 /// improvement) before the verdict trips.
 pub const DEFAULT_STAGNATION_WINDOW: u64 = 10;
 
-fn seesaw(records: &[TraceRecord]) -> SeesawVerdict {
+/// Typed detector thresholds for [`analyze_with`]. `Default` reproduces
+/// [`analyze`]'s historical behaviour exactly; the pathology regression
+/// suite tightens `seesaw_min_amplitude` to gate against amplitude
+/// regressions instead of mere nonzero oscillation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnalyzeConfig {
+    /// Generations without best-so-far gap improvement before
+    /// stagnation trips ([`DEFAULT_STAGNATION_WINDOW`]).
+    pub stagnation_window: u64,
+    /// Minimum sign flips (either level) for a see-saw verdict
+    /// (clamped to at least 1 — oscillation requires a reversal).
+    pub seesaw_min_flips: u64,
+    /// See-saw trips only when the combined amplitude strictly exceeds
+    /// this (0 = any nonzero oscillation).
+    pub seesaw_min_amplitude: f64,
+    /// Disengagement trips when the flat fraction strictly exceeds
+    /// this (0.5 = more than half of all comparisons flat).
+    pub disengagement_flat_fraction: f64,
+}
+
+impl Default for AnalyzeConfig {
+    fn default() -> Self {
+        AnalyzeConfig {
+            stagnation_window: DEFAULT_STAGNATION_WINDOW,
+            seesaw_min_flips: 1,
+            seesaw_min_amplitude: 0.0,
+            disengagement_flat_fraction: 0.5,
+        }
+    }
+}
+
+fn seesaw(records: &[TraceRecord], cfg: &AnalyzeConfig) -> SeesawVerdict {
     // Segment ObjectivePair samples by the improving level; keep each
     // segment's last (final) sample as the phase outcome.
     let mut outcomes: Vec<(crate::event::Level, f64, f64)> = Vec::new();
@@ -213,22 +244,22 @@ fn seesaw(records: &[TraceRecord]) -> SeesawVerdict {
             d.iter().map(|x| x.abs()).sum::<f64>() / d.len() as f64
         }
     };
-    let flips = |d: &[f64]| {
-        d.windows(2).filter(|w| w[0] * w[1] < 0.0).count() as u64
-    };
+    let flips = |d: &[f64]| d.windows(2).filter(|w| w[0] * w[1] < 0.0).count() as u64;
     let ul_amplitude = mean_abs(&ul_deltas);
     let ll_amplitude = mean_abs(&ll_deltas);
     let sign_flips = flips(&ul_deltas) + flips(&ll_deltas);
+    let amplitude = 0.5 * (ul_amplitude + ll_amplitude);
     SeesawVerdict {
         segments,
         ul_amplitude,
         ll_amplitude,
         sign_flips,
-        detected: sign_flips > 0 && (ul_amplitude > 0.0 || ll_amplitude > 0.0),
+        detected: sign_flips >= cfg.seesaw_min_flips.max(1)
+            && amplitude > cfg.seesaw_min_amplitude,
     }
 }
 
-fn disengagement(rows: &[GenerationRow]) -> DisengagementVerdict {
+fn disengagement(rows: &[GenerationRow], cfg: &AnalyzeConfig) -> DisengagementVerdict {
     let mut flat = 0u64;
     let mut longest = 0u64;
     let mut run = 0u64;
@@ -248,12 +279,15 @@ fn disengagement(rows: &[GenerationRow]) -> DisengagementVerdict {
     let comparisons = rows.len().saturating_sub(1) as u64;
     let flat_fraction =
         if comparisons == 0 { f64::NAN } else { flat as f64 / comparisons as f64 };
+    // `flat > fraction * comparisons` with fraction = 0.5 is exactly the
+    // historical `flat * 2 > comparisons` (0.5 * n is exact in f64).
     DisengagementVerdict {
         comparisons,
         flat,
         longest_flat: longest,
         flat_fraction,
-        detected: comparisons > 0 && flat * 2 > comparisons,
+        detected: comparisons > 0
+            && (flat as f64) > cfg.disengagement_flat_fraction * comparisons as f64,
     }
 }
 
@@ -287,10 +321,18 @@ fn stagnation(rows: &[GenerationRow], window: u64) -> StagnationVerdict {
     }
 }
 
-/// Analyze one parsed trace. `stagnation_window` is the plateau length
-/// (generations) after which stagnation is flagged
-/// ([`DEFAULT_STAGNATION_WINDOW`] when in doubt).
+/// Analyze one parsed trace with default detector thresholds.
+/// `stagnation_window` is the plateau length (generations) after which
+/// stagnation is flagged ([`DEFAULT_STAGNATION_WINDOW`] when in doubt).
+///
+/// Equivalent to [`analyze_with`] with a default [`AnalyzeConfig`]
+/// carrying `stagnation_window`.
 pub fn analyze(records: &[TraceRecord], stagnation_window: u64) -> TraceAnalysis {
+    analyze_with(records, &AnalyzeConfig { stagnation_window, ..AnalyzeConfig::default() })
+}
+
+/// Analyze one parsed trace with explicit detector thresholds.
+pub fn analyze_with(records: &[TraceRecord], cfg: &AnalyzeConfig) -> TraceAnalysis {
     let mut algo = String::new();
     let mut seed = 0u64;
     let mut generations: Vec<GenerationRow> = Vec::new();
@@ -329,15 +371,16 @@ pub fn analyze(records: &[TraceRecord], stagnation_window: u64) -> TraceAnalysis
         };
     };
 
-    let close_phase = |open: &mut Option<(String, u64)>, t_ms: u64, phases: &mut Vec<(String, u64, u64)>| {
-        if let Some((name, since)) = open.take() {
-            let elapsed = t_ms.saturating_sub(since);
-            match phases.iter_mut().find(|(n, _, _)| *n == name) {
-                Some((_, ms, _)) => *ms += elapsed,
-                None => unreachable!("phase rows are created on entry"),
+    let close_phase =
+        |open: &mut Option<(String, u64)>, t_ms: u64, phases: &mut Vec<(String, u64, u64)>| {
+            if let Some((name, since)) = open.take() {
+                let elapsed = t_ms.saturating_sub(since);
+                match phases.iter_mut().find(|(n, _, _)| *n == name) {
+                    Some((_, ms, _)) => *ms += elapsed,
+                    None => unreachable!("phase rows are created on entry"),
+                }
             }
-        }
-    };
+        };
 
     for r in records {
         match &r.event {
@@ -397,9 +440,9 @@ pub fn analyze(records: &[TraceRecord], stagnation_window: u64) -> TraceAnalysis
         events: records.len() as u64,
         algo,
         seed,
-        seesaw: seesaw(records),
-        disengagement: disengagement(&generations),
-        stagnation: stagnation(&generations, stagnation_window),
+        seesaw: seesaw(records, cfg),
+        disengagement: disengagement(&generations, cfg),
+        stagnation: stagnation(&generations, cfg.stagnation_window),
         generations,
         phases: phases
             .into_iter()
@@ -450,7 +493,16 @@ mod tests {
             rec(0, 0, OwnedEvent::RunStart { algo: "carbon".into(), seed: 9 }),
             rec(1, 1, OwnedEvent::LowerLevelSolve { solves: 10, pivots: 50, micros: 80 }),
             rec(2, 1, OwnedEvent::CacheProbe { hits: 4, misses: 6, evictions: 0, entries: 6 }),
-            rec(3, 2, OwnedEvent::Evaluation { level: Level::Lower, count: 10, gp_nodes: 90, micros: 30 }),
+            rec(
+                3,
+                2,
+                OwnedEvent::Evaluation {
+                    level: Level::Lower,
+                    count: 10,
+                    gp_nodes: 90,
+                    micros: 30,
+                },
+            ),
             rec(4, 3, gen_end(0, 100.0, 5.0)),
             rec(5, 4, OwnedEvent::CacheProbe { hits: 9, misses: 1, evictions: 0, entries: 7 }),
             rec(6, 5, gen_end(1, 101.0, 4.0)),
@@ -499,23 +551,64 @@ mod tests {
         // Upper improves (+10), then lower drags it back (−8), then
         // upper again (+9): classic see-saw.
         let records = vec![
-            rec(0, 0, OwnedEvent::ObjectivePair { level: Level::Upper, ul_value: 100.0, ll_value: 50.0 }),
-            rec(1, 1, OwnedEvent::ObjectivePair { level: Level::Upper, ul_value: 110.0, ll_value: 50.0 }),
-            rec(2, 2, OwnedEvent::ObjectivePair { level: Level::Lower, ul_value: 102.0, ll_value: 60.0 }),
-            rec(3, 3, OwnedEvent::ObjectivePair { level: Level::Upper, ul_value: 111.0, ll_value: 58.0 }),
+            rec(
+                0,
+                0,
+                OwnedEvent::ObjectivePair {
+                    level: Level::Upper,
+                    ul_value: 100.0,
+                    ll_value: 50.0,
+                },
+            ),
+            rec(
+                1,
+                1,
+                OwnedEvent::ObjectivePair {
+                    level: Level::Upper,
+                    ul_value: 110.0,
+                    ll_value: 50.0,
+                },
+            ),
+            rec(
+                2,
+                2,
+                OwnedEvent::ObjectivePair {
+                    level: Level::Lower,
+                    ul_value: 102.0,
+                    ll_value: 60.0,
+                },
+            ),
+            rec(
+                3,
+                3,
+                OwnedEvent::ObjectivePair {
+                    level: Level::Upper,
+                    ul_value: 111.0,
+                    ll_value: 58.0,
+                },
+            ),
         ];
-        let v = seesaw(&records);
+        let v = seesaw(&records, &AnalyzeConfig::default());
         assert_eq!(v.segments, 3, "intra-segment samples collapse to the last");
         assert!(v.detected);
         assert!(v.sign_flips >= 1);
         // Deltas are −8 and +9 → mean |Δ| = 8.5.
         assert!((v.ul_amplitude - 8.5).abs() < 1e-12);
         assert!(v.amplitude().is_finite() && v.amplitude() > 0.0);
+
+        // Tightened thresholds suppress the verdict without changing
+        // the measurements.
+        let strict = AnalyzeConfig { seesaw_min_amplitude: 100.0, ..AnalyzeConfig::default() };
+        let quiet = seesaw(&records, &strict);
+        assert!(!quiet.detected);
+        assert_eq!(quiet.ul_amplitude, v.ul_amplitude);
+        let many_flips = AnalyzeConfig { seesaw_min_flips: 50, ..AnalyzeConfig::default() };
+        assert!(!seesaw(&records, &many_flips).detected);
     }
 
     #[test]
     fn seesaw_on_empty_trace_is_finite_and_undetected() {
-        let v = seesaw(&[]);
+        let v = seesaw(&[], &AnalyzeConfig::default());
         assert!(!v.detected);
         assert_eq!(v.segments, 0);
         assert!(v.amplitude().is_finite());
@@ -535,6 +628,17 @@ mod tests {
         assert_eq!(d.flat, 3, "gens 0→1, 1→2 and 3→4 are flat");
         assert_eq!(d.longest_flat, 2);
         assert!(d.detected, "3/4 flat comparisons is disengaged");
+
+        // A laxer threshold tolerates the same trace; defaults are
+        // exactly what `analyze` uses.
+        let lax =
+            AnalyzeConfig { disengagement_flat_fraction: 0.9, ..AnalyzeConfig::default() };
+        assert!(!analyze_with(&rows, &lax).disengagement.detected);
+        assert_eq!(
+            analyze_with(&rows, &AnalyzeConfig::default()),
+            analyze(&rows, DEFAULT_STAGNATION_WINDOW),
+            "analyze is analyze_with at defaults"
+        );
     }
 
     #[test]
@@ -576,8 +680,10 @@ mod tests {
 
     #[test]
     fn diff_reports_length_mismatch_as_divergence() {
-        let a = parse_trace("{\"event\":\"GenerationStart\",\"seq\":0,\"t_ms\":0,\"generation\":0}\n")
-            .unwrap();
+        let a = parse_trace(
+            "{\"event\":\"GenerationStart\",\"seq\":0,\"t_ms\":0,\"generation\":0}\n",
+        )
+        .unwrap();
         let d = diff(&a, &[]).expect("length mismatch diverges");
         assert_eq!(d.index, 0);
         assert!(d.left.is_some() && d.right.is_none());

@@ -51,6 +51,9 @@ pub mod sinks;
 pub mod stats;
 pub mod trace;
 
+pub use analyze::{
+    analyze, analyze_with, AnalyzeConfig, TraceAnalysis, DEFAULT_STAGNATION_WINDOW,
+};
 pub use event::{Event, Level};
 pub use hist::Histogram;
 pub use observer::{elapsed_micros, timer_if, NullObserver, Observers, RunObserver};

@@ -148,9 +148,13 @@ impl OwnedEvent {
             OwnedEvent::CacheProbe { hits, misses, evictions, entries } => {
                 Event::CacheProbe { hits, misses, evictions, entries }
             }
-            OwnedEvent::CompileCacheProbe { hits, misses, evictions, entries, compile_micros } => {
-                Event::CompileCacheProbe { hits, misses, evictions, entries, compile_micros }
-            }
+            OwnedEvent::CompileCacheProbe {
+                hits,
+                misses,
+                evictions,
+                entries,
+                compile_micros,
+            } => Event::CompileCacheProbe { hits, misses, evictions, entries, compile_micros },
             OwnedEvent::DecodeCacheProbe { hits, misses, evictions, entries } => {
                 Event::DecodeCacheProbe { hits, misses, evictions, entries }
             }
@@ -357,8 +361,7 @@ pub fn parse_trace(text: &str) -> Result<Vec<TraceRecord>, String> {
         if line.trim().is_empty() {
             continue;
         }
-        let record =
-            parse_line(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        let record = parse_line(line).map_err(|e| format!("line {}: {e}", i + 1))?;
         records.push(record);
     }
     Ok(records)
@@ -420,9 +423,12 @@ mod tests {
 
     #[test]
     fn semantic_key_ignores_timing_payloads() {
-        let a = OwnedEvent::Evaluation { level: Level::Lower, count: 5, gp_nodes: 9, micros: 11 };
-        let b = OwnedEvent::Evaluation { level: Level::Lower, count: 5, gp_nodes: 9, micros: 99 };
-        let c = OwnedEvent::Evaluation { level: Level::Lower, count: 6, gp_nodes: 9, micros: 11 };
+        let a =
+            OwnedEvent::Evaluation { level: Level::Lower, count: 5, gp_nodes: 9, micros: 11 };
+        let b =
+            OwnedEvent::Evaluation { level: Level::Lower, count: 5, gp_nodes: 9, micros: 99 };
+        let c =
+            OwnedEvent::Evaluation { level: Level::Lower, count: 6, gp_nodes: 9, micros: 11 };
         assert_eq!(a.semantic_key(), b.semantic_key());
         assert_ne!(a.semantic_key(), c.semantic_key());
     }

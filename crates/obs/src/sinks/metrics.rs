@@ -428,7 +428,12 @@ mod tests {
     fn counters_aggregate() {
         let sink = MetricsSink::new();
         sink.observe(&Event::RunStart { algo: "carbon", seed: 1 });
-        sink.observe(&Event::Evaluation { level: Level::Upper, count: 10, gp_nodes: 0, micros: 0 });
+        sink.observe(&Event::Evaluation {
+            level: Level::Upper,
+            count: 10,
+            gp_nodes: 0,
+            micros: 0,
+        });
         sink.observe(&Event::Evaluation {
             level: Level::Lower,
             count: 20,
@@ -510,7 +515,11 @@ mod tests {
                             gp_nodes: 7,
                             micros: 1,
                         });
-                        sink.observe(&Event::LowerLevelSolve { solves: 1, pivots: 2, micros: 1 });
+                        sink.observe(&Event::LowerLevelSolve {
+                            solves: 1,
+                            pivots: 2,
+                            micros: 1,
+                        });
                     }
                 });
             }
@@ -567,7 +576,12 @@ mod tests {
     fn report_json_is_valid_and_complete() {
         let sink = MetricsSink::new();
         sink.observe(&Event::PhaseChange { phase: "relaxation" });
-        sink.observe(&Event::Evaluation { level: Level::Upper, count: 4, gp_nodes: 0, micros: 9 });
+        sink.observe(&Event::Evaluation {
+            level: Level::Upper,
+            count: 4,
+            gp_nodes: 0,
+            micros: 9,
+        });
         sink.observe(&Event::RunComplete {
             generations: 1,
             ul_evaluations: 4,

@@ -101,8 +101,18 @@ pub fn render(m: &RunMetrics) -> String {
         "counter",
         "Fitness evaluations by population level.",
     );
-    push_sample(&mut out, "bico_evaluations_total", &[("level", "upper")], m.ul_evaluations as f64);
-    push_sample(&mut out, "bico_evaluations_total", &[("level", "lower")], m.ll_evaluations as f64);
+    push_sample(
+        &mut out,
+        "bico_evaluations_total",
+        &[("level", "upper")],
+        m.ul_evaluations as f64,
+    );
+    push_sample(
+        &mut out,
+        "bico_evaluations_total",
+        &[("level", "lower")],
+        m.ll_evaluations as f64,
+    );
 
     push_header(&mut out, "bico_gp_node_evals_total", "counter", "GP tree nodes evaluated.");
     push_sample(&mut out, "bico_gp_node_evals_total", &[], m.gp_node_evals as f64);
@@ -191,7 +201,12 @@ pub fn render(m: &RunMetrics) -> String {
         );
     }
 
-    push_header(&mut out, "bico_wall_seconds", "gauge", "Seconds since the metrics sink was created.");
+    push_header(
+        &mut out,
+        "bico_wall_seconds",
+        "gauge",
+        "Seconds since the metrics sink was created.",
+    );
     push_sample(&mut out, "bico_wall_seconds", &[], m.wall_seconds);
 
     let g = &m.generation_seconds;
@@ -338,8 +353,7 @@ mod tests {
         h.record(40.0); // lands beyond the largest finite bound? (2^26 µs ≈ 67 s, so no)
         let mut out = String::new();
         push_histogram(&mut out, "bico_test_seconds", "test", &h);
-        let infs: Vec<&str> =
-            out.lines().filter(|l| l.contains("le=\"+Inf\"")).collect();
+        let infs: Vec<&str> = out.lines().filter(|l| l.contains("le=\"+Inf\"")).collect();
         assert_eq!(infs.len(), 1);
         assert!(infs[0].ends_with(" 3"));
         let mut prev = 0.0;

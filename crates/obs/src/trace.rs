@@ -177,7 +177,12 @@ mod tests {
             ul_best: 7.0,
             gap_best: 2.0,
         });
-        sink.observe(&Event::Evaluation { level: Level::Upper, count: 20, gp_nodes: 0, micros: 0 });
+        sink.observe(&Event::Evaluation {
+            level: Level::Upper,
+            count: 20,
+            gp_nodes: 0,
+            micros: 0,
+        });
         sink.observe(&Event::GenerationEnd {
             generation: 1,
             evaluations: 80,

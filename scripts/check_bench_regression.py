@@ -22,16 +22,45 @@ TRACKED = [
      lambda r: r.get("decode_cache", {}).get("memo_ms_per_pass")),
     ("decode_cache.ref_ms_per_pass",
      lambda r: r.get("decode_cache", {}).get("ref_ms_per_pass")),
+    # The shared-fitness strategy's mean distance from the known maximin
+    # equilibrium: drifting upward means the competitive sharing rule is
+    # losing its convergence guarantee on the provable substrate.
+    ("maximin.shared_equilibrium_error",
+     lambda r: r.get("maximin", {}).get("shared_equilibrium_error")),
 ]
 
 # Higher is better: a drop beyond the threshold is the regression. The
 # decode-cache hit rate is the lever behind memo_ms_per_pass — a change
 # that silently stops hitting (key drift, eviction bug) can keep ms/pass
-# acceptable on a small bench while destroying it at paper scale.
+# acceptable on a small bench while destroying it at paper scale. The
+# plain see-saw amplitude is the pathology suite's canary: if plain
+# predator-prey scoring stops cycling on the bilinear substrate, the
+# regression suite's "plain fails, shared/hof converge" contrast tests
+# nothing.
 TRACKED_HIGHER = [
     ("decode_cache.hit_rate",
      lambda r: r.get("decode_cache", {}).get("hit_rate")),
+    ("maximin.plain_seesaw_amplitude",
+     lambda r: r.get("maximin", {}).get("plain_seesaw_amplitude")),
 ]
+
+
+def absolute_checks(current) -> bool:
+    """Baseline-free invariants of the current report. Returns True when
+    every present metric satisfies its bound (absent metrics only warn —
+    older reports predate the maximin block)."""
+    ok = True
+    amplitude = current.get("maximin", {}).get("plain_seesaw_amplitude")
+    if amplitude is None:
+        print("::warning::maximin.plain_seesaw_amplitude missing; skipped")
+    elif amplitude <= 0:
+        print(f"maximin.plain_seesaw_amplitude = {amplitude}: plain "
+              "scoring must keep a strictly positive see-saw amplitude "
+              "on the bilinear substrate FAILED")
+        ok = False
+    else:
+        print(f"maximin.plain_seesaw_amplitude = {amplitude:.4f} > 0 ok")
+    return ok
 
 
 def main() -> int:
@@ -45,26 +74,30 @@ def main() -> int:
     baseline_path, current_path = args[0], args[1]
 
     try:
-        with open(baseline_path) as f:
-            baseline = json.load(f)
-    except (OSError, ValueError) as e:
-        print(f"::warning::no usable bench baseline at {baseline_path} ({e}); "
-              "skipping regression gate")
-        return 0
-    try:
         with open(current_path) as f:
             current = json.load(f)
     except (OSError, ValueError) as e:
         print(f"current bench report {current_path} unreadable: {e}")
         return 1
 
+    # Absolute invariants gate even without a baseline.
+    absolute_ok = absolute_checks(current)
+
+    try:
+        with open(baseline_path) as f:
+            baseline = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"::warning::no usable bench baseline at {baseline_path} ({e}); "
+              "skipping relative regression gate")
+        return 0 if absolute_ok else 1
+
     if baseline.get("reduced") != current.get("reduced") or \
             baseline.get("instance_class") != current.get("instance_class"):
         print("::warning::baseline and current reports measure different "
-              "workloads; skipping regression gate")
-        return 0
+              "workloads; skipping relative regression gate")
+        return 0 if absolute_ok else 1
 
-    failed = False
+    failed = not absolute_ok
     for name, get in TRACKED:
         base, cur = get(baseline), get(current)
         if base is None or cur is None or base <= 0:
@@ -72,7 +105,7 @@ def main() -> int:
             continue
         change = (cur - base) / base
         status = "REGRESSION" if change > threshold else "ok"
-        print(f"{name}: {base:.4f} -> {cur:.4f} ms/pass "
+        print(f"{name}: {base:.4f} -> {cur:.4f} "
               f"({change:+.1%}, limit +{threshold:.0%}) {status}")
         if change > threshold:
             failed = True

@@ -3,9 +3,13 @@
 //! ```text
 //! bico generate  --bundles 100 --services 10 --seed 42 [--tightness 0.25] [--out inst.bcpop]
 //! bico run       carbon|cobra|nested [--instance F | --class 100x10] [--seed S]
-//!                [--evals N] [--pop P] [--heuristic-out h.sexpr]
+//!                [--evals N] [--pop P] [--strategy plain|shared|hof]
+//!                [--share-margin M] [--heuristic-out h.sexpr]
 //!                [--trace-out run.jsonl] [--metrics-out metrics.json]
 //!                [--prom-out metrics.prom] [--log-level info]
+//! bico run       maximin [--dim D] [--gens G] [--pop P] [--seed S]
+//!                [--strategy plain|shared|hof] [--win-margin M]
+//!                [--trace-out run.jsonl]
 //! bico compare   [--class 100x10] [--runs R] [--seed S] [--evals N] [--pop P]
 //!                [--trace-out run.jsonl] [--metrics-out metrics.json]
 //!                [--prom-out metrics.prom] [--log-level info]
@@ -20,11 +24,14 @@ use bico::bcpop::{
     GpScorer, RelaxationSolver,
 };
 use bico::cobra::{Cobra, CobraConfig, NestedConfig, NestedSequential};
-use bico::core::{program3, solve_kkt, Carbon, CarbonConfig, TieBreak};
+use bico::core::{
+    program3, solve_kkt, BilinearProblem, Carbon, CarbonConfig, CoevStrategy, MaximinCoev,
+    MaximinConfig, TieBreak,
+};
 use bico::ea::hypothesis::mann_whitney_u;
 use bico::gp::{parse_sexpr, to_sexpr};
 use bico::obs::{
-    JsonlSink, LogLevel, MetricsSink, Observers, PrometheusSink, ProgressSink, RunObserver,
+    JsonlSink, LogLevel, MetricsSink, Observers, ProgressSink, PrometheusSink, RunObserver,
 };
 use bico::trace_cmd::{self, TraceArgs};
 use std::process::exit;
@@ -60,10 +67,14 @@ fn usage() {
 USAGE:
   bico generate --bundles N --services M [--seed S] [--tightness T] [--own F] [--out FILE]
   bico run <carbon|cobra|nested> [--instance FILE | --class NxM] [--seed S]
-           [--evals N] [--pop P] [--ll-cache-capacity C] [--compiled-eval BOOL]
+           [--evals N] [--pop P] [--strategy plain|shared|hof] [--share-margin M]
+           [--ll-cache-capacity C] [--compiled-eval BOOL]
            [--gp-compile-cache BOOL] [--decode-cache BOOL] [--heuristic-out FILE]
            [--trace-out FILE.jsonl] [--metrics-out FILE.json] [--prom-out FILE.prom]
            [--log-level LEVEL]
+  bico run maximin [--dim D] [--gens G] [--pop P] [--seed S]
+           [--strategy plain|shared|hof] [--win-margin M]
+           [--trace-out FILE.jsonl] [--metrics-out FILE.json] [--log-level LEVEL]
   bico compare [--class NxM] [--runs R] [--seed S] [--evals N] [--pop P]
            [--ll-cache-capacity C] [--compiled-eval BOOL] [--gp-compile-cache BOOL]
            [--decode-cache BOOL]
@@ -109,7 +120,19 @@ generation's fitness phases as a deduplicated (scorer x pricing)
 evaluation matrix and memoizes full lower-level decode outcomes across
 generations by the exact (tree structure, pricing bits, mode) key.
 Results are bit-identical with the cache on or off; hit/miss counts
-appear as DecodeCacheProbe events and in the metrics report."
+appear as DecodeCacheProbe events and in the metrics report.
+
+--strategy plain|shared|hof (CARBON and maximin) selects the
+co-evolution strategy: plain predator-prey scoring, competitive fitness
+sharing (credit split among the scorers that beat a per-column
+threshold; --share-margin widens it), or hall-of-fame opponent sampling
+from the archive of past champions.
+
+bico run maximin evolves leader vs adversary on a synthetic bilinear
+maximin game whose equilibrium (and game value) are known in closed
+form: plain scoring provably cycles there, shared/hof converge; the
+printed equilibrium error is the exact distance from the maximin value.
+Traces feed the same bico trace pathology detectors as CARBON runs."
     );
 }
 
@@ -261,11 +284,66 @@ fn cmd_generate(args: &[String]) {
     }
 }
 
+/// `--strategy plain|shared|hof` → the co-evolution strategy (exits
+/// with the parse error on an unknown name).
+fn strategy_of(args: &[String]) -> CoevStrategy {
+    match opt(args, "--strategy") {
+        Some(v) => v.parse().unwrap_or_else(|e| {
+            eprintln!("{e}");
+            exit(2);
+        }),
+        None => CoevStrategy::default(),
+    }
+}
+
+/// `bico run maximin`: the bilinear maximin substrate with a known
+/// equilibrium, for watching the co-evolution strategies converge (or
+/// provably cycle, for plain predator–prey scoring).
+fn cmd_run_maximin(args: &[String]) {
+    let dim = opt_parse(args, "--dim", 2usize);
+    let seed = opt_parse(args, "--seed", 1u64);
+    let strategy = strategy_of(args);
+    let cfg = MaximinConfig {
+        pop_size: opt_parse(args, "--pop", MaximinConfig::default().pop_size),
+        generations: opt_parse(args, "--gens", MaximinConfig::default().generations),
+        strategy,
+        win_margin: opt_parse(
+            args,
+            "--win-margin",
+            opt_parse(args, "--share-margin", MaximinConfig::default().win_margin),
+        ),
+        ..Default::default()
+    };
+    let obs = obs_setup(args);
+    let problem = BilinearProblem::symmetric(dim);
+    eprintln!(
+        "maximin (bilinear dim {dim}, value {}), strategy {}, pop {}, gens {}, seed {seed}",
+        problem.equilibrium_value(),
+        strategy.as_str(),
+        cfg.pop_size,
+        cfg.generations,
+    );
+    let r = MaximinCoev::new(problem, cfg).run_observed(seed, &obs.observers);
+    println!("generations        {}", r.generations);
+    println!("evaluations        {}", r.evaluations);
+    println!("champion payoff    {:.6}", r.champion_payoff);
+    println!("equilibrium error  {:.6}", r.equilibrium_error);
+    println!(
+        "best x             [{}]",
+        r.best_x.iter().map(|v| format!("{v:.4}")).collect::<Vec<_>>().join(", ")
+    );
+    obs.finish();
+}
+
 fn cmd_run(args: &[String]) {
     let Some(algo) = args.first() else {
-        eprintln!("run: missing algorithm (carbon|cobra|nested)");
+        eprintln!("run: missing algorithm (carbon|cobra|nested|maximin)");
         exit(2);
     };
+    // The maximin substrate is synthetic — no BCPOP instance to load.
+    if algo == "maximin" || opt(args, "--substrate").as_deref() == Some("maximin") {
+        return cmd_run_maximin(&args[1..]);
+    }
     let inst = load_instance(args);
     let seed = opt_parse(args, "--seed", 1u64);
     let evals = opt_parse(args, "--evals", 4_000u64);
@@ -296,6 +374,12 @@ fn cmd_run(args: &[String]) {
                 gp_compile_cache_capacity,
                 eval_matrix,
                 decode_cache_capacity,
+                coev_strategy: strategy_of(args),
+                share_margin: opt_parse(
+                    args,
+                    "--share-margin",
+                    CarbonConfig::default().share_margin,
+                ),
                 ..Default::default()
             };
             let solver = Carbon::new(&inst, cfg);

@@ -13,7 +13,7 @@
 //! the JSON form is what the CI determinism smoke check consumes.
 
 use bico_obs::analyze::{
-    analyze, diff, Divergence, TraceAnalysis, DEFAULT_STAGNATION_WINDOW,
+    analyze_with, diff, AnalyzeConfig, Divergence, TraceAnalysis, DEFAULT_STAGNATION_WINDOW,
 };
 use bico_obs::json::{push_f64_field, push_str_field, push_string, push_u64_field};
 use bico_obs::replay::parse_trace;
@@ -63,15 +63,17 @@ pub fn build_report(args: &TraceArgs) -> Result<TraceReport, String> {
     }
     let mut parsed = Vec::new();
     for path in &args.paths {
-        let text = std::fs::read_to_string(path)
-            .map_err(|e| format!("cannot read {path}: {e}"))?;
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
         let records = parse_trace(&text).map_err(|e| format!("{path}: {e}"))?;
         parsed.push((path.clone(), records));
     }
     let divergence = (parsed.len() == 2).then(|| diff(&parsed[0].1, &parsed[1].1));
+    let cfg =
+        AnalyzeConfig { stagnation_window: args.stagnation_window, ..AnalyzeConfig::default() };
     let analyses = parsed
         .into_iter()
-        .map(|(path, records)| (path, analyze(&records, args.stagnation_window)))
+        .map(|(path, records)| (path, analyze_with(&records, &cfg)))
         .collect();
     Ok(TraceReport { analyses, divergence })
 }
@@ -190,15 +192,16 @@ fn render_human(report: &TraceReport, max_rows: usize) -> String {
             );
             // Elide the middle of long runs: head + tail around a marker.
             let n = a.generations.len();
-            let (head, tail) = if n <= max_rows {
-                (n, 0)
-            } else {
-                (max_rows / 2, max_rows - max_rows / 2)
-            };
+            let (head, tail) =
+                if n <= max_rows { (n, 0) } else { (max_rows / 2, max_rows - max_rows / 2) };
             for (i, g) in a.generations.iter().enumerate() {
                 if i >= head && i < n - tail {
                     if i == head {
-                        let _ = writeln!(out, "  {:>5}", format!("… {} rows elided …", n - head - tail));
+                        let _ = writeln!(
+                            out,
+                            "  {:>5}",
+                            format!("… {} rows elided …", n - head - tail)
+                        );
                     }
                     continue;
                 }
@@ -256,8 +259,16 @@ fn render_human(report: &TraceReport, max_rows: usize) -> String {
         }
         Some(Some(d)) => {
             let _ = writeln!(out, "divergence: first at event index {}", d.index);
-            let _ = writeln!(out, "  left:  {}", d.left.as_deref().unwrap_or("<past end of trace>"));
-            let _ = writeln!(out, "  right: {}", d.right.as_deref().unwrap_or("<past end of trace>"));
+            let _ = writeln!(
+                out,
+                "  left:  {}",
+                d.left.as_deref().unwrap_or("<past end of trace>")
+            );
+            let _ = writeln!(
+                out,
+                "  right: {}",
+                d.right.as_deref().unwrap_or("<past end of trace>")
+            );
         }
     }
     out
@@ -299,8 +310,7 @@ mod tests {
     fn json_report_has_verdicts_and_null_divergence_for_equal_traces() {
         let a = write_trace("bico_trace_cmd_a.jsonl", SMALL);
         let b = write_trace("bico_trace_cmd_b.jsonl", SMALL);
-        let args =
-            TraceArgs { paths: vec![a, b], json: true, ..TraceArgs::default() };
+        let args = TraceArgs { paths: vec![a, b], json: true, ..TraceArgs::default() };
         let report = build_report(&args).unwrap();
         let out = render(&report, &args);
         let v = parse(out.trim()).expect("JSON output must parse");
@@ -325,14 +335,14 @@ mod tests {
     #[test]
     fn divergent_traces_report_first_index() {
         let a = write_trace("bico_trace_cmd_c.jsonl", SMALL);
-        let b = write_trace(
-            "bico_trace_cmd_d.jsonl",
-            &SMALL.replace("\"seed\":7", "\"seed\":8"),
-        );
-        let args =
-            TraceArgs { paths: vec![a, b], json: true, ..TraceArgs::default() };
+        let b =
+            write_trace("bico_trace_cmd_d.jsonl", &SMALL.replace("\"seed\":7", "\"seed\":8"));
+        let args = TraceArgs { paths: vec![a, b], json: true, ..TraceArgs::default() };
         let out = render(&build_report(&args).unwrap(), &args);
-        assert!(out.contains("\"divergence\":{\"index\":0"), "seed change diverges at event 0:\n{out}");
+        assert!(
+            out.contains("\"divergence\":{\"index\":0"),
+            "seed change diverges at event 0:\n{out}"
+        );
     }
 
     #[test]

@@ -1,0 +1,192 @@
+//! Property tests for the `obs::analyze` pathology detectors.
+//!
+//! Each detector has a *target pathology*; these tests generate
+//! synthetic traces exhibiting exactly one pathology and assert the
+//! matching detector fires while the other two stay quiet:
+//!
+//! * a pure see-saw (objectives alternate around a midpoint while the
+//!   gap keeps improving) trips only the see-saw verdict;
+//! * a hard plateau (bit-identical bests in runs shorter than the
+//!   stagnation window) trips only disengagement;
+//! * a long no-improvement window with churning bests trips only
+//!   stagnation;
+//! * monotone convergence trips nothing.
+//!
+//! A golden JSON report fixture (`tests/golden/trace_report.json`) pins
+//! the `bico trace --json` rendering of a fixed synthetic trace so the
+//! schema the CI determinism smoke check consumes cannot drift
+//! silently.
+
+use bico::obs::analyze::{analyze, DEFAULT_STAGNATION_WINDOW};
+use bico::obs::replay::{OwnedEvent, TraceRecord};
+use bico::obs::Level;
+use bico::trace_cmd::{render, TraceArgs, TraceReport};
+use proptest::prelude::*;
+
+fn rec(seq: u64, event: OwnedEvent) -> TraceRecord {
+    TraceRecord { seq, t_ms: seq, tag: None, event }
+}
+
+fn gen_end(generation: u64, ul_best: f64, gap_best: f64) -> OwnedEvent {
+    OwnedEvent::GenerationEnd {
+        generation,
+        evaluations: 8 * (generation + 1),
+        ul_best,
+        gap_best,
+    }
+}
+
+/// Pure see-saw: `ObjectivePair` outcomes alternate `+amp, −amp` across
+/// improvement segments (sign flips every step) while the per-generation
+/// bests keep strictly improving, so neither plateau detector has
+/// anything to see.
+fn seesaw_trace(segments: usize, amp: f64) -> Vec<TraceRecord> {
+    let mut records = vec![rec(0, OwnedEvent::RunStart { algo: "synthetic".into(), seed: 1 })];
+    for i in 0..segments {
+        let level = if i % 2 == 0 { Level::Upper } else { Level::Lower };
+        let v = if i % 2 == 0 { amp } else { -amp };
+        records.push(rec(
+            records.len() as u64,
+            OwnedEvent::ObjectivePair { level, ul_value: v, ll_value: v },
+        ));
+        records.push(rec(
+            records.len() as u64,
+            gen_end(i as u64, 100.0 + i as f64, 1000.0 - i as f64),
+        ));
+    }
+    records
+}
+
+/// Hard plateau: blocks of `flat_run` bit-identical bests separated by
+/// one genuine improvement, keeping every no-improvement run strictly
+/// shorter than the stagnation window. No `ObjectivePair`s at all.
+fn plateau_trace(flat_run: usize, blocks: usize) -> Vec<TraceRecord> {
+    let mut records = Vec::new();
+    let mut generation = 0u64;
+    for b in 0..blocks {
+        let gap = 100.0 - b as f64; // improves once per block
+        let ul = 10.0 + b as f64;
+        for _ in 0..=flat_run {
+            records.push(rec(generation, gen_end(generation, ul, gap)));
+            generation += 1;
+        }
+    }
+    records
+}
+
+/// Stagnation only: the best-so-far gap never improves for the whole
+/// tail, but the upper-level best churns every generation so no
+/// comparison is flat.
+fn stagnation_trace(rows: usize) -> Vec<TraceRecord> {
+    (0..rows)
+        .map(|i| {
+            let gap = if i == 0 { 5.0 } else { 5.0 + (1 + i % 3) as f64 * 0.25 };
+            rec(i as u64, gen_end(i as u64, i as f64, gap))
+        })
+        .collect()
+}
+
+/// Monotone convergence: objectives move in one direction (no sign
+/// flips), gaps strictly improve, bests keep changing.
+fn convergence_trace(rows: usize) -> Vec<TraceRecord> {
+    let mut records = Vec::new();
+    for i in 0..rows {
+        let level = if i % 2 == 0 { Level::Upper } else { Level::Lower };
+        records.push(rec(
+            records.len() as u64,
+            OwnedEvent::ObjectivePair { level, ul_value: i as f64, ll_value: 2.0 * i as f64 },
+        ));
+        records.push(rec(
+            records.len() as u64,
+            gen_end(i as u64, 100.0 + i as f64, 50.0 - i as f64),
+        ));
+    }
+    records
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn seesaw_fires_only_on_the_seesaw_trace(
+        segments in 4usize..40,
+        amp in 0.01f64..1e6,
+    ) {
+        let a = analyze(&seesaw_trace(segments, amp), DEFAULT_STAGNATION_WINDOW);
+        prop_assert!(a.seesaw.detected);
+        prop_assert!(a.seesaw.sign_flips > 0);
+        // Outcomes alternate ±amp, so every delta has magnitude 2·amp.
+        prop_assert!((a.seesaw.amplitude() - 2.0 * amp).abs() <= 1e-9 * amp);
+        prop_assert!(!a.disengagement.detected);
+        prop_assert!(!a.stagnation.detected);
+    }
+
+    #[test]
+    fn disengagement_fires_only_on_the_plateau_trace(
+        flat_run in 2usize..9, // < DEFAULT_STAGNATION_WINDOW, > half flat
+        blocks in 2usize..6,
+    ) {
+        let a = analyze(&plateau_trace(flat_run, blocks), DEFAULT_STAGNATION_WINDOW);
+        prop_assert!(a.disengagement.detected);
+        prop_assert_eq!(a.disengagement.longest_flat, flat_run as u64);
+        prop_assert!(!a.stagnation.detected, "runs stay under the window");
+        prop_assert!(!a.seesaw.detected, "no objective pairs at all");
+    }
+
+    #[test]
+    fn stagnation_fires_only_on_the_stagnation_trace(
+        extra in 1usize..20,
+    ) {
+        let rows = DEFAULT_STAGNATION_WINDOW as usize + 1 + extra;
+        let a = analyze(&stagnation_trace(rows), DEFAULT_STAGNATION_WINDOW);
+        prop_assert!(a.stagnation.detected);
+        prop_assert_eq!(a.stagnation.longest_window, rows as u64 - 1);
+        prop_assert!(!a.disengagement.detected, "bests churn every generation");
+        prop_assert!(!a.seesaw.detected);
+    }
+
+    #[test]
+    fn convergence_trips_nothing(rows in 3usize..40) {
+        let a = analyze(&convergence_trace(rows), DEFAULT_STAGNATION_WINDOW);
+        prop_assert!(!a.seesaw.detected, "monotone deltas never flip sign");
+        prop_assert!(!a.disengagement.detected);
+        prop_assert!(!a.stagnation.detected);
+    }
+}
+
+/// Fixed-parameter twin of the proptest properties, so the exclusivity
+/// claims are exercised even where the `proptest` harness is
+/// unavailable (and as a fast smoke in any run).
+#[test]
+fn detector_exclusivity_at_fixed_parameters() {
+    let a = analyze(&seesaw_trace(10, 3.0), DEFAULT_STAGNATION_WINDOW);
+    assert!(a.seesaw.detected && !a.disengagement.detected && !a.stagnation.detected);
+    assert!((a.seesaw.amplitude() - 6.0).abs() < 1e-9, "alternating ±3 has mean |Δ| = 6");
+
+    let a = analyze(&plateau_trace(4, 3), DEFAULT_STAGNATION_WINDOW);
+    assert!(a.disengagement.detected && !a.seesaw.detected && !a.stagnation.detected);
+    assert_eq!(a.disengagement.longest_flat, 4);
+
+    let rows = DEFAULT_STAGNATION_WINDOW as usize + 5;
+    let a = analyze(&stagnation_trace(rows), DEFAULT_STAGNATION_WINDOW);
+    assert!(a.stagnation.detected && !a.seesaw.detected && !a.disengagement.detected);
+    assert_eq!(a.stagnation.longest_window, rows as u64 - 1);
+
+    let a = analyze(&convergence_trace(12), DEFAULT_STAGNATION_WINDOW);
+    assert!(!a.seesaw.detected && !a.disengagement.detected && !a.stagnation.detected);
+}
+
+/// The `bico trace --json` rendering of a fixed synthetic trace is a
+/// golden output: any schema drift (field order, names, verdict shape)
+/// diffs against `tests/golden/trace_report.json`.
+#[test]
+fn json_report_matches_golden_file() {
+    let records = seesaw_trace(6, 2.5);
+    let analysis = analyze(&records, DEFAULT_STAGNATION_WINDOW);
+    let report =
+        TraceReport { analyses: vec![("synthetic.jsonl".into(), analysis)], divergence: None };
+    let args = TraceArgs { json: true, ..TraceArgs::default() };
+    let rendered = render(&report, &args);
+    let golden = include_str!("golden/trace_report.json");
+    assert_eq!(rendered.trim_end(), golden.trim_end());
+}

@@ -14,7 +14,7 @@
 
 use bico::bcpop::{generate, BcpopInstance, GeneratorConfig};
 use bico::cobra::{Cobra, CobraConfig, NestedConfig, NestedSequential};
-use bico::core::{Carbon, CarbonConfig, CarbonWeights};
+use bico::core::{Carbon, CarbonConfig, CarbonWeights, CoevStrategy};
 use bico::obs::{JsonlSink, MetricsSink, Observers, PrometheusSink, TraceSink};
 use std::sync::Arc;
 
@@ -196,6 +196,63 @@ fn carbon_decode_cache_is_bit_identical() {
                 );
                 assert_eq!(run.best_heuristic, reference.best_heuristic, "champion {tag}");
                 assert_eq!(run.trace.points(), reference.trace.points(), "trace {tag}");
+            }
+        }
+    }
+}
+
+#[test]
+fn carbon_competitive_strategies_are_bit_identical_across_cache_regimes() {
+    // The competitive fitness-sharing and hall-of-fame strategies route
+    // through the same deduplicated evaluation matrix and decode cache
+    // as predator–prey scoring; like it, they must be bit-identical
+    // across eval-matrix on/off and every decode-cache regime (default
+    // capacity, churn capacity 1, storage off). The per-column value
+    // collection both strategies consume is gathered in reference
+    // order, so neither scheduling nor memoization may move a bit.
+    for strategy in [CoevStrategy::SharedFitness, CoevStrategy::HallOfFame] {
+        for inst in &diff_instances() {
+            for &seed in &DIFF_SEEDS {
+                let base = CarbonConfig {
+                    ul_pop_size: 10,
+                    ll_pop_size: 10,
+                    ul_archive_size: 10,
+                    ll_archive_size: 10,
+                    ul_evaluations: 150,
+                    ll_evaluations: 150,
+                    coev_strategy: strategy,
+                    ..Default::default()
+                };
+                let mut legacy = base.clone();
+                legacy.eval_matrix = false;
+                let reference = Carbon::new(inst, legacy).run(seed);
+                for capacity in [base.decode_cache_capacity, 1, 0] {
+                    let mut cfg = base.clone();
+                    cfg.decode_cache_capacity = capacity;
+                    let run = Carbon::new(inst, cfg).run(seed);
+                    let tag = format!(
+                        "{strategy:?} {}x{} seed {seed} capacity {capacity}",
+                        inst.num_bundles(),
+                        inst.num_services()
+                    );
+                    assert_eq!(
+                        bits(&run.best_pricing),
+                        bits(&reference.best_pricing),
+                        "pricing {tag}"
+                    );
+                    assert_eq!(
+                        run.best_ul_value.to_bits(),
+                        reference.best_ul_value.to_bits(),
+                        "best F {tag}"
+                    );
+                    assert_eq!(
+                        run.best_gap.to_bits(),
+                        reference.best_gap.to_bits(),
+                        "best gap {tag}"
+                    );
+                    assert_eq!(run.best_heuristic, reference.best_heuristic, "champion {tag}");
+                    assert_eq!(run.trace.points(), reference.trace.points(), "trace {tag}");
+                }
             }
         }
     }

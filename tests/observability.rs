@@ -154,7 +154,12 @@ fn metrics_sink_aggregates_exactly_under_rayon() {
             gp_nodes: 2 * i,
             micros: 10 * i,
         });
-        sink.observe(&Event::Evaluation { level: Level::Upper, count: 1, gp_nodes: 0, micros: 5 });
+        sink.observe(&Event::Evaluation {
+            level: Level::Upper,
+            count: 1,
+            gp_nodes: 0,
+            micros: 5,
+        });
         sink.observe(&Event::LowerLevelSolve { solves: 1, pivots: i, micros: i });
     });
     let m = sink.report();

@@ -1,8 +1,32 @@
 //! OR-library → covering → CARBON pipeline, exercising the same path a
 //! user with the original paper data would follow.
 
-use bico::bcpop::orlib::parse_mknap;
-use bico::core::{Carbon, CarbonConfig};
+use bico::bcpop::orlib::{parse_mknap, MkpInstance};
+use bico::core::{Carbon, CarbonConfig, CoevStrategy};
+
+/// Exact DP over (row-0 load, row-1 load) → max profit, re-proving a
+/// 2-constraint fixture's recorded optimum so the data is known-good
+/// rather than a transcription taken on faith.
+fn prove_optimum_by_dp(mkp: &MkpInstance) -> f64 {
+    assert_eq!(mkp.m, 2, "the DP is specialized to two constraints");
+    let (c0, c1) = (mkp.capacities[0] as usize, mkp.capacities[1] as usize);
+    let mut dp = vec![f64::NEG_INFINITY; (c0 + 1) * (c1 + 1)];
+    dp[0] = 0.0;
+    for j in 0..mkp.n {
+        let (p, a, b) =
+            (mkp.profits[j], mkp.weights[j] as usize, mkp.weights[mkp.n + j] as usize);
+        for w0 in (0..=c0 - a).rev() {
+            for w1 in (0..=c1 - b).rev() {
+                let v = dp[w0 * (c1 + 1) + w1];
+                let t = &mut dp[(w0 + a) * (c1 + 1) + (w1 + b)];
+                if v + p > *t {
+                    *t = v + p;
+                }
+            }
+        }
+    }
+    dp.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+}
 
 const MKNAP_SAMPLE: &str = "
 1
@@ -100,24 +124,7 @@ fn weing1_full_size_instance_flows_through_the_pipeline() {
     assert_eq!(mkp.known_optimum, 141_278.0);
     assert_eq!(mkp.capacities, vec![600.0, 600.0]);
 
-    // Exact DP over (row-0 load, row-1 load) → max profit.
-    let (c0, c1) = (mkp.capacities[0] as usize, mkp.capacities[1] as usize);
-    let mut dp = vec![f64::NEG_INFINITY; (c0 + 1) * (c1 + 1)];
-    dp[0] = 0.0;
-    for j in 0..mkp.n {
-        let (p, a, b) =
-            (mkp.profits[j], mkp.weights[j] as usize, mkp.weights[mkp.n + j] as usize);
-        for w0 in (0..=c0 - a).rev() {
-            for w1 in (0..=c1 - b).rev() {
-                let v = dp[w0 * (c1 + 1) + w1];
-                let t = &mut dp[(w0 + a) * (c1 + 1) + (w1 + b)];
-                if v + p > *t {
-                    *t = v + p;
-                }
-            }
-        }
-    }
-    let optimum = dp.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let optimum = prove_optimum_by_dp(&mkp);
     assert_eq!(optimum, mkp.known_optimum, "DP must reproduce the published optimum");
 
     // Convert, validate, and run a short CARBON smoke on the full-size
@@ -144,6 +151,50 @@ fn weing1_full_size_instance_flows_through_the_pipeline() {
     assert!(r.best_gap.is_finite());
     assert!(r.best_gap >= -1e-9);
     assert_eq!(r.best_pricing.len(), inst.num_own());
+}
+
+#[test]
+fn weing2_full_size_instance_flows_through_the_pipeline() {
+    // The second Weingartner–Ness instance: the same 28 items as weing1
+    // under tighter capacities (500/500), published optimum 130883 —
+    // re-proven by the same exact DP before anything downstream trusts
+    // the fixture. The CARBON smoke runs under the two competitive
+    // strategies introduced for the maximin substrate, so fitness
+    // sharing and the hall-of-fame sampler are exercised on a real
+    // OR-library instance, not just the synthetic games.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures/mknap_weing2.txt");
+    let text = std::fs::read_to_string(path).expect("fixture present");
+    let mkp = parse_mknap(&text).unwrap().swap_remove(0);
+    assert_eq!((mkp.n, mkp.m), (28, 2));
+    assert_eq!(mkp.known_optimum, 130_883.0);
+    assert_eq!(mkp.capacities, vec![500.0, 500.0]);
+
+    let optimum = prove_optimum_by_dp(&mkp);
+    assert_eq!(optimum, mkp.known_optimum, "DP must reproduce the published optimum");
+
+    let inst = mkp.into_covering(0.34).unwrap();
+    assert_eq!(inst.num_bundles(), 28);
+    assert_eq!(inst.num_services(), 2);
+    inst.validate().unwrap();
+    assert!(inst.is_covering(&vec![true; inst.num_bundles()]));
+
+    for strategy in [CoevStrategy::SharedFitness, CoevStrategy::HallOfFame] {
+        let cfg = CarbonConfig {
+            ul_pop_size: 10,
+            ll_pop_size: 10,
+            ul_archive_size: 10,
+            ll_archive_size: 10,
+            ul_evaluations: 120,
+            ll_evaluations: 120,
+            coev_strategy: strategy,
+            ..Default::default()
+        };
+        let r = Carbon::new(&inst, cfg).run(17);
+        assert!(r.generations >= 1, "{strategy:?}");
+        assert!(r.best_gap.is_finite(), "{strategy:?}");
+        assert!(r.best_gap >= -1e-9, "{strategy:?}");
+        assert_eq!(r.best_pricing.len(), inst.num_own(), "{strategy:?}");
+    }
 }
 
 #[test]

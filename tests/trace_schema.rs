@@ -10,10 +10,10 @@
 //!   — scrape configs and dashboards key on these family names.
 
 use bico::obs::sinks::prometheus;
+use bico::obs::{replay, stats};
 use bico::obs::{
     Event, Histogram, JsonlSink, MetricsSink, PhaseTiming, RunObserver, SharedBuffer, Summary,
 };
-use bico::obs::{replay, stats};
 
 #[test]
 fn every_event_variant_round_trips_byte_identically() {
