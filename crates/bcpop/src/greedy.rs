@@ -10,6 +10,34 @@ use crate::instance::BcpopInstance;
 use crate::relaxation::Relaxation;
 use crate::scoring::{BatchScorer, BundleFeatures, FeatureColumns, Scorer};
 
+/// Fixed chunk width for the batched decoder's residual kernels. Eight
+/// i64 lanes fill two 256-bit vector registers; the loops below are
+/// shaped (independent lanes, no cross-lane reduction inside the body)
+/// so LLVM can keep them branch-free. All lane arithmetic is exact
+/// integer math, so the regrouping is bit-identical to a scalar sweep.
+const LANES: usize = 8;
+
+/// Residual coverage of one bundle: `Σ_k min(q_jk, max(r_k, 0))` over
+/// the parallel coverage/residual columns, accumulated in eight
+/// independent lanes with a scalar tail. Integer addition is
+/// associative, so the lane regrouping returns the exact scalar sum.
+#[inline]
+fn residual_coverage(cov: &[u32], residual: &[i64]) -> i64 {
+    let n = cov.len().min(residual.len());
+    let head = n - n % LANES;
+    let mut acc = [0i64; LANES];
+    for (qc, rc) in cov[..head].chunks_exact(LANES).zip(residual[..head].chunks_exact(LANES)) {
+        for l in 0..LANES {
+            acc[l] += (qc[l] as i64).min(rc[l].max(0));
+        }
+    }
+    let mut total: i64 = acc.iter().sum();
+    for (&q, &r) in cov[head..n].iter().zip(&residual[head..n]) {
+        total += (q as i64).min(r.max(0));
+    }
+    total
+}
+
 /// Result of one greedy pass.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CoverOutcome {
@@ -191,15 +219,8 @@ pub fn greedy_cover_batched<S: BatchScorer>(
     // Incrementally maintained state. All quantities are sums of small
     // non-negative integers, so the i64 mirrors convert to f64 exactly —
     // bit-identical to the reference f64 accumulations.
-    let mut resid_cov: Vec<i64> = (0..m)
-        .map(|j| {
-            inst.bundle_coverage(j)
-                .iter()
-                .zip(residual.iter())
-                .map(|(&qjk, &rem)| (qjk as i64).min(rem.max(0)))
-                .sum()
-        })
-        .collect();
+    let mut resid_cov: Vec<i64> =
+        (0..m).map(|j| residual_coverage(inst.bundle_coverage(j), &residual)).collect();
     let mut resid_dem: i64 = residual.iter().map(|&r| r.max(0)).sum();
 
     // Retained candidate list, in ascending bundle order (the reference
@@ -270,7 +291,24 @@ pub fn greedy_cover_batched<S: BatchScorer>(
             if new <= 0 {
                 uncovered -= 1; // old_c > new_c implies old > 0
             }
-            for &(jj, units) in inst.covering_bundles(k) {
+            // Inverted-index propagation, split into a chunked
+            // delta-compute pass (contiguous CSR pairs, vectorizable
+            // clamped min) and a scatter pass. Each bundle appears at
+            // most once per service row and the deltas are exact i64s,
+            // so the split is bit-identical to the fused scalar loop.
+            let touching = inst.covering_bundles(k);
+            let head = touching.len() - touching.len() % LANES;
+            let mut delta = [0i64; LANES];
+            for chunk in touching[..head].chunks_exact(LANES) {
+                for l in 0..LANES {
+                    let u = chunk[l].1 as i64;
+                    delta[l] = u.min(new_c) - u.min(old_c);
+                }
+                for l in 0..LANES {
+                    resid_cov[chunk[l].0 as usize] += delta[l];
+                }
+            }
+            for &(jj, units) in &touching[head..] {
                 let u = units as i64;
                 resid_cov[jj as usize] += u.min(new_c) - u.min(old_c);
             }

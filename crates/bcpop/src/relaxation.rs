@@ -9,7 +9,7 @@
 //! lower-level gap".
 
 use crate::instance::BcpopInstance;
-use bico_lp::{LpProblem, LpStatus, PreparedLp, Relation};
+use bico_lp::{LpProblem, LpStatus, PreparedLp, Relation, SimplexOptions};
 
 /// The relaxation artifacts for one pricing.
 #[derive(Debug, Clone)]
@@ -53,6 +53,14 @@ impl RelaxationSolver {
     /// Pre-assemble the covering rows of `inst` and run simplex phase 1
     /// on them once (the phase-1 basis is objective-independent).
     pub fn new(inst: &BcpopInstance) -> Self {
+        Self::with_options(inst, &SimplexOptions::default())
+    }
+
+    /// [`RelaxationSolver::new`] with explicit [`SimplexOptions`] —
+    /// notably [`bico_lp::SparseMode`], which lets benchmarks pin the
+    /// dense tableau or the sparse revised simplex instead of relying
+    /// on auto-selection.
+    pub fn with_options(inst: &BcpopInstance, opts: &SimplexOptions) -> Self {
         let m = inst.num_bundles();
         let n = inst.num_services();
         let mut p = LpProblem::minimize(m);
@@ -68,7 +76,7 @@ impl RelaxationSolver {
                 .collect();
             p.add_constraint(&row, Relation::Ge, inst.requirement(k) as f64);
         }
-        let prepared = p.prepare().expect("covering template is well-formed");
+        let prepared = p.prepare_with(opts).expect("covering template is well-formed");
         RelaxationSolver { prepared }
     }
 

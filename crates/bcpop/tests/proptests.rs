@@ -4,8 +4,8 @@
 
 use bico_bcpop::{
     bcpop_primitives, evaluate_pair, exact_ll_optimum, generate, greedy_cover,
-    orlib::parse_mknap, CostPerCoverageScorer, CostScorer, GeneratorConfig, GpScorer,
-    RelaxationSolver, Scorer,
+    greedy_cover_batched, orlib::parse_mknap, CompiledGpScorer, CostPerCoverageScorer,
+    CostScorer, GeneratorConfig, GpScorer, RelaxationSolver, Scorer,
 };
 use bico_gp::grow;
 use proptest::prelude::*;
@@ -194,5 +194,58 @@ proptest! {
         prop_assert!(!ev.feasible);
         prop_assert_eq!(ev.ul_value, 0.0);
         prop_assert!(ev.gap.is_infinite());
+    }
+
+    #[test]
+    fn batched_greedy_is_bit_identical_to_scalar(
+        seed: u64,
+        gp_seed: u64,
+        bundles in 8usize..60,
+        services in 1usize..8,
+        price_frac in 0.0f64..1.0,
+    ) {
+        // The chunked residual-coverage kernels behind
+        // greedy_cover_batched are in-order and exact-integer, so the
+        // batched decode must reproduce the scalar one bit for bit —
+        // chosen set, cost bits, and step count — under a random GP
+        // scoring heuristic, not just the hand-written scorers.
+        let inst = generate(&small_config(bundles, services, 0.3, 0.6), seed);
+        let prices = vec![inst.price_cap() * price_frac; inst.num_own()];
+        let costs = inst.costs_for(&prices);
+        let relax = RelaxationSolver::new(&inst).solve(&costs).unwrap();
+        let ps = bcpop_primitives();
+        let expr = grow(&ps, 0, 5, &mut SmallRng::seed_from_u64(gp_seed)).unwrap();
+        let a = greedy_cover(&inst, &costs, &mut GpScorer::new(&expr, &ps), Some(&relax));
+        let mut compiled = CompiledGpScorer::new(&expr, &ps).unwrap();
+        let b = greedy_cover_batched(&inst, &costs, &mut compiled, Some(&relax));
+        prop_assert_eq!(&a.chosen, &b.chosen);
+        prop_assert_eq!(a.cost.to_bits(), b.cost.to_bits());
+        prop_assert_eq!(a.steps, b.steps);
+        prop_assert_eq!(a.feasible, b.feasible);
+    }
+}
+
+/// Deterministic twin of `batched_greedy_is_bit_identical_to_scalar`: a
+/// fixed sweep of seeded instances × GP heuristics through the same
+/// scalar-vs-batched comparison, exercised even where the proptest
+/// runner is unavailable.
+#[test]
+fn batched_greedy_deterministic_twin() {
+    let ps = bcpop_primitives();
+    for seed in 0..24u64 {
+        let bundles = 10 + (seed as usize * 7) % 45;
+        let services = 1 + (seed as usize * 3) % 7;
+        let inst = generate(&small_config(bundles, services, 0.3, 0.6), seed);
+        let prices = vec![inst.price_cap() * ((seed % 10) as f64 / 10.0); inst.num_own()];
+        let costs = inst.costs_for(&prices);
+        let relax = RelaxationSolver::new(&inst).solve(&costs).unwrap();
+        let expr = grow(&ps, 0, 5, &mut SmallRng::seed_from_u64(seed * 31 + 5)).unwrap();
+        let a = greedy_cover(&inst, &costs, &mut GpScorer::new(&expr, &ps), Some(&relax));
+        let mut compiled = CompiledGpScorer::new(&expr, &ps).unwrap();
+        let b = greedy_cover_batched(&inst, &costs, &mut compiled, Some(&relax));
+        assert_eq!(a.chosen, b.chosen, "seed {seed}: chosen sets diverged");
+        assert_eq!(a.cost.to_bits(), b.cost.to_bits(), "seed {seed}: cost bits diverged");
+        assert_eq!(a.steps, b.steps, "seed {seed}");
+        assert_eq!(a.feasible, b.feasible, "seed {seed}");
     }
 }

@@ -5,7 +5,7 @@
 //! Besides the criterion groups, the binary has a machine-readable mode:
 //!
 //! ```text
-//! cargo bench --bench scaling -- --json-out BENCH_scaling.json [--reduced]
+//! cargo bench --bench scaling -- --json-out BENCH_scaling.json [--reduced] [--huge]
 //! ```
 //!
 //! which skips criterion entirely and writes one JSON object with the
@@ -14,6 +14,13 @@
 //! ms/pass on a repeated evaluation-matrix workload, and the solve-cache
 //! hit rate and pivot counts — the perf trajectory CI records per
 //! commit. `--reduced` shrinks the instance and workloads to CI size.
+//!
+//! `--huge` appends a tier two orders of magnitude past paper class
+//! (20 000 sparse bundles × 100 services): dense tableau vs sparse
+//! revised simplex ms/solve on the same covering LP, and scalar vs
+//! chunked-batched decode ms/pass on the same instance, with agreement
+//! enforced in-process (KKT certificates for both LP paths, bitwise for
+//! the decoders) and a ≥3× end-to-end speedup floor.
 
 use bico_bcpop::{
     bcpop_primitives, evaluate_pair, generate, greedy_cover, greedy_cover_batched,
@@ -26,6 +33,7 @@ use bico_core::{
 };
 use bico_ea::{seed_stream, SolveCache};
 use bico_gp::grow;
+use bico_lp::{check_certificate, LpProblem, LpStatus, Relation, SimplexOptions, SparseMode};
 use bico_obs::analyze::{analyze, DEFAULT_STAGNATION_WINDOW};
 use bico_obs::replay::parse_trace;
 use bico_obs::{JsonlSink, SharedBuffer};
@@ -184,10 +192,143 @@ fn bench_solve_cache(c: &mut Criterion) {
     group.finish();
 }
 
+/// The `--huge` tier: a generator-backed instance far beyond paper
+/// class (20 000 bundles × 100 services at ~8% coverage density) where
+/// the sparse revised simplex and the chunked decode kernels carry the
+/// run. The dense-tableau and scalar-decoder references solve the
+/// *same* instance, agreement is enforced in-process — objective
+/// comparison plus [`check_certificate`] KKT checks for the two LP
+/// implementations (their pivot sequences legitimately differ),
+/// bitwise equality for the two decoders — and the fast configuration
+/// must clear the ≥3× end-to-end acceptance floor on at least one of
+/// ms/solve, ms/pass. Returns the rendered `"huge"` JSON block.
+fn huge_json_block(reduced: bool) -> String {
+    let (nb, ns) = (20_000usize, 100usize);
+    let reps = if reduced { 1u32 } else { 3 };
+    let cfg = GeneratorConfig {
+        num_bundles: nb,
+        num_services: ns,
+        own_fraction: 0.1,
+        // Low tightness keeps the greedy step count (and the CI wall
+        // clock) bounded; the LP dimensions are unaffected by it.
+        tightness: 0.01,
+        density: 0.08,
+        max_units: 100,
+        cost_noise: 0.25,
+    };
+    let inst = generate(&cfg, 4242);
+    let costs = inst.costs_for(&vec![50.0; inst.num_own()]);
+
+    // The covering relaxation as a raw LP, so both implementations can
+    // be pinned and certificate-checked on the exact same system.
+    let mut p = LpProblem::minimize(nb);
+    for j in 0..nb {
+        p.set_bounds(j, 0.0, 1.0);
+    }
+    for k in 0..ns {
+        let row: Vec<(usize, f64)> = (0..nb)
+            .filter_map(|j| {
+                let v = inst.coverage(j, k);
+                (v > 0).then_some((j, v as f64))
+            })
+            .collect();
+        p.add_constraint(&row, Relation::Ge, inst.requirement(k) as f64);
+    }
+    p.set_objective(&costs);
+    let nnz: usize = (0..ns).map(|k| inst.covering_bundles(k).len()).sum();
+    let density = nnz as f64 / (nb * ns) as f64;
+
+    let timed_solve = |opts: &SimplexOptions| {
+        let t = Instant::now();
+        let mut sol = p.solve_with(opts).unwrap();
+        for _ in 1..reps {
+            sol = p.solve_with(opts).unwrap();
+        }
+        (t.elapsed().as_secs_f64() * 1e3 / f64::from(reps), sol)
+    };
+    let (dense_ms, dense_sol) =
+        timed_solve(&SimplexOptions { sparse: SparseMode::Never, ..Default::default() });
+    let (sparse_ms, sparse_sol) =
+        timed_solve(&SimplexOptions { sparse: SparseMode::Always, ..Default::default() });
+    assert_eq!(dense_sol.status, LpStatus::Optimal);
+    assert_eq!(sparse_sol.status, LpStatus::Optimal);
+    check_certificate(&p, &dense_sol, 1e-6).expect("dense KKT certificate");
+    check_certificate(&p, &sparse_sol, 1e-6).expect("sparse KKT certificate");
+    let obj_rel_diff =
+        (dense_sol.objective - sparse_sol.objective).abs() / dense_sol.objective.abs().max(1.0);
+    assert!(obj_rel_diff < 1e-6, "dense/sparse optima disagree (rel diff {obj_rel_diff:.3e})");
+
+    // One relaxation (from the production sparse path) feeds both
+    // decoders, making scalar vs batched a pure decode-kernel contest.
+    let relax = Relaxation {
+        lower_bound: sparse_sol.objective,
+        duals: sparse_sol.duals.clone(),
+        xbar: sparse_sol.x.clone(),
+        pivots: sparse_sol.iterations as u64,
+    };
+    let ps = bcpop_primitives();
+    let expr = grow(&ps, 5, 8, &mut SmallRng::seed_from_u64(7)).unwrap();
+
+    let t = Instant::now();
+    let mut scalar_out = None;
+    for _ in 0..reps {
+        let mut scorer = GpScorer::new(&expr, &ps);
+        scalar_out = Some(greedy_cover(&inst, &costs, &mut scorer, Some(&relax)));
+    }
+    let scalar_ms = t.elapsed().as_secs_f64() * 1e3 / f64::from(reps);
+    let scalar_out = scalar_out.unwrap();
+
+    let t = Instant::now();
+    let mut batched_out = None;
+    for _ in 0..reps {
+        let mut scorer = CompiledGpScorer::new(&expr, &ps).unwrap();
+        batched_out = Some(greedy_cover_batched(&inst, &costs, &mut scorer, Some(&relax)));
+    }
+    let batched_ms = t.elapsed().as_secs_f64() * 1e3 / f64::from(reps);
+    let batched_out = batched_out.unwrap();
+    assert_eq!(
+        scalar_out.cost.to_bits(),
+        batched_out.cost.to_bits(),
+        "batched decode must stay bit-identical at huge scale"
+    );
+    assert_eq!(scalar_out.chosen, batched_out.chosen);
+
+    let lp_speedup = dense_ms / sparse_ms.max(1e-12);
+    let decode_speedup = scalar_ms / batched_ms.max(1e-12);
+    assert!(
+        lp_speedup >= 3.0 || decode_speedup >= 3.0,
+        "huge tier must show a >=3x end-to-end win \
+         (lp {lp_speedup:.2}x, decode {decode_speedup:.2}x)"
+    );
+    eprintln!(
+        "huge {nb}x{ns} (density {density:.3}): lp dense {dense_ms:.1} ms/solve \
+         ({dp} pivots) vs sparse {sparse_ms:.1} ms/solve ({sp} pivots) = {lp_speedup:.2}x; \
+         decode scalar {scalar_ms:.1} ms/pass vs batched {batched_ms:.1} ms/pass \
+         = {decode_speedup:.2}x ({steps} greedy steps)",
+        dp = dense_sol.iterations,
+        sp = sparse_sol.iterations,
+        steps = batched_out.steps,
+    );
+    format!(
+        "{{\"instance_class\": \"{nb}x{ns}\", \"density\": {density:.4}, \
+         \"reps\": {reps}, \
+         \"lp\": {{\"dense_ms_per_solve\": {dense_ms:.3}, \
+         \"sparse_ms_per_solve\": {sparse_ms:.3}, \"speedup\": {lp_speedup:.3}, \
+         \"dense_pivots\": {dp}, \"sparse_pivots\": {sp}, \
+         \"objective_rel_diff\": {obj_rel_diff:.3e}}}, \
+         \"decode\": {{\"scalar_ms_per_pass\": {scalar_ms:.3}, \
+         \"batched_ms_per_pass\": {batched_ms:.3}, \"speedup\": {decode_speedup:.3}, \
+         \"greedy_steps\": {steps}}}}}",
+        dp = dense_sol.iterations,
+        sp = sparse_sol.iterations,
+        steps = batched_out.steps,
+    )
+}
+
 /// The `--json-out` measurement pass. Every number is also sanity-
 /// checked here so a regressed build fails the bench job instead of
 /// silently recording garbage.
-fn write_bench_json(path: &str, reduced: bool) {
+fn write_bench_json(path: &str, reduced: bool, huge: bool) {
     let (nb, ns, reps, workload_len) =
         if reduced { (100usize, 6usize, 8u32, 64usize) } else { (500, 30, 30, 256) };
     let inst = generate(&GeneratorConfig::paper_class(nb, ns), 42);
@@ -346,6 +487,11 @@ fn write_bench_json(path: &str, reduced: bool) {
     shared_err /= mm_seeds as f64;
     assert!(plain_amplitude > 0.0, "see-saw amplitude collapsed to zero");
 
+    let huge_block = if huge {
+        format!(",\n  \"huge\": {}", huge_json_block(reduced))
+    } else {
+        String::new()
+    };
     let rate = |h: u64, m: u64| h as f64 / (h + m).max(1) as f64;
     let json = format!(
         "{{\n  \"bench\": \"scaling\",\n  \"reduced\": {reduced},\n  \
@@ -363,7 +509,7 @@ fn write_bench_json(path: &str, reduced: bool) {
          \"maximin\": {{\"seeds\": {mm_seeds}, \
          \"plain_seesaw_amplitude\": {plain_amplitude:.4}, \
          \"plain_equilibrium_error\": {plain_err:.4}, \
-         \"shared_equilibrium_error\": {shared_err:.4}}}\n}}\n",
+         \"shared_equilibrium_error\": {shared_err:.4}}}{huge_block}\n}}\n",
         tree_nodes = expr.len(),
         speedup = interp_ms / compiled_ms.max(1e-12),
         nodes_per_pass = interp_nodes / u64::from(reps),
@@ -389,7 +535,11 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     if let Some(i) = args.iter().position(|a| a == "--json-out") {
         let path = args.get(i + 1).cloned().unwrap_or_else(|| "BENCH_scaling.json".into());
-        write_bench_json(&path, args.iter().any(|a| a == "--reduced"));
+        write_bench_json(
+            &path,
+            args.iter().any(|a| a == "--reduced"),
+            args.iter().any(|a| a == "--huge"),
+        );
         return;
     }
     benches();

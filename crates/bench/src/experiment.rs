@@ -7,6 +7,7 @@ use bico_cobra::{Cobra, CobraConfig};
 use bico_core::{Carbon, CarbonConfig};
 use bico_ea::rng::seed_stream;
 use bico_ea::stats::{Summary, Trace};
+use bico_lp::{SimplexOptions, SparseMode};
 use bico_obs::LogLevel;
 use rayon::prelude::*;
 
@@ -119,6 +120,11 @@ pub struct ExperimentOpts {
     /// 0 = off). Bit-identical results either way; see
     /// [`bico_ea::SolveCache`].
     pub ll_cache_capacity: usize,
+    /// LP implementation selection for the relaxation solves the
+    /// harness performs itself (`--lp-sparse auto|never|always`,
+    /// default `auto`). Paper-class instances stay on the dense
+    /// tableau under `auto`; see [`bico_lp::SparseMode`].
+    pub lp_sparse: SparseMode,
 }
 
 impl Default for ExperimentOpts {
@@ -133,6 +139,7 @@ impl Default for ExperimentOpts {
             prom_out: None,
             log_level: LogLevel::from_env(),
             ll_cache_capacity: 0,
+            lp_sparse: SparseMode::Auto,
         }
     }
 }
@@ -141,7 +148,8 @@ impl ExperimentOpts {
     /// Parse CLI arguments of the experiment binaries
     /// (`--full | --smoke`, `--runs N`, `--seed S`, `--classes K`,
     /// `--trace-out F`, `--metrics-out F`, `--prom-out F`,
-    /// `--log-level L`, `--ll-cache-capacity C`).
+    /// `--log-level L`, `--ll-cache-capacity C`,
+    /// `--lp-sparse auto|never|always`).
     pub fn from_args(args: &[String]) -> Self {
         let mut opts = ExperimentOpts::default();
         let mut it = args.iter().peekable();
@@ -179,6 +187,13 @@ impl ExperimentOpts {
                         opts.ll_cache_capacity = v;
                     }
                 }
+                "--lp-sparse" => {
+                    opts.lp_sparse = match it.next().map(String::as_str) {
+                        Some("never") => SparseMode::Never,
+                        Some("always") => SparseMode::Always,
+                        _ => SparseMode::Auto,
+                    };
+                }
                 _ => {}
             }
         }
@@ -194,6 +209,12 @@ impl ExperimentOpts {
     pub fn classes(&self) -> Vec<(usize, usize)> {
         let k = self.max_classes.unwrap_or(PAPER_CLASSES.len());
         PAPER_CLASSES.iter().copied().take(k).collect()
+    }
+
+    /// Simplex options reflecting `--lp-sparse`, for relaxation solves
+    /// the harness performs itself.
+    pub fn simplex_options(&self) -> SimplexOptions {
+        SimplexOptions { sparse: self.lp_sparse, ..SimplexOptions::default() }
     }
 }
 
@@ -258,7 +279,12 @@ pub fn run_class_observed(
                     let mut cfg = opts.tier.carbon_config();
                     cfg.ll_cache_capacity = opts.ll_cache_capacity;
                     let r = Carbon::new(&inst, cfg).run_observed(run_seed, &obs);
-                    let ll = ll_value_of(&inst, &r.best_pricing, r.best_gap);
+                    let ll = ll_value_of(
+                        &inst,
+                        &r.best_pricing,
+                        r.best_gap,
+                        &opts.simplex_options(),
+                    );
                     (r.best_gap, r.best_ul_value, ll, r.trace)
                 }
                 AlgoKind::Cobra => {
@@ -308,12 +334,12 @@ pub fn run_class_observed(
 
 /// Reconstruct the lower-level objective value behind a (pricing, gap)
 /// pair: `A(x) = LB(x) · (1 + gap/100)` (Eq. 1 inverted).
-fn ll_value_of(inst: &BcpopInstance, pricing: &[f64], gap: f64) -> f64 {
+fn ll_value_of(inst: &BcpopInstance, pricing: &[f64], gap: f64, opts: &SimplexOptions) -> f64 {
     use bico_bcpop::RelaxationSolver;
     if !gap.is_finite() {
         return f64::INFINITY;
     }
-    RelaxationSolver::new(inst)
+    RelaxationSolver::with_options(inst, opts)
         .solve(&inst.costs_for(pricing))
         .map(|r| r.lower_bound * (1.0 + gap / 100.0))
         .unwrap_or(f64::INFINITY)
@@ -384,6 +410,26 @@ mod tests {
         let args: Vec<String> =
             ["--ll-cache-capacity", "1024"].iter().map(|s| s.to_string()).collect();
         assert_eq!(ExperimentOpts::from_args(&args).ll_cache_capacity, 1024);
+    }
+
+    #[test]
+    fn args_parse_lp_sparse() {
+        assert_eq!(
+            ExperimentOpts::from_args(&[]).lp_sparse,
+            SparseMode::Auto,
+            "auto by default"
+        );
+        for (v, want) in [
+            ("auto", SparseMode::Auto),
+            ("never", SparseMode::Never),
+            ("always", SparseMode::Always),
+            ("bogus", SparseMode::Auto),
+        ] {
+            let args: Vec<String> = ["--lp-sparse", v].iter().map(|s| s.to_string()).collect();
+            let o = ExperimentOpts::from_args(&args);
+            assert_eq!(o.lp_sparse, want, "--lp-sparse {v}");
+            assert_eq!(o.simplex_options().sparse, want);
+        }
     }
 
     #[test]

@@ -24,7 +24,7 @@
 //! differential tests in `tests/determinism.rs`).
 
 use bico_bcpop::{BilevelEval, CoverOutcome};
-use bico_ea::cache::{CacheStats, ShardedCache};
+use bico_ea::cache::{CacheStats, EvictionPolicy, ShardedCache};
 use bico_gp::{structural_key, Expr};
 use std::sync::Arc;
 
@@ -134,9 +134,18 @@ pub struct DecodeCache {
 
 impl DecodeCache {
     /// Create a cache holding at most `capacity` outcomes (`0` =
-    /// disabled).
+    /// disabled), evicting in plain FIFO order.
     pub fn new(capacity: usize) -> Self {
         DecodeCache { inner: ShardedCache::new(capacity) }
+    }
+
+    /// [`DecodeCache::new`] with an explicit [`EvictionPolicy`] —
+    /// [`EvictionPolicy::Clock`] keeps decodes that keep getting probed
+    /// (recurring elites) resident through exploration churn without an
+    /// explicit pin set. Like pinning, the policy moves only the hit
+    /// rate, never any outcome.
+    pub fn with_policy(capacity: usize, policy: EvictionPolicy) -> Self {
+        DecodeCache { inner: ShardedCache::with_policy(capacity, policy) }
     }
 
     /// `true` iff the cache can store entries.
@@ -269,6 +278,33 @@ mod tests {
         }
         let (_, hit) = cache.get_or_decode(champ, || outcome(99.0));
         assert!(!hit, "unpinned entries are evictable again");
+    }
+
+    #[test]
+    fn clock_policy_keeps_a_hot_outcome_without_pins() {
+        // The same champion-row workload as above, but unpinned: a clock
+        // cache keeps the hot cell resident because every round's probe
+        // re-arms its reference bit, while the default FIFO cache (shown
+        // above needing a pin) would churn it out.
+        // Capacity 32 → two-slot shards: the hot cell and the churn
+        // stream coexist per shard, so the reference bit (not luck) is
+        // what keeps the hot cell resident.
+        let cache = DecodeCache::with_policy(32, EvictionPolicy::Clock);
+        let champ = cell_key(MODE_TREE, &[9], &[1.0]);
+        cache.get_or_decode(champ.clone(), || outcome(1.0));
+        let mut hits = 0;
+        for round in 0..16 {
+            for i in 0..8 {
+                cache.get_or_decode(cell_key(MODE_TREE, &[round * 8 + i], &[2.0]), || {
+                    outcome(i as f64)
+                });
+            }
+            let (_, hit) = cache.get_or_decode(champ.clone(), || outcome(1.0));
+            if hit {
+                hits += 1;
+            }
+        }
+        assert!(hits >= 15, "clock must keep the hot unpinned cell resident, got {hits}/16");
     }
 
     #[test]

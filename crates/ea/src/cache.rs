@@ -21,7 +21,10 @@
 //! does not affect results — evicting merely turns a future hit into a
 //! recomputation of the identical value. Individual keys can be
 //! [pinned](ShardedCache::pin) to survive eviction storms (frequency-aware
-//! admission for elite sets).
+//! admission for elite sets), and the queue can optionally run
+//! [clock / second-chance](EvictionPolicy::Clock) instead of plain FIFO
+//! so *hot* rows — probed since their last trip to the queue front —
+//! survive churn without being pinned explicitly.
 
 use std::borrow::Borrow;
 use std::collections::{HashMap, HashSet, VecDeque};
@@ -30,6 +33,27 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 const NUM_SHARDS: usize = 16;
+
+/// Replacement policy of the per-shard eviction queue.
+///
+/// Policy choice cannot affect results — keys are exact and values pure,
+/// so evicting a different entry merely changes which future probe
+/// recomputes an identical value. It only moves the hit rate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EvictionPolicy {
+    /// Plain insertion-order FIFO (the default): probes never write
+    /// eviction state, so the hit path stays read-mostly.
+    #[default]
+    Fifo,
+    /// Clock / second-chance: every hit sets a reference bit on the
+    /// entry; when the eviction scan reaches a referenced entry it
+    /// clears the bit and re-queues it instead of dropping it. An entry
+    /// probed at least once per lap of its shard's queue is never
+    /// evicted, so hot rows survive insertion storms that would flush
+    /// them under FIFO — without the caller having to know the hot set
+    /// up front the way [`pin`](ShardedCache::pin) requires.
+    Clock,
+}
 
 /// Monotonic counters describing cache traffic so far.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -97,8 +121,10 @@ impl Hasher for Fnv1a {
 
 #[derive(Debug)]
 struct Shard<K, V> {
-    map: HashMap<K, V>,
-    /// Insertion order for FIFO eviction.
+    /// Resident entries; the `bool` is the clock reference bit, set on
+    /// hits under [`EvictionPolicy::Clock`] and never touched under FIFO.
+    map: HashMap<K, (V, bool)>,
+    /// Insertion order for the eviction scan.
     order: VecDeque<K>,
     /// Keys exempt from eviction until [`ShardedCache::clear_pins`].
     pinned: HashSet<K>,
@@ -117,6 +143,7 @@ struct Shard<K, V> {
 pub struct ShardedCache<K, V> {
     shards: Vec<Mutex<Shard<K, V>>>,
     capacity: usize,
+    policy: EvictionPolicy,
     probes: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
@@ -126,9 +153,14 @@ pub struct ShardedCache<K, V> {
 
 impl<K: Hash + Eq + Clone, V: Clone> ShardedCache<K, V> {
     /// Create a cache holding at most `capacity` entries in total
-    /// (`0` = disabled). Pinned entries may exceed the bound; see
-    /// [`pin`](Self::pin).
+    /// (`0` = disabled), evicting in plain FIFO order. Pinned entries
+    /// may exceed the bound; see [`pin`](Self::pin).
     pub fn new(capacity: usize) -> Self {
+        Self::with_policy(capacity, EvictionPolicy::default())
+    }
+
+    /// [`ShardedCache::new`] with an explicit [`EvictionPolicy`].
+    pub fn with_policy(capacity: usize, policy: EvictionPolicy) -> Self {
         // Distribute the bound across shards so the global entry count
         // can never exceed `capacity` even under concurrent inserts.
         // Small capacities use fewer shards so no shard ends up with a
@@ -148,6 +180,7 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedCache<K, V> {
         ShardedCache {
             shards,
             capacity,
+            policy,
             probes: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
@@ -169,6 +202,11 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedCache<K, V> {
     /// The configured capacity bound.
     pub fn capacity(&self) -> usize {
         self.capacity
+    }
+
+    /// The configured eviction policy.
+    pub fn policy(&self) -> EvictionPolicy {
+        self.policy
     }
 
     /// Entries resident across all shards.
@@ -222,10 +260,13 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedCache<K, V> {
             return None;
         }
         let shard = &self.shards[self.shard_of(key)];
-        let guard = shard.lock().expect("cache shard poisoned");
-        match guard.map.get(key) {
-            Some(v) => {
-                let v = v.clone();
+        let mut guard = shard.lock().expect("cache shard poisoned");
+        match guard.map.get_mut(key) {
+            Some(entry) => {
+                if self.policy == EvictionPolicy::Clock {
+                    entry.1 = true;
+                }
+                let v = entry.0.clone();
                 drop(guard);
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 Some(v)
@@ -240,10 +281,14 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedCache<K, V> {
 
     /// Store `value` under `key` unless already present (first writer
     /// wins; a concurrent duplicate insert is a no-op, so counters and
-    /// the FIFO queue stay consistent). Evicts the oldest *unpinned*
-    /// entry of the target shard when it is full; while everything
-    /// resident is pinned the insert is admitted past the bound. No-op
-    /// when disabled. Does not count a probe.
+    /// the eviction queue stay consistent). Evicts the scan's first
+    /// victim of the target shard when it is full: the oldest unpinned
+    /// entry under FIFO, the oldest unpinned *unreferenced* entry under
+    /// [`EvictionPolicy::Clock`] (referenced entries get their bit
+    /// cleared and one more lap). While everything resident is pinned
+    /// (or, under clock, still referenced after a bit-clearing lap) the
+    /// insert is admitted past the bound. No-op when disabled. Does not
+    /// count a probe.
     pub fn insert(&self, key: K, value: V) {
         if self.capacity == 0 {
             return;
@@ -254,16 +299,33 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedCache<K, V> {
             return;
         }
         if guard.map.len() >= guard.capacity {
-            // Pop the FIFO front; pinned keys are re-queued (treated as
-            // most recently inserted) and the oldest unpinned entry is
-            // the one dropped.
-            let in_queue = guard.order.len();
+            // Pop the queue front; pinned keys are re-queued (treated as
+            // most recently inserted), clock gives referenced keys a
+            // second chance, and the first remaining entry is dropped.
+            // Two laps bound the scan: a key survives at most one pin
+            // re-queue plus one bit-clearing re-queue before the scan
+            // either finds a victim or proves everything is exempt.
+            let scan_limit = match self.policy {
+                EvictionPolicy::Fifo => guard.order.len(),
+                EvictionPolicy::Clock => 2 * guard.order.len(),
+            };
             let mut scanned = 0;
-            while scanned < in_queue {
+            while scanned < scan_limit {
                 match guard.order.pop_front() {
                     None => break,
                     Some(oldest) => {
                         if guard.pinned.contains(&oldest) {
+                            guard.order.push_back(oldest);
+                            scanned += 1;
+                            continue;
+                        }
+                        let second_chance = self.policy == EvictionPolicy::Clock
+                            && guard
+                                .map
+                                .get_mut(&oldest)
+                                .map(|e| std::mem::replace(&mut e.1, false))
+                                .unwrap_or(false);
+                        if second_chance {
                             guard.order.push_back(oldest);
                             scanned += 1;
                         } else {
@@ -276,7 +338,7 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedCache<K, V> {
             }
         }
         guard.order.push_back(key.clone());
-        guard.map.insert(key, value);
+        guard.map.insert(key, (value, false));
         self.insertions.fetch_add(1, Ordering::Relaxed);
     }
 
@@ -361,9 +423,14 @@ pub struct SolveCache<V> {
 
 impl<V: Clone> SolveCache<V> {
     /// Create a cache holding at most `capacity` entries in total
-    /// (`0` = disabled).
+    /// (`0` = disabled), evicting in plain FIFO order.
     pub fn new(capacity: usize) -> Self {
         SolveCache { inner: ShardedCache::new(capacity) }
+    }
+
+    /// [`SolveCache::new`] with an explicit [`EvictionPolicy`].
+    pub fn with_policy(capacity: usize, policy: EvictionPolicy) -> Self {
+        SolveCache { inner: ShardedCache::with_policy(capacity, policy) }
     }
 
     /// A cache that never stores anything (capacity 0).
@@ -611,6 +678,103 @@ mod tests {
             cache.insert(&SolveCache::<u64>::key_of(&[100.0 + i as f64]), i);
         }
         assert_eq!(cache.get(&elite), Some(42));
+    }
+
+    /// The churn workload of the clock-vs-FIFO comparison: a small hot
+    /// set probed every round (elite re-injection) against a stream of
+    /// one-off insertions (exploration), four per round. Returns the hot
+    /// hit count — how often a hot row was still resident when probed.
+    fn churn_hot_hits(policy: EvictionPolicy) -> u64 {
+        let cache: ShardedCache<u64, u64> = ShardedCache::with_policy(32, policy);
+        assert_eq!(cache.policy(), policy);
+        let hot: Vec<u64> = (0..8).collect();
+        for &h in &hot {
+            cache.insert(h, h);
+        }
+        let mut hits = 0;
+        let mut cold = 1_000u64;
+        for _ in 0..200 {
+            for &h in &hot {
+                match cache.get(&h) {
+                    Some(v) => {
+                        assert_eq!(v, h);
+                        hits += 1;
+                    }
+                    None => cache.insert(h, h),
+                }
+            }
+            for _ in 0..4 {
+                cache.insert(cold, cold);
+                cold += 1;
+            }
+        }
+        cache.stats().assert_consistent();
+        hits
+    }
+
+    #[test]
+    fn clock_keeps_hot_unpinned_rows_alive_through_churn() {
+        // Same workload, same capacity, no pins: under FIFO the hot rows
+        // age to the queue front and churn out; under clock their
+        // per-round probes keep re-arming the reference bit, so they
+        // ride out the one-off stream. The margin is the point — clock
+        // must not merely tie FIFO.
+        let fifo = churn_hot_hits(EvictionPolicy::Fifo);
+        let clock = churn_hot_hits(EvictionPolicy::Clock);
+        let max = 200 * 8;
+        assert!(
+            clock > fifo,
+            "clock ({clock}/{max}) must beat FIFO ({fifo}/{max}) on a hot-row churn workload"
+        );
+        assert!(
+            clock >= max * 9 / 10,
+            "clock should keep nearly every hot probe a hit, got {clock}/{max}"
+        );
+    }
+
+    #[test]
+    fn clock_default_is_fifo_and_eviction_still_bounds() {
+        // The default constructor stays FIFO…
+        let cache: SolveCache<u64> = SolveCache::new(8);
+        assert_eq!(cache.inner.policy(), EvictionPolicy::Fifo);
+        // …and a clock cache still respects the capacity bound under a
+        // pure insertion storm (no probes → no reference bits → plain
+        // FIFO behaviour).
+        let clock: SolveCache<u64> = SolveCache::with_policy(1, EvictionPolicy::Clock);
+        for i in 0..100u64 {
+            clock.insert(&SolveCache::<u64>::key_of(&[i as f64]), i);
+            assert!(clock.len() <= 1, "capacity exceeded at step {i}");
+        }
+        let s = clock.stats();
+        assert_eq!(s.insertions - s.evictions, 1);
+    }
+
+    #[test]
+    fn clock_gives_exactly_one_extra_lap() {
+        // Single-shard cache (capacity 1): the lone resident key is hit
+        // (bit set); the next insert's scan clears the bit on its first
+        // lap and, with no other victim, wraps and evicts the now
+        // unreferenced key on its second. Second chance, not
+        // immortality.
+        let cache: ShardedCache<u64, u64> = ShardedCache::with_policy(1, EvictionPolicy::Clock);
+        cache.insert(7, 70);
+        assert_eq!(cache.get(&7), Some(70));
+        cache.insert(8, 80);
+        assert_eq!(cache.get(&7), None, "one unprobed lap must end the second chance");
+        assert_eq!(cache.get(&8), Some(80));
+        cache.stats().assert_consistent();
+    }
+
+    #[test]
+    fn clock_respects_pins_over_reference_bits() {
+        let cache: ShardedCache<u64, u64> = ShardedCache::with_policy(1, EvictionPolicy::Clock);
+        cache.pin(3);
+        cache.insert(3, 30);
+        for i in 100..150u64 {
+            cache.insert(i, i);
+        }
+        assert_eq!(cache.get(&3), Some(30), "pin must hold without any probes");
+        cache.stats().assert_consistent();
     }
 
     #[test]

@@ -32,7 +32,7 @@ pub mod select;
 pub mod stats;
 
 pub use archive::Archive;
-pub use cache::{CacheStats, ShardedCache, SolveCache};
+pub use cache::{CacheStats, EvictionPolicy, ShardedCache, SolveCache};
 pub use hypothesis::{
     compare_run_sets, mann_whitney_u, seed_matrix, MannWhitney, RunSetComparison,
 };

@@ -282,6 +282,59 @@ fn compiled_differential_deterministic_twin() {
     assert_eq!(iev.nodes_evaluated(), cev.nodes_evaluated());
 }
 
+/// Chunk-lane adversarial sweep for the fixed-width batched kernels: a
+/// single special value (NaN, ±∞, -0.0, near-overflow) rotates through
+/// every row position of a 19-row batch — two full 8-lane chunks plus a
+/// 3-row scalar tail — so a lane that mishandles non-finite inputs,
+/// reorders reductions, or leaks into a neighbouring lane breaks
+/// bit-identity with the scalar path at a pinpointed position.
+#[test]
+fn batch_chunk_lanes_handle_specials_in_every_position() {
+    let ps = table1_like_ps();
+    let specials = [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -0.0, 1e305];
+    let n = 19;
+    let mut iev = Evaluator::new();
+    let mut cev = CompiledEvaluator::new();
+    let mut out = Vec::new();
+    for seed in 0..12u64 {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let e = grow(&ps, 1, 1 + (seed % 7) as usize, &mut rng).unwrap();
+        let prog = CompiledProgram::compile(&e, &ps).unwrap();
+        for &special in &specials {
+            for pos in 0..n {
+                let rows: Vec<Vec<f64>> =
+                    (0..n)
+                        .map(|r| {
+                            (0..5)
+                                .map(|t| {
+                                    if r == pos {
+                                        special
+                                    } else {
+                                        (r as f64) - 2.0 * (t as f64)
+                                    }
+                                })
+                                .collect()
+                        })
+                        .collect();
+                let cols: Vec<Vec<f64>> =
+                    (0..5).map(|t| rows.iter().map(|r| r[t]).collect()).collect();
+                let col_refs: Vec<&[f64]> = cols.iter().map(|c| c.as_slice()).collect();
+                cev.eval_batch(&prog, &col_refs, n, &mut out);
+                for (row, tv) in rows.iter().enumerate() {
+                    let i = iev.eval(&e, &ps, tv);
+                    assert_eq!(
+                        out[row].to_bits(),
+                        i.to_bits(),
+                        "seed {seed}: special {special} at row {pos} corrupted row {row} of {}",
+                        to_sexpr(&e, &ps)
+                    );
+                }
+            }
+        }
+    }
+    assert_eq!(iev.nodes_evaluated(), cev.nodes_evaluated());
+}
+
 /// Deterministic twin of `cse_dedups_self_grafted_duplicates`: seeded
 /// self-grafted trees × adversarial inputs, scalar and batched.
 #[test]

@@ -28,10 +28,20 @@
 //!   constraint template under varying objectives (bit-identical to the
 //!   cold path).
 //!
-//! Problem sizes in this project are tiny by LP standards (≤ 30 rows,
+//! Paper-class problem sizes are tiny by LP standards (≤ 30 rows,
 //! ≤ 500 bounded columns) but the solver is called tens of thousands of
 //! times per experiment, so the implementation avoids allocation in the
 //! pivot loop and keeps the tableau in a single contiguous buffer.
+//!
+//! For instances far beyond paper class (tens of thousands of sparse
+//! columns) a second implementation kicks in: a revised simplex over a
+//! CSC constraint matrix with an LU/eta-factorized basis and
+//! candidate-list partial pricing (see [`SparseMode`] and the
+//! `sparse` module docs). [`SparseMode::Auto`] — the default — picks it
+//! only for large, sparse systems, so small workloads keep the dense
+//! tableau and its bit-exact trajectories; the two paths are held in
+//! agreement by objective comparison and the [`check_certificate`] KKT
+//! checks, not pivot-sequence identity.
 //!
 //! ## Example
 //!
@@ -55,6 +65,7 @@ mod prepared;
 mod problem;
 mod simplex;
 mod solution;
+mod sparse;
 mod write;
 
 pub use certificate::check_certificate;
@@ -62,4 +73,5 @@ pub use prepared::PreparedLp;
 pub use problem::{LpError, LpProblem, Relation, Sense};
 pub use simplex::SimplexOptions;
 pub use solution::{BasisSnapshot, LpSolution, LpStatus, VarStatus};
+pub use sparse::SparseMode;
 pub use write::to_lp_format;

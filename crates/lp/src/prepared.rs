@@ -12,6 +12,10 @@
 //! [`LpProblem::solve`] with the same objective: the resumed tableau is
 //! the exact floating-point state the cold path would have reached at the
 //! end of phase 1, so phase 2 performs the same pivots in the same order.
+//! This holds on both implementations — when [`crate::SparseMode`]
+//! selects the sparse revised simplex, the prepared state is the sparse
+//! phase-1 state and the resumed solve matches the sparse cold solve the
+//! same way.
 
 use crate::problem::{LpError, LpProblem, Sense};
 use crate::simplex::{self, Prepared, SimplexOptions};
@@ -57,7 +61,11 @@ impl PreparedLp {
     /// [`solve_objective`](PreparedLp::solve_objective) call on an
     /// infeasible preparation returns the same non-optimal status).
     pub fn is_feasible(&self) -> bool {
-        matches!(self.state, Prepared::Ready { .. })
+        match &self.state {
+            Prepared::Ready { .. } => true,
+            Prepared::Stopped { .. } => false,
+            Prepared::Sparse(sp) => sp.is_feasible(),
+        }
     }
 
     /// Pivots phase 1 spent reaching feasibility; amortized across every
@@ -68,6 +76,7 @@ impl PreparedLp {
         match &self.state {
             Prepared::Ready { phase1_iterations, .. } => *phase1_iterations,
             Prepared::Stopped { phase1_iterations, .. } => *phase1_iterations,
+            Prepared::Sparse(sp) => sp.phase1_iterations(),
         }
     }
 
@@ -91,6 +100,7 @@ impl PreparedLp {
             Prepared::Ready { tab, signs, phase1_iterations } => {
                 Ok(simplex::finish(tab.clone(), signs, *phase1_iterations, self.sense, obj))
             }
+            Prepared::Sparse(sp) => Ok(sp.solve_objective(self.sense, obj)),
         }
     }
 }

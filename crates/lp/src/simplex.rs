@@ -12,10 +12,16 @@
 
 use crate::problem::{LpProblem, Relation, Sense};
 use crate::solution::{BasisSnapshot, LpSolution, LpStatus, VarStatus};
+use crate::sparse::{self, SparseMode, SparsePrepared};
 
 /// Minimum pivot magnitude accepted when crashing a warm basis into the
 /// tableau (matches the drive-out threshold used after phase 1).
 const CRASH_PIVOT_TOL: f64 = 1e-7;
+
+/// Lane width of the chunked pricing sweep. Eight `f64` lanes fill two
+/// AVX2 registers (or four NEON ones); the multiply and per-chunk max
+/// below are shaped so LLVM autovectorizes them at this width.
+const PRICE_LANES: usize = 8;
 
 /// Tuning knobs for the simplex loop.
 #[derive(Debug, Clone)]
@@ -32,6 +38,9 @@ pub struct SimplexOptions {
     /// Number of consecutive non-improving pivots before switching to
     /// Bland's rule (anti-cycling).
     pub bland_after: usize,
+    /// Which simplex implementation to use (dense tableau vs sparse
+    /// revised); see [`SparseMode`].
+    pub sparse: SparseMode,
 }
 
 impl Default for SimplexOptions {
@@ -42,6 +51,7 @@ impl Default for SimplexOptions {
             pivot_tol: 1e-9,
             feas_tol: 1e-7,
             bland_after: 64,
+            sparse: SparseMode::Auto,
         }
     }
 }
@@ -143,6 +153,23 @@ impl Tableau {
         }
     }
 
+    /// Pricing weight of column `j`: `viol_j = w_j · d_j` with `w = −1`
+    /// at lower bound, `+1` at upper, and `0` for columns that may not
+    /// enter (basic, fixed, disallowed artificial). Multiplying by `±1.0`
+    /// is an exact IEEE sign flip, so the chunked sweep in `run_phase`
+    /// computes bit-identical violations to the branchy scalar form.
+    #[inline]
+    fn price_weight(&self, j: usize, allow_artificial: bool, art_start: usize) -> f64 {
+        if self.lower[j] == self.upper[j] || (!allow_artificial && j >= art_start) {
+            return 0.0;
+        }
+        match self.stat[j] {
+            Stat::Basic => 0.0,
+            Stat::AtLower => -1.0,
+            Stat::AtUpper => 1.0,
+        }
+    }
+
     /// `allow_artificial`: whether artificial columns may enter (phase 1).
     fn run_phase(&mut self, allow_artificial: bool) -> PhaseOutcome {
         let tol = self.opts.opt_tol;
@@ -151,43 +178,80 @@ impl Tableau {
         let mut stall = 0usize;
         let mut bland = false;
 
+        // Weight vector for the chunked pricing sweep, maintained
+        // incrementally as statuses change (two scalar writes per pivot).
+        let mut w = vec![0.0f64; self.n_total];
+        for (j, wj) in w.iter_mut().enumerate() {
+            *wj = self.price_weight(j, allow_artificial, art_start);
+        }
+        let mut viol = vec![0.0f64; self.n_total];
+        // Entering column q, gathered once per iteration so the ratio test
+        // and primal update run over a contiguous slice instead of
+        // repeating the strided `at(i, q)` index arithmetic.
+        let mut colq = vec![0.0f64; self.m];
+
         loop {
             if self.iterations >= self.opts.max_iterations {
                 return PhaseOutcome::IterationLimit;
             }
             // --- entering variable ---
-            let mut entering: Option<(usize, f64)> = None;
-            for j in 0..self.n_total {
-                if self.stat[j] == Stat::Basic {
-                    continue;
-                }
-                if !allow_artificial && j >= art_start {
-                    continue;
-                }
-                if self.lower[j] == self.upper[j] {
-                    continue; // fixed variable can never improve
-                }
-                let dj = self.d[j];
-                let viol = match self.stat[j] {
-                    Stat::AtLower => -dj,
-                    Stat::AtUpper => dj,
-                    Stat::Basic => unreachable!(),
-                };
-                if viol > tol {
-                    if bland {
-                        entering = Some((j, viol));
+            let entering: Option<(usize, f64)> = if bland {
+                // Bland's rule: first violating column (anti-cycling).
+                let mut found = None;
+                for (j, (&wj, &dj)) in w.iter().zip(&self.d).enumerate() {
+                    if wj != 0.0 && wj * dj > tol {
+                        found = Some((j, wj * dj));
                         break;
                     }
-                    match entering {
-                        Some((_, best)) if best >= viol => {}
-                        _ => entering = Some((j, viol)),
-                    }
                 }
-            }
+                found
+            } else {
+                // Chunked Dantzig sweep: one autovectorizable multiply,
+                // then a per-chunk max screens out lanes that cannot beat
+                // the incumbent; only winning chunks pay the scalar
+                // first-wins argmax, which preserves the exact entering
+                // choice of the original branchy loop.
+                for ((v, &wj), &dj) in viol.iter_mut().zip(&w).zip(&self.d) {
+                    *v = wj * dj;
+                }
+                let mut best: Option<(usize, f64)> = None;
+                let mut base = 0usize;
+                for chunk in viol.chunks(PRICE_LANES) {
+                    let mut mx = f64::NEG_INFINITY;
+                    for &v in chunk {
+                        if v > mx {
+                            mx = v;
+                        }
+                    }
+                    let screen = match best {
+                        Some((_, b)) => mx > b,
+                        None => mx > tol,
+                    };
+                    if screen {
+                        for (k, &v) in chunk.iter().enumerate() {
+                            if v > tol {
+                                match best {
+                                    Some((_, b)) if b >= v => {}
+                                    _ => best = Some((base + k, v)),
+                                }
+                            }
+                        }
+                    }
+                    base += chunk.len();
+                }
+                best
+            };
             let Some((q, _)) = entering else {
                 return PhaseOutcome::Optimal;
             };
             let dir: f64 = if self.stat[q] == Stat::AtLower { 1.0 } else { -1.0 };
+
+            // Gather column q (hoisted out of the ratio test and update).
+            let mut idx = q;
+            for c in colq.iter_mut() {
+                *c = self.t[idx];
+                idx += self.n_total;
+            }
 
             // --- ratio test ---
             // Leaving cases: a basic variable hits one of its bounds, or the
@@ -195,8 +259,7 @@ impl Tableau {
             let mut theta = self.upper[q] - self.lower[q]; // bound-flip limit
             let mut leave: Option<(usize, bool)> = None; // (row, hits_upper)
             let mut leave_pivot = 0.0f64;
-            for i in 0..self.m {
-                let a = self.at(i, q);
+            for (i, &a) in colq.iter().enumerate() {
                 if a.abs() <= self.opts.pivot_tol {
                     continue;
                 }
@@ -243,8 +306,7 @@ impl Tableau {
             // --- update primal values ---
             self.xval[q] += dir * theta;
             if theta != 0.0 {
-                for i in 0..self.m {
-                    let a = self.at(i, q);
+                for (i, &a) in colq.iter().enumerate() {
                     if a != 0.0 {
                         self.xval[self.basis[i]] -= dir * theta * a;
                     }
@@ -265,6 +327,7 @@ impl Tableau {
                         }
                         Stat::Basic => unreachable!(),
                     };
+                    w[q] = -w[q];
                 }
                 Some((r, hits_upper)) => {
                     let leaving = self.basis[r];
@@ -278,6 +341,8 @@ impl Tableau {
                     self.pivot(r, q);
                     self.basis[r] = q;
                     self.stat[q] = Stat::Basic;
+                    w[leaving] = self.price_weight(leaving, allow_artificial, art_start);
+                    w[q] = 0.0;
                 }
             }
 
@@ -314,6 +379,8 @@ pub(crate) enum Prepared {
     /// Phase 1 proved infeasibility or hit the iteration limit; every
     /// objective yields the same non-optimal status.
     Stopped { status: LpStatus, iterations: usize, phase1_iterations: usize },
+    /// The sparse revised-simplex path was selected; see [`SparsePrepared`].
+    Sparse(SparsePrepared),
 }
 
 /// Assemble the initial tableau: nonbasic variables at finite bounds,
@@ -413,12 +480,25 @@ fn assemble(p: &LpProblem, opts: &SimplexOptions) -> (Tableau, Vec<f64>) {
     (tab, signs)
 }
 
+/// Phase 1 on whichever implementation [`SparseMode`] selects for this
+/// problem. A sparse attempt that hits numerical trouble (singular
+/// refactorization) silently falls back to the dense tableau, so callers
+/// always get a usable prepared state.
+pub(crate) fn prepare(p: &LpProblem, opts: &SimplexOptions) -> Prepared {
+    if sparse::selected(p, opts) {
+        if let Some(sp) = sparse::prepare(p, opts) {
+            return Prepared::Sparse(sp);
+        }
+    }
+    prepare_dense(p, opts)
+}
+
 /// Run phase 1 from the all-artificial basis, pin artificials to zero and
 /// drive basic ones out of the basis where possible. The result is a
 /// primal-feasible tableau that [`finish`] can run phase 2 on for *any*
 /// objective — phase 1 never looks at the cost vector, so the prepared
 /// state is objective-independent.
-pub(crate) fn prepare(p: &LpProblem, opts: &SimplexOptions) -> Prepared {
+pub(crate) fn prepare_dense(p: &LpProblem, opts: &SimplexOptions) -> Prepared {
     let n = p.n;
     let m = p.rows.len();
     let n_total = n + 2 * m;
@@ -463,8 +543,10 @@ pub(crate) fn prepare(p: &LpProblem, opts: &SimplexOptions) -> Prepared {
             continue;
         }
         let mut pivot_col = None;
-        for j in 0..n + m {
-            if tab.stat[j] != Stat::Basic && tab.at(r, j).abs() > 1e-7 {
+        // Row slice instead of per-column `at(r, j)` index arithmetic.
+        let row = &tab.t[r * n_total..r * n_total + n + m];
+        for (j, a) in row.iter().enumerate() {
+            if tab.stat[j] != Stat::Basic && a.abs() > 1e-7 {
                 pivot_col = Some(j);
                 break;
             }
@@ -569,7 +651,7 @@ pub(crate) fn finish(
     }
 }
 
-/// Cold solve: phase 1 from the all-artificial basis, then phase 2.
+/// Cold solve on whichever implementation [`SparseMode`] selects.
 pub(crate) fn solve(p: &LpProblem, opts: &SimplexOptions) -> LpSolution {
     match prepare(p, opts) {
         Prepared::Stopped { status, iterations, phase1_iterations } => {
@@ -578,18 +660,39 @@ pub(crate) fn solve(p: &LpProblem, opts: &SimplexOptions) -> LpSolution {
         Prepared::Ready { tab, signs, phase1_iterations } => {
             finish(tab, &signs, phase1_iterations, p.sense, &p.obj)
         }
+        Prepared::Sparse(sp) => sp.solve_objective(p.sense, &p.obj),
+    }
+}
+
+/// Cold solve pinned to the dense tableau regardless of `opts.sparse`.
+/// This is the differential reference path and the fallback target when
+/// the sparse path hits numerical trouble mid-solve.
+pub(crate) fn solve_dense(p: &LpProblem, opts: &SimplexOptions) -> LpSolution {
+    match prepare_dense(p, opts) {
+        Prepared::Stopped { status, iterations, phase1_iterations } => {
+            LpSolution::non_optimal(status, iterations, phase1_iterations)
+        }
+        Prepared::Ready { tab, signs, phase1_iterations } => {
+            finish(tab, &signs, phase1_iterations, p.sense, &p.obj)
+        }
+        Prepared::Sparse(_) => unreachable!("prepare_dense never selects sparse"),
     }
 }
 
 /// Warm-started solve: crash `snapshot`'s basis into a fresh tableau and
 /// go straight to phase 2, falling back to the cold two-phase path when
 /// the snapshot does not fit the problem or its basis is numerically
-/// singular or primal-infeasible here.
+/// singular or primal-infeasible here. Basis snapshots are a dense-path
+/// artifact; when the sparse path is selected a cold sparse solve beats
+/// a dense warm start at these sizes, so the snapshot is ignored.
 pub(crate) fn solve_with_basis(
     p: &LpProblem,
     opts: &SimplexOptions,
     snapshot: &BasisSnapshot,
 ) -> LpSolution {
+    if sparse::selected(p, opts) {
+        return solve(p, opts);
+    }
     match try_warm(p, opts, snapshot) {
         Some(sol) => sol,
         None => solve(p, opts),
@@ -637,7 +740,13 @@ fn try_warm(
         if mag <= CRASH_PIVOT_TOL {
             return None;
         }
-        let col: Vec<f64> = (0..m).map(|i| tab.at(i, q)).collect();
+        // Strided column gather with incremental index arithmetic.
+        let mut col = vec![0.0f64; m];
+        let mut idx = q;
+        for c in col.iter_mut() {
+            *c = tab.t[idx];
+            idx += tab.n_total;
+        }
         let leaving = tab.basis[r];
         tab.stat[leaving] = Stat::AtLower;
         tab.xval[leaving] = 0.0;
@@ -689,9 +798,10 @@ fn try_warm(
     // Basic values: x_B = B⁻¹ b − Σ_{nonbasic j} (B⁻¹ A)_j · x_j.
     for (r, &b) in rhs.iter().enumerate().take(m) {
         let mut v = b;
-        for j in 0..n + m {
+        let row = &tab.t[r * tab.n_total..r * tab.n_total + n + m];
+        for (j, &a) in row.iter().enumerate() {
             if tab.stat[j] != Stat::Basic && tab.xval[j] != 0.0 {
-                v -= tab.at(r, j) * tab.xval[j];
+                v -= a * tab.xval[j];
             }
         }
         tab.xval[tab.basis[r]] = v;

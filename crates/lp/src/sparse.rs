@@ -1,0 +1,1198 @@
+//! Sparse revised simplex over a CSC constraint matrix.
+//!
+//! The dense tableau in [`crate::simplex`] carries the full `m × (n+2m)`
+//! matrix through every pivot: each iteration costs `O(m · n_total)`
+//! regardless of how sparse the instance is. Covering relaxations at the
+//! `--huge` bench tier (tens of thousands of bundle columns, ~5% density)
+//! spend almost all of that work multiplying zeros.
+//!
+//! This module implements the classic *revised* simplex instead: the
+//! constraint matrix is stored once in compressed-sparse-column (CSC)
+//! form and never modified; the only dense object is an LU factorization
+//! of the `m × m` basis, updated between refactorizations by a
+//! product-form eta file. Per-iteration cost drops to
+//! `O(m² + nnz(candidates))`:
+//!
+//! * **pricing** — duals `y = B^{-T} c_B` via BTRAN, then reduced costs
+//!   `d_j = c_j − y·a_j` as sparse dot products. A candidate-list partial
+//!   pricing rule re-prices a small retained set of violating columns per
+//!   iteration; when the list dies, a rotating sectional sweep refills it
+//!   from the next stretch of the column ring. Optimality is only ever
+//!   declared by a refill that wraps the entire ring without finding a
+//!   violator — i.e. by a genuine full sweep under the current duals;
+//! * **ratio test** — the entering column `α = B^{-1} a_q` via FTRAN;
+//!   the bounded-variable ratio test itself is the same as the dense
+//!   path's (bound flips included, identical tie-breaking);
+//! * **basis update** — a product-form eta per pivot, with a fresh dense
+//!   LU (partial pivoting) every [`REFACTOR_EVERY`] pivots; the basic
+//!   primal values are recomputed from scratch at each refactorization
+//!   to shed accumulated drift.
+//!
+//! Column layout, two-phase structure, artificial handling and all
+//! tolerances mirror the dense path so both solve the *same* internal
+//! model; they are not pivot-for-pivot identical (pricing order differs),
+//! so agreement is asserted through the optimal objective and the KKT
+//! certificate in [`crate::certificate`], never through pivot sequences.
+//!
+//! Any numerical failure (singular refactorization) abandons the sparse
+//! attempt and the caller re-solves on the dense reference path, keeping
+//! the public contract identical to a dense-only build.
+
+use crate::problem::{LpProblem, Relation, Sense};
+use crate::simplex::SimplexOptions;
+use crate::solution::{BasisSnapshot, LpSolution, LpStatus, VarStatus};
+
+/// Which simplex implementation a solve should use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SparseMode {
+    /// Use the sparse revised simplex when the instance is both large
+    /// (`m·n ≥ 50 000` cells) and sparse (constraint density `< 0.25`);
+    /// otherwise the dense tableau. Small instances always stay dense, so
+    /// existing paper-class workloads keep their bit-exact trajectories.
+    #[default]
+    Auto,
+    /// Always the dense tableau (the differential reference path).
+    Never,
+    /// Force the sparse path regardless of size or density; used by the
+    /// differential test suites. Numerical fallback to dense still
+    /// applies.
+    Always,
+}
+
+/// Minimum `m · n` cell count before [`SparseMode::Auto`] considers the
+/// sparse path. Paper-class instances (≤ 560 × 30) stay well below this,
+/// preserving their dense bit-exact trajectories.
+const AUTO_MIN_CELLS: usize = 50_000;
+/// Maximum structural-row density for [`SparseMode::Auto`] to pick the
+/// sparse path.
+const AUTO_MAX_DENSITY: f64 = 0.25;
+/// Pivots between basis refactorizations (eta-file length cap).
+const REFACTOR_EVERY: usize = 64;
+/// Candidate-list capacity for partial pricing.
+const CANDIDATES: usize = 64;
+/// Minimum pivot magnitude when driving artificials out after phase 1
+/// (mirrors the dense path's drive-out threshold).
+const DRIVE_OUT_TOL: f64 = 1e-7;
+
+/// Decide whether `p` should be solved on the sparse path under `opts`.
+pub(crate) fn selected(p: &LpProblem, opts: &SimplexOptions) -> bool {
+    match opts.sparse {
+        SparseMode::Never => false,
+        SparseMode::Always => true,
+        SparseMode::Auto => {
+            let cells = p.rows.len() * p.n;
+            if cells < AUTO_MIN_CELLS {
+                return false;
+            }
+            let nnz: usize = p.rows.iter().map(|r| r.len()).sum();
+            (nnz as f64) < AUTO_MAX_DENSITY * cells as f64
+        }
+    }
+}
+
+/// Compressed sparse columns over the full `[structural | slack |
+/// artificial]` layout. Row indices within a column are ascending;
+/// duplicate entries (legal in [`LpProblem::add_constraint`]) are kept
+/// and accumulate in every dot product, matching the dense assembly.
+#[derive(Debug, Clone)]
+struct Csc {
+    col_ptr: Vec<usize>,
+    row_idx: Vec<u32>,
+    vals: Vec<f64>,
+}
+
+impl Csc {
+    fn col(&self, j: usize) -> (&[u32], &[f64]) {
+        let lo = self.col_ptr[j];
+        let hi = self.col_ptr[j + 1];
+        (&self.row_idx[lo..hi], &self.vals[lo..hi])
+    }
+}
+
+/// Build the CSC matrix: structural columns from the problem rows, slack
+/// column `n+i = e_i`, artificial column `n+m+i = sign_i · e_i` (so the
+/// all-artificial start basis is `diag(sign)` with non-negative values).
+fn build_csc(p: &LpProblem, signs: &[f64]) -> Csc {
+    let n = p.n;
+    let m = p.rows.len();
+    let n_total = n + 2 * m;
+    let mut col_ptr = vec![0usize; n_total + 1];
+    for row in &p.rows {
+        for &(j, _) in row {
+            col_ptr[j + 1] += 1;
+        }
+    }
+    for i in 0..m {
+        col_ptr[n + i + 1] += 1;
+        col_ptr[n + m + i + 1] += 1;
+    }
+    for j in 0..n_total {
+        col_ptr[j + 1] += col_ptr[j];
+    }
+    let nnz = col_ptr[n_total];
+    let mut row_idx = vec![0u32; nnz];
+    let mut vals = vec![0.0f64; nnz];
+    let mut next = col_ptr.clone();
+    for (i, row) in p.rows.iter().enumerate() {
+        for &(j, a) in row {
+            let pos = next[j];
+            next[j] += 1;
+            row_idx[pos] = i as u32;
+            vals[pos] = a;
+        }
+    }
+    for i in 0..m {
+        let pos = next[n + i];
+        next[n + i] += 1;
+        row_idx[pos] = i as u32;
+        vals[pos] = 1.0;
+        let pos = next[n + m + i];
+        next[n + m + i] += 1;
+        row_idx[pos] = i as u32;
+        vals[pos] = signs[i];
+    }
+    Csc { col_ptr, row_idx, vals }
+}
+
+/// Dense LU factorization of the `m × m` basis with partial pivoting:
+/// `P B = L U`, `L` unit-lower and `U` upper stored in one buffer. `m` is
+/// the (small) constraint count, so a dense factor beats a sparse one for
+/// every workload this crate serves.
+#[derive(Debug, Clone, Default)]
+struct Lu {
+    m: usize,
+    /// `m × m` row-major; strictly-lower part holds `L`, rest holds `U`.
+    f: Vec<f64>,
+    /// `perm[k]` = original row in position `k` after pivoting.
+    perm: Vec<usize>,
+}
+
+impl Lu {
+    /// Factor the row-major matrix `f`; `None` on a (near-)singular pivot.
+    /// (`LpProblem::validate` rejects NaN coefficients, so the pivot
+    /// magnitudes here are ordinary non-negative floats.)
+    fn factor(m: usize, mut f: Vec<f64>) -> Option<Lu> {
+        let mut perm: Vec<usize> = (0..m).collect();
+        for k in 0..m {
+            let mut pr = k;
+            let mut pv = f[k * m + k].abs();
+            for i in k + 1..m {
+                let a = f[i * m + k].abs();
+                if a > pv {
+                    pv = a;
+                    pr = i;
+                }
+            }
+            if pv <= 1e-12 {
+                return None;
+            }
+            if pr != k {
+                for j in 0..m {
+                    f.swap(k * m + j, pr * m + j);
+                }
+                perm.swap(k, pr);
+            }
+            let inv = 1.0 / f[k * m + k];
+            for i in k + 1..m {
+                let l = f[i * m + k] * inv;
+                f[i * m + k] = l;
+                if l != 0.0 {
+                    for j in k + 1..m {
+                        f[i * m + j] -= l * f[k * m + j];
+                    }
+                }
+            }
+        }
+        Some(Lu { m, f, perm })
+    }
+
+    /// Solve `B x = b` (forward then backward substitution).
+    #[allow(clippy::needless_range_loop)] // strided triangular sweeps
+    fn ftran(&self, b: &[f64]) -> Vec<f64> {
+        let m = self.m;
+        let mut x: Vec<f64> = self.perm.iter().map(|&i| b[i]).collect();
+        for k in 0..m {
+            let xk = x[k];
+            if xk != 0.0 {
+                for i in k + 1..m {
+                    x[i] -= self.f[i * m + k] * xk;
+                }
+            }
+        }
+        for k in (0..m).rev() {
+            let xk = x[k] / self.f[k * m + k];
+            x[k] = xk;
+            if xk != 0.0 {
+                for i in 0..k {
+                    x[i] -= self.f[i * m + k] * xk;
+                }
+            }
+        }
+        x
+    }
+
+    /// Solve `B^T y = c`, where `c` is indexed by basis position and the
+    /// result by matrix row.
+    #[allow(clippy::needless_range_loop)] // strided triangular sweeps
+    fn btran(&self, c: &[f64]) -> Vec<f64> {
+        let m = self.m;
+        let mut v = c.to_vec();
+        // U^T v = c (U^T is lower-triangular).
+        for k in 0..m {
+            let vk = v[k] / self.f[k * m + k];
+            v[k] = vk;
+            if vk != 0.0 {
+                for j in k + 1..m {
+                    v[j] -= self.f[k * m + j] * vk;
+                }
+            }
+        }
+        // L^T w = v (unit upper-triangular in transpose).
+        for i in (0..m).rev() {
+            let wi = v[i];
+            if wi != 0.0 {
+                for k in 0..i {
+                    v[k] -= self.f[i * m + k] * wi;
+                }
+            }
+        }
+        let mut y = vec![0.0; m];
+        for (k, &p) in self.perm.iter().enumerate() {
+            y[p] = v[k];
+        }
+        y
+    }
+}
+
+/// One product-form basis update from a pivot at basis position `r`.
+/// `v` is stored in "pure-axpy" form: `v[i≠r] = −α_i/α_r` and
+/// `v[r] = 1/α_r − 1`, so FTRAN application is `x += x[r] · v`.
+#[derive(Debug, Clone)]
+struct Eta {
+    r: usize,
+    v: Vec<f64>,
+}
+
+enum SparseOutcome {
+    Optimal,
+    Unbounded,
+    IterationLimit,
+    /// Singular refactorization — abandon the sparse attempt; the caller
+    /// falls back to the dense reference path.
+    Numerical,
+}
+
+/// Full revised-simplex state. Cloned per [`finish`] call exactly like
+/// the dense `Tableau` inside `PreparedLp`.
+#[derive(Debug, Clone)]
+pub(crate) struct SparseState {
+    m: usize,
+    n_struct: usize,
+    n_total: usize,
+    a: Csc,
+    rhs: Vec<f64>,
+    lower: Vec<f64>,
+    upper: Vec<f64>,
+    stat: Vec<VarStatus>,
+    xval: Vec<f64>,
+    /// `basis[r]` = column occupying basis position `r`.
+    basis: Vec<usize>,
+    /// Current phase cost vector.
+    cost: Vec<f64>,
+    iterations: usize,
+    /// Rotating start position of the next pricing refill sweep.
+    price_cursor: usize,
+    pub(crate) opts: SimplexOptions,
+    lu: Lu,
+    etas: Vec<Eta>,
+}
+
+impl SparseState {
+    fn assemble(p: &LpProblem, opts: &SimplexOptions) -> Option<SparseState> {
+        let n = p.n;
+        let m = p.rows.len();
+        let n_total = n + 2 * m;
+
+        let mut lower = Vec::with_capacity(n_total);
+        let mut upper = Vec::with_capacity(n_total);
+        lower.extend_from_slice(&p.lower);
+        upper.extend_from_slice(&p.upper);
+        for rel in &p.relations {
+            match rel {
+                Relation::Le => {
+                    lower.push(0.0);
+                    upper.push(f64::INFINITY);
+                }
+                Relation::Ge => {
+                    lower.push(f64::NEG_INFINITY);
+                    upper.push(0.0);
+                }
+                Relation::Eq => {
+                    lower.push(0.0);
+                    upper.push(0.0);
+                }
+            }
+        }
+        for _ in 0..m {
+            lower.push(0.0);
+            upper.push(f64::INFINITY);
+        }
+
+        let mut stat = Vec::with_capacity(n_total);
+        let mut xval = Vec::with_capacity(n_total);
+        for j in 0..n + m {
+            if lower[j].is_finite() {
+                stat.push(VarStatus::AtLower);
+                xval.push(lower[j]);
+            } else {
+                stat.push(VarStatus::AtUpper);
+                xval.push(upper[j]);
+            }
+        }
+
+        let mut resid = p.rhs.clone();
+        for (i, row) in p.rows.iter().enumerate() {
+            for &(j, a) in row {
+                resid[i] -= a * xval[j];
+            }
+        }
+        let signs: Vec<f64> =
+            resid.iter().map(|&r| if r >= 0.0 { 1.0 } else { -1.0 }).collect();
+        for r in &resid {
+            stat.push(VarStatus::Basic);
+            xval.push(r.abs());
+        }
+
+        let a = build_csc(p, &signs);
+        let basis: Vec<usize> = (n + m..n_total).collect();
+        let mut st = SparseState {
+            m,
+            n_struct: n,
+            n_total,
+            a,
+            rhs: p.rhs.clone(),
+            lower,
+            upper,
+            stat,
+            xval,
+            basis,
+            cost: vec![0.0; n_total],
+            iterations: 0,
+            price_cursor: 0,
+            opts: opts.clone(),
+            lu: Lu::default(),
+            etas: Vec::new(),
+        };
+        if !st.refactor(false) {
+            return None; // diag(±1) cannot be singular, but stay defensive
+        }
+        Some(st)
+    }
+
+    /// Rebuild the LU factor from the current basis columns and clear the
+    /// eta file. With `recompute_x`, the basic primal values are restored
+    /// from `x_B = B^{-1}(b − N x_N)` to shed drift accumulated by the
+    /// incremental updates.
+    fn refactor(&mut self, recompute_x: bool) -> bool {
+        let m = self.m;
+        let mut bmat = vec![0.0f64; m * m];
+        for (r, &j) in self.basis.iter().enumerate() {
+            let (ri, vs) = self.a.col(j);
+            for (&i, &v) in ri.iter().zip(vs) {
+                bmat[i as usize * m + r] += v;
+            }
+        }
+        let Some(lu) = Lu::factor(m, bmat) else {
+            return false;
+        };
+        self.lu = lu;
+        self.etas.clear();
+        if recompute_x {
+            let mut r = self.rhs.clone();
+            for j in 0..self.n_total {
+                if self.stat[j] != VarStatus::Basic && self.xval[j] != 0.0 {
+                    let (ri, vs) = self.a.col(j);
+                    for (&i, &v) in ri.iter().zip(vs) {
+                        r[i as usize] -= v * self.xval[j];
+                    }
+                }
+            }
+            let xb = self.lu.ftran(&r);
+            for (k, &j) in self.basis.iter().enumerate() {
+                self.xval[j] = xb[k];
+            }
+        }
+        true
+    }
+
+    /// `B^{-1} b` through the LU factor and the eta file (in order).
+    fn ftran(&self, b: &[f64]) -> Vec<f64> {
+        let mut x = self.lu.ftran(b);
+        for eta in &self.etas {
+            let xr = x[eta.r];
+            if xr != 0.0 {
+                for (xi, &vi) in x.iter_mut().zip(&eta.v) {
+                    *xi += vi * xr;
+                }
+            }
+        }
+        x
+    }
+
+    /// `B^{-T} c` (input indexed by basis position, output by row):
+    /// etas applied newest-first, then the LU BTRAN.
+    fn btran(&self, c: &[f64]) -> Vec<f64> {
+        let mut v = c.to_vec();
+        for eta in self.etas.iter().rev() {
+            let dot: f64 = v.iter().zip(&eta.v).map(|(a, b)| a * b).sum();
+            v[eta.r] += dot;
+        }
+        self.lu.btran(&v)
+    }
+
+    /// The entering column `α = B^{-1} a_q`.
+    fn ftran_column(&self, j: usize) -> Vec<f64> {
+        let mut b = vec![0.0f64; self.m];
+        let (ri, vs) = self.a.col(j);
+        for (&i, &v) in ri.iter().zip(vs) {
+            b[i as usize] += v;
+        }
+        self.ftran(&b)
+    }
+
+    /// Duals of the current phase costs: `y = B^{-T} c_B`.
+    fn pricing_duals(&self) -> Vec<f64> {
+        let cb: Vec<f64> = self.basis.iter().map(|&j| self.cost[j]).collect();
+        self.btran(&cb)
+    }
+
+    /// Reduced cost `d_j = c_j − y·a_j` as a sparse dot product.
+    fn reduced_cost(&self, j: usize, y: &[f64]) -> f64 {
+        let (ri, vs) = self.a.col(j);
+        let mut acc = self.cost[j];
+        for (&i, &v) in ri.iter().zip(vs) {
+            acc -= y[i as usize] * v;
+        }
+        acc
+    }
+
+    /// Pricing violation of nonbasic column `j` (how strongly it wants to
+    /// move off its bound); `> tol` means eligible to enter.
+    fn violation(&self, j: usize, y: &[f64]) -> f64 {
+        let dj = self.reduced_cost(j, y);
+        match self.stat[j] {
+            VarStatus::AtLower => -dj,
+            VarStatus::AtUpper => dj,
+            VarStatus::Basic => 0.0,
+        }
+    }
+
+    fn phase_objective(&self) -> f64 {
+        self.cost.iter().zip(&self.xval).map(|(c, x)| c * x).sum()
+    }
+
+    /// Nonbasic part of the phase objective, `Σ c_j x_j` over nonbasic
+    /// columns. Computed once per phase and then maintained incrementally
+    /// by `run_phase` (a column's contribution only changes when it flips
+    /// bound, enters, or leaves the basis), so the per-iteration stall
+    /// check costs O(m) instead of a full O(n) sweep.
+    fn nonbasic_objective(&self) -> f64 {
+        (0..self.n_total)
+            .filter(|&j| self.stat[j] != VarStatus::Basic)
+            .map(|j| self.cost[j] * self.xval[j])
+            .sum()
+    }
+
+    /// Basic part of the phase objective: `Σ c_B x_B` (O(m)).
+    fn basic_objective(&self) -> f64 {
+        self.basis.iter().map(|&j| self.cost[j] * self.xval[j]).sum()
+    }
+
+    /// Candidate-list partial pricing: re-price the retained list and take
+    /// its best violator; when the list runs dry, refill it with a
+    /// rotating sectional sweep. Optimality is only ever declared by a
+    /// refill that wraps the whole column ring without finding a violator
+    /// (which *is* a full pricing sweep under the current duals).
+    fn price_partial(
+        &mut self,
+        y: &[f64],
+        allow_artificial: bool,
+        tol: f64,
+        candidates: &mut Vec<usize>,
+    ) -> Option<usize> {
+        let mut best: Option<(usize, f64)> = None;
+        candidates.retain(|&j| {
+            if self.stat[j] == VarStatus::Basic || self.lower[j] == self.upper[j] {
+                return false;
+            }
+            let viol = self.violation(j, y);
+            if viol > tol {
+                match best {
+                    Some((_, b)) if b >= viol => {}
+                    _ => best = Some((j, viol)),
+                }
+                true
+            } else {
+                false
+            }
+        });
+        if let Some((j, _)) = best {
+            return Some(j);
+        }
+        self.price_refill(y, allow_artificial, tol, candidates)
+    }
+
+    /// Rotating sectional refill: scan eligible columns starting at the
+    /// saved cursor, wrapping at most once around the ring, and collect
+    /// the first `CANDIDATES` violators (returning the best of them).
+    /// The cursor advances past the last scanned column, so successive
+    /// refills cover fresh sections instead of re-ranking the same hot
+    /// ones — O(section) per refill instead of a full O(n) sort-sweep,
+    /// which dominates the solve when the candidate list dies every few
+    /// pivots on large correlated instances. A refill that wraps the
+    /// whole ring without finding any violator proves phase optimality.
+    fn price_refill(
+        &mut self,
+        y: &[f64],
+        allow_artificial: bool,
+        tol: f64,
+        candidates: &mut Vec<usize>,
+    ) -> Option<usize> {
+        candidates.clear();
+        let art_start = self.n_struct + self.m;
+        let mut best: Option<(f64, usize)> = None;
+        let start = self.price_cursor % self.n_total.max(1);
+        for step in 0..self.n_total {
+            let j = (start + step) % self.n_total;
+            if self.stat[j] == VarStatus::Basic {
+                continue;
+            }
+            if !allow_artificial && j >= art_start {
+                continue;
+            }
+            if self.lower[j] == self.upper[j] {
+                continue;
+            }
+            let viol = self.violation(j, y);
+            if viol > tol {
+                candidates.push(j);
+                match best {
+                    Some((b, _)) if b >= viol => {}
+                    _ => best = Some((viol, j)),
+                }
+                if candidates.len() >= CANDIDATES {
+                    self.price_cursor = (j + 1) % self.n_total;
+                    return best.map(|(_, j)| j);
+                }
+            }
+        }
+        // Wrapped the whole ring: either optimal (no violator anywhere
+        // under these duals) or everything eligible is already listed.
+        self.price_cursor = start;
+        best.map(|(_, j)| j)
+    }
+
+    /// Bland's rule: the lowest-index violating column (anti-cycling).
+    fn price_bland(&self, y: &[f64], allow_artificial: bool, tol: f64) -> Option<usize> {
+        let art_start = self.n_struct + self.m;
+        (0..self.n_total).find(|&j| {
+            self.stat[j] != VarStatus::Basic
+                && (allow_artificial || j < art_start)
+                && self.lower[j] != self.upper[j]
+                && self.violation(j, y) > tol
+        })
+    }
+
+    /// Record the product-form eta of a pivot at basis position `r` with
+    /// entering column `α`, then install the entering variable.
+    fn apply_pivot(&mut self, r: usize, q: usize, alpha: &[f64]) {
+        let ar = alpha[r];
+        let mut v: Vec<f64> = alpha.iter().map(|&ai| -ai / ar).collect();
+        v[r] = 1.0 / ar - 1.0;
+        self.etas.push(Eta { r, v });
+        self.basis[r] = q;
+        self.stat[q] = VarStatus::Basic;
+    }
+
+    /// One simplex phase; mirrors the dense `Tableau::run_phase` loop
+    /// (entering rule aside) including the stall-triggered switch to
+    /// Bland's rule.
+    fn run_phase(&mut self, allow_artificial: bool) -> SparseOutcome {
+        let tol = self.opts.opt_tol;
+        // The stall detector only compares successive phase objectives,
+        // so the incrementally-maintained split (nonbasic part updated on
+        // status changes, basic part summed fresh each iteration) is a
+        // valid stand-in for the full `phase_objective` sweep.
+        let mut nonbasic_obj = self.nonbasic_objective();
+        let mut last_obj = nonbasic_obj + self.basic_objective();
+        let mut stall = 0usize;
+        let mut bland = false;
+        let mut candidates: Vec<usize> = Vec::new();
+
+        loop {
+            if self.iterations >= self.opts.max_iterations {
+                return SparseOutcome::IterationLimit;
+            }
+            let y = self.pricing_duals();
+            let entering = if bland {
+                self.price_bland(&y, allow_artificial, tol)
+            } else {
+                self.price_partial(&y, allow_artificial, tol, &mut candidates)
+            };
+            let Some(q) = entering else {
+                return SparseOutcome::Optimal;
+            };
+            let dir: f64 = if self.stat[q] == VarStatus::AtLower { 1.0 } else { -1.0 };
+            let entering_x = self.xval[q];
+            let alpha = self.ftran_column(q);
+
+            // --- ratio test (same three leaving cases as the dense path) ---
+            let mut theta = self.upper[q] - self.lower[q];
+            let mut leave: Option<(usize, bool)> = None;
+            let mut leave_pivot = 0.0f64;
+            for (i, &a) in alpha.iter().enumerate() {
+                if a.abs() <= self.opts.pivot_tol {
+                    continue;
+                }
+                let bi = self.basis[i];
+                let change = -dir * a;
+                let (lim, hits_upper) = if change < 0.0 {
+                    ((self.xval[bi] - self.lower[bi]) / -change, false)
+                } else {
+                    ((self.upper[bi] - self.xval[bi]) / change, true)
+                };
+                if !lim.is_finite() {
+                    continue;
+                }
+                let lim = lim.max(0.0);
+                let take = match leave {
+                    None => lim < theta,
+                    Some((r_prev, _)) => {
+                        if lim < theta - 1e-10 {
+                            true
+                        } else if lim < theta + 1e-10 {
+                            if bland {
+                                self.basis[i] < self.basis[r_prev]
+                            } else {
+                                a.abs() > leave_pivot
+                            }
+                        } else {
+                            false
+                        }
+                    }
+                };
+                if take {
+                    theta = lim.min(theta);
+                    leave = Some((i, hits_upper));
+                    leave_pivot = a.abs();
+                }
+            }
+            if !theta.is_finite() {
+                return SparseOutcome::Unbounded;
+            }
+            let theta = theta.max(0.0);
+
+            // --- primal update ---
+            self.xval[q] += dir * theta;
+            if theta != 0.0 {
+                for (i, &a) in alpha.iter().enumerate() {
+                    if a != 0.0 {
+                        self.xval[self.basis[i]] -= dir * theta * a;
+                    }
+                }
+            }
+
+            match leave {
+                None => {
+                    self.stat[q] = match self.stat[q] {
+                        VarStatus::AtLower => {
+                            self.xval[q] = self.upper[q];
+                            VarStatus::AtUpper
+                        }
+                        VarStatus::AtUpper => {
+                            self.xval[q] = self.lower[q];
+                            VarStatus::AtLower
+                        }
+                        VarStatus::Basic => unreachable!(),
+                    };
+                    nonbasic_obj += self.cost[q] * (self.xval[q] - entering_x);
+                }
+                Some((r, hits_upper)) => {
+                    let leaving = self.basis[r];
+                    if hits_upper {
+                        self.stat[leaving] = VarStatus::AtUpper;
+                        self.xval[leaving] = self.upper[leaving];
+                    } else {
+                        self.stat[leaving] = VarStatus::AtLower;
+                        self.xval[leaving] = self.lower[leaving];
+                    }
+                    nonbasic_obj += self.cost[leaving] * self.xval[leaving];
+                    nonbasic_obj -= self.cost[q] * entering_x;
+                    self.apply_pivot(r, q, &alpha);
+                    if self.etas.len() >= REFACTOR_EVERY && !self.refactor(true) {
+                        return SparseOutcome::Numerical;
+                    }
+                }
+            }
+
+            self.iterations += 1;
+
+            let obj = nonbasic_obj + self.basic_objective();
+            if obj < last_obj - 1e-10 {
+                stall = 0;
+            } else {
+                stall += 1;
+                if stall > self.opts.bland_after {
+                    bland = true;
+                }
+            }
+            last_obj = obj;
+        }
+    }
+
+    /// After phase 1: pin artificials to `[0, 0]` is done by the caller;
+    /// here, pivot every basic artificial out of the basis where a
+    /// non-artificial column with a usable pivot exists (degenerate
+    /// pivots — the artificial sits at value 0). Redundant rows keep a
+    /// basic artificial at 0, which is harmless.
+    fn drive_out_artificials(&mut self) -> bool {
+        let art_start = self.n_struct + self.m;
+        for r in 0..self.m {
+            if self.basis[r] < art_start {
+                continue;
+            }
+            let mut e = vec![0.0f64; self.m];
+            e[r] = 1.0;
+            let rho = self.btran(&e); // row r of B^{-1}
+            let mut pivot_col = None;
+            for j in 0..art_start {
+                if self.stat[j] == VarStatus::Basic {
+                    continue;
+                }
+                let (ri, vs) = self.a.col(j);
+                let arj: f64 = ri.iter().zip(vs).map(|(&i, &v)| rho[i as usize] * v).sum();
+                if arj.abs() > DRIVE_OUT_TOL {
+                    pivot_col = Some(j);
+                    break;
+                }
+            }
+            if let Some(q) = pivot_col {
+                let leaving = self.basis[r];
+                self.stat[leaving] = VarStatus::AtLower;
+                self.xval[leaving] = 0.0;
+                let alpha = self.ftran_column(q);
+                self.apply_pivot(r, q, &alpha);
+                if self.etas.len() >= REFACTOR_EVERY && !self.refactor(true) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+/// Sparse analogue of [`crate::simplex::Prepared`]: phase 1 done, ready
+/// to run phase 2 per objective. Keeps a copy of the problem so a
+/// numerical failure mid-phase-2 can re-solve on the dense path.
+#[derive(Debug, Clone)]
+#[allow(clippy::large_enum_variant)] // one long-lived value per PreparedLp
+pub(crate) enum SparsePrepared {
+    /// Phase 1 found a feasible basis.
+    Ready { state: SparseState, phase1_iterations: usize, problem: LpProblem },
+    /// Phase 1 proved infeasibility or ran out of iterations.
+    Stopped { status: LpStatus, iterations: usize, phase1_iterations: usize },
+}
+
+impl SparsePrepared {
+    pub(crate) fn is_feasible(&self) -> bool {
+        matches!(self, SparsePrepared::Ready { .. })
+    }
+
+    pub(crate) fn phase1_iterations(&self) -> usize {
+        match self {
+            SparsePrepared::Ready { phase1_iterations, .. } => *phase1_iterations,
+            SparsePrepared::Stopped { phase1_iterations, .. } => *phase1_iterations,
+        }
+    }
+
+    /// Run phase 2 for `obj`. Never fails: a singular refactorization
+    /// falls back to a dense cold solve of the same problem+objective.
+    pub(crate) fn solve_objective(&self, sense: Sense, obj: &[f64]) -> LpSolution {
+        match self {
+            SparsePrepared::Stopped { status, iterations, phase1_iterations } => {
+                LpSolution::non_optimal(*status, *iterations, *phase1_iterations)
+            }
+            SparsePrepared::Ready { state, phase1_iterations, problem } => {
+                match finish(state.clone(), *phase1_iterations, sense, obj) {
+                    Some(sol) => sol,
+                    None => {
+                        let mut p = problem.clone();
+                        p.obj.clear();
+                        p.obj.extend_from_slice(obj);
+                        crate::simplex::solve_dense(&p, &state.opts)
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Sparse phase 1: assemble, minimize the artificial sum, pin artificials
+/// and drive them out. `None` means "numerical trouble — use the dense
+/// path"; infeasibility and iteration exhaustion are ordinary results.
+pub(crate) fn prepare(p: &LpProblem, opts: &SimplexOptions) -> Option<SparsePrepared> {
+    let n = p.n;
+    let m = p.rows.len();
+    let n_total = n + 2 * m;
+    let mut st = SparseState::assemble(p, opts)?;
+
+    for j in n + m..n_total {
+        st.cost[j] = 1.0;
+    }
+    let scale = 1.0 + p.rhs.iter().fold(0.0f64, |a, b| a.max(b.abs()));
+    match st.run_phase(true) {
+        SparseOutcome::Optimal => {}
+        SparseOutcome::Unbounded => return None, // phase 1 is bounded below by 0
+        SparseOutcome::IterationLimit => {
+            return Some(SparsePrepared::Stopped {
+                status: LpStatus::IterationLimit,
+                iterations: st.iterations,
+                phase1_iterations: st.iterations,
+            });
+        }
+        SparseOutcome::Numerical => return None,
+    }
+    let phase1_iterations = st.iterations;
+    if st.phase_objective() > opts.feas_tol * scale {
+        return Some(SparsePrepared::Stopped {
+            status: LpStatus::Infeasible,
+            iterations: st.iterations,
+            phase1_iterations,
+        });
+    }
+
+    for j in n + m..n_total {
+        st.lower[j] = 0.0;
+        st.upper[j] = 0.0;
+    }
+    if !st.drive_out_artificials() {
+        return None;
+    }
+    Some(SparsePrepared::Ready { state: st, phase1_iterations, problem: p.clone() })
+}
+
+/// Sparse phase 2 + extraction. `None` on numerical failure (caller falls
+/// back to dense). Duals come directly from `y = B^{-T} c_B`; with
+/// unscaled rows this is already the internal-minimization multiplier
+/// vector, so the user-sense conversion is a single sign.
+pub(crate) fn finish(
+    mut st: SparseState,
+    phase1_iterations: usize,
+    sense: Sense,
+    obj: &[f64],
+) -> Option<LpSolution> {
+    let n = st.n_struct;
+    let m = st.m;
+    let obj_sign = match sense {
+        Sense::Min => 1.0,
+        Sense::Max => -1.0,
+    };
+    st.cost.iter_mut().for_each(|c| *c = 0.0);
+    for (c, &o) in st.cost[..n].iter_mut().zip(obj) {
+        *c = obj_sign * o;
+    }
+    match st.run_phase(false) {
+        SparseOutcome::Optimal => {}
+        SparseOutcome::Unbounded => {
+            return Some(LpSolution::non_optimal(
+                LpStatus::Unbounded,
+                st.iterations,
+                phase1_iterations,
+            ));
+        }
+        SparseOutcome::IterationLimit => {
+            return Some(LpSolution::non_optimal(
+                LpStatus::IterationLimit,
+                st.iterations,
+                phase1_iterations,
+            ));
+        }
+        SparseOutcome::Numerical => return None,
+    }
+
+    let mut x = st.xval[..n].to_vec();
+    for (j, v) in x.iter_mut().enumerate() {
+        if *v < st.lower[j] {
+            *v = st.lower[j];
+        }
+        if *v > st.upper[j] {
+            *v = st.upper[j];
+        }
+    }
+    let objective: f64 = obj.iter().zip(&x).map(|(c, v)| c * v).sum();
+    let y = st.pricing_duals();
+    let duals: Vec<f64> = y.iter().map(|&yi| obj_sign * yi).collect();
+    let reduced_costs: Vec<f64> = (0..n).map(|j| obj_sign * st.reduced_cost(j, &y)).collect();
+    let statuses: Vec<VarStatus> = st.stat[..n + m].to_vec();
+
+    Some(LpSolution {
+        status: LpStatus::Optimal,
+        objective,
+        x,
+        duals,
+        reduced_costs,
+        iterations: st.iterations,
+        phase1_iterations,
+        basis: Some(BasisSnapshot::from_statuses(statuses)),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{check_certificate, LpProblem, Relation};
+
+    fn sparse_opts() -> SimplexOptions {
+        SimplexOptions { sparse: SparseMode::Always, ..Default::default() }
+    }
+
+    fn solve_sparse(p: &LpProblem) -> LpSolution {
+        p.solve_with(&sparse_opts()).unwrap()
+    }
+
+    #[test]
+    fn auto_selection_gates_on_size_and_density() {
+        // Tiny: below the cell floor regardless of density.
+        let mut tiny = LpProblem::minimize(4);
+        tiny.add_constraint(&[(0, 1.0)], Relation::Ge, 1.0);
+        assert!(!selected(&tiny, &SimplexOptions::default()));
+
+        // Large and sparse: selected.
+        let mut big = LpProblem::minimize(10_000);
+        for i in 0..10 {
+            let row: Vec<(usize, f64)> = (0..50).map(|k| (i * 50 + k, 1.0)).collect();
+            big.add_constraint(&row, Relation::Ge, 1.0);
+        }
+        assert!(selected(&big, &SimplexOptions::default()));
+
+        // Large and dense: not selected.
+        let mut dense = LpProblem::minimize(10_000);
+        for _ in 0..10 {
+            let row: Vec<(usize, f64)> = (0..10_000).map(|j| (j, 1.0)).collect();
+            dense.add_constraint(&row, Relation::Ge, 1.0);
+        }
+        assert!(!selected(&dense, &SimplexOptions::default()));
+
+        // Modes override the heuristic in both directions.
+        let never = SimplexOptions { sparse: SparseMode::Never, ..Default::default() };
+        assert!(!selected(&big, &never));
+        assert!(selected(&tiny, &sparse_opts()));
+    }
+
+    #[test]
+    fn textbook_max_le_on_sparse_path() {
+        let mut p = LpProblem::maximize(2);
+        p.set_objective(&[3.0, 5.0]);
+        p.add_constraint_dense(&[1.0, 0.0], Relation::Le, 4.0);
+        p.add_constraint_dense(&[0.0, 2.0], Relation::Le, 12.0);
+        p.add_constraint_dense(&[3.0, 2.0], Relation::Le, 18.0);
+        let sol = solve_sparse(&p);
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert!((sol.objective - 36.0).abs() < 1e-8);
+        assert!((sol.x[0] - 2.0).abs() < 1e-8);
+        assert!((sol.x[1] - 6.0).abs() < 1e-8);
+        check_certificate(&p, &sol, 1e-6).unwrap();
+    }
+
+    #[test]
+    fn phase1_ge_rows_on_sparse_path() {
+        let mut p = LpProblem::minimize(2);
+        p.set_objective(&[2.0, 3.0]);
+        p.add_constraint_dense(&[1.0, 1.0], Relation::Ge, 4.0);
+        p.add_constraint_dense(&[1.0, 2.0], Relation::Ge, 6.0);
+        let sol = solve_sparse(&p);
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert!((sol.objective - 10.0).abs() < 1e-8);
+        check_certificate(&p, &sol, 1e-6).unwrap();
+        // Both rows bind; duals solve y1 + y2 = 2, y1 + 2 y2 = 3.
+        assert!((sol.duals[0] - 1.0).abs() < 1e-6);
+        assert!((sol.duals[1] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn detects_infeasible_and_unbounded() {
+        let mut inf = LpProblem::minimize(1);
+        inf.add_constraint_dense(&[1.0], Relation::Ge, 5.0);
+        inf.add_constraint_dense(&[1.0], Relation::Le, 2.0);
+        assert_eq!(solve_sparse(&inf).status, LpStatus::Infeasible);
+
+        let mut unb = LpProblem::minimize(1);
+        unb.set_objective(&[-1.0]);
+        unb.add_constraint_dense(&[1.0], Relation::Ge, 1.0);
+        assert_eq!(solve_sparse(&unb).status, LpStatus::Unbounded);
+    }
+
+    #[test]
+    fn bound_flips_and_equalities() {
+        let mut p = LpProblem::maximize(2);
+        p.set_objective(&[1.0, 1.0]);
+        p.set_bounds(0, 0.0, 1.0);
+        p.set_bounds(1, 0.0, 1.0);
+        p.add_constraint_dense(&[1.0, 1.0], Relation::Le, 1.5);
+        let sol = solve_sparse(&p);
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert!((sol.objective - 1.5).abs() < 1e-8);
+        check_certificate(&p, &sol, 1e-6).unwrap();
+
+        let mut q = LpProblem::minimize(2);
+        q.set_objective(&[1.0, 1.0]);
+        q.add_constraint_dense(&[1.0, 1.0], Relation::Eq, 5.0);
+        q.add_constraint_dense(&[1.0, 0.0], Relation::Le, 2.0);
+        let sol = solve_sparse(&q);
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert!((sol.objective - 5.0).abs() < 1e-8);
+        check_certificate(&q, &sol, 1e-6).unwrap();
+    }
+
+    #[test]
+    fn redundant_rows_leave_artificial_basic() {
+        let mut p = LpProblem::minimize(2);
+        p.set_objective(&[1.0, 2.0]);
+        p.add_constraint_dense(&[1.0, 1.0], Relation::Eq, 3.0);
+        p.add_constraint_dense(&[2.0, 2.0], Relation::Eq, 6.0);
+        let sol = solve_sparse(&p);
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert!((sol.objective - 3.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn degenerate_lp_terminates_on_sparse_path() {
+        let mut p = LpProblem::minimize(4);
+        p.set_objective(&[-0.75, 150.0, -0.02, 6.0]);
+        p.add_constraint_dense(&[0.25, -60.0, -0.04, 9.0], Relation::Le, 0.0);
+        p.add_constraint_dense(&[0.5, -90.0, -0.02, 3.0], Relation::Le, 0.0);
+        p.add_constraint_dense(&[0.0, 0.0, 1.0, 0.0], Relation::Le, 1.0);
+        let sol = solve_sparse(&p);
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert!((sol.objective + 0.05).abs() < 1e-6);
+        check_certificate(&p, &sol, 1e-6).unwrap();
+    }
+
+    #[test]
+    fn zero_rows_zero_vars() {
+        let p = LpProblem::minimize(0);
+        let sol = solve_sparse(&p);
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert_eq!(sol.objective, 0.0);
+
+        // No rows but variables: everything rests on its cheapest bound.
+        let mut q = LpProblem::minimize(2);
+        q.set_objective(&[1.0, -1.0]);
+        q.set_bounds(1, 0.0, 7.0);
+        let sol = solve_sparse(&q);
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert!((sol.objective + 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn covering_agrees_with_dense_and_eta_refactorization_survives() {
+        // Big enough that phase 1 + phase 2 exceed REFACTOR_EVERY pivots,
+        // exercising the refactorization + drift-recompute path.
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(7);
+        let n = 300;
+        let m = 40;
+        let mut p = LpProblem::minimize(n);
+        for j in 0..n {
+            p.set_bounds(j, 0.0, 1.0);
+            p.set_objective_coeff(j, rng.random_range(1.0..10.0));
+        }
+        for _ in 0..m {
+            let mut row = Vec::new();
+            for j in 0..n {
+                if rng.random_bool(0.07) {
+                    row.push((j, rng.random_range(1.0..4.0f64).round()));
+                }
+            }
+            if row.is_empty() {
+                row.push((rng.random_range(0..n), 2.0));
+            }
+            p.add_constraint(&row, Relation::Ge, rng.random_range(1.0..3.0f64).round());
+        }
+        let sparse = solve_sparse(&p);
+        let dense = p
+            .solve_with(&SimplexOptions { sparse: SparseMode::Never, ..Default::default() })
+            .unwrap();
+        assert_eq!(sparse.status, LpStatus::Optimal);
+        assert_eq!(dense.status, LpStatus::Optimal);
+        let scale = 1.0 + dense.objective.abs();
+        assert!(
+            (sparse.objective - dense.objective).abs() < 1e-6 * scale,
+            "objective mismatch: sparse {} vs dense {}",
+            sparse.objective,
+            dense.objective
+        );
+        check_certificate(&p, &sparse, 1e-6).unwrap();
+        check_certificate(&p, &dense, 1e-6).unwrap();
+    }
+
+    #[test]
+    fn prepared_sparse_matches_cold_sparse() {
+        let mut p = LpProblem::minimize(4);
+        p.set_objective(&[3.0, 2.0, 4.0, 1.0]);
+        for j in 0..4 {
+            p.set_bounds(j, 0.0, 1.0);
+        }
+        p.add_constraint_dense(&[2.0, 1.0, 0.0, 1.0], Relation::Ge, 2.0);
+        p.add_constraint_dense(&[0.0, 2.0, 3.0, 1.0], Relation::Ge, 3.0);
+        let prepared = p.prepare_with(&sparse_opts()).unwrap();
+        assert!(prepared.is_feasible());
+        for obj in [[3.0, 2.0, 4.0, 1.0], [1.0, 1.0, 1.0, 1.0], [0.5, 9.0, 0.25, 2.0]] {
+            let warm = prepared.solve_objective(&obj).unwrap();
+            let mut q = p.clone();
+            q.set_objective(&obj);
+            let cold = solve_sparse(&q);
+            assert_eq!(warm.status, cold.status);
+            assert_eq!(warm.objective.to_bits(), cold.objective.to_bits());
+            assert_eq!(warm.iterations, cold.iterations);
+            check_certificate(&q, &warm, 1e-6).unwrap();
+        }
+    }
+
+    #[test]
+    fn fixed_variables_and_negative_bounds() {
+        let mut p = LpProblem::minimize(2);
+        p.set_objective(&[1.0, 1.0]);
+        p.set_bounds(0, 2.0, 2.0);
+        p.add_constraint_dense(&[1.0, 1.0], Relation::Ge, 5.0);
+        let sol = solve_sparse(&p);
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert!((sol.x[0] - 2.0).abs() < 1e-9);
+        assert!((sol.objective - 5.0).abs() < 1e-8);
+
+        let mut q = LpProblem::minimize(2);
+        q.set_objective(&[1.0, 1.0]);
+        q.set_bounds(0, -5.0, f64::INFINITY);
+        q.set_bounds(1, -2.0, 2.0);
+        q.add_constraint_dense(&[1.0, 1.0], Relation::Ge, -4.0);
+        let sol = solve_sparse(&q);
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert!((sol.objective + 4.0).abs() < 1e-8);
+        check_certificate(&q, &sol, 1e-6).unwrap();
+    }
+
+    #[test]
+    fn iteration_limit_is_reported() {
+        let mut p = LpProblem::minimize(2);
+        p.set_objective(&[2.0, 3.0]);
+        p.add_constraint_dense(&[1.0, 1.0], Relation::Ge, 4.0);
+        let opts = SimplexOptions {
+            max_iterations: 0,
+            sparse: SparseMode::Always,
+            ..Default::default()
+        };
+        let sol = p.solve_with(&opts).unwrap();
+        assert_eq!(sol.status, LpStatus::IterationLimit);
+    }
+}

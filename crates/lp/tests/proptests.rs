@@ -6,8 +6,78 @@
 //! complete optimality proof for linear programs, these tests do not need
 //! a reference solver.
 
-use bico_lp::{check_certificate, LpProblem, LpStatus, Relation, SimplexOptions};
+use bico_lp::{check_certificate, LpProblem, LpStatus, Relation, SimplexOptions, SparseMode};
 use proptest::prelude::*;
+
+/// Solve `p` on both implementations and require full agreement: same
+/// status, and when optimal, matching objectives and a passing KKT
+/// certificate from each. Pivot routes may differ (the sparse path
+/// prices sectionally); the certificate is the agreement criterion.
+fn assert_sparse_dense_agree(p: &LpProblem, label: &str) {
+    let dense = p
+        .solve_with(&SimplexOptions { sparse: SparseMode::Never, ..Default::default() })
+        .unwrap();
+    let sparse = p
+        .solve_with(&SimplexOptions { sparse: SparseMode::Always, ..Default::default() })
+        .unwrap();
+    assert_eq!(dense.status, sparse.status, "{label}: statuses diverged");
+    if dense.status == LpStatus::Optimal {
+        let tol = 1e-6 * (1.0 + dense.objective.abs());
+        assert!(
+            (dense.objective - sparse.objective).abs() <= tol,
+            "{label}: dense {} vs sparse {}",
+            dense.objective,
+            sparse.objective
+        );
+        assert!(
+            check_certificate(p, &dense, 1e-6).is_ok(),
+            "{label}: dense certificate failed: {:?}",
+            check_certificate(p, &dense, 1e-6)
+        );
+        assert!(
+            check_certificate(p, &sparse, 1e-6).is_ok(),
+            "{label}: sparse certificate failed: {:?}",
+            check_certificate(p, &sparse, 1e-6)
+        );
+    }
+}
+
+/// Deterministic twin of the sparse-vs-dense differential properties
+/// below: a fixed sweep of seeded covering and general LPs through the
+/// same agreement check, so the differential guarantee is exercised even
+/// where the proptest runner is unavailable.
+#[test]
+fn sparse_dense_fixed_sweep_agrees() {
+    for seed in 0..40u32 {
+        let data: Vec<u8> = (0..192u32).map(|i| ((i * 97 + seed * 131) % 251) as u8).collect();
+        let n = 4 + (seed as usize * 7) % 30;
+        let m = 1 + (seed as usize * 3) % 10;
+        let p = covering_lp(n, m, &data);
+        assert_sparse_dense_agree(&p, &format!("covering seed {seed}"));
+    }
+    // General LPs: mixed relations, including infeasible windows.
+    for seed in 0..40u32 {
+        let n = 1 + (seed as usize) % 6;
+        let mut p = LpProblem::minimize(n);
+        for j in 0..n {
+            p.set_objective_coeff(j, ((seed as i32 * 7 + j as i32 * 5) % 19 - 9) as f64);
+            p.set_bounds(j, 0.0, 1.0 + ((seed as usize + j) % 30) as f64);
+        }
+        for r in 0..(seed as usize % 4) {
+            let rel = match (seed as usize + r) % 3 {
+                0 => Relation::Le,
+                1 => Relation::Ge,
+                _ => Relation::Eq,
+            };
+            let dense_row: Vec<f64> = (0..n)
+                .map(|j| ((seed as i32 + r as i32 * 3 + j as i32) % 11 - 5) as f64)
+                .collect();
+            let rhs = ((seed as i32 * 13 + r as i32 * 17) % 41 - 20) as f64;
+            p.add_constraint_dense(&dense_row, rel, rhs);
+        }
+        assert_sparse_dense_agree(&p, &format!("general seed {seed}"));
+    }
+}
 
 /// Random covering LP: min c·x, Qx ≥ b, 0 ≤ x ≤ 1 with Q ≥ 0 and
 /// b scaled so the all-ones point is feasible (guarantees feasibility).
@@ -221,6 +291,50 @@ proptest! {
             prop_assert!(check_certificate(&perturbed, &warm, 1e-6).is_ok(),
                 "warm certificate failed: {:?}", check_certificate(&perturbed, &warm, 1e-6));
         }
+    }
+
+    #[test]
+    fn sparse_and_dense_agree_on_covering_lps(
+        n in 2usize..40,
+        m in 1usize..12,
+        data in proptest::collection::vec(any::<u8>(), 64..256),
+    ) {
+        // The differential contract behind SparseMode::Auto: whichever
+        // implementation the threshold picks, the answer is the same —
+        // equal objectives and a full KKT certificate from each path,
+        // not pivot-sequence identity (the sparse path prices
+        // sectionally and legitimately pivots differently).
+        let p = covering_lp(n, m, &data);
+        assert_sparse_dense_agree(&p, "proptest covering");
+    }
+
+    #[test]
+    fn sparse_and_dense_agree_on_general_lps(
+        n in 1usize..10,
+        rows in proptest::collection::vec(
+            (proptest::collection::vec(-5i8..=5, 10), 0usize..3, -20i8..=20),
+            0..6
+        ),
+        costs in proptest::collection::vec(-9i8..=9, 10),
+        uppers in proptest::collection::vec(1u8..=30, 10),
+    ) {
+        // Same generator as general_lps_never_violate_certificate, so
+        // infeasible and unbounded cases exercise the status agreement.
+        let mut p = LpProblem::minimize(n);
+        for j in 0..n {
+            p.set_objective_coeff(j, costs[j] as f64);
+            p.set_bounds(j, 0.0, uppers[j] as f64);
+        }
+        for (coeffs, rel, rhs) in &rows {
+            let rel = match rel % 3 {
+                0 => Relation::Le,
+                1 => Relation::Ge,
+                _ => Relation::Eq,
+            };
+            let dense: Vec<f64> = coeffs.iter().take(n).map(|&c| c as f64).collect();
+            p.add_constraint_dense(&dense, rel, *rhs as f64);
+        }
+        assert_sparse_dense_agree(&p, "proptest general");
     }
 
     #[test]

@@ -27,6 +27,21 @@ TRACKED = [
     # losing its convergence guarantee on the provable substrate.
     ("maximin.shared_equilibrium_error",
      lambda r: r.get("maximin", {}).get("shared_equilibrium_error")),
+    # The --huge tier (20k × 100): ms/solve for both LP paths, ms/pass
+    # for both decoders, and the sparse pivot count. Pivot-count creep
+    # is the earliest symptom of a pricing-rule regression — it shows
+    # up before wall-clock on a fast machine. These are warn-only until
+    # the first baseline containing a huge block lands.
+    ("huge.lp.dense_ms_per_solve",
+     lambda r: r.get("huge", {}).get("lp", {}).get("dense_ms_per_solve")),
+    ("huge.lp.sparse_ms_per_solve",
+     lambda r: r.get("huge", {}).get("lp", {}).get("sparse_ms_per_solve")),
+    ("huge.lp.sparse_pivots",
+     lambda r: r.get("huge", {}).get("lp", {}).get("sparse_pivots")),
+    ("huge.decode.scalar_ms_per_pass",
+     lambda r: r.get("huge", {}).get("decode", {}).get("scalar_ms_per_pass")),
+    ("huge.decode.batched_ms_per_pass",
+     lambda r: r.get("huge", {}).get("decode", {}).get("batched_ms_per_pass")),
 ]
 
 # Higher is better: a drop beyond the threshold is the regression. The
@@ -60,6 +75,23 @@ def absolute_checks(current) -> bool:
         ok = False
     else:
         print(f"maximin.plain_seesaw_amplitude = {amplitude:.4f} > 0 ok")
+
+    huge = current.get("huge")
+    if huge is None:
+        print("::warning::huge block missing; skipped")
+    else:
+        # The bench binary asserts this in-process too; re-checking here
+        # catches a stale or hand-edited report.
+        speedups = [huge.get("lp", {}).get("speedup"),
+                    huge.get("decode", {}).get("speedup")]
+        speedups = [s for s in speedups if s is not None]
+        best = max(speedups, default=0.0)
+        if best < 3.0:
+            print(f"huge: best speedup {best:.2f}x < 3x floor "
+                  "(sparse LP or batched decode must carry it) FAILED")
+            ok = False
+        else:
+            print(f"huge: best speedup {best:.2f}x >= 3x ok")
     return ok
 
 
