@@ -56,7 +56,7 @@ pub use instance::{BcpopInstance, InstanceError};
 pub use io::{read_instance, write_instance};
 pub use relaxation::{gap_percent, Relaxation, RelaxationSolver};
 pub use scoring::{
-    bcpop_primitives, BatchScorer, BundleFeatures, CompiledGpScorer, CostPerCoverageScorer,
-    CostScorer, DualAdjustedScorer, FeatureColumns, GpScorer, Scorer, WeightScorer,
-    NUM_TERMINALS,
+    bcpop_primitives, bundle_features, BatchScorer, BundleFeatures, CompiledGpScorer,
+    CostPerCoverageScorer, CostScorer, DualAdjustedScorer, FeatureColumns, GpScorer, Scorer,
+    WeightScorer, NUM_TERMINALS,
 };

@@ -29,18 +29,22 @@ use bico_bcpop::{
 };
 use bico_core::decode_cache::{cell_key, decode_mode, tree_scorer_key, DecodeOutcome};
 use bico_core::{
-    BilinearProblem, CoevStrategy, DecodeCache, GpCompileCache, MaximinCoev, MaximinConfig,
+    BilinearProblem, Carbon, CarbonConfig, CoevStrategy, DecodeCache, GpCompileCache,
+    MaximinCoev, MaximinConfig, SurrogateGate,
 };
+use bico_ea::cache::EvictionPolicy;
+use bico_ea::hypothesis::{compare_run_sets, seed_matrix};
 use bico_ea::{seed_stream, SolveCache};
 use bico_gp::grow;
 use bico_lp::{check_certificate, LpProblem, LpStatus, Relation, SimplexOptions, SparseMode};
 use bico_obs::analyze::{analyze, DEFAULT_STAGNATION_WINDOW};
 use bico_obs::replay::parse_trace;
-use bico_obs::{JsonlSink, SharedBuffer};
+use bico_obs::{JsonlSink, MetricsSink, SharedBuffer};
 use criterion::{criterion_group, Criterion};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use rayon::prelude::*;
+use std::cell::RefCell;
 use std::hint::black_box;
 use std::time::Instant;
 
@@ -325,6 +329,100 @@ fn huge_json_block(reduced: bool) -> String {
     )
 }
 
+/// The surrogate-gate quality protocol (DESIGN §6.7): a seed matrix of
+/// full CARBON runs with the gate off vs at its default top-k, compared
+/// on final %-gap with the Mann–Whitney U test. The gate must cut exact
+/// lower-level cell evaluations by ≥2× without a statistically
+/// significant gap degradation; ms/generation for both arms goes into
+/// the JSON so CI tracks the wall-clock payoff per commit. Returns the
+/// rendered `"surrogate"` JSON block.
+fn surrogate_json_block(reduced: bool) -> String {
+    let (nb, ns, seeds, gens) =
+        if reduced { (100usize, 6usize, 8usize, 8u64) } else { (500, 30, 30, 12) };
+    let inst = generate(&GeneratorConfig::paper_class(nb, ns), 42);
+    let pop = 12usize;
+    let training = 6usize;
+    let base_cfg = CarbonConfig {
+        ul_pop_size: pop,
+        ll_pop_size: pop,
+        ul_archive_size: pop,
+        ll_archive_size: pop,
+        training_samples: training,
+        ul_evaluations: pop as u64 * gens,
+        ll_evaluations: (pop * training) as u64 * gens,
+        ..Default::default()
+    };
+    assert_eq!(base_cfg.surrogate_gate, SurrogateGate::Off, "gate defaults off");
+    let mut gated_cfg = base_cfg.clone();
+    gated_cfg.surrogate_gate = SurrogateGate::top_k();
+
+    // Both arms run under a MetricsSink so observer overhead cancels in
+    // the ms/generation comparison; only the gated arm emits
+    // SurrogateProbe counters.
+    // (seconds, generations, cells screened, exact evals)
+    let arm_stats = RefCell::new((0.0f64, 0u64, 0u64, 0u64));
+    let run_arm = |cfg: &CarbonConfig, seed: u64| {
+        let sink = MetricsSink::new();
+        let t = Instant::now();
+        let r = Carbon::new(&inst, cfg.clone()).run_observed(seed, &sink);
+        let secs = t.elapsed().as_secs_f64();
+        let m = sink.report();
+        let mut st = arm_stats.borrow_mut();
+        st.0 += secs;
+        st.1 += r.generations as u64;
+        st.2 += m.surrogate_cells;
+        st.3 += m.surrogate_exact;
+        r.best_gap
+    };
+    let off_gaps = seed_matrix(0x5EED, seeds, |s| run_arm(&base_cfg, s));
+    let (off_secs, off_gens, off_cells, _) = arm_stats.replace((0.0, 0, 0, 0));
+    assert_eq!(off_cells, 0, "the off arm must never screen cells");
+    let on_gaps = seed_matrix(0x5EED, seeds, |s| run_arm(&gated_cfg, s));
+    let (on_secs, on_gens, cells, exact) = arm_stats.into_inner();
+
+    let off_ms_per_gen = off_secs * 1e3 / off_gens.max(1) as f64;
+    let on_ms_per_gen = on_secs * 1e3 / on_gens.max(1) as f64;
+    let speedup = off_ms_per_gen / on_ms_per_gen.max(1e-12);
+    assert!(cells > 0 && exact > 0, "gated arm must screen and evaluate cells");
+    let reduction = cells as f64 / exact as f64;
+    assert!(
+        reduction >= 2.0,
+        "surrogate gate must cut exact evaluations >=2x (got {reduction:.2}x: \
+         {exact} exact of {cells} cells)"
+    );
+
+    let cmp = compare_run_sets(&off_gaps, &on_gaps);
+    // None (empty or zero-variance samples) means "indistinguishable".
+    let p = cmp.test.as_ref().map_or(1.0, |t| t.p_two_sided);
+    let gap_delta = cmp.b_mean - cmp.a_mean;
+    assert!(
+        !(p < 0.05 && gap_delta > 0.0),
+        "gated runs significantly degrade gap quality \
+         (off mean {:.4}, on mean {:.4}, p {p:.4})",
+        cmp.a_mean,
+        cmp.b_mean
+    );
+    eprintln!(
+        "surrogate {nb}x{ns} ({seeds} seeds x {gens} gens): \
+         off {off_ms_per_gen:.1} ms/gen vs topk {on_ms_per_gen:.1} ms/gen = {speedup:.2}x; \
+         exact evals {exact}/{cells} ({reduction:.2}x reduction); \
+         gap off {:.4} vs on {:.4} (delta {gap_delta:+.4}, MW p {p:.3})",
+        cmp.a_mean, cmp.b_mean,
+    );
+    format!(
+        "{{\"instance_class\": \"{nb}x{ns}\", \"seeds\": {seeds}, \
+         \"generations_per_run\": {gens}, \
+         \"off_ms_per_gen\": {off_ms_per_gen:.3}, \"on_ms_per_gen\": {on_ms_per_gen:.3}, \
+         \"ms_per_gen_speedup\": {speedup:.3}, \
+         \"cells_screened\": {cells}, \"exact_evals\": {exact}, \
+         \"exact_eval_reduction\": {reduction:.3}, \
+         \"off_gap_mean\": {off_mean:.4}, \"on_gap_mean\": {on_mean:.4}, \
+         \"gap_delta\": {gap_delta:.4}, \"mw_p\": {p:.4}}}",
+        off_mean = cmp.a_mean,
+        on_mean = cmp.b_mean,
+    )
+}
+
 /// The `--json-out` measurement pass. Every number is also sanity-
 /// checked here so a regressed build fails the bench job instead of
 /// silently recording garbage.
@@ -452,6 +550,102 @@ fn write_bench_json(path: &str, reduced: bool, huge: bool) {
     let scs = sc.stats();
     assert!(scs.hits > 0 && cached_pivots < cold_pivots);
 
+    // Eviction-policy ablation: a hot set re-referenced every iteration
+    // against a cold stream cycling a pool larger than the cache, under
+    // FIFO vs CLOCK. The caches shard their capacity 16 ways, so the
+    // bound must leave each shard room for more than one entry — with
+    // per-shard capacity 2 the cold stream steadily flushes hot entries
+    // under FIFO, while second-chance sees their reference bits and
+    // keeps them resident. The pricing vectors vary per coordinate with
+    // non-dyadic steps: constant vectors whose coordinates share dyadic
+    // deltas all collapse into one FNV shard (the deltas repeat every 8
+    // key bytes and the FNV prime is a unit of order 8 mod 16), which
+    // would reduce the whole cache to a single cap-2 shard. Hit rates
+    // are deterministic (FNV routing, fixed workload) and clock must
+    // dominate.
+    let hit_rate = |h: u64, m: u64| h as f64 / (h + m).max(1) as f64;
+    let evict_iters = (workload_len / 4).max(16);
+    let cold_pool = 48usize; // > capacity, so cold keys never accumulate
+    let hot_pricings: Vec<Vec<f64>> = (0..8)
+        .map(|i| (0..inst.num_own()).map(|j| 10.0 + i as f64 * 3.1 + j as f64 * 0.17).collect())
+        .collect();
+    let cold_pricings: Vec<Vec<f64>> = (0..cold_pool)
+        .map(|k| (0..inst.num_own()).map(|j| 8.0 + k as f64 * 0.53 + j as f64 * 0.29).collect())
+        .collect();
+    let evict_solve_rate = |policy: EvictionPolicy| {
+        let c: SolveCache<Relaxation> = SolveCache::with_policy(32, policy);
+        for i in 0..evict_iters {
+            for p in &hot_pricings {
+                c.get_or_insert_with(p, || solver.solve(&inst.costs_for(p)).unwrap());
+            }
+            for k in 0..4usize {
+                let cold = &cold_pricings[(4 * i + k) % cold_pool];
+                c.get_or_insert_with(cold, || solver.solve(&inst.costs_for(cold)).unwrap());
+            }
+        }
+        let s = c.stats();
+        hit_rate(s.hits, s.misses)
+    };
+    let solve_fifo = evict_solve_rate(EvictionPolicy::Fifo);
+    let solve_clock = evict_solve_rate(EvictionPolicy::Clock);
+    assert!(
+        solve_clock >= solve_fifo,
+        "clock must not lose to fifo on the hot/cold solve workload \
+         ({solve_clock:.3} vs {solve_fifo:.3})"
+    );
+    let hot_relaxes: Vec<Relaxation> = hot_pricings
+        .iter()
+        .take(4)
+        .map(|p| solver.solve(&inst.costs_for(p)).unwrap())
+        .collect();
+    let cold_relaxes: Vec<Relaxation> =
+        cold_pricings.iter().map(|p| solver.solve(&inst.costs_for(p)).unwrap()).collect();
+    let decode_with = |ti: usize, prices: &[f64], relax: &Relaxation| -> DecodeOutcome {
+        let costs = inst.costs_for(prices);
+        let (prog, _) = gp_cache.get_or_compile(&dc_trees[ti], &ps);
+        let mut scorer = CompiledGpScorer::from_program(prog);
+        let cover = greedy_cover_batched(&inst, &costs, &mut scorer, Some(relax));
+        let eval = evaluate_pair(&inst, prices, &cover.chosen, relax.lower_bound);
+        DecodeOutcome { cover, eval, gp_nodes: scorer.nodes_evaluated() }
+    };
+    let evict_decode_rate = |policy: EvictionPolicy| {
+        let c = DecodeCache::with_policy(32, policy);
+        for i in 0..evict_iters {
+            for (ti, tkey) in tree_keys.iter().enumerate() {
+                for (pi, prices) in hot_pricings.iter().take(4).enumerate() {
+                    c.get_or_decode(cell_key(mode, tkey, prices), || {
+                        decode_with(ti, prices, &hot_relaxes[pi])
+                    });
+                }
+            }
+            for k in 0..2usize {
+                let pi = (2 * i + k) % cold_pool;
+                let prices = &cold_pricings[pi];
+                c.get_or_decode(cell_key(mode, &tree_keys[0], prices), || {
+                    decode_with(0, prices, &cold_relaxes[pi])
+                });
+            }
+        }
+        let s = c.stats();
+        hit_rate(s.hits, s.misses)
+    };
+    let decode_fifo = evict_decode_rate(EvictionPolicy::Fifo);
+    let decode_clock = evict_decode_rate(EvictionPolicy::Clock);
+    assert!(
+        decode_clock >= decode_fifo,
+        "clock must not lose to fifo on the hot/cold decode workload \
+         ({decode_clock:.3} vs {decode_fifo:.3})"
+    );
+    eprintln!(
+        "eviction: solve fifo {solve_fifo:.3} vs clock {solve_clock:.3} hit rate \
+         (delta {:+.3}); decode fifo {decode_fifo:.3} vs clock {decode_clock:.3} \
+         (delta {:+.3})",
+        solve_clock - solve_fifo,
+        decode_clock - decode_fifo,
+    );
+
+    let surrogate_block = surrogate_json_block(reduced);
+
     // Maximin pathology trajectory: the bilinear substrate has a known
     // game value, so the plain strategy's see-saw amplitude and the
     // shared strategy's equilibrium error are *absolute* quality
@@ -506,6 +700,11 @@ fn write_bench_json(path: &str, reduced: bool, huge: bool) {
          \"speedup\": {dc_speedup:.3}}},\n  \
          \"solve_cache\": {{\"probes\": {scp}, \"hits\": {sch}, \"hit_rate\": {scr:.4}, \
          \"pivots_cold\": {cold_pivots}, \"pivots_cached\": {cached_pivots}}},\n  \
+         \"eviction\": {{\"solve\": {{\"fifo_hit_rate\": {solve_fifo:.4}, \
+         \"clock_hit_rate\": {solve_clock:.4}, \"delta\": {sed:.4}}}, \
+         \"decode\": {{\"fifo_hit_rate\": {decode_fifo:.4}, \
+         \"clock_hit_rate\": {decode_clock:.4}, \"delta\": {ded:.4}}}}},\n  \
+         \"surrogate\": {surrogate_block},\n  \
          \"maximin\": {{\"seeds\": {mm_seeds}, \
          \"plain_seesaw_amplitude\": {plain_amplitude:.4}, \
          \"plain_equilibrium_error\": {plain_err:.4}, \
@@ -524,6 +723,8 @@ fn write_bench_json(path: &str, reduced: bool, huge: bool) {
         scp = scs.hits + scs.misses,
         sch = scs.hits,
         scr = rate(scs.hits, scs.misses),
+        sed = solve_clock - solve_fifo,
+        ded = decode_clock - decode_fifo,
     );
     std::fs::write(path, &json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
     eprintln!("wrote {path}:\n{json}");

@@ -22,13 +22,18 @@ use crate::decode_cache::{
     cell_key, decode_mode, dedup_by_key, pricing_key, tree_scorer_key, DecodeCache,
     DecodeOutcome,
 };
+use crate::surrogate::{
+    cell_features, normalized_ranks, probe_indices, quantile_value, select_exact, spearman,
+    RankSurrogate, SurrogateGate, NUM_FEATURES,
+};
 use bico_bcpop::{
-    bcpop_primitives, evaluate_pair, greedy_cover, greedy_cover_batched, BcpopInstance,
-    CompiledGpScorer, CoverOutcome, GpScorer, Relaxation, RelaxationSolver,
+    bcpop_primitives, bundle_features, evaluate_pair, greedy_cover, greedy_cover_batched,
+    BatchScorer, BcpopInstance, CompiledGpScorer, CoverOutcome, FeatureColumns, GpScorer,
+    Relaxation, RelaxationSolver,
 };
 use bico_ea::{
     archive::Archive,
-    cache::SolveCache,
+    cache::{EvictionPolicy, SolveCache},
     real::{polynomial_mutation, sbx_crossover, RealOpsConfig},
     rng::seed_stream,
     select::{tournament, Direction},
@@ -43,6 +48,11 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
 use std::sync::Arc;
+
+/// Per-column probe context for the surrogate gate: the probe bundles'
+/// feature columns, their priced costs and greedy-reference ordering,
+/// and the pricing's (lower bound, mean, spread) statistics.
+type ColumnProbe = (FeatureColumns, Vec<f64>, Vec<f64>, f64, f64, f64);
 
 /// How the lower-level population's fitness is aggregated from the
 /// evaluation matrix — the co-evolutionary "strategy" of the arms race.
@@ -194,6 +204,19 @@ pub struct CarbonConfig {
     /// training pricing when its value is within this margin of the
     /// column's best value.
     pub share_margin: f64,
+    /// Surrogate gating of the lower-level evaluation matrix (needs
+    /// `eval_matrix`). [`SurrogateGate::Off`] — the default — decodes
+    /// every unique cell exactly and is bit-identical to pre-surrogate
+    /// builds; [`SurrogateGate::TopK`] screens cells with the
+    /// [`RankSurrogate`] and imputes the predicted-worst ones from rank,
+    /// which *changes trajectories* and is therefore guarded by the
+    /// 30-run Mann–Whitney protocol in the scaling bench (DESIGN §6.7).
+    pub surrogate_gate: SurrogateGate,
+    /// Replacement policy for the solve and decode caches.
+    /// [`EvictionPolicy::Fifo`] is the historical default;
+    /// [`EvictionPolicy::Clock`] gives hot entries a second chance.
+    /// Policy choice moves hit rates only, never results.
+    pub cache_eviction: EvictionPolicy,
 }
 
 impl Default for CarbonConfig {
@@ -225,6 +248,8 @@ impl Default for CarbonConfig {
             decode_cache_capacity: 4096,
             coev_strategy: CoevStrategy::PredatorPrey,
             share_margin: 0.5,
+            surrogate_gate: SurrogateGate::Off,
+            cache_eviction: EvictionPolicy::Fifo,
         }
     }
 }
@@ -355,7 +380,8 @@ impl<'a> Carbon<'a> {
         let mut champion: Expr = ll_pop[0].clone();
         let mut best: Option<(Vec<f64>, f64, f64)> = None; // (pricing, F, gap of that pairing)
         let mut best_gap_overall = f64::INFINITY; // Table III extraction: best gap of any evaluated pair
-        let cache: SolveCache<Relaxation> = SolveCache::new(cfg.ll_cache_capacity);
+        let cache: SolveCache<Relaxation> =
+            SolveCache::with_policy(cfg.ll_cache_capacity, cfg.cache_eviction);
         // Compiled programs are shared across workers and generations;
         // with the cache off (or the interpreted path) every preparation
         // compiles/binds fresh, which is the pre-cache behaviour.
@@ -372,11 +398,19 @@ impl<'a> Carbon<'a> {
         // Decode outcomes are only memoized by the evaluation-matrix
         // scheduler: the reference loop stays exactly the pre-matrix
         // code path, cache and all.
-        let decode_cache =
-            DecodeCache::new(if cfg.eval_matrix { cfg.decode_cache_capacity } else { 0 });
+        let decode_cache = DecodeCache::with_policy(
+            if cfg.eval_matrix { cfg.decode_cache_capacity } else { 0 },
+            cfg.cache_eviction,
+        );
         let mode = decode_mode(false, cfg.lp_terminals, cfg.compiled_eval);
         // Decode-cache traffic emitted per generation as deltas.
         let mut dc_emitted = (0u64, 0u64, 0u64);
+        // The online ranker behind `SurrogateGate::TopK`; untouched (and
+        // RNG-free) under `Off`, so the default path stays bit-identical.
+        let mut surrogate = RankSurrogate::new();
+        // Per-generation gate telemetry: (cells screened, exact decodes,
+        // imputed cells, rank correlation of predictions vs realized).
+        let mut surr_probe: Option<(u64, u64, u64, f64)> = None;
 
         if obs.enabled() {
             obs.observe(&Event::RunStart { algo: "carbon", seed });
@@ -476,52 +510,230 @@ impl<'a> Carbon<'a> {
             }
             let t_ll = timer_if(obs.enabled());
             let ll_values: Vec<(Vec<f64>, u64)> = if cfg.eval_matrix {
-                // Evaluation matrix: rows are the population's *unique*
-                // trees (clones, elites, and reproduction copies share a
-                // row), columns its unique training pricings. Each cell
-                // decodes at most once per generation — and not at all
-                // when the decode cache recalls it from an earlier one.
-                let (row_of, rows) = dedup_by_key(ll_pop.iter().map(tree_scorer_key));
-                let (col_of, cols) = dedup_by_key(training.iter().map(|(p, _)| pricing_key(p)));
-                let cells: Vec<Vec<Arc<DecodeOutcome>>> = rows
-                    .par_iter()
-                    .map(|(rep, tkey)| {
-                        // Bound lazily: a row whose every cell hits the
-                        // decode cache never compiles or binds at all.
-                        let mut scorer: Option<PreparedScorer> = None;
-                        cols.iter()
-                            .map(|(rep_slot, _)| {
-                                let (prices, relax) = &training[*rep_slot];
-                                decode_cache
-                                    .get_or_decode(cell_key(mode, tkey, prices), || {
-                                        let s = scorer.get_or_insert_with(|| {
-                                            PreparedScorer::bind(
-                                                &ll_pop[*rep],
-                                                &self.primitives,
-                                                cfg.compiled_eval,
-                                                &gp_cache,
-                                            )
-                                        });
-                                        decode_cell(inst, s, prices, relax, cfg.lp_terminals)
+                match cfg.surrogate_gate {
+                    SurrogateGate::Off => {
+                        // Evaluation matrix: rows are the population's *unique*
+                        // trees (clones, elites, and reproduction copies share a
+                        // row), columns its unique training pricings. Each cell
+                        // decodes at most once per generation — and not at all
+                        // when the decode cache recalls it from an earlier one.
+                        let (row_of, rows) = dedup_by_key(ll_pop.iter().map(tree_scorer_key));
+                        let (col_of, cols) =
+                            dedup_by_key(training.iter().map(|(p, _)| pricing_key(p)));
+                        let cells: Vec<Vec<Arc<DecodeOutcome>>> = rows
+                            .par_iter()
+                            .map(|(rep, tkey)| {
+                                // Bound lazily: a row whose every cell hits the
+                                // decode cache never compiles or binds at all.
+                                let mut scorer: Option<PreparedScorer> = None;
+                                cols.iter()
+                                    .map(|(rep_slot, _)| {
+                                        let (prices, relax) = &training[*rep_slot];
+                                        decode_cache
+                                            .get_or_decode(cell_key(mode, tkey, prices), || {
+                                                let s = scorer.get_or_insert_with(|| {
+                                                    PreparedScorer::bind(
+                                                        &ll_pop[*rep],
+                                                        &self.primitives,
+                                                        cfg.compiled_eval,
+                                                        &gp_cache,
+                                                    )
+                                                });
+                                                decode_cell(
+                                                    inst,
+                                                    s,
+                                                    prices,
+                                                    relax,
+                                                    cfg.lp_terminals,
+                                                )
+                                            })
+                                            .0
                                     })
-                                    .0
+                                    .collect()
+                            })
+                            .collect();
+                        // Scatter: every population slot reads its row, listing
+                        // training contributions in the same order the reference
+                        // loop visits them, so downstream f64 aggregation is
+                        // bit-identical across the two paths.
+                        (0..ll_pop.len())
+                            .map(|i| {
+                                let row = &cells[row_of[i]];
+                                let mut vals = Vec::with_capacity(col_of.len());
+                                let mut gp_nodes = 0u64;
+                                for &c in &col_of {
+                                    let cell = &row[c];
+                                    gp_nodes += cell.gp_nodes;
+                                    vals.push(if cfg.gap_fitness {
+                                        if cell.eval.gap.is_finite() {
+                                            cell.eval.gap
+                                        } else {
+                                            1e9
+                                        }
+                                    } else {
+                                        cell.eval.ll_value
+                                    });
+                                }
+                                (vals, gp_nodes)
                             })
                             .collect()
-                    })
-                    .collect();
-                // Scatter: every population slot reads its row, listing
-                // training contributions in the same order the reference
-                // loop visits them, so downstream f64 aggregation is
-                // bit-identical across the two paths.
-                (0..ll_pop.len())
-                    .map(|i| {
-                        let row = &cells[row_of[i]];
-                        let mut vals = Vec::with_capacity(col_of.len());
-                        let mut gp_nodes = 0u64;
-                        for &c in &col_of {
-                            let cell = &row[c];
-                            gp_nodes += cell.gp_nodes;
-                            vals.push(if cfg.gap_fitness {
+                    }
+                    SurrogateGate::TopK { frac, explore } => {
+                        // Surrogate-gated matrix (DESIGN §6.7): same unique
+                        // rows × columns, but only the predicted-best cells
+                        // (plus exploration and champion/elite pins) decode
+                        // exactly; the rest are imputed from predicted rank.
+                        // Everything surrogate-side runs on the coordinating
+                        // thread and consumes no RNG, so gated runs stay
+                        // deterministic per seed and thread count.
+                        let (row_of, rows) = dedup_by_key(ll_pop.iter().map(tree_scorer_key));
+                        let (col_of, cols) =
+                            dedup_by_key(training.iter().map(|(p, _)| pricing_key(p)));
+                        let nrows = rows.len();
+                        let ncols = cols.len();
+                        let ncells = nrows * ncols;
+
+                        // Column statistics: a handful of probe bundles per
+                        // unique pricing, featurized against the instance's
+                        // initial residual state.
+                        let residual: Vec<i64> =
+                            inst.requirements().iter().map(|&b| b as i64).collect();
+                        let pidx = probe_indices(inst.num_bundles(), 8);
+                        let col_probes: Vec<ColumnProbe> = cols
+                            .iter()
+                            .map(|(rep_slot, _)| {
+                                let (prices, relax) = &training[*rep_slot];
+                                let costs = inst.costs_for(prices);
+                                let mut fc = FeatureColumns::with_capacity(pidx.len());
+                                let mut probe_costs = Vec::with_capacity(pidx.len());
+                                let mut probe_greedy = Vec::with_capacity(pidx.len());
+                                for &j in &pidx {
+                                    let f = bundle_features(
+                                        inst,
+                                        &costs,
+                                        &residual,
+                                        cfg.lp_terminals.then_some(relax),
+                                        j,
+                                    );
+                                    probe_costs.push(f.cost);
+                                    probe_greedy.push(f.cost / f.residual_coverage.max(1.0));
+                                    fc.push(&f);
+                                }
+                                let mean = if prices.is_empty() {
+                                    0.0
+                                } else {
+                                    prices.iter().sum::<f64>() / prices.len() as f64
+                                };
+                                let (plo, phi) = prices.iter().fold(
+                                    (f64::INFINITY, f64::NEG_INFINITY),
+                                    |(lo, hi), &p| (lo.min(p), hi.max(p)),
+                                );
+                                let spread = (phi - plo).max(0.0);
+                                (fc, probe_costs, probe_greedy, relax.lower_bound, mean, spread)
+                            })
+                            .collect();
+
+                        // Feature + prediction per cell, in row-major order.
+                        // Probe scoring binds through the compile cache but
+                        // its node counts are never charged to accounting.
+                        let mut feats: Vec<[f64; NUM_FEATURES]> = Vec::with_capacity(ncells);
+                        let mut scores_buf: Vec<f64> = Vec::new();
+                        for (rep, _) in &rows {
+                            let mut probe_scorer = PreparedScorer::bind(
+                                &ll_pop[*rep],
+                                &self.primitives,
+                                cfg.compiled_eval,
+                                &gp_cache,
+                            );
+                            for (fc, pcosts, pgreedy, lb, mean, spread) in &col_probes {
+                                probe_scorer.score_probe_batch(fc, &mut scores_buf);
+                                feats.push(cell_features(
+                                    &scores_buf,
+                                    pcosts,
+                                    pgreedy,
+                                    *lb,
+                                    *mean,
+                                    *spread,
+                                ));
+                            }
+                        }
+                        let warmed = generation > 0 && surrogate.ready();
+                        let preds: Vec<f64> =
+                            feats.iter().map(|f| surrogate.predict(f)).collect();
+
+                        // The reigning champion's and archive best's rows are
+                        // the opponents breeding re-injects — they always
+                        // decode exactly, whatever the surrogate thinks.
+                        let champ_key = tree_scorer_key(&champion);
+                        let arch_key = ll_archive.best().map(|(e, _)| tree_scorer_key(e));
+                        let mut pinned = vec![false; ncells];
+                        for (r, (_, tkey)) in rows.iter().enumerate() {
+                            if *tkey == champ_key
+                                || arch_key.as_ref().is_some_and(|k| k == tkey)
+                            {
+                                for flag in &mut pinned[r * ncols..(r + 1) * ncols] {
+                                    *flag = true;
+                                }
+                            }
+                        }
+                        let exact = if warmed {
+                            select_exact(&preds, frac, explore, &pinned, generation as u64)
+                        } else {
+                            // Warm-up (generation 0 or too few samples):
+                            // evaluate everything exactly while the model
+                            // accumulates training pairs.
+                            vec![true; ncells]
+                        };
+
+                        // Decode only the exact cells (parallel, same cell-key
+                        // namespace as the ungated matrix).
+                        let cells: Vec<Vec<Option<Arc<DecodeOutcome>>>> = rows
+                            .par_iter()
+                            .enumerate()
+                            .map(|(r, (rep, tkey))| {
+                                let mut scorer: Option<PreparedScorer> = None;
+                                cols.iter()
+                                    .enumerate()
+                                    .map(|(c, (rep_slot, _))| {
+                                        if !exact[r * ncols + c] {
+                                            return None;
+                                        }
+                                        let (prices, relax) = &training[*rep_slot];
+                                        Some(
+                                            decode_cache
+                                                .get_or_decode(
+                                                    cell_key(mode, tkey, prices),
+                                                    || {
+                                                        let s =
+                                                            scorer.get_or_insert_with(|| {
+                                                                PreparedScorer::bind(
+                                                                    &ll_pop[*rep],
+                                                                    &self.primitives,
+                                                                    cfg.compiled_eval,
+                                                                    &gp_cache,
+                                                                )
+                                                            });
+                                                        decode_cell(
+                                                            inst,
+                                                            s,
+                                                            prices,
+                                                            relax,
+                                                            cfg.lp_terminals,
+                                                        )
+                                                    },
+                                                )
+                                                .0,
+                                        )
+                                    })
+                                    .collect()
+                            })
+                            .collect();
+
+                        // Realized values of the exact cells feed this
+                        // generation's telemetry, the model update, and the
+                        // imputation quantiles.
+                        let value_of = |cell: &DecodeOutcome| {
+                            if cfg.gap_fitness {
                                 if cell.eval.gap.is_finite() {
                                     cell.eval.gap
                                 } else {
@@ -529,11 +741,70 @@ impl<'a> Carbon<'a> {
                                 }
                             } else {
                                 cell.eval.ll_value
-                            });
+                            }
+                        };
+                        let mut exact_vals = Vec::new();
+                        let mut exact_feats = Vec::new();
+                        let mut exact_preds = Vec::new();
+                        for (r, row) in cells.iter().enumerate() {
+                            for (c, cell) in row.iter().enumerate() {
+                                if let Some(cell) = cell {
+                                    let i = r * ncols + c;
+                                    exact_vals.push(value_of(cell));
+                                    exact_feats.push(feats[i]);
+                                    exact_preds.push(preds[i]);
+                                }
+                            }
                         }
-                        (vals, gp_nodes)
-                    })
-                    .collect()
+                        let rank_corr = if warmed && exact_vals.len() >= 2 {
+                            spearman(&exact_preds, &exact_vals)
+                        } else {
+                            f64::NAN
+                        };
+                        surrogate.decay_generation();
+                        for (f, &t) in
+                            exact_feats.iter().zip(normalized_ranks(&exact_vals).iter())
+                        {
+                            surrogate.observe(f, t);
+                        }
+                        surrogate.fit();
+                        let exact_count = exact_vals.len() as u64;
+                        surr_probe = Some((
+                            ncells as u64,
+                            exact_count,
+                            ncells as u64 - exact_count,
+                            rank_corr,
+                        ));
+                        // Imputation: predicted rank → quantile of this
+                        // generation's realized exact values, so imputed
+                        // fitnesses live on the same scale as real ones.
+                        let mut sorted_vals = exact_vals;
+                        sorted_vals.sort_by(f64::total_cmp);
+                        let imputed: Vec<f64> =
+                            preds.iter().map(|&p| quantile_value(&sorted_vals, p)).collect();
+
+                        // Scatter exactly as the ungated matrix does; imputed
+                        // cells contribute their quantile value and no
+                        // GP-node charge.
+                        (0..ll_pop.len())
+                            .map(|i| {
+                                let row = &cells[row_of[i]];
+                                let mut vals = Vec::with_capacity(col_of.len());
+                                let mut gp_nodes = 0u64;
+                                for &c in &col_of {
+                                    match &row[c] {
+                                        Some(cell) => {
+                                            gp_nodes += cell.gp_nodes;
+                                            vals.push(value_of(cell));
+                                        }
+                                        None => vals.push(imputed[row_of[i] * ncols + c]),
+                                    }
+                                }
+                                (vals, gp_nodes)
+                            })
+                            .collect()
+                    }
+                }
             } else {
                 ll_pop
                     .par_iter()
@@ -583,6 +854,9 @@ impl<'a> Carbon<'a> {
                     gp_nodes: ll_values.iter().map(|(_, n)| *n).sum(),
                     micros: ll_micros,
                 });
+                if let Some((cells, exact, skipped, rank_corr)) = surr_probe.take() {
+                    obs.observe(&Event::SurrogateProbe { cells, exact, skipped, rank_corr });
+                }
             }
 
             // --- 3. champion selection + archive update. The champion is
@@ -861,6 +1135,17 @@ impl<'e> PreparedScorer<'e> {
             PreparedScorer::Compiled(CompiledGpScorer::from_program(prog))
         } else {
             PreparedScorer::Interp(GpScorer::new(expr, ps))
+        }
+    }
+
+    /// Score a batch of surrogate probe bundles, one value per row of
+    /// `cols`. Used only for feature extraction: the node counts this
+    /// incurs are deliberately *not* charged to GP-node accounting
+    /// (probes are bookkeeping, not evaluations).
+    fn score_probe_batch(&mut self, cols: &FeatureColumns, out: &mut Vec<f64>) {
+        match self {
+            PreparedScorer::Compiled(scorer) => scorer.score_batch(cols, cols.rows(), out),
+            PreparedScorer::Interp(scorer) => scorer.score_batch(cols, cols.rows(), out),
         }
     }
 
@@ -1247,6 +1532,69 @@ mod tests {
                 assert_eq!(matrix.generations, reference.generations, "{ctx}");
             }
         }
+    }
+
+    #[test]
+    fn surrogate_full_exact_gate_matches_off_bit_for_bit() {
+        // TopK with frac = 1.0 and no exploration evaluates every cell
+        // exactly; the surrogate only observes and never imputes, so the
+        // run must be bit-identical to the gate being off.
+        for (nb, ns, inst_seed) in [(30usize, 4usize, 7u64), (40, 5, 11)] {
+            let inst = generate(
+                &GeneratorConfig { num_bundles: nb, num_services: ns, ..Default::default() },
+                inst_seed,
+            );
+            for seed in [1u64, 2, 3] {
+                let mut cfg = CarbonConfig::quick();
+                cfg.ul_pop_size = 8;
+                cfg.ll_pop_size = 8;
+                cfg.ul_evaluations = 80;
+                cfg.ll_evaluations = 160;
+                cfg.training_samples = 2;
+                assert_eq!(cfg.surrogate_gate, SurrogateGate::Off, "gate defaults off");
+                let off = Carbon::new(&inst, cfg.clone()).run(seed);
+                cfg.surrogate_gate = SurrogateGate::TopK { frac: 1.0, explore: 0.0 };
+                let gated = Carbon::new(&inst, cfg).run(seed);
+                let ctx = format!("{nb}x{ns} seed {seed}");
+                assert_eq!(gated.trace.points(), off.trace.points(), "{ctx}");
+                assert_eq!(gated.best_pricing, off.best_pricing, "{ctx}");
+                assert_eq!(gated.best_ul_value.to_bits(), off.best_ul_value.to_bits(), "{ctx}");
+                assert_eq!(gated.best_gap.to_bits(), off.best_gap.to_bits(), "{ctx}");
+                assert_eq!(gated.best_heuristic, off.best_heuristic, "{ctx}");
+            }
+        }
+    }
+
+    #[test]
+    fn surrogate_gate_runs_deterministically_and_skips_cells() {
+        // The default top-k gate must finish, stay feasible, reproduce
+        // itself bit for bit per seed, and actually impute some cells
+        // once the ranker has warmed up.
+        let inst = small_instance();
+        let mut cfg = CarbonConfig::quick();
+        cfg.ul_pop_size = 10;
+        cfg.ll_pop_size = 10;
+        cfg.ul_evaluations = 400;
+        cfg.ll_evaluations = 800;
+        cfg.training_samples = 3;
+        cfg.surrogate_gate = SurrogateGate::top_k();
+        let a = Carbon::new(&inst, cfg.clone()).run(21);
+        let b = Carbon::new(&inst, cfg.clone()).run(21);
+        assert!(a.best_gap.is_finite() && a.best_gap >= -1e-6, "gap {}", a.best_gap);
+        assert_eq!(a.best_pricing, b.best_pricing);
+        assert_eq!(a.best_ul_value.to_bits(), b.best_ul_value.to_bits());
+        assert_eq!(a.best_gap.to_bits(), b.best_gap.to_bits());
+        assert_eq!(a.trace.points(), b.trace.points());
+
+        // Count skipped cells through the observer to prove the gate is
+        // actually screening once warmed up.
+        let sink = bico_obs::MetricsSink::new();
+        let c = Carbon::new(&inst, cfg).run_observed(21, &sink);
+        assert_eq!(c.best_gap.to_bits(), a.best_gap.to_bits(), "observer must not perturb");
+        let m = sink.report();
+        assert!(m.surrogate_cells > 0, "gated run screens the eval matrix");
+        assert!(m.surrogate_skipped > 0, "warm surrogate imputes some cells");
+        assert_eq!(m.surrogate_cells, m.surrogate_exact + m.surrogate_skipped);
     }
 
     #[test]

@@ -14,9 +14,14 @@ use crate::decode_cache::{
     cell_key, decode_mode, dedup_by_key, pricing_key, weights_scorer_key, DecodeCache,
     DecodeOutcome,
 };
+use crate::surrogate::{
+    cell_features, normalized_ranks, probe_indices, quantile_value, select_exact,
+    RankSurrogate, SurrogateGate, NUM_FEATURES,
+};
 use bico_bcpop::{
-    evaluate_pair, greedy_cover, greedy_cover_batched, BcpopInstance, CoverOutcome, Relaxation,
-    RelaxationSolver, WeightScorer, NUM_TERMINALS,
+    bundle_features, evaluate_pair, greedy_cover, greedy_cover_batched, BatchScorer,
+    BcpopInstance, CoverOutcome, FeatureColumns, Relaxation, RelaxationSolver, WeightScorer,
+    NUM_TERMINALS,
 };
 use bico_ea::{
     archive::Archive,
@@ -29,6 +34,11 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
 use std::sync::Arc;
+
+/// Per-column probe context for the surrogate gate: the probe bundles'
+/// feature columns, their priced costs and greedy-reference ordering,
+/// and the pricing's (lower bound, mean, spread) statistics.
+type ColumnProbe = (FeatureColumns, Vec<f64>, Vec<f64>, f64, f64, f64);
 
 /// Result of a CARBON-W run.
 #[derive(Debug, Clone)]
@@ -121,10 +131,16 @@ impl<'a> CarbonWeights<'a> {
             let eval = evaluate_pair(inst, prices, &cover.chosen, relax.lower_bound);
             DecodeOutcome { cover, eval, gp_nodes: 0 }
         };
-        let decode_cache =
-            DecodeCache::new(if cfg.eval_matrix { cfg.decode_cache_capacity } else { 0 });
+        let decode_cache = DecodeCache::with_policy(
+            if cfg.eval_matrix { cfg.decode_cache_capacity } else { 0 },
+            cfg.cache_eviction,
+        );
         // CARBON-W always feeds the scorer the LP terminals.
         let mode = decode_mode(true, true, cfg.compiled_eval);
+        // The online ranker behind `SurrogateGate::TopK`; untouched (and
+        // RNG-free) when the gate is off. CARBON-W has no observer, so
+        // the per-generation screening stats are simply not reported.
+        let mut surrogate = RankSurrogate::new();
 
         loop {
             let gen_ul = cfg.ul_pop_size as u64;
@@ -143,43 +159,214 @@ impl<'a> CarbonWeights<'a> {
                 .map(|s| if s == 0 { 0 } else { (generation + s * 37) % ul_pop.len() })
                 .collect();
             let ll_fitness: Vec<f64> = if cfg.eval_matrix {
-                // Deduplicated evaluation matrix: unique weight vectors ×
-                // unique training pricings, each cell decoded once (or
-                // recalled from an earlier generation), scattered back in
-                // the reference loop's summation order.
-                let (row_of, rows) = dedup_by_key(ll_pop.iter().map(|w| weights_scorer_key(w)));
-                let (col_of, cols) =
-                    dedup_by_key(training.iter().map(|&ti| pricing_key(&ul_pop[ti])));
-                let cells: Vec<Vec<Arc<DecodeOutcome>>> = rows
-                    .par_iter()
-                    .map(|(rep, wkey)| {
-                        let weights: [f64; NUM_TERMINALS] =
-                            ll_pop[*rep].clone().try_into().unwrap();
-                        cols.iter()
+                match cfg.surrogate_gate {
+                    SurrogateGate::Off => {
+                        // Deduplicated evaluation matrix: unique weight vectors ×
+                        // unique training pricings, each cell decoded once (or
+                        // recalled from an earlier generation), scattered back in
+                        // the reference loop's summation order.
+                        let (row_of, rows) =
+                            dedup_by_key(ll_pop.iter().map(|w| weights_scorer_key(w)));
+                        let (col_of, cols) =
+                            dedup_by_key(training.iter().map(|&ti| pricing_key(&ul_pop[ti])));
+                        let cells: Vec<Vec<Arc<DecodeOutcome>>> = rows
+                            .par_iter()
+                            .map(|(rep, wkey)| {
+                                let weights: [f64; NUM_TERMINALS] =
+                                    ll_pop[*rep].clone().try_into().unwrap();
+                                cols.iter()
+                                    .map(|(rep_slot, _)| {
+                                        let ti = training[*rep_slot];
+                                        let prices = &ul_pop[ti];
+                                        let relax = &relaxations[ti];
+                                        decode_cache
+                                            .get_or_decode(cell_key(mode, wkey, prices), || {
+                                                cell(weights, prices, relax)
+                                            })
+                                            .0
+                                    })
+                                    .collect()
+                            })
+                            .collect();
+                        (0..ll_pop.len())
+                            .map(|i| {
+                                let row = &cells[row_of[i]];
+                                let mut total = 0.0;
+                                for &c in &col_of {
+                                    let gap = row[c].eval.gap;
+                                    total += if gap.is_finite() { gap } else { 1e9 };
+                                }
+                                total / training.len() as f64
+                            })
+                            .collect()
+                    }
+                    SurrogateGate::TopK { frac, explore } => {
+                        // Surrogate-gated matrix, mirroring CARBON's GP path
+                        // (DESIGN §6.7): only the predicted-best cells plus
+                        // exploration and champion/elite pins decode exactly;
+                        // the rest take their predicted-rank quantile. All
+                        // surrogate work runs on the coordinating thread and
+                        // consumes no RNG.
+                        let (row_of, rows) =
+                            dedup_by_key(ll_pop.iter().map(|w| weights_scorer_key(w)));
+                        let (col_of, cols) =
+                            dedup_by_key(training.iter().map(|&ti| pricing_key(&ul_pop[ti])));
+                        let nrows = rows.len();
+                        let ncols = cols.len();
+                        let ncells = nrows * ncols;
+
+                        let residual: Vec<i64> =
+                            inst.requirements().iter().map(|&b| b as i64).collect();
+                        let pidx = probe_indices(inst.num_bundles(), 8);
+                        let col_probes: Vec<ColumnProbe> = cols
+                            .iter()
                             .map(|(rep_slot, _)| {
                                 let ti = training[*rep_slot];
                                 let prices = &ul_pop[ti];
                                 let relax = &relaxations[ti];
-                                decode_cache
-                                    .get_or_decode(cell_key(mode, wkey, prices), || {
-                                        cell(weights, prices, relax)
+                                let costs = inst.costs_for(prices);
+                                let mut fc = FeatureColumns::with_capacity(pidx.len());
+                                let mut probe_costs = Vec::with_capacity(pidx.len());
+                                let mut probe_greedy = Vec::with_capacity(pidx.len());
+                                for &j in &pidx {
+                                    // CARBON-W always feeds LP terminals.
+                                    let f = bundle_features(
+                                        inst,
+                                        &costs,
+                                        &residual,
+                                        Some(relax),
+                                        j,
+                                    );
+                                    probe_costs.push(f.cost);
+                                    probe_greedy.push(f.cost / f.residual_coverage.max(1.0));
+                                    fc.push(&f);
+                                }
+                                let mean = if prices.is_empty() {
+                                    0.0
+                                } else {
+                                    prices.iter().sum::<f64>() / prices.len() as f64
+                                };
+                                let (plo, phi) = prices.iter().fold(
+                                    (f64::INFINITY, f64::NEG_INFINITY),
+                                    |(lo, hi), &p| (lo.min(p), hi.max(p)),
+                                );
+                                let spread = (phi - plo).max(0.0);
+                                (fc, probe_costs, probe_greedy, relax.lower_bound, mean, spread)
+                            })
+                            .collect();
+
+                        let mut feats: Vec<[f64; NUM_FEATURES]> = Vec::with_capacity(ncells);
+                        let mut scores_buf: Vec<f64> = Vec::new();
+                        for (rep, _) in &rows {
+                            let weights: [f64; NUM_TERMINALS] =
+                                ll_pop[*rep].clone().try_into().unwrap();
+                            let mut probe_scorer = WeightScorer::new(weights);
+                            for (fc, pcosts, pgreedy, lb, mean, spread) in &col_probes {
+                                probe_scorer.score_batch(fc, fc.rows(), &mut scores_buf);
+                                feats.push(cell_features(
+                                    &scores_buf,
+                                    pcosts,
+                                    pgreedy,
+                                    *lb,
+                                    *mean,
+                                    *spread,
+                                ));
+                            }
+                        }
+                        let warmed = generation > 0 && surrogate.ready();
+                        let preds: Vec<f64> =
+                            feats.iter().map(|f| surrogate.predict(f)).collect();
+
+                        let champ_key = weights_scorer_key(&champion);
+                        let arch_key = ll_archive.best().map(|(w, _)| weights_scorer_key(w));
+                        let mut pinned = vec![false; ncells];
+                        for (r, (_, wkey)) in rows.iter().enumerate() {
+                            if *wkey == champ_key
+                                || arch_key.as_ref().is_some_and(|k| k == wkey)
+                            {
+                                for flag in &mut pinned[r * ncols..(r + 1) * ncols] {
+                                    *flag = true;
+                                }
+                            }
+                        }
+                        let exact = if warmed {
+                            select_exact(&preds, frac, explore, &pinned, generation as u64)
+                        } else {
+                            vec![true; ncells]
+                        };
+
+                        let cells: Vec<Vec<Option<Arc<DecodeOutcome>>>> = rows
+                            .par_iter()
+                            .enumerate()
+                            .map(|(r, (rep, wkey))| {
+                                let weights: [f64; NUM_TERMINALS] =
+                                    ll_pop[*rep].clone().try_into().unwrap();
+                                cols.iter()
+                                    .enumerate()
+                                    .map(|(c, (rep_slot, _))| {
+                                        if !exact[r * ncols + c] {
+                                            return None;
+                                        }
+                                        let ti = training[*rep_slot];
+                                        let prices = &ul_pop[ti];
+                                        let relax = &relaxations[ti];
+                                        Some(
+                                            decode_cache
+                                                .get_or_decode(
+                                                    cell_key(mode, wkey, prices),
+                                                    || cell(weights, prices, relax),
+                                                )
+                                                .0,
+                                        )
                                     })
-                                    .0
+                                    .collect()
+                            })
+                            .collect();
+
+                        let value_of = |cell: &DecodeOutcome| {
+                            if cell.eval.gap.is_finite() {
+                                cell.eval.gap
+                            } else {
+                                1e9
+                            }
+                        };
+                        let mut exact_vals = Vec::new();
+                        let mut exact_feats = Vec::new();
+                        for r in 0..nrows {
+                            for c in 0..ncols {
+                                if let Some(cell) = &cells[r][c] {
+                                    exact_vals.push(value_of(cell));
+                                    exact_feats.push(feats[r * ncols + c]);
+                                }
+                            }
+                        }
+                        surrogate.decay_generation();
+                        for (f, &t) in
+                            exact_feats.iter().zip(normalized_ranks(&exact_vals).iter())
+                        {
+                            surrogate.observe(f, t);
+                        }
+                        surrogate.fit();
+                        let mut sorted_vals = exact_vals;
+                        sorted_vals.sort_by(f64::total_cmp);
+                        let imputed: Vec<f64> =
+                            preds.iter().map(|&p| quantile_value(&sorted_vals, p)).collect();
+
+                        (0..ll_pop.len())
+                            .map(|i| {
+                                let row = &cells[row_of[i]];
+                                let mut total = 0.0;
+                                for &c in &col_of {
+                                    total += match &row[c] {
+                                        Some(cell) => value_of(cell),
+                                        None => imputed[row_of[i] * ncols + c],
+                                    };
+                                }
+                                total / training.len() as f64
                             })
                             .collect()
-                    })
-                    .collect();
-                (0..ll_pop.len())
-                    .map(|i| {
-                        let row = &cells[row_of[i]];
-                        let mut total = 0.0;
-                        for &c in &col_of {
-                            let gap = row[c].eval.gap;
-                            total += if gap.is_finite() { gap } else { 1e9 };
-                        }
-                        total / training.len() as f64
-                    })
-                    .collect()
+                    }
+                }
             } else {
                 ll_pop
                     .par_iter()
@@ -455,6 +642,44 @@ mod tests {
                 assert_eq!(matrix.generations, reference.generations, "{ctx}");
             }
         }
+    }
+
+    #[test]
+    fn surrogate_full_exact_gate_matches_off_bit_for_bit() {
+        // frac = 1.0 with no exploration decodes every cell exactly, so
+        // the gated run must reproduce the ungated matrix bit for bit.
+        let inst = instance();
+        for seed in [1u64, 2, 3] {
+            let mut c = cfg(10, 400);
+            assert_eq!(c.surrogate_gate, SurrogateGate::Off, "gate defaults off");
+            let off = CarbonWeights::new(&inst, c.clone()).run(seed);
+            c.surrogate_gate = SurrogateGate::TopK { frac: 1.0, explore: 0.0 };
+            let gated = CarbonWeights::new(&inst, c).run(seed);
+            assert_eq!(gated.best_pricing, off.best_pricing, "seed {seed}");
+            assert_eq!(
+                gated.best_ul_value.to_bits(),
+                off.best_ul_value.to_bits(),
+                "seed {seed}"
+            );
+            assert_eq!(gated.best_gap.to_bits(), off.best_gap.to_bits(), "seed {seed}");
+            assert_eq!(gated.best_weights, off.best_weights, "seed {seed}");
+            assert_eq!(gated.trace.points(), off.trace.points(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn surrogate_gate_runs_deterministically() {
+        let inst = instance();
+        let mut c = cfg(10, 600);
+        c.training_samples = 3;
+        c.surrogate_gate = SurrogateGate::top_k();
+        let a = CarbonWeights::new(&inst, c.clone()).run(13);
+        let b = CarbonWeights::new(&inst, c).run(13);
+        assert!(a.best_gap.is_finite() && a.best_gap >= -1e-9, "gap {}", a.best_gap);
+        assert_eq!(a.best_pricing, b.best_pricing);
+        assert_eq!(a.best_gap.to_bits(), b.best_gap.to_bits());
+        assert_eq!(a.best_weights, b.best_weights);
+        assert_eq!(a.trace.points(), b.trace.points());
     }
 
     #[test]

@@ -37,6 +37,7 @@ pub mod kkt;
 pub mod linear;
 pub mod maximin;
 pub mod multilevel;
+pub mod surrogate;
 
 pub use carbon::{Carbon, CarbonConfig, CarbonResult, CoevStrategy};
 pub use carbon_weights::{CarbonWeights, CarbonWeightsResult};
@@ -46,3 +47,4 @@ pub use kkt::{solve_kkt, KktSolution};
 pub use linear::{program3, LinearBilevel, Reaction, TieBreak};
 pub use maximin::{BilinearProblem, MaximinCoev, MaximinConfig, MaximinResult};
 pub use multilevel::{trilevel_example, TriObjective, TriRow, TriSolution, TrilevelLinear};
+pub use surrogate::{RankSurrogate, SurrogateGate};

@@ -1,0 +1,625 @@
+//! Rank-based surrogate screening for the evaluation matrix.
+//!
+//! Every CARBON generation pays one exact lower-level decode per unique
+//! (scorer, pricing) cell, yet most cells only matter for *ranking* the
+//! heuristics against each other. Following the rank-based upper-level
+//! value-function approximation literature (and CR-BLEA's contrastive
+//! ranking), this module fits a cheap regularized linear ranker online
+//! from the exact outcomes the run has already paid for, and the CARBON
+//! variants use it to decide which cells deserve an exact decode and
+//! which can be imputed from predicted rank (see DESIGN.md §6.7).
+//!
+//! The module is deliberately dependency-free pure math: feature
+//! assembly from probe scores lives in [`cell_features`], the ridge
+//! ranker in [`RankSurrogate`], and the gate policy in [`select_exact`].
+//! Nothing here touches an RNG — fitting, prediction, and the
+//! exploration rotation are all deterministic functions of their inputs,
+//! which is what keeps gated runs reproducible per seed and
+//! [`SurrogateGate::Off`] trivially bit-identical to pre-surrogate
+//! builds (asserted by `tests/surrogate_determinism.rs`).
+
+/// Number of features the ranker consumes per evaluation-matrix cell.
+pub const NUM_FEATURES: usize = 8;
+
+/// Default fraction of unique cells evaluated exactly under
+/// [`SurrogateGate::TopK`].
+pub const DEFAULT_TOPK_FRAC: f64 = 0.25;
+
+/// Default exploration fraction (cells decoded exactly regardless of
+/// predicted rank, on a deterministic rotation).
+pub const DEFAULT_EXPLORE_FRAC: f64 = 0.05;
+
+/// Minimum observed (feature, rank) pairs before predictions are
+/// trusted; below this every cell is evaluated exactly while the model
+/// warms up.
+pub const MIN_FIT_SAMPLES: u64 = 2 * NUM_FEATURES as u64;
+
+/// How the evaluation matrix is gated by the surrogate.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum SurrogateGate {
+    /// No gating: every unique cell decodes exactly (the pre-surrogate
+    /// behaviour, bit-identical to builds without this module).
+    #[default]
+    Off,
+    /// Score all unique cells with the surrogate, decode only the
+    /// predicted-best `frac` of them exactly (plus an `explore`
+    /// fraction on a deterministic rotation and every champion/elite
+    /// pinned cell), and impute the rest from predicted rank.
+    TopK {
+        /// Fraction of unique cells decoded exactly, in `[0, 1]`.
+        frac: f64,
+        /// Extra exploration fraction decoded exactly regardless of
+        /// predicted rank, in `[0, 1]`.
+        explore: f64,
+    },
+}
+
+impl SurrogateGate {
+    /// Stable lower-case name (used in docs and CLI output).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SurrogateGate::Off => "off",
+            SurrogateGate::TopK { .. } => "topk",
+        }
+    }
+
+    /// The default gated configuration (`topk` with the default
+    /// fractions).
+    pub fn top_k() -> Self {
+        SurrogateGate::TopK { frac: DEFAULT_TOPK_FRAC, explore: DEFAULT_EXPLORE_FRAC }
+    }
+}
+
+impl std::str::FromStr for SurrogateGate {
+    type Err = String;
+
+    /// Accepts `off`, `topk`, `topk:FRAC`, or `topk:FRAC:EXPLORE`
+    /// (fractions clamped to `[0, 1]`).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s == "off" {
+            return Ok(SurrogateGate::Off);
+        }
+        let mut parts = s.split(':');
+        match parts.next() {
+            Some("topk") => {}
+            _ => {
+                return Err(format!(
+                    "unknown surrogate gate '{s}' (expected off, topk, topk:FRAC, or topk:FRAC:EXPLORE)"
+                ))
+            }
+        }
+        let mut frac = DEFAULT_TOPK_FRAC;
+        let mut explore = DEFAULT_EXPLORE_FRAC;
+        if let Some(f) = parts.next() {
+            frac = f
+                .parse::<f64>()
+                .map_err(|_| format!("bad top-k fraction '{f}' in surrogate gate '{s}'"))?;
+        }
+        if let Some(e) = parts.next() {
+            explore = e
+                .parse::<f64>()
+                .map_err(|_| format!("bad explore fraction '{e}' in surrogate gate '{s}'"))?;
+        }
+        if parts.next().is_some() {
+            return Err(format!("too many ':' fields in surrogate gate '{s}'"));
+        }
+        if !frac.is_finite() || !explore.is_finite() {
+            return Err(format!("non-finite fraction in surrogate gate '{s}'"));
+        }
+        Ok(SurrogateGate::TopK { frac: frac.clamp(0.0, 1.0), explore: explore.clamp(0.0, 1.0) })
+    }
+}
+
+/// Incremental ridge-regularized linear ranker.
+///
+/// Targets are within-generation normalized ranks in `[0, 1]` (0 = best
+/// fitness), so the model never needs to track the fitness scale —
+/// only the ordering — and predictions double as imputation quantiles.
+/// Observations accumulate into the normal equations `XᵀX w = Xᵀy`
+/// with exponential decay per generation, and [`fit`](Self::fit) solves
+/// the damped 8×8 system by Gaussian elimination with partial pivoting
+/// on the coordinating thread. A singular system falls back to zero
+/// weights (all predictions tie, broken by cell index) instead of
+/// panicking.
+#[derive(Debug, Clone)]
+pub struct RankSurrogate {
+    xtx: [[f64; NUM_FEATURES]; NUM_FEATURES],
+    xty: [f64; NUM_FEATURES],
+    weights: [f64; NUM_FEATURES],
+    samples: u64,
+    ridge: f64,
+    decay: f64,
+}
+
+impl Default for RankSurrogate {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RankSurrogate {
+    /// A fresh, unfitted ranker (ridge 1e-3, per-generation decay 0.98).
+    pub fn new() -> Self {
+        RankSurrogate {
+            xtx: [[0.0; NUM_FEATURES]; NUM_FEATURES],
+            xty: [0.0; NUM_FEATURES],
+            weights: [0.0; NUM_FEATURES],
+            samples: 0,
+            ridge: 1e-3,
+            decay: 0.98,
+        }
+    }
+
+    /// Observed (feature, target-rank) pairs so far (decay does not
+    /// reduce this count — it gates warm-up, not memory).
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// Whether enough pairs were observed to trust predictions.
+    pub fn ready(&self) -> bool {
+        self.samples >= MIN_FIT_SAMPLES
+    }
+
+    /// The fitted weight vector (zeros until the first successful fit).
+    pub fn weights(&self) -> &[f64; NUM_FEATURES] {
+        &self.weights
+    }
+
+    /// Fold one observation into the normal equations. Non-finite
+    /// feature values and targets are sanitized to neutral constants so
+    /// degenerate generations can never poison the accumulators.
+    pub fn observe(&mut self, features: &[f64; NUM_FEATURES], target: f64) {
+        let mut x = [0.0f64; NUM_FEATURES];
+        for (xi, &f) in x.iter_mut().zip(features.iter()) {
+            *xi = if f.is_finite() { f } else { 0.0 };
+        }
+        let y = if target.is_finite() { target.clamp(0.0, 1.0) } else { 0.5 };
+        for i in 0..NUM_FEATURES {
+            for j in 0..NUM_FEATURES {
+                self.xtx[i][j] += x[i] * x[j];
+            }
+            self.xty[i] += x[i] * y;
+        }
+        self.samples += 1;
+    }
+
+    /// Exponentially decay the accumulated equations — called once per
+    /// generation so stale arms-race regimes fade from the fit.
+    pub fn decay_generation(&mut self) {
+        for row in self.xtx.iter_mut() {
+            for v in row.iter_mut() {
+                *v *= self.decay;
+            }
+        }
+        for v in self.xty.iter_mut() {
+            *v *= self.decay;
+        }
+    }
+
+    /// Refit the weights from the accumulated equations. Never panics:
+    /// a singular or non-finite system resets the weights to zero.
+    #[allow(clippy::needless_range_loop)] // Gaussian elimination over one augmented array
+    pub fn fit(&mut self) {
+        // Augmented [A | b] with ridge damping on the diagonal.
+        let mut a = [[0.0f64; NUM_FEATURES + 1]; NUM_FEATURES];
+        for i in 0..NUM_FEATURES {
+            for j in 0..NUM_FEATURES {
+                a[i][j] = self.xtx[i][j];
+            }
+            a[i][i] += self.ridge * (self.samples.max(1) as f64);
+            a[i][NUM_FEATURES] = self.xty[i];
+        }
+        for col in 0..NUM_FEATURES {
+            let mut pivot = col;
+            for r in col + 1..NUM_FEATURES {
+                if a[r][col].abs() > a[pivot][col].abs() {
+                    pivot = r;
+                }
+            }
+            let p = a[pivot][col];
+            if !p.is_finite() || p.abs() < 1e-12 {
+                self.weights = [0.0; NUM_FEATURES];
+                return;
+            }
+            a.swap(col, pivot);
+            for r in col + 1..NUM_FEATURES {
+                let factor = a[r][col] / a[col][col];
+                for c in col..=NUM_FEATURES {
+                    a[r][c] -= factor * a[col][c];
+                }
+            }
+        }
+        let mut w = [0.0f64; NUM_FEATURES];
+        for i in (0..NUM_FEATURES).rev() {
+            let mut acc = a[i][NUM_FEATURES];
+            for j in i + 1..NUM_FEATURES {
+                acc -= a[i][j] * w[j];
+            }
+            w[i] = acc / a[i][i];
+        }
+        if w.iter().all(|v| v.is_finite()) {
+            self.weights = w;
+        } else {
+            self.weights = [0.0; NUM_FEATURES];
+        }
+    }
+
+    /// Predicted rank for one cell (lower = better), sanitized to a
+    /// finite value in `[0, 1]`-ish range so downstream ordering via
+    /// `total_cmp` is always well-defined.
+    pub fn predict(&self, features: &[f64; NUM_FEATURES]) -> f64 {
+        let mut acc = 0.0;
+        for (w, &f) in self.weights.iter().zip(features.iter()) {
+            let f = if f.is_finite() { f } else { 0.0 };
+            acc += w * f;
+        }
+        if acc.is_finite() {
+            acc
+        } else {
+            0.5
+        }
+    }
+}
+
+/// Normalized average ranks of `values` in `[0, 1]` (0 = smallest).
+/// NaNs rank worst, ties share the mean of their positions, and a
+/// single value ranks `0.5`. Deterministic for any input.
+pub fn normalized_ranks(values: &[f64]) -> Vec<f64> {
+    let n = values.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    if n == 1 {
+        return vec![0.5];
+    }
+    // NaN sorts after +inf under this key, i.e. worst for minimization.
+    let key = |v: f64| if v.is_nan() { f64::INFINITY } else { v };
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| key(values[a]).total_cmp(&key(values[b])).then(a.cmp(&b)));
+    let mut ranks = vec![0.0f64; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && key(values[order[j + 1]]) == key(values[order[i]]) {
+            j += 1;
+        }
+        let avg = (i + j) as f64 / 2.0;
+        for &idx in &order[i..=j] {
+            ranks[idx] = avg / (n - 1) as f64;
+        }
+        i = j + 1;
+    }
+    ranks
+}
+
+/// Spearman rank correlation between two same-length series. Returns
+/// `0.0` for mismatched/short inputs or zero-variance ranks; never
+/// panics and never returns NaN.
+pub fn spearman(a: &[f64], b: &[f64]) -> f64 {
+    if a.len() != b.len() || a.len() < 2 {
+        return 0.0;
+    }
+    let ra = normalized_ranks(a);
+    let rb = normalized_ranks(b);
+    let n = ra.len() as f64;
+    let ma = ra.iter().sum::<f64>() / n;
+    let mb = rb.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for (&x, &y) in ra.iter().zip(rb.iter()) {
+        cov += (x - ma) * (y - mb);
+        va += (x - ma) * (x - ma);
+        vb += (y - mb) * (y - mb);
+    }
+    if va <= 0.0 || vb <= 0.0 {
+        return 0.0;
+    }
+    let r = cov / (va.sqrt() * vb.sqrt());
+    if r.is_finite() {
+        r.clamp(-1.0, 1.0)
+    } else {
+        0.0
+    }
+}
+
+/// Linear-interpolated quantile of an ascending-sorted slice; `q` is
+/// clamped to `[0, 1]` and an empty slice yields `0.0`.
+pub fn quantile_value(sorted: &[f64], q: f64) -> f64 {
+    match sorted.len() {
+        0 => 0.0,
+        1 => sorted[0],
+        n => {
+            let q = if q.is_finite() { q.clamp(0.0, 1.0) } else { 0.5 };
+            let pos = q * (n - 1) as f64;
+            let lo = pos.floor() as usize;
+            let hi = (lo + 1).min(n - 1);
+            let t = pos - lo as f64;
+            sorted[lo] * (1.0 - t) + sorted[hi] * t
+        }
+    }
+}
+
+/// The gate policy: which cells get an exact decode this generation.
+///
+/// Marks the `ceil(frac · n)` cells with the best (lowest) predicted
+/// rank — ties broken by index via `total_cmp` — plus `ceil(explore · n)`
+/// cells on a deterministic rotation derived from `round`, plus every
+/// `pinned` cell. Consumes no randomness.
+pub fn select_exact(
+    preds: &[f64],
+    frac: f64,
+    explore: f64,
+    pinned: &[bool],
+    round: u64,
+) -> Vec<bool> {
+    let n = preds.len();
+    let mut exact = vec![false; n];
+    if n == 0 {
+        return exact;
+    }
+    let frac = if frac.is_finite() { frac.clamp(0.0, 1.0) } else { 1.0 };
+    let explore = if explore.is_finite() { explore.clamp(0.0, 1.0) } else { 0.0 };
+    let k = (frac * n as f64).ceil() as usize;
+    if k > 0 {
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| preds[a].total_cmp(&preds[b]).then(a.cmp(&b)));
+        for &i in order.iter().take(k.min(n)) {
+            exact[i] = true;
+        }
+    }
+    let e = if explore > 0.0 { (explore * n as f64).ceil() as usize } else { 0 };
+    if e > 0 {
+        // A prime stride decorrelates the rotation from population and
+        // matrix sizes so exploration sweeps the whole matrix over time.
+        let start = (round as usize).wrapping_mul(7919) % n;
+        for step in 0..e.min(n) {
+            exact[(start + step) % n] = true;
+        }
+    }
+    for (flag, &pin) in exact.iter_mut().zip(pinned.iter()) {
+        *flag |= pin;
+    }
+    exact
+}
+
+/// `k` probe indices evenly spaced over `0..n` (deduplicated, ascending).
+pub fn probe_indices(n: usize, k: usize) -> Vec<usize> {
+    if n == 0 || k == 0 {
+        return Vec::new();
+    }
+    let k = k.min(n);
+    let mut idx: Vec<usize> = (0..k).map(|i| i * n / k).collect();
+    idx.dedup();
+    idx
+}
+
+/// Assemble one cell's feature vector from its probe scores and the
+/// column's pricing statistics.
+///
+/// `scores` are the row scorer's values on the column's probe bundles,
+/// `probe_costs` the probes' priced costs, and `probe_greedy` the
+/// cost-per-residual-coverage reference ordering the greedy decoder
+/// would fall back to. The rank-agreement features (f1, f2) capture
+/// *what kind* of ordering the scorer induces — the signal that decides
+/// how a (scorer, pricing) pairing decodes — while f5–f7 locate the
+/// pricing column's scale. Every output is finite.
+pub fn cell_features(
+    scores: &[f64],
+    probe_costs: &[f64],
+    probe_greedy: &[f64],
+    lower_bound: f64,
+    price_mean: f64,
+    price_spread: f64,
+) -> [f64; NUM_FEATURES] {
+    let finite = scores.iter().filter(|s| s.is_finite()).count();
+    let finite_frac = if scores.is_empty() { 0.0 } else { finite as f64 / scores.len() as f64 };
+    let mut fin: Vec<f64> = scores.iter().copied().filter(|s| s.is_finite()).collect();
+    fin.sort_by(f64::total_cmp);
+    let median = match fin.len() {
+        0 => 0.0,
+        n if n % 2 == 1 => fin[n / 2],
+        n => (fin[n / 2 - 1] + fin[n / 2]) / 2.0,
+    };
+    let squash = |v: f64| if v.is_finite() { v / (1.0 + v.abs()) } else { 0.0 };
+    let log_pos = |v: f64| if v.is_finite() { v.max(0.0).ln_1p() } else { 0.0 };
+    [
+        1.0,
+        spearman(scores, probe_costs),
+        spearman(scores, probe_greedy),
+        finite_frac,
+        squash(median),
+        log_pos(lower_bound),
+        log_pos(price_mean),
+        log_pos(price_spread),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gate_parses_and_round_trips() {
+        assert_eq!("off".parse::<SurrogateGate>().unwrap(), SurrogateGate::Off);
+        assert_eq!(
+            "topk".parse::<SurrogateGate>().unwrap(),
+            SurrogateGate::TopK { frac: DEFAULT_TOPK_FRAC, explore: DEFAULT_EXPLORE_FRAC }
+        );
+        assert_eq!(
+            "topk:0.5".parse::<SurrogateGate>().unwrap(),
+            SurrogateGate::TopK { frac: 0.5, explore: DEFAULT_EXPLORE_FRAC }
+        );
+        assert_eq!(
+            "topk:0.5:0.1".parse::<SurrogateGate>().unwrap(),
+            SurrogateGate::TopK { frac: 0.5, explore: 0.1 }
+        );
+        // Fractions clamp rather than error.
+        assert_eq!(
+            "topk:7:-1".parse::<SurrogateGate>().unwrap(),
+            SurrogateGate::TopK { frac: 1.0, explore: 0.0 }
+        );
+        assert!("nope".parse::<SurrogateGate>().is_err());
+        assert!("topk:x".parse::<SurrogateGate>().is_err());
+        assert!("topk:0.5:0.1:9".parse::<SurrogateGate>().is_err());
+        assert_eq!(SurrogateGate::Off.as_str(), "off");
+        assert_eq!(SurrogateGate::top_k().as_str(), "topk");
+    }
+
+    #[test]
+    fn ranks_handle_ties_and_nans() {
+        assert!(normalized_ranks(&[]).is_empty());
+        assert_eq!(normalized_ranks(&[3.0]), vec![0.5]);
+        let r = normalized_ranks(&[1.0, 2.0, 3.0]);
+        assert_eq!(r, vec![0.0, 0.5, 1.0]);
+        // Ties share the mean rank.
+        let r = normalized_ranks(&[1.0, 1.0, 2.0]);
+        assert_eq!(r[0], r[1]);
+        assert!(r[2] > r[0]);
+        // NaNs rank worst.
+        let r = normalized_ranks(&[f64::NAN, 0.0, 5.0]);
+        assert_eq!(r[0], 1.0);
+        assert_eq!(r[1], 0.0);
+    }
+
+    #[test]
+    fn spearman_matches_monotone_expectations() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let up = [10.0, 20.0, 30.0, 40.0];
+        let down = [4.0, 3.0, 2.0, 1.0];
+        assert!((spearman(&a, &up) - 1.0).abs() < 1e-12);
+        assert!((spearman(&a, &down) + 1.0).abs() < 1e-12);
+        assert_eq!(spearman(&a, &[5.0, 5.0, 5.0, 5.0]), 0.0);
+        assert_eq!(spearman(&a, &a[..2]), 0.0);
+        assert_eq!(spearman(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        assert_eq!(quantile_value(&[], 0.5), 0.0);
+        assert_eq!(quantile_value(&[7.0], 0.9), 7.0);
+        let s = [0.0, 10.0];
+        assert_eq!(quantile_value(&s, 0.0), 0.0);
+        assert_eq!(quantile_value(&s, 1.0), 10.0);
+        assert_eq!(quantile_value(&s, 0.25), 2.5);
+        assert_eq!(quantile_value(&s, f64::NAN), 5.0);
+    }
+
+    #[test]
+    fn surrogate_learns_a_linear_ranking() {
+        // Target rank is a noiseless linear function of one feature: the
+        // fitted model must order fresh points correctly.
+        let mut s = RankSurrogate::new();
+        for i in 0..40 {
+            let x = i as f64 / 39.0;
+            let mut f = [0.0; NUM_FEATURES];
+            f[0] = 1.0;
+            f[1] = x;
+            s.observe(&f, x);
+        }
+        assert!(s.ready());
+        s.fit();
+        let mut lo = [0.0; NUM_FEATURES];
+        lo[0] = 1.0;
+        lo[1] = 0.1;
+        let mut hi = [0.0; NUM_FEATURES];
+        hi[0] = 1.0;
+        hi[1] = 0.9;
+        assert!(s.predict(&lo) < s.predict(&hi));
+    }
+
+    #[test]
+    fn surrogate_is_deterministic_and_nan_safe() {
+        let build = || {
+            let mut s = RankSurrogate::new();
+            for i in 0..20 {
+                let mut f = [f64::NAN; NUM_FEATURES];
+                f[1] = i as f64;
+                f[2] = f64::INFINITY;
+                s.observe(&f, if i % 3 == 0 { f64::NAN } else { i as f64 / 19.0 });
+                s.decay_generation();
+                s.fit();
+            }
+            s
+        };
+        let a = build();
+        let b = build();
+        assert_eq!(a.weights().map(f64::to_bits), b.weights().map(f64::to_bits));
+        let probe = [0.5; NUM_FEATURES];
+        assert!(a.predict(&probe).is_finite());
+    }
+
+    #[test]
+    fn singular_fit_falls_back_to_zero_weights() {
+        let mut s = RankSurrogate::new();
+        // No observations at all: XᵀX is zero, ridge keeps it solvable
+        // and the solution is exactly zero.
+        s.fit();
+        assert_eq!(s.weights(), &[0.0; NUM_FEATURES]);
+        assert_eq!(s.predict(&[1.0; NUM_FEATURES]), 0.0);
+    }
+
+    #[test]
+    fn select_exact_honors_frac_explore_and_pins() {
+        let preds = [0.9, 0.1, 0.5, 0.3, 0.7];
+        let none = [false; 5];
+        let mask = select_exact(&preds, 0.4, 0.0, &none, 0);
+        assert_eq!(mask.iter().filter(|&&m| m).count(), 2);
+        assert!(mask[1] && mask[3]);
+        // frac 0 + explore 0 → only pins.
+        let mut pins = [false; 5];
+        pins[4] = true;
+        let mask = select_exact(&preds, 0.0, 0.0, &pins, 3);
+        assert_eq!(mask, [false, false, false, false, true]);
+        // frac 1 → everything.
+        let mask = select_exact(&preds, 1.0, 0.0, &none, 7);
+        assert!(mask.iter().all(|&m| m));
+        // Exploration rotates deterministically and adds cells.
+        let m0 = select_exact(&preds, 0.0, 0.2, &none, 0);
+        let m1 = select_exact(&preds, 0.0, 0.2, &none, 1);
+        assert_eq!(m0.iter().filter(|&&m| m).count(), 1);
+        assert_eq!(m1.iter().filter(|&&m| m).count(), 1);
+        assert_ne!(m0, m1);
+        assert!(select_exact(&[], 0.5, 0.5, &[], 0).is_empty());
+    }
+
+    #[test]
+    fn probe_indices_are_spread_and_bounded() {
+        assert!(probe_indices(0, 8).is_empty());
+        assert!(probe_indices(10, 0).is_empty());
+        assert_eq!(probe_indices(4, 8), vec![0, 1, 2, 3]);
+        let idx = probe_indices(100, 8);
+        assert_eq!(idx.len(), 8);
+        assert_eq!(idx[0], 0);
+        assert!(idx.windows(2).all(|w| w[0] < w[1]));
+        assert!(*idx.last().unwrap() < 100);
+    }
+
+    #[test]
+    fn cell_features_are_always_finite() {
+        let degenerate = cell_features(
+            &[f64::NAN, f64::INFINITY, f64::NEG_INFINITY],
+            &[1.0, 2.0, 3.0],
+            &[3.0, 2.0, 1.0],
+            f64::NAN,
+            f64::INFINITY,
+            -5.0,
+        );
+        assert!(degenerate.iter().all(|f| f.is_finite()));
+        let empty = cell_features(&[], &[], &[], 10.0, 4.0, 2.0);
+        assert!(empty.iter().all(|f| f.is_finite()));
+        assert_eq!(empty[0], 1.0);
+        let sane = cell_features(
+            &[1.0, 2.0, 3.0, 4.0],
+            &[1.0, 2.0, 3.0, 4.0],
+            &[4.0, 3.0, 2.0, 1.0],
+            100.0,
+            10.0,
+            3.0,
+        );
+        assert!((sane[1] - 1.0).abs() < 1e-12);
+        assert!((sane[2] + 1.0).abs() < 1e-12);
+        assert_eq!(sane[3], 1.0);
+    }
+}

@@ -55,6 +55,28 @@ pub enum EvictionPolicy {
     Clock,
 }
 
+impl EvictionPolicy {
+    /// Stable lower-case name (used in docs and CLI output).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            EvictionPolicy::Fifo => "fifo",
+            EvictionPolicy::Clock => "clock",
+        }
+    }
+}
+
+impl std::str::FromStr for EvictionPolicy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "fifo" => Ok(EvictionPolicy::Fifo),
+            "clock" | "second-chance" | "second_chance" => Ok(EvictionPolicy::Clock),
+            other => Err(format!("unknown eviction policy '{other}' (expected fifo or clock)")),
+        }
+    }
+}
+
 /// Monotonic counters describing cache traffic so far.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheStats {

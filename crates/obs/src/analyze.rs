@@ -46,6 +46,10 @@ pub struct GenerationRow {
     pub decode_hits: u64,
     /// Decode-cache misses during the generation.
     pub decode_misses: u64,
+    /// Eval-matrix cells evaluated exactly under the surrogate gate.
+    pub surrogate_exact: u64,
+    /// Eval-matrix cells imputed from the surrogate (exact evals saved).
+    pub surrogate_skipped: u64,
     /// Microseconds spent in fitness evaluation during the generation.
     pub eval_micros: u64,
 }
@@ -352,6 +356,8 @@ pub fn analyze_with(records: &[TraceRecord], cfg: &AnalyzeConfig) -> TraceAnalys
         compile_misses: 0,
         decode_hits: 0,
         decode_misses: 0,
+        surrogate_exact: 0,
+        surrogate_skipped: 0,
         eval_micros: 0,
     };
     let reset = |acc: &mut GenerationRow| {
@@ -367,6 +373,8 @@ pub fn analyze_with(records: &[TraceRecord], cfg: &AnalyzeConfig) -> TraceAnalys
             compile_misses: 0,
             decode_hits: 0,
             decode_misses: 0,
+            surrogate_exact: 0,
+            surrogate_skipped: 0,
             eval_micros: 0,
         };
     };
@@ -413,6 +421,10 @@ pub fn analyze_with(records: &[TraceRecord], cfg: &AnalyzeConfig) -> TraceAnalys
             OwnedEvent::DecodeCacheProbe { hits, misses, .. } => {
                 acc.decode_hits += hits;
                 acc.decode_misses += misses;
+            }
+            OwnedEvent::SurrogateProbe { exact, skipped, .. } => {
+                acc.surrogate_exact += exact;
+                acc.surrogate_skipped += skipped;
             }
             OwnedEvent::GenerationEnd { generation, evaluations, ul_best, gap_best } => {
                 acc.generation = *generation;

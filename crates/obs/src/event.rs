@@ -122,6 +122,22 @@ pub enum Event<'a> {
         /// Outcomes resident after the batch (a gauge, not a delta).
         entries: u64,
     },
+    /// A surrogate screening of the evaluation matrix completed. Emitted
+    /// once per generation by solvers running with a surrogate gate
+    /// (`surrogate_gate != Off`); `exact + skipped` equals `cells`.
+    /// Never emitted when the gate is off.
+    SurrogateProbe {
+        /// Unique evaluation-matrix cells screened this generation.
+        cells: u64,
+        /// Cells decoded exactly (top-k + exploration + pinned).
+        exact: u64,
+        /// Cells imputed from surrogate rank instead of decoded.
+        skipped: u64,
+        /// Spearman rank correlation between the surrogate's predictions
+        /// and the realized outcomes of the exactly-evaluated cells
+        /// (NaN while the model warms up or with too few exact cells).
+        rank_corr: f64,
+    },
     /// The best pair's objectives at one co-evolutionary step. Emitted
     /// once per improvement generation by competitive solvers; `level`
     /// names the population that was improving when the sample was
@@ -182,6 +198,7 @@ impl Event<'_> {
             Event::CacheProbe { .. } => "CacheProbe",
             Event::CompileCacheProbe { .. } => "CompileCacheProbe",
             Event::DecodeCacheProbe { .. } => "DecodeCacheProbe",
+            Event::SurrogateProbe { .. } => "SurrogateProbe",
             Event::ObjectivePair { .. } => "ObjectivePair",
             Event::ArchiveUpdate { .. } => "ArchiveUpdate",
             Event::GenerationEnd { .. } => "GenerationEnd",
@@ -227,6 +244,12 @@ impl Event<'_> {
                 json::push_u64_field(out, "evictions", evictions);
                 json::push_u64_field(out, "entries", entries);
                 json::push_u64_field(out, "compile_micros", compile_micros);
+            }
+            Event::SurrogateProbe { cells, exact, skipped, rank_corr } => {
+                json::push_u64_field(out, "cells", cells);
+                json::push_u64_field(out, "exact", exact);
+                json::push_u64_field(out, "skipped", skipped);
+                json::push_f64_field(out, "rank_corr", rank_corr);
             }
             Event::ObjectivePair { level, ul_value, ll_value } => {
                 json::push_str_field(out, "level", level.as_str());
@@ -278,6 +301,7 @@ impl Event<'_> {
                 compile_micros: 310,
             },
             Event::DecodeCacheProbe { hits: 120, misses: 40, evictions: 2, entries: 150 },
+            Event::SurrogateProbe { cells: 40, exact: 16, skipped: 24, rank_corr: 0.75 },
             Event::ObjectivePair { level: Level::Upper, ul_value: 1543.25, ll_value: 402.5 },
             Event::ArchiveUpdate { level: Level::Upper, size: 100, best: 1543.25 },
             Event::GenerationEnd {
@@ -315,6 +339,7 @@ mod tests {
                 "CacheProbe",
                 "CompileCacheProbe",
                 "DecodeCacheProbe",
+                "SurrogateProbe",
                 "ObjectivePair",
                 "ArchiveUpdate",
                 "GenerationEnd",

@@ -87,6 +87,17 @@ pub enum OwnedEvent {
         /// Outcomes resident after the batch.
         entries: u64,
     },
+    /// See [`Event::SurrogateProbe`].
+    SurrogateProbe {
+        /// Unique evaluation-matrix cells screened this generation.
+        cells: u64,
+        /// Cells decoded exactly.
+        exact: u64,
+        /// Cells imputed from surrogate rank.
+        skipped: u64,
+        /// Rank correlation of predictions vs realized outcomes.
+        rank_corr: f64,
+    },
     /// See [`Event::ObjectivePair`].
     ObjectivePair {
         /// The population improving when this sample was taken.
@@ -157,6 +168,9 @@ impl OwnedEvent {
             } => Event::CompileCacheProbe { hits, misses, evictions, entries, compile_micros },
             OwnedEvent::DecodeCacheProbe { hits, misses, evictions, entries } => {
                 Event::DecodeCacheProbe { hits, misses, evictions, entries }
+            }
+            OwnedEvent::SurrogateProbe { cells, exact, skipped, rank_corr } => {
+                Event::SurrogateProbe { cells, exact, skipped, rank_corr }
             }
             OwnedEvent::ObjectivePair { level, ul_value, ll_value } => {
                 Event::ObjectivePair { level, ul_value, ll_value }
@@ -319,6 +333,12 @@ pub fn parse_line(line: &str) -> Result<TraceRecord, String> {
             misses: get_u64(&v, "misses", n)?,
             evictions: get_u64(&v, "evictions", n)?,
             entries: get_u64(&v, "entries", n)?,
+        },
+        "SurrogateProbe" => OwnedEvent::SurrogateProbe {
+            cells: get_u64(&v, "cells", n)?,
+            exact: get_u64(&v, "exact", n)?,
+            skipped: get_u64(&v, "skipped", n)?,
+            rank_corr: get_f64(&v, "rank_corr", n)?,
         },
         "ObjectivePair" => OwnedEvent::ObjectivePair {
             level: get_level(&v, "level", n)?,

@@ -41,6 +41,10 @@ struct TimedState {
     simplex_pivots_per_solve: Histogram,
     /// GP tree nodes walked per fitness evaluation.
     gp_nodes_per_eval: Histogram,
+    /// Sum of finite surrogate rank correlations observed.
+    surrogate_corr_sum: f64,
+    /// Number of finite surrogate rank correlations observed.
+    surrogate_corr_count: u64,
 }
 
 impl Default for TimedState {
@@ -55,6 +59,8 @@ impl Default for TimedState {
             gp_compile_seconds: Histogram::seconds(),
             simplex_pivots_per_solve: Histogram::counts(),
             gp_nodes_per_eval: Histogram::counts(),
+            surrogate_corr_sum: 0.0,
+            surrogate_corr_count: 0,
         }
     }
 }
@@ -94,6 +100,9 @@ pub struct MetricsSink {
     decode_cache_misses: AtomicU64,
     decode_cache_evictions: AtomicU64,
     decode_cache_entries: AtomicU64,
+    surrogate_cells: AtomicU64,
+    surrogate_exact: AtomicU64,
+    surrogate_skipped: AtomicU64,
     archive_updates: AtomicU64,
     timed: Mutex<TimedState>,
     created: Option<Instant>,
@@ -115,6 +124,11 @@ impl MetricsSink {
         let gp_compile_seconds = timed.gp_compile_seconds.clone();
         let simplex_pivots_per_solve = timed.simplex_pivots_per_solve.clone();
         let gp_nodes_per_eval = timed.gp_nodes_per_eval.clone();
+        let surrogate_rank_corr_mean = if timed.surrogate_corr_count > 0 {
+            timed.surrogate_corr_sum / timed.surrogate_corr_count as f64
+        } else {
+            f64::NAN
+        };
         let phases: Vec<PhaseTiming> = timed
             .phase_totals
             .iter()
@@ -147,6 +161,10 @@ impl MetricsSink {
             decode_cache_misses: self.decode_cache_misses.load(Ordering::Relaxed),
             decode_cache_evictions: self.decode_cache_evictions.load(Ordering::Relaxed),
             decode_cache_entries: self.decode_cache_entries.load(Ordering::Relaxed),
+            surrogate_cells: self.surrogate_cells.load(Ordering::Relaxed),
+            surrogate_exact: self.surrogate_exact.load(Ordering::Relaxed),
+            surrogate_skipped: self.surrogate_skipped.load(Ordering::Relaxed),
+            surrogate_rank_corr_mean,
             archive_updates: self.archive_updates.load(Ordering::Relaxed),
             wall_seconds: self.created.map_or(0.0, |c| c.elapsed().as_secs_f64()),
             phases,
@@ -232,6 +250,16 @@ impl RunObserver for MetricsSink {
                 self.decode_cache_evictions.fetch_add(evictions, Ordering::Relaxed);
                 self.decode_cache_entries.store(entries, Ordering::Relaxed);
             }
+            Event::SurrogateProbe { cells, exact, skipped, rank_corr } => {
+                self.surrogate_cells.fetch_add(cells, Ordering::Relaxed);
+                self.surrogate_exact.fetch_add(exact, Ordering::Relaxed);
+                self.surrogate_skipped.fetch_add(skipped, Ordering::Relaxed);
+                if rank_corr.is_finite() {
+                    let mut timed = self.timed.lock().expect("metrics mutex poisoned");
+                    timed.surrogate_corr_sum += rank_corr;
+                    timed.surrogate_corr_count += 1;
+                }
+            }
             // Objective pairs feed the trace analyzer, not the counters.
             Event::ObjectivePair { .. } => {}
             Event::ArchiveUpdate { .. } => {
@@ -298,6 +326,16 @@ pub struct RunMetrics {
     pub decode_cache_evictions: u64,
     /// Last observed decode-cache residency (a gauge).
     pub decode_cache_entries: u64,
+    /// Evaluation-matrix cells screened by the surrogate gate.
+    pub surrogate_cells: u64,
+    /// Screened cells decoded exactly (top-k + exploration + pinned).
+    pub surrogate_exact: u64,
+    /// Screened cells imputed from surrogate rank instead of decoded.
+    pub surrogate_skipped: u64,
+    /// Mean Spearman rank correlation of surrogate predictions vs
+    /// realized outcomes over generations where it was measurable
+    /// (NaN when the gate never reported a finite correlation).
+    pub surrogate_rank_corr_mean: f64,
     /// Archive-update events.
     pub archive_updates: u64,
     /// Seconds since the sink was created.
@@ -350,6 +388,12 @@ impl RunMetrics {
         field("decode_cache_misses", &self.decode_cache_misses.to_string());
         field("decode_cache_evictions", &self.decode_cache_evictions.to_string());
         field("decode_cache_entries", &self.decode_cache_entries.to_string());
+        field("surrogate_cells", &self.surrogate_cells.to_string());
+        field("surrogate_exact", &self.surrogate_exact.to_string());
+        field("surrogate_skipped", &self.surrogate_skipped.to_string());
+        let mut corr = String::new();
+        json::push_f64(&mut corr, self.surrogate_rank_corr_mean);
+        field("surrogate_rank_corr_mean", &corr);
         field("archive_updates", &self.archive_updates.to_string());
         let mut wall = String::new();
         json::push_f64(&mut wall, self.wall_seconds);
@@ -456,6 +500,18 @@ mod tests {
             evictions: 2,
             entries: 14,
         });
+        sink.observe(&Event::SurrogateProbe {
+            cells: 40,
+            exact: 16,
+            skipped: 24,
+            rank_corr: 0.5,
+        });
+        sink.observe(&Event::SurrogateProbe {
+            cells: 40,
+            exact: 12,
+            skipped: 28,
+            rank_corr: f64::NAN,
+        });
         let m = sink.report();
         assert_eq!(m.runs, 1);
         assert_eq!(m.evaluations, 30);
@@ -477,6 +533,11 @@ mod tests {
         assert_eq!(m.decode_cache_misses, 4);
         assert_eq!(m.decode_cache_evictions, 2);
         assert_eq!(m.decode_cache_entries, 14);
+        assert_eq!(m.surrogate_cells, 80);
+        assert_eq!(m.surrogate_exact, 28);
+        assert_eq!(m.surrogate_skipped, 52);
+        // NaN correlations are excluded from the mean.
+        assert!((m.surrogate_rank_corr_mean - 0.5).abs() < 1e-12);
         // Histograms: 20 GP-scored evals at 20 µs each, 10 solves at
         // 5 µs each, 3 compile misses at 30 µs each.
         assert_eq!(m.decode_pass_seconds.count(), 20);
@@ -612,6 +673,10 @@ mod tests {
             "decode_cache_misses",
             "decode_cache_evictions",
             "decode_cache_entries",
+            "surrogate_cells",
+            "surrogate_exact",
+            "surrogate_skipped",
+            "surrogate_rank_corr_mean",
             "archive_updates",
             "wall_seconds",
             "phases",

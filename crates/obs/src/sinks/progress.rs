@@ -86,6 +86,7 @@ fn event_level(event: &Event<'_>) -> LogLevel {
         | Event::CacheProbe { .. }
         | Event::CompileCacheProbe { .. }
         | Event::DecodeCacheProbe { .. }
+        | Event::SurrogateProbe { .. }
         | Event::ObjectivePair { .. } => LogLevel::Trace,
     }
 }
@@ -139,6 +140,9 @@ impl ProgressSink {
             }
             Event::DecodeCacheProbe { hits, misses, evictions, entries } => {
                 format!("decode cache: {hits} hits, {misses} misses, {evictions} evicted, {entries} resident")
+            }
+            Event::SurrogateProbe { cells, exact, skipped, rank_corr } => {
+                format!("surrogate: {cells} cells, {exact} exact, {skipped} imputed, rank corr {rank_corr:.3}")
             }
             Event::ObjectivePair { level, ul_value, ll_value } => {
                 format!("objectives ({} improving): F {ul_value:.4}, f {ll_value:.4}", level.as_str())

@@ -186,6 +186,32 @@ pub fn render(m: &RunMetrics) -> String {
         push_sample(&mut out, "bico_cache_entries", &[("cache", cache)], *entries as f64);
     }
 
+    // Surrogate-gate screening counters + prediction-quality gauge.
+    let surrogate: [(&str, &str, u64); 3] = [
+        (
+            "bico_surrogate_cells_total",
+            "Evaluation-matrix cells screened by the surrogate gate.",
+            m.surrogate_cells,
+        ),
+        ("bico_surrogate_exact_total", "Screened cells decoded exactly.", m.surrogate_exact),
+        (
+            "bico_surrogate_skipped_total",
+            "Screened cells imputed from surrogate rank.",
+            m.surrogate_skipped,
+        ),
+    ];
+    for (name, help, value) in &surrogate {
+        push_header(&mut out, name, "counter", help);
+        push_sample(&mut out, name, &[], *value as f64);
+    }
+    push_header(
+        &mut out,
+        "bico_surrogate_rank_corr_mean",
+        "gauge",
+        "Mean rank correlation of surrogate predictions vs realized outcomes.",
+    );
+    push_sample(&mut out, "bico_surrogate_rank_corr_mean", &[], m.surrogate_rank_corr_mean);
+
     push_header(
         &mut out,
         "bico_phase_seconds_total",
@@ -320,6 +346,9 @@ mod tests {
         assert!(text.contains("bico_ll_solve_seconds_count 10\n"));
         assert!(text.contains("bico_decode_pass_seconds_count 10\n"));
         assert!(text.contains("bico_cache_hits_total{cache=\"solve\"} 0\n"));
+        assert!(text.contains("# TYPE bico_surrogate_cells_total counter"));
+        assert!(text.contains("bico_surrogate_cells_total 0\n"));
+        assert!(text.contains("bico_surrogate_rank_corr_mean NaN\n"));
     }
 
     #[test]

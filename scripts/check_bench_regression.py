@@ -42,6 +42,13 @@ TRACKED = [
      lambda r: r.get("huge", {}).get("decode", {}).get("scalar_ms_per_pass")),
     ("huge.decode.batched_ms_per_pass",
      lambda r: r.get("huge", {}).get("decode", {}).get("batched_ms_per_pass")),
+    # The surrogate gate's whole point is ms/generation; track both arms
+    # so a slowdown in the gated path is caught even when the exact path
+    # drifts with it.
+    ("surrogate.off_ms_per_gen",
+     lambda r: r.get("surrogate", {}).get("off_ms_per_gen")),
+    ("surrogate.on_ms_per_gen",
+     lambda r: r.get("surrogate", {}).get("on_ms_per_gen")),
 ]
 
 # Higher is better: a drop beyond the threshold is the regression. The
@@ -57,6 +64,11 @@ TRACKED_HIGHER = [
      lambda r: r.get("decode_cache", {}).get("hit_rate")),
     ("maximin.plain_seesaw_amplitude",
      lambda r: r.get("maximin", {}).get("plain_seesaw_amplitude")),
+    # How many exact lower-level evaluations the gate saves per cell
+    # screened; falling back toward 1.0 means the screen has stopped
+    # skipping anything and the gated path is pure overhead.
+    ("surrogate.exact_eval_reduction",
+     lambda r: r.get("surrogate", {}).get("exact_eval_reduction")),
 ]
 
 
@@ -92,6 +104,43 @@ def absolute_checks(current) -> bool:
             ok = False
         else:
             print(f"huge: best speedup {best:.2f}x >= 3x ok")
+
+    surrogate = current.get("surrogate")
+    if surrogate is None:
+        print("::warning::surrogate block missing; skipped")
+    else:
+        reduction = surrogate.get("exact_eval_reduction", 0.0)
+        if reduction < 2.0:
+            print(f"surrogate.exact_eval_reduction = {reduction:.2f} < 2x "
+                  "floor (the gate must at least halve exact evals) FAILED")
+            ok = False
+        else:
+            print(f"surrogate.exact_eval_reduction = {reduction:.2f}x >= 2x ok")
+        # Quality guard: the Mann–Whitney comparison of final gaps may
+        # not show a *significant degradation*. A significant improvement
+        # (gap_delta <= 0) or an insignificant shift both pass.
+        p, delta = surrogate.get("mw_p", 1.0), surrogate.get("gap_delta", 0.0)
+        if p < 0.05 and delta > 0:
+            print(f"surrogate: gap degraded by {delta:.4f} with MW "
+                  f"p = {p:.4f} < 0.05 FAILED")
+            ok = False
+        else:
+            print(f"surrogate: gap delta {delta:+.4f}, MW p = {p:.4f} ok")
+
+    eviction = current.get("eviction")
+    if eviction is None:
+        print("::warning::eviction block missing; skipped")
+    else:
+        for layer in ("solve", "decode"):
+            delta = eviction.get(layer, {}).get("delta")
+            if delta is None:
+                print(f"::warning::eviction.{layer}.delta missing; skipped")
+            elif delta < 0:
+                print(f"eviction.{layer}.delta = {delta:.4f}: clock must "
+                      "not lose to FIFO on the hot/cold workload FAILED")
+                ok = False
+            else:
+                print(f"eviction.{layer}.delta = {delta:+.4f} >= 0 ok")
     return ok
 
 

@@ -26,8 +26,9 @@ use bico::bcpop::{
 use bico::cobra::{Cobra, CobraConfig, NestedConfig, NestedSequential};
 use bico::core::{
     program3, solve_kkt, BilinearProblem, Carbon, CarbonConfig, CoevStrategy, MaximinCoev,
-    MaximinConfig, TieBreak,
+    MaximinConfig, SurrogateGate, TieBreak,
 };
+use bico::ea::cache::EvictionPolicy;
 use bico::ea::hypothesis::mann_whitney_u;
 use bico::gp::{parse_sexpr, to_sexpr};
 use bico::obs::{
@@ -69,7 +70,9 @@ USAGE:
   bico run <carbon|cobra|nested> [--instance FILE | --class NxM] [--seed S]
            [--evals N] [--pop P] [--strategy plain|shared|hof] [--share-margin M]
            [--ll-cache-capacity C] [--compiled-eval BOOL]
-           [--gp-compile-cache BOOL] [--decode-cache BOOL] [--heuristic-out FILE]
+           [--gp-compile-cache BOOL] [--decode-cache BOOL]
+           [--surrogate off|topk[:FRAC[:EXPLORE]]] [--surrogate-topk FRAC]
+           [--cache-eviction fifo|clock] [--heuristic-out FILE]
            [--trace-out FILE.jsonl] [--metrics-out FILE.json] [--prom-out FILE.prom]
            [--log-level LEVEL]
   bico run maximin [--dim D] [--gens G] [--pop P] [--seed S]
@@ -77,7 +80,8 @@ USAGE:
            [--trace-out FILE.jsonl] [--metrics-out FILE.json] [--log-level LEVEL]
   bico compare [--class NxM] [--runs R] [--seed S] [--evals N] [--pop P]
            [--ll-cache-capacity C] [--compiled-eval BOOL] [--gp-compile-cache BOOL]
-           [--decode-cache BOOL]
+           [--decode-cache BOOL] [--surrogate off|topk[:FRAC[:EXPLORE]]]
+           [--cache-eviction fifo|clock]
            [--trace-out FILE.jsonl] [--metrics-out FILE.json] [--prom-out FILE.prom]
            [--log-level LEVEL]
   bico eval --sexpr EXPR [--instance FILE | --class NxM] [--seed S]
@@ -121,6 +125,21 @@ evaluation matrix and memoizes full lower-level decode outcomes across
 generations by the exact (tree structure, pricing bits, mode) key.
 Results are bit-identical with the cache on or off; hit/miss counts
 appear as DecodeCacheProbe events and in the metrics report.
+
+--surrogate topk[:FRAC[:EXPLORE]] (CARBON only, needs decode-cache)
+gates the deduplicated evaluation matrix behind an online rank
+surrogate: each generation only the predicted-best FRAC of unique
+(scorer x pricing) cells (default 0.25, plus an EXPLORE rotation,
+default 0.05, plus the champion/elite rows) decode exactly; the rest
+are imputed from predicted rank. Off (the default) is bit-identical to
+not having the gate at all; screening stats appear as SurrogateProbe
+events, in the metrics report, and in bico trace tables.
+--surrogate-topk FRAC overrides the fraction (and implies topk).
+
+--cache-eviction fifo|clock (CARBON only; default fifo) selects the
+eviction policy shared by the solve and decode caches: plain FIFO or
+CLOCK second-chance, which keeps recently re-used entries resident.
+Results are bit-identical under either policy.
 
 --strategy plain|shared|hof (CARBON and maximin) selects the
 co-evolution strategy: plain predator-prey scoring, competitive fitness
@@ -228,6 +247,52 @@ fn decode_cache_config(args: &[String]) -> (bool, usize) {
         (true, CarbonConfig::default().decode_cache_capacity)
     } else {
         (false, 0)
+    }
+}
+
+/// `--surrogate off|topk[:FRAC[:EXPLORE]]` plus the `--surrogate-topk
+/// FRAC` shorthand (which implies `topk`). Exits with the parse error
+/// on a malformed spec.
+fn surrogate_gate_of(args: &[String]) -> SurrogateGate {
+    let mut gate = match opt(args, "--surrogate") {
+        Some(v) => v.parse().unwrap_or_else(|e| {
+            eprintln!("{e}");
+            exit(2);
+        }),
+        None => SurrogateGate::Off,
+    };
+    if let Some(v) = opt(args, "--surrogate-topk") {
+        let frac: f64 = v.parse().unwrap_or_else(|_| {
+            eprintln!("bad --surrogate-topk {v:?} (expected a fraction in [0, 1])");
+            exit(2);
+        });
+        if !frac.is_finite() || !(0.0..=1.0).contains(&frac) {
+            eprintln!("bad --surrogate-topk {v:?} (expected a fraction in [0, 1])");
+            exit(2);
+        }
+        gate = match gate {
+            SurrogateGate::TopK { explore, .. } => SurrogateGate::TopK { frac, explore },
+            SurrogateGate::Off => {
+                let SurrogateGate::TopK { explore, .. } = SurrogateGate::top_k() else {
+                    unreachable!("top_k() constructs TopK");
+                };
+                SurrogateGate::TopK { frac, explore }
+            }
+        };
+    }
+    gate
+}
+
+/// `--cache-eviction fifo|clock` → the shared eviction policy for the
+/// solve and decode caches (exits with the parse error on an unknown
+/// name).
+fn cache_eviction_of(args: &[String]) -> EvictionPolicy {
+    match opt(args, "--cache-eviction") {
+        Some(v) => v.parse().unwrap_or_else(|e| {
+            eprintln!("{e}");
+            exit(2);
+        }),
+        None => EvictionPolicy::Fifo,
     }
 }
 
@@ -374,6 +439,8 @@ fn cmd_run(args: &[String]) {
                 gp_compile_cache_capacity,
                 eval_matrix,
                 decode_cache_capacity,
+                surrogate_gate: surrogate_gate_of(args),
+                cache_eviction: cache_eviction_of(args),
                 coev_strategy: strategy_of(args),
                 share_margin: opt_parse(
                     args,
@@ -473,6 +540,8 @@ fn cmd_compare(args: &[String]) {
                 gp_compile_cache_capacity,
                 eval_matrix,
                 decode_cache_capacity,
+                surrogate_gate: surrogate_gate_of(args),
+                cache_eviction: cache_eviction_of(args),
                 ..Default::default()
             },
         )

@@ -114,6 +114,8 @@ fn render_json(report: &TraceReport) -> String {
             push_u64_field(&mut out, "compile_misses", g.compile_misses);
             push_u64_field(&mut out, "decode_hits", g.decode_hits);
             push_u64_field(&mut out, "decode_misses", g.decode_misses);
+            push_u64_field(&mut out, "surrogate_exact", g.surrogate_exact);
+            push_u64_field(&mut out, "surrogate_skipped", g.surrogate_skipped);
             push_f64_field(&mut out, "hit_rate", g.hit_rate());
             push_u64_field(&mut out, "eval_micros", g.eval_micros);
             out.push('}');
@@ -187,8 +189,15 @@ fn render_human(report: &TraceReport, max_rows: usize) -> String {
         if !a.generations.is_empty() {
             let _ = writeln!(
                 out,
-                "\n  {:>5} {:>9} {:>12} {:>10} {:>7} {:>9} {:>9}",
-                "gen", "evals", "ul_best", "gap_best", "solves", "hit_rate", "eval_ms"
+                "\n  {:>5} {:>9} {:>12} {:>10} {:>7} {:>9} {:>9} {:>9}",
+                "gen",
+                "evals",
+                "ul_best",
+                "gap_best",
+                "solves",
+                "hit_rate",
+                "surr_skip",
+                "eval_ms"
             );
             // Elide the middle of long runs: head + tail around a marker.
             let n = a.generations.len();
@@ -208,13 +217,14 @@ fn render_human(report: &TraceReport, max_rows: usize) -> String {
                 let hit = g.hit_rate();
                 let _ = writeln!(
                     out,
-                    "  {:>5} {:>9} {:>12.3} {:>10.3} {:>7} {:>9} {:>9.2}",
+                    "  {:>5} {:>9} {:>12.3} {:>10.3} {:>7} {:>9} {:>9} {:>9.2}",
                     g.generation,
                     g.evaluations,
                     g.ul_best,
                     g.gap_best,
                     g.ll_solves,
                     if hit.is_nan() { "-".into() } else { format!("{:.2}", hit) },
+                    g.surrogate_skipped,
                     g.eval_micros as f64 / 1000.0
                 );
             }

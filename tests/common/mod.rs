@@ -1,0 +1,46 @@
+//! Shared test-support helpers for the integration suites.
+//!
+//! Not a test binary itself: each suite pulls this in with `mod common;`,
+//! so helpers used by only some suites are expected.
+#![allow(dead_code)]
+
+use bico::bcpop::orlib::{parse_mknap, MkpInstance};
+
+/// Exact DP over (row-0 load, row-1 load) → max profit, re-proving a
+/// 2-constraint fixture's recorded optimum so the data is known-good
+/// rather than a transcription taken on faith.
+pub fn prove_optimum_by_dp(mkp: &MkpInstance) -> f64 {
+    assert_eq!(mkp.m, 2, "the DP is specialized to two constraints");
+    let (c0, c1) = (mkp.capacities[0] as usize, mkp.capacities[1] as usize);
+    let mut dp = vec![f64::NEG_INFINITY; (c0 + 1) * (c1 + 1)];
+    dp[0] = 0.0;
+    for j in 0..mkp.n {
+        let (p, a, b) =
+            (mkp.profits[j], mkp.weights[j] as usize, mkp.weights[mkp.n + j] as usize);
+        for w0 in (0..=c0 - a).rev() {
+            for w1 in (0..=c1 - b).rev() {
+                let v = dp[w0 * (c1 + 1) + w1];
+                let t = &mut dp[(w0 + a) * (c1 + 1) + (w1 + b)];
+                if v + p > *t {
+                    *t = v + p;
+                }
+            }
+        }
+    }
+    dp.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+}
+
+/// Load a 28-item × 2-constraint Weingartner–Ness fixture, check its
+/// recorded shape/capacities/optimum, and re-prove the optimum by the
+/// exact DP before anything downstream trusts the data.
+pub fn load_weing_proven(name: &str, caps: [f64; 2], optimum: f64) -> MkpInstance {
+    let path = format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+    let text = std::fs::read_to_string(&path).expect("fixture present");
+    let mkp = parse_mknap(&text).unwrap().swap_remove(0);
+    assert_eq!((mkp.n, mkp.m), (28, 2), "{name}");
+    assert_eq!(mkp.capacities, caps, "{name}");
+    assert_eq!(mkp.known_optimum, optimum, "{name}");
+    let proven = prove_optimum_by_dp(&mkp);
+    assert_eq!(proven, optimum, "{name}: DP must reproduce the published optimum");
+    mkp
+}

@@ -1,32 +1,11 @@
 //! OR-library → covering → CARBON pipeline, exercising the same path a
 //! user with the original paper data would follow.
 
-use bico::bcpop::orlib::{parse_mknap, MkpInstance};
-use bico::core::{Carbon, CarbonConfig, CoevStrategy};
+mod common;
 
-/// Exact DP over (row-0 load, row-1 load) → max profit, re-proving a
-/// 2-constraint fixture's recorded optimum so the data is known-good
-/// rather than a transcription taken on faith.
-fn prove_optimum_by_dp(mkp: &MkpInstance) -> f64 {
-    assert_eq!(mkp.m, 2, "the DP is specialized to two constraints");
-    let (c0, c1) = (mkp.capacities[0] as usize, mkp.capacities[1] as usize);
-    let mut dp = vec![f64::NEG_INFINITY; (c0 + 1) * (c1 + 1)];
-    dp[0] = 0.0;
-    for j in 0..mkp.n {
-        let (p, a, b) =
-            (mkp.profits[j], mkp.weights[j] as usize, mkp.weights[mkp.n + j] as usize);
-        for w0 in (0..=c0 - a).rev() {
-            for w1 in (0..=c1 - b).rev() {
-                let v = dp[w0 * (c1 + 1) + w1];
-                let t = &mut dp[(w0 + a) * (c1 + 1) + (w1 + b)];
-                if v + p > *t {
-                    *t = v + p;
-                }
-            }
-        }
-    }
-    dp.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
-}
+use bico::bcpop::orlib::parse_mknap;
+use bico::core::{Carbon, CarbonConfig, CoevStrategy};
+use common::load_weing_proven;
 
 const MKNAP_SAMPLE: &str = "
 1
@@ -112,20 +91,12 @@ fn fixture_file_round_trips_through_parse_convert_validate() {
 fn weing1_full_size_instance_flows_through_the_pipeline() {
     // A real OR-library instance at full size: weing1 (Weingartner–Ness,
     // 28 items × 2 knapsack constraints, published optimum 141278). The
-    // recorded optimum is re-proven here by exact dynamic programming
-    // over the two capacity dimensions, so the fixture is known-good
-    // data rather than a transcription taken on faith; the instance then
-    // runs the same parse → convert → validate → CARBON path as the toy
-    // fixtures.
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures/mknap_weing1.txt");
-    let text = std::fs::read_to_string(path).expect("fixture present");
-    let mkp = parse_mknap(&text).unwrap().swap_remove(0);
-    assert_eq!((mkp.n, mkp.m), (28, 2));
-    assert_eq!(mkp.known_optimum, 141_278.0);
-    assert_eq!(mkp.capacities, vec![600.0, 600.0]);
-
-    let optimum = prove_optimum_by_dp(&mkp);
-    assert_eq!(optimum, mkp.known_optimum, "DP must reproduce the published optimum");
+    // shared loader re-proves the recorded optimum by exact dynamic
+    // programming over the two capacity dimensions, so the fixture is
+    // known-good data rather than a transcription taken on faith; the
+    // instance then runs the same parse → convert → validate → CARBON
+    // path as the toy fixtures.
+    let mkp = load_weing_proven("mknap_weing1.txt", [600.0, 600.0], 141_278.0);
 
     // Convert, validate, and run a short CARBON smoke on the full-size
     // instance (enough budget for a handful of generations).
@@ -157,20 +128,12 @@ fn weing1_full_size_instance_flows_through_the_pipeline() {
 fn weing2_full_size_instance_flows_through_the_pipeline() {
     // The second Weingartner–Ness instance: the same 28 items as weing1
     // under tighter capacities (500/500), published optimum 130883 —
-    // re-proven by the same exact DP before anything downstream trusts
+    // re-proven by the shared exact DP before anything downstream trusts
     // the fixture. The CARBON smoke runs under the two competitive
     // strategies introduced for the maximin substrate, so fitness
     // sharing and the hall-of-fame sampler are exercised on a real
     // OR-library instance, not just the synthetic games.
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures/mknap_weing2.txt");
-    let text = std::fs::read_to_string(path).expect("fixture present");
-    let mkp = parse_mknap(&text).unwrap().swap_remove(0);
-    assert_eq!((mkp.n, mkp.m), (28, 2));
-    assert_eq!(mkp.known_optimum, 130_883.0);
-    assert_eq!(mkp.capacities, vec![500.0, 500.0]);
-
-    let optimum = prove_optimum_by_dp(&mkp);
-    assert_eq!(optimum, mkp.known_optimum, "DP must reproduce the published optimum");
+    let mkp = load_weing_proven("mknap_weing2.txt", [500.0, 500.0], 130_883.0);
 
     let inst = mkp.into_covering(0.34).unwrap();
     assert_eq!(inst.num_bundles(), 28);
@@ -208,27 +171,16 @@ fn weing3_through_5_capacity_variants_flow_through_the_pipeline() {
     // from the 28-item stream these fixtures share, and a fixture we
     // cannot re-prove in-test would be exactly the transcription-taken-
     // on-faith this suite exists to rule out.
+    let weing1 = load_weing_proven("mknap_weing1.txt", [600.0, 600.0], 141_278.0);
     for (name, caps, optimum) in [
         ("mknap_weing3.txt", [300.0, 300.0], 95_677.0),
         ("mknap_weing4.txt", [300.0, 600.0], 119_337.0),
         ("mknap_weing5.txt", [600.0, 300.0], 98_796.0),
     ] {
-        let path = format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
-        let text = std::fs::read_to_string(&path).expect("fixture present");
-        let mkp = parse_mknap(&text).unwrap().swap_remove(0);
-        assert_eq!((mkp.n, mkp.m), (28, 2), "{name}");
-        assert_eq!(mkp.capacities, caps, "{name}");
-        assert_eq!(mkp.known_optimum, optimum, "{name}");
-
-        let proven = prove_optimum_by_dp(&mkp);
-        assert_eq!(proven, optimum, "{name}: DP must reproduce the published optimum");
+        let mkp = load_weing_proven(name, caps, optimum);
 
         // The capacity variants share weing1's item data — only the
         // capacity row may differ between the fixtures.
-        let weing1_path =
-            concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures/mknap_weing1.txt");
-        let weing1 =
-            parse_mknap(&std::fs::read_to_string(weing1_path).unwrap()).unwrap().swap_remove(0);
         assert_eq!(mkp.profits, weing1.profits, "{name}: shared item profits");
         assert_eq!(mkp.weights, weing1.weights, "{name}: shared constraint rows");
 

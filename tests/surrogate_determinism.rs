@@ -1,0 +1,231 @@
+//! Determinism contract for the surrogate gate.
+//!
+//! Two layers: differential tests proving that an explicit
+//! `SurrogateGate::Off` is bit-identical to the default configuration
+//! under every cache regime (the gate consumes no randomness, so
+//! leaving it off can never perturb a run), and property tests proving
+//! that the ranker itself — fitting, prediction, rank transforms, and
+//! the exact-set selector — is a pure function of its inputs and never
+//! panics on degenerate feature columns.
+
+mod common;
+
+use bico::bcpop::{generate, BcpopInstance, GeneratorConfig};
+use bico::core::surrogate::{
+    normalized_ranks, quantile_value, select_exact, spearman, NUM_FEATURES,
+};
+use bico::core::{Carbon, CarbonConfig, CarbonResult, RankSurrogate, SurrogateGate};
+use bico::ea::cache::EvictionPolicy;
+use proptest::prelude::*;
+
+fn diff_instances() -> Vec<BcpopInstance> {
+    vec![
+        generate(
+            &GeneratorConfig { num_bundles: 40, num_services: 5, ..Default::default() },
+            77,
+        ),
+        generate(
+            &GeneratorConfig { num_bundles: 30, num_services: 4, ..Default::default() },
+            5,
+        ),
+    ]
+}
+
+const DIFF_SEEDS: [u64; 3] = [9, 10, 11];
+
+fn bits(v: &[f64]) -> Vec<u64> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+fn assert_bit_identical(a: &CarbonResult, b: &CarbonResult, tag: &str) {
+    assert_eq!(bits(&a.best_pricing), bits(&b.best_pricing), "pricing {tag}");
+    assert_eq!(a.best_ul_value.to_bits(), b.best_ul_value.to_bits(), "best F {tag}");
+    assert_eq!(a.best_gap.to_bits(), b.best_gap.to_bits(), "best gap {tag}");
+    assert_eq!(a.best_heuristic, b.best_heuristic, "champion {tag}");
+    assert_eq!(a.trace.points(), b.trace.points(), "trace {tag}");
+}
+
+#[test]
+fn explicit_off_gate_matches_default_bit_for_bit_across_cache_regimes() {
+    // The default config must not change behind users' backs…
+    assert_eq!(CarbonConfig::default().surrogate_gate, SurrogateGate::Off);
+    // …and spelling the default out must be a no-op under every cache
+    // regime: cold (all memo layers off), the default warm caches, and
+    // warm caches under CLOCK eviction.
+    type Shape = Box<dyn Fn(&mut CarbonConfig)>;
+    let regimes: [(&str, Shape); 3] = [
+        (
+            "cold",
+            Box::new(|c: &mut CarbonConfig| {
+                c.ll_cache_capacity = 0;
+                c.gp_compile_cache_capacity = 0;
+                c.decode_cache_capacity = 0;
+            }),
+        ),
+        ("warm", Box::new(|_| {})),
+        ("clock", Box::new(|c: &mut CarbonConfig| c.cache_eviction = EvictionPolicy::Clock)),
+    ];
+    for inst in &diff_instances() {
+        for &seed in &DIFF_SEEDS {
+            for (name, shape) in &regimes {
+                let mut base = CarbonConfig {
+                    ul_pop_size: 10,
+                    ll_pop_size: 10,
+                    ul_archive_size: 10,
+                    ll_archive_size: 10,
+                    ul_evaluations: 150,
+                    ll_evaluations: 150,
+                    ..Default::default()
+                };
+                shape(&mut base);
+                let mut explicit = base.clone();
+                explicit.surrogate_gate = SurrogateGate::Off;
+                let a = Carbon::new(inst, base).run(seed);
+                let b = Carbon::new(inst, explicit).run(seed);
+                let tag = format!(
+                    "{}x{} seed {seed} regime {name}",
+                    inst.num_bundles(),
+                    inst.num_services()
+                );
+                assert_bit_identical(&a, &b, &tag);
+            }
+        }
+    }
+}
+
+#[test]
+fn topk_gate_is_thread_count_invariant() {
+    // The gated path screens, pins, and imputes from per-cell state that
+    // is collected in deterministic order; rayon only parallelizes the
+    // pure per-cell decodes, so the thread count must not matter.
+    let with_threads = |n: usize, f: &dyn Fn() -> CarbonResult| {
+        rayon::ThreadPoolBuilder::new().num_threads(n).build().expect("pool").install(f)
+    };
+    let inst = &diff_instances()[0];
+    let cfg = CarbonConfig {
+        ul_pop_size: 10,
+        ll_pop_size: 10,
+        ul_archive_size: 10,
+        ll_archive_size: 10,
+        ul_evaluations: 400,
+        ll_evaluations: 800,
+        surrogate_gate: SurrogateGate::top_k(),
+        ..Default::default()
+    };
+    let run = || Carbon::new(inst, cfg.clone()).run(33);
+    let one = with_threads(1, &run);
+    let four = with_threads(4, &run);
+    assert_bit_identical(&one, &four, "threads 1 vs 4");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn fitting_and_scoring_are_deterministic(
+        rows in proptest::collection::vec(
+            (proptest::collection::vec(-1e3f64..1e3, NUM_FEATURES), 0.0f64..1.0),
+            1..40,
+        ),
+        generations in 1usize..4,
+    ) {
+        let feed = |s: &mut RankSurrogate| {
+            for _ in 0..generations {
+                for (f, t) in &rows {
+                    let mut feats = [0.0; NUM_FEATURES];
+                    feats.copy_from_slice(f);
+                    s.observe(&feats, *t);
+                }
+                s.fit();
+                s.decay_generation();
+            }
+        };
+        let mut a = RankSurrogate::new();
+        let mut b = RankSurrogate::new();
+        feed(&mut a);
+        feed(&mut b);
+        prop_assert_eq!(a.samples(), b.samples());
+        for (wa, wb) in a.weights().iter().zip(b.weights()) {
+            prop_assert_eq!(wa.to_bits(), wb.to_bits());
+        }
+        let probe = [0.5; NUM_FEATURES];
+        prop_assert_eq!(a.predict(&probe).to_bits(), b.predict(&probe).to_bits());
+    }
+
+    #[test]
+    fn degenerate_feature_columns_never_panic(
+        constant in -1e6f64..1e6,
+        n in 1usize..64,
+        target in 0.0f64..1.0,
+    ) {
+        // Constant columns make the normal equations singular; huge
+        // magnitudes stress the elimination's pivoting. The fit must
+        // fall back to zero weights rather than panic or emit NaN.
+        let mut s = RankSurrogate::new();
+        for _ in 0..n {
+            s.observe(&[constant; NUM_FEATURES], target);
+        }
+        s.fit();
+        for w in s.weights() {
+            prop_assert!(w.is_finite(), "weight {w} not finite");
+        }
+        let p = s.predict(&[constant; NUM_FEATURES]);
+        prop_assert!(p.is_finite(), "prediction {p} not finite");
+    }
+
+    #[test]
+    fn normalized_ranks_land_in_unit_interval(
+        values in proptest::collection::vec(-1e9f64..1e9, 0..50),
+    ) {
+        let ranks = normalized_ranks(&values);
+        prop_assert_eq!(ranks.len(), values.len());
+        for r in &ranks {
+            prop_assert!((0.0..=1.0).contains(r), "rank {r} out of range");
+        }
+        // Rank-transform again: idempotent ordering, still in bounds.
+        let again = normalized_ranks(&ranks);
+        prop_assert_eq!(again.len(), ranks.len());
+    }
+
+    #[test]
+    fn spearman_is_bounded_and_finite(
+        pairs in proptest::collection::vec((-1e6f64..1e6, -1e6f64..1e6), 0..40),
+    ) {
+        let a: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+        let b: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+        let rho = spearman(&a, &b);
+        prop_assert!(rho.is_finite());
+        prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&rho), "rho {rho} out of range");
+    }
+
+    #[test]
+    fn select_exact_keeps_pins_and_is_deterministic(
+        cells in proptest::collection::vec((0.0f64..1.0, proptest::bool::ANY), 1..60),
+        frac in 0.0f64..1.0,
+        explore in 0.0f64..0.5,
+        round in 0u64..100,
+    ) {
+        let preds: Vec<f64> = cells.iter().map(|c| c.0).collect();
+        let pinned: Vec<bool> = cells.iter().map(|c| c.1).collect();
+        let a = select_exact(&preds, frac, explore, &pinned, round);
+        let b = select_exact(&preds, frac, explore, &pinned, round);
+        prop_assert_eq!(&a, &b, "selection must be a pure function");
+        prop_assert_eq!(a.len(), preds.len());
+        prop_assert!(a.iter().any(|&x| x), "at least one cell stays exact");
+        for (i, &pin) in pinned.iter().enumerate() {
+            if pin {
+                prop_assert!(a[i], "pinned cell {i} dropped from the exact set");
+            }
+        }
+    }
+
+    #[test]
+    fn quantile_value_stays_within_the_sorted_range(
+        mut values in proptest::collection::vec(-1e6f64..1e6, 1..40),
+        q in -0.5f64..1.5,
+    ) {
+        values.sort_by(f64::total_cmp);
+        let v = quantile_value(&values, q);
+        prop_assert!(v >= values[0] && v <= values[values.len() - 1]);
+    }
+}

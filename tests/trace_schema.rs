@@ -20,7 +20,7 @@ fn every_event_variant_round_trips_byte_identically() {
     let buffer = SharedBuffer::new();
     let sink = JsonlSink::new(buffer.clone());
     let examples = Event::examples();
-    assert_eq!(examples.len(), 12, "new Event variants must join examples() and this test");
+    assert_eq!(examples.len(), 13, "new Event variants must join examples() and this test");
     for event in &examples {
         sink.observe(event);
     }
@@ -103,6 +103,10 @@ fn golden_metrics() -> bico::obs::RunMetrics {
         decode_cache_misses: 36,
         decode_cache_evictions: 4,
         decode_cache_entries: 32,
+        surrogate_cells: 40,
+        surrogate_exact: 16,
+        surrogate_skipped: 24,
+        surrogate_rank_corr_mean: 0.75,
         archive_updates: 24,
         wall_seconds: 1.5,
         phases: vec![
